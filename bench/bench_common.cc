@@ -1,0 +1,139 @@
+#include "bench_common.h"
+
+#include <cstdio>
+
+#include "util/string_util.h"
+#include "util/timer.h"
+
+namespace tsfm::bench {
+
+std::unique_ptr<BenchContext> MakeContext(const BenchConfig& config,
+                                          const std::vector<Table>& extra_tables) {
+  auto ctx = std::make_unique<BenchContext>();
+  ctx->bench_config = config;
+  ctx->catalog = lakebench::DomainCatalog(config.seed, 200);
+
+  lakebench::CorpusScale cscale;
+  cscale.num_tables = config.pretrain_tables;
+  cscale.augmentations = 2;  // paper: x3 total versions per table
+  auto corpus = lakebench::MakePretrainCorpus(ctx->catalog, cscale, config.seed + 100);
+
+  std::vector<Table> vocab_tables = corpus;
+  vocab_tables.insert(vocab_tables.end(), extra_tables.begin(), extra_tables.end());
+  ctx->vocab = lakebench::BuildVocabFromTables(vocab_tables, /*include_cells=*/true);
+
+  ctx->config.encoder.hidden = config.hidden;
+  ctx->config.encoder.num_layers = config.layers;
+  ctx->config.encoder.num_heads = config.heads;
+  ctx->config.encoder.ffn_dim = config.ffn;
+  // No dropout at bench scale: with ~100 fine-tuning pairs and a 2-layer
+  // model, dropout is pure gradient noise rather than regularization.
+  ctx->config.encoder.dropout = 0.0f;
+  ctx->config.vocab_size = ctx->vocab.size();
+  ctx->config.max_seq_len = config.max_seq_len;
+  ctx->config.num_perm = config.num_perm;
+  ctx->sketch_options.num_perm = config.num_perm;
+
+  ctx->tokenizer = std::make_unique<text::Tokenizer>(&ctx->vocab);
+  ctx->input_encoder =
+      std::make_unique<core::InputEncoder>(&ctx->config, ctx->tokenizer.get());
+
+  Rng rng(config.seed + 7);
+  ctx->pretrained = std::make_unique<core::TabSketchFM>(ctx->config, &rng);
+
+  // MLM pretraining on the synthetic open-data corpus.
+  std::vector<core::EncodedTable> train_enc, val_enc;
+  for (size_t i = 0; i < corpus.size(); ++i) {
+    corpus[i].InferTypes();
+    auto enc = ctx->input_encoder->EncodeTable(
+        BuildTableSketch(corpus[i], ctx->sketch_options));
+    (i % 8 == 0 ? val_enc : train_enc).push_back(std::move(enc));
+  }
+  core::PretrainOptions popt;
+  popt.epochs = config.pretrain_epochs;
+  popt.batch_size = 8;
+  popt.lr = 3e-4f;
+  popt.seed = config.seed + 8;
+  core::Pretrainer pretrainer(ctx->pretrained.get(), popt);
+  WallTimer timer;
+  auto result = pretrainer.Train(train_enc, val_enc);
+  std::fprintf(stderr, "[bench] pretrained %zu epochs in %.1fs (val loss %.3f)\n",
+               result.epochs_run, timer.Seconds(), result.best_val_loss);
+  return ctx;
+}
+
+std::unique_ptr<core::CrossEncoder> FinetuneTabSketchFM(
+    BenchContext* ctx, const core::PairDataset& dataset, uint64_t seed,
+    const core::SketchAblation& ablation) {
+  Rng rng(seed);
+  auto encoder = std::make_unique<core::CrossEncoder>(
+      ctx->config, dataset.task, dataset.num_outputs, &rng, ctx->pretrained.get());
+  core::FinetuneOptions fopt;
+  fopt.epochs = ctx->bench_config.finetune_epochs;
+  fopt.patience = ctx->bench_config.finetune_patience;
+  fopt.lr = 5e-4f;
+  fopt.seed = seed;
+  fopt.max_train_examples = ctx->bench_config.max_train_pairs;
+  fopt.ablation = ablation;
+  core::Finetuner finetuner(encoder.get(), ctx->input_encoder.get(), fopt);
+  finetuner.Train(dataset);
+  return encoder;
+}
+
+double MetricFromPredictions(const core::PairDataset& dataset,
+                             const std::vector<core::PairExample>& examples,
+                             const std::vector<std::vector<float>>& predictions) {
+  switch (dataset.task) {
+    case core::TaskType::kBinaryClassification: {
+      std::vector<int> y_true, y_pred;
+      for (size_t i = 0; i < examples.size(); ++i) {
+        y_true.push_back(examples[i].label);
+        y_pred.push_back(predictions[i][0] > 0.5f ? 1 : 0);
+      }
+      return search::WeightedF1(y_true, y_pred, 2);
+    }
+    case core::TaskType::kRegression: {
+      std::vector<float> y_true, y_pred;
+      for (size_t i = 0; i < examples.size(); ++i) {
+        y_true.push_back(examples[i].target);
+        y_pred.push_back(predictions[i][0]);
+      }
+      return search::R2Score(y_true, y_pred);
+    }
+    case core::TaskType::kMultiLabel: {
+      std::vector<std::vector<float>> y_true;
+      for (const auto& ex : examples) y_true.push_back(ex.multi_labels);
+      return search::MultiLabelF1(y_true, predictions);
+    }
+  }
+  return 0.0;
+}
+
+double EvalTabSketchFM(BenchContext* ctx, core::CrossEncoder* encoder,
+                       const core::PairDataset& dataset,
+                       const core::SketchAblation& ablation) {
+  core::FinetuneOptions fopt;
+  fopt.ablation = ablation;
+  core::Finetuner finetuner(encoder, ctx->input_encoder.get(), fopt);
+  auto predictions = finetuner.Predict(dataset, dataset.test);
+  return MetricFromPredictions(dataset, dataset.test, predictions);
+}
+
+void PrintRow(const std::string& name, const std::vector<std::string>& cells,
+              size_t name_width) {
+  std::string line = PadRight(name, name_width);
+  for (const auto& cell : cells) {
+    line += PadLeft(cell, 14);
+  }
+  std::printf("%s\n", line.c_str());
+}
+
+std::string Measured(double value, int precision) {
+  return FormatDouble(value, precision);
+}
+
+void PrintHeader(const std::string& title) {
+  std::printf("\n==== %s ====\n", title.c_str());
+}
+
+}  // namespace tsfm::bench

@@ -1,0 +1,95 @@
+// Shared machinery for the paper-reproduction bench binaries.
+//
+// Every bench regenerates its data from seeds, trains the models it needs,
+// and prints a paper-vs-measured table. The helpers here hold the pieces
+// all benches share: the pretrained TabSketchFM context, per-task model
+// training/eval, and fixed-width table printing.
+#ifndef TSFM_BENCH_BENCH_COMMON_H_
+#define TSFM_BENCH_BENCH_COMMON_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/sbert_like.h"
+#include "baselines/value_dual_encoder.h"
+#include "core/cross_encoder.h"
+#include "core/embedder.h"
+#include "core/finetuner.h"
+#include "core/pretrainer.h"
+#include "lakebench/corpus.h"
+#include "lakebench/finetune_benchmarks.h"
+#include "lakebench/search_benchmarks.h"
+#include "search/metrics.h"
+#include "search/pipeline.h"
+
+namespace tsfm::bench {
+
+/// Bench-wide knobs (small enough for CPU minutes, big enough for signal).
+struct BenchConfig {
+  uint64_t seed = 42;
+  size_t hidden = 32;
+  size_t layers = 2;
+  size_t heads = 2;
+  size_t ffn = 64;
+  size_t max_seq_len = 128;
+  size_t num_perm = 16;
+  size_t pretrain_tables = 24;
+  size_t pretrain_epochs = 3;
+  size_t finetune_epochs = 24;
+  size_t finetune_patience = 8;
+  size_t max_train_pairs = 110;
+  lakebench::BenchScale scale;  ///< finetune benchmark scale
+};
+
+/// \brief Everything a bench needs to build and train TabSketchFM models.
+struct BenchContext {
+  BenchConfig bench_config;
+  lakebench::DomainCatalog catalog;
+  text::Vocab vocab;
+  core::TabSketchFMConfig config;
+  std::unique_ptr<text::Tokenizer> tokenizer;
+  std::unique_ptr<core::InputEncoder> input_encoder;
+  std::unique_ptr<core::TabSketchFM> pretrained;
+  SketchOptions sketch_options;
+
+  BenchContext() : catalog(42, 200) {}
+};
+
+/// Builds the context: synthesizes the pretraining corpus, builds the
+/// vocabulary over corpus + `extra_tables` (cell words included so value
+/// baselines can read), constructs the model, and runs MLM pretraining.
+std::unique_ptr<BenchContext> MakeContext(const BenchConfig& config,
+                                          const std::vector<Table>& extra_tables);
+
+/// Fine-tunes a TabSketchFM cross-encoder (initialized from the pretrained
+/// weights) on `dataset` and returns it.
+std::unique_ptr<core::CrossEncoder> FinetuneTabSketchFM(
+    BenchContext* ctx, const core::PairDataset& dataset, uint64_t seed,
+    const core::SketchAblation& ablation = {});
+
+/// Test-split metric of a trained TabSketchFM cross-encoder:
+/// weighted F1 (binary), R2 (regression) or micro F1 (multi-label).
+double EvalTabSketchFM(BenchContext* ctx, core::CrossEncoder* encoder,
+                       const core::PairDataset& dataset,
+                       const core::SketchAblation& ablation = {});
+
+/// Computes the task metric from raw predictions.
+double MetricFromPredictions(const core::PairDataset& dataset,
+                             const std::vector<core::PairExample>& examples,
+                             const std::vector<std::vector<float>>& predictions);
+
+/// Prints a fixed-width table row; the first cell is left-aligned, the rest
+/// right-aligned at width 12.
+void PrintRow(const std::string& name, const std::vector<std::string>& cells,
+              size_t name_width = 24);
+
+/// Formats "measured (paper X)" cells.
+std::string Measured(double value, int precision = 2);
+
+/// A titled section separator on stdout.
+void PrintHeader(const std::string& title);
+
+}  // namespace tsfm::bench
+
+#endif  // TSFM_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,129 @@
+// Regenerates paper Fig 4 (a-d): F1-vs-k curves for join, SANTOS union,
+// TUS union and Eurostat subset search, comparing SBERT, TabSketchFM and
+// TabSketchFM-SBERT (plus Josie on the join panel).
+#include <cstdio>
+
+#include "search_common.h"
+
+namespace tsfm::bench {
+namespace {
+
+void PrintCurve(const std::string& name, const search::SearchReport& report,
+                const std::vector<size_t>& ks) {
+  std::printf("%-22s", name.c_str());
+  for (size_t k : ks) {
+    std::printf(" %5.2f", report.F1At(k));
+  }
+  std::printf("\n");
+}
+
+void PrintKsHeader(const std::vector<size_t>& ks) {
+  std::printf("%-22s", "k =");
+  for (size_t k : ks) std::printf(" %5zu", k);
+  std::printf("\n");
+}
+
+void Run() {
+  BenchConfig bconfig;
+  bconfig.scale.num_pairs = 120;
+
+  lakebench::DomainCatalog catalog(bconfig.seed, 200);
+
+  // Corpora for the four panels.
+  lakebench::WikiJoinScale wscale;
+  wscale.num_tables = 160;
+  wscale.num_queries = 24;
+  auto join_bench = lakebench::MakeWikiJoinSearch(wscale, bconfig.seed + 80);
+  lakebench::UnionSearchScale sscale;
+  sscale.num_seeds = 8;
+  sscale.variants_per_seed = 12;
+  sscale.num_queries = 24;
+  auto santos_bench =
+      lakebench::MakeUnionSearch(catalog, sscale, bconfig.seed + 81, "SANTOS");
+  lakebench::UnionSearchScale tscale;
+  tscale.num_seeds = 4;
+  tscale.variants_per_seed = 64;
+  tscale.num_queries = 16;
+  auto tus_bench =
+      lakebench::MakeUnionSearch(catalog, tscale, bconfig.seed + 82, "TUS");
+  lakebench::EurostatScale escale;
+  escale.num_seeds = 20;
+  auto subset_bench =
+      lakebench::MakeEurostatSubsetSearch(catalog, escale, bconfig.seed + 83);
+
+  SketchOptions sopt{.num_perm = bconfig.num_perm};
+  join_bench.BuildSketches(sopt);
+  santos_bench.BuildSketches(sopt);
+  tus_bench.BuildSketches(sopt);
+  subset_bench.BuildSketches(sopt);
+
+  // Fine-tuning tasks per panel (paper: containment for join, TUS-SANTOS
+  // for union, CKAN Subset for subset).
+  auto containment =
+      lakebench::MakeWikiContainment(catalog, bconfig.scale, bconfig.seed + 4);
+  auto tus_task = lakebench::MakeTusSantos(catalog, bconfig.scale, bconfig.seed + 1);
+  auto ckan = lakebench::MakeCkanSubset(catalog, bconfig.scale, bconfig.seed + 8);
+  containment.BuildSketches(sopt);
+  tus_task.BuildSketches(sopt);
+  ckan.BuildSketches(sopt);
+
+  std::vector<Table> extra;
+  for (const auto* b : {&join_bench, &santos_bench, &tus_bench, &subset_bench}) {
+    extra.insert(extra.end(), b->tables.begin(), b->tables.end());
+  }
+  for (const auto* d : {&containment, &tus_task, &ckan}) {
+    extra.insert(extra.end(), d->tables.begin(), d->tables.end());
+  }
+  auto ctx = MakeContext(bconfig, extra);
+  baselines::SbertLikeEncoder sbert(64);
+
+  struct Panel {
+    const char* title;
+    const lakebench::SearchBenchmark* bench;
+    const core::PairDataset* task;
+    size_t k_max;
+    bool include_josie;
+  };
+  const Panel panels[4] = {
+      {"Fig 4a: Wiki join search F1 vs k", &join_bench, &containment, 10, true},
+      {"Fig 4b: SANTOS union search F1 vs k", &santos_bench, &tus_task, 10, false},
+      {"Fig 4c: TUS union search F1 vs k", &tus_bench, &tus_task, 60, false},
+      {"Fig 4d: Eurostat subset search F1 vs k", &subset_bench, &ckan, 11, false},
+  };
+
+  for (const auto& panel : panels) {
+    PrintHeader(panel.title);
+    std::vector<size_t> ks;
+    for (size_t k = 1; k <= panel.k_max; k += (panel.k_max > 20 ? 10 : 2)) {
+      ks.push_back(k);
+    }
+    if (ks.back() != panel.k_max) ks.push_back(panel.k_max);
+    PrintKsHeader(ks);
+
+    if (panel.include_josie) {
+      PrintCurve("Josie", EvalJosieSearch(*panel.bench, panel.k_max), ks);
+    }
+    PrintCurve("SBERT", EvalSbertSearch(*panel.bench, panel.k_max, &sbert), ks);
+
+    auto encoder = FinetuneTabSketchFM(ctx.get(), *panel.task, bconfig.seed + 90);
+    PrintCurve("TabSketchFM",
+               EvalTabSketchFMSearch(ctx.get(), encoder->model(), *panel.bench,
+                                     panel.k_max, false, &sbert),
+               ks);
+    PrintCurve("TabSketchFM-SBERT",
+               EvalTabSketchFMSearch(ctx.get(), encoder->model(), *panel.bench,
+                                     panel.k_max, true, &sbert),
+               ks);
+  }
+  std::printf(
+      "\nShape check vs paper Fig 4: curves rise then flatten as k passes the\n"
+      "gold-set size; TabSketchFM-SBERT tracks the best method per panel.\n");
+}
+
+}  // namespace
+}  // namespace tsfm::bench
+
+int main() {
+  tsfm::bench::Run();
+  return 0;
+}

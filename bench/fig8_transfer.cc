@@ -1,0 +1,125 @@
+// Regenerates paper Fig 8 (a-d): transfer across tasks and domains.
+// Cross-encoders fine-tuned on one task (join / union / subset, each on a
+// different synthetic "domain") are applied to all four search benchmarks;
+// the paper's finding is that F1 curves stay close regardless of the
+// fine-tuning source.
+#include <cstdio>
+
+#include "search_common.h"
+
+namespace tsfm::bench {
+namespace {
+
+void Run() {
+  BenchConfig bconfig;
+  bconfig.scale.num_pairs = 120;
+  lakebench::DomainCatalog catalog(bconfig.seed, 200);
+
+  // Search benchmarks (the four Fig 8 panels).
+  lakebench::WikiJoinScale wscale;
+  wscale.num_tables = 140;
+  wscale.num_queries = 20;
+  auto join_bench = lakebench::MakeWikiJoinSearch(wscale, bconfig.seed + 84);
+  lakebench::UnionSearchScale sscale;
+  sscale.num_seeds = 8;
+  sscale.variants_per_seed = 10;
+  sscale.num_queries = 20;
+  auto santos_bench =
+      lakebench::MakeUnionSearch(catalog, sscale, bconfig.seed + 85, "SANTOS");
+  lakebench::UnionSearchScale tscale;
+  tscale.num_seeds = 4;
+  tscale.variants_per_seed = 40;
+  tscale.num_queries = 12;
+  auto tus_bench =
+      lakebench::MakeUnionSearch(catalog, tscale, bconfig.seed + 86, "TUS");
+  lakebench::EurostatScale escale;
+  escale.num_seeds = 16;
+  auto subset_bench =
+      lakebench::MakeEurostatSubsetSearch(catalog, escale, bconfig.seed + 87);
+
+  SketchOptions sopt{.num_perm = bconfig.num_perm};
+  join_bench.BuildSketches(sopt);
+  santos_bench.BuildSketches(sopt);
+  tus_bench.BuildSketches(sopt);
+  subset_bench.BuildSketches(sopt);
+
+  // Fine-tuning sources spanning tasks AND domains.
+  auto containment =
+      lakebench::MakeWikiContainment(catalog, bconfig.scale, bconfig.seed + 4);
+  auto tus_task = lakebench::MakeTusSantos(catalog, bconfig.scale, bconfig.seed + 1);
+  auto ecb_union = lakebench::MakeEcbUnion(catalog, bconfig.scale, bconfig.seed + 3);
+  auto ckan = lakebench::MakeCkanSubset(catalog, bconfig.scale, bconfig.seed + 8);
+  for (auto* d : {&containment, &tus_task, &ecb_union, &ckan}) {
+    d->BuildSketches(sopt);
+  }
+
+  std::vector<Table> extra;
+  for (const auto* b : {&join_bench, &santos_bench, &tus_bench, &subset_bench}) {
+    extra.insert(extra.end(), b->tables.begin(), b->tables.end());
+  }
+  for (const auto* d : {&containment, &tus_task, &ecb_union, &ckan}) {
+    extra.insert(extra.end(), d->tables.begin(), d->tables.end());
+  }
+  auto ctx = MakeContext(bconfig, extra);
+  baselines::SbertLikeEncoder sbert(64);
+
+  // Fine-tune one model per source task.
+  struct Source {
+    const char* name;
+    const core::PairDataset* task;
+  };
+  const Source sources[4] = {
+      {"FT:wiki-containment", &containment},
+      {"FT:tus-santos", &tus_task},
+      {"FT:ecb-union", &ecb_union},
+      {"FT:ckan-subset", &ckan},
+  };
+  std::vector<std::unique_ptr<core::CrossEncoder>> models;
+  for (const auto& src : sources) {
+    models.push_back(
+        FinetuneTabSketchFM(ctx.get(), *src.task, bconfig.seed + 95));
+    std::fprintf(stderr, "[bench] fine-tuned %s\n", src.name);
+  }
+
+  struct Panel {
+    const char* title;
+    const lakebench::SearchBenchmark* bench;
+    size_t k_max;
+  };
+  const Panel panels[4] = {
+      {"Fig 8a: transfer to Wiki join search", &join_bench, 10},
+      {"Fig 8b: transfer to SANTOS union search", &santos_bench, 10},
+      {"Fig 8c: transfer to TUS union search", &tus_bench, 40},
+      {"Fig 8d: transfer to Eurostat subset search", &subset_bench, 11},
+  };
+
+  for (const auto& panel : panels) {
+    PrintHeader(panel.title);
+    std::printf("%-22s %8s %8s %8s\n", "fine-tuned on", "MeanF1", "P@k", "R@k");
+    double best = 0, worst = 1;
+    for (size_t s = 0; s < 4; ++s) {
+      // All transfer models use the SBERT value concatenation, as in the
+      // paper's Fig 8 ("models that include the value embeddings").
+      auto report =
+          EvalTabSketchFMSearch(ctx.get(), models[s]->model(), *panel.bench,
+                                panel.k_max, /*concat_sbert=*/true, &sbert);
+      std::printf("%-22s %8.2f %8.2f %8.2f\n", sources[s].name,
+                  100.0 * report.mean_f1, report.PrecisionAt(panel.k_max),
+                  report.RecallAt(panel.k_max));
+      best = std::max(best, report.mean_f1);
+      worst = std::min(worst, report.mean_f1);
+    }
+    std::printf("spread (best - worst MeanF1): %.2f\n", 100.0 * (best - worst));
+  }
+  std::printf(
+      "\nShape check vs paper Fig 8: the four curves per panel stay close —\n"
+      "models fine-tuned on one task/domain transfer to the others.\n");
+}
+
+}  // namespace
+}  // namespace tsfm::bench
+
+int main() {
+  tsfm::bench::Run();
+  return 0;
+}

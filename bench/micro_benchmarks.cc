@@ -1,0 +1,167 @@
+// google-benchmark micro-benchmarks for the performance-critical substrates:
+// sketching throughput, tokenizer, attention forward/backward, kNN search.
+// These are the ablation benches for DESIGN.md's design choices (MinHash K,
+// tensor-granularity autograd, brute-force kNN).
+#include <benchmark/benchmark.h>
+
+#include "lakebench/corpus.h"
+#include "lakebench/datagen.h"
+#include "nn/attention.h"
+#include "nn/ops.h"
+#include "search/hnsw.h"
+#include "search/knn_index.h"
+#include "sketch/minhash.h"
+#include "sketch/table_sketch.h"
+#include "text/tokenizer.h"
+
+namespace tsfm {
+namespace {
+
+void BM_MinHashUpdate(benchmark::State& state) {
+  const size_t num_perm = static_cast<size_t>(state.range(0));
+  std::vector<std::string> values;
+  for (int i = 0; i < 1000; ++i) values.push_back("value_" + std::to_string(i));
+  for (auto _ : state) {
+    MinHash mh(num_perm);
+    mh.UpdateAll(values);
+    benchmark::DoNotOptimize(mh.signature().data());
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_MinHashUpdate)->Arg(16)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_MinHashJaccard(benchmark::State& state) {
+  std::vector<std::string> a, b;
+  for (int i = 0; i < 500; ++i) a.push_back("a" + std::to_string(i));
+  for (int i = 250; i < 750; ++i) b.push_back("a" + std::to_string(i));
+  MinHash ma = MinHashOfSet(a, 128), mb = MinHashOfSet(b, 128);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ma.EstimateJaccard(mb));
+  }
+}
+BENCHMARK(BM_MinHashJaccard);
+
+void BM_TableSketch(benchmark::State& state) {
+  lakebench::DomainCatalog catalog(1, 100);
+  Rng rng(2);
+  Table table =
+      lakebench::GenerateDomainTable(catalog.domain(0), "t", state.range(0), &rng);
+  for (auto _ : state) {
+    TableSketch sketch = BuildTableSketch(table);
+    benchmark::DoNotOptimize(sketch.columns.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_TableSketch)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_Tokenizer(benchmark::State& state) {
+  text::Vocab vocab = text::Vocab::Build(
+      {"residential", "properties", "reference", "area", "population", "street"});
+  text::Tokenizer tokenizer(&vocab);
+  const std::string input =
+      "residential properties reference area population street unknownword";
+  for (auto _ : state) {
+    auto ids = tokenizer.Encode(input);
+    benchmark::DoNotOptimize(ids.data());
+  }
+}
+BENCHMARK(BM_Tokenizer);
+
+void BM_AttentionForward(benchmark::State& state) {
+  const size_t seq = static_cast<size_t>(state.range(0));
+  const size_t hidden = 64;
+  Rng rng(3);
+  nn::MultiHeadAttention attn(hidden, 4, 0.0f, &rng);
+  nn::Tensor x(seq, hidden);
+  for (size_t i = 0; i < x.size(); ++i) {
+    x[i] = static_cast<float>(rng.UniformDouble(-1, 1));
+  }
+  for (auto _ : state) {
+    nn::Var input = nn::MakeLeaf(x, false);
+    nn::Var out = attn.Forward(input, false, &rng);
+    benchmark::DoNotOptimize(out->value().data());
+  }
+}
+BENCHMARK(BM_AttentionForward)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_AttentionBackward(benchmark::State& state) {
+  const size_t seq = static_cast<size_t>(state.range(0));
+  const size_t hidden = 64;
+  Rng rng(4);
+  nn::MultiHeadAttention attn(hidden, 4, 0.0f, &rng);
+  nn::Tensor x(seq, hidden);
+  for (size_t i = 0; i < x.size(); ++i) {
+    x[i] = static_cast<float>(rng.UniformDouble(-1, 1));
+  }
+  for (auto _ : state) {
+    attn.ZeroGrad();
+    nn::Var input = nn::MakeLeaf(x, true);
+    nn::Var loss = nn::MeanAll(attn.Forward(input, false, &rng));
+    nn::Backward(loss);
+    benchmark::DoNotOptimize(input->grad().data());
+  }
+}
+BENCHMARK(BM_AttentionBackward)->Arg(32)->Arg(64);
+
+void BM_KnnSearch(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const size_t dim = 64;
+  Rng rng(5);
+  search::KnnIndex index(dim);
+  std::vector<float> query(dim);
+  for (auto& v : query) v = static_cast<float>(rng.Normal());
+  for (size_t i = 0; i < n; ++i) {
+    std::vector<float> vec(dim);
+    for (auto& v : vec) v = static_cast<float>(rng.Normal());
+    index.Add(i, vec);
+  }
+  for (auto _ : state) {
+    auto hits = index.Search(query, 10);
+    benchmark::DoNotOptimize(hits.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_KnnSearch)->Arg(1000)->Arg(10000)->Arg(50000);
+
+void BM_HnswSearch(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const size_t dim = 64;
+  Rng rng(7);
+  search::HnswIndex index(dim);
+  std::vector<float> query(dim);
+  for (auto& v : query) v = static_cast<float>(rng.Normal());
+  for (size_t i = 0; i < n; ++i) {
+    std::vector<float> vec(dim);
+    for (auto& v : vec) v = static_cast<float>(rng.Normal());
+    index.Add(i, vec);
+  }
+  for (auto _ : state) {
+    auto hits = index.Search(query, 10);
+    benchmark::DoNotOptimize(hits.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_HnswSearch)->Arg(1000)->Arg(10000)->Arg(50000);
+
+void BM_MatMul(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(6);
+  nn::Tensor a(n, n), b(n, n);
+  for (size_t i = 0; i < a.size(); ++i) {
+    a[i] = static_cast<float>(rng.UniformDouble(-1, 1));
+    b[i] = static_cast<float>(rng.UniformDouble(-1, 1));
+  }
+  for (auto _ : state) {
+    nn::Var va = nn::MakeLeaf(a, false);
+    nn::Var vb = nn::MakeLeaf(b, false);
+    nn::Var c = nn::MatMul(va, vb);
+    benchmark::DoNotOptimize(c->value().data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_MatMul)->Arg(32)->Arg(64)->Arg(128);
+
+}  // namespace
+}  // namespace tsfm
+
+BENCHMARK_MAIN();

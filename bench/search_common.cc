@@ -1,0 +1,206 @@
+#include "search_common.h"
+
+#include <cstdio>
+
+#include "baselines/pair_trainer.h"
+#include "sketch/table_sketch.h"
+
+namespace tsfm::bench {
+
+namespace {
+
+// Ranked-list evaluation over per-query ranked tables.
+search::SearchReport EvalRanked(const lakebench::SearchBenchmark& bench,
+                                const std::vector<std::vector<size_t>>& ranked,
+                                size_t k_max) {
+  return search::EvaluateRankedLists(bench, ranked, k_max);
+}
+
+}  // namespace
+
+search::SearchReport EvalTabSketchFMSearch(BenchContext* ctx,
+                                           const core::TabSketchFM* model,
+                                           const lakebench::SearchBenchmark& bench,
+                                           size_t k_max, bool concat_sbert,
+                                           const baselines::SbertLikeEncoder* sbert) {
+  core::Embedder embedder(model, ctx->input_encoder.get());
+  // Pre-compute all column embeddings once.
+  std::vector<std::vector<std::vector<float>>> all(bench.tables.size());
+  size_t dim = 0, count = 0;
+  for (size_t t = 0; t < bench.tables.size(); ++t) {
+    all[t] = embedder.ColumnEmbeddings(bench.sketches[t]);
+    for (const auto& c : all[t]) {
+      dim = c.size();
+      ++count;
+    }
+  }
+  // Mean-center over the corpus: column states share a large common
+  // component (identical header tokens across the lake); centering turns
+  // cosine into a correlation over the *distinguishing* sketch-driven
+  // directions. Without it near-duplicate embeddings rank by noise.
+  std::vector<float> mean(dim, 0.0f);
+  for (const auto& table_cols : all) {
+    for (const auto& c : table_cols) {
+      for (size_t i = 0; i < dim; ++i) mean[i] += c[i];
+    }
+  }
+  for (auto& m : mean) m /= static_cast<float>(count);
+  for (auto& table_cols : all) {
+    for (auto& c : table_cols) {
+      for (size_t i = 0; i < dim; ++i) c[i] -= mean[i];
+    }
+  }
+  if (concat_sbert) {
+    for (size_t t = 0; t < bench.tables.size(); ++t) {
+      auto sbert_cols = sbert->EmbedColumns(bench.tables[t]);
+      for (size_t c = 0; c < all[t].size(); ++c) {
+        all[t][c] = core::NormalizeAndConcat(all[t][c], sbert_cols[c]);
+      }
+    }
+  }
+  auto embed = [&](size_t t) { return all[t]; };
+  return search::EvaluateEmbeddingSearch(bench, embed, k_max);
+}
+
+search::SearchReport EvalSbertSearch(const lakebench::SearchBenchmark& bench,
+                                     size_t k_max,
+                                     const baselines::SbertLikeEncoder* sbert) {
+  auto embed = [&](size_t t) { return sbert->EmbedColumns(bench.tables[t]); };
+  return search::EvaluateEmbeddingSearch(bench, embed, k_max);
+}
+
+search::SearchReport EvalDualEncoderSearch(const lakebench::SearchBenchmark& bench,
+                                           size_t k_max,
+                                           const baselines::ValueDualEncoder& model,
+                                           bool table_level) {
+  auto embed = [&](size_t t) {
+    std::vector<std::vector<float>> cols;
+    if (table_level) {
+      cols.push_back(model.EmbedTable(bench.tables[t]));
+    } else {
+      for (size_t c = 0; c < bench.tables[t].num_columns(); ++c) {
+        cols.push_back(model.EmbedColumn(bench.tables[t], c));
+      }
+    }
+    return cols;
+  };
+  return search::EvaluateEmbeddingSearch(bench, embed, k_max);
+}
+
+search::SearchReport EvalJosieSearch(const lakebench::SearchBenchmark& bench,
+                                     size_t k_max) {
+  baselines::JosieIndex josie;
+  for (size_t t = 0; t < bench.tables.size(); ++t) {
+    josie.AddTable(t, bench.tables[t]);
+  }
+  std::vector<std::vector<size_t>> ranked;
+  for (const auto& q : bench.queries) {
+    size_t col = q.column_index >= 0 ? static_cast<size_t>(q.column_index) : 0;
+    ranked.push_back(josie.Search(
+        DistinctCells(bench.tables[q.table_index].column(col)), k_max,
+        q.table_index));
+  }
+  return EvalRanked(bench, ranked, k_max);
+}
+
+search::SearchReport EvalLshForestSearch(const lakebench::SearchBenchmark& bench,
+                                         size_t k_max) {
+  baselines::LshForestJoinSearch lsh(&bench);
+  std::vector<std::vector<size_t>> ranked;
+  for (const auto& q : bench.queries) {
+    size_t col = q.column_index >= 0 ? static_cast<size_t>(q.column_index) : 0;
+    ranked.push_back(lsh.Rank(q.table_index, col, k_max));
+  }
+  return EvalRanked(bench, ranked, k_max);
+}
+
+search::SearchReport EvalWarpGateSearch(const lakebench::SearchBenchmark& bench,
+                                        size_t k_max,
+                                        const baselines::SbertLikeEncoder* sbert) {
+  baselines::WarpGateJoinSearch warpgate(&bench, sbert);
+  std::vector<std::vector<size_t>> ranked;
+  for (const auto& q : bench.queries) {
+    size_t col = q.column_index >= 0 ? static_cast<size_t>(q.column_index) : 0;
+    ranked.push_back(warpgate.Rank(q.table_index, col, k_max));
+  }
+  return EvalRanked(bench, ranked, k_max);
+}
+
+search::SearchReport EvalDeepJoinSearch(const lakebench::SearchBenchmark& bench,
+                                        size_t k_max,
+                                        const baselines::SbertLikeEncoder* sbert) {
+  baselines::DeepJoinSearch deepjoin(&bench, sbert);
+  std::vector<std::vector<size_t>> ranked;
+  for (const auto& q : bench.queries) {
+    size_t col = q.column_index >= 0 ? static_cast<size_t>(q.column_index) : 0;
+    ranked.push_back(deepjoin.Rank(q.table_index, col, k_max));
+  }
+  return EvalRanked(bench, ranked, k_max);
+}
+
+search::SearchReport EvalD3lSearch(const lakebench::SearchBenchmark& bench,
+                                   size_t k_max,
+                                   const baselines::SbertLikeEncoder* sbert) {
+  baselines::D3lUnionSearch d3l(&bench, sbert);
+  std::vector<std::vector<size_t>> ranked;
+  for (const auto& q : bench.queries) {
+    ranked.push_back(d3l.Rank(q.table_index, k_max));
+  }
+  return EvalRanked(bench, ranked, k_max);
+}
+
+search::SearchReport EvalSantosSearch(const lakebench::SearchBenchmark& bench,
+                                      size_t k_max,
+                                      const baselines::SbertLikeEncoder* sbert) {
+  baselines::SantosUnionSearch santos(&bench, sbert);
+  std::vector<std::vector<size_t>> ranked;
+  for (const auto& q : bench.queries) {
+    ranked.push_back(santos.Rank(q.table_index, k_max));
+  }
+  return EvalRanked(bench, ranked, k_max);
+}
+
+search::SearchReport EvalStarmieSearch(const lakebench::SearchBenchmark& bench,
+                                       size_t k_max,
+                                       const baselines::SbertLikeEncoder* sbert) {
+  baselines::StarmieUnionSearch starmie(&bench, sbert);
+  std::vector<std::vector<size_t>> ranked;
+  for (const auto& q : bench.queries) {
+    ranked.push_back(starmie.Rank(q.table_index, k_max));
+  }
+  return EvalRanked(bench, ranked, k_max);
+}
+
+std::unique_ptr<baselines::ValueDualEncoder> FinetuneDualEncoder(
+    BenchContext* ctx, const core::PairDataset& dataset,
+    baselines::DualEncoderMode mode, uint64_t seed) {
+  baselines::TinyBertConfig config;
+  config.encoder = ctx->config.encoder;
+  config.vocab_size = ctx->vocab.size();
+  config.max_seq_len = ctx->config.max_seq_len;
+  Rng rng(seed);
+  auto model = std::make_unique<baselines::ValueDualEncoder>(
+      config, mode, dataset.task, dataset.num_outputs, ctx->tokenizer.get(), &rng);
+  baselines::PairTrainOptions opt;
+  opt.epochs = ctx->bench_config.finetune_epochs;
+  opt.patience = ctx->bench_config.finetune_patience;
+  opt.lr = 5e-4f;
+  opt.seed = seed;
+  opt.max_train_examples = ctx->bench_config.max_train_pairs;
+  baselines::TrainPairModel(
+      dataset, opt,
+      [&](const core::PairExample& ex, bool training, Rng* r) {
+        return model->Loss(dataset, ex, training, r);
+      },
+      model->TrainableParams());
+  return model;
+}
+
+void PrintSearchRow(const std::string& method, const search::SearchReport& report,
+                    size_t k, double paper_f1, double paper_p, double paper_r) {
+  std::printf("%-22s  F1 %6.2f|%6.2f   P@%zu %5.2f|%5.2f   R@%zu %5.2f|%5.2f\n",
+              method.c_str(), 100.0 * report.mean_f1, paper_f1, k,
+              report.PrecisionAt(k), paper_p, k, report.RecallAt(k), paper_r);
+}
+
+}  // namespace tsfm::bench

@@ -1,0 +1,78 @@
+// Shared helpers for the search benches (Tables V-VIII, Figs 4 and 8):
+// one evaluation entry point per method family, all returning the common
+// SearchReport so benches can print uniform rows.
+#ifndef TSFM_BENCH_SEARCH_COMMON_H_
+#define TSFM_BENCH_SEARCH_COMMON_H_
+
+#include <string>
+#include <vector>
+
+#include "baselines/josie.h"
+#include "baselines/traditional_search.h"
+#include "bench_common.h"
+
+namespace tsfm::bench {
+
+/// Evaluates TabSketchFM column embeddings (from a fine-tuned model) on a
+/// search benchmark. When `concat_sbert` is set, SBERT column-value
+/// embeddings are z-normalized and concatenated (TabSketchFM-SBERT).
+search::SearchReport EvalTabSketchFMSearch(BenchContext* ctx,
+                                           const core::TabSketchFM* model,
+                                           const lakebench::SearchBenchmark& bench,
+                                           size_t k_max, bool concat_sbert,
+                                           const baselines::SbertLikeEncoder* sbert);
+
+/// Evaluates the frozen SBERT-like column-value embeddings.
+search::SearchReport EvalSbertSearch(const lakebench::SearchBenchmark& bench,
+                                     size_t k_max,
+                                     const baselines::SbertLikeEncoder* sbert);
+
+/// Evaluates a fine-tuned value dual encoder (TaBERT-FT via column
+/// embeddings, TUTA-FT via table embeddings).
+search::SearchReport EvalDualEncoderSearch(const lakebench::SearchBenchmark& bench,
+                                           size_t k_max,
+                                           const baselines::ValueDualEncoder& model,
+                                           bool table_level);
+
+/// Evaluates Josie exact-containment join search (join benchmarks only).
+search::SearchReport EvalJosieSearch(const lakebench::SearchBenchmark& bench,
+                                     size_t k_max);
+
+/// Evaluates LSH-Forest join search.
+search::SearchReport EvalLshForestSearch(const lakebench::SearchBenchmark& bench,
+                                         size_t k_max);
+
+/// Evaluates WarpGate SimHash join search.
+search::SearchReport EvalWarpGateSearch(const lakebench::SearchBenchmark& bench,
+                                        size_t k_max,
+                                        const baselines::SbertLikeEncoder* sbert);
+
+/// Evaluates DeepJoin column-text join search.
+search::SearchReport EvalDeepJoinSearch(const lakebench::SearchBenchmark& bench,
+                                        size_t k_max,
+                                        const baselines::SbertLikeEncoder* sbert);
+
+/// Evaluates the D3L / SANTOS / Starmie union searchers.
+search::SearchReport EvalD3lSearch(const lakebench::SearchBenchmark& bench,
+                                   size_t k_max,
+                                   const baselines::SbertLikeEncoder* sbert);
+search::SearchReport EvalSantosSearch(const lakebench::SearchBenchmark& bench,
+                                      size_t k_max,
+                                      const baselines::SbertLikeEncoder* sbert);
+search::SearchReport EvalStarmieSearch(const lakebench::SearchBenchmark& bench,
+                                       size_t k_max,
+                                       const baselines::SbertLikeEncoder* sbert);
+
+/// Trains a TaBERT- or TUTA-mode dual encoder on `dataset` for the *-FT
+/// search baselines.
+std::unique_ptr<baselines::ValueDualEncoder> FinetuneDualEncoder(
+    BenchContext* ctx, const core::PairDataset& dataset,
+    baselines::DualEncoderMode mode, uint64_t seed);
+
+/// Prints one "method: MeanF1 P@k R@k (paper ...)" row.
+void PrintSearchRow(const std::string& method, const search::SearchReport& report,
+                    size_t k, double paper_f1, double paper_p, double paper_r);
+
+}  // namespace tsfm::bench
+
+#endif  // TSFM_BENCH_SEARCH_COMMON_H_

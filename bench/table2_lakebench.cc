@@ -1,0 +1,146 @@
+// Regenerates paper Table II: TabSketchFM vs Vanilla BERT, TAPAS, TABBIE,
+// TUTA and TaBERT on the eight LakeBench tasks (weighted F1 for
+// classification, R2 for regression, micro F1 for multi-label).
+//
+// Set TSFM_SEEDS=n to average over n random seeds (paper: 5; default 1 to
+// keep CPU runtime in minutes).
+#include <cstdio>
+#include <cstdlib>
+
+#include "baselines/pair_trainer.h"
+#include "baselines/vanilla_bert.h"
+#include "bench_common.h"
+
+namespace tsfm::bench {
+namespace {
+
+using baselines::DualEncoderMode;
+using baselines::PairTrainOptions;
+using baselines::TinyBertConfig;
+using baselines::TrainPairModel;
+using baselines::ValueDualEncoder;
+using baselines::VanillaBertBaseline;
+
+// Paper Table II values for the "paper" column.
+struct PaperRow {
+  const char* metric;
+  double vanilla, tapas, tabbie, tuta, tabert, tsfm;
+};
+const PaperRow kPaper[8] = {
+    {"F1", 0.99, 0.34, 0.75, 0.99, 0.99, 0.99},   // TUS-SANTOS
+    {"F1", 0.33, 0.41, 0.64, 0.33, 0.97, 0.94},   // Wiki Union
+    {"R2", 0.03, -0.01, 0.02, 0.87, 0.35, 0.90},  // ECB Union
+    {"R2", 0.00, -0.03, 0.25, 0.43, 0.33, 0.58},  // Wiki Jaccard
+    {"R2", 0.00, 0.00, 0.21, 0.35, 0.30, 0.58},   // Wiki Containment
+    {"F1", 0.71, 0.65, 0.57, 0.76, 0.87, 0.83},   // Spider-OpenData
+    {"F1", 0.63, 0.40, 0.42, 0.81, 0.79, 0.86},   // ECB Join
+    {"F1", 0.43, 0.43, 0.43, 0.43, 0.43, 0.98},   // CKAN Subset
+};
+
+TinyBertConfig BaselineConfig(const BenchContext& ctx) {
+  TinyBertConfig config;
+  config.encoder = ctx.config.encoder;
+  config.vocab_size = ctx.vocab.size();
+  config.max_seq_len = ctx.config.max_seq_len;
+  return config;
+}
+
+double TrainAndEvalVanilla(BenchContext* ctx, const core::PairDataset& ds,
+                           uint64_t seed) {
+  Rng rng(seed);
+  VanillaBertBaseline model(BaselineConfig(*ctx), ds.task, ds.num_outputs,
+                            ctx->tokenizer.get(), &rng);
+  PairTrainOptions opt;
+  opt.epochs = ctx->bench_config.finetune_epochs;
+  opt.patience = ctx->bench_config.finetune_patience;
+  opt.lr = 5e-4f;
+  opt.seed = seed;
+  opt.max_train_examples = ctx->bench_config.max_train_pairs;
+  TrainPairModel(
+      ds, opt,
+      [&](const core::PairExample& ex, bool training, Rng* r) {
+        return model.Loss(ds, ex, training, r);
+      },
+      model.Params("vb"));
+  std::vector<std::vector<float>> preds;
+  for (const auto& ex : ds.test) preds.push_back(model.Predict(ds, ex));
+  return MetricFromPredictions(ds, ds.test, preds);
+}
+
+double TrainAndEvalDual(BenchContext* ctx, const core::PairDataset& ds,
+                        DualEncoderMode mode, uint64_t seed) {
+  Rng rng(seed);
+  ValueDualEncoder model(BaselineConfig(*ctx), mode, ds.task, ds.num_outputs,
+                         ctx->tokenizer.get(), &rng);
+  PairTrainOptions opt;
+  opt.epochs = ctx->bench_config.finetune_epochs;
+  opt.patience = ctx->bench_config.finetune_patience;
+  opt.lr = 5e-4f;
+  opt.seed = seed;
+  opt.max_train_examples = ctx->bench_config.max_train_pairs;
+  TrainPairModel(
+      ds, opt,
+      [&](const core::PairExample& ex, bool training, Rng* r) {
+        return model.Loss(ds, ex, training, r);
+      },
+      model.TrainableParams());
+  std::vector<std::vector<float>> preds;
+  for (const auto& ex : ds.test) preds.push_back(model.Predict(ds, ex));
+  return MetricFromPredictions(ds, ds.test, preds);
+}
+
+void Run() {
+  const char* seeds_env = std::getenv("TSFM_SEEDS");
+  const size_t num_seeds = seeds_env ? std::strtoul(seeds_env, nullptr, 10) : 1;
+
+  BenchConfig bconfig;
+  auto datasets = lakebench::MakeAllFinetuneBenchmarks(
+      lakebench::DomainCatalog(bconfig.seed, 200), bconfig.scale, bconfig.seed);
+  std::vector<Table> all_tables;
+  for (auto& ds : datasets) {
+    ds.BuildSketches({.num_perm = bconfig.num_perm});
+    all_tables.insert(all_tables.end(), ds.tables.begin(), ds.tables.end());
+  }
+  auto ctx = MakeContext(bconfig, all_tables);
+
+  PrintHeader("Table II: fine-tuning on LakeBench (measured | paper)");
+  PrintRow("Task", {"VanillaBERT", "TAPAS", "TABBIE", "TUTA", "TaBERT",
+                    "TabSketchFM"});
+
+  for (size_t d = 0; d < datasets.size(); ++d) {
+    const auto& ds = datasets[d];
+    double sums[6] = {0, 0, 0, 0, 0, 0};
+    for (size_t s = 0; s < num_seeds; ++s) {
+      uint64_t seed = bconfig.seed + 1000 * (s + 1);
+      sums[0] += TrainAndEvalVanilla(ctx.get(), ds, seed);
+      sums[1] += TrainAndEvalDual(ctx.get(), ds, DualEncoderMode::kTapasLike, seed);
+      sums[2] += TrainAndEvalDual(ctx.get(), ds, DualEncoderMode::kTabbieLike, seed);
+      sums[3] += TrainAndEvalDual(ctx.get(), ds, DualEncoderMode::kTutaLike, seed);
+      sums[4] += TrainAndEvalDual(ctx.get(), ds, DualEncoderMode::kTabertLike, seed);
+      auto encoder = FinetuneTabSketchFM(ctx.get(), ds, seed);
+      sums[5] += EvalTabSketchFM(ctx.get(), encoder.get(), ds);
+      std::fprintf(stderr, "[bench] %s seed %zu done\n", ds.name.c_str(), s);
+    }
+    const PaperRow& paper = kPaper[d];
+    const double paper_vals[6] = {paper.vanilla, paper.tapas, paper.tabbie,
+                                  paper.tuta,    paper.tabert, paper.tsfm};
+    std::vector<std::string> cells;
+    for (int m = 0; m < 6; ++m) {
+      cells.push_back(Measured(sums[m] / num_seeds) + "|" +
+                      Measured(paper_vals[m]));
+    }
+    PrintRow(ds.name + " (" + paper.metric + ")", cells);
+  }
+  std::printf(
+      "\nShape check vs paper: TabSketchFM should lead or tie on most tasks;\n"
+      "CKAN Subset separates TabSketchFM (content) from header/value models\n"
+      "(~random); TUS-SANTOS is solvable by Vanilla BERT from headers alone.\n");
+}
+
+}  // namespace
+}  // namespace tsfm::bench
+
+int main() {
+  tsfm::bench::Run();
+  return 0;
+}

@@ -1,0 +1,151 @@
+// Data discovery over a synthetic lake: build a corpus, fine-tune
+// TabSketchFM cross-encoders, and run union, join, and subset search —
+// the paper's three headline applications, end to end.
+//
+//   ./build/examples/data_discovery
+#include <cstdio>
+
+#include "baselines/sbert_like.h"
+#include "core/cross_encoder.h"
+#include "core/embedder.h"
+#include "core/finetuner.h"
+#include "core/pretrainer.h"
+#include "lakebench/corpus.h"
+#include "lakebench/finetune_benchmarks.h"
+#include "lakebench/search_benchmarks.h"
+#include "search/pipeline.h"
+
+using namespace tsfm;
+
+int main() {
+  lakebench::DomainCatalog catalog(21, 150);
+  SketchOptions sopt;
+  sopt.num_perm = 16;
+
+  // --------------------------------------------------------------------
+  // The data lake: a union-search corpus (sliced seed tables) plus a join
+  // corpus (entity-keyed tables).
+  // --------------------------------------------------------------------
+  lakebench::UnionSearchScale uscale;
+  uscale.num_seeds = 6;
+  uscale.variants_per_seed = 8;
+  uscale.num_queries = 10;
+  auto union_bench = lakebench::MakeUnionSearch(catalog, uscale, 22, "lake-union");
+  union_bench.BuildSketches(sopt);
+
+  lakebench::WikiJoinScale wscale;
+  wscale.num_tables = 80;
+  wscale.num_queries = 10;
+  auto join_bench = lakebench::MakeWikiJoinSearch(wscale, 23);
+  join_bench.BuildSketches(sopt);
+
+  lakebench::EurostatScale escale;
+  escale.num_seeds = 8;
+  auto subset_bench = lakebench::MakeEurostatSubsetSearch(catalog, escale, 24);
+  subset_bench.BuildSketches(sopt);
+
+  std::printf("lake: %zu union tables, %zu join tables, %zu subset tables\n",
+              union_bench.tables.size(), join_bench.tables.size(),
+              subset_bench.tables.size());
+
+  // --------------------------------------------------------------------
+  // Pretrain TabSketchFM, then fine-tune one cross-encoder per task.
+  // --------------------------------------------------------------------
+  lakebench::CorpusScale cscale;
+  cscale.num_tables = 18;
+  auto corpus = lakebench::MakePretrainCorpus(catalog, cscale, 25);
+  std::vector<Table> vocab_tables = corpus;
+  for (const auto* b : {&union_bench, &join_bench, &subset_bench}) {
+    vocab_tables.insert(vocab_tables.end(), b->tables.begin(), b->tables.end());
+  }
+  text::Vocab vocab = lakebench::BuildVocabFromTables(vocab_tables, true);
+
+  core::TabSketchFMConfig config;
+  config.encoder.hidden = 32;
+  config.encoder.num_layers = 2;
+  config.encoder.num_heads = 2;
+  config.encoder.ffn_dim = 64;
+  config.vocab_size = vocab.size();
+  config.num_perm = sopt.num_perm;
+  text::Tokenizer tokenizer(&vocab);
+  core::InputEncoder input_encoder(&config, &tokenizer);
+
+  Rng rng(26);
+  core::TabSketchFM pretrained(config, &rng);
+  {
+    std::vector<core::EncodedTable> train, val;
+    for (size_t i = 0; i < corpus.size(); ++i) {
+      corpus[i].InferTypes();
+      auto enc = input_encoder.EncodeTable(BuildTableSketch(corpus[i], sopt));
+      (i % 8 == 0 ? val : train).push_back(std::move(enc));
+    }
+    core::PretrainOptions popt;
+    popt.epochs = 2;
+    core::Pretrainer pretrainer(&pretrained, popt);
+    auto r = pretrainer.Train(train, val);
+    std::printf("pretrained: %zu epochs, val loss %.3f\n", r.epochs_run,
+                r.best_val_loss);
+  }
+
+  lakebench::BenchScale bscale;
+  bscale.num_pairs = 80;
+  bscale.rows = 32;
+  auto union_task = lakebench::MakeTusSantos(catalog, bscale, 27);
+  auto join_task = lakebench::MakeWikiContainment(catalog, bscale, 28);
+  auto subset_task = lakebench::MakeCkanSubset(catalog, bscale, 29);
+
+  auto finetune = [&](core::PairDataset* task, const char* label) {
+    task->BuildSketches(sopt);
+    auto encoder = std::make_unique<core::CrossEncoder>(
+        config, task->task, task->num_outputs, &rng, &pretrained);
+    core::FinetuneOptions fopt;
+    fopt.epochs = 6;
+    fopt.patience = 3;
+    core::Finetuner finetuner(encoder.get(), &input_encoder, fopt);
+    auto r = finetuner.Train(*task);
+    std::printf("fine-tuned %-16s %zu epochs, val loss %.3f\n", label,
+                r.epochs_run, r.best_val_loss);
+    return encoder;
+  };
+  auto union_model = finetune(&union_task, "union");
+  auto join_model = finetune(&join_task, "join");
+  auto subset_model = finetune(&subset_task, "subset");
+
+  // --------------------------------------------------------------------
+  // Search each corpus with the matching fine-tuned model.
+  // --------------------------------------------------------------------
+  auto evaluate = [&](const lakebench::SearchBenchmark& bench,
+                      core::CrossEncoder* model, size_t k, const char* label) {
+    core::Embedder embedder(model->model(), &input_encoder);
+    auto embed = [&](size_t t) {
+      return embedder.ColumnEmbeddings(bench.sketches[t]);
+    };
+    auto report = search::EvaluateEmbeddingSearch(bench, embed, k);
+    std::printf("%-14s mean F1 %.2f   P@%zu %.2f   R@%zu %.2f\n", label,
+                100 * report.mean_f1, k, report.PrecisionAt(k), k,
+                report.RecallAt(k));
+  };
+
+  std::printf("\nsearch quality (higher is better):\n");
+  evaluate(union_bench, union_model.get(), 7, "union search");
+  evaluate(join_bench, join_model.get(), 10, "join search");
+  evaluate(subset_bench, subset_model.get(), 11, "subset search");
+
+  // --------------------------------------------------------------------
+  // Inspect one join query: show the top-3 tables for a query column.
+  // --------------------------------------------------------------------
+  core::Embedder embedder(join_model->model(), &input_encoder);
+  auto ranked = search::RunSearch(
+      join_bench,
+      [&](size_t t) { return embedder.ColumnEmbeddings(join_bench.sketches[t]); },
+      3);
+  const auto& q = join_bench.queries[0];
+  std::printf("\njoin query: table '%s', column '%s'\n",
+              join_bench.tables[q.table_index].id().c_str(),
+              join_bench.tables[q.table_index].column(0).name.c_str());
+  for (size_t i = 0; i < 3 && i < ranked[0].size(); ++i) {
+    std::printf("  match %zu: %s\n", i + 1,
+                join_bench.tables[ranked[0][i]].id().c_str());
+  }
+  return 0;
+}

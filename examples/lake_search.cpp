@@ -1,0 +1,166 @@
+// lake_search: offline/online data discovery over a directory of CSVs —
+// the paper's recommended deployment (Sec V).
+//
+// Offline:  ./build/examples/lake_search index <dir-of-csvs> <index-file>
+// Online:   ./build/examples/lake_search query <index-file> <query.csv> [k]
+//
+// With no arguments, runs a self-contained demo: synthesizes a small lake
+// in a temp directory, indexes it, and queries it.
+#include <cstdio>
+#include <filesystem>
+
+#include "core/embedder.h"
+#include "core/model.h"
+#include "lakebench/corpus.h"
+#include "lakebench/datagen.h"
+#include "search/lake_index.h"
+#include "table/csv.h"
+
+using namespace tsfm;
+namespace fs = std::filesystem;
+
+namespace {
+
+// A fixed small config so offline and online halves agree without shipping
+// a model checkpoint next to the index. A real deployment would store the
+// model alongside (nn::SaveCheckpoint) — see README.
+core::TabSketchFMConfig FixedConfig(size_t vocab_size) {
+  core::TabSketchFMConfig config;
+  config.encoder.hidden = 32;
+  config.encoder.num_layers = 2;
+  config.encoder.num_heads = 2;
+  config.encoder.ffn_dim = 64;
+  config.encoder.dropout = 0.0f;
+  config.vocab_size = vocab_size;
+  config.num_perm = 16;
+  return config;
+}
+
+// Deterministic vocabulary so both halves tokenize identically.
+text::Vocab FixedVocab() {
+  lakebench::DomainCatalog catalog(99, 100);
+  lakebench::CorpusScale cscale;
+  cscale.num_tables = 12;
+  cscale.augmentations = 0;
+  auto corpus = lakebench::MakePretrainCorpus(catalog, cscale, 99);
+  return lakebench::BuildVocabFromTables(corpus, /*include_cells=*/false);
+}
+
+std::vector<std::vector<float>> EmbedTable(const core::Embedder& embedder,
+                                           Table* table) {
+  table->InferTypes();
+  SketchOptions sopt;
+  sopt.num_perm = 16;
+  return embedder.ColumnEmbeddings(BuildTableSketch(*table, sopt));
+}
+
+int IndexCommand(const std::string& dir, const std::string& index_path) {
+  text::Vocab vocab = FixedVocab();
+  core::TabSketchFMConfig config = FixedConfig(vocab.size());
+  Rng rng(1);
+  core::TabSketchFM model(config, &rng);
+  text::Tokenizer tokenizer(&vocab);
+  core::InputEncoder input_encoder(&config, &tokenizer);
+  core::Embedder embedder(&model, &input_encoder);
+
+  search::LakeIndex lake(config.encoder.hidden + 2 * config.num_perm +
+                         config.encoder.hidden);
+
+  size_t indexed = 0;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (entry.path().extension() != ".csv") continue;
+    auto parsed = ReadCsvFile(entry.path().string());
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "skipping %s: %s\n", entry.path().c_str(),
+                   parsed.status().ToString().c_str());
+      continue;
+    }
+    Table table = parsed.value();
+    lake.AddTable(entry.path().filename().string(), EmbedTable(embedder, &table));
+    ++indexed;
+  }
+  Status status = lake.Save(index_path);
+  if (!status.ok()) {
+    std::fprintf(stderr, "save failed: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf("indexed %zu tables -> %s\n", indexed, index_path.c_str());
+  return 0;
+}
+
+int QueryCommand(const std::string& index_path, const std::string& csv_path,
+                 size_t k) {
+  auto loaded = search::LakeIndex::Load(index_path);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "load failed: %s\n", loaded.status().ToString().c_str());
+    return 1;
+  }
+  auto parsed = ReadCsvFile(csv_path);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "query read failed: %s\n",
+                 parsed.status().ToString().c_str());
+    return 1;
+  }
+
+  text::Vocab vocab = FixedVocab();
+  core::TabSketchFMConfig config = FixedConfig(vocab.size());
+  Rng rng(1);
+  core::TabSketchFM model(config, &rng);
+  text::Tokenizer tokenizer(&vocab);
+  core::InputEncoder input_encoder(&config, &tokenizer);
+  core::Embedder embedder(&model, &input_encoder);
+
+  Table table = parsed.value();
+  auto columns = EmbedTable(embedder, &table);
+  std::printf("unionable candidates for %s:\n", csv_path.c_str());
+  for (const auto& id : loaded.value().QueryUnionable(columns, k)) {
+    std::printf("  %s\n", id.c_str());
+  }
+  std::printf("joinable candidates on column '%s':\n",
+              table.column(0).name.c_str());
+  for (const auto& id : loaded.value().QueryJoinable(columns[0], k)) {
+    std::printf("  %s\n", id.c_str());
+  }
+  return 0;
+}
+
+int Demo() {
+  fs::path dir = fs::temp_directory_path() / "tsfm_lake_demo";
+  fs::create_directories(dir);
+  lakebench::DomainCatalog catalog(5, 80);
+  Rng rng(6);
+  for (int i = 0; i < 10; ++i) {
+    Table t = lakebench::GenerateDomainTable(
+        catalog.domain(static_cast<size_t>(i) % catalog.size()),
+        "demo_" + std::to_string(i), 24, &rng);
+    WriteCsvFile(t, (dir / (t.id() + ".csv")).string());
+  }
+  std::string index_path = (dir / "lake.idx").string();
+  if (IndexCommand(dir.string(), index_path) != 0) return 1;
+  // Query with a fresh table from domain 0: demo_0.csv should rank high.
+  Table query = lakebench::GenerateDomainTable(catalog.domain(0), "query", 24, &rng);
+  std::string query_path = (dir / "query.csv").string();
+  WriteCsvFile(query, query_path);
+  return QueryCommand(index_path, query_path, 3);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc == 1) {
+    std::printf("(no arguments; running the self-contained demo)\n\n");
+    return Demo();
+  }
+  std::string command = argv[1];
+  if (command == "index" && argc == 4) {
+    return IndexCommand(argv[2], argv[3]);
+  }
+  if (command == "query" && (argc == 4 || argc == 5)) {
+    size_t k = argc == 5 ? std::strtoul(argv[4], nullptr, 10) : 5;
+    return QueryCommand(argv[2], argv[3], k);
+  }
+  std::fprintf(stderr,
+               "usage: lake_search index <dir> <index-file>\n"
+               "       lake_search query <index-file> <query.csv> [k]\n");
+  return 2;
+}

@@ -1,0 +1,65 @@
+#include "baselines/josie.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "sketch/table_sketch.h"
+
+namespace tsfm::baselines {
+
+void JosieIndex::AddColumn(size_t table_id, size_t column,
+                           const std::vector<std::string>& values) {
+  const size_t column_id = column_of_.size();
+  column_of_.emplace_back(table_id, column);
+  std::unordered_set<std::string> distinct(values.begin(), values.end());
+  column_sizes_.push_back(distinct.size());
+  for (const auto& v : distinct) {
+    postings_[v].push_back(column_id);
+  }
+}
+
+void JosieIndex::AddTable(size_t table_id, const Table& table) {
+  for (size_t c = 0; c < table.num_columns(); ++c) {
+    AddColumn(table_id, c, DistinctCells(table.column(c)));
+  }
+}
+
+std::vector<size_t> JosieIndex::Search(const std::vector<std::string>& query_values,
+                                       size_t k, size_t exclude) const {
+  std::unordered_set<std::string> query(query_values.begin(), query_values.end());
+  if (query.empty()) return {};
+
+  // Merge posting lists: overlap count per candidate column.
+  std::unordered_map<size_t, size_t> overlap;
+  for (const auto& v : query) {
+    auto it = postings_.find(v);
+    if (it == postings_.end()) continue;
+    for (size_t column_id : it->second) ++overlap[column_id];
+  }
+
+  // Best containment per table.
+  std::unordered_map<size_t, double> table_score;
+  for (const auto& [column_id, inter] : overlap) {
+    size_t table = column_of_[column_id].first;
+    if (table == exclude) continue;
+    double containment = static_cast<double>(inter) / static_cast<double>(query.size());
+    auto it = table_score.find(table);
+    if (it == table_score.end() || containment > it->second) {
+      table_score[table] = containment;
+    }
+  }
+
+  std::vector<std::pair<size_t, double>> order(table_score.begin(), table_score.end());
+  std::sort(order.begin(), order.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  std::vector<size_t> ranked;
+  for (const auto& [table, score] : order) {
+    ranked.push_back(table);
+    if (ranked.size() >= k * 3) break;  // plenty for any k sweep
+  }
+  return ranked;
+}
+
+}  // namespace tsfm::baselines

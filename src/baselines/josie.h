@@ -1,0 +1,43 @@
+// JOSIE (Zhu et al., SIGMOD'19): exact top-k overlap set similarity search
+// for joinable tables. Reimplemented with an inverted index over distinct
+// column values; ranking is by exact set containment of the query column.
+#ifndef TSFM_BASELINES_JOSIE_H_
+#define TSFM_BASELINES_JOSIE_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "table/table.h"
+
+namespace tsfm::baselines {
+
+/// \brief Exact set-containment join search index.
+class JosieIndex {
+ public:
+  /// Indexes one column's distinct values under (table_id, column).
+  void AddColumn(size_t table_id, size_t column, const std::vector<std::string>& values);
+
+  /// Indexes every column of `table`.
+  void AddTable(size_t table_id, const Table& table);
+
+  /// \brief Top tables for a query value set.
+  ///
+  /// Scores each candidate column by |Q ∩ C| / |Q| (containment of the
+  /// query in the candidate); a table's score is its best column. Tables
+  /// are returned best-first; `exclude` is dropped.
+  std::vector<size_t> Search(const std::vector<std::string>& query_values, size_t k,
+                             size_t exclude) const;
+
+  size_t num_columns() const { return column_sizes_.size(); }
+
+ private:
+  // value -> posting list of column ids.
+  std::unordered_map<std::string, std::vector<size_t>> postings_;
+  std::vector<std::pair<size_t, size_t>> column_of_;  // column id -> (table, col)
+  std::vector<size_t> column_sizes_;
+};
+
+}  // namespace tsfm::baselines
+
+#endif  // TSFM_BASELINES_JOSIE_H_

@@ -1,0 +1,79 @@
+#include "baselines/pair_trainer.h"
+
+#include <limits>
+
+#include "nn/autograd.h"
+#include "nn/optimizer.h"
+#include "util/logging.h"
+
+namespace tsfm::baselines {
+
+PairTrainResult TrainPairModel(const core::PairDataset& dataset,
+                               const PairTrainOptions& options,
+                               const PairLossFn& loss_fn,
+                               std::vector<nn::NamedParam> params) {
+  Rng rng(options.seed);
+  std::vector<core::PairExample> train = dataset.train;
+  if (options.max_train_examples > 0 && train.size() > options.max_train_examples) {
+    rng.Shuffle(&train);
+    train.resize(options.max_train_examples);
+  }
+
+  nn::AdamW::Options opt_options;
+  opt_options.lr = options.lr;
+  nn::AdamW optimizer(std::move(params), opt_options);
+
+  PairTrainResult result;
+  float best_val = std::numeric_limits<float>::max();
+  size_t since_best = 0;
+
+  std::vector<size_t> order(train.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  for (size_t epoch = 0; epoch < options.epochs; ++epoch) {
+    rng.Shuffle(&order);
+    optimizer.ZeroGrad();
+    double epoch_loss = 0.0;
+    size_t in_batch = 0;
+    for (size_t idx : order) {
+      nn::Var loss = loss_fn(train[idx], /*training=*/true, &rng);
+      nn::Backward(loss);
+      epoch_loss += loss->value()[0];
+      if (++in_batch >= options.batch_size) {
+        optimizer.Step();
+        optimizer.ZeroGrad();
+        in_batch = 0;
+      }
+    }
+    if (in_batch > 0) {
+      optimizer.Step();
+      optimizer.ZeroGrad();
+    }
+
+    double val_sum = 0.0;
+    for (const auto& ex : dataset.val) {
+      val_sum += loss_fn(ex, /*training=*/false, &rng)->value()[0];
+    }
+    float train_loss =
+        train.empty() ? 0.0f : static_cast<float>(epoch_loss / train.size());
+    float val_loss = dataset.val.empty()
+                         ? train_loss
+                         : static_cast<float>(val_sum / dataset.val.size());
+    result.train_losses.push_back(train_loss);
+    result.val_losses.push_back(val_loss);
+    result.epochs_run = epoch + 1;
+    if (options.verbose) {
+      TSFM_LOG(Info) << dataset.name << " epoch " << epoch << " train=" << train_loss
+                     << " val=" << val_loss;
+    }
+    if (val_loss < best_val - 1e-5f) {
+      best_val = val_loss;
+      since_best = 0;
+    } else if (++since_best >= options.patience) {
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace tsfm::baselines

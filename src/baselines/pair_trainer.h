@@ -1,0 +1,47 @@
+// Generic training loop for table-pair models (TabSketchFM cross-encoders
+// and every neural baseline share it, so Table II compares like with like).
+#ifndef TSFM_BASELINES_PAIR_TRAINER_H_
+#define TSFM_BASELINES_PAIR_TRAINER_H_
+
+#include <functional>
+#include <vector>
+
+#include "core/dataset.h"
+#include "nn/module.h"
+#include "util/random.h"
+
+namespace tsfm::baselines {
+
+/// Hyper-parameters shared by every pair-model fine-tune.
+struct PairTrainOptions {
+  size_t epochs = 12;
+  size_t batch_size = 8;
+  float lr = 2e-4f;
+  size_t patience = 5;
+  uint64_t seed = 0;
+  size_t max_train_examples = 0;  ///< 0 = all
+  bool verbose = false;
+};
+
+/// Builds the scalar loss Var of one example (training mode flag + rng for
+/// dropout).
+using PairLossFn = std::function<nn::Var(const core::PairExample&, bool training,
+                                         Rng* rng)>;
+
+/// Training curve of a pair-model run.
+struct PairTrainResult {
+  std::vector<float> train_losses;
+  std::vector<float> val_losses;
+  size_t epochs_run = 0;
+};
+
+/// Trains `params` with AdamW on `dataset.train`, early-stopping on
+/// `dataset.val` loss with the configured patience.
+PairTrainResult TrainPairModel(const core::PairDataset& dataset,
+                               const PairTrainOptions& options,
+                               const PairLossFn& loss_fn,
+                               std::vector<nn::NamedParam> params);
+
+}  // namespace tsfm::baselines
+
+#endif  // TSFM_BASELINES_PAIR_TRAINER_H_

@@ -1,0 +1,62 @@
+#include "baselines/sbert_like.h"
+
+#include <cmath>
+
+#include "baselines/serialize_table.h"
+#include "text/tokenizer.h"
+#include "util/hash.h"
+
+namespace tsfm::baselines {
+
+namespace {
+constexpr uint64_t kTrigramSalt = 0x7261676972743335ULL;
+}  // namespace
+
+void SbertLikeEncoder::AddFeature(uint64_t h, float scale,
+                                  std::vector<float>* acc) const {
+  // Cheap deterministic ~N(0,1) per dimension: sum of two uniforms, centred.
+  uint64_t state = SplitMix64(h ^ seed_);
+  for (size_t i = 0; i < dim_; ++i) {
+    state = SplitMix64(state + i + 1);
+    float u1 = static_cast<float>(state >> 40) / static_cast<float>(1 << 24);
+    float u2 = static_cast<float>((state >> 16) & 0xffffff) / static_cast<float>(1 << 24);
+    (*acc)[i] += scale * (u1 + u2 - 1.0f) * 1.73f;  // var ~= 1
+  }
+}
+
+std::vector<float> SbertLikeEncoder::Embed(const std::string& text) const {
+  std::vector<float> acc(dim_, 0.0f);
+  for (const auto& word : text::BasicTokenize(text)) {
+    AddFeature(Fnv1a64(word), 1.0f, &acc);
+    // Character trigrams capture subword shape (FastText-style).
+    if (word.size() >= 3) {
+      for (size_t i = 0; i + 3 <= word.size(); ++i) {
+        AddFeature(Fnv1a64(word.substr(i, 3)) ^ kTrigramSalt, 0.3f, &acc);
+      }
+    }
+  }
+  double norm = 0.0;
+  for (float v : acc) norm += static_cast<double>(v) * v;
+  norm = std::sqrt(norm);
+  if (norm > 1e-9) {
+    for (auto& v : acc) v = static_cast<float>(v / norm);
+  }
+  return acc;
+}
+
+std::vector<float> SbertLikeEncoder::EmbedColumn(const Table& table,
+                                                 size_t column) const {
+  return Embed(SbertColumnText(table, column, /*max_values=*/100));
+}
+
+std::vector<std::vector<float>> SbertLikeEncoder::EmbedColumns(
+    const Table& table) const {
+  std::vector<std::vector<float>> out;
+  out.reserve(table.num_columns());
+  for (size_t c = 0; c < table.num_columns(); ++c) {
+    out.push_back(EmbedColumn(table, c));
+  }
+  return out;
+}
+
+}  // namespace tsfm::baselines

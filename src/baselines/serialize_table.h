@@ -1,0 +1,35 @@
+// Table-to-text serialization used by the value-based baseline models
+// (paper Sec IV-A.1): row-wise (TAPAS/TABBIE style), column-wise
+// (TaBERT style), header-only (Vanilla BERT) and DeepJoin's column text.
+#ifndef TSFM_BASELINES_SERIALIZE_TABLE_H_
+#define TSFM_BASELINES_SERIALIZE_TABLE_H_
+
+#include <string>
+
+#include "table/table.h"
+
+namespace tsfm::baselines {
+
+/// "col1 | col2 | ..." — the Vanilla BERT input.
+std::string SerializeHeaders(const Table& table);
+
+/// Row-major: "h1 h2 ... ; r1c1 r1c2 ... ; r2c1 ..." capped at `max_rows`.
+std::string SerializeRows(const Table& table, size_t max_rows);
+
+/// Column-major: "h1 : v1 v2 v3 ; h2 : v1 v2 ..." with `values_per_column`
+/// sampled from the top of each column.
+std::string SerializeColumns(const Table& table, size_t values_per_column);
+
+/// DeepJoin-style column text: table name, column name, distinct values and
+/// simple character-length statistics.
+std::string DeepJoinColumnText(const Table& table, size_t column,
+                               size_t max_values = 30);
+
+/// SBERT baseline column text: the top `max_values` distinct values joined
+/// into one sentence (paper Sec IV-C.1).
+std::string SbertColumnText(const Table& table, size_t column,
+                            size_t max_values = 100);
+
+}  // namespace tsfm::baselines
+
+#endif  // TSFM_BASELINES_SERIALIZE_TABLE_H_

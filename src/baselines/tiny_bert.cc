@@ -1,0 +1,67 @@
+#include "baselines/tiny_bert.h"
+
+#include <algorithm>
+
+#include "nn/ops.h"
+#include "util/logging.h"
+
+namespace tsfm::baselines {
+
+TinyBert::TinyBert(const TinyBertConfig& config, Rng* rng) : config_(config) {
+  TSFM_CHECK_GT(config.vocab_size, 0u);
+  const size_t h = config.encoder.hidden;
+  token_emb_ = std::make_unique<nn::Embedding>(config.vocab_size, h, rng);
+  pos_emb_ = std::make_unique<nn::Embedding>(config.max_seq_len, h, rng);
+  segment_emb_ = std::make_unique<nn::Embedding>(2, h, rng);
+  input_norm_ = std::make_unique<nn::LayerNormModule>(h);
+  encoder_ = std::make_unique<nn::TransformerEncoder>(config.encoder, rng);
+  pooler_ = std::make_unique<nn::Linear>(h, h, rng);
+}
+
+nn::Var TinyBert::Encode(const std::vector<int>& ids,
+                         const std::vector<int>& segments, bool training,
+                         Rng* rng) const {
+  std::vector<int> toks = ids;
+  if (toks.size() > config_.max_seq_len) toks.resize(config_.max_seq_len);
+  TSFM_CHECK(!toks.empty());
+  std::vector<int> segs = segments;
+  if (segs.size() > toks.size()) segs.resize(toks.size());
+  if (segs.size() < toks.size()) segs.resize(toks.size(), 0);
+  std::vector<int> pos(toks.size());
+  for (size_t i = 0; i < pos.size(); ++i) pos[i] = static_cast<int>(i);
+
+  nn::Var sum = nn::Add(nn::Add(token_emb_->Forward(toks), pos_emb_->Forward(pos)),
+                        segment_emb_->Forward(segs));
+  nn::Var normed = input_norm_->Forward(sum);
+  normed = nn::Dropout(normed, config_.encoder.dropout, training, rng);
+  return encoder_->Forward(normed, training, rng);
+}
+
+nn::Var TinyBert::Pool(const nn::Var& hidden) const {
+  return nn::Tanh(pooler_->Forward(nn::SelectRow(hidden, 0)));
+}
+
+std::vector<float> TinyBert::EmbedText(const text::Tokenizer& tokenizer,
+                                       const std::string& text) const {
+  std::vector<int> ids;
+  ids.push_back(text::kClsId);
+  auto body = tokenizer.Encode(text);
+  ids.insert(ids.end(), body.begin(), body.end());
+  ids.push_back(text::kSepId);
+  Rng rng(0);
+  nn::Var hidden = Encode(ids, {}, /*training=*/false, &rng);
+  nn::Var pooled = Pool(hidden);
+  return pooled->value().flat();
+}
+
+void TinyBert::CollectParams(const std::string& prefix,
+                             std::vector<nn::NamedParam>* out) const {
+  token_emb_->CollectParams(prefix + ".token_emb", out);
+  pos_emb_->CollectParams(prefix + ".pos_emb", out);
+  segment_emb_->CollectParams(prefix + ".segment_emb", out);
+  input_norm_->CollectParams(prefix + ".input_norm", out);
+  encoder_->CollectParams(prefix + ".encoder", out);
+  pooler_->CollectParams(prefix + ".pooler", out);
+}
+
+}  // namespace tsfm::baselines

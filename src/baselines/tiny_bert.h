@@ -1,0 +1,63 @@
+// A plain text BERT encoder (token + position + segment embeddings) used by
+// the value-serialization baselines. Identical transformer substrate to
+// TabSketchFM minus the sketch inputs — the controlled comparison the paper
+// makes.
+#ifndef TSFM_BASELINES_TINY_BERT_H_
+#define TSFM_BASELINES_TINY_BERT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/embedding.h"
+#include "nn/layer_norm.h"
+#include "nn/linear.h"
+#include "nn/transformer.h"
+#include "text/tokenizer.h"
+
+namespace tsfm::baselines {
+
+/// TinyBert hyper-parameters.
+struct TinyBertConfig {
+  nn::TransformerConfig encoder;
+  size_t vocab_size = 0;
+  size_t max_seq_len = 96;
+};
+
+/// \brief Text-only BERT encoder with pooler.
+class TinyBert : public nn::Module {
+ public:
+  TinyBert(const TinyBertConfig& config, Rng* rng);
+
+  /// Encodes token ids (with optional per-token segment ids; empty = all 0).
+  /// Sequences are truncated to max_seq_len. A [CLS] id must already be
+  /// present if the caller wants a pooled output.
+  nn::Var Encode(const std::vector<int>& ids, const std::vector<int>& segments,
+                 bool training, Rng* rng) const;
+
+  /// tanh(Linear(h[0])).
+  nn::Var Pool(const nn::Var& hidden) const;
+
+  /// Convenience: tokenize `text` with [CLS] ... [SEP] framing and encode;
+  /// returns the pooled embedding values.
+  std::vector<float> EmbedText(const text::Tokenizer& tokenizer,
+                               const std::string& text) const;
+
+  void CollectParams(const std::string& prefix,
+                     std::vector<nn::NamedParam>* out) const override;
+
+  const TinyBertConfig& config() const { return config_; }
+
+ private:
+  TinyBertConfig config_;
+  std::unique_ptr<nn::Embedding> token_emb_;
+  std::unique_ptr<nn::Embedding> pos_emb_;
+  std::unique_ptr<nn::Embedding> segment_emb_;
+  std::unique_ptr<nn::LayerNormModule> input_norm_;
+  std::unique_ptr<nn::TransformerEncoder> encoder_;
+  std::unique_ptr<nn::Linear> pooler_;
+};
+
+}  // namespace tsfm::baselines
+
+#endif  // TSFM_BASELINES_TINY_BERT_H_

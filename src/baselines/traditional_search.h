@@ -1,0 +1,136 @@
+// Traditional (non-neural) search baselines from the paper's evaluation:
+//
+//   LSH-Forest   MinHash LSH-Forest join search (Table V)
+//   D3L          five-evidence union search (Bogatu et al., ICDE'20)
+//   SANTOS       relationship-semantics union search (Khatiwada et al.'23)
+//   Starmie      contextualized-column union search (Fan et al., VLDB'23),
+//                greedy bipartite matching over column embeddings
+//   WarpGate     SimHash-LSH semantic join search (Cong et al., CIDR'23)
+//   DeepJoin     column-to-text embedding join search (Dong et al., VLDB'23)
+//
+// Each class ranks corpus tables for a query; the bench harness evaluates
+// the rankings with the shared metrics.
+#ifndef TSFM_BASELINES_TRADITIONAL_SEARCH_H_
+#define TSFM_BASELINES_TRADITIONAL_SEARCH_H_
+
+#include <memory>
+
+#include "baselines/sbert_like.h"
+#include "lakebench/search_benchmarks.h"
+#include "search/hnsw.h"
+#include "sketch/minhash_lsh.h"
+#include "sketch/simhash.h"
+
+namespace tsfm::baselines {
+
+/// \brief MinHash LSH-Forest join search over column cell signatures.
+class LshForestJoinSearch {
+ public:
+  LshForestJoinSearch(const lakebench::SearchBenchmark* bench, size_t num_perm = 64,
+                      size_t num_trees = 8, size_t max_depth = 8);
+
+  /// Ranked tables for query column (tables of candidate columns, most
+  /// selective prefix first).
+  std::vector<size_t> Rank(size_t query_table, size_t query_column, size_t k) const;
+
+ private:
+  const lakebench::SearchBenchmark* bench_;
+  size_t num_perm_;
+  std::unique_ptr<LshForest> forest_;
+  std::vector<MinHash> query_minhashes_;  // per corpus table: column-0 signature
+};
+
+/// \brief D3L union search: evidence from values, word semantics, headers,
+/// numeric distributions, and cell formats, averaged per best-matching
+/// column pair.
+class D3lUnionSearch {
+ public:
+  D3lUnionSearch(const lakebench::SearchBenchmark* bench,
+                 const SbertLikeEncoder* encoder);
+
+  std::vector<size_t> Rank(size_t query_table, size_t k) const;
+
+ private:
+  struct ColumnFeatures {
+    MinHash values{32};
+    std::vector<float> semantics;   // sbert embedding of values
+    std::vector<std::string> header_tokens;
+    std::vector<float> numeric_profile;  // compressed percentiles
+    float avg_width = 0;
+    int type = 0;
+  };
+  double ColumnScore(const ColumnFeatures& a, const ColumnFeatures& b) const;
+
+  const lakebench::SearchBenchmark* bench_;
+  std::vector<std::vector<ColumnFeatures>> features_;
+};
+
+/// \brief SANTOS-style union search: tables match when their column-pair
+/// relationship signatures overlap.
+class SantosUnionSearch {
+ public:
+  SantosUnionSearch(const lakebench::SearchBenchmark* bench,
+                    const SbertLikeEncoder* encoder);
+
+  std::vector<size_t> Rank(size_t query_table, size_t k) const;
+
+ private:
+  // Per table: the set of relationship signatures between column pairs.
+  std::vector<std::vector<uint64_t>> relationship_sets_;
+};
+
+/// \brief Starmie-style union search: per-column contextualized embeddings
+/// (value embedding mixed with the table context), scored by greedy
+/// bipartite matching.
+class StarmieUnionSearch {
+ public:
+  StarmieUnionSearch(const lakebench::SearchBenchmark* bench,
+                     const SbertLikeEncoder* encoder, float context_weight = 0.35f);
+
+  std::vector<size_t> Rank(size_t query_table, size_t k) const;
+
+  /// Contextualized column embeddings of one table (exposed for reuse).
+  const std::vector<std::vector<float>>& columns(size_t table) const {
+    return contextual_[table];
+  }
+
+ private:
+  const lakebench::SearchBenchmark* bench_;
+  std::vector<std::vector<std::vector<float>>> contextual_;
+};
+
+/// \brief WarpGate-style join search: value embeddings indexed by SimHash.
+class WarpGateJoinSearch {
+ public:
+  WarpGateJoinSearch(const lakebench::SearchBenchmark* bench,
+                     const SbertLikeEncoder* encoder, size_t num_bits = 48);
+
+  std::vector<size_t> Rank(size_t query_table, size_t query_column, size_t k) const;
+
+ private:
+  const lakebench::SearchBenchmark* bench_;
+  std::unique_ptr<SimHasher> hasher_;
+  std::vector<std::vector<float>> embeddings_;       // per (table, col 0)
+  std::vector<uint64_t> codes_;
+  std::vector<std::pair<size_t, size_t>> column_of_;
+};
+
+/// \brief DeepJoin-style join search: column-to-text embeddings indexed
+/// with HNSW (as in Dong et al.'s system).
+class DeepJoinSearch {
+ public:
+  DeepJoinSearch(const lakebench::SearchBenchmark* bench,
+                 const SbertLikeEncoder* encoder);
+
+  std::vector<size_t> Rank(size_t query_table, size_t query_column, size_t k) const;
+
+ private:
+  const lakebench::SearchBenchmark* bench_;
+  const SbertLikeEncoder* encoder_;
+  std::unique_ptr<search::HnswIndex> index_;
+  std::vector<std::pair<size_t, size_t>> column_of_;
+};
+
+}  // namespace tsfm::baselines
+
+#endif  // TSFM_BASELINES_TRADITIONAL_SEARCH_H_

@@ -1,0 +1,146 @@
+#include "baselines/value_dual_encoder.h"
+
+#include "baselines/serialize_table.h"
+#include "baselines/vanilla_bert.h"
+#include "nn/ops.h"
+#include "util/logging.h"
+
+namespace tsfm::baselines {
+
+const char* DualEncoderModeName(DualEncoderMode mode) {
+  switch (mode) {
+    case DualEncoderMode::kTabertLike:
+      return "TaBERT";
+    case DualEncoderMode::kTutaLike:
+      return "TUTA";
+    case DualEncoderMode::kTapasLike:
+      return "TAPAS";
+    case DualEncoderMode::kTabbieLike:
+      return "TABBIE";
+  }
+  return "?";
+}
+
+ValueDualEncoder::ValueDualEncoder(const TinyBertConfig& config, DualEncoderMode mode,
+                                   core::TaskType task, size_t num_outputs,
+                                   const text::Tokenizer* tokenizer, Rng* rng)
+    : mode_(mode),
+      task_(task),
+      frozen_encoder_(mode == DualEncoderMode::kTapasLike ||
+                      mode == DualEncoderMode::kTabbieLike),
+      tokenizer_(tokenizer),
+      bert_(std::make_unique<TinyBert>(config, rng)),
+      mlp1_(std::make_unique<nn::Linear>(2 * config.encoder.hidden,
+                                         config.encoder.hidden, rng)),
+      mlp2_(std::make_unique<nn::Linear>(config.encoder.hidden, num_outputs, rng)) {}
+
+std::string ValueDualEncoder::Serialize(const Table& table) const {
+  switch (mode_) {
+    case DualEncoderMode::kTabertLike:
+      return SerializeColumns(table, /*values_per_column=*/6);
+    case DualEncoderMode::kTutaLike:
+      // TUTA truncates aggressively (first 256 tokens of the sequence);
+      // our budget is the encoder max_seq_len, applied in Encode().
+      return SerializeRows(table, /*max_rows=*/8);
+    case DualEncoderMode::kTapasLike:
+      // Empty NL query + 512-token row serialization.
+      return SerializeRows(table, /*max_rows=*/12);
+    case DualEncoderMode::kTabbieLike:
+      return SerializeRows(table, /*max_rows=*/8);
+  }
+  return "";
+}
+
+nn::Var ValueDualEncoder::Tower(const Table& table, bool training, Rng* rng) const {
+  std::vector<int> ids = {text::kClsId};
+  auto body = tokenizer_->Encode(Serialize(table));
+  ids.insert(ids.end(), body.begin(), body.end());
+  ids.push_back(text::kSepId);
+
+  // Frozen modes never see gradients or dropout in the encoder.
+  const bool encoder_training = training && !frozen_encoder_;
+  nn::Var hidden = bert_->Encode(ids, {}, encoder_training, rng);
+
+  nn::Var emb;
+  switch (mode_) {
+    case DualEncoderMode::kTabertLike:
+      // Mean-pooled "context + column" embeddings ~ mean over all states.
+      emb = nn::MeanRows(hidden);
+      break;
+    case DualEncoderMode::kTutaLike:
+      emb = bert_->Pool(hidden);
+      break;
+    case DualEncoderMode::kTapasLike:
+      emb = bert_->Pool(hidden);
+      break;
+    case DualEncoderMode::kTabbieLike:
+      // Row embeddings combined by mean ~ mean over token states.
+      emb = nn::MeanRows(hidden);
+      break;
+  }
+  if (frozen_encoder_) {
+    // Detach: re-wrap the value as a constant leaf.
+    emb = nn::MakeLeaf(emb->value(), /*requires_grad=*/false);
+  }
+  return emb;
+}
+
+nn::Var ValueDualEncoder::Logits(const core::PairDataset& dataset,
+                                 const core::PairExample& example, bool training,
+                                 Rng* rng) const {
+  nn::Var ea = Tower(dataset.tables[example.a], training, rng);
+  nn::Var eb = Tower(dataset.tables[example.b], training, rng);
+  nn::Var cat = nn::ConcatCols({ea, eb});
+  nn::Var h = nn::Relu(mlp1_->Forward(cat));
+  h = nn::Dropout(h, bert_->config().encoder.dropout, training, rng);
+  return mlp2_->Forward(h);
+}
+
+nn::Var ValueDualEncoder::Loss(const core::PairDataset& dataset,
+                               const core::PairExample& example, bool training,
+                               Rng* rng) const {
+  return LossFromLogits(task_, Logits(dataset, example, training, rng), example);
+}
+
+std::vector<float> ValueDualEncoder::Predict(const core::PairDataset& dataset,
+                                             const core::PairExample& example) const {
+  Rng rng(0);
+  nn::Var logits = Logits(dataset, example, /*training=*/false, &rng);
+  return PredictFromLogits(task_, logits->value());
+}
+
+std::vector<nn::NamedParam> ValueDualEncoder::TrainableParams() const {
+  std::vector<nn::NamedParam> out;
+  if (!frozen_encoder_) bert_->CollectParams("vde.bert", &out);
+  mlp1_->CollectParams("vde.mlp1", &out);
+  mlp2_->CollectParams("vde.mlp2", &out);
+  return out;
+}
+
+std::vector<float> ValueDualEncoder::EmbedTable(const Table& table) const {
+  Rng rng(0);
+  nn::Var emb = Tower(table, /*training=*/false, &rng);
+  return emb->value().flat();
+}
+
+std::vector<float> ValueDualEncoder::EmbedColumn(const Table& table,
+                                                 size_t column) const {
+  std::vector<int> ids = {text::kClsId};
+  auto body = tokenizer_->Encode(table.column(column).name + " : " +
+                                 SbertColumnText(table, column, /*max_values=*/20));
+  ids.insert(ids.end(), body.begin(), body.end());
+  ids.push_back(text::kSepId);
+  Rng rng(0);
+  nn::Var hidden = bert_->Encode(ids, {}, /*training=*/false, &rng);
+  nn::Var emb = nn::MeanRows(hidden);
+  return emb->value().flat();
+}
+
+void ValueDualEncoder::CollectParams(const std::string& prefix,
+                                     std::vector<nn::NamedParam>* out) const {
+  bert_->CollectParams(prefix + ".bert", out);
+  mlp1_->CollectParams(prefix + ".mlp1", out);
+  mlp2_->CollectParams(prefix + ".mlp2", out);
+}
+
+}  // namespace tsfm::baselines

@@ -1,0 +1,79 @@
+// Dual-encoder adaptations of the four value-based tabular foundation
+// models the paper compares against (Sec IV-A.1):
+//
+//   TaBERT-like  trainable encoder, column-wise serialization, mean of
+//                context + column pooling
+//   TUTA-like    trainable encoder, 256-token truncated table sequence,
+//                table-level embedding
+//   TAPAS-like   frozen encoder, row serialization (empty NL query),
+//                trainable 2-layer MLP on top
+//   TABBIE-like  frozen encoder, per-row embeddings mean-pooled, trainable
+//                MLP on top
+//
+// Both tables are encoded with the shared encoder; the two embeddings are
+// concatenated and passed through a two-layer MLP (the paper's adaptation).
+#ifndef TSFM_BASELINES_VALUE_DUAL_ENCODER_H_
+#define TSFM_BASELINES_VALUE_DUAL_ENCODER_H_
+
+#include <memory>
+
+#include "baselines/tiny_bert.h"
+#include "core/dataset.h"
+
+namespace tsfm::baselines {
+
+/// Which published model's adaptation regime to mimic.
+enum class DualEncoderMode { kTabertLike, kTutaLike, kTapasLike, kTabbieLike };
+
+const char* DualEncoderModeName(DualEncoderMode mode);
+
+/// \brief Shared-encoder dual tower + MLP head.
+class ValueDualEncoder : public nn::Module {
+ public:
+  ValueDualEncoder(const TinyBertConfig& config, DualEncoderMode mode,
+                   core::TaskType task, size_t num_outputs,
+                   const text::Tokenizer* tokenizer, Rng* rng);
+
+  nn::Var Loss(const core::PairDataset& dataset, const core::PairExample& example,
+               bool training, Rng* rng) const;
+
+  std::vector<float> Predict(const core::PairDataset& dataset,
+                             const core::PairExample& example) const;
+
+  /// Parameters updated during fine-tuning: everything for the trainable
+  /// modes; only the MLP head for the frozen (TAPAS/TABBIE) modes.
+  std::vector<nn::NamedParam> TrainableParams() const;
+
+  /// Embeds a single table (used for *-FT search baselines).
+  std::vector<float> EmbedTable(const Table& table) const;
+
+  /// Embeds one column via its serialized text (TaBERT-FT search baseline).
+  std::vector<float> EmbedColumn(const Table& table, size_t column) const;
+
+  void CollectParams(const std::string& prefix,
+                     std::vector<nn::NamedParam>* out) const override;
+
+  DualEncoderMode mode() const { return mode_; }
+
+ private:
+  /// Serializes `table` according to the mode.
+  std::string Serialize(const Table& table) const;
+
+  /// Encoder tower output [1, hidden] for one table.
+  nn::Var Tower(const Table& table, bool training, Rng* rng) const;
+
+  nn::Var Logits(const core::PairDataset& dataset, const core::PairExample& example,
+                 bool training, Rng* rng) const;
+
+  DualEncoderMode mode_;
+  core::TaskType task_;
+  bool frozen_encoder_;
+  const text::Tokenizer* tokenizer_;
+  std::unique_ptr<TinyBert> bert_;
+  std::unique_ptr<nn::Linear> mlp1_;
+  std::unique_ptr<nn::Linear> mlp2_;
+};
+
+}  // namespace tsfm::baselines
+
+#endif  // TSFM_BASELINES_VALUE_DUAL_ENCODER_H_

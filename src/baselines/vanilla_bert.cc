@@ -1,0 +1,104 @@
+#include "baselines/vanilla_bert.h"
+
+#include <cmath>
+
+#include "baselines/serialize_table.h"
+#include "nn/ops.h"
+#include "util/logging.h"
+
+namespace tsfm::baselines {
+
+std::vector<float> PredictFromLogits(core::TaskType task, const nn::Tensor& logits) {
+  std::vector<float> out;
+  switch (task) {
+    case core::TaskType::kBinaryClassification: {
+      float mx = std::max(logits[0], logits[1]);
+      float e0 = std::exp(logits[0] - mx), e1 = std::exp(logits[1] - mx);
+      out.push_back(e1 / (e0 + e1));
+      break;
+    }
+    case core::TaskType::kRegression:
+      out.push_back(logits[0]);
+      break;
+    case core::TaskType::kMultiLabel:
+      for (size_t i = 0; i < logits.size(); ++i) {
+        out.push_back(1.0f / (1.0f + std::exp(-logits[i])));
+      }
+      break;
+  }
+  return out;
+}
+
+nn::Var LossFromLogits(core::TaskType task, const nn::Var& logits,
+                       const core::PairExample& example) {
+  switch (task) {
+    case core::TaskType::kBinaryClassification:
+      return nn::CrossEntropyLoss(logits, {example.label});
+    case core::TaskType::kRegression:
+      return nn::MseLoss(logits, {example.target});
+    case core::TaskType::kMultiLabel:
+      return nn::BceWithLogitsLoss(logits, example.multi_labels);
+  }
+  TSFM_CHECK(false) << "unreachable";
+  return nn::Var();
+}
+
+VanillaBertBaseline::VanillaBertBaseline(const TinyBertConfig& config,
+                                         core::TaskType task, size_t num_outputs,
+                                         const text::Tokenizer* tokenizer, Rng* rng)
+    : task_(task),
+      tokenizer_(tokenizer),
+      bert_(std::make_unique<TinyBert>(config, rng)),
+      head_(std::make_unique<nn::Linear>(config.encoder.hidden, num_outputs, rng)) {}
+
+nn::Var VanillaBertBaseline::Logits(const core::PairDataset& dataset,
+                                    const core::PairExample& example, bool training,
+                                    Rng* rng) const {
+  // [CLS] headers-A [SEP] headers-B [SEP] with segment ids 0/1.
+  std::vector<int> ids = {text::kClsId};
+  std::vector<int> segs = {0};
+  auto a = tokenizer_->Encode(SerializeHeaders(dataset.tables[example.a]));
+  auto b = tokenizer_->Encode(SerializeHeaders(dataset.tables[example.b]));
+  const size_t budget = bert_->config().max_seq_len;
+  const size_t half = budget / 2;
+  if (a.size() > half - 2) a.resize(half - 2);
+  for (int id : a) {
+    ids.push_back(id);
+    segs.push_back(0);
+  }
+  ids.push_back(text::kSepId);
+  segs.push_back(0);
+  for (int id : b) {
+    if (ids.size() + 1 >= budget) break;
+    ids.push_back(id);
+    segs.push_back(1);
+  }
+  ids.push_back(text::kSepId);
+  segs.push_back(1);
+
+  nn::Var hidden = bert_->Encode(ids, segs, training, rng);
+  nn::Var pooled = bert_->Pool(hidden);
+  pooled = nn::Dropout(pooled, bert_->config().encoder.dropout, training, rng);
+  return head_->Forward(pooled);
+}
+
+nn::Var VanillaBertBaseline::Loss(const core::PairDataset& dataset,
+                                  const core::PairExample& example, bool training,
+                                  Rng* rng) const {
+  return LossFromLogits(task_, Logits(dataset, example, training, rng), example);
+}
+
+std::vector<float> VanillaBertBaseline::Predict(
+    const core::PairDataset& dataset, const core::PairExample& example) const {
+  Rng rng(0);
+  nn::Var logits = Logits(dataset, example, /*training=*/false, &rng);
+  return PredictFromLogits(task_, logits->value());
+}
+
+void VanillaBertBaseline::CollectParams(const std::string& prefix,
+                                        std::vector<nn::NamedParam>* out) const {
+  bert_->CollectParams(prefix + ".bert", out);
+  head_->CollectParams(prefix + ".head", out);
+}
+
+}  // namespace tsfm::baselines

@@ -1,0 +1,51 @@
+// Vanilla BERT baseline (paper Sec IV-A.1): column headers of the two
+// tables as two sentences into a text cross-encoder. Measures how much of a
+// task is solvable from schema alone.
+#ifndef TSFM_BASELINES_VANILLA_BERT_H_
+#define TSFM_BASELINES_VANILLA_BERT_H_
+
+#include <memory>
+
+#include "baselines/tiny_bert.h"
+#include "core/dataset.h"
+
+namespace tsfm::baselines {
+
+/// \brief Header-only cross-encoder.
+class VanillaBertBaseline : public nn::Module {
+ public:
+  VanillaBertBaseline(const TinyBertConfig& config, core::TaskType task,
+                      size_t num_outputs, const text::Tokenizer* tokenizer,
+                      Rng* rng);
+
+  /// Loss for a pair example drawn from `dataset`.
+  nn::Var Loss(const core::PairDataset& dataset, const core::PairExample& example,
+               bool training, Rng* rng) const;
+
+  /// Prediction (same contract as core::CrossEncoder::Predict).
+  std::vector<float> Predict(const core::PairDataset& dataset,
+                             const core::PairExample& example) const;
+
+  void CollectParams(const std::string& prefix,
+                     std::vector<nn::NamedParam>* out) const override;
+
+ private:
+  nn::Var Logits(const core::PairDataset& dataset, const core::PairExample& example,
+                 bool training, Rng* rng) const;
+
+  core::TaskType task_;
+  const text::Tokenizer* tokenizer_;
+  std::unique_ptr<TinyBert> bert_;
+  std::unique_ptr<nn::Linear> head_;
+};
+
+/// Shared head logic: converts logits to the per-task prediction vector.
+std::vector<float> PredictFromLogits(core::TaskType task, const nn::Tensor& logits);
+
+/// Shared head logic: builds the per-task loss from logits.
+nn::Var LossFromLogits(core::TaskType task, const nn::Var& logits,
+                       const core::PairExample& example);
+
+}  // namespace tsfm::baselines
+
+#endif  // TSFM_BASELINES_VANILLA_BERT_H_

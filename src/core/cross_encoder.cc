@@ -1,0 +1,89 @@
+#include "core/cross_encoder.h"
+
+#include <cmath>
+#include <unordered_map>
+
+#include "nn/ops.h"
+#include "util/logging.h"
+
+namespace tsfm::core {
+
+void CopyParams(const nn::Module& src, const nn::Module& dst) {
+  auto src_params = src.Params("m");
+  auto dst_params = dst.Params("m");
+  TSFM_CHECK_EQ(src_params.size(), dst_params.size());
+  std::unordered_map<std::string, nn::Var> by_name;
+  for (auto& p : src_params) by_name[p.name] = p.var;
+  for (auto& p : dst_params) {
+    auto it = by_name.find(p.name);
+    TSFM_CHECK(it != by_name.end()) << "missing parameter " << p.name;
+    TSFM_CHECK(p.var->value().SameShape(it->second->value()));
+    p.var->value() = it->second->value();
+  }
+}
+
+CrossEncoder::CrossEncoder(const TabSketchFMConfig& config, TaskType task,
+                           size_t num_outputs, Rng* rng,
+                           const TabSketchFM* pretrained)
+    : task_(task),
+      dropout_(config.encoder.dropout),
+      model_(std::make_unique<TabSketchFM>(config, rng)),
+      head_(std::make_unique<nn::Linear>(config.encoder.hidden, num_outputs, rng)) {
+  if (pretrained != nullptr) CopyParams(*pretrained, *model_);
+}
+
+nn::Var CrossEncoder::Logits(const EncodedTable& pair_input, bool training,
+                             Rng* rng) const {
+  nn::Var hidden = model_->Encode(pair_input, training, rng);
+  nn::Var pooled = model_->Pool(hidden);
+  pooled = nn::Dropout(pooled, dropout_, training, rng);
+  return head_->Forward(pooled);
+}
+
+nn::Var CrossEncoder::Loss(const EncodedTable& pair_input, const PairExample& example,
+                           bool training, Rng* rng) const {
+  nn::Var logits = Logits(pair_input, training, rng);
+  switch (task_) {
+    case TaskType::kBinaryClassification:
+      return nn::CrossEntropyLoss(logits, {example.label});
+    case TaskType::kRegression:
+      return nn::MseLoss(logits, {example.target});
+    case TaskType::kMultiLabel:
+      return nn::BceWithLogitsLoss(logits, example.multi_labels);
+  }
+  TSFM_CHECK(false) << "unreachable";
+  return nn::Var();
+}
+
+std::vector<float> CrossEncoder::Predict(const EncodedTable& pair_input) const {
+  Rng rng(0);  // unused in eval mode
+  nn::Var logits = Logits(pair_input, /*training=*/false, &rng);
+  const nn::Tensor& L = logits->value();
+  std::vector<float> out;
+  switch (task_) {
+    case TaskType::kBinaryClassification: {
+      // Softmax over the 2 classes; report P(class 1).
+      float mx = std::max(L[0], L[1]);
+      float e0 = std::exp(L[0] - mx), e1 = std::exp(L[1] - mx);
+      out.push_back(e1 / (e0 + e1));
+      break;
+    }
+    case TaskType::kRegression:
+      out.push_back(L[0]);
+      break;
+    case TaskType::kMultiLabel:
+      for (size_t i = 0; i < L.size(); ++i) {
+        out.push_back(1.0f / (1.0f + std::exp(-L[i])));
+      }
+      break;
+  }
+  return out;
+}
+
+void CrossEncoder::CollectParams(const std::string& prefix,
+                                 std::vector<nn::NamedParam>* out) const {
+  model_->CollectParams(prefix + ".model", out);
+  head_->CollectParams(prefix + ".head", out);
+}
+
+}  // namespace tsfm::core

@@ -1,0 +1,52 @@
+// Cross-encoder for table-pair tasks (paper Sec III-D, Fig 2b):
+// pair input -> pretrained TabSketchFM -> pooler -> dropout -> linear(N).
+#ifndef TSFM_CORE_CROSS_ENCODER_H_
+#define TSFM_CORE_CROSS_ENCODER_H_
+
+#include <memory>
+
+#include "core/dataset.h"
+#include "core/model.h"
+
+namespace tsfm::core {
+
+/// \brief A task head on top of TabSketchFM.
+class CrossEncoder : public nn::Module {
+ public:
+  /// Builds a fresh model. When `pretrained` is non-null its weights are
+  /// copied in (the fine-tuning initialization of Fig 2b).
+  CrossEncoder(const TabSketchFMConfig& config, TaskType task, size_t num_outputs,
+               Rng* rng, const TabSketchFM* pretrained = nullptr);
+
+  /// Head logits [1, N] for an encoded pair.
+  nn::Var Logits(const EncodedTable& pair_input, bool training, Rng* rng) const;
+
+  /// Task loss for one example.
+  nn::Var Loss(const EncodedTable& pair_input, const PairExample& example,
+               bool training, Rng* rng) const;
+
+  /// Predicted positive-class probability (binary), regression value, or
+  /// per-class sigmoid scores (multi-label).
+  std::vector<float> Predict(const EncodedTable& pair_input) const;
+
+  void CollectParams(const std::string& prefix,
+                     std::vector<nn::NamedParam>* out) const override;
+
+  TabSketchFM* model() { return model_.get(); }
+  const TabSketchFM* model() const { return model_.get(); }
+  TaskType task() const { return task_; }
+
+ private:
+  TaskType task_;
+  float dropout_;
+  std::unique_ptr<TabSketchFM> model_;
+  std::unique_ptr<nn::Linear> head_;
+};
+
+/// Copies every parameter of `src` into same-named parameters of `dst`
+/// (shapes must match). Parameters present in only one side are an error.
+void CopyParams(const nn::Module& src, const nn::Module& dst);
+
+}  // namespace tsfm::core
+
+#endif  // TSFM_CORE_CROSS_ENCODER_H_

@@ -1,0 +1,26 @@
+#include "core/dataset.h"
+
+namespace tsfm::core {
+
+const char* TaskTypeName(TaskType type) {
+  switch (type) {
+    case TaskType::kBinaryClassification:
+      return "binary-classification";
+    case TaskType::kRegression:
+      return "regression";
+    case TaskType::kMultiLabel:
+      return "multi-label";
+  }
+  return "?";
+}
+
+void PairDataset::BuildSketches(const SketchOptions& options) {
+  sketches.clear();
+  sketches.reserve(tables.size());
+  for (auto& table : tables) {
+    table.InferTypes();
+    sketches.push_back(BuildTableSketch(table, options));
+  }
+}
+
+}  // namespace tsfm::core

@@ -1,0 +1,48 @@
+// Pair datasets for fine-tuning (paper Sec III-D).
+#ifndef TSFM_CORE_DATASET_H_
+#define TSFM_CORE_DATASET_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "sketch/table_sketch.h"
+
+namespace tsfm::core {
+
+/// The three LakeBench task formulations.
+enum class TaskType {
+  kBinaryClassification,  ///< output 2, cross-entropy
+  kRegression,            ///< output 1, mean-squared error
+  kMultiLabel,            ///< output N, BCE-with-logits
+};
+
+const char* TaskTypeName(TaskType type);
+
+/// \brief One labelled table pair.
+struct PairExample {
+  size_t a = 0;  ///< index into the dataset's table list
+  size_t b = 0;
+  int label = 0;                    ///< binary tasks
+  float target = 0.0f;              ///< regression tasks
+  std::vector<float> multi_labels;  ///< multi-label tasks (one-hot floats)
+};
+
+/// \brief A fine-tuning benchmark: tables + labelled pairs + splits.
+struct PairDataset {
+  std::string name;
+  TaskType task = TaskType::kBinaryClassification;
+  size_t num_outputs = 2;  ///< head width N
+  std::vector<Table> tables;
+  std::vector<TableSketch> sketches;  ///< parallel to `tables`
+  std::vector<PairExample> train;
+  std::vector<PairExample> val;
+  std::vector<PairExample> test;
+
+  /// Builds `sketches` from `tables` (call after generation).
+  void BuildSketches(const SketchOptions& options = {});
+};
+
+}  // namespace tsfm::core
+
+#endif  // TSFM_CORE_DATASET_H_

@@ -1,0 +1,110 @@
+#include "core/finetuner.h"
+
+#include <limits>
+
+#include "nn/optimizer.h"
+#include "util/logging.h"
+
+namespace tsfm::core {
+
+Finetuner::Finetuner(CrossEncoder* encoder, const InputEncoder* input_encoder,
+                     FinetuneOptions options)
+    : encoder_(encoder), input_encoder_(input_encoder), options_(options) {}
+
+EncodedTable Finetuner::EncodePair(const PairDataset& dataset,
+                                   const PairExample& ex) const {
+  EncodedTable encoded =
+      input_encoder_->EncodePair(dataset.sketches[ex.a], dataset.sketches[ex.b]);
+  ApplyAblation(options_.ablation, &encoded);
+  return encoded;
+}
+
+FinetuneResult Finetuner::Train(const PairDataset& dataset) {
+  Rng rng(options_.seed);
+
+  std::vector<PairExample> train = dataset.train;
+  if (options_.max_train_examples > 0 && train.size() > options_.max_train_examples) {
+    rng.Shuffle(&train);
+    train.resize(options_.max_train_examples);
+  }
+
+  // Encode every pair once; masking does not change across epochs here.
+  std::vector<EncodedTable> train_inputs;
+  train_inputs.reserve(train.size());
+  for (const auto& ex : train) train_inputs.push_back(EncodePair(dataset, ex));
+  std::vector<EncodedTable> val_inputs;
+  val_inputs.reserve(dataset.val.size());
+  for (const auto& ex : dataset.val) val_inputs.push_back(EncodePair(dataset, ex));
+
+  nn::AdamW::Options opt_options;
+  opt_options.lr = options_.lr;
+  nn::AdamW optimizer(encoder_->Params("ce"), opt_options);
+
+  FinetuneResult result;
+  float best_val = std::numeric_limits<float>::max();
+  size_t since_best = 0;
+
+  std::vector<size_t> order(train.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  for (size_t epoch = 0; epoch < options_.epochs; ++epoch) {
+    rng.Shuffle(&order);
+    optimizer.ZeroGrad();
+    double epoch_loss = 0.0;
+    size_t in_batch = 0;
+    for (size_t idx : order) {
+      nn::Var loss =
+          encoder_->Loss(train_inputs[idx], train[idx], /*training=*/true, &rng);
+      nn::Backward(loss);
+      epoch_loss += loss->value()[0];
+      if (++in_batch >= options_.batch_size) {
+        optimizer.Step();
+        optimizer.ZeroGrad();
+        in_batch = 0;
+      }
+    }
+    if (in_batch > 0) {
+      optimizer.Step();
+      optimizer.ZeroGrad();
+    }
+
+    double val_loss_sum = 0.0;
+    for (size_t i = 0; i < val_inputs.size(); ++i) {
+      nn::Var loss = encoder_->Loss(val_inputs[i], dataset.val[i],
+                                    /*training=*/false, &rng);
+      val_loss_sum += loss->value()[0];
+    }
+    float train_loss =
+        train.empty() ? 0.0f : static_cast<float>(epoch_loss / train.size());
+    float val_loss = val_inputs.empty()
+                         ? train_loss
+                         : static_cast<float>(val_loss_sum / val_inputs.size());
+    result.train_losses.push_back(train_loss);
+    result.val_losses.push_back(val_loss);
+    result.epochs_run = epoch + 1;
+    if (options_.verbose) {
+      TSFM_LOG(Info) << dataset.name << " finetune epoch " << epoch
+                     << " train=" << train_loss << " val=" << val_loss;
+    }
+    if (val_loss < best_val - 1e-5f) {
+      best_val = val_loss;
+      since_best = 0;
+    } else if (++since_best >= options_.patience) {
+      break;
+    }
+  }
+  result.best_val_loss = best_val;
+  return result;
+}
+
+std::vector<std::vector<float>> Finetuner::Predict(
+    const PairDataset& dataset, const std::vector<PairExample>& examples) {
+  std::vector<std::vector<float>> out;
+  out.reserve(examples.size());
+  for (const auto& ex : examples) {
+    out.push_back(encoder_->Predict(EncodePair(dataset, ex)));
+  }
+  return out;
+}
+
+}  // namespace tsfm::core

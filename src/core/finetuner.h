@@ -1,0 +1,54 @@
+// Fine-tuning loop for cross-encoders (paper Sec III-D, IV).
+#ifndef TSFM_CORE_FINETUNER_H_
+#define TSFM_CORE_FINETUNER_H_
+
+#include <vector>
+
+#include "core/cross_encoder.h"
+#include "core/input_encoder.h"
+
+namespace tsfm::core {
+
+/// Fine-tuning hyper-parameters.
+struct FinetuneOptions {
+  size_t epochs = 12;
+  size_t batch_size = 8;
+  float lr = 2e-4f;
+  size_t patience = 5;   ///< early stopping on validation loss (paper)
+  uint64_t seed = 0;
+  size_t max_train_examples = 0;  ///< 0 = use all
+  bool verbose = false;
+  SketchAblation ablation;  ///< sketch switches for Tables III/IV
+};
+
+/// Fine-tuning result.
+struct FinetuneResult {
+  std::vector<float> train_losses;
+  std::vector<float> val_losses;
+  size_t epochs_run = 0;
+  float best_val_loss = 0.0f;
+};
+
+/// \brief Trains a CrossEncoder on a PairDataset.
+class Finetuner {
+ public:
+  Finetuner(CrossEncoder* encoder, const InputEncoder* input_encoder,
+            FinetuneOptions options);
+
+  FinetuneResult Train(const PairDataset& dataset);
+
+  /// Predictions for every example in `examples` (see CrossEncoder::Predict).
+  std::vector<std::vector<float>> Predict(const PairDataset& dataset,
+                                          const std::vector<PairExample>& examples);
+
+ private:
+  EncodedTable EncodePair(const PairDataset& dataset, const PairExample& ex) const;
+
+  CrossEncoder* encoder_;
+  const InputEncoder* input_encoder_;
+  FinetuneOptions options_;
+};
+
+}  // namespace tsfm::core
+
+#endif  // TSFM_CORE_FINETUNER_H_

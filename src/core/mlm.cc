@@ -1,0 +1,60 @@
+#include "core/mlm.h"
+
+#include "text/vocab.h"
+#include "util/logging.h"
+
+namespace tsfm::core {
+
+MlmExample MlmSampler::MaskColumn(const EncodedTable& encoded, size_t column_index,
+                                  Rng* rng) const {
+  TSFM_CHECK(!encoded.column_spans.empty());
+  const auto& spans = encoded.column_spans[0];
+  TSFM_CHECK_LT(column_index, spans.size());
+
+  MlmExample example;
+  example.input = encoded;
+  example.targets.assign(encoded.size(), MlmExample::kIgnoreIndex);
+
+  // Whole-column masking: every name token of the chosen column.
+  auto [start, len] = spans[column_index];
+  for (size_t i = start; i < start + len; ++i) {
+    example.targets[i] = encoded.token_ids[i];
+    example.input.token_ids[i] = text::kMaskId;
+  }
+
+  // Description tokens (column_pos == 0, excluding CLS/SEP specials) are
+  // masked at the MLM probability.
+  for (size_t i = 0; i < encoded.size(); ++i) {
+    if (encoded.column_pos[i] != 0) continue;
+    int id = encoded.token_ids[i];
+    if (id == text::kClsId || id == text::kSepId) continue;
+    if (rng->Bernoulli(config_->mlm_probability)) {
+      example.targets[i] = id;
+      example.input.token_ids[i] = text::kMaskId;
+    }
+  }
+  return example;
+}
+
+std::vector<MlmExample> MlmSampler::Sample(const EncodedTable& encoded,
+                                           Rng* rng) const {
+  std::vector<MlmExample> examples;
+  if (encoded.column_spans.empty()) return examples;
+  const size_t num_cols = encoded.column_spans[0].size();
+  if (num_cols == 0) return examples;
+
+  if (num_cols <= config_->max_masked_columns) {
+    // Small tables: mask each column one after another (paper Fig 3).
+    for (size_t c = 0; c < num_cols; ++c) {
+      examples.push_back(MaskColumn(encoded, c, rng));
+    }
+  } else {
+    // Large tables: a random subset, to avoid over-representing them.
+    for (size_t c : rng->SampleIndices(num_cols, config_->max_masked_columns)) {
+      examples.push_back(MaskColumn(encoded, c, rng));
+    }
+  }
+  return examples;
+}
+
+}  // namespace tsfm::core

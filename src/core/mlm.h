@@ -1,0 +1,50 @@
+// Whole-column masking for MLM pretraining (paper Sec III-C, Fig 3).
+//
+// For each table, up to `max_masked_columns` columns are selected; every
+// token of a selected column name becomes [MASK] in one training example.
+// Description tokens are additionally masked at the MLM probability.
+#ifndef TSFM_CORE_MLM_H_
+#define TSFM_CORE_MLM_H_
+
+#include <vector>
+
+#include "core/config.h"
+#include "core/input_encoder.h"
+#include "util/random.h"
+
+namespace tsfm::core {
+
+/// \brief One MLM training example: masked inputs plus per-token targets.
+///
+/// targets[i] is the original token id where masked, or kIgnoreIndex
+/// elsewhere (those positions contribute no loss).
+struct MlmExample {
+  EncodedTable input;
+  std::vector<int> targets;
+
+  static constexpr int kIgnoreIndex = -100;
+};
+
+/// \brief Generates masked examples from encoded tables.
+class MlmSampler {
+ public:
+  explicit MlmSampler(const TabSketchFMConfig* config) : config_(config) {}
+
+  /// Produces the paper's per-table example set: one example per masked
+  /// column (all columns when there are <= max_masked_columns, otherwise a
+  /// random subset of that size), each with description tokens masked at
+  /// mlm_probability.
+  std::vector<MlmExample> Sample(const EncodedTable& encoded, Rng* rng) const;
+
+  /// Masks exactly one column span (by index into column_spans[0]);
+  /// exposed for tests.
+  MlmExample MaskColumn(const EncodedTable& encoded, size_t column_index,
+                        Rng* rng) const;
+
+ private:
+  const TabSketchFMConfig* config_;
+};
+
+}  // namespace tsfm::core
+
+#endif  // TSFM_CORE_MLM_H_

@@ -1,0 +1,102 @@
+#include "core/model.h"
+
+#include "nn/ops.h"
+#include "util/logging.h"
+
+namespace tsfm::core {
+
+TabSketchFM::TabSketchFM(const TabSketchFMConfig& config, Rng* rng)
+    : config_(config) {
+  TSFM_CHECK_GT(config.vocab_size, 0u) << "set vocab_size before building the model";
+  const size_t h = config.encoder.hidden;
+  token_emb_ = std::make_unique<nn::Embedding>(config.vocab_size, h, rng);
+  token_pos_emb_ = std::make_unique<nn::Embedding>(config.max_token_pos, h, rng);
+  column_pos_emb_ = std::make_unique<nn::Embedding>(config.max_columns + 1, h, rng);
+  column_type_emb_ = std::make_unique<nn::Embedding>(5, h, rng);  // 0..4
+  segment_emb_ = std::make_unique<nn::Embedding>(2, h, rng);
+  minhash_proj_ = std::make_unique<nn::Linear>(config.MinHashInputDim(), h, rng);
+  numerical_proj_ = std::make_unique<nn::Linear>(config.NumericalInputDim(), h, rng);
+  input_norm_ = std::make_unique<nn::LayerNormModule>(h);
+  encoder_ = std::make_unique<nn::TransformerEncoder>(config.encoder, rng);
+  mlm_transform_ = std::make_unique<nn::Linear>(h, h, rng);
+  mlm_norm_ = std::make_unique<nn::LayerNormModule>(h);
+  mlm_decoder_ = std::make_unique<nn::Linear>(h, config.vocab_size, rng);
+  pooler_ = std::make_unique<nn::Linear>(h, h, rng);
+}
+
+nn::Var TabSketchFM::Encode(const EncodedTable& input, bool training,
+                            Rng* rng) const {
+  const size_t seq = input.size();
+  TSFM_CHECK_GT(seq, 0u);
+
+  nn::Var tok = token_emb_->Forward(input.token_ids);
+  nn::Var tpos = token_pos_emb_->Forward(input.token_pos);
+  nn::Var cpos = column_pos_emb_->Forward(input.column_pos);
+  nn::Var ctype = column_type_emb_->Forward(input.column_type);
+  nn::Var seg = segment_emb_->Forward(input.segment);
+
+  // Dense sketch tracks: one row per token, projected to hidden width.
+  nn::Tensor mh(seq, config_.MinHashInputDim());
+  nn::Tensor num(seq, config_.NumericalInputDim());
+  for (size_t i = 0; i < seq; ++i) {
+    std::copy(input.minhash[i].begin(), input.minhash[i].end(),
+              mh.data() + i * mh.cols());
+    std::copy(input.numerical[i].begin(), input.numerical[i].end(),
+              num.data() + i * num.cols());
+  }
+  nn::Var mh_emb = minhash_proj_->Forward(nn::MakeLeaf(std::move(mh), false));
+  nn::Var num_emb = numerical_proj_->Forward(nn::MakeLeaf(std::move(num), false));
+
+  nn::Var sum = nn::Add(nn::Add(nn::Add(tok, tpos), nn::Add(cpos, ctype)),
+                        nn::Add(seg, nn::Add(mh_emb, num_emb)));
+  nn::Var normed = input_norm_->Forward(sum);
+  normed = nn::Dropout(normed, config_.encoder.dropout, training, rng);
+  return encoder_->Forward(normed, training, rng);
+}
+
+nn::Var TabSketchFM::MlmLogits(const nn::Var& hidden_states) const {
+  nn::Var h = nn::Gelu(mlm_transform_->Forward(hidden_states));
+  h = mlm_norm_->Forward(h);
+  return mlm_decoder_->Forward(h);
+}
+
+nn::Var TabSketchFM::Pool(const nn::Var& hidden_states) const {
+  return nn::Tanh(pooler_->Forward(nn::SelectRow(hidden_states, 0)));
+}
+
+std::vector<float> TabSketchFM::ProjectMinHash(
+    const std::vector<float>& minhash_input) const {
+  TSFM_CHECK_EQ(minhash_input.size(), config_.MinHashInputDim());
+  nn::Tensor in(1, minhash_input.size());
+  std::copy(minhash_input.begin(), minhash_input.end(), in.data());
+  nn::Var out = minhash_proj_->Forward(nn::MakeLeaf(std::move(in), false));
+  return out->value().flat();
+}
+
+std::vector<float> TabSketchFM::ProjectNumerical(
+    const std::vector<float>& numerical_input) const {
+  TSFM_CHECK_EQ(numerical_input.size(), config_.NumericalInputDim());
+  nn::Tensor in(1, numerical_input.size());
+  std::copy(numerical_input.begin(), numerical_input.end(), in.data());
+  nn::Var out = numerical_proj_->Forward(nn::MakeLeaf(std::move(in), false));
+  return out->value().flat();
+}
+
+void TabSketchFM::CollectParams(const std::string& prefix,
+                                std::vector<nn::NamedParam>* out) const {
+  token_emb_->CollectParams(prefix + ".token_emb", out);
+  token_pos_emb_->CollectParams(prefix + ".token_pos_emb", out);
+  column_pos_emb_->CollectParams(prefix + ".column_pos_emb", out);
+  column_type_emb_->CollectParams(prefix + ".column_type_emb", out);
+  segment_emb_->CollectParams(prefix + ".segment_emb", out);
+  minhash_proj_->CollectParams(prefix + ".minhash_proj", out);
+  numerical_proj_->CollectParams(prefix + ".numerical_proj", out);
+  input_norm_->CollectParams(prefix + ".input_norm", out);
+  encoder_->CollectParams(prefix + ".encoder", out);
+  mlm_transform_->CollectParams(prefix + ".mlm_transform", out);
+  mlm_norm_->CollectParams(prefix + ".mlm_norm", out);
+  mlm_decoder_->CollectParams(prefix + ".mlm_decoder", out);
+  pooler_->CollectParams(prefix + ".pooler", out);
+}
+
+}  // namespace tsfm::core

@@ -1,0 +1,114 @@
+#include "core/pretrainer.h"
+
+#include <limits>
+
+#include "nn/ops.h"
+#include "util/logging.h"
+
+namespace tsfm::core {
+
+Pretrainer::Pretrainer(TabSketchFM* model, PretrainOptions options)
+    : model_(model), options_(options) {}
+
+float Pretrainer::LossOf(const MlmExample& example, bool training, Rng* rng,
+                         bool backward) {
+  nn::Var hidden = model_->Encode(example.input, training, rng);
+  nn::Var logits = model_->MlmLogits(hidden);
+  nn::Var loss =
+      nn::CrossEntropyLoss(logits, example.targets, MlmExample::kIgnoreIndex);
+  if (backward) nn::Backward(loss);
+  return loss->value()[0];
+}
+
+float Pretrainer::Evaluate(const std::vector<MlmExample>& examples) {
+  Rng rng(options_.seed + 999);
+  double total = 0.0;
+  size_t count = 0;
+  for (const auto& ex : examples) {
+    total += LossOf(ex, /*training=*/false, &rng, /*backward=*/false);
+    ++count;
+  }
+  return count > 0 ? static_cast<float>(total / count) : 0.0f;
+}
+
+PretrainResult Pretrainer::Train(const std::vector<EncodedTable>& train,
+                                 const std::vector<EncodedTable>& val) {
+  Rng rng(options_.seed);
+  MlmSampler sampler(&model_->config());
+
+  // Validation examples are masked once, so the early-stopping signal is
+  // comparable across epochs.
+  Rng val_rng(options_.seed + 17);
+  std::vector<MlmExample> val_examples;
+  for (const auto& table : val) {
+    auto exs = sampler.Sample(table, &val_rng);
+    val_examples.insert(val_examples.end(), exs.begin(), exs.end());
+  }
+
+  nn::AdamW::Options opt_options;
+  opt_options.lr = options_.lr;
+  nn::AdamW optimizer(model_->Params("tabsketchfm"), opt_options);
+
+  PretrainResult result;
+  float best_val = std::numeric_limits<float>::max();
+  size_t epochs_since_best = 0;
+
+  // Rough step count for the LR schedule (examples ~ tables * masked cols).
+  const size_t approx_examples = train.size() * 3;
+  const size_t total_steps =
+      options_.epochs * (approx_examples / options_.batch_size + 1);
+  nn::LinearWarmupSchedule schedule(
+      options_.lr, static_cast<size_t>(options_.warmup_fraction * total_steps),
+      total_steps);
+  size_t step = 0;
+
+  for (size_t epoch = 0; epoch < options_.epochs; ++epoch) {
+    // Fresh masking every epoch.
+    std::vector<MlmExample> examples;
+    for (const auto& table : train) {
+      auto exs = sampler.Sample(table, &rng);
+      examples.insert(examples.end(), exs.begin(), exs.end());
+    }
+    rng.Shuffle(&examples);
+
+    optimizer.ZeroGrad();
+    double epoch_loss = 0.0;
+    size_t in_batch = 0;
+    for (const auto& ex : examples) {
+      epoch_loss += LossOf(ex, /*training=*/true, &rng, /*backward=*/true);
+      if (++in_batch >= options_.batch_size) {
+        optimizer.set_lr(schedule.LrAt(step++));
+        optimizer.Step();
+        optimizer.ZeroGrad();
+        in_batch = 0;
+      }
+    }
+    if (in_batch > 0) {
+      optimizer.set_lr(schedule.LrAt(step++));
+      optimizer.Step();
+      optimizer.ZeroGrad();
+    }
+
+    float train_loss =
+        examples.empty() ? 0.0f : static_cast<float>(epoch_loss / examples.size());
+    float val_loss = Evaluate(val_examples);
+    result.train_losses.push_back(train_loss);
+    result.val_losses.push_back(val_loss);
+    result.epochs_run = epoch + 1;
+    if (options_.verbose) {
+      TSFM_LOG(Info) << "pretrain epoch " << epoch << " train=" << train_loss
+                     << " val=" << val_loss;
+    }
+
+    if (val_loss < best_val - 1e-5f) {
+      best_val = val_loss;
+      epochs_since_best = 0;
+    } else if (++epochs_since_best >= options_.patience) {
+      break;  // paper: patience of 5 epochs
+    }
+  }
+  result.best_val_loss = best_val;
+  return result;
+}
+
+}  // namespace tsfm::core

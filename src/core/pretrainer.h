@@ -1,0 +1,55 @@
+// MLM pretraining loop (paper Sec III-C, Fig 2a).
+#ifndef TSFM_CORE_PRETRAINER_H_
+#define TSFM_CORE_PRETRAINER_H_
+
+#include <vector>
+
+#include "core/mlm.h"
+#include "core/model.h"
+#include "nn/optimizer.h"
+
+namespace tsfm::core {
+
+/// Pretraining hyper-parameters.
+struct PretrainOptions {
+  size_t epochs = 8;
+  size_t batch_size = 8;       ///< gradient-accumulation examples per step
+  float lr = 3e-4f;
+  float warmup_fraction = 0.1f;
+  size_t patience = 5;         ///< early-stopping patience in epochs (paper)
+  uint64_t seed = 0;
+  bool verbose = false;
+};
+
+/// Result of a pretraining run.
+struct PretrainResult {
+  std::vector<float> train_losses;  ///< per epoch
+  std::vector<float> val_losses;    ///< per epoch
+  size_t epochs_run = 0;
+  float best_val_loss = 0.0f;
+};
+
+/// \brief Runs masked-column language-model pretraining.
+class Pretrainer {
+ public:
+  Pretrainer(TabSketchFM* model, PretrainOptions options);
+
+  /// Trains on `train` with early stopping on `val` loss.
+  /// Examples are regenerated (re-masked) every epoch.
+  PretrainResult Train(const std::vector<EncodedTable>& train,
+                       const std::vector<EncodedTable>& val);
+
+  /// Mean MLM loss over `examples` without gradient updates.
+  float Evaluate(const std::vector<MlmExample>& examples);
+
+ private:
+  float LossOf(const MlmExample& example, bool training, Rng* rng,
+               bool backward);
+
+  TabSketchFM* model_;
+  PretrainOptions options_;
+};
+
+}  // namespace tsfm::core
+
+#endif  // TSFM_CORE_PRETRAINER_H_

@@ -1,0 +1,56 @@
+#include "lakebench/corpus.h"
+
+#include <algorithm>
+
+#include "text/tokenizer.h"
+
+namespace tsfm::lakebench {
+
+std::vector<Table> MakePretrainCorpus(const DomainCatalog& catalog,
+                                      const CorpusScale& scale, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Table> corpus;
+  corpus.reserve(scale.num_tables * (1 + scale.augmentations));
+
+  for (size_t t = 0; t < scale.num_tables; ++t) {
+    const Domain& dom = catalog.domain(t % catalog.size());
+    size_t rows = scale.min_rows +
+                  rng.Uniform(static_cast<uint32_t>(scale.max_rows - scale.min_rows + 1));
+    // Random column subset of >= 3 columns for schema diversity.
+    size_t keep = 3 + rng.Uniform(static_cast<uint32_t>(dom.columns.size() - 2));
+    Table base = GenerateDomainTable(dom, "pt_" + std::to_string(t), rows,
+                                     rng.SampleIndices(dom.columns.size(), keep), &rng);
+
+    // Column-shuffle augmentation (paper Sec III-C, Data Augmentation).
+    for (size_t a = 0; a < scale.augmentations; ++a) {
+      std::vector<size_t> perm(base.num_columns());
+      for (size_t i = 0; i < perm.size(); ++i) perm[i] = i;
+      rng.Shuffle(&perm);
+      Table aug = base.WithColumnOrder(perm);
+      aug.set_id(base.id() + "_aug" + std::to_string(a));
+      corpus.push_back(std::move(aug));
+    }
+    corpus.push_back(std::move(base));
+  }
+  return corpus;
+}
+
+text::Vocab BuildVocabFromTables(const std::vector<Table>& tables, bool include_cells,
+                                 size_t cell_sample_per_column) {
+  std::vector<std::string> words;
+  for (const auto& table : tables) {
+    for (const auto& w : text::BasicTokenize(table.description())) words.push_back(w);
+    for (const auto& col : table.columns()) {
+      for (const auto& w : text::BasicTokenize(col.name)) words.push_back(w);
+      if (include_cells) {
+        const size_t n = std::min(cell_sample_per_column, col.cells.size());
+        for (size_t r = 0; r < n; ++r) {
+          for (const auto& w : text::BasicTokenize(col.cells[r])) words.push_back(w);
+        }
+      }
+    }
+  }
+  return text::Vocab::Build(words);
+}
+
+}  // namespace tsfm::lakebench

@@ -1,0 +1,35 @@
+// Pretraining corpus generation (paper Sec III-C) and vocabulary building.
+#ifndef TSFM_LAKEBENCH_CORPUS_H_
+#define TSFM_LAKEBENCH_CORPUS_H_
+
+#include <vector>
+
+#include "lakebench/datagen.h"
+#include "text/vocab.h"
+
+namespace tsfm::lakebench {
+
+/// Corpus knobs; defaults give a CPU-trainable pretraining set.
+struct CorpusScale {
+  size_t num_tables = 60;      ///< base tables before augmentation
+  size_t augmentations = 2;    ///< column-shuffled copies per table (paper: x3 total)
+  size_t min_rows = 24;
+  size_t max_rows = 64;
+};
+
+/// Generates enterprise-like tables across every catalog domain, plus the
+/// paper's column-order augmentation: each base table is copied
+/// `augmentations` times with shuffled column order (which also changes its
+/// content snapshot).
+std::vector<Table> MakePretrainCorpus(const DomainCatalog& catalog,
+                                      const CorpusScale& scale, uint64_t seed);
+
+/// Builds a tokenizer vocabulary from table metadata and column names; when
+/// `include_cells` is true, sampled cell words are added too (needed by
+/// value-serialization baselines).
+text::Vocab BuildVocabFromTables(const std::vector<Table>& tables,
+                                 bool include_cells, size_t cell_sample_per_column = 12);
+
+}  // namespace tsfm::lakebench
+
+#endif  // TSFM_LAKEBENCH_CORPUS_H_

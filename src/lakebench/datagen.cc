@@ -1,0 +1,263 @@
+#include "lakebench/datagen.h"
+
+#include <unordered_set>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace tsfm::lakebench {
+
+namespace {
+
+const char* kOnsets[] = {"b",  "br", "c",  "ch", "d",  "dr", "f", "g",  "gr",
+                         "h",  "j",  "k",  "kl", "l",  "m",  "n", "p",  "pr",
+                         "r",  "s",  "st", "t",  "tr", "v",  "w", "z",  "sh",
+                         "th", "pl", "bl"};
+const char* kNuclei[] = {"a", "e", "i", "o", "u", "ai", "ei", "ou", "ia", "eo"};
+const char* kCodas[] = {"",  "n", "r", "l", "s",  "t",  "m",  "k",
+                        "x", "d", "g", "p", "nd", "rt", "st", "ck"};
+
+}  // namespace
+
+std::string SyntheticName(Rng* rng) {
+  const size_t syllables = 2 + rng->Uniform(3);
+  std::string name;
+  for (size_t s = 0; s < syllables; ++s) {
+    name += kOnsets[rng->Uniform(std::size(kOnsets))];
+    name += kNuclei[rng->Uniform(std::size(kNuclei))];
+    if (s + 1 == syllables) name += kCodas[rng->Uniform(std::size(kCodas))];
+  }
+  name[0] = static_cast<char>(std::toupper(static_cast<unsigned char>(name[0])));
+  return name;
+}
+
+std::vector<std::string> MakeEntityPool(size_t n, Rng* rng) {
+  std::unordered_set<std::string> seen;
+  std::vector<std::string> pool;
+  pool.reserve(n);
+  while (pool.size() < n) {
+    std::string name = SyntheticName(rng);
+    if (rng->Bernoulli(0.3)) name += " " + SyntheticName(rng);  // two-word entities
+    if (seen.insert(name).second) pool.push_back(std::move(name));
+  }
+  return pool;
+}
+
+std::string SyntheticCode(Rng* rng) {
+  std::string code;
+  const size_t letters = 3 + rng->Uniform(3);
+  for (size_t i = 0; i < letters; ++i) {
+    code += static_cast<char>('A' + rng->Uniform(26));
+  }
+  code += '_';
+  const size_t letters2 = 2 + rng->Uniform(3);
+  for (size_t i = 0; i < letters2; ++i) {
+    code += static_cast<char>('A' + rng->Uniform(26));
+  }
+  code += std::to_string(rng->Uniform(100));
+  return code;
+}
+
+DomainCatalog::DomainCatalog(uint64_t seed, size_t pool_size) {
+  Rng rng(seed);
+
+  struct DomainSeed {
+    const char* name;
+    const char* description;
+    // Short schema description: entity columns, measures, etc. built below.
+  };
+
+  auto entity_col = [](std::string name, size_t pool) {
+    ColumnSpec c;
+    c.name = std::move(name);
+    c.kind = ColumnKind::kEntity;
+    c.entity_pool = pool;
+    return c;
+  };
+  auto code_col = [](std::string name) {
+    ColumnSpec c;
+    c.name = std::move(name);
+    c.kind = ColumnKind::kCode;
+    return c;
+  };
+  auto int_col = [](std::string name, double lo, double hi) {
+    ColumnSpec c;
+    c.name = std::move(name);
+    c.kind = ColumnKind::kInteger;
+    c.lo = lo;
+    c.hi = hi;
+    return c;
+  };
+  auto float_col = [](std::string name, double mean, double stddev) {
+    ColumnSpec c;
+    c.name = std::move(name);
+    c.kind = ColumnKind::kFloat;
+    c.mean = mean;
+    c.stddev = stddev;
+    return c;
+  };
+  auto date_col = [](std::string name, int lo, int hi) {
+    ColumnSpec c;
+    c.name = std::move(name);
+    c.kind = ColumnKind::kDate;
+    c.year_lo = lo;
+    c.year_hi = hi;
+    return c;
+  };
+  auto cat_col = [](std::string name, std::vector<std::string> cats) {
+    ColumnSpec c;
+    c.name = std::move(name);
+    c.kind = ColumnKind::kCategory;
+    c.categories = std::move(cats);
+    return c;
+  };
+
+  auto make_domain = [&](const char* name, const char* desc,
+                         std::vector<ColumnSpec> cols,
+                         size_t num_pools) {
+    Domain d;
+    d.name = name;
+    d.description = desc;
+    for (size_t p = 0; p < num_pools; ++p) {
+      d.entity_pools.push_back(MakeEntityPool(pool_size, &rng));
+    }
+    d.columns = std::move(cols);
+    domains_.push_back(std::move(d));
+  };
+
+  make_domain("meteorites", "recorded meteorite landings",
+              {entity_col("meteorite name", 0), entity_col("landing site", 1),
+               float_col("mass grams", 5000, 3000), int_col("year found", 1800, 2020),
+               cat_col("fell or found", {"Fell", "Found"}),
+               float_col("latitude", 20, 30), float_col("longitude", 10, 60)},
+              2);
+  make_domain("municipalities", "population of municipalities",
+              {entity_col("municipality", 0), entity_col("region", 1),
+               int_col("population", 500, 2000000), float_col("area km2", 80, 60),
+               date_col("census date", 2000, 2023),
+               float_col("density", 300, 200)},
+              2);
+  make_domain("properties", "residential properties listings",
+              {entity_col("street", 0), entity_col("city", 1),
+               int_col("age", 0, 120), float_col("price", 350000, 150000),
+               int_col("bedrooms", 1, 7), float_col("lot size", 0.1, 0.4),
+               date_col("listed date", 2015, 2024)},
+              2);
+  make_domain("employees", "employee directory",
+              {entity_col("employee name", 0), entity_col("department", 1),
+               int_col("age", 21, 67), float_col("salary", 72000, 25000),
+               date_col("hire date", 1995, 2024),
+               cat_col("grade", {"junior", "senior", "staff", "principal"})},
+              2);
+  make_domain("products", "product sales records",
+              {entity_col("product", 0), code_col("sku"),
+               float_col("unit price", 40, 30), int_col("units sold", 0, 100000),
+               cat_col("channel", {"online", "retail", "wholesale"}),
+               date_col("report date", 2018, 2024)},
+              1);
+  make_domain("energy", "energy production statistics",
+              {code_col("dataflow"), entity_col("plant", 0),
+               float_col("output gwh", 1200, 700), int_col("year", 1990, 2024),
+               cat_col("source", {"hydro", "solar", "wind", "coal", "nuclear"}),
+               float_col("efficiency", 0.4, 0.1)},
+              1);
+  make_domain("health", "hospital admission statistics",
+              {entity_col("hospital", 0), entity_col("district", 1),
+               int_col("admissions", 50, 40000), float_col("avg stay days", 4.5, 1.5),
+               date_col("period", 2010, 2024),
+               cat_col("ward", {"cardiology", "oncology", "general", "pediatric"})},
+              2);
+  make_domain("transport", "transit ridership by route",
+              {code_col("route id"), entity_col("origin", 0),
+               entity_col("destination", 0), int_col("riders", 100, 500000),
+               float_col("on time rate", 0.85, 0.08),
+               date_col("service date", 2012, 2024)},
+              1);
+  make_domain("finance", "central bank financial indicators",
+              {code_col("series key"), cat_col("freq", {"A", "Q", "M"}),
+               cat_col("unit", {"MIO_EUR", "PC", "THS"}),
+               entity_col("reference area", 0), int_col("time period", 1980, 2024),
+               float_col("obs value", 1000, 900)},
+              1);
+  make_domain("trade", "import export trade flows",
+              {entity_col("partner", 0), code_col("commodity code"),
+               float_col("import value", 50000, 40000),
+               float_col("export value", 45000, 35000), int_col("year", 1995, 2024),
+               cat_col("flow", {"import", "export", "re-export"})},
+              1);
+  make_domain("education", "school enrollment figures",
+              {entity_col("school", 0), entity_col("district", 1),
+               int_col("enrollment", 100, 5000), float_col("student teacher ratio", 16, 4),
+               date_col("academic year", 2005, 2024),
+               cat_col("level", {"primary", "secondary", "tertiary"})},
+              2);
+  make_domain("climate", "weather station observations",
+              {entity_col("station", 0), float_col("temperature", 12, 9),
+               float_col("precipitation mm", 60, 45), float_col("wind speed", 14, 6),
+               date_col("observed", 1990, 2024), int_col("humidity", 20, 100)},
+              1);
+}
+
+std::vector<std::string> GenerateCells(const Domain& domain, const ColumnSpec& spec,
+                                       size_t rows, Rng* rng) {
+  std::vector<std::string> cells;
+  cells.reserve(rows);
+  for (size_t r = 0; r < rows; ++r) {
+    if (spec.null_fraction > 0.0 && rng->Bernoulli(spec.null_fraction)) {
+      cells.emplace_back();
+      continue;
+    }
+    switch (spec.kind) {
+      case ColumnKind::kEntity: {
+        TSFM_CHECK_LT(spec.entity_pool, domain.entity_pools.size());
+        cells.push_back(rng->Choice(domain.entity_pools[spec.entity_pool]));
+        break;
+      }
+      case ColumnKind::kCode:
+        cells.push_back(SyntheticCode(rng));
+        break;
+      case ColumnKind::kInteger:
+        cells.push_back(std::to_string(
+            rng->UniformInt(static_cast<int64_t>(spec.lo),
+                            static_cast<int64_t>(spec.hi))));
+        break;
+      case ColumnKind::kFloat:
+        cells.push_back(FormatDouble(rng->Normal(spec.mean, spec.stddev), 2));
+        break;
+      case ColumnKind::kDate: {
+        int year = static_cast<int>(rng->UniformInt(spec.year_lo, spec.year_hi));
+        int month = static_cast<int>(rng->UniformInt(1, 12));
+        int day = static_cast<int>(rng->UniformInt(1, 28));
+        char buf[16];
+        std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d", year, month, day);
+        cells.emplace_back(buf);
+        break;
+      }
+      case ColumnKind::kCategory:
+        cells.push_back(rng->Choice(spec.categories));
+        break;
+    }
+  }
+  return cells;
+}
+
+Table GenerateDomainTable(const Domain& domain, const std::string& id, size_t rows,
+                          Rng* rng) {
+  std::vector<size_t> all(domain.columns.size());
+  for (size_t i = 0; i < all.size(); ++i) all[i] = i;
+  return GenerateDomainTable(domain, id, rows, all, rng);
+}
+
+Table GenerateDomainTable(const Domain& domain, const std::string& id, size_t rows,
+                          const std::vector<size_t>& column_subset, Rng* rng) {
+  Table table(id, domain.description);
+  for (size_t ci : column_subset) {
+    TSFM_CHECK_LT(ci, domain.columns.size());
+    const ColumnSpec& spec = domain.columns[ci];
+    table.AddColumn(spec.name, GenerateCells(domain, spec, rows, rng));
+  }
+  table.InferTypes();
+  return table;
+}
+
+}  // namespace tsfm::lakebench

@@ -1,0 +1,527 @@
+#include "lakebench/finetune_benchmarks.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace tsfm::lakebench {
+
+using core::PairDataset;
+using core::PairExample;
+using core::TaskType;
+
+void SplitExamples(std::vector<PairExample> examples, Rng* rng,
+                   PairDataset* dataset) {
+  rng->Shuffle(&examples);
+  const size_t n = examples.size();
+  const size_t train_end = n * 70 / 100;
+  const size_t val_end = n * 85 / 100;
+  dataset->train.assign(examples.begin(), examples.begin() + train_end);
+  dataset->val.assign(examples.begin() + train_end, examples.begin() + val_end);
+  dataset->test.assign(examples.begin() + val_end, examples.end());
+}
+
+namespace {
+
+// Adds `table` to the dataset, returning its index.
+size_t AddTable(PairDataset* ds, Table table) {
+  ds->tables.push_back(std::move(table));
+  return ds->tables.size() - 1;
+}
+
+// Samples a set of distinct values from a pool; returns the chosen values.
+std::vector<std::string> SampleValues(const std::vector<std::string>& pool,
+                                      size_t count, Rng* rng) {
+  auto idx = rng->SampleIndices(pool.size(), count);
+  std::vector<std::string> out;
+  out.reserve(idx.size());
+  for (size_t i : idx) out.push_back(pool[i]);
+  return out;
+}
+
+// Builds a column's cells by cycling `values` to the requested row count
+// (each distinct value appears at least once when rows >= values).
+std::vector<std::string> CellsFromValues(const std::vector<std::string>& values,
+                                         size_t rows, Rng* rng) {
+  std::vector<std::string> cells;
+  cells.reserve(rows);
+  for (size_t r = 0; r < rows; ++r) {
+    if (r < values.size()) {
+      cells.push_back(values[r]);
+    } else {
+      cells.push_back(rng->Choice(values));
+    }
+  }
+  rng->Shuffle(&cells);
+  return cells;
+}
+
+// Exact Jaccard between two string sets.
+double ExactJaccard(const std::vector<std::string>& a,
+                    const std::vector<std::string>& b) {
+  std::unordered_set<std::string> sa(a.begin(), a.end());
+  size_t inter = 0;
+  std::unordered_set<std::string> sb(b.begin(), b.end());
+  for (const auto& x : sb) {
+    if (sa.count(x)) ++inter;
+  }
+  size_t uni = sa.size() + sb.size() - inter;
+  return uni == 0 ? 0.0 : static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+// Exact containment |A ∩ B| / |A|.
+double ExactContainment(const std::vector<std::string>& a,
+                        const std::vector<std::string>& b) {
+  std::unordered_set<std::string> sa(a.begin(), a.end());
+  std::unordered_set<std::string> sb(b.begin(), b.end());
+  size_t inter = 0;
+  for (const auto& x : sa) {
+    if (sb.count(x)) ++inter;
+  }
+  return sa.empty() ? 0.0 : static_cast<double>(inter) / static_cast<double>(sa.size());
+}
+
+}  // namespace
+
+PairDataset MakeTusSantos(const DomainCatalog& catalog, const BenchScale& scale,
+                          uint64_t seed) {
+  Rng rng(seed);
+  PairDataset ds;
+  ds.name = "TUS-SANTOS";
+  ds.task = TaskType::kBinaryClassification;
+  ds.num_outputs = 2;
+
+  std::vector<PairExample> examples;
+  for (size_t p = 0; p < scale.num_pairs; ++p) {
+    const bool positive = rng.Bernoulli(0.5);
+    size_t d1 = rng.Uniform(static_cast<uint32_t>(catalog.size()));
+    const Domain& dom1 = catalog.domain(d1);
+    // Column subset of the domain schema (>= 3 columns).
+    size_t keep = 3 + rng.Uniform(static_cast<uint32_t>(dom1.columns.size() - 2));
+    auto cols = rng.SampleIndices(dom1.columns.size(), keep);
+
+    std::string id_a = "tus_" + std::to_string(p) + "_a";
+    Table a = GenerateDomainTable(dom1, id_a, scale.rows, cols, &rng);
+
+    PairExample ex;
+    ex.a = AddTable(&ds, std::move(a));
+    if (positive) {
+      // Unionable: same domain and columns, fresh rows, shuffled order.
+      rng.Shuffle(&cols);
+      Table b = GenerateDomainTable(dom1, "tus_" + std::to_string(p) + "_b",
+                                    scale.rows, cols, &rng);
+      ex.b = AddTable(&ds, std::move(b));
+      ex.label = 1;
+    } else {
+      size_t d2 = rng.Uniform(static_cast<uint32_t>(catalog.size()));
+      while (d2 == d1) d2 = rng.Uniform(static_cast<uint32_t>(catalog.size()));
+      const Domain& dom2 = catalog.domain(d2);
+      size_t keep2 = 3 + rng.Uniform(static_cast<uint32_t>(dom2.columns.size() - 2));
+      Table b = GenerateDomainTable(dom2, "tus_" + std::to_string(p) + "_b",
+                                    scale.rows, rng.SampleIndices(dom2.columns.size(), keep2),
+                                    &rng);
+      ex.b = AddTable(&ds, std::move(b));
+      ex.label = 0;
+    }
+    examples.push_back(ex);
+  }
+  SplitExamples(std::move(examples), &rng, &ds);
+  return ds;
+}
+
+PairDataset MakeWikiUnion(const DomainCatalog& catalog, const BenchScale& scale,
+                          uint64_t seed) {
+  Rng rng(seed);
+  PairDataset ds;
+  ds.name = "Wiki Union";
+  ds.task = TaskType::kBinaryClassification;
+  ds.num_outputs = 2;
+
+  // Generic headers: unionability cannot be read off the schema.
+  auto make_table = [&](const std::string& id, const Domain& dom, size_t pool,
+                        const std::vector<std::string>& entities) {
+    Table t(id, "wikidata derived table");
+    (void)pool;
+    t.AddColumn("name", CellsFromValues(entities, scale.rows / 2, &rng));
+    ColumnSpec value_spec;
+    value_spec.kind = ColumnKind::kFloat;
+    value_spec.mean = 100;
+    value_spec.stddev = 40;
+    value_spec.name = "value";
+    t.AddColumn("value", GenerateCells(dom, value_spec, scale.rows / 2, &rng));
+    t.InferTypes();
+    return t;
+  };
+
+  std::vector<PairExample> examples;
+  for (size_t p = 0; p < scale.num_pairs; ++p) {
+    const bool positive = rng.Bernoulli(0.5);
+    size_t d1 = rng.Uniform(static_cast<uint32_t>(catalog.size()));
+    const Domain& dom1 = catalog.domain(d1);
+    const auto& pool1 = dom1.entity_pools[0];
+    // Disjoint halves of the same pool: same semantic domain, minimal value
+    // overlap (the paper's Fig 5 scenario).
+    auto ents_a = SampleValues(pool1, scale.rows / 3, &rng);
+
+    PairExample ex;
+    ex.a = AddTable(&ds, make_table("wu_" + std::to_string(p) + "_a", dom1, 0, ents_a));
+    if (positive) {
+      std::unordered_set<std::string> used(ents_a.begin(), ents_a.end());
+      std::vector<std::string> rest;
+      for (const auto& e : pool1) {
+        if (!used.count(e)) rest.push_back(e);
+      }
+      auto ents_b = SampleValues(rest, std::min(rest.size(), scale.rows / 3), &rng);
+      ex.b = AddTable(&ds,
+                      make_table("wu_" + std::to_string(p) + "_b", dom1, 0, ents_b));
+      ex.label = 1;
+    } else {
+      size_t d2 = rng.Uniform(static_cast<uint32_t>(catalog.size()));
+      while (d2 == d1) d2 = rng.Uniform(static_cast<uint32_t>(catalog.size()));
+      const Domain& dom2 = catalog.domain(d2);
+      auto ents_b = SampleValues(dom2.entity_pools[0], scale.rows / 3, &rng);
+      // Trap: literal value overlap across domains.
+      if (rng.Bernoulli(0.3) && !ents_a.empty()) {
+        ents_b[0] = ents_a[0];
+      }
+      ex.b = AddTable(&ds,
+                      make_table("wu_" + std::to_string(p) + "_b", dom2, 0, ents_b));
+      ex.label = 0;
+    }
+    examples.push_back(ex);
+  }
+  SplitExamples(std::move(examples), &rng, &ds);
+  return ds;
+}
+
+PairDataset MakeEcbUnion(const DomainCatalog& catalog, const BenchScale& scale,
+                         uint64_t seed) {
+  Rng rng(seed);
+  PairDataset ds;
+  ds.name = "ECB Union";
+  ds.task = TaskType::kRegression;
+  ds.num_outputs = 1;
+  const Domain& fin = catalog.domain(8);  // finance
+
+  // Wide tables: shared indicator columns + per-table private indicators.
+  auto indicator = [&](const std::string& name, double mean, Rng* r) {
+    ColumnSpec c;
+    c.name = name;
+    c.kind = ColumnKind::kFloat;
+    c.mean = mean;
+    c.stddev = std::max(1.0, mean * 0.2);
+    return GenerateCells(fin, c, scale.rows, r);
+  };
+
+  std::vector<PairExample> examples;
+  for (size_t p = 0; p < scale.num_pairs; ++p) {
+    const size_t total = scale.wide_cols;
+    const size_t shared = rng.Uniform(static_cast<uint32_t>(total + 1));
+
+    // Shared indicator specs: identical names and distributions on both sides.
+    Table a("ecbu_" + std::to_string(p) + "_a", "central bank statistics");
+    Table b("ecbu_" + std::to_string(p) + "_b", "central bank statistics");
+    for (size_t c = 0; c < total; ++c) {
+      if (c < shared) {
+        std::string name = "indicator " + SyntheticCode(&rng);
+        double mean = rng.UniformDouble(10, 2000);
+        a.AddColumn(name, indicator(name, mean, &rng));
+        b.AddColumn(name, indicator(name, mean, &rng));
+      } else {
+        std::string name_a = "series " + SyntheticCode(&rng);
+        std::string name_b = "series " + SyntheticCode(&rng);
+        a.AddColumn(name_a, indicator(name_a, rng.UniformDouble(10, 2000), &rng));
+        b.AddColumn(name_b, indicator(name_b, rng.UniformDouble(10, 2000), &rng));
+      }
+    }
+    a.InferTypes();
+    b.InferTypes();
+
+    PairExample ex;
+    ex.a = AddTable(&ds, std::move(a));
+    ex.b = AddTable(&ds, std::move(b));
+    // Regression target: fraction of unionable columns (paper: count).
+    ex.target = static_cast<float>(shared) / static_cast<float>(total);
+    examples.push_back(ex);
+  }
+  SplitExamples(std::move(examples), &rng, &ds);
+  return ds;
+}
+
+namespace {
+
+// Shared machinery for Wiki Jaccard / Containment: two key-column tables
+// with a controlled set overlap.
+PairDataset MakeOverlapRegression(const DomainCatalog& catalog,
+                                  const BenchScale& scale, uint64_t seed,
+                                  bool containment) {
+  Rng rng(seed);
+  PairDataset ds;
+  ds.name = containment ? "Wiki Containment" : "Wiki Jaccard";
+  ds.task = TaskType::kRegression;
+  ds.num_outputs = 1;
+
+  std::vector<PairExample> examples;
+  for (size_t p = 0; p < scale.num_pairs; ++p) {
+    size_t d = rng.Uniform(static_cast<uint32_t>(catalog.size()));
+    const Domain& dom = catalog.domain(d);
+    const auto& pool = dom.entity_pools[0];
+
+    const size_t na = 8 + rng.Uniform(16);
+    const size_t nb = 8 + rng.Uniform(16);
+    const size_t max_overlap = std::min(na, nb);
+    const size_t overlap = rng.Uniform(static_cast<uint32_t>(max_overlap + 1));
+
+    auto base = SampleValues(pool, na + nb - overlap, &rng);
+    std::vector<std::string> ents_a(base.begin(), base.begin() + na);
+    std::vector<std::string> ents_b(base.begin() + (na - overlap), base.end());
+
+    auto make = [&](const std::string& id, const std::vector<std::string>& ents) {
+      // Row count >= |ents| so the table's distinct-value set is exactly
+      // `ents` and the regression target stays exact.
+      const size_t rows = std::max(ents.size(), scale.rows / 2);
+      Table t(id, "wikidata entity table");
+      t.AddColumn("entity", CellsFromValues(ents, rows, &rng));
+      ColumnSpec c;
+      c.name = "score";
+      c.kind = ColumnKind::kFloat;
+      c.mean = 50;
+      c.stddev = 20;
+      t.AddColumn("score", GenerateCells(dom, c, rows, &rng));
+      t.InferTypes();
+      return t;
+    };
+
+    PairExample ex;
+    std::string prefix = (containment ? "wc_" : "wj_") + std::to_string(p);
+    ex.a = AddTable(&ds, make(prefix + "_a", ents_a));
+    ex.b = AddTable(&ds, make(prefix + "_b", ents_b));
+    ex.target = static_cast<float>(containment ? ExactContainment(ents_a, ents_b)
+                                               : ExactJaccard(ents_a, ents_b));
+    examples.push_back(ex);
+  }
+  SplitExamples(std::move(examples), &rng, &ds);
+  return ds;
+}
+
+}  // namespace
+
+PairDataset MakeWikiJaccard(const DomainCatalog& catalog, const BenchScale& scale,
+                            uint64_t seed) {
+  return MakeOverlapRegression(catalog, scale, seed, /*containment=*/false);
+}
+
+PairDataset MakeWikiContainment(const DomainCatalog& catalog, const BenchScale& scale,
+                                uint64_t seed) {
+  return MakeOverlapRegression(catalog, scale, seed, /*containment=*/true);
+}
+
+PairDataset MakeSpiderOpenData(const DomainCatalog& catalog, const BenchScale& scale,
+                               uint64_t seed) {
+  Rng rng(seed);
+  PairDataset ds;
+  ds.name = "Spider-OpenData";
+  ds.task = TaskType::kBinaryClassification;
+  ds.num_outputs = 2;
+
+  std::vector<PairExample> examples;
+  for (size_t p = 0; p < scale.num_pairs; ++p) {
+    const bool positive = rng.Bernoulli(0.5);
+    size_t d = rng.Uniform(static_cast<uint32_t>(catalog.size()));
+    const Domain& dom = catalog.domain(d);
+    const auto& pool = dom.entity_pools[0];
+
+    auto keys = SampleValues(pool, 20, &rng);
+
+    // Fact table: key + measures.
+    Table a("sp_" + std::to_string(p) + "_a", dom.description);
+    a.AddColumn(dom.columns[0].name, CellsFromValues(keys, scale.rows, &rng));
+    ColumnSpec m;
+    m.name = "amount";
+    m.kind = ColumnKind::kFloat;
+    m.mean = 500;
+    m.stddev = 200;
+    a.AddColumn("amount", GenerateCells(dom, m, scale.rows, &rng));
+    a.InferTypes();
+
+    Table b("sp_" + std::to_string(p) + "_b", dom.description + " reference");
+    std::vector<std::string> fk_values;
+    if (positive) {
+      // >= 60% of the same key set, under a differently-worded header.
+      auto sub = SampleValues(keys, 12 + rng.Uniform(8), &rng);
+      auto extra = SampleValues(pool, 4, &rng);
+      sub.insert(sub.end(), extra.begin(), extra.end());
+      fk_values = sub;
+    } else if (rng.Bernoulli(0.5)) {
+      // Same pool, (near-)disjoint subset: values do not overlap.
+      std::unordered_set<std::string> used(keys.begin(), keys.end());
+      std::vector<std::string> rest;
+      for (const auto& e : pool) {
+        if (!used.count(e)) rest.push_back(e);
+      }
+      fk_values = SampleValues(rest, std::min<size_t>(rest.size(), 20), &rng);
+    } else {
+      // Different domain entirely.
+      size_t d2 = rng.Uniform(static_cast<uint32_t>(catalog.size()));
+      while (d2 == d) d2 = rng.Uniform(static_cast<uint32_t>(catalog.size()));
+      fk_values = SampleValues(catalog.domain(d2).entity_pools[0], 20, &rng);
+    }
+    b.AddColumn(dom.columns[0].name + " ref", CellsFromValues(fk_values, scale.rows, &rng));
+    ColumnSpec m2;
+    m2.name = "detail";
+    m2.kind = ColumnKind::kInteger;
+    m2.lo = 0;
+    m2.hi = 5000;
+    b.AddColumn("detail", GenerateCells(dom, m2, scale.rows, &rng));
+    b.InferTypes();
+
+    PairExample ex;
+    ex.a = AddTable(&ds, std::move(a));
+    ex.b = AddTable(&ds, std::move(b));
+    ex.label = positive ? 1 : 0;
+    examples.push_back(ex);
+  }
+  SplitExamples(std::move(examples), &rng, &ds);
+  return ds;
+}
+
+PairDataset MakeEcbJoin(const DomainCatalog& catalog, const BenchScale& scale,
+                        uint64_t seed) {
+  Rng rng(seed);
+  PairDataset ds;
+  ds.name = "ECB Join";
+  ds.task = TaskType::kMultiLabel;
+  ds.num_outputs = kEcbJoinLabels;
+  const Domain& fin = catalog.domain(8);  // finance
+
+  std::vector<PairExample> examples;
+  for (size_t p = 0; p < scale.num_pairs; ++p) {
+    Table a("ecbj_" + std::to_string(p) + "_a", "financial series panel");
+    Table b("ecbj_" + std::to_string(p) + "_b", "financial series panel");
+    std::vector<float> labels(kEcbJoinLabels, 0.0f);
+
+    for (size_t c = 0; c < kEcbJoinLabels; ++c) {
+      const bool key_column = rng.Bernoulli(0.35);
+      if (key_column) {
+        // Joinable: both sides carry overlapping key values.
+        const auto& pool = fin.entity_pools[0];
+        auto keys = SampleValues(pool, 24, &rng);
+        std::string name = "key " + SyntheticCode(&rng);
+        a.AddColumn(name, CellsFromValues(SampleValues(keys, 18, &rng), scale.rows, &rng));
+        b.AddColumn(name + " x", CellsFromValues(SampleValues(keys, 18, &rng), scale.rows, &rng));
+        labels[c] = 1.0f;
+      } else {
+        ColumnSpec m;
+        m.name = "obs " + SyntheticCode(&rng);
+        m.kind = ColumnKind::kFloat;
+        m.mean = rng.UniformDouble(10, 1000);
+        m.stddev = m.mean * 0.2;
+        a.AddColumn(m.name, GenerateCells(fin, m, scale.rows, &rng));
+        ColumnSpec m2;
+        m2.name = "obs " + SyntheticCode(&rng);
+        m2.kind = ColumnKind::kFloat;
+        m2.mean = rng.UniformDouble(10, 1000);
+        m2.stddev = m2.mean * 0.2;
+        b.AddColumn(m2.name, GenerateCells(fin, m2, scale.rows, &rng));
+      }
+    }
+    a.InferTypes();
+    b.InferTypes();
+
+    PairExample ex;
+    ex.a = AddTable(&ds, std::move(a));
+    ex.b = AddTable(&ds, std::move(b));
+    ex.multi_labels = labels;
+    examples.push_back(ex);
+  }
+  SplitExamples(std::move(examples), &rng, &ds);
+  return ds;
+}
+
+PairDataset MakeCkanSubset(const DomainCatalog& catalog, const BenchScale& scale,
+                           uint64_t seed) {
+  Rng rng(seed);
+  PairDataset ds;
+  ds.name = "CKAN Subset";
+  ds.task = TaskType::kBinaryClassification;
+  ds.num_outputs = 2;
+
+  std::vector<PairExample> examples;
+  for (size_t p = 0; p < scale.num_pairs; ++p) {
+    const bool positive = rng.Bernoulli(0.5);
+    size_t d = rng.Uniform(static_cast<uint32_t>(catalog.size()));
+    const Domain& dom = catalog.domain(d);
+
+    // Each table *instance* gets its own multiplicative scale jitter so an
+    // independently generated table with the same schema has a measurably
+    // different distribution — exactly the evidence the subset task needs.
+    // The jitter is relative (not absolute) so it is visible on every
+    // column regardless of its magnitude.
+    auto make_instance = [&](const std::string& id, double factor) {
+      Table t(id, dom.description);
+      for (const auto& spec : dom.columns) {
+        ColumnSpec s = spec;
+        if (s.kind == ColumnKind::kFloat) {
+          s.mean *= factor;
+          s.stddev *= factor;
+        }
+        if (s.kind == ColumnKind::kInteger) {
+          s.lo *= factor;
+          s.hi *= factor;
+        }
+        t.AddColumn(s.name, GenerateCells(dom, s, scale.rows * 2, &rng));
+      }
+      t.InferTypes();
+      return t;
+    };
+
+    double jitter = rng.UniformDouble(0.6, 1.6);
+    Table a = make_instance("ck_" + std::to_string(p) + "_a", jitter);
+
+    PairExample ex;
+    if (positive) {
+      // B = literal row subset of A (25–75%), rows shuffled.
+      size_t keep = a.num_rows() / 4 + rng.Uniform(static_cast<uint32_t>(a.num_rows() / 2));
+      keep = std::max<size_t>(keep, 4);
+      auto row_idx = rng.SampleIndices(a.num_rows(), keep);
+      std::vector<size_t> all_cols(a.num_columns());
+      for (size_t i = 0; i < all_cols.size(); ++i) all_cols[i] = i;
+      Table b = a.Slice(row_idx, all_cols);
+      b.set_id("ck_" + std::to_string(p) + "_b");
+      b.set_description(a.description());
+      b.InferTypes();
+      ex.a = AddTable(&ds, std::move(a));
+      ex.b = AddTable(&ds, std::move(b));
+      ex.label = 1;
+    } else {
+      // Same schema (identical headers!), fresh draw with its own jitter.
+      double jitter_b = rng.UniformDouble(0.6, 1.6);
+      Table b = make_instance("ck_" + std::to_string(p) + "_b", jitter_b);
+      ex.a = AddTable(&ds, std::move(a));
+      ex.b = AddTable(&ds, std::move(b));
+      ex.label = 0;
+    }
+    examples.push_back(ex);
+  }
+  SplitExamples(std::move(examples), &rng, &ds);
+  return ds;
+}
+
+std::vector<PairDataset> MakeAllFinetuneBenchmarks(const DomainCatalog& catalog,
+                                                   const BenchScale& scale,
+                                                   uint64_t seed) {
+  std::vector<PairDataset> out;
+  out.push_back(MakeTusSantos(catalog, scale, seed + 1));
+  out.push_back(MakeWikiUnion(catalog, scale, seed + 2));
+  out.push_back(MakeEcbUnion(catalog, scale, seed + 3));
+  out.push_back(MakeWikiJaccard(catalog, scale, seed + 4));
+  out.push_back(MakeWikiContainment(catalog, scale, seed + 5));
+  out.push_back(MakeSpiderOpenData(catalog, scale, seed + 6));
+  out.push_back(MakeEcbJoin(catalog, scale, seed + 7));
+  out.push_back(MakeCkanSubset(catalog, scale, seed + 8));
+  return out;
+}
+
+}  // namespace tsfm::lakebench

@@ -1,0 +1,60 @@
+// Generators for the eight LakeBench-style fine-tuning benchmarks
+// (paper Table I; task semantics from Srinivas et al. [17]).
+//
+// Each generator synthesizes tables plus exact-by-construction labels that
+// stress the same signal as the original benchmark:
+//   TUS-SANTOS       binary union; solvable from headers (paper Sec IV-A.2)
+//   Wiki Union       binary union; same-domain values with little overlap
+//   ECB Union        regression: number of unionable columns
+//   Wiki Jaccard     regression: key-column Jaccard similarity
+//   Wiki Containment regression: key-column containment
+//   Spider-OpenData  binary join
+//   ECB Join         multi-label: which columns of A join into B
+//   CKAN Subset      binary subset; identical headers, content decides
+#ifndef TSFM_LAKEBENCH_FINETUNE_BENCHMARKS_H_
+#define TSFM_LAKEBENCH_FINETUNE_BENCHMARKS_H_
+
+#include "core/dataset.h"
+#include "lakebench/datagen.h"
+
+namespace tsfm::lakebench {
+
+/// Benchmark-size knobs. Defaults keep a full Table II run in CPU minutes.
+struct BenchScale {
+  size_t num_pairs = 160;   ///< total labelled pairs (split 70/15/15)
+  size_t rows = 48;         ///< typical rows per table
+  size_t wide_cols = 12;    ///< column count for the "wide" ECB-style tables
+};
+
+/// Width of the ECB Join multi-label output (fixed head size).
+inline constexpr size_t kEcbJoinLabels = 12;
+
+core::PairDataset MakeTusSantos(const DomainCatalog& catalog, const BenchScale& scale,
+                                uint64_t seed);
+core::PairDataset MakeWikiUnion(const DomainCatalog& catalog, const BenchScale& scale,
+                                uint64_t seed);
+core::PairDataset MakeEcbUnion(const DomainCatalog& catalog, const BenchScale& scale,
+                               uint64_t seed);
+core::PairDataset MakeWikiJaccard(const DomainCatalog& catalog,
+                                  const BenchScale& scale, uint64_t seed);
+core::PairDataset MakeWikiContainment(const DomainCatalog& catalog,
+                                      const BenchScale& scale, uint64_t seed);
+core::PairDataset MakeSpiderOpenData(const DomainCatalog& catalog,
+                                     const BenchScale& scale, uint64_t seed);
+core::PairDataset MakeEcbJoin(const DomainCatalog& catalog, const BenchScale& scale,
+                              uint64_t seed);
+core::PairDataset MakeCkanSubset(const DomainCatalog& catalog,
+                                 const BenchScale& scale, uint64_t seed);
+
+/// All eight, in paper Table II row order.
+std::vector<core::PairDataset> MakeAllFinetuneBenchmarks(const DomainCatalog& catalog,
+                                                         const BenchScale& scale,
+                                                         uint64_t seed);
+
+/// Assigns `examples` into train/val/test splits (70/15/15) of `dataset`.
+void SplitExamples(std::vector<core::PairExample> examples, Rng* rng,
+                   core::PairDataset* dataset);
+
+}  // namespace tsfm::lakebench
+
+#endif  // TSFM_LAKEBENCH_FINETUNE_BENCHMARKS_H_

@@ -1,0 +1,252 @@
+#include "lakebench/search_benchmarks.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace tsfm::lakebench {
+
+void SearchBenchmark::BuildSketches(const SketchOptions& options) {
+  sketches.clear();
+  sketches.reserve(tables.size());
+  for (auto& t : tables) {
+    t.InferTypes();
+    sketches.push_back(BuildTableSketch(t, options));
+  }
+}
+
+namespace {
+
+double AnnotationJaccard(const std::vector<int>& a, const std::vector<int>& b) {
+  std::unordered_set<int> sa(a.begin(), a.end());
+  std::unordered_set<int> sb(b.begin(), b.end());
+  size_t inter = 0;
+  for (int x : sb) {
+    if (sa.count(x)) ++inter;
+  }
+  size_t uni = sa.size() + sb.size() - inter;
+  return uni == 0 ? 0.0 : static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+}  // namespace
+
+SearchBenchmark MakeWikiJoinSearch(const WikiJoinScale& scale, uint64_t seed) {
+  Rng rng(seed);
+  SearchBenchmark bench;
+  bench.name = "Wiki Join";
+
+  // Global entity space: pools share `surface_overlap` of their literal
+  // strings but every (pool, slot) has a distinct entity id.
+  std::vector<std::string> shared_names =
+      MakeEntityPool(static_cast<size_t>(scale.pool_size * scale.surface_overlap) + 1,
+                     &rng);
+  struct Pool {
+    std::vector<std::string> names;  // surface strings
+    std::vector<int> ids;            // global entity ids
+  };
+  std::vector<Pool> pools(scale.num_pools);
+  int next_id = 0;
+  for (auto& pool : pools) {
+    pool.names = MakeEntityPool(scale.pool_size, &rng);
+    // Overwrite a prefix with globally shared surface strings (traps).
+    for (size_t i = 0; i < shared_names.size() && i < pool.names.size(); ++i) {
+      pool.names[i] = shared_names[i];
+    }
+    pool.ids.resize(pool.names.size());
+    for (auto& id : pool.ids) id = next_id++;
+  }
+
+  // Each corpus table: a key column sampling 70–92% of one pool + 1–2
+  // attribute columns.
+  for (size_t t = 0; t < scale.num_tables; ++t) {
+    size_t pi = rng.Uniform(static_cast<uint32_t>(pools.size()));
+    const Pool& pool = pools[pi];
+    size_t take = pool.names.size() * 55 / 100 +
+                  rng.Uniform(static_cast<uint32_t>(pool.names.size() * 40 / 100 + 1));
+    take = std::min(take, pool.names.size());
+    auto idx = rng.SampleIndices(pool.names.size(), take);
+
+    std::vector<std::string> key_cells;
+    std::vector<int> annotation;
+    key_cells.reserve(scale.rows);
+    for (size_t i : idx) annotation.push_back(pool.ids[i]);
+    for (size_t r = 0; r < scale.rows; ++r) {
+      size_t i = idx[r % idx.size()];
+      key_cells.push_back(pool.names[i]);
+    }
+    rng.Shuffle(&key_cells);
+
+    Table table("wjs_" + std::to_string(t), "entity records " + std::to_string(pi));
+    table.AddColumn("entity", std::move(key_cells));
+    // Numeric attribute.
+    std::vector<std::string> attr;
+    attr.reserve(scale.rows);
+    for (size_t r = 0; r < scale.rows; ++r) {
+      attr.push_back(FormatDouble(rng.Normal(100, 40), 2));
+    }
+    table.AddColumn("measure", std::move(attr));
+    table.InferTypes();
+
+    bench.tables.push_back(std::move(table));
+    bench.column_annotations.push_back({annotation, {}});
+  }
+
+  // Queries: the key column of sampled tables; gold = tables with a column
+  // whose annotation Jaccard with the query column exceeds 0.5.
+  auto query_tables = rng.SampleIndices(bench.tables.size(), scale.num_queries);
+  for (size_t qt : query_tables) {
+    SearchQuery q;
+    q.table_index = qt;
+    q.column_index = 0;
+    std::vector<size_t> gold;
+    const auto& qann = bench.column_annotations[qt][0];
+    for (size_t t = 0; t < bench.tables.size(); ++t) {
+      if (t == qt) continue;
+      if (AnnotationJaccard(qann, bench.column_annotations[t][0]) > 0.5) {
+        gold.push_back(t);
+      }
+    }
+    bench.queries.push_back(q);
+    bench.gold.push_back(std::move(gold));
+  }
+  return bench;
+}
+
+SearchBenchmark MakeUnionSearch(const DomainCatalog& catalog,
+                                const UnionSearchScale& scale, uint64_t seed,
+                                const std::string& name) {
+  Rng rng(seed);
+  SearchBenchmark bench;
+  bench.name = name;
+
+  std::vector<std::vector<size_t>> groups;  // per seed, corpus table indices
+  for (size_t s = 0; s < scale.num_seeds; ++s) {
+    size_t d = rng.Uniform(static_cast<uint32_t>(catalog.size()));
+    const Domain& dom = catalog.domain(d);
+    Table seed_table = GenerateDomainTable(
+        dom, name + "_seed" + std::to_string(s), scale.rows, &rng);
+
+    groups.emplace_back();
+    for (size_t v = 0; v < scale.variants_per_seed; ++v) {
+      // Row slice 40–80%, column slice of >= 3 columns, optional shuffle.
+      size_t keep_rows = scale.rows * 2 / 5 +
+                         rng.Uniform(static_cast<uint32_t>(scale.rows * 2 / 5));
+      auto rows_idx = rng.SampleIndices(seed_table.num_rows(), keep_rows);
+      size_t keep_cols =
+          3 + rng.Uniform(static_cast<uint32_t>(seed_table.num_columns() - 2));
+      auto cols_idx = rng.SampleIndices(seed_table.num_columns(), keep_cols);
+      Table variant = seed_table.Slice(rows_idx, cols_idx);
+      variant.set_id(name + "_s" + std::to_string(s) + "_v" + std::to_string(v));
+      variant.set_description(seed_table.description());
+      variant.InferTypes();
+      groups.back().push_back(bench.tables.size());
+      bench.tables.push_back(std::move(variant));
+    }
+  }
+
+  // Queries: sampled corpus tables; gold = same-seed siblings.
+  std::vector<std::pair<size_t, size_t>> members;  // (seed, table index)
+  for (size_t g = 0; g < groups.size(); ++g) {
+    for (size_t ti : groups[g]) members.emplace_back(g, ti);
+  }
+  auto chosen = rng.SampleIndices(members.size(),
+                                  std::min(scale.num_queries, members.size()));
+  for (size_t m : chosen) {
+    auto [g, ti] = members[m];
+    SearchQuery q;
+    q.table_index = ti;
+    std::vector<size_t> gold;
+    for (size_t other : groups[g]) {
+      if (other != ti) gold.push_back(other);
+    }
+    bench.queries.push_back(q);
+    bench.gold.push_back(std::move(gold));
+  }
+  return bench;
+}
+
+std::vector<Table> MakeEurostatVariants(const Table& seed_table, Rng* rng) {
+  const size_t rows = seed_table.num_rows();
+  const size_t cols = seed_table.num_columns();
+
+  auto rows_frac = [&](double f) {
+    return rng->SampleIndices(rows, std::max<size_t>(1, static_cast<size_t>(rows * f)));
+  };
+  auto cols_frac = [&](double f) {
+    return rng->SampleIndices(cols, std::max<size_t>(1, static_cast<size_t>(cols * f)));
+  };
+  auto all_rows = [&] {
+    std::vector<size_t> v(rows);
+    for (size_t i = 0; i < rows; ++i) v[i] = i;
+    return v;
+  };
+  auto all_cols = [&] {
+    std::vector<size_t> v(cols);
+    for (size_t i = 0; i < cols; ++i) v[i] = i;
+    return v;
+  };
+
+  std::vector<Table> variants;
+  int vid = 0;
+  auto add = [&](std::vector<size_t> r, std::vector<size_t> c) {
+    Table v = seed_table.Slice(r, c);
+    v.set_id(seed_table.id() + "_v" + std::to_string(vid++));
+    v.set_description(seed_table.description());
+    v.InferTypes();
+    variants.push_back(std::move(v));
+  };
+
+  // Fig 7, in order: fractional row+column grids...
+  add(rows_frac(0.25), cols_frac(0.25));
+  add(rows_frac(0.50), cols_frac(0.50));
+  add(rows_frac(0.75), cols_frac(0.75));
+  add(all_rows(), cols_frac(0.25));
+  add(all_rows(), cols_frac(0.50));
+  add(all_rows(), cols_frac(0.75));
+  add(rows_frac(0.25), all_cols());
+  add(rows_frac(0.50), all_cols());
+  add(rows_frac(0.75), all_cols());
+  // ...plus the two order-invariance probes.
+  auto shuffled_cols = all_cols();
+  rng->Shuffle(&shuffled_cols);
+  add(all_rows(), shuffled_cols);
+  auto shuffled_rows = all_rows();
+  rng->Shuffle(&shuffled_rows);
+  add(shuffled_rows, all_cols());
+
+  return variants;
+}
+
+SearchBenchmark MakeEurostatSubsetSearch(const DomainCatalog& catalog,
+                                         const EurostatScale& scale, uint64_t seed) {
+  Rng rng(seed);
+  SearchBenchmark bench;
+  bench.name = "Eurostat Subset";
+
+  for (size_t s = 0; s < scale.num_seeds; ++s) {
+    // Eurostat-like statistical files: finance/trade/energy domains.
+    const size_t kStatDomains[] = {5, 8, 9};
+    const Domain& dom = catalog.domain(kStatDomains[rng.Uniform(3)]);
+    Table seed_table =
+        GenerateDomainTable(dom, "eu_seed" + std::to_string(s), scale.rows, &rng);
+
+    size_t query_index = bench.tables.size();
+    std::vector<Table> variants = MakeEurostatVariants(seed_table, &rng);
+    bench.tables.push_back(std::move(seed_table));
+
+    SearchQuery q;
+    q.table_index = query_index;
+    std::vector<size_t> gold;
+    for (auto& v : variants) {
+      gold.push_back(bench.tables.size());
+      bench.tables.push_back(std::move(v));
+    }
+    bench.queries.push_back(q);
+    bench.gold.push_back(std::move(gold));
+  }
+  return bench;
+}
+
+}  // namespace tsfm::lakebench

@@ -1,0 +1,90 @@
+// Search benchmark generators (paper Sec IV-C):
+//   Wiki Join       entity-annotated join search (gold: annotation Jaccard > 0.5)
+//   SANTOS union    slice-based union search, SANTOS-Small style
+//   TUS union       slice-based union search, TUS-Small style (k up to 60)
+//   Eurostat subset Fig 7 variant grid subset search
+#ifndef TSFM_LAKEBENCH_SEARCH_BENCHMARKS_H_
+#define TSFM_LAKEBENCH_SEARCH_BENCHMARKS_H_
+
+#include <string>
+#include <vector>
+
+#include "lakebench/datagen.h"
+#include "sketch/table_sketch.h"
+#include "table/table.h"
+
+namespace tsfm::lakebench {
+
+/// \brief One search query: a table in the corpus, optionally with a marked
+/// query column (join search); column_index == -1 means whole-table query.
+struct SearchQuery {
+  size_t table_index = 0;
+  int column_index = -1;
+};
+
+/// \brief A search corpus with queries and gold relevance sets.
+struct SearchBenchmark {
+  std::string name;
+  std::vector<Table> tables;
+  std::vector<TableSketch> sketches;
+  std::vector<SearchQuery> queries;
+  /// gold[q] = indices of relevant corpus tables (never contains the query
+  /// table itself).
+  std::vector<std::vector<size_t>> gold;
+
+  /// For join benchmarks: per table, per column, the entity-annotation set
+  /// (ids into a global entity space). Used by annotation-aware baselines
+  /// (SANTOS-style) and by tests validating gold construction.
+  std::vector<std::vector<std::vector<int>>> column_annotations;
+
+  void BuildSketches(const SketchOptions& options = {});
+};
+
+/// Wiki Join scale knobs.
+struct WikiJoinScale {
+  size_t num_pools = 18;      ///< distinct entity domains
+  size_t pool_size = 60;      ///< entities per domain
+  size_t num_tables = 220;    ///< corpus size
+  size_t num_queries = 40;
+  size_t rows = 48;
+  double surface_overlap = 0.2;  ///< fraction of names shared across pools
+};
+
+/// Builds the Wiki Join benchmark: key columns annotated with entity ids;
+/// a pair of columns is sensibly-joinable iff annotation Jaccard > 0.5.
+/// Distinct pools share `surface_overlap` of their literal strings, so raw
+/// value overlap exists between non-joinable columns (the marks-vs-ages trap).
+SearchBenchmark MakeWikiJoinSearch(const WikiJoinScale& scale, uint64_t seed);
+
+/// Union search scale knobs.
+struct UnionSearchScale {
+  size_t num_seeds = 10;
+  size_t variants_per_seed = 12;
+  size_t num_queries = 40;
+  size_t rows = 64;
+};
+
+/// Builds a TUS/SANTOS-style union search corpus: each seed table is sliced
+/// into row/column subsets; gold for a query slice is every other slice of
+/// the same seed.
+SearchBenchmark MakeUnionSearch(const DomainCatalog& catalog,
+                                const UnionSearchScale& scale, uint64_t seed,
+                                const std::string& name);
+
+/// Eurostat subset scale knobs.
+struct EurostatScale {
+  size_t num_seeds = 40;
+  size_t rows = 48;
+};
+
+/// The 11 Fig 7 variants of a seed table, in paper order.
+std::vector<Table> MakeEurostatVariants(const Table& seed_table, Rng* rng);
+
+/// Builds the Eurostat subset search benchmark: corpus = seeds + 11 variants
+/// each; queries = the seeds; gold = their variants.
+SearchBenchmark MakeEurostatSubsetSearch(const DomainCatalog& catalog,
+                                         const EurostatScale& scale, uint64_t seed);
+
+}  // namespace tsfm::lakebench
+
+#endif  // TSFM_LAKEBENCH_SEARCH_BENCHMARKS_H_

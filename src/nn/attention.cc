@@ -1,0 +1,52 @@
+#include "nn/attention.h"
+
+#include <cmath>
+
+#include "nn/ops.h"
+#include "util/logging.h"
+
+namespace tsfm::nn {
+
+MultiHeadAttention::MultiHeadAttention(size_t hidden, size_t num_heads, float dropout,
+                                       Rng* rng)
+    : hidden_(hidden),
+      num_heads_(num_heads),
+      head_dim_(hidden / num_heads),
+      dropout_(dropout),
+      wq_(std::make_unique<Linear>(hidden, hidden, rng)),
+      wk_(std::make_unique<Linear>(hidden, hidden, rng)),
+      wv_(std::make_unique<Linear>(hidden, hidden, rng)),
+      wo_(std::make_unique<Linear>(hidden, hidden, rng)) {
+  TSFM_CHECK_EQ(head_dim_ * num_heads_, hidden_);
+}
+
+Var MultiHeadAttention::Forward(const Var& x, bool training, Rng* rng) const {
+  Var q = wq_->Forward(x);
+  Var k = wk_->Forward(x);
+  Var v = wv_->Forward(x);
+
+  const float scale = 1.0f / std::sqrt(static_cast<float>(head_dim_));
+  std::vector<Var> head_outputs;
+  head_outputs.reserve(num_heads_);
+  for (size_t h = 0; h < num_heads_; ++h) {
+    Var qh = SliceCols(q, h * head_dim_, head_dim_);
+    Var kh = SliceCols(k, h * head_dim_, head_dim_);
+    Var vh = SliceCols(v, h * head_dim_, head_dim_);
+    Var scores = Scale(MatMulNT(qh, kh), scale);  // [seq, seq]
+    Var attn = Softmax(scores);
+    attn = Dropout(attn, dropout_, training, rng);
+    head_outputs.push_back(MatMul(attn, vh));  // [seq, head_dim]
+  }
+  Var concat = num_heads_ == 1 ? head_outputs[0] : ConcatCols(head_outputs);
+  return wo_->Forward(concat);
+}
+
+void MultiHeadAttention::CollectParams(const std::string& prefix,
+                                       std::vector<NamedParam>* out) const {
+  wq_->CollectParams(prefix + ".wq", out);
+  wk_->CollectParams(prefix + ".wk", out);
+  wv_->CollectParams(prefix + ".wv", out);
+  wo_->CollectParams(prefix + ".wo", out);
+}
+
+}  // namespace tsfm::nn

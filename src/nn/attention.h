@@ -1,0 +1,38 @@
+// Multi-head bidirectional self-attention (BERT-style).
+#ifndef TSFM_NN_ATTENTION_H_
+#define TSFM_NN_ATTENTION_H_
+
+#include <memory>
+
+#include "nn/linear.h"
+#include "nn/module.h"
+
+namespace tsfm::nn {
+
+/// \brief Multi-head self-attention over a [seq, hidden] sequence.
+///
+/// Bidirectional (no causal mask): each token attends to every other, which
+/// is what lets TabSketchFM disambiguate a column name like "Age" by the
+/// surrounding columns (paper Sec III-B).
+class MultiHeadAttention : public Module {
+ public:
+  MultiHeadAttention(size_t hidden, size_t num_heads, float dropout, Rng* rng);
+
+  /// x[seq, hidden] -> [seq, hidden].
+  /// `training` enables attention dropout; `rng` supplies the masks.
+  Var Forward(const Var& x, bool training, Rng* rng) const;
+
+  void CollectParams(const std::string& prefix,
+                     std::vector<NamedParam>* out) const override;
+
+ private:
+  size_t hidden_;
+  size_t num_heads_;
+  size_t head_dim_;
+  float dropout_;
+  std::unique_ptr<Linear> wq_, wk_, wv_, wo_;
+};
+
+}  // namespace tsfm::nn
+
+#endif  // TSFM_NN_ATTENTION_H_

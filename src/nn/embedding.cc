@@ -1,0 +1,19 @@
+#include "nn/embedding.h"
+
+namespace tsfm::nn {
+
+Embedding::Embedding(size_t num_embeddings, size_t dim, Rng* rng)
+    : num_(num_embeddings),
+      dim_(dim),
+      weight_(MakeLeaf(BertNormal(num_embeddings, dim, rng), true)) {}
+
+Var Embedding::Forward(const std::vector<int>& ids) const {
+  return EmbeddingLookup(weight_, ids);
+}
+
+void Embedding::CollectParams(const std::string& prefix,
+                              std::vector<NamedParam>* out) const {
+  out->push_back({prefix + ".weight", weight_});
+}
+
+}  // namespace tsfm::nn

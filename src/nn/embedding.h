@@ -1,0 +1,36 @@
+// Embedding table module: id -> dense row.
+#ifndef TSFM_NN_EMBEDDING_H_
+#define TSFM_NN_EMBEDDING_H_
+
+#include <vector>
+
+#include "nn/init.h"
+#include "nn/module.h"
+#include "nn/ops.h"
+
+namespace tsfm::nn {
+
+/// \brief Lookup table [num_embeddings, dim].
+class Embedding : public Module {
+ public:
+  Embedding(size_t num_embeddings, size_t dim, Rng* rng);
+
+  /// ids -> [ids.size(), dim].
+  Var Forward(const std::vector<int>& ids) const;
+
+  void CollectParams(const std::string& prefix,
+                     std::vector<NamedParam>* out) const override;
+
+  const Var& weight() const { return weight_; }
+  size_t num_embeddings() const { return num_; }
+  size_t dim() const { return dim_; }
+
+ private:
+  size_t num_;
+  size_t dim_;
+  Var weight_;
+};
+
+}  // namespace tsfm::nn
+
+#endif  // TSFM_NN_EMBEDDING_H_

@@ -1,0 +1,32 @@
+#include "nn/gradcheck.h"
+
+#include <cmath>
+
+namespace tsfm::nn {
+
+double MaxGradError(const Var& leaf, const std::function<Var()>& make_loss,
+                    float epsilon, float tol) {
+  // Analytic gradients.
+  leaf->ZeroGrad();
+  Var loss = make_loss();
+  Backward(loss);
+  Tensor analytic = leaf->grad();
+
+  double max_err = 0.0;
+  Tensor& w = leaf->value();
+  for (size_t i = 0; i < w.size(); ++i) {
+    const float orig = w[i];
+    w[i] = orig + epsilon;
+    float up = make_loss()->value()[0];
+    w[i] = orig - epsilon;
+    float down = make_loss()->value()[0];
+    w[i] = orig;
+    double numeric = (static_cast<double>(up) - down) / (2.0 * epsilon);
+    double a = analytic[i];
+    double err = std::fabs(a - numeric) / (std::fabs(a) + std::fabs(numeric) + tol);
+    if (err > max_err) max_err = err;
+  }
+  return max_err;
+}
+
+}  // namespace tsfm::nn

@@ -1,0 +1,25 @@
+// Numerical gradient checking for the autograd implementation.
+//
+// Lives in the library (not the test tree) so examples and new modules can
+// reuse it when extending the op set.
+#ifndef TSFM_NN_GRADCHECK_H_
+#define TSFM_NN_GRADCHECK_H_
+
+#include <functional>
+
+#include "nn/autograd.h"
+
+namespace tsfm::nn {
+
+/// \brief Compares autograd gradients of `leaf` against central differences.
+///
+/// `make_loss` must rebuild the forward graph from scratch and return a
+/// scalar loss Var each time it is called (it is called 2*N+1 times).
+/// Returns the maximum relative error max(|g_a - g_n| / (|g_a| + |g_n| + tol))
+/// over all elements of the leaf.
+double MaxGradError(const Var& leaf, const std::function<Var()>& make_loss,
+                    float epsilon = 1e-3f, float tol = 1e-3f);
+
+}  // namespace tsfm::nn
+
+#endif  // TSFM_NN_GRADCHECK_H_

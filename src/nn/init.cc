@@ -1,0 +1,30 @@
+#include "nn/init.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tsfm::nn {
+
+Tensor XavierUniform(size_t rows, size_t cols, Rng* rng) {
+  Tensor t(rows, cols);
+  const float bound = std::sqrt(6.0f / static_cast<float>(rows + cols));
+  for (size_t i = 0; i < t.size(); ++i) {
+    t[i] = static_cast<float>(rng->UniformDouble(-bound, bound));
+  }
+  return t;
+}
+
+Tensor BertNormal(size_t rows, size_t cols, Rng* rng, float stddev) {
+  Tensor t(rows, cols);
+  for (size_t i = 0; i < t.size(); ++i) {
+    float v = static_cast<float>(rng->Normal(0.0, stddev));
+    t[i] = std::clamp(v, -2.0f * stddev, 2.0f * stddev);
+  }
+  return t;
+}
+
+Tensor Zeros(size_t rows, size_t cols) { return Tensor(rows, cols, 0.0f); }
+
+Tensor Ones(size_t rows, size_t cols) { return Tensor(rows, cols, 1.0f); }
+
+}  // namespace tsfm::nn

@@ -1,0 +1,24 @@
+// Weight initialization schemes.
+#ifndef TSFM_NN_INIT_H_
+#define TSFM_NN_INIT_H_
+
+#include "nn/tensor.h"
+#include "util/random.h"
+
+namespace tsfm::nn {
+
+/// Xavier/Glorot uniform: U(-b, b) with b = sqrt(6 / (fan_in + fan_out)).
+Tensor XavierUniform(size_t rows, size_t cols, Rng* rng);
+
+/// Truncated-normal-ish init used by BERT: N(0, 0.02), clipped to 2 sigma.
+Tensor BertNormal(size_t rows, size_t cols, Rng* rng, float stddev = 0.02f);
+
+/// All zeros.
+Tensor Zeros(size_t rows, size_t cols);
+
+/// All ones.
+Tensor Ones(size_t rows, size_t cols);
+
+}  // namespace tsfm::nn
+
+#endif  // TSFM_NN_INIT_H_

@@ -1,0 +1,20 @@
+#include "nn/layer_norm.h"
+
+namespace tsfm::nn {
+
+LayerNormModule::LayerNormModule(size_t dim, float eps)
+    : gamma_(MakeLeaf(Ones(1, dim), true)),
+      beta_(MakeLeaf(Zeros(1, dim), true)),
+      eps_(eps) {}
+
+Var LayerNormModule::Forward(const Var& x) const {
+  return LayerNorm(x, gamma_, beta_, eps_);
+}
+
+void LayerNormModule::CollectParams(const std::string& prefix,
+                                    std::vector<NamedParam>* out) const {
+  out->push_back({prefix + ".gamma", gamma_});
+  out->push_back({prefix + ".beta", beta_});
+}
+
+}  // namespace tsfm::nn

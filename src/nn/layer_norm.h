@@ -1,0 +1,29 @@
+// Layer normalization module with learnable gain and bias.
+#ifndef TSFM_NN_LAYER_NORM_H_
+#define TSFM_NN_LAYER_NORM_H_
+
+#include "nn/init.h"
+#include "nn/module.h"
+#include "nn/ops.h"
+
+namespace tsfm::nn {
+
+/// \brief Row-wise layer norm over feature dimension `dim`.
+class LayerNormModule : public Module {
+ public:
+  explicit LayerNormModule(size_t dim, float eps = 1e-5f);
+
+  Var Forward(const Var& x) const;
+
+  void CollectParams(const std::string& prefix,
+                     std::vector<NamedParam>* out) const override;
+
+ private:
+  Var gamma_;
+  Var beta_;
+  float eps_;
+};
+
+}  // namespace tsfm::nn
+
+#endif  // TSFM_NN_LAYER_NORM_H_

@@ -1,0 +1,19 @@
+#include "nn/linear.h"
+
+namespace tsfm::nn {
+
+Linear::Linear(size_t in_features, size_t out_features, Rng* rng)
+    : in_(in_features),
+      out_(out_features),
+      weight_(MakeLeaf(XavierUniform(in_features, out_features, rng), true)),
+      bias_(MakeLeaf(Zeros(1, out_features), true)) {}
+
+Var Linear::Forward(const Var& x) const { return AddRow(MatMul(x, weight_), bias_); }
+
+void Linear::CollectParams(const std::string& prefix,
+                           std::vector<NamedParam>* out) const {
+  out->push_back({prefix + ".weight", weight_});
+  out->push_back({prefix + ".bias", bias_});
+}
+
+}  // namespace tsfm::nn

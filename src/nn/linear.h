@@ -1,0 +1,36 @@
+// Fully-connected layer: y = x W + b.
+#ifndef TSFM_NN_LINEAR_H_
+#define TSFM_NN_LINEAR_H_
+
+#include "nn/init.h"
+#include "nn/module.h"
+#include "nn/ops.h"
+
+namespace tsfm::nn {
+
+/// \brief Affine layer with weight [in, out] and bias [1, out].
+class Linear : public Module {
+ public:
+  Linear(size_t in_features, size_t out_features, Rng* rng);
+
+  /// x[m, in] -> [m, out].
+  Var Forward(const Var& x) const;
+
+  void CollectParams(const std::string& prefix,
+                     std::vector<NamedParam>* out) const override;
+
+  const Var& weight() const { return weight_; }
+  const Var& bias() const { return bias_; }
+  size_t in_features() const { return in_; }
+  size_t out_features() const { return out_; }
+
+ private:
+  size_t in_;
+  size_t out_;
+  Var weight_;
+  Var bias_;
+};
+
+}  // namespace tsfm::nn
+
+#endif  // TSFM_NN_LINEAR_H_

@@ -1,0 +1,15 @@
+#include "nn/module.h"
+
+namespace tsfm::nn {
+
+size_t Module::NumParams() const {
+  size_t n = 0;
+  for (const auto& p : Params()) n += p.var->value().size();
+  return n;
+}
+
+void Module::ZeroGrad() const {
+  for (const auto& p : Params()) p.var->ZeroGrad();
+}
+
+}  // namespace tsfm::nn

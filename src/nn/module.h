@@ -1,0 +1,48 @@
+// Module base: a named collection of trainable parameters.
+#ifndef TSFM_NN_MODULE_H_
+#define TSFM_NN_MODULE_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "nn/autograd.h"
+
+namespace tsfm::nn {
+
+/// A named parameter handle, used by optimizers and serialization.
+struct NamedParam {
+  std::string name;
+  Var var;
+};
+
+/// \brief Base class for layers that own parameters.
+///
+/// Subclasses register parameters in their constructor; CollectParams
+/// gathers the flat list with hierarchical dot-names.
+class Module {
+ public:
+  virtual ~Module() = default;
+
+  /// Appends this module's parameters to `out`, prefixing names with
+  /// `prefix` (e.g. "encoder.layer0.attn.wq").
+  virtual void CollectParams(const std::string& prefix,
+                             std::vector<NamedParam>* out) const = 0;
+
+  /// Convenience: the flat parameter list.
+  std::vector<NamedParam> Params(const std::string& prefix = "") const {
+    std::vector<NamedParam> out;
+    CollectParams(prefix, &out);
+    return out;
+  }
+
+  /// Total scalar parameter count.
+  size_t NumParams() const;
+
+  /// Zeroes gradients of every parameter.
+  void ZeroGrad() const;
+};
+
+}  // namespace tsfm::nn
+
+#endif  // TSFM_NN_MODULE_H_

@@ -1,0 +1,69 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+namespace tsfm::nn {
+
+AdamW::AdamW(std::vector<NamedParam> params, Options options)
+    : params_(std::move(params)), options_(options) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const auto& p : params_) {
+    m_.emplace_back(p.var->value().rows(), p.var->value().cols());
+    v_.emplace_back(p.var->value().rows(), p.var->value().cols());
+  }
+}
+
+void AdamW::Step() {
+  ++step_;
+  // Optional global gradient clipping.
+  float scale = 1.0f;
+  if (options_.clip_norm > 0.0f) {
+    double total = 0.0;
+    for (const auto& p : params_) {
+      float n = p.var->grad().Norm();
+      total += static_cast<double>(n) * n;
+    }
+    float norm = static_cast<float>(std::sqrt(total));
+    if (norm > options_.clip_norm) scale = options_.clip_norm / (norm + 1e-12f);
+  }
+
+  const float bc1 = 1.0f - std::pow(options_.beta1, static_cast<float>(step_));
+  const float bc2 = 1.0f - std::pow(options_.beta2, static_cast<float>(step_));
+  for (size_t pi = 0; pi < params_.size(); ++pi) {
+    Tensor& w = params_[pi].var->value();
+    const Tensor& g = params_[pi].var->grad();
+    Tensor& m = m_[pi];
+    Tensor& v = v_[pi];
+    for (size_t i = 0; i < w.size(); ++i) {
+      float grad = g[i] * scale;
+      m[i] = options_.beta1 * m[i] + (1.0f - options_.beta1) * grad;
+      v[i] = options_.beta2 * v[i] + (1.0f - options_.beta2) * grad * grad;
+      float mhat = m[i] / bc1;
+      float vhat = v[i] / bc2;
+      w[i] -= options_.lr * (mhat / (std::sqrt(vhat) + options_.eps) +
+                             options_.weight_decay * w[i]);
+    }
+  }
+}
+
+void AdamW::ZeroGrad() {
+  for (const auto& p : params_) p.var->ZeroGrad();
+}
+
+LinearWarmupSchedule::LinearWarmupSchedule(float peak_lr, size_t warmup_steps,
+                                           size_t total_steps)
+    : peak_lr_(peak_lr), warmup_steps_(warmup_steps), total_steps_(total_steps) {}
+
+float LinearWarmupSchedule::LrAt(size_t step) const {
+  if (warmup_steps_ > 0 && step < warmup_steps_) {
+    return peak_lr_ * static_cast<float>(step + 1) / static_cast<float>(warmup_steps_);
+  }
+  if (total_steps_ <= warmup_steps_) return peak_lr_;
+  float frac = static_cast<float>(step - warmup_steps_) /
+               static_cast<float>(total_steps_ - warmup_steps_);
+  if (frac > 1.0f) frac = 1.0f;
+  return peak_lr_ * (1.0f - frac);
+}
+
+}  // namespace tsfm::nn

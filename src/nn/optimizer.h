@@ -1,0 +1,61 @@
+// Optimizers and learning-rate schedules.
+#ifndef TSFM_NN_OPTIMIZER_H_
+#define TSFM_NN_OPTIMIZER_H_
+
+#include <vector>
+
+#include "nn/module.h"
+
+namespace tsfm::nn {
+
+/// \brief AdamW (decoupled weight decay), the optimizer used for BERT.
+class AdamW {
+ public:
+  struct Options {
+    float lr = 1e-3f;
+    float beta1 = 0.9f;
+    float beta2 = 0.999f;
+    float eps = 1e-8f;
+    float weight_decay = 0.01f;
+    float clip_norm = 1.0f;  ///< global gradient-norm clip; <= 0 disables
+  };
+
+  AdamW(std::vector<NamedParam> params, Options options);
+
+  /// Applies one update from the accumulated gradients, then does NOT zero
+  /// them (call ZeroGrad explicitly so the contract is visible at call
+  /// sites).
+  void Step();
+
+  /// Zeroes every parameter gradient.
+  void ZeroGrad();
+
+  void set_lr(float lr) { options_.lr = lr; }
+  float lr() const { return options_.lr; }
+  size_t step_count() const { return step_; }
+
+ private:
+  std::vector<NamedParam> params_;
+  Options options_;
+  std::vector<Tensor> m_;
+  std::vector<Tensor> v_;
+  size_t step_ = 0;
+};
+
+/// \brief Linear warmup then linear decay to zero (BERT schedule).
+class LinearWarmupSchedule {
+ public:
+  LinearWarmupSchedule(float peak_lr, size_t warmup_steps, size_t total_steps);
+
+  /// LR for step `step` (0-based).
+  float LrAt(size_t step) const;
+
+ private:
+  float peak_lr_;
+  size_t warmup_steps_;
+  size_t total_steps_;
+};
+
+}  // namespace tsfm::nn
+
+#endif  // TSFM_NN_OPTIMIZER_H_

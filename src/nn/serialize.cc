@@ -1,0 +1,71 @@
+#include "nn/serialize.h"
+
+#include <cstdint>
+#include <fstream>
+#include <unordered_map>
+
+namespace tsfm::nn {
+
+namespace {
+constexpr uint32_t kMagic = 0x5453464d;  // "TSFM"
+}  // namespace
+
+Status SaveCheckpoint(const std::vector<NamedParam>& params, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  uint32_t magic = kMagic;
+  uint64_t count = params.size();
+  out.write(reinterpret_cast<const char*>(&magic), sizeof(magic));
+  out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  for (const auto& p : params) {
+    uint64_t name_len = p.name.size();
+    uint64_t rows = p.var->value().rows();
+    uint64_t cols = p.var->value().cols();
+    out.write(reinterpret_cast<const char*>(&name_len), sizeof(name_len));
+    out.write(p.name.data(), static_cast<std::streamsize>(name_len));
+    out.write(reinterpret_cast<const char*>(&rows), sizeof(rows));
+    out.write(reinterpret_cast<const char*>(&cols), sizeof(cols));
+    out.write(reinterpret_cast<const char*>(p.var->value().data()),
+              static_cast<std::streamsize>(rows * cols * sizeof(float)));
+  }
+  if (!out) return Status::IoError("write failed for " + path);
+  return Status::OK();
+}
+
+Status LoadCheckpoint(const std::vector<NamedParam>& params, const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open " + path);
+  uint32_t magic = 0;
+  uint64_t count = 0;
+  in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  if (magic != kMagic) return Status::ParseError("bad checkpoint magic in " + path);
+  in.read(reinterpret_cast<char*>(&count), sizeof(count));
+  if (count != params.size()) {
+    return Status::InvalidArgument("checkpoint has " + std::to_string(count) +
+                                   " tensors, model expects " +
+                                   std::to_string(params.size()));
+  }
+  std::unordered_map<std::string, const NamedParam*> by_name;
+  for (const auto& p : params) by_name[p.name] = &p;
+
+  for (uint64_t t = 0; t < count; ++t) {
+    uint64_t name_len = 0, rows = 0, cols = 0;
+    in.read(reinterpret_cast<char*>(&name_len), sizeof(name_len));
+    std::string name(name_len, '\0');
+    in.read(name.data(), static_cast<std::streamsize>(name_len));
+    in.read(reinterpret_cast<char*>(&rows), sizeof(rows));
+    in.read(reinterpret_cast<char*>(&cols), sizeof(cols));
+    auto it = by_name.find(name);
+    if (it == by_name.end()) return Status::NotFound("unexpected tensor " + name);
+    Tensor& dst = it->second->var->value();
+    if (dst.rows() != rows || dst.cols() != cols) {
+      return Status::InvalidArgument("shape mismatch for " + name);
+    }
+    in.read(reinterpret_cast<char*>(dst.data()),
+            static_cast<std::streamsize>(rows * cols * sizeof(float)));
+    if (!in) return Status::IoError("truncated checkpoint " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace tsfm::nn

@@ -1,0 +1,23 @@
+// Binary save/load of named parameter sets ("checkpoints").
+#ifndef TSFM_NN_SERIALIZE_H_
+#define TSFM_NN_SERIALIZE_H_
+
+#include <string>
+#include <vector>
+
+#include "nn/module.h"
+#include "util/status.h"
+
+namespace tsfm::nn {
+
+/// Writes `params` to `path` in a simple tagged binary format
+/// (magic, count, then per-tensor: name, rows, cols, float data).
+Status SaveCheckpoint(const std::vector<NamedParam>& params, const std::string& path);
+
+/// Loads a checkpoint into `params` in-place. Every named tensor in the file
+/// must exist in `params` with matching shape (and vice versa).
+Status LoadCheckpoint(const std::vector<NamedParam>& params, const std::string& path);
+
+}  // namespace tsfm::nn
+
+#endif  // TSFM_NN_SERIALIZE_H_

@@ -1,0 +1,48 @@
+#include "nn/tensor.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace tsfm::nn {
+
+Tensor::Tensor(size_t rows, size_t cols, std::vector<float> data)
+    : rows_(rows), cols_(cols), data_(std::move(data)) {
+  TSFM_CHECK_EQ(rows_ * cols_, data_.size());
+}
+
+void Tensor::Fill(float v) {
+  for (auto& x : data_) x = v;
+}
+
+void Tensor::Accumulate(const Tensor& other) {
+  TSFM_CHECK(SameShape(other)) << ShapeString() << " vs " << other.ShapeString();
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+}
+
+void Tensor::Scale(float s) {
+  for (auto& x : data_) x *= s;
+}
+
+float Tensor::Sum() const {
+  double s = 0.0;
+  for (float x : data_) s += x;
+  return static_cast<float>(s);
+}
+
+float Tensor::Mean() const {
+  if (data_.empty()) return 0.0f;
+  return Sum() / static_cast<float>(data_.size());
+}
+
+float Tensor::Norm() const {
+  double s = 0.0;
+  for (float x : data_) s += static_cast<double>(x) * x;
+  return static_cast<float>(std::sqrt(s));
+}
+
+std::string Tensor::ShapeString() const {
+  return "[" + std::to_string(rows_) + "x" + std::to_string(cols_) + "]";
+}
+
+}  // namespace tsfm::nn

@@ -1,0 +1,73 @@
+// Dense 2-D float tensor.
+//
+// The whole model operates on matrices: a token sequence is [seq, hidden],
+// a weight is [in, out], a scalar loss is [1, 1]. Keeping the tensor 2-D
+// makes every op's shape contract explicit and easy to check.
+#ifndef TSFM_NN_TENSOR_H_
+#define TSFM_NN_TENSOR_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace tsfm::nn {
+
+/// \brief Row-major 2-D float matrix.
+class Tensor {
+ public:
+  Tensor() : rows_(0), cols_(0) {}
+  Tensor(size_t rows, size_t cols, float fill = 0.0f)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+  Tensor(size_t rows, size_t cols, std::vector<float> data);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  size_t size() const { return data_.size(); }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  float& at(size_t r, size_t c) { return data_[r * cols_ + c]; }
+  float at(size_t r, size_t c) const { return data_[r * cols_ + c]; }
+
+  float& operator[](size_t i) { return data_[i]; }
+  float operator[](size_t i) const { return data_[i]; }
+
+  /// Sets every element to `v`.
+  void Fill(float v);
+
+  /// Element-wise accumulate: this += other (same shape required).
+  void Accumulate(const Tensor& other);
+
+  /// Scales every element by `s`.
+  void Scale(float s);
+
+  /// Sum of all elements.
+  float Sum() const;
+
+  /// Mean of all elements (0 for an empty tensor).
+  float Mean() const;
+
+  /// L2 norm of the flattened tensor.
+  float Norm() const;
+
+  /// Shape equality.
+  bool SameShape(const Tensor& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_;
+  }
+
+  /// "[RxC]" debug string.
+  std::string ShapeString() const;
+
+  /// The underlying flat vector (row-major).
+  const std::vector<float>& flat() const { return data_; }
+
+ private:
+  size_t rows_;
+  size_t cols_;
+  std::vector<float> data_;
+};
+
+}  // namespace tsfm::nn
+
+#endif  // TSFM_NN_TENSOR_H_

@@ -1,0 +1,58 @@
+#include "nn/transformer.h"
+
+#include "nn/ops.h"
+
+namespace tsfm::nn {
+
+EncoderLayer::EncoderLayer(const TransformerConfig& config, Rng* rng)
+    : dropout_(config.dropout),
+      attention_(std::make_unique<MultiHeadAttention>(config.hidden, config.num_heads,
+                                                      config.dropout, rng)),
+      norm1_(std::make_unique<LayerNormModule>(config.hidden)),
+      ffn1_(std::make_unique<Linear>(config.hidden, config.ffn_dim, rng)),
+      ffn2_(std::make_unique<Linear>(config.ffn_dim, config.hidden, rng)),
+      norm2_(std::make_unique<LayerNormModule>(config.hidden)) {}
+
+Var EncoderLayer::Forward(const Var& x, bool training, Rng* rng) const {
+  Var attn = attention_->Forward(x, training, rng);
+  attn = Dropout(attn, dropout_, training, rng);
+  Var h = norm1_->Forward(Add(x, attn));
+
+  Var ffn = ffn2_->Forward(Gelu(ffn1_->Forward(h)));
+  ffn = Dropout(ffn, dropout_, training, rng);
+  return norm2_->Forward(Add(h, ffn));
+}
+
+void EncoderLayer::CollectParams(const std::string& prefix,
+                                 std::vector<NamedParam>* out) const {
+  attention_->CollectParams(prefix + ".attn", out);
+  norm1_->CollectParams(prefix + ".norm1", out);
+  ffn1_->CollectParams(prefix + ".ffn1", out);
+  ffn2_->CollectParams(prefix + ".ffn2", out);
+  norm2_->CollectParams(prefix + ".norm2", out);
+}
+
+TransformerEncoder::TransformerEncoder(const TransformerConfig& config, Rng* rng)
+    : config_(config) {
+  layers_.reserve(config.num_layers);
+  for (size_t i = 0; i < config.num_layers; ++i) {
+    layers_.push_back(std::make_unique<EncoderLayer>(config, rng));
+  }
+}
+
+Var TransformerEncoder::Forward(const Var& x, bool training, Rng* rng) const {
+  Var h = x;
+  for (const auto& layer : layers_) {
+    h = layer->Forward(h, training, rng);
+  }
+  return h;
+}
+
+void TransformerEncoder::CollectParams(const std::string& prefix,
+                                       std::vector<NamedParam>* out) const {
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    layers_[i]->CollectParams(prefix + ".layer" + std::to_string(i), out);
+  }
+}
+
+}  // namespace tsfm::nn

@@ -1,0 +1,63 @@
+// Transformer encoder stack (post-norm BERT layout).
+#ifndef TSFM_NN_TRANSFORMER_H_
+#define TSFM_NN_TRANSFORMER_H_
+
+#include <memory>
+#include <vector>
+
+#include "nn/attention.h"
+#include "nn/layer_norm.h"
+#include "nn/linear.h"
+#include "nn/module.h"
+
+namespace tsfm::nn {
+
+/// Encoder hyper-parameters.
+struct TransformerConfig {
+  size_t hidden = 64;         ///< model width
+  size_t num_layers = 2;      ///< encoder depth
+  size_t num_heads = 2;       ///< attention heads
+  size_t ffn_dim = 128;       ///< feed-forward inner width
+  float dropout = 0.1f;       ///< dropout probability
+};
+
+/// \brief One encoder block: attention + FFN, each with residual + LayerNorm.
+class EncoderLayer : public Module {
+ public:
+  EncoderLayer(const TransformerConfig& config, Rng* rng);
+
+  Var Forward(const Var& x, bool training, Rng* rng) const;
+
+  void CollectParams(const std::string& prefix,
+                     std::vector<NamedParam>* out) const override;
+
+ private:
+  float dropout_;
+  std::unique_ptr<MultiHeadAttention> attention_;
+  std::unique_ptr<LayerNormModule> norm1_;
+  std::unique_ptr<Linear> ffn1_;
+  std::unique_ptr<Linear> ffn2_;
+  std::unique_ptr<LayerNormModule> norm2_;
+};
+
+/// \brief Stack of encoder layers.
+class TransformerEncoder : public Module {
+ public:
+  TransformerEncoder(const TransformerConfig& config, Rng* rng);
+
+  /// x[seq, hidden] -> [seq, hidden].
+  Var Forward(const Var& x, bool training, Rng* rng) const;
+
+  void CollectParams(const std::string& prefix,
+                     std::vector<NamedParam>* out) const override;
+
+  const TransformerConfig& config() const { return config_; }
+
+ private:
+  TransformerConfig config_;
+  std::vector<std::unique_ptr<EncoderLayer>> layers_;
+};
+
+}  // namespace tsfm::nn
+
+#endif  // TSFM_NN_TRANSFORMER_H_

@@ -1,0 +1,170 @@
+#include "search/hnsw.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <unordered_set>
+
+#include "util/logging.h"
+
+namespace tsfm::search {
+
+HnswIndex::HnswIndex(size_t dim, HnswOptions options)
+    : dim_(dim), options_(options), level_rng_(options.seed) {}
+
+float HnswIndex::Distance(const float* a, const float* b) const {
+  float dot = 0.0f;
+  for (size_t i = 0; i < dim_; ++i) dot += a[i] * b[i];
+  return 1.0f - dot;  // vectors are unit-norm
+}
+
+std::vector<std::pair<float, uint32_t>> HnswIndex::SearchLayer(const float* query,
+                                                               uint32_t entry,
+                                                               size_t ef,
+                                                               int layer) const {
+  std::unordered_set<uint32_t> visited{entry};
+  // Max-heap of current results (worst on top), min-heap of candidates.
+  std::priority_queue<std::pair<float, uint32_t>> results;
+  std::priority_queue<std::pair<float, uint32_t>,
+                      std::vector<std::pair<float, uint32_t>>, std::greater<>>
+      candidates;
+  float d0 = Distance(query, VectorOf(entry));
+  results.emplace(d0, entry);
+  candidates.emplace(d0, entry);
+
+  while (!candidates.empty()) {
+    auto [dist, node] = candidates.top();
+    if (dist > results.top().first && results.size() >= ef) break;
+    candidates.pop();
+    const auto& nbrs = nodes_[node].neighbours[layer];
+    for (uint32_t nb : nbrs) {
+      if (!visited.insert(nb).second) continue;
+      float d = Distance(query, VectorOf(nb));
+      if (results.size() < ef || d < results.top().first) {
+        results.emplace(d, nb);
+        candidates.emplace(d, nb);
+        if (results.size() > ef) results.pop();
+      }
+    }
+  }
+  std::vector<std::pair<float, uint32_t>> out;
+  out.reserve(results.size());
+  while (!results.empty()) {
+    out.push_back(results.top());
+    results.pop();
+  }
+  std::reverse(out.begin(), out.end());  // nearest first
+  return out;
+}
+
+void HnswIndex::SelectNeighbours(std::vector<std::pair<float, uint32_t>>* candidates,
+                                 size_t m) const {
+  std::sort(candidates->begin(), candidates->end());
+  if (candidates->size() > m) candidates->resize(m);
+}
+
+void HnswIndex::Add(size_t payload, const std::vector<float>& vec) {
+  TSFM_CHECK_EQ(vec.size(), dim_);
+  // Normalize.
+  double norm = 0.0;
+  for (float v : vec) norm += static_cast<double>(v) * v;
+  norm = std::sqrt(norm);
+  const float inv = norm > 1e-12 ? static_cast<float>(1.0 / norm) : 0.0f;
+  for (float v : vec) data_.push_back(v * inv);
+  payloads_.push_back(payload);
+
+  const uint32_t id = static_cast<uint32_t>(nodes_.size());
+  // Geometric level assignment: P(level >= l) = (1/2)^l.
+  int level = 0;
+  while (level_rng_.Bernoulli(0.5) && level < 16) ++level;
+  Node node;
+  node.level = level;
+  node.neighbours.resize(level + 1);
+  nodes_.push_back(std::move(node));
+
+  if (id == 0) {
+    max_level_ = level;
+    entry_point_ = 0;
+    return;
+  }
+
+  const float* q = VectorOf(id);
+  uint32_t entry = entry_point_;
+  // Greedy descent through layers above the new node's level.
+  for (int l = max_level_; l > level; --l) {
+    bool improved = true;
+    while (improved) {
+      improved = false;
+      for (uint32_t nb : nodes_[entry].neighbours[l]) {
+        if (Distance(q, VectorOf(nb)) < Distance(q, VectorOf(entry))) {
+          entry = nb;
+          improved = true;
+        }
+      }
+    }
+  }
+  // Insert with beam search on each layer from min(level, max_level_) down.
+  for (int l = std::min(level, max_level_); l >= 0; --l) {
+    auto found = SearchLayer(q, entry, options_.ef_construction, l);
+    auto selected = found;
+    SelectNeighbours(&selected, options_.m);
+    for (auto& [d, nb] : selected) {
+      nodes_[id].neighbours[l].push_back(nb);
+      nodes_[nb].neighbours[l].push_back(id);
+      // Prune over-full neighbour lists.
+      auto& list = nodes_[nb].neighbours[l];
+      if (list.size() > options_.m * 2) {
+        std::vector<std::pair<float, uint32_t>> scored;
+        const float* nbvec = VectorOf(nb);
+        scored.reserve(list.size());
+        for (uint32_t x : list) scored.emplace_back(Distance(nbvec, VectorOf(x)), x);
+        SelectNeighbours(&scored, options_.m);
+        list.clear();
+        for (auto& [dd, x] : scored) list.push_back(x);
+      }
+    }
+    if (!found.empty()) entry = found.front().second;
+  }
+  if (level > max_level_) {
+    max_level_ = level;
+    entry_point_ = id;
+  }
+}
+
+std::vector<std::pair<size_t, float>> HnswIndex::Search(
+    const std::vector<float>& query, size_t k) const {
+  TSFM_CHECK_EQ(query.size(), dim_);
+  if (nodes_.empty()) return {};
+  // Normalize the query.
+  std::vector<float> q = query;
+  double norm = 0.0;
+  for (float v : q) norm += static_cast<double>(v) * v;
+  norm = std::sqrt(norm);
+  if (norm > 1e-12) {
+    for (auto& v : q) v = static_cast<float>(v / norm);
+  }
+
+  uint32_t entry = entry_point_;
+  for (int l = max_level_; l > 0; --l) {
+    bool improved = true;
+    while (improved) {
+      improved = false;
+      for (uint32_t nb : nodes_[entry].neighbours[l]) {
+        if (Distance(q.data(), VectorOf(nb)) < Distance(q.data(), VectorOf(entry))) {
+          entry = nb;
+          improved = true;
+        }
+      }
+    }
+  }
+  auto found =
+      SearchLayer(q.data(), entry, std::max(options_.ef_search, k), /*layer=*/0);
+  std::vector<std::pair<size_t, float>> out;
+  out.reserve(std::min(k, found.size()));
+  for (size_t i = 0; i < found.size() && i < k; ++i) {
+    out.emplace_back(payloads_[found[i].second], found[i].first);
+  }
+  return out;
+}
+
+}  // namespace tsfm::search

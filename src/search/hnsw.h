@@ -1,0 +1,77 @@
+// Hierarchical Navigable Small World graph (Malkov & Yashunin 2020) for
+// approximate nearest-neighbour search.
+//
+// The paper's DeepJoin baseline indexes column embeddings with HNSW; this
+// implementation provides the same substrate so the repo's DeepJoin can
+// scale past brute force. Greedy descent through sparse upper layers, then
+// beam search (ef candidates) at layer 0.
+#ifndef TSFM_SEARCH_HNSW_H_
+#define TSFM_SEARCH_HNSW_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "util/random.h"
+
+namespace tsfm::search {
+
+/// HNSW construction/search knobs.
+struct HnswOptions {
+  size_t m = 12;                ///< max neighbours per node per layer
+  size_t ef_construction = 64;  ///< beam width during insertion
+  size_t ef_search = 48;        ///< beam width during queries
+  uint64_t seed = 17;           ///< level assignment RNG
+};
+
+/// \brief Approximate kNN over cosine distance.
+///
+/// Vectors are L2-normalized on insertion, so inner product equals cosine
+/// similarity and distance = 1 - cos.
+class HnswIndex {
+ public:
+  HnswIndex(size_t dim, HnswOptions options = {});
+
+  /// Inserts a vector with an opaque payload id.
+  void Add(size_t payload, const std::vector<float>& vec);
+
+  /// Top-k (payload, cosine distance) pairs, nearest first.
+  std::vector<std::pair<size_t, float>> Search(const std::vector<float>& query,
+                                               size_t k) const;
+
+  size_t size() const { return payloads_.size(); }
+  size_t dim() const { return dim_; }
+
+ private:
+  struct Node {
+    int level = 0;
+    // neighbours[l] = ids of neighbours at layer l (0..level).
+    std::vector<std::vector<uint32_t>> neighbours;
+  };
+
+  float Distance(const float* a, const float* b) const;
+  const float* VectorOf(size_t node) const { return data_.data() + node * dim_; }
+
+  // Beam search at one layer starting from `entry`; returns up to `ef`
+  // (distance, node) pairs, nearest first.
+  std::vector<std::pair<float, uint32_t>> SearchLayer(const float* query,
+                                                      uint32_t entry, size_t ef,
+                                                      int layer) const;
+
+  // Keeps the m nearest of `candidates` as the node's neighbour list.
+  void SelectNeighbours(std::vector<std::pair<float, uint32_t>>* candidates,
+                        size_t m) const;
+
+  size_t dim_;
+  HnswOptions options_;
+  Rng level_rng_;
+  std::vector<float> data_;       // normalized vectors, row-major
+  std::vector<size_t> payloads_;
+  std::vector<Node> nodes_;
+  int max_level_ = -1;
+  uint32_t entry_point_ = 0;
+};
+
+}  // namespace tsfm::search
+
+#endif  // TSFM_SEARCH_HNSW_H_

@@ -1,0 +1,66 @@
+#include "search/knn_index.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace tsfm::search {
+
+KnnIndex::KnnIndex(size_t dim, Metric metric) : dim_(dim), metric_(metric) {}
+
+void KnnIndex::Add(size_t payload, const std::vector<float>& vec) {
+  TSFM_CHECK_EQ(vec.size(), dim_);
+  data_.insert(data_.end(), vec.begin(), vec.end());
+  payloads_.push_back(payload);
+  double n = 0.0;
+  for (float v : vec) n += static_cast<double>(v) * v;
+  norms_.push_back(static_cast<float>(std::sqrt(n)));
+}
+
+float KnnIndex::Distance(const float* a, const std::vector<float>& b) const {
+  if (metric_ == Metric::kL2) {
+    double s = 0.0;
+    for (size_t i = 0; i < dim_; ++i) {
+      double d = static_cast<double>(a[i]) - b[i];
+      s += d * d;
+    }
+    return static_cast<float>(std::sqrt(s));
+  }
+  double dot = 0.0;
+  for (size_t i = 0; i < dim_; ++i) dot += static_cast<double>(a[i]) * b[i];
+  return static_cast<float>(dot);  // caller divides by norms
+}
+
+std::vector<std::pair<size_t, float>> KnnIndex::Search(const std::vector<float>& query,
+                                                       size_t k) const {
+  TSFM_CHECK_EQ(query.size(), dim_);
+  double qn = 0.0;
+  for (float v : query) qn += static_cast<double>(v) * v;
+  const float qnorm = static_cast<float>(std::sqrt(qn));
+
+  std::vector<std::pair<size_t, float>> scored;  // (row, distance)
+  scored.reserve(payloads_.size());
+  for (size_t r = 0; r < payloads_.size(); ++r) {
+    const float* row = data_.data() + r * dim_;
+    float dist;
+    if (metric_ == Metric::kL2) {
+      dist = Distance(row, query);
+    } else {
+      float denom = norms_[r] * qnorm;
+      dist = denom > 1e-12f ? 1.0f - Distance(row, query) / denom : 1.0f;
+    }
+    scored.emplace_back(r, dist);
+  }
+  const size_t top = std::min(k, scored.size());
+  std::partial_sort(scored.begin(), scored.begin() + top, scored.end(),
+                    [](const auto& a, const auto& b) {
+                      if (a.second != b.second) return a.second < b.second;
+                      return a.first < b.first;  // deterministic ties
+                    });
+  scored.resize(top);
+  for (auto& [row, dist] : scored) row = payloads_[row];
+  return scored;
+}
+
+}  // namespace tsfm::search

@@ -1,0 +1,48 @@
+// Exact k-nearest-neighbour index over dense vectors.
+//
+// The paper indexes embeddings offline and answers queries in embedding
+// space; at repo scale a brute-force scan with cosine distance is exact and
+// fast enough, and serves as the reference the LSH indexes are tested
+// against.
+#ifndef TSFM_SEARCH_KNN_INDEX_H_
+#define TSFM_SEARCH_KNN_INDEX_H_
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace tsfm::search {
+
+/// Distance metrics.
+enum class Metric { kCosine, kL2 };
+
+/// \brief Brute-force exact kNN with payload ids.
+class KnnIndex {
+ public:
+  explicit KnnIndex(size_t dim, Metric metric = Metric::kCosine);
+
+  /// Adds a vector with an opaque payload id. Vector size must equal dim.
+  void Add(size_t payload, const std::vector<float>& vec);
+
+  /// \brief Top-k (payload, distance) pairs, nearest first.
+  ///
+  /// Cosine distance = 1 - cos(a, b); zero vectors compare as distance 1.
+  std::vector<std::pair<size_t, float>> Search(const std::vector<float>& query,
+                                               size_t k) const;
+
+  size_t size() const { return payloads_.size(); }
+  size_t dim() const { return dim_; }
+
+ private:
+  float Distance(const float* a, const std::vector<float>& b) const;
+
+  size_t dim_;
+  Metric metric_;
+  std::vector<float> data_;      // row-major, one row per item
+  std::vector<size_t> payloads_;
+  std::vector<float> norms_;     // cached L2 norms for cosine
+};
+
+}  // namespace tsfm::search
+
+#endif  // TSFM_SEARCH_KNN_INDEX_H_

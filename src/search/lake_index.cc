@@ -1,0 +1,105 @@
+#include "search/lake_index.h"
+
+#include <cstdint>
+#include <fstream>
+
+#include "util/logging.h"
+
+namespace tsfm::search {
+
+namespace {
+constexpr uint32_t kMagic = 0x4c414b45;  // "LAKE"
+}  // namespace
+
+LakeIndex::LakeIndex(size_t dim) : dim_(dim), index_(dim) {}
+
+size_t LakeIndex::AddTable(const std::string& table_id,
+                           const std::vector<std::vector<float>>& column_embeddings) {
+  for (const auto& col : column_embeddings) {
+    TSFM_CHECK_EQ(col.size(), dim_);
+  }
+  size_t handle = table_ids_.size();
+  table_ids_.push_back(table_id);
+  columns_.push_back(column_embeddings);
+  index_.AddTable(handle, column_embeddings);
+  return handle;
+}
+
+std::vector<std::string> LakeIndex::QueryUnionable(
+    const std::vector<std::vector<float>>& query_columns, size_t k) const {
+  TableRanker ranker(&index_);
+  std::vector<std::string> out;
+  // SIZE_MAX: external queries are not part of the corpus; exclude nothing.
+  for (size_t handle : ranker.RankTables(query_columns, k, /*exclude=*/SIZE_MAX)) {
+    out.push_back(table_ids_[handle]);
+    if (out.size() >= k) break;
+  }
+  return out;
+}
+
+std::vector<std::string> LakeIndex::QueryJoinable(
+    const std::vector<float>& query_column, size_t k) const {
+  TableRanker ranker(&index_);
+  std::vector<std::string> out;
+  for (size_t handle :
+       ranker.RankTablesByColumn(query_column, k, /*exclude=*/SIZE_MAX)) {
+    out.push_back(table_ids_[handle]);
+    if (out.size() >= k) break;
+  }
+  return out;
+}
+
+Status LakeIndex::Save(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  uint32_t magic = kMagic;
+  uint64_t dim = dim_;
+  uint64_t num_tables = table_ids_.size();
+  out.write(reinterpret_cast<const char*>(&magic), sizeof(magic));
+  out.write(reinterpret_cast<const char*>(&dim), sizeof(dim));
+  out.write(reinterpret_cast<const char*>(&num_tables), sizeof(num_tables));
+  for (size_t t = 0; t < table_ids_.size(); ++t) {
+    uint64_t id_len = table_ids_[t].size();
+    uint64_t num_cols = columns_[t].size();
+    out.write(reinterpret_cast<const char*>(&id_len), sizeof(id_len));
+    out.write(table_ids_[t].data(), static_cast<std::streamsize>(id_len));
+    out.write(reinterpret_cast<const char*>(&num_cols), sizeof(num_cols));
+    for (const auto& col : columns_[t]) {
+      out.write(reinterpret_cast<const char*>(col.data()),
+                static_cast<std::streamsize>(col.size() * sizeof(float)));
+    }
+  }
+  if (!out) return Status::IoError("write failed for " + path);
+  return Status::OK();
+}
+
+Result<LakeIndex> LakeIndex::Load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open " + path);
+  uint32_t magic = 0;
+  uint64_t dim = 0, num_tables = 0;
+  in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  if (magic != kMagic) return Status::ParseError("bad lake-index magic in " + path);
+  in.read(reinterpret_cast<char*>(&dim), sizeof(dim));
+  in.read(reinterpret_cast<char*>(&num_tables), sizeof(num_tables));
+  if (dim == 0 || dim > (1u << 20)) return Status::ParseError("implausible dim");
+
+  LakeIndex index(dim);
+  for (uint64_t t = 0; t < num_tables; ++t) {
+    uint64_t id_len = 0, num_cols = 0;
+    in.read(reinterpret_cast<char*>(&id_len), sizeof(id_len));
+    std::string id(id_len, '\0');
+    in.read(id.data(), static_cast<std::streamsize>(id_len));
+    in.read(reinterpret_cast<char*>(&num_cols), sizeof(num_cols));
+    std::vector<std::vector<float>> cols(num_cols, std::vector<float>(dim));
+    for (auto& col : cols) {
+      in.read(reinterpret_cast<char*>(col.data()),
+              static_cast<std::streamsize>(dim * sizeof(float)));
+    }
+    if (!in) return Status::IoError("truncated lake index " + path);
+    index.AddTable(id, cols);
+  }
+  return index;
+}
+
+}  // namespace tsfm::search

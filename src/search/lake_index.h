@@ -1,0 +1,60 @@
+// Persistent data-lake index — the paper's recommended deployment (Sec V):
+// embed and index the lake offline; at query time embed only the query
+// table and search in embedding space.
+#ifndef TSFM_SEARCH_LAKE_INDEX_H_
+#define TSFM_SEARCH_LAKE_INDEX_H_
+
+#include <string>
+#include <vector>
+
+#include "core/embedder.h"
+#include "search/table_ranker.h"
+#include "util/status.h"
+
+namespace tsfm::search {
+
+/// \brief An offline index of column embeddings for a corpus of tables.
+///
+/// Build once with AddTable (or from an Embedder over sketches), then
+/// answer join / union / subset queries. The index serializes to a compact
+/// binary file so the offline and online halves can run in different
+/// processes.
+class LakeIndex {
+ public:
+  explicit LakeIndex(size_t dim);
+
+  /// Registers a table's column embeddings under a stable string id.
+  /// Returns the table's dense index handle.
+  size_t AddTable(const std::string& table_id,
+                  const std::vector<std::vector<float>>& column_embeddings);
+
+  /// Ranked table ids for a union/subset query (Fig 6 multi-column rank).
+  std::vector<std::string> QueryUnionable(
+      const std::vector<std::vector<float>>& query_columns, size_t k) const;
+
+  /// Ranked table ids for a join query on a single column.
+  std::vector<std::string> QueryJoinable(const std::vector<float>& query_column,
+                                         size_t k) const;
+
+  /// Persists the index (dim, table ids, per-table embeddings).
+  Status Save(const std::string& path) const;
+
+  /// Loads an index written by Save.
+  static Result<LakeIndex> Load(const std::string& path);
+
+  size_t num_tables() const { return table_ids_.size(); }
+  size_t dim() const { return dim_; }
+  const std::string& table_id(size_t handle) const { return table_ids_[handle]; }
+
+ private:
+  void Reindex();
+
+  size_t dim_;
+  std::vector<std::string> table_ids_;
+  std::vector<std::vector<std::vector<float>>> columns_;  // per table
+  ColumnEmbeddingIndex index_;
+};
+
+}  // namespace tsfm::search
+
+#endif  // TSFM_SEARCH_LAKE_INDEX_H_

@@ -1,0 +1,120 @@
+#include "search/metrics.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/logging.h"
+
+namespace tsfm::search {
+
+double WeightedF1(const std::vector<int>& y_true, const std::vector<int>& y_pred,
+                  int num_classes) {
+  TSFM_CHECK_EQ(y_true.size(), y_pred.size());
+  if (y_true.empty()) return 0.0;
+  double weighted = 0.0;
+  for (int c = 0; c < num_classes; ++c) {
+    size_t tp = 0, fp = 0, fn = 0, support = 0;
+    for (size_t i = 0; i < y_true.size(); ++i) {
+      const bool is_true = y_true[i] == c;
+      const bool is_pred = y_pred[i] == c;
+      if (is_true) ++support;
+      if (is_true && is_pred) ++tp;
+      if (!is_true && is_pred) ++fp;
+      if (is_true && !is_pred) ++fn;
+    }
+    if (support == 0) continue;
+    double precision = tp + fp > 0 ? static_cast<double>(tp) / (tp + fp) : 0.0;
+    double recall = tp + fn > 0 ? static_cast<double>(tp) / (tp + fn) : 0.0;
+    double f1 =
+        precision + recall > 0 ? 2 * precision * recall / (precision + recall) : 0.0;
+    weighted += f1 * static_cast<double>(support) / static_cast<double>(y_true.size());
+  }
+  return weighted;
+}
+
+double R2Score(const std::vector<float>& y_true, const std::vector<float>& y_pred) {
+  TSFM_CHECK_EQ(y_true.size(), y_pred.size());
+  if (y_true.empty()) return 0.0;
+  double mean = 0.0;
+  for (float y : y_true) mean += y;
+  mean /= static_cast<double>(y_true.size());
+  double ss_res = 0.0, ss_tot = 0.0;
+  for (size_t i = 0; i < y_true.size(); ++i) {
+    ss_res += (y_true[i] - y_pred[i]) * (y_true[i] - y_pred[i]);
+    ss_tot += (y_true[i] - mean) * (y_true[i] - mean);
+  }
+  if (ss_tot < 1e-12) return ss_res < 1e-12 ? 1.0 : 0.0;
+  return 1.0 - ss_res / ss_tot;
+}
+
+double MultiLabelF1(const std::vector<std::vector<float>>& y_true,
+                    const std::vector<std::vector<float>>& y_pred, float threshold) {
+  TSFM_CHECK_EQ(y_true.size(), y_pred.size());
+  size_t tp = 0, fp = 0, fn = 0;
+  for (size_t i = 0; i < y_true.size(); ++i) {
+    TSFM_CHECK_EQ(y_true[i].size(), y_pred[i].size());
+    for (size_t j = 0; j < y_true[i].size(); ++j) {
+      const bool is_true = y_true[i][j] >= 0.5f;
+      const bool is_pred = y_pred[i][j] >= threshold;
+      if (is_true && is_pred) ++tp;
+      if (!is_true && is_pred) ++fp;
+      if (is_true && !is_pred) ++fn;
+    }
+  }
+  double precision = tp + fp > 0 ? static_cast<double>(tp) / (tp + fp) : 0.0;
+  double recall = tp + fn > 0 ? static_cast<double>(tp) / (tp + fn) : 0.0;
+  return precision + recall > 0 ? 2 * precision * recall / (precision + recall) : 0.0;
+}
+
+RankedMetrics MetricsAtK(const std::vector<size_t>& ranked,
+                         const std::vector<size_t>& gold, size_t k) {
+  RankedMetrics m;
+  if (gold.empty() || k == 0) return m;
+  std::unordered_set<size_t> gold_set(gold.begin(), gold.end());
+  const size_t top = std::min(k, ranked.size());
+  size_t hits = 0;
+  for (size_t i = 0; i < top; ++i) {
+    if (gold_set.count(ranked[i])) ++hits;
+  }
+  m.precision = k > 0 ? static_cast<double>(hits) / static_cast<double>(k) : 0.0;
+  m.recall = static_cast<double>(hits) / static_cast<double>(gold.size());
+  m.f1 = m.precision + m.recall > 0
+             ? 2 * m.precision * m.recall / (m.precision + m.recall)
+             : 0.0;
+  return m;
+}
+
+SearchReport EvaluateSearch(const std::vector<std::vector<size_t>>& ranked,
+                            const std::vector<std::vector<size_t>>& gold,
+                            size_t k_max) {
+  TSFM_CHECK_EQ(ranked.size(), gold.size());
+  SearchReport report;
+  report.f1_at_k.resize(k_max, 0.0);
+  report.precision_at_k.resize(k_max, 0.0);
+  report.recall_at_k.resize(k_max, 0.0);
+
+  size_t evaluated = 0;
+  for (size_t q = 0; q < ranked.size(); ++q) {
+    if (gold[q].empty()) continue;
+    ++evaluated;
+    for (size_t k = 1; k <= k_max; ++k) {
+      RankedMetrics m = MetricsAtK(ranked[q], gold[q], k);
+      report.f1_at_k[k - 1] += m.f1;
+      report.precision_at_k[k - 1] += m.precision;
+      report.recall_at_k[k - 1] += m.recall;
+    }
+  }
+  if (evaluated > 0) {
+    for (size_t k = 0; k < k_max; ++k) {
+      report.f1_at_k[k] /= static_cast<double>(evaluated);
+      report.precision_at_k[k] /= static_cast<double>(evaluated);
+      report.recall_at_k[k] /= static_cast<double>(evaluated);
+    }
+  }
+  double sum = 0.0;
+  for (double f : report.f1_at_k) sum += f;
+  report.mean_f1 = k_max > 0 ? sum / static_cast<double>(k_max) : 0.0;
+  return report;
+}
+
+}  // namespace tsfm::search

@@ -1,0 +1,57 @@
+// Evaluation metrics: weighted F1 and R² for fine-tuning tasks
+// (paper Table II), and P@k / R@k / F1@k for search (Tables V-VIII, Fig 4).
+#ifndef TSFM_SEARCH_METRICS_H_
+#define TSFM_SEARCH_METRICS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace tsfm::search {
+
+/// Weighted F1 over integer class predictions (scikit-learn
+/// `f1_score(average="weighted")`): per-class F1 weighted by true-class
+/// support.
+double WeightedF1(const std::vector<int>& y_true, const std::vector<int>& y_pred,
+                  int num_classes);
+
+/// Coefficient of determination R² = 1 - SS_res / SS_tot.
+double R2Score(const std::vector<float>& y_true, const std::vector<float>& y_pred);
+
+/// Micro-averaged F1 for multi-label predictions thresholded at 0.5.
+double MultiLabelF1(const std::vector<std::vector<float>>& y_true,
+                    const std::vector<std::vector<float>>& y_pred,
+                    float threshold = 0.5f);
+
+/// \brief Relevance metrics of one ranked list against a gold set.
+struct RankedMetrics {
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+};
+
+/// P/R/F1 of the top-k prefix of `ranked` against `gold`.
+RankedMetrics MetricsAtK(const std::vector<size_t>& ranked,
+                         const std::vector<size_t>& gold, size_t k);
+
+/// \brief Aggregated search quality over a query set.
+struct SearchReport {
+  std::vector<double> f1_at_k;        ///< mean-over-queries F1@k, k = 1..k_max
+  std::vector<double> precision_at_k;
+  std::vector<double> recall_at_k;
+  double mean_f1 = 0.0;               ///< mean of f1_at_k over the k sweep
+
+  double PrecisionAt(size_t k) const { return precision_at_k[k - 1]; }
+  double RecallAt(size_t k) const { return recall_at_k[k - 1]; }
+  double F1At(size_t k) const { return f1_at_k[k - 1]; }
+};
+
+/// Evaluates ranked result lists (one per query) against gold sets for
+/// k = 1..k_max. The paper's "Mean F1" is the mean of the per-k averaged F1
+/// (the area under the Fig 4 curve).
+SearchReport EvaluateSearch(const std::vector<std::vector<size_t>>& ranked,
+                            const std::vector<std::vector<size_t>>& gold,
+                            size_t k_max);
+
+}  // namespace tsfm::search
+
+#endif  // TSFM_SEARCH_METRICS_H_

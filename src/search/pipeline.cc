@@ -1,0 +1,53 @@
+#include "search/pipeline.h"
+
+#include "util/logging.h"
+
+namespace tsfm::search {
+
+std::vector<std::vector<size_t>> RunSearch(const lakebench::SearchBenchmark& bench,
+                                           const ColumnEmbedFn& embed, size_t k) {
+  // Embed the whole corpus once.
+  std::vector<std::vector<std::vector<float>>> all_columns(bench.tables.size());
+  size_t dim = 0;
+  for (size_t t = 0; t < bench.tables.size(); ++t) {
+    all_columns[t] = embed(t);
+    for (const auto& col : all_columns[t]) {
+      if (dim == 0) dim = col.size();
+      TSFM_CHECK_EQ(col.size(), dim);
+    }
+  }
+  TSFM_CHECK_GT(dim, 0u);
+
+  ColumnEmbeddingIndex index(dim);
+  for (size_t t = 0; t < bench.tables.size(); ++t) {
+    index.AddTable(t, all_columns[t]);
+  }
+  TableRanker ranker(&index);
+
+  std::vector<std::vector<size_t>> ranked;
+  ranked.reserve(bench.queries.size());
+  for (const auto& query : bench.queries) {
+    const auto& qcols = all_columns[query.table_index];
+    if (query.column_index >= 0) {
+      TSFM_CHECK_LT(static_cast<size_t>(query.column_index), qcols.size());
+      ranked.push_back(ranker.RankTablesByColumn(
+          qcols[static_cast<size_t>(query.column_index)], k, query.table_index));
+    } else {
+      ranked.push_back(ranker.RankTables(qcols, k, query.table_index));
+    }
+  }
+  return ranked;
+}
+
+SearchReport EvaluateEmbeddingSearch(const lakebench::SearchBenchmark& bench,
+                                     const ColumnEmbedFn& embed, size_t k_max) {
+  return EvaluateSearch(RunSearch(bench, embed, k_max), bench.gold, k_max);
+}
+
+SearchReport EvaluateRankedLists(const lakebench::SearchBenchmark& bench,
+                                 const std::vector<std::vector<size_t>>& ranked,
+                                 size_t k_max) {
+  return EvaluateSearch(ranked, bench.gold, k_max);
+}
+
+}  // namespace tsfm::search

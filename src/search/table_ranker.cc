@@ -1,0 +1,97 @@
+#include "search/table_ranker.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+namespace tsfm::search {
+
+ColumnEmbeddingIndex::ColumnEmbeddingIndex(size_t dim, Metric metric)
+    : index_(dim, metric) {}
+
+void ColumnEmbeddingIndex::AddTable(size_t table_id,
+                                    const std::vector<std::vector<float>>& columns) {
+  for (size_t c = 0; c < columns.size(); ++c) {
+    index_.Add(column_of_.size(), columns[c]);
+    column_of_.emplace_back(table_id, c);
+  }
+}
+
+std::vector<ColumnEmbeddingIndex::ColumnHit> ColumnEmbeddingIndex::SearchColumns(
+    const std::vector<float>& query, size_t k) const {
+  std::vector<ColumnHit> hits;
+  for (const auto& [payload, dist] : index_.Search(query, k)) {
+    const auto& [table, col] = column_of_[payload];
+    hits.push_back({table, col, dist});
+  }
+  return hits;
+}
+
+std::vector<size_t> TableRanker::RankTables(
+    const std::vector<std::vector<float>>& query_columns, size_t k,
+    size_t exclude) const {
+  // Per candidate table: number of distinct query columns matched and the
+  // sum of their min distances (RANK1 / RANK2).
+  struct Candidate {
+    size_t matched = 0;
+    double distance_sum = 0.0;
+  };
+  std::unordered_map<size_t, Candidate> candidates;
+
+  for (const auto& qcol : query_columns) {
+    // COLUMNNEARTABLES: min distance per table among this column's hits.
+    std::unordered_map<size_t, float> near_tables;
+    for (const auto& hit : index_->SearchColumns(qcol, k * 3)) {
+      if (hit.table_id == exclude) continue;
+      auto it = near_tables.find(hit.table_id);
+      if (it == near_tables.end() || hit.distance < it->second) {
+        near_tables[hit.table_id] = hit.distance;
+      }
+    }
+    for (const auto& [table, dist] : near_tables) {
+      Candidate& c = candidates[table];
+      c.matched += 1;
+      c.distance_sum += dist;
+    }
+  }
+
+  std::vector<std::pair<size_t, Candidate>> order(candidates.begin(),
+                                                  candidates.end());
+  std::sort(order.begin(), order.end(), [](const auto& a, const auto& b) {
+    if (a.second.matched != b.second.matched) {
+      return a.second.matched > b.second.matched;  // RANK1
+    }
+    if (a.second.distance_sum != b.second.distance_sum) {
+      return a.second.distance_sum < b.second.distance_sum;  // RANK2
+    }
+    return a.first < b.first;
+  });
+
+  std::vector<size_t> ranked;
+  ranked.reserve(order.size());
+  for (const auto& [table, c] : order) ranked.push_back(table);
+  return ranked;
+}
+
+std::vector<size_t> TableRanker::RankTablesByColumn(
+    const std::vector<float>& query_column, size_t k, size_t exclude) const {
+  std::unordered_map<size_t, float> near_tables;
+  for (const auto& hit : index_->SearchColumns(query_column, k * 3)) {
+    if (hit.table_id == exclude) continue;
+    auto it = near_tables.find(hit.table_id);
+    if (it == near_tables.end() || hit.distance < it->second) {
+      near_tables[hit.table_id] = hit.distance;
+    }
+  }
+  std::vector<std::pair<size_t, float>> order(near_tables.begin(), near_tables.end());
+  std::sort(order.begin(), order.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second < b.second;
+    return a.first < b.first;
+  });
+  std::vector<size_t> ranked;
+  ranked.reserve(order.size());
+  for (const auto& [table, dist] : order) ranked.push_back(table);
+  return ranked;
+}
+
+}  // namespace tsfm::search

@@ -1,0 +1,65 @@
+// The paper's Fig 6 column-based table ranking:
+//   KNNSEARCH(c, k)          -> (k*3) nearest columns by distance
+//   COLUMNNEARTABLES(c, k)   -> tables of those columns with min distance
+//   NEARTABLES(t)            -> union over t's columns
+//   RANK1 = number of matched query columns (descending)
+//   RANK2 = sum of column distances (ascending tie-break)
+#ifndef TSFM_SEARCH_TABLE_RANKER_H_
+#define TSFM_SEARCH_TABLE_RANKER_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "search/knn_index.h"
+
+namespace tsfm::search {
+
+/// \brief A corpus of column embeddings grouped by table.
+class ColumnEmbeddingIndex {
+ public:
+  explicit ColumnEmbeddingIndex(size_t dim, Metric metric = Metric::kCosine);
+
+  /// Adds every column embedding of table `table_id`.
+  void AddTable(size_t table_id, const std::vector<std::vector<float>>& columns);
+
+  /// Nearest (table_id, column, distance) entries for a column query.
+  struct ColumnHit {
+    size_t table_id;
+    size_t column_index;
+    float distance;
+  };
+  std::vector<ColumnHit> SearchColumns(const std::vector<float>& query,
+                                       size_t k) const;
+
+  size_t num_columns() const { return index_.size(); }
+  size_t dim() const { return index_.dim(); }
+
+ private:
+  KnnIndex index_;
+  std::vector<std::pair<size_t, size_t>> column_of_;  // payload -> (table, col)
+};
+
+/// \brief Fig 6 ranking of corpus tables for a query table.
+class TableRanker {
+ public:
+  explicit TableRanker(const ColumnEmbeddingIndex* index) : index_(index) {}
+
+  /// Ranks corpus tables for a query represented by its column embeddings.
+  /// `k` is the target result count; each column over-retrieves k*3
+  /// candidates as in the paper. `exclude` (usually the query's own id) is
+  /// dropped from results.
+  std::vector<size_t> RankTables(const std::vector<std::vector<float>>& query_columns,
+                                 size_t k, size_t exclude) const;
+
+  /// Join-search variant: a single query column; tables ranked by their
+  /// closest column distance.
+  std::vector<size_t> RankTablesByColumn(const std::vector<float>& query_column,
+                                         size_t k, size_t exclude) const;
+
+ private:
+  const ColumnEmbeddingIndex* index_;
+};
+
+}  // namespace tsfm::search
+
+#endif  // TSFM_SEARCH_TABLE_RANKER_H_

@@ -1,0 +1,16 @@
+#include "sketch/content_snapshot.h"
+
+#include <algorithm>
+
+namespace tsfm {
+
+MinHash MakeContentSnapshot(const Table& table, size_t num_perm, size_t max_rows) {
+  MinHash mh(num_perm);
+  const size_t rows = std::min(table.num_rows(), max_rows);
+  for (size_t r = 0; r < rows; ++r) {
+    mh.Update(table.RowString(r));
+  }
+  return mh;
+}
+
+}  // namespace tsfm

@@ -1,0 +1,21 @@
+// The paper's table-level content snapshot (Sec III-A): a MinHash over the
+// set of row-strings of the first N rows.
+#ifndef TSFM_SKETCH_CONTENT_SNAPSHOT_H_
+#define TSFM_SKETCH_CONTENT_SNAPSHOT_H_
+
+#include "sketch/minhash.h"
+#include "table/table.h"
+
+namespace tsfm {
+
+/// Default row budget, matching the paper's "first 10000 rows".
+inline constexpr size_t kContentSnapshotRows = 10000;
+
+/// Builds the content snapshot MinHash of `table`: each of the first
+/// `max_rows` rows is rendered as one string and folded into the signature.
+MinHash MakeContentSnapshot(const Table& table, size_t num_perm = 32,
+                            size_t max_rows = kContentSnapshotRows);
+
+}  // namespace tsfm
+
+#endif  // TSFM_SKETCH_CONTENT_SNAPSHOT_H_

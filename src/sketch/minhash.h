@@ -1,0 +1,58 @@
+// MinHash signatures (Broder '97) for fast Jaccard estimation.
+//
+// The paper uses the datasketch library's MinHash; this is the same
+// construction: K independent hash functions, signature[i] = min over the
+// set of h_i(element). Jaccard(A, B) is estimated by the fraction of
+// matching signature slots.
+#ifndef TSFM_SKETCH_MINHASH_H_
+#define TSFM_SKETCH_MINHASH_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tsfm {
+
+/// \brief A K-slot MinHash signature.
+class MinHash {
+ public:
+  /// Creates an empty signature with `num_perm` slots (all at +inf).
+  explicit MinHash(size_t num_perm = 32);
+
+  /// Folds one set element into the signature.
+  void Update(std::string_view element);
+
+  /// Folds every element of `elements` in.
+  void UpdateAll(const std::vector<std::string>& elements);
+
+  /// Estimated Jaccard similarity with `other` (same num_perm required).
+  double EstimateJaccard(const MinHash& other) const;
+
+  /// Number of differing slots (used by the paper's error analysis).
+  size_t HammingDistance(const MinHash& other) const;
+
+  /// Merges with `other` (signature of the set union).
+  void Merge(const MinHash& other);
+
+  /// True when no element has been folded in.
+  bool empty() const { return empty_; }
+
+  size_t num_perm() const { return signature_.size(); }
+  const std::vector<uint32_t>& signature() const { return signature_; }
+
+  /// Signature slots scaled to [0, 1] floats for use as a neural-net input
+  /// vector (paper Sec III-B.5 feeds MinHash vectors through a linear layer).
+  std::vector<float> ToFloats() const;
+
+ private:
+  std::vector<uint32_t> signature_;
+  bool empty_ = true;
+};
+
+/// Convenience: builds a MinHash over a set of strings.
+MinHash MinHashOfSet(const std::vector<std::string>& elements, size_t num_perm = 32);
+
+}  // namespace tsfm
+
+#endif  // TSFM_SKETCH_MINHASH_H_

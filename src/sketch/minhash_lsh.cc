@@ -1,0 +1,99 @@
+#include "sketch/minhash_lsh.h"
+
+#include <unordered_set>
+
+#include "util/hash.h"
+#include "util/logging.h"
+
+namespace tsfm {
+
+MinHashLsh::MinHashLsh(size_t num_perm, size_t bands)
+    : num_perm_(num_perm), bands_(bands), rows_per_band_(num_perm / bands) {
+  TSFM_CHECK_GT(bands_, 0u);
+  TSFM_CHECK_EQ(bands_ * rows_per_band_, num_perm_);
+  tables_.resize(bands_);
+}
+
+uint64_t MinHashLsh::BandHash(const MinHash& mh, size_t band) const {
+  uint64_t h = SplitMix64(band + 1);
+  const auto& sig = mh.signature();
+  for (size_t r = 0; r < rows_per_band_; ++r) {
+    h = HashCombine(h, SplitMix64(sig[band * rows_per_band_ + r]));
+  }
+  return h;
+}
+
+void MinHashLsh::Insert(const std::string& key, const MinHash& minhash) {
+  TSFM_CHECK_EQ(minhash.num_perm(), num_perm_);
+  for (size_t b = 0; b < bands_; ++b) {
+    tables_[b][BandHash(minhash, b)].push_back(key);
+  }
+  ++num_items_;
+}
+
+std::vector<std::string> MinHashLsh::Query(const MinHash& query) const {
+  TSFM_CHECK_EQ(query.num_perm(), num_perm_);
+  std::unordered_set<std::string> seen;
+  std::vector<std::string> out;
+  for (size_t b = 0; b < bands_; ++b) {
+    auto it = tables_[b].find(BandHash(query, b));
+    if (it == tables_[b].end()) continue;
+    for (const auto& key : it->second) {
+      if (seen.insert(key).second) out.push_back(key);
+    }
+  }
+  return out;
+}
+
+LshForest::LshForest(size_t num_perm, size_t num_trees, size_t max_depth)
+    : num_perm_(num_perm), num_trees_(num_trees), max_depth_(max_depth) {
+  TSFM_CHECK_GT(num_trees_, 0u);
+  TSFM_CHECK_GT(max_depth_, 0u);
+  TSFM_CHECK_LE(num_trees_ * max_depth_, num_perm_);
+  trees_.resize(num_trees_);
+  for (auto& tree : trees_) tree.resize(max_depth_ + 1);
+}
+
+std::string LshForest::PrefixKey(const MinHash& mh, size_t tree, size_t depth) const {
+  // Tree t uses signature slots [t*max_depth, t*max_depth + depth).
+  std::string key;
+  key.reserve(depth * 4);
+  const auto& sig = mh.signature();
+  for (size_t d = 0; d < depth; ++d) {
+    uint32_t v = sig[tree * max_depth_ + d];
+    key.append(reinterpret_cast<const char*>(&v), 4);
+  }
+  return key;
+}
+
+void LshForest::Insert(const std::string& key, const MinHash& minhash) {
+  TSFM_CHECK_EQ(minhash.num_perm(), num_perm_);
+  for (size_t t = 0; t < num_trees_; ++t) {
+    for (size_t d = 1; d <= max_depth_; ++d) {
+      trees_[t][d][PrefixKey(minhash, t, d)].push_back(key);
+    }
+  }
+}
+
+std::vector<std::string> LshForest::Query(const MinHash& query, size_t k) const {
+  TSFM_CHECK_EQ(query.num_perm(), num_perm_);
+  std::unordered_set<std::string> seen;
+  std::vector<std::string> out;
+  // Walk from the deepest (most selective) prefix up; deeper matches are
+  // higher-confidence candidates and are emitted first.
+  for (size_t d = max_depth_; d >= 1 && out.size() < k; --d) {
+    for (size_t t = 0; t < num_trees_ && out.size() < k; ++t) {
+      auto it = trees_[t][d].find(PrefixKey(query, t, d));
+      if (it == trees_[t][d].end()) continue;
+      for (const auto& key : it->second) {
+        if (seen.insert(key).second) {
+          out.push_back(key);
+          if (out.size() >= k) break;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace tsfm

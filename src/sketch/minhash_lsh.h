@@ -1,0 +1,74 @@
+// MinHash LSH index with banding, plus an LSH-Forest variant.
+//
+// Substrate for the LSH-Forest join-search baseline (paper Table V) and a
+// fast candidate generator for large lakes: signatures are cut into bands of
+// rows; two sets collide when any band matches exactly.
+#ifndef TSFM_SKETCH_MINHASH_LSH_H_
+#define TSFM_SKETCH_MINHASH_LSH_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sketch/minhash.h"
+
+namespace tsfm {
+
+/// \brief Classic banded MinHash LSH index over named items.
+class MinHashLsh {
+ public:
+  /// `num_perm` must equal `bands * rows_per_band`.
+  MinHashLsh(size_t num_perm, size_t bands);
+
+  /// Inserts an item; `key` identifies it in query results.
+  void Insert(const std::string& key, const MinHash& minhash);
+
+  /// Returns keys sharing at least one band with `query` (no dedup cost:
+  /// results are deduplicated, order unspecified).
+  std::vector<std::string> Query(const MinHash& query) const;
+
+  size_t size() const { return num_items_; }
+
+ private:
+  uint64_t BandHash(const MinHash& mh, size_t band) const;
+
+  size_t num_perm_;
+  size_t bands_;
+  size_t rows_per_band_;
+  size_t num_items_ = 0;
+  // One hash table per band: band-hash -> keys.
+  std::vector<std::unordered_map<uint64_t, std::vector<std::string>>> tables_;
+};
+
+/// \brief LSH-Forest (Bawa et al. 2005) over MinHash signatures.
+///
+/// Each of `num_trees` trees stores items keyed by a prefix of a permuted
+/// signature; queries descend to the deepest matching prefix and walk
+/// upward until enough candidates are collected. This reproduces the
+/// LSH-Forest baseline used in the paper's join-search comparison.
+class LshForest {
+ public:
+  LshForest(size_t num_perm, size_t num_trees, size_t max_depth);
+
+  void Insert(const std::string& key, const MinHash& minhash);
+
+  /// Top candidates for `query`, most-overlapping prefixes first.
+  /// Returns up to `k` distinct keys.
+  std::vector<std::string> Query(const MinHash& query, size_t k) const;
+
+ private:
+  // Prefix key of length `depth` for tree `t`.
+  std::string PrefixKey(const MinHash& mh, size_t tree, size_t depth) const;
+
+  size_t num_perm_;
+  size_t num_trees_;
+  size_t max_depth_;
+  // trees_[t][depth] : prefix -> keys.
+  std::vector<std::vector<std::unordered_map<std::string, std::vector<std::string>>>>
+      trees_;
+};
+
+}  // namespace tsfm
+
+#endif  // TSFM_SKETCH_MINHASH_LSH_H_

@@ -1,0 +1,35 @@
+#include "sketch/simhash.h"
+
+#include <bit>
+
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace tsfm {
+
+SimHasher::SimHasher(size_t dim, size_t num_bits, uint64_t seed)
+    : dim_(dim), num_bits_(num_bits) {
+  TSFM_CHECK_LE(num_bits_, 64u);
+  Rng rng(seed);
+  planes_.resize(num_bits_ * dim_);
+  for (auto& p : planes_) p = static_cast<float>(rng.Normal());
+}
+
+uint64_t SimHasher::Hash(const std::vector<float>& vec) const {
+  TSFM_CHECK_EQ(vec.size(), dim_);
+  uint64_t code = 0;
+  for (size_t b = 0; b < num_bits_; ++b) {
+    const float* plane = planes_.data() + b * dim_;
+    float dot = 0.0f;
+    for (size_t i = 0; i < dim_; ++i) dot += plane[i] * vec[i];
+    if (dot >= 0.0f) code |= (uint64_t{1} << b);
+  }
+  return code;
+}
+
+int SimHasher::HammingDistance(uint64_t a, uint64_t b) const {
+  uint64_t mask = num_bits_ == 64 ? ~uint64_t{0} : ((uint64_t{1} << num_bits_) - 1);
+  return std::popcount((a ^ b) & mask);
+}
+
+}  // namespace tsfm

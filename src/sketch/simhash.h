@@ -1,0 +1,36 @@
+// SimHash (Charikar 2002) over dense float vectors.
+//
+// Used by the WarpGate baseline, which indexes column embeddings with
+// SimHash LSH for approximate cosine-similarity search.
+#ifndef TSFM_SKETCH_SIMHASH_H_
+#define TSFM_SKETCH_SIMHASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace tsfm {
+
+/// \brief A family of `num_bits` random hyperplanes producing SimHash codes.
+class SimHasher {
+ public:
+  /// `dim` is the input vector dimensionality; `seed` fixes the hyperplanes.
+  SimHasher(size_t dim, size_t num_bits = 64, uint64_t seed = 7);
+
+  /// 64-bit SimHash code of `vec` (only the low `num_bits` bits are used).
+  uint64_t Hash(const std::vector<float>& vec) const;
+
+  /// Hamming distance between two codes over the active bits.
+  int HammingDistance(uint64_t a, uint64_t b) const;
+
+  size_t num_bits() const { return num_bits_; }
+
+ private:
+  size_t dim_;
+  size_t num_bits_;
+  std::vector<float> planes_;  // num_bits x dim, row-major
+};
+
+}  // namespace tsfm
+
+#endif  // TSFM_SKETCH_SIMHASH_H_

@@ -1,0 +1,102 @@
+#include "sketch/table_sketch.h"
+
+#include <unordered_set>
+
+#include "util/hash.h"
+#include "util/string_util.h"
+
+namespace tsfm {
+
+std::vector<float> ColumnSketch::MinHashInput() const {
+  std::vector<float> cells = cell_minhash.ToFloats();
+  std::vector<float> out;
+  out.reserve(cells.size() * 2);
+  out.insert(out.end(), cells.begin(), cells.end());
+  if (type == ColumnType::kString) {
+    std::vector<float> words = word_minhash.ToFloats();
+    out.insert(out.end(), words.begin(), words.end());
+  } else {
+    // Non-string columns have no words signature; the paper includes only
+    // the cell MinHash. We duplicate it so every column feeds the same
+    // linear layer width.
+    out.insert(out.end(), cells.begin(), cells.end());
+  }
+  return out;
+}
+
+std::vector<float> ColumnSketch::OneBitMinHashInput() const {
+  auto one_bit = [](const MinHash& mh) {
+    std::vector<float> out(mh.num_perm());
+    for (size_t i = 0; i < mh.num_perm(); ++i) {
+      out[i] = (SplitMix64(mh.signature()[i]) & 1) ? 1.0f : -1.0f;
+    }
+    return out;
+  };
+  std::vector<float> cells = one_bit(cell_minhash);
+  std::vector<float> out;
+  out.reserve(cells.size() * 2);
+  out.insert(out.end(), cells.begin(), cells.end());
+  if (type == ColumnType::kString) {
+    std::vector<float> words = one_bit(word_minhash);
+    out.insert(out.end(), words.begin(), words.end());
+  } else {
+    out.insert(out.end(), cells.begin(), cells.end());
+  }
+  return out;
+}
+
+std::vector<std::string> DistinctCells(const Column& column, size_t max_cells) {
+  std::unordered_set<std::string> seen;
+  std::vector<std::string> out;
+  for (const auto& cell : column.cells) {
+    if (out.size() >= max_cells) break;
+    if (IsNullToken(cell)) continue;
+    if (seen.insert(cell).second) out.push_back(cell);
+  }
+  return out;
+}
+
+std::vector<std::string> DistinctWords(const Column& column, size_t max_cells) {
+  std::unordered_set<std::string> seen;
+  std::vector<std::string> out;
+  size_t budget = max_cells;
+  for (const auto& cell : column.cells) {
+    if (budget == 0) break;
+    --budget;
+    if (IsNullToken(cell)) continue;
+    for (const auto& word : SplitWhitespace(cell)) {
+      std::string lower = ToLower(word);
+      if (seen.insert(lower).second) out.push_back(std::move(lower));
+    }
+  }
+  return out;
+}
+
+TableSketch BuildTableSketch(const Table& table, const SketchOptions& options) {
+  TableSketch sketch;
+  sketch.table_id = table.id();
+  sketch.description = table.description();
+  sketch.content_snapshot =
+      MakeContentSnapshot(table, options.num_perm, options.snapshot_rows);
+
+  sketch.columns.reserve(table.num_columns());
+  for (size_t c = 0; c < table.num_columns(); ++c) {
+    const Column& col = table.column(c);
+    ColumnSketch cs;
+    cs.name = col.name;
+    cs.type = col.type;
+    cs.cell_minhash = MinHashOfSet(DistinctCells(col, options.max_cells),
+                                   options.num_perm);
+    if (col.type == ColumnType::kString) {
+      cs.word_minhash = MinHashOfSet(DistinctWords(col, options.max_cells),
+                                     options.num_perm);
+    } else {
+      cs.word_minhash = MinHash(options.num_perm);
+    }
+    cs.numerical = MakeNumericalSketch(col);
+    sketch.columns.push_back(std::move(cs));
+  }
+  return sketch;
+}
+
+}  // namespace tsfm

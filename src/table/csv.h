@@ -1,0 +1,32 @@
+// RFC-4180-style CSV reading and writing.
+//
+// Supports quoted fields with embedded delimiters, quotes ("" escaping) and
+// newlines. The first record is the header row (column names).
+#ifndef TSFM_TABLE_CSV_H_
+#define TSFM_TABLE_CSV_H_
+
+#include <string>
+#include <string_view>
+
+#include "table/table.h"
+#include "util/status.h"
+
+namespace tsfm {
+
+/// Parses CSV text into a Table. The first record is the header. Rows with
+/// fewer fields than the header are padded with empty cells; rows with more
+/// are an error.
+Result<Table> ParseCsv(std::string_view text, char delim = ',');
+
+/// Reads and parses a CSV file.
+Result<Table> ReadCsvFile(const std::string& path, char delim = ',');
+
+/// Serializes a table as CSV (header + rows), quoting when needed.
+std::string WriteCsv(const Table& table, char delim = ',');
+
+/// Writes a table to a CSV file.
+Status WriteCsvFile(const Table& table, const std::string& path, char delim = ',');
+
+}  // namespace tsfm
+
+#endif  // TSFM_TABLE_CSV_H_

@@ -1,0 +1,90 @@
+// In-memory relational table model.
+//
+// Cells are stored as strings (the universal representation coming out of
+// CSV files and the synthetic generators); column types are inferred lazily
+// with the paper's first-10-values rule (Sec III-B.4).
+#ifndef TSFM_TABLE_TABLE_H_
+#define TSFM_TABLE_TABLE_H_
+
+#include <string>
+#include <vector>
+
+#include "table/value.h"
+
+namespace tsfm {
+
+/// \brief A named, typed column of string cells.
+struct Column {
+  std::string name;
+  std::vector<std::string> cells;
+  ColumnType type = ColumnType::kString;
+};
+
+/// \brief A table: id, human description, and columns of equal length.
+class Table {
+ public:
+  Table() = default;
+  Table(std::string id, std::string description)
+      : id_(std::move(id)), description_(std::move(description)) {}
+
+  const std::string& id() const { return id_; }
+  const std::string& description() const { return description_; }
+  void set_id(std::string id) { id_ = std::move(id); }
+  void set_description(std::string d) { description_ = std::move(d); }
+
+  size_t num_columns() const { return columns_.size(); }
+  size_t num_rows() const { return columns_.empty() ? 0 : columns_[0].cells.size(); }
+
+  const Column& column(size_t i) const { return columns_[i]; }
+  Column& column(size_t i) { return columns_[i]; }
+  const std::vector<Column>& columns() const { return columns_; }
+
+  /// Appends a column; all columns must end up with equal row counts
+  /// (validated by Validate()).
+  void AddColumn(Column column) { columns_.push_back(std::move(column)); }
+  void AddColumn(std::string name, std::vector<std::string> cells);
+
+  /// Index of the column named `name`, or -1.
+  int ColumnIndex(const std::string& name) const;
+
+  /// Cell accessor (row-major view over columnar storage).
+  const std::string& cell(size_t row, size_t col) const {
+    return columns_[col].cells[row];
+  }
+
+  /// Renders row `r` as a single space-joined string (used by the content
+  /// snapshot sketch).
+  std::string RowString(size_t row) const;
+
+  /// Runs type inference (paper Sec III-B.4) on every column: parse the
+  /// first `probe` non-null values as date, then int, then float; default
+  /// to string.
+  void InferTypes(size_t probe = 10);
+
+  /// Returns a copy with columns reordered by `perm` (a permutation of
+  /// column indices).
+  Table WithColumnOrder(const std::vector<size_t>& perm) const;
+
+  /// Returns a copy with rows reordered by `perm`.
+  Table WithRowOrder(const std::vector<size_t>& perm) const;
+
+  /// Returns a copy keeping only `row_idx` rows and `col_idx` columns
+  /// (both in given order).
+  Table Slice(const std::vector<size_t>& row_idx,
+              const std::vector<size_t>& col_idx) const;
+
+  /// True when all columns have the same number of rows.
+  bool Validate() const;
+
+ private:
+  std::string id_;
+  std::string description_;
+  std::vector<Column> columns_;
+};
+
+/// Infers the type of a single column by probing its first values.
+ColumnType InferColumnType(const std::vector<std::string>& cells, size_t probe = 10);
+
+}  // namespace tsfm
+
+#endif  // TSFM_TABLE_TABLE_H_

@@ -1,0 +1,80 @@
+#include "text/tokenizer.h"
+
+#include <cctype>
+
+#include "util/string_util.h"
+
+namespace tsfm::text {
+
+std::vector<std::string> BasicTokenize(std::string_view text) {
+  std::vector<std::string> out;
+  std::string current;
+  auto flush = [&] {
+    if (!current.empty()) {
+      out.push_back(current);
+      current.clear();
+    }
+  };
+  for (char raw : text) {
+    unsigned char c = static_cast<unsigned char>(raw);
+    if (std::isalnum(c)) {
+      current.push_back(static_cast<char>(std::tolower(c)));
+    } else if (std::isspace(c)) {
+      flush();
+    } else {
+      flush();
+      out.emplace_back(1, static_cast<char>(c));  // punctuation as its own token
+    }
+  }
+  flush();
+  return out;
+}
+
+std::vector<int> Tokenizer::WordPieceIds(const std::string& word) const {
+  if (vocab_->Contains(word)) return {vocab_->Id(word)};
+  std::vector<int> pieces;
+  size_t start = 0;
+  const size_t n = word.size();
+  while (start < n) {
+    size_t end = n;
+    int found = -1;
+    while (end > start) {
+      std::string piece = word.substr(start, end - start);
+      if (start > 0) piece = "##" + piece;
+      if (vocab_->Contains(piece)) {
+        found = vocab_->Id(piece);
+        break;
+      }
+      --end;
+    }
+    if (found < 0) return {kUnkId};  // undecomposable
+    pieces.push_back(found);
+    start = end;
+  }
+  return pieces;
+}
+
+std::vector<int> Tokenizer::Encode(std::string_view text) const {
+  std::vector<int> ids;
+  for (const auto& word : BasicTokenize(text)) {
+    auto pieces = WordPieceIds(word);
+    ids.insert(ids.end(), pieces.begin(), pieces.end());
+  }
+  return ids;
+}
+
+std::string Tokenizer::Decode(const std::vector<int>& ids) const {
+  std::string out;
+  for (int id : ids) {
+    const std::string& token = vocab_->TokenOf(id);
+    if (StartsWith(token, "##")) {
+      out += token.substr(2);
+    } else {
+      if (!out.empty()) out.push_back(' ');
+      out += token;
+    }
+  }
+  return out;
+}
+
+}  // namespace tsfm::text

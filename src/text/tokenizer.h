@@ -1,0 +1,40 @@
+// WordPiece-style tokenizer (greedy longest-match-first subwords).
+#ifndef TSFM_TEXT_TOKENIZER_H_
+#define TSFM_TEXT_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "text/vocab.h"
+
+namespace tsfm::text {
+
+/// Lower-cases and splits text into word tokens: letter/digit runs, with
+/// punctuation emitted as single-character tokens (BERT basic tokenizer).
+std::vector<std::string> BasicTokenize(std::string_view text);
+
+/// \brief Greedy WordPiece tokenizer over a fixed vocabulary.
+class Tokenizer {
+ public:
+  explicit Tokenizer(const Vocab* vocab) : vocab_(vocab) {}
+
+  /// Splits one word into vocabulary pieces ("street" -> ["str", "##eet"]).
+  /// Falls back to [UNK] when no decomposition exists.
+  std::vector<int> WordPieceIds(const std::string& word) const;
+
+  /// Full pipeline: basic tokenize then WordPiece each word.
+  std::vector<int> Encode(std::string_view text) const;
+
+  /// Decodes ids back to a readable string ("##" pieces merged).
+  std::string Decode(const std::vector<int>& ids) const;
+
+  const Vocab& vocab() const { return *vocab_; }
+
+ private:
+  const Vocab* vocab_;
+};
+
+}  // namespace tsfm::text
+
+#endif  // TSFM_TEXT_TOKENIZER_H_

@@ -1,0 +1,76 @@
+#include "text/vocab.h"
+
+#include <algorithm>
+#include <map>
+
+#include "util/logging.h"
+
+namespace tsfm::text {
+
+Vocab::Vocab() {
+  AddToken(kPadToken);
+  AddToken(kUnkToken);
+  AddToken(kClsToken);
+  AddToken(kSepToken);
+  AddToken(kMaskToken);
+}
+
+int Vocab::AddToken(const std::string& token) {
+  auto it = ids_.find(token);
+  if (it != ids_.end()) return it->second;
+  int id = static_cast<int>(tokens_.size());
+  tokens_.push_back(token);
+  ids_.emplace(token, id);
+  return id;
+}
+
+int Vocab::Id(const std::string& token) const {
+  auto it = ids_.find(token);
+  return it == ids_.end() ? kUnkId : it->second;
+}
+
+bool Vocab::Contains(const std::string& token) const {
+  return ids_.find(token) != ids_.end();
+}
+
+const std::string& Vocab::TokenOf(int id) const {
+  TSFM_CHECK_GE(id, 0);
+  TSFM_CHECK_LT(static_cast<size_t>(id), tokens_.size());
+  return tokens_[static_cast<size_t>(id)];
+}
+
+Vocab Vocab::Build(const std::vector<std::string>& words, size_t min_count,
+                   size_t max_size) {
+  std::map<std::string, size_t> counts;  // ordered map keeps builds deterministic
+  for (const auto& w : words) ++counts[w];
+
+  // Frequency-sorted (desc), ties broken lexicographically.
+  std::vector<std::pair<std::string, size_t>> sorted(counts.begin(), counts.end());
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const auto& a, const auto& b) { return a.second > b.second; });
+
+  Vocab vocab;
+  for (const auto& [word, count] : sorted) {
+    if (count < min_count) break;
+    if (vocab.size() >= max_size) break;
+    vocab.AddToken(word);
+    // Suffix pieces allow decomposition of unseen compounds.
+    if (word.size() >= 4) {
+      for (size_t cut = 1; cut + 2 <= word.size() && vocab.size() < max_size; ++cut) {
+        vocab.AddToken("##" + word.substr(cut));
+      }
+    }
+  }
+  // Single characters as a last-resort decomposition layer.
+  for (char c = 'a'; c <= 'z' && vocab.size() < max_size; ++c) {
+    vocab.AddToken(std::string(1, c));
+    vocab.AddToken("##" + std::string(1, c));
+  }
+  for (char c = '0'; c <= '9' && vocab.size() < max_size; ++c) {
+    vocab.AddToken(std::string(1, c));
+    vocab.AddToken("##" + std::string(1, c));
+  }
+  return vocab;
+}
+
+}  // namespace tsfm::text

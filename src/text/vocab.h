@@ -1,0 +1,60 @@
+// Vocabulary with BERT-style special tokens.
+#ifndef TSFM_TEXT_VOCAB_H_
+#define TSFM_TEXT_VOCAB_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace tsfm::text {
+
+/// Special-token ids are fixed at the front of every vocabulary.
+inline constexpr int kPadId = 0;
+inline constexpr int kUnkId = 1;
+inline constexpr int kClsId = 2;
+inline constexpr int kSepId = 3;
+inline constexpr int kMaskId = 4;
+inline constexpr int kNumSpecialTokens = 5;
+
+inline constexpr const char* kPadToken = "[PAD]";
+inline constexpr const char* kUnkToken = "[UNK]";
+inline constexpr const char* kClsToken = "[CLS]";
+inline constexpr const char* kSepToken = "[SEP]";
+inline constexpr const char* kMaskToken = "[MASK]";
+
+/// \brief Token string <-> id mapping.
+class Vocab {
+ public:
+  /// Creates a vocabulary holding only the special tokens.
+  Vocab();
+
+  /// Adds a token if absent; returns its id either way.
+  int AddToken(const std::string& token);
+
+  /// Id of `token`, or kUnkId when absent.
+  int Id(const std::string& token) const;
+
+  /// True when `token` is known.
+  bool Contains(const std::string& token) const;
+
+  /// Token string for `id` (checked).
+  const std::string& TokenOf(int id) const;
+
+  size_t size() const { return tokens_.size(); }
+
+  /// \brief Builds a vocabulary from a corpus of whole words.
+  ///
+  /// Words with frequency >= min_count enter as full tokens; additionally
+  /// every "##"-prefixed suffix piece of length >= 2 of frequent words is
+  /// added so the tokenizer can decompose unseen words (WordPiece-style).
+  static Vocab Build(const std::vector<std::string>& words, size_t min_count = 1,
+                     size_t max_size = 30000);
+
+ private:
+  std::vector<std::string> tokens_;
+  std::unordered_map<std::string, int> ids_;
+};
+
+}  // namespace tsfm::text
+
+#endif  // TSFM_TEXT_VOCAB_H_

@@ -1,0 +1,83 @@
+#include "util/hash.h"
+
+#include <cstring>
+
+namespace tsfm {
+
+namespace {
+
+inline uint32_t Rotl32(uint32_t x, int8_t r) { return (x << r) | (x >> (32 - r)); }
+
+inline uint32_t Fmix32(uint32_t h) {
+  h ^= h >> 16;
+  h *= 0x85ebca6b;
+  h ^= h >> 13;
+  h *= 0xc2b2ae35;
+  h ^= h >> 16;
+  return h;
+}
+
+}  // namespace
+
+uint32_t Murmur3_32(std::string_view data, uint32_t seed) {
+  const uint8_t* bytes = reinterpret_cast<const uint8_t*>(data.data());
+  const size_t len = data.size();
+  const size_t nblocks = len / 4;
+
+  uint32_t h1 = seed;
+  const uint32_t c1 = 0xcc9e2d51;
+  const uint32_t c2 = 0x1b873593;
+
+  for (size_t i = 0; i < nblocks; ++i) {
+    uint32_t k1;
+    std::memcpy(&k1, bytes + i * 4, 4);
+    k1 *= c1;
+    k1 = Rotl32(k1, 15);
+    k1 *= c2;
+    h1 ^= k1;
+    h1 = Rotl32(h1, 13);
+    h1 = h1 * 5 + 0xe6546b64;
+  }
+
+  const uint8_t* tail = bytes + nblocks * 4;
+  uint32_t k1 = 0;
+  switch (len & 3) {
+    case 3:
+      k1 ^= static_cast<uint32_t>(tail[2]) << 16;
+      [[fallthrough]];
+    case 2:
+      k1 ^= static_cast<uint32_t>(tail[1]) << 8;
+      [[fallthrough]];
+    case 1:
+      k1 ^= tail[0];
+      k1 *= c1;
+      k1 = Rotl32(k1, 15);
+      k1 *= c2;
+      h1 ^= k1;
+  }
+
+  h1 ^= static_cast<uint32_t>(len);
+  return Fmix32(h1);
+}
+
+uint64_t Fnv1a64(std::string_view data) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : data) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+uint64_t HashCombine(uint64_t a, uint64_t b) {
+  return a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 12) + (a >> 4));
+}
+
+}  // namespace tsfm

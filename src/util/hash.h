@@ -1,0 +1,28 @@
+// Non-cryptographic hash functions used by the sketching layer.
+//
+// MinHash needs a family of independent hash functions over strings; we use
+// MurmurHash3 (x86 32-bit finalization) with per-function seeds, plus
+// FNV-1a and SplitMix64 for lightweight integer mixing.
+#ifndef TSFM_UTIL_HASH_H_
+#define TSFM_UTIL_HASH_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace tsfm {
+
+/// MurmurHash3 x86 32-bit of `data` with `seed`.
+uint32_t Murmur3_32(std::string_view data, uint32_t seed);
+
+/// 64-bit FNV-1a of `data`.
+uint64_t Fnv1a64(std::string_view data);
+
+/// SplitMix64 finalizer — turns a 64-bit value into a well-mixed 64-bit hash.
+uint64_t SplitMix64(uint64_t x);
+
+/// Combines two hash values (boost::hash_combine style, 64-bit).
+uint64_t HashCombine(uint64_t a, uint64_t b);
+
+}  // namespace tsfm
+
+#endif  // TSFM_UTIL_HASH_H_

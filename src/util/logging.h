@@ -1,0 +1,70 @@
+// Minimal leveled logging and check macros.
+//
+// TSFM_CHECK aborts with a message on contract violations — used for
+// programmer errors (shape mismatches, index bounds), never for data errors,
+// which go through Status.
+#ifndef TSFM_UTIL_LOGGING_H_
+#define TSFM_UTIL_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace tsfm {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Process-wide minimum level; messages below it are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+class FatalMessage {
+ public:
+  FatalMessage(const char* file, int line, const char* expr);
+  [[noreturn]] ~FatalMessage();
+
+  template <typename T>
+  FatalMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace tsfm
+
+#define TSFM_LOG(level) \
+  ::tsfm::internal::LogMessage(::tsfm::LogLevel::k##level, __FILE__, __LINE__)
+
+#define TSFM_CHECK(expr)                                              \
+  if (!(expr)) ::tsfm::internal::FatalMessage(__FILE__, __LINE__, #expr)
+
+#define TSFM_CHECK_EQ(a, b) TSFM_CHECK((a) == (b)) << " (" << (a) << " vs " << (b) << ") "
+#define TSFM_CHECK_LT(a, b) TSFM_CHECK((a) < (b)) << " (" << (a) << " vs " << (b) << ") "
+#define TSFM_CHECK_LE(a, b) TSFM_CHECK((a) <= (b)) << " (" << (a) << " vs " << (b) << ") "
+#define TSFM_CHECK_GT(a, b) TSFM_CHECK((a) > (b)) << " (" << (a) << " vs " << (b) << ") "
+#define TSFM_CHECK_GE(a, b) TSFM_CHECK((a) >= (b)) << " (" << (a) << " vs " << (b) << ") "
+
+#endif  // TSFM_UTIL_LOGGING_H_

@@ -1,0 +1,88 @@
+#include "util/random.h"
+
+#include <cmath>
+#include <numeric>
+
+namespace tsfm {
+
+Rng::Rng(uint64_t seed, uint64_t stream) : state_(0), inc_((stream << 1u) | 1u) {
+  NextU32();
+  state_ += seed;
+  NextU32();
+}
+
+uint32_t Rng::NextU32() {
+  uint64_t oldstate = state_;
+  state_ = oldstate * 6364136223846793005ULL + inc_;
+  uint32_t xorshifted = static_cast<uint32_t>(((oldstate >> 18u) ^ oldstate) >> 27u);
+  uint32_t rot = static_cast<uint32_t>(oldstate >> 59u);
+  return (xorshifted >> rot) | (xorshifted << ((-rot) & 31));
+}
+
+uint64_t Rng::NextU64() {
+  return (static_cast<uint64_t>(NextU32()) << 32) | NextU32();
+}
+
+uint32_t Rng::Uniform(uint32_t bound) {
+  // Lemire-style rejection to avoid modulo bias.
+  uint32_t threshold = -bound % bound;
+  for (;;) {
+    uint32_t r = NextU32();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  if (span == 0) return static_cast<int64_t>(NextU64());  // full 64-bit range
+  // For spans that fit in 32 bits use the unbiased path; otherwise accept the
+  // negligible bias of a 64-bit modulo.
+  if (span <= 0xffffffffULL) {
+    return lo + static_cast<int64_t>(Uniform(static_cast<uint32_t>(span)));
+  }
+  return lo + static_cast<int64_t>(NextU64() % span);
+}
+
+double Rng::UniformDouble() {
+  return (NextU64() >> 11) * (1.0 / 9007199254740992.0);  // 53-bit mantissa
+}
+
+double Rng::UniformDouble(double lo, double hi) {
+  return lo + (hi - lo) * UniformDouble();
+}
+
+double Rng::Normal() {
+  if (has_spare_normal_) {
+    has_spare_normal_ = false;
+    return spare_normal_;
+  }
+  double u1 = 0.0;
+  while (u1 <= 1e-12) u1 = UniformDouble();
+  double u2 = UniformDouble();
+  double mag = std::sqrt(-2.0 * std::log(u1));
+  spare_normal_ = mag * std::sin(2.0 * M_PI * u2);
+  has_spare_normal_ = true;
+  return mag * std::cos(2.0 * M_PI * u2);
+}
+
+double Rng::Normal(double mean, double stddev) { return mean + stddev * Normal(); }
+
+bool Rng::Bernoulli(double p) { return UniformDouble() < p; }
+
+std::vector<size_t> Rng::SampleIndices(size_t n, size_t k) {
+  std::vector<size_t> all(n);
+  std::iota(all.begin(), all.end(), size_t{0});
+  if (k >= n) {
+    Shuffle(&all);
+    return all;
+  }
+  // Partial Fisher-Yates: shuffle the first k slots only.
+  for (size_t i = 0; i < k; ++i) {
+    size_t j = i + Uniform(static_cast<uint32_t>(n - i));
+    std::swap(all[i], all[j]);
+  }
+  all.resize(k);
+  return all;
+}
+
+}  // namespace tsfm

@@ -1,0 +1,56 @@
+// Fixed-size thread pool with a ParallelFor convenience wrapper.
+//
+// Used to parallelize embarrassingly-parallel evaluation loops (sketching a
+// corpus, embedding queries). Training loops stay single-threaded for
+// determinism.
+#ifndef TSFM_UTIL_THREAD_POOL_H_
+#define TSFM_UTIL_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace tsfm {
+
+/// \brief A fixed pool of worker threads consuming a FIFO task queue.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (minimum 1).
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task for execution.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void Wait();
+
+  size_t num_threads() const { return workers_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable task_cv_;
+  std::condition_variable done_cv_;
+  size_t in_flight_ = 0;
+  bool stop_ = false;
+};
+
+/// Runs body(i) for i in [begin, end) across `pool`, blocking until done.
+/// Work is chunked to limit queue overhead.
+void ParallelFor(ThreadPool* pool, size_t begin, size_t end,
+                 const std::function<void(size_t)>& body);
+
+}  // namespace tsfm
+
+#endif  // TSFM_UTIL_THREAD_POOL_H_

@@ -1,0 +1,31 @@
+// Wall-clock timing helper for benchmark harnesses.
+#ifndef TSFM_UTIL_TIMER_H_
+#define TSFM_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace tsfm {
+
+/// \brief Measures elapsed wall-clock time since construction or Reset().
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed seconds as a double.
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed milliseconds as a double.
+  double Millis() const { return Seconds() * 1000.0; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace tsfm
+
+#endif  // TSFM_UTIL_TIMER_H_

@@ -1,0 +1,353 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <unordered_set>
+
+#include "baselines/josie.h"
+#include "baselines/pair_trainer.h"
+#include "baselines/sbert_like.h"
+#include "baselines/serialize_table.h"
+#include "baselines/tiny_bert.h"
+#include "baselines/traditional_search.h"
+#include "baselines/value_dual_encoder.h"
+#include "baselines/vanilla_bert.h"
+#include "lakebench/corpus.h"
+#include "lakebench/finetune_benchmarks.h"
+
+namespace tsfm::baselines {
+namespace {
+
+double Cos(const std::vector<float>& a, const std::vector<float>& b) {
+  double dot = 0, na = 0, nb = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    dot += a[i] * b[i];
+    na += a[i] * a[i];
+    nb += b[i] * b[i];
+  }
+  return dot / (std::sqrt(na) * std::sqrt(nb) + 1e-12);
+}
+
+Table MakeToyTable() {
+  Table t("toy", "toy table");
+  t.AddColumn("name", {"ann", "bob"});
+  t.AddColumn("age", {"30", "40"});
+  t.InferTypes();
+  return t;
+}
+
+// ------------------------------------------------------------- Serializers
+
+TEST(SerializeTest, Headers) {
+  EXPECT_EQ(SerializeHeaders(MakeToyTable()), "name | age");
+}
+
+TEST(SerializeTest, RowsCapped) {
+  std::string s = SerializeRows(MakeToyTable(), 1);
+  EXPECT_NE(s.find("ann 30"), std::string::npos);
+  EXPECT_EQ(s.find("bob"), std::string::npos);
+}
+
+TEST(SerializeTest, ColumnsIncludeHeadersAndValues) {
+  std::string s = SerializeColumns(MakeToyTable(), 2);
+  EXPECT_NE(s.find("name : ann bob"), std::string::npos);
+  EXPECT_NE(s.find("age : 30 40"), std::string::npos);
+}
+
+TEST(SerializeTest, DeepJoinTextHasStats) {
+  std::string s = DeepJoinColumnText(MakeToyTable(), 0);
+  EXPECT_NE(s.find("toy"), std::string::npos);
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("max"), std::string::npos);
+}
+
+TEST(SerializeTest, SbertColumnTextDistinctOnly) {
+  Table t("t", "d");
+  t.AddColumn("c", {"x", "x", "y"});
+  EXPECT_EQ(SbertColumnText(t, 0), "x y");
+}
+
+// ------------------------------------------------------------- SBERT-like
+
+TEST(SbertLikeTest, DeterministicAndNormalized) {
+  SbertLikeEncoder enc(64);
+  auto a = enc.Embed("hello world");
+  auto b = enc.Embed("hello world");
+  EXPECT_EQ(a, b);
+  double norm = 0;
+  for (float v : a) norm += v * v;
+  EXPECT_NEAR(norm, 1.0, 1e-5);
+}
+
+TEST(SbertLikeTest, SharedWordsIncreaseSimilarity) {
+  SbertLikeEncoder enc(64);
+  auto a = enc.Embed("red apple fruit");
+  auto b = enc.Embed("green apple fruit");
+  auto c = enc.Embed("quantum flux capacitor");
+  EXPECT_GT(Cos(a, b), Cos(a, c));
+}
+
+TEST(SbertLikeTest, SubwordShapeHelps) {
+  SbertLikeEncoder enc(64);
+  // Shared trigrams ("str", "tre", "ree", "eet") between street/streets.
+  auto a = enc.Embed("street");
+  auto b = enc.Embed("streets");
+  auto c = enc.Embed("zzz");
+  EXPECT_GT(Cos(a, b), Cos(a, c));
+}
+
+TEST(SbertLikeTest, ColumnEmbeddingUsesValues) {
+  SbertLikeEncoder enc(64);
+  Table t1("a", "d"), t2("b", "d");
+  t1.AddColumn("x", {"paris", "london", "rome"});
+  t2.AddColumn("y", {"paris", "london", "rome"});
+  Table t3("c", "d");
+  t3.AddColumn("z", {"17.5", "93.1", "2.7"});
+  EXPECT_GT(Cos(enc.EmbedColumn(t1, 0), enc.EmbedColumn(t2, 0)),
+            Cos(enc.EmbedColumn(t1, 0), enc.EmbedColumn(t3, 0)));
+}
+
+// ----------------------------------------------------------------- Josie
+
+TEST(JosieTest, RanksByExactContainment) {
+  JosieIndex index;
+  index.AddColumn(1, 0, {"a", "b", "c", "d"});
+  index.AddColumn(2, 0, {"a", "b"});
+  index.AddColumn(3, 0, {"x", "y"});
+  auto ranked = index.Search({"a", "b", "c"}, 5, /*exclude=*/99);
+  ASSERT_GE(ranked.size(), 2u);
+  EXPECT_EQ(ranked[0], 1u);  // containment 1.0
+  EXPECT_EQ(ranked[1], 2u);  // containment 2/3
+  for (size_t t : ranked) EXPECT_NE(t, 3u);
+}
+
+TEST(JosieTest, ExcludesQueryTable) {
+  JosieIndex index;
+  index.AddColumn(7, 0, {"a"});
+  auto ranked = index.Search({"a"}, 5, /*exclude=*/7);
+  EXPECT_TRUE(ranked.empty());
+}
+
+TEST(JosieTest, AddTableIndexesAllColumns) {
+  JosieIndex index;
+  index.AddTable(4, MakeToyTable());
+  EXPECT_EQ(index.num_columns(), 2u);
+  auto ranked = index.Search({"30", "40"}, 5, 99);
+  ASSERT_EQ(ranked.size(), 1u);
+  EXPECT_EQ(ranked[0], 4u);
+}
+
+// ------------------------------------------------------------- TinyBert
+
+lakebench::DomainCatalog SmallCatalog() { return lakebench::DomainCatalog(42, 40); }
+
+TEST(TinyBertTest, EncodeAndPoolShapes) {
+  TinyBertConfig config;
+  config.encoder.hidden = 16;
+  config.encoder.num_layers = 1;
+  config.encoder.num_heads = 2;
+  config.encoder.ffn_dim = 32;
+  config.encoder.dropout = 0.0f;
+  config.vocab_size = 50;
+  Rng rng(1);
+  TinyBert bert(config, &rng);
+  nn::Var h = bert.Encode({2, 7, 8, 3}, {}, false, &rng);
+  EXPECT_EQ(h->value().rows(), 4u);
+  EXPECT_EQ(h->value().cols(), 16u);
+  nn::Var p = bert.Pool(h);
+  EXPECT_EQ(p->value().rows(), 1u);
+}
+
+TEST(TinyBertTest, TruncatesLongInput) {
+  TinyBertConfig config;
+  config.encoder.hidden = 8;
+  config.encoder.num_layers = 1;
+  config.encoder.num_heads = 1;
+  config.encoder.ffn_dim = 16;
+  config.vocab_size = 50;
+  config.max_seq_len = 10;
+  Rng rng(2);
+  TinyBert bert(config, &rng);
+  std::vector<int> ids(100, 5);
+  nn::Var h = bert.Encode(ids, {}, false, &rng);
+  EXPECT_EQ(h->value().rows(), 10u);
+}
+
+// ----------------------------------------------- VanillaBert + DualEncoder
+
+struct BaselineFixture {
+  lakebench::DomainCatalog catalog = SmallCatalog();
+  core::PairDataset ds;
+  text::Vocab vocab;
+  TinyBertConfig config;
+
+  BaselineFixture() {
+    lakebench::BenchScale scale;
+    scale.num_pairs = 16;
+    scale.rows = 10;
+    ds = lakebench::MakeTusSantos(catalog, scale, 5);
+    vocab = lakebench::BuildVocabFromTables(ds.tables, true);
+    config.encoder.hidden = 16;
+    config.encoder.num_layers = 1;
+    config.encoder.num_heads = 2;
+    config.encoder.ffn_dim = 32;
+    config.encoder.dropout = 0.0f;
+    config.vocab_size = vocab.size();
+    config.max_seq_len = 48;
+  }
+};
+
+TEST(VanillaBertTest, LossAndPredictRun) {
+  BaselineFixture fx;
+  text::Tokenizer tokenizer(&fx.vocab);
+  Rng rng(3);
+  VanillaBertBaseline model(fx.config, fx.ds.task, 2, &tokenizer, &rng);
+  nn::Var loss = model.Loss(fx.ds, fx.ds.train[0], false, &rng);
+  EXPECT_TRUE(std::isfinite(loss->value()[0]));
+  auto pred = model.Predict(fx.ds, fx.ds.train[0]);
+  ASSERT_EQ(pred.size(), 1u);
+  EXPECT_GE(pred[0], 0.0f);
+  EXPECT_LE(pred[0], 1.0f);
+}
+
+TEST(VanillaBertTest, TrainsOnHeaderSolvableTask) {
+  BaselineFixture fx;
+  text::Tokenizer tokenizer(&fx.vocab);
+  Rng rng(4);
+  VanillaBertBaseline model(fx.config, fx.ds.task, 2, &tokenizer, &rng);
+  PairTrainOptions opt;
+  opt.epochs = 8;
+  opt.lr = 1e-3f;
+  opt.patience = 8;
+  opt.seed = 4;
+  auto result = TrainPairModel(
+      fx.ds, opt,
+      [&](const core::PairExample& ex, bool training, Rng* r) {
+        return model.Loss(fx.ds, ex, training, r);
+      },
+      model.Params("vb"));
+  EXPECT_LT(result.train_losses.back(), result.train_losses.front());
+}
+
+TEST(ValueDualEncoderTest, AllModesForward) {
+  BaselineFixture fx;
+  text::Tokenizer tokenizer(&fx.vocab);
+  for (auto mode : {DualEncoderMode::kTabertLike, DualEncoderMode::kTutaLike,
+                    DualEncoderMode::kTapasLike, DualEncoderMode::kTabbieLike}) {
+    Rng rng(5);
+    ValueDualEncoder model(fx.config, mode, fx.ds.task, 2, &tokenizer, &rng);
+    nn::Var loss = model.Loss(fx.ds, fx.ds.train[0], false, &rng);
+    EXPECT_TRUE(std::isfinite(loss->value()[0])) << DualEncoderModeName(mode);
+    auto pred = model.Predict(fx.ds, fx.ds.train[0]);
+    EXPECT_EQ(pred.size(), 1u);
+  }
+}
+
+TEST(ValueDualEncoderTest, FrozenModesExcludeEncoderParams) {
+  BaselineFixture fx;
+  text::Tokenizer tokenizer(&fx.vocab);
+  Rng rng(6);
+  ValueDualEncoder tapas(fx.config, DualEncoderMode::kTapasLike, fx.ds.task, 2,
+                         &tokenizer, &rng);
+  ValueDualEncoder tabert(fx.config, DualEncoderMode::kTabertLike, fx.ds.task, 2,
+                          &tokenizer, &rng);
+  EXPECT_LT(tapas.TrainableParams().size(), tabert.TrainableParams().size());
+}
+
+TEST(ValueDualEncoderTest, EmbedTableAndColumn) {
+  BaselineFixture fx;
+  text::Tokenizer tokenizer(&fx.vocab);
+  Rng rng(7);
+  ValueDualEncoder model(fx.config, DualEncoderMode::kTabertLike, fx.ds.task, 2,
+                         &tokenizer, &rng);
+  auto emb = model.EmbedTable(fx.ds.tables[0]);
+  EXPECT_EQ(emb.size(), fx.config.encoder.hidden);
+  auto cemb = model.EmbedColumn(fx.ds.tables[0], 0);
+  EXPECT_EQ(cemb.size(), fx.config.encoder.hidden);
+}
+
+// -------------------------------------------------- Traditional baselines
+
+lakebench::SearchBenchmark SmallJoinBench() {
+  lakebench::WikiJoinScale scale;
+  scale.num_pools = 5;
+  scale.pool_size = 24;
+  scale.num_tables = 30;
+  scale.num_queries = 6;
+  scale.rows = 20;
+  return lakebench::MakeWikiJoinSearch(scale, 8);
+}
+
+TEST(LshForestSearchTest, FindsJoinableTables) {
+  auto bench = SmallJoinBench();
+  LshForestJoinSearch lsh(&bench);
+  const auto& q = bench.queries[0];
+  auto ranked = lsh.Rank(q.table_index, 0, 10);
+  EXPECT_FALSE(ranked.empty());
+  for (size_t t : ranked) EXPECT_NE(t, q.table_index);
+}
+
+TEST(JosieOnBenchTest, BeatsRandomOnGold) {
+  auto bench = SmallJoinBench();
+  JosieIndex josie;
+  for (size_t t = 0; t < bench.tables.size(); ++t) josie.AddTable(t, bench.tables[t]);
+  size_t hits = 0, total = 0;
+  for (size_t q = 0; q < bench.queries.size(); ++q) {
+    if (bench.gold[q].empty()) continue;
+    auto ranked = josie.Search(
+        DistinctCells(bench.tables[bench.queries[q].table_index].column(0)), 5,
+        bench.queries[q].table_index);
+    std::unordered_set<size_t> gold(bench.gold[q].begin(), bench.gold[q].end());
+    for (size_t i = 0; i < std::min<size_t>(5, ranked.size()); ++i) {
+      hits += gold.count(ranked[i]);
+    }
+    total += std::min<size_t>(5, gold.size());
+  }
+  ASSERT_GT(total, 0u);
+  EXPECT_GT(static_cast<double>(hits) / total, 0.6);
+}
+
+TEST(TraditionalSearchTest, UnionBaselinesRankSiblingsHigh) {
+  lakebench::DomainCatalog catalog = SmallCatalog();
+  lakebench::UnionSearchScale scale;
+  scale.num_seeds = 4;
+  scale.variants_per_seed = 4;
+  scale.num_queries = 6;
+  scale.rows = 20;
+  auto bench = MakeUnionSearch(catalog, scale, 9, "mini");
+  SbertLikeEncoder enc(32);
+
+  D3lUnionSearch d3l(&bench, &enc);
+  SantosUnionSearch santos(&bench, &enc);
+  StarmieUnionSearch starmie(&bench, &enc);
+
+  auto top1_accuracy = [&](auto& method) {
+    size_t hit = 0;
+    for (size_t q = 0; q < bench.queries.size(); ++q) {
+      auto ranked = method.Rank(bench.queries[q].table_index, 3);
+      if (ranked.empty()) continue;
+      std::unordered_set<size_t> gold(bench.gold[q].begin(), bench.gold[q].end());
+      hit += gold.count(ranked[0]);
+    }
+    return static_cast<double>(hit) / bench.queries.size();
+  };
+  // Same-seed variants share headers, values and shapes: every method must
+  // beat chance (chance ~ 3/15 = 0.2).
+  EXPECT_GT(top1_accuracy(d3l), 0.5);
+  EXPECT_GT(top1_accuracy(santos), 0.5);
+  EXPECT_GT(top1_accuracy(starmie), 0.5);
+}
+
+TEST(TraditionalSearchTest, JoinBaselinesReturnRankings) {
+  auto bench = SmallJoinBench();
+  SbertLikeEncoder enc(32);
+  WarpGateJoinSearch warpgate(&bench, &enc);
+  DeepJoinSearch deepjoin(&bench, &enc);
+  const auto& q = bench.queries[0];
+  auto r1 = warpgate.Rank(q.table_index, 0, 5);
+  auto r2 = deepjoin.Rank(q.table_index, 0, 5);
+  EXPECT_FALSE(r1.empty());
+  EXPECT_FALSE(r2.empty());
+}
+
+}  // namespace
+}  // namespace tsfm::baselines

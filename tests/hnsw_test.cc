@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <unordered_set>
+
+#include "search/hnsw.h"
+#include "search/knn_index.h"
+#include "util/random.h"
+
+namespace tsfm::search {
+namespace {
+
+std::vector<float> RandomUnit(size_t dim, Rng* rng) {
+  std::vector<float> v(dim);
+  double norm = 0;
+  for (auto& x : v) {
+    x = static_cast<float>(rng->Normal());
+    norm += static_cast<double>(x) * x;
+  }
+  norm = std::sqrt(norm);
+  for (auto& x : v) x = static_cast<float>(x / norm);
+  return v;
+}
+
+TEST(HnswTest, EmptyIndexReturnsNothing) {
+  HnswIndex index(4);
+  EXPECT_TRUE(index.Search({1, 0, 0, 0}, 5).empty());
+}
+
+TEST(HnswTest, SingleItem) {
+  HnswIndex index(3);
+  index.Add(42, {1, 0, 0});
+  auto hits = index.Search({1, 0, 0}, 3);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].first, 42u);
+  EXPECT_NEAR(hits[0].second, 0.0f, 1e-5);
+}
+
+TEST(HnswTest, ExactMatchRanksFirst) {
+  Rng rng(1);
+  HnswIndex index(16);
+  std::vector<std::vector<float>> vecs;
+  for (size_t i = 0; i < 200; ++i) {
+    vecs.push_back(RandomUnit(16, &rng));
+    index.Add(i, vecs.back());
+  }
+  for (size_t probe : {0u, 50u, 199u}) {
+    auto hits = index.Search(vecs[probe], 5);
+    ASSERT_FALSE(hits.empty());
+    EXPECT_EQ(hits[0].first, probe);
+  }
+}
+
+TEST(HnswTest, RecallAgainstBruteForce) {
+  Rng rng(2);
+  const size_t n = 500, dim = 24, k = 10;
+  HnswIndex hnsw(dim);
+  KnnIndex brute(dim, Metric::kCosine);
+  std::vector<std::vector<float>> vecs;
+  for (size_t i = 0; i < n; ++i) {
+    vecs.push_back(RandomUnit(dim, &rng));
+    hnsw.Add(i, vecs.back());
+    brute.Add(i, vecs.back());
+  }
+  double recall_sum = 0;
+  const size_t queries = 20;
+  for (size_t q = 0; q < queries; ++q) {
+    auto query = RandomUnit(dim, &rng);
+    auto exact = brute.Search(query, k);
+    auto approx = hnsw.Search(query, k);
+    std::unordered_set<size_t> gold;
+    for (auto& [p, d] : exact) gold.insert(p);
+    size_t hits = 0;
+    for (auto& [p, d] : approx) hits += gold.count(p);
+    recall_sum += static_cast<double>(hits) / k;
+  }
+  // HNSW with default ef should stay well above 80% recall at this scale.
+  EXPECT_GT(recall_sum / queries, 0.8);
+}
+
+TEST(HnswTest, DistancesAreSortedAscending) {
+  Rng rng(3);
+  HnswIndex index(8);
+  for (size_t i = 0; i < 100; ++i) index.Add(i, RandomUnit(8, &rng));
+  auto hits = index.Search(RandomUnit(8, &rng), 10);
+  for (size_t i = 1; i < hits.size(); ++i) {
+    EXPECT_GE(hits[i].second, hits[i - 1].second);
+  }
+}
+
+TEST(HnswTest, UnnormalizedInputsHandled) {
+  HnswIndex index(2);
+  index.Add(0, {10, 0});  // normalized internally
+  index.Add(1, {0, 0.1f});
+  auto hits = index.Search({5, 0}, 2);
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0].first, 0u);
+}
+
+TEST(HnswTest, KLargerThanIndexSize) {
+  Rng rng(4);
+  HnswIndex index(4);
+  for (size_t i = 0; i < 3; ++i) index.Add(i, RandomUnit(4, &rng));
+  EXPECT_LE(index.Search(RandomUnit(4, &rng), 50).size(), 3u);
+}
+
+}  // namespace
+}  // namespace tsfm::search

@@ -1,0 +1,76 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "search/lake_index.h"
+
+namespace tsfm::search {
+namespace {
+
+LakeIndex MakeToyIndex() {
+  LakeIndex index(3);
+  index.AddTable("sales_q1", {{1, 0, 0}, {0, 1, 0}});
+  index.AddTable("sales_q2", {{0.9f, 0.1f, 0}, {0, 0.9f, 0.1f}});
+  index.AddTable("weather", {{0, 0, 1}});
+  return index;
+}
+
+TEST(LakeIndexTest, JoinQueryRanksByNearestColumn) {
+  LakeIndex index = MakeToyIndex();
+  auto ranked = index.QueryJoinable({1, 0, 0}, 3);
+  ASSERT_GE(ranked.size(), 2u);
+  EXPECT_EQ(ranked[0], "sales_q1");
+  EXPECT_EQ(ranked[1], "sales_q2");
+}
+
+TEST(LakeIndexTest, UnionQueryUsesAllColumns) {
+  LakeIndex index = MakeToyIndex();
+  auto ranked = index.QueryUnionable({{1, 0, 0}, {0, 1, 0}}, 3);
+  ASSERT_GE(ranked.size(), 2u);
+  // sales_q1 matches both query columns exactly.
+  EXPECT_EQ(ranked[0], "sales_q1");
+}
+
+TEST(LakeIndexTest, RespectsK) {
+  LakeIndex index = MakeToyIndex();
+  EXPECT_LE(index.QueryJoinable({1, 0, 0}, 1).size(), 1u);
+}
+
+TEST(LakeIndexTest, SaveLoadRoundTrip) {
+  LakeIndex index = MakeToyIndex();
+  std::string path = testing::TempDir() + "/tsfm_lake_index.bin";
+  ASSERT_TRUE(index.Save(path).ok());
+
+  auto loaded = LakeIndex::Load(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().num_tables(), 3u);
+  EXPECT_EQ(loaded.value().dim(), 3u);
+  auto ranked = loaded.value().QueryJoinable({1, 0, 0}, 3);
+  ASSERT_FALSE(ranked.empty());
+  EXPECT_EQ(ranked[0], "sales_q1");
+  std::remove(path.c_str());
+}
+
+TEST(LakeIndexTest, LoadRejectsGarbage) {
+  std::string path = testing::TempDir() + "/tsfm_lake_garbage.bin";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "garbage bytes here";
+  }
+  EXPECT_FALSE(LakeIndex::Load(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(LakeIndexTest, LoadRejectsMissingFile) {
+  EXPECT_FALSE(LakeIndex::Load("/nonexistent/lake.bin").ok());
+}
+
+TEST(LakeIndexTest, EmptyIndexQueriesAreEmpty) {
+  LakeIndex index(4);
+  EXPECT_TRUE(index.QueryJoinable({1, 0, 0, 0}, 5).empty());
+  EXPECT_TRUE(index.QueryUnionable({{1, 0, 0, 0}}, 5).empty());
+}
+
+}  // namespace
+}  // namespace tsfm::search

@@ -1,0 +1,399 @@
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "lakebench/corpus.h"
+#include "lakebench/datagen.h"
+#include "lakebench/finetune_benchmarks.h"
+#include "lakebench/search_benchmarks.h"
+
+namespace tsfm::lakebench {
+namespace {
+
+DomainCatalog SmallCatalog() { return DomainCatalog(42, 60); }
+
+// ---------------------------------------------------------------- Datagen
+
+TEST(DatagenTest, SyntheticNamesAreCapitalizedAndVaried) {
+  Rng rng(1);
+  std::unordered_set<std::string> names;
+  for (int i = 0; i < 100; ++i) {
+    std::string n = SyntheticName(&rng);
+    EXPECT_FALSE(n.empty());
+    EXPECT_TRUE(std::isupper(static_cast<unsigned char>(n[0])));
+    names.insert(n);
+  }
+  EXPECT_GT(names.size(), 80u);
+}
+
+TEST(DatagenTest, EntityPoolsAreDistinct) {
+  Rng rng(2);
+  auto pool = MakeEntityPool(50, &rng);
+  std::unordered_set<std::string> unique(pool.begin(), pool.end());
+  EXPECT_EQ(unique.size(), 50u);
+}
+
+TEST(DatagenTest, SyntheticCodesLookEnterprise) {
+  Rng rng(3);
+  std::string code = SyntheticCode(&rng);
+  EXPECT_NE(code.find('_'), std::string::npos);
+}
+
+TEST(DatagenTest, CatalogIsDeterministic) {
+  DomainCatalog a(42, 30), b(42, 30);
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_EQ(a.domain(0).entity_pools[0][0], b.domain(0).entity_pools[0][0]);
+  EXPECT_EQ(a.size(), 12u);  // the 12 documented domains
+}
+
+TEST(DatagenTest, DomainTableMatchesSchema) {
+  DomainCatalog catalog = SmallCatalog();
+  Rng rng(4);
+  Table t = GenerateDomainTable(catalog.domain(0), "t0", 20, &rng);
+  EXPECT_EQ(t.num_rows(), 20u);
+  EXPECT_EQ(t.num_columns(), catalog.domain(0).columns.size());
+  EXPECT_TRUE(t.Validate());
+  // Types inferred: mass grams should be numeric.
+  int mass_idx = t.ColumnIndex("mass grams");
+  ASSERT_GE(mass_idx, 0);
+  EXPECT_NE(t.column(mass_idx).type, ColumnType::kString);
+}
+
+// ------------------------------------------------------ Finetune datasets
+
+TEST(FinetuneBenchTest, SplitsAreDisjointAndCover) {
+  DomainCatalog catalog = SmallCatalog();
+  BenchScale scale;
+  scale.num_pairs = 40;
+  scale.rows = 12;
+  auto ds = MakeTusSantos(catalog, scale, 5);
+  EXPECT_EQ(ds.train.size() + ds.val.size() + ds.test.size(), 40u);
+  EXPECT_GT(ds.train.size(), ds.val.size());
+}
+
+TEST(FinetuneBenchTest, TusSantosHeadersRevealLabel) {
+  DomainCatalog catalog = SmallCatalog();
+  BenchScale scale;
+  scale.num_pairs = 30;
+  scale.rows = 10;
+  auto ds = MakeTusSantos(catalog, scale, 6);
+  // Positive pairs share every column header; negatives share few.
+  auto header_overlap = [&](const core::PairExample& ex) {
+    std::unordered_set<std::string> ha;
+    for (const auto& c : ds.tables[ex.a].columns()) ha.insert(c.name);
+    size_t shared = 0;
+    for (const auto& c : ds.tables[ex.b].columns()) shared += ha.count(c.name);
+    return static_cast<double>(shared) / ds.tables[ex.b].num_columns();
+  };
+  for (const auto& ex : ds.train) {
+    if (ex.label == 1) {
+      EXPECT_GT(header_overlap(ex), 0.99);
+    } else {
+      EXPECT_LT(header_overlap(ex), 0.5);
+    }
+  }
+}
+
+TEST(FinetuneBenchTest, WikiUnionHeadersAreUninformative) {
+  DomainCatalog catalog = SmallCatalog();
+  BenchScale scale;
+  scale.num_pairs = 20;
+  scale.rows = 12;
+  auto ds = MakeWikiUnion(catalog, scale, 7);
+  // Every table has the same generic headers.
+  for (const auto& t : ds.tables) {
+    EXPECT_EQ(t.column(0).name, "name");
+    EXPECT_EQ(t.column(1).name, "value");
+  }
+}
+
+TEST(FinetuneBenchTest, WikiJaccardTargetsMatchExactJaccard) {
+  DomainCatalog catalog = SmallCatalog();
+  BenchScale scale;
+  scale.num_pairs = 25;
+  scale.rows = 20;
+  auto ds = MakeWikiJaccard(catalog, scale, 8);
+  for (const auto& ex : ds.train) {
+    // Recompute jaccard over the entity columns' distinct values.
+    std::unordered_set<std::string> sa, sb;
+    for (const auto& v : ds.tables[ex.a].column(0).cells) sa.insert(v);
+    for (const auto& v : ds.tables[ex.b].column(0).cells) sb.insert(v);
+    size_t inter = 0;
+    for (const auto& v : sb) inter += sa.count(v);
+    double jaccard =
+        static_cast<double>(inter) / static_cast<double>(sa.size() + sb.size() - inter);
+    EXPECT_NEAR(ex.target, jaccard, 1e-5);
+    EXPECT_GE(ex.target, 0.0f);
+    EXPECT_LE(ex.target, 1.0f);
+  }
+}
+
+TEST(FinetuneBenchTest, WikiContainmentTargetsInRange) {
+  DomainCatalog catalog = SmallCatalog();
+  BenchScale scale;
+  scale.num_pairs = 20;
+  scale.rows = 20;
+  auto ds = MakeWikiContainment(catalog, scale, 9);
+  bool saw_positive = false;
+  for (const auto& ex : ds.train) {
+    EXPECT_GE(ex.target, 0.0f);
+    EXPECT_LE(ex.target, 1.0f);
+    saw_positive |= ex.target > 0.1f;
+  }
+  EXPECT_TRUE(saw_positive);
+}
+
+TEST(FinetuneBenchTest, EcbUnionTargetIsSharedFraction) {
+  DomainCatalog catalog = SmallCatalog();
+  BenchScale scale;
+  scale.num_pairs = 15;
+  scale.rows = 10;
+  scale.wide_cols = 8;
+  auto ds = MakeEcbUnion(catalog, scale, 10);
+  for (const auto& ex : ds.train) {
+    // Count exact header matches = shared columns.
+    std::unordered_set<std::string> ha;
+    for (const auto& c : ds.tables[ex.a].columns()) ha.insert(c.name);
+    size_t shared = 0;
+    for (const auto& c : ds.tables[ex.b].columns()) shared += ha.count(c.name);
+    EXPECT_NEAR(ex.target, static_cast<double>(shared) / 8.0, 1e-5);
+  }
+}
+
+TEST(FinetuneBenchTest, SpiderJoinPositivesHaveValueOverlap) {
+  DomainCatalog catalog = SmallCatalog();
+  BenchScale scale;
+  scale.num_pairs = 30;
+  scale.rows = 20;
+  auto ds = MakeSpiderOpenData(catalog, scale, 11);
+  for (const auto& ex : ds.train) {
+    std::unordered_set<std::string> keys;
+    for (const auto& v : ds.tables[ex.a].column(0).cells) keys.insert(v);
+    size_t overlap = 0;
+    std::unordered_set<std::string> fk;
+    for (const auto& v : ds.tables[ex.b].column(0).cells) fk.insert(v);
+    for (const auto& v : fk) overlap += keys.count(v);
+    double containment = static_cast<double>(overlap) / fk.size();
+    if (ex.label == 1) {
+      EXPECT_GT(containment, 0.5);
+    } else {
+      EXPECT_LT(containment, 0.3);
+    }
+  }
+}
+
+TEST(FinetuneBenchTest, EcbJoinLabelsMatchConstruction) {
+  DomainCatalog catalog = SmallCatalog();
+  BenchScale scale;
+  scale.num_pairs = 10;
+  scale.rows = 16;
+  auto ds = MakeEcbJoin(catalog, scale, 12);
+  EXPECT_EQ(ds.num_outputs, kEcbJoinLabels);
+  for (const auto& ex : ds.train) {
+    ASSERT_EQ(ex.multi_labels.size(), kEcbJoinLabels);
+    for (size_t c = 0; c < kEcbJoinLabels; ++c) {
+      const auto& name = ds.tables[ex.a].column(c).name;
+      // Joinable columns were named "key ..."; others "obs ...".
+      if (ex.multi_labels[c] > 0.5f) {
+        EXPECT_EQ(name.substr(0, 3), "key");
+      } else {
+        EXPECT_EQ(name.substr(0, 3), "obs");
+      }
+    }
+  }
+}
+
+TEST(FinetuneBenchTest, CkanSubsetPositivesAreRealSubsets) {
+  DomainCatalog catalog = SmallCatalog();
+  BenchScale scale;
+  scale.num_pairs = 16;
+  scale.rows = 20;
+  auto ds = MakeCkanSubset(catalog, scale, 13);
+  for (const auto& ex : ds.train) {
+    const Table& a = ds.tables[ex.a];
+    const Table& b = ds.tables[ex.b];
+    // Identical headers in both classes.
+    ASSERT_EQ(a.num_columns(), b.num_columns());
+    for (size_t c = 0; c < a.num_columns(); ++c) {
+      EXPECT_EQ(a.column(c).name, b.column(c).name);
+    }
+    if (ex.label == 1) {
+      // Every row string of B appears in A.
+      std::unordered_set<std::string> rows_a;
+      for (size_t r = 0; r < a.num_rows(); ++r) rows_a.insert(a.RowString(r));
+      for (size_t r = 0; r < b.num_rows(); ++r) {
+        EXPECT_TRUE(rows_a.count(b.RowString(r))) << "row " << r << " not in A";
+      }
+    }
+  }
+}
+
+TEST(FinetuneBenchTest, AllEightBenchmarksGenerate) {
+  DomainCatalog catalog = SmallCatalog();
+  BenchScale scale;
+  scale.num_pairs = 10;
+  scale.rows = 10;
+  auto all = MakeAllFinetuneBenchmarks(catalog, scale, 14);
+  ASSERT_EQ(all.size(), 8u);
+  EXPECT_EQ(all[0].name, "TUS-SANTOS");
+  EXPECT_EQ(all[7].name, "CKAN Subset");
+  for (const auto& ds : all) {
+    EXPECT_FALSE(ds.tables.empty());
+    EXPECT_FALSE(ds.train.empty());
+    for (const auto& ex : ds.train) {
+      EXPECT_LT(ex.a, ds.tables.size());
+      EXPECT_LT(ex.b, ds.tables.size());
+    }
+  }
+}
+
+// -------------------------------------------------------- Search datasets
+
+TEST(SearchBenchTest, WikiJoinGoldRespectsAnnotations) {
+  WikiJoinScale scale;
+  scale.num_pools = 6;
+  scale.pool_size = 30;
+  scale.num_tables = 40;
+  scale.num_queries = 8;
+  scale.rows = 24;
+  auto bench = MakeWikiJoinSearch(scale, 15);
+  EXPECT_EQ(bench.tables.size(), 40u);
+  EXPECT_EQ(bench.queries.size(), 8u);
+  ASSERT_EQ(bench.gold.size(), 8u);
+  // Most queries should have same-pool gold tables.
+  size_t with_gold = 0;
+  for (const auto& g : bench.gold) with_gold += !g.empty();
+  EXPECT_GT(with_gold, 4u);
+  // Gold never contains the query itself.
+  for (size_t q = 0; q < bench.queries.size(); ++q) {
+    for (size_t t : bench.gold[q]) {
+      EXPECT_NE(t, bench.queries[q].table_index);
+    }
+  }
+}
+
+TEST(SearchBenchTest, WikiJoinHasSurfaceTraps) {
+  WikiJoinScale scale;
+  scale.num_pools = 4;
+  scale.pool_size = 30;
+  scale.num_tables = 20;
+  scale.num_queries = 4;
+  scale.rows = 24;
+  scale.surface_overlap = 0.3;
+  auto bench = MakeWikiJoinSearch(scale, 16);
+  // Count distinct surface values across tables of different pools: with
+  // surface overlap, some literal values must collide across pools.
+  std::unordered_set<std::string> v0, v1;
+  for (const auto& c : bench.tables[0].column(0).cells) v0.insert(c);
+  size_t collisions = 0;
+  for (size_t t = 1; t < bench.tables.size(); ++t) {
+    if (bench.column_annotations[t][0][0] == bench.column_annotations[0][0][0]) {
+      continue;  // same pool, skip
+    }
+    for (const auto& c : bench.tables[t].column(0).cells) {
+      collisions += v0.count(c);
+    }
+  }
+  EXPECT_GT(collisions, 0u);
+}
+
+TEST(SearchBenchTest, UnionSearchGoldIsSameSeed) {
+  DomainCatalog catalog = SmallCatalog();
+  UnionSearchScale scale;
+  scale.num_seeds = 4;
+  scale.variants_per_seed = 5;
+  scale.num_queries = 6;
+  scale.rows = 20;
+  auto bench = MakeUnionSearch(catalog, scale, 17, "TUS");
+  EXPECT_EQ(bench.tables.size(), 20u);
+  for (size_t q = 0; q < bench.queries.size(); ++q) {
+    EXPECT_EQ(bench.gold[q].size(), 4u);  // variants_per_seed - 1
+    size_t group = bench.queries[q].table_index / 5;
+    for (size_t t : bench.gold[q]) {
+      EXPECT_EQ(t / 5, group);
+    }
+  }
+}
+
+TEST(SearchBenchTest, EurostatVariantsFollowFig7) {
+  DomainCatalog catalog = SmallCatalog();
+  Rng rng(18);
+  Table seed = GenerateDomainTable(catalog.domain(8), "s", 40, &rng);
+  auto variants = MakeEurostatVariants(seed, &rng);
+  ASSERT_EQ(variants.size(), 11u);
+  // Variant 0: 25% rows, 25% cols.
+  EXPECT_EQ(variants[0].num_rows(), 10u);
+  // Variant 3: all rows, 25% cols.
+  EXPECT_EQ(variants[3].num_rows(), 40u);
+  EXPECT_LT(variants[3].num_columns(), seed.num_columns());
+  // Variant 9 (shuffle columns): same shape as seed.
+  EXPECT_EQ(variants[9].num_rows(), seed.num_rows());
+  EXPECT_EQ(variants[9].num_columns(), seed.num_columns());
+  // Variant 10 (shuffle rows): same shape.
+  EXPECT_EQ(variants[10].num_rows(), seed.num_rows());
+  EXPECT_EQ(variants[10].num_columns(), seed.num_columns());
+}
+
+TEST(SearchBenchTest, EurostatBenchmarkShape) {
+  DomainCatalog catalog = SmallCatalog();
+  EurostatScale scale;
+  scale.num_seeds = 3;
+  scale.rows = 16;
+  auto bench = MakeEurostatSubsetSearch(catalog, scale, 19);
+  EXPECT_EQ(bench.tables.size(), 3u * 12u);  // seed + 11 variants
+  EXPECT_EQ(bench.queries.size(), 3u);
+  for (const auto& g : bench.gold) EXPECT_EQ(g.size(), 11u);
+}
+
+// ----------------------------------------------------------------- Corpus
+
+TEST(CorpusTest, AugmentationMultipliesTables) {
+  DomainCatalog catalog = SmallCatalog();
+  CorpusScale scale;
+  scale.num_tables = 5;
+  scale.augmentations = 2;
+  auto corpus = MakePretrainCorpus(catalog, scale, 20);
+  EXPECT_EQ(corpus.size(), 15u);  // base + 2 shuffles each
+}
+
+TEST(CorpusTest, AugmentedCopiesPreserveColumnsSet) {
+  DomainCatalog catalog = SmallCatalog();
+  CorpusScale scale;
+  scale.num_tables = 3;
+  scale.augmentations = 1;
+  auto corpus = MakePretrainCorpus(catalog, scale, 21);
+  // Each aug table is adjacent to its base (aug first, then base).
+  const Table& aug = corpus[0];
+  const Table& base = corpus[1];
+  std::unordered_set<std::string> base_cols, aug_cols;
+  for (const auto& c : base.columns()) base_cols.insert(c.name);
+  for (const auto& c : aug.columns()) aug_cols.insert(c.name);
+  EXPECT_EQ(base_cols, aug_cols);
+}
+
+TEST(CorpusTest, VocabCoversColumnNames) {
+  DomainCatalog catalog = SmallCatalog();
+  CorpusScale scale;
+  scale.num_tables = 6;
+  scale.augmentations = 0;
+  auto corpus = MakePretrainCorpus(catalog, scale, 22);
+  text::Vocab vocab = BuildVocabFromTables(corpus, false);
+  EXPECT_GT(vocab.size(), 20u);
+  // A column word from domain 0 must be present.
+  EXPECT_TRUE(vocab.Contains("name") || vocab.Contains("site") ||
+              vocab.Contains("population") || vocab.Contains("year"));
+}
+
+TEST(CorpusTest, IncludeCellsGrowsVocab) {
+  DomainCatalog catalog = SmallCatalog();
+  CorpusScale scale;
+  scale.num_tables = 4;
+  scale.augmentations = 0;
+  auto corpus = MakePretrainCorpus(catalog, scale, 23);
+  text::Vocab without = BuildVocabFromTables(corpus, false);
+  text::Vocab with = BuildVocabFromTables(corpus, true);
+  EXPECT_GT(with.size(), without.size());
+}
+
+}  // namespace
+}  // namespace tsfm::lakebench

@@ -1,0 +1,228 @@
+// Gradient checks: every op's analytic gradient is compared with central
+// differences on random inputs. A max relative error under 2e-2 at
+// epsilon=1e-2 (float32) is a pass; broken backward passes show errors
+// near 1.0.
+#include <gtest/gtest.h>
+
+#include "nn/gradcheck.h"
+#include "nn/ops.h"
+#include "util/random.h"
+
+namespace tsfm::nn {
+namespace {
+
+constexpr double kTol = 2e-2;
+constexpr float kEps = 1e-2f;
+
+Var RandomLeaf(size_t r, size_t c, Rng* rng, bool grad = true) {
+  Tensor t(r, c);
+  for (size_t i = 0; i < t.size(); ++i) {
+    t[i] = static_cast<float>(rng->UniformDouble(-1.0, 1.0));
+  }
+  return MakeLeaf(std::move(t), grad);
+}
+
+TEST(GradCheck, MatMulLeft) {
+  Rng rng(1);
+  Var a = RandomLeaf(3, 4, &rng);
+  Var b = RandomLeaf(4, 5, &rng, /*grad=*/false);
+  EXPECT_LT(MaxGradError(a, [&] { return SumAll(MatMul(a, b)); }, kEps), kTol);
+}
+
+TEST(GradCheck, MatMulRight) {
+  Rng rng(2);
+  Var a = RandomLeaf(3, 4, &rng, /*grad=*/false);
+  Var b = RandomLeaf(4, 5, &rng);
+  EXPECT_LT(MaxGradError(b, [&] { return SumAll(MatMul(a, b)); }, kEps), kTol);
+}
+
+TEST(GradCheck, MatMulNTBothSides) {
+  Rng rng(3);
+  Var a = RandomLeaf(3, 4, &rng);
+  Var b = RandomLeaf(5, 4, &rng);
+  EXPECT_LT(MaxGradError(a, [&] { return SumAll(MatMulNT(a, b)); }, kEps), kTol);
+  EXPECT_LT(MaxGradError(b, [&] { return SumAll(MatMulNT(a, b)); }, kEps), kTol);
+}
+
+TEST(GradCheck, AddAndSub) {
+  Rng rng(4);
+  Var a = RandomLeaf(2, 3, &rng);
+  Var b = RandomLeaf(2, 3, &rng);
+  EXPECT_LT(MaxGradError(a, [&] { return SumAll(Add(a, b)); }, kEps), kTol);
+  EXPECT_LT(MaxGradError(b, [&] { return SumAll(Sub(a, b)); }, kEps), kTol);
+}
+
+TEST(GradCheck, AddRowBias) {
+  Rng rng(5);
+  Var x = RandomLeaf(4, 3, &rng);
+  Var b = RandomLeaf(1, 3, &rng);
+  // Weighted sum so row contributions differ.
+  Var w = RandomLeaf(3, 1, &rng, /*grad=*/false);
+  EXPECT_LT(MaxGradError(b, [&] { return SumAll(MatMul(AddRow(x, b), w)); }, kEps),
+            kTol);
+  EXPECT_LT(MaxGradError(x, [&] { return SumAll(MatMul(AddRow(x, b), w)); }, kEps),
+            kTol);
+}
+
+TEST(GradCheck, MulElementwise) {
+  Rng rng(6);
+  Var a = RandomLeaf(3, 3, &rng);
+  Var b = RandomLeaf(3, 3, &rng);
+  EXPECT_LT(MaxGradError(a, [&] { return SumAll(Mul(a, b)); }, kEps), kTol);
+}
+
+TEST(GradCheck, ScaleOp) {
+  Rng rng(7);
+  Var a = RandomLeaf(2, 4, &rng);
+  EXPECT_LT(MaxGradError(a, [&] { return SumAll(Scale(a, -2.5f)); }, kEps), kTol);
+}
+
+TEST(GradCheck, GeluActivation) {
+  Rng rng(8);
+  Var a = RandomLeaf(3, 4, &rng);
+  EXPECT_LT(MaxGradError(a, [&] { return SumAll(Gelu(a)); }, kEps), kTol);
+}
+
+TEST(GradCheck, ReluActivation) {
+  Rng rng(9);
+  // Keep inputs away from the kink at 0.
+  Tensor t(2, 4);
+  for (size_t i = 0; i < t.size(); ++i) t[i] = (i % 2 == 0) ? 0.8f : -0.7f;
+  Var a = MakeLeaf(std::move(t), true);
+  EXPECT_LT(MaxGradError(a, [&] { return SumAll(Relu(a)); }, 1e-3f), kTol);
+}
+
+TEST(GradCheck, TanhActivation) {
+  Rng rng(10);
+  Var a = RandomLeaf(2, 5, &rng);
+  EXPECT_LT(MaxGradError(a, [&] { return SumAll(Tanh(a)); }, kEps), kTol);
+}
+
+TEST(GradCheck, SoftmaxRows) {
+  Rng rng(11);
+  Var a = RandomLeaf(3, 5, &rng);
+  Var w = RandomLeaf(5, 1, &rng, /*grad=*/false);
+  EXPECT_LT(MaxGradError(a, [&] { return SumAll(MatMul(Softmax(a), w)); }, kEps),
+            kTol);
+}
+
+TEST(GradCheck, LayerNormAllInputs) {
+  Rng rng(12);
+  Var x = RandomLeaf(3, 6, &rng);
+  Var gamma = RandomLeaf(1, 6, &rng);
+  Var beta = RandomLeaf(1, 6, &rng);
+  Var w = RandomLeaf(6, 1, &rng, /*grad=*/false);
+  auto loss = [&] { return SumAll(MatMul(LayerNorm(x, gamma, beta), w)); };
+  EXPECT_LT(MaxGradError(x, loss, kEps), kTol);
+  EXPECT_LT(MaxGradError(gamma, loss, kEps), kTol);
+  EXPECT_LT(MaxGradError(beta, loss, kEps), kTol);
+}
+
+TEST(GradCheck, EmbeddingScatter) {
+  Rng rng(13);
+  Var weight = RandomLeaf(7, 4, &rng);
+  std::vector<int> ids = {3, 0, 3, 6};  // repeated id accumulates
+  Var w = RandomLeaf(4, 1, &rng, /*grad=*/false);
+  EXPECT_LT(MaxGradError(
+                weight, [&] { return SumAll(MatMul(EmbeddingLookup(weight, ids), w)); },
+                kEps),
+            kTol);
+}
+
+TEST(GradCheck, SliceAndConcatCols) {
+  Rng rng(14);
+  Var x = RandomLeaf(3, 6, &rng);
+  auto loss = [&] {
+    Var left = SliceCols(x, 0, 3);
+    Var right = SliceCols(x, 3, 3);
+    return SumAll(Mul(ConcatCols({right, left}), ConcatCols({left, right})));
+  };
+  EXPECT_LT(MaxGradError(x, loss, kEps), kTol);
+}
+
+TEST(GradCheck, SelectRowOp) {
+  Rng rng(15);
+  Var x = RandomLeaf(4, 3, &rng);
+  Var w = RandomLeaf(3, 1, &rng, /*grad=*/false);
+  EXPECT_LT(
+      MaxGradError(x, [&] { return SumAll(MatMul(SelectRow(x, 2), w)); }, kEps),
+      kTol);
+}
+
+TEST(GradCheck, MeanRowsAndMeanAll) {
+  Rng rng(16);
+  Var x = RandomLeaf(4, 3, &rng);
+  Var w = RandomLeaf(3, 1, &rng, /*grad=*/false);
+  EXPECT_LT(MaxGradError(x, [&] { return SumAll(MatMul(MeanRows(x), w)); }, kEps),
+            kTol);
+  EXPECT_LT(MaxGradError(x, [&] { return MeanAll(Mul(x, x)); }, kEps), kTol);
+}
+
+TEST(GradCheck, CrossEntropyWithIgnoreIndex) {
+  Rng rng(17);
+  Var logits = RandomLeaf(4, 5, &rng);
+  std::vector<int> targets = {2, -100, 0, 4};
+  EXPECT_LT(
+      MaxGradError(logits, [&] { return CrossEntropyLoss(logits, targets); }, kEps),
+      kTol);
+}
+
+TEST(GradCheck, MseLossGradient) {
+  Rng rng(18);
+  Var pred = RandomLeaf(3, 2, &rng);
+  std::vector<float> targets = {0.1f, -0.5f, 0.7f, 0.2f, -0.9f, 0.4f};
+  EXPECT_LT(MaxGradError(pred, [&] { return MseLoss(pred, targets); }, kEps), kTol);
+}
+
+TEST(GradCheck, BceWithLogitsGradient) {
+  Rng rng(19);
+  Var logits = RandomLeaf(2, 3, &rng);
+  std::vector<float> targets = {1, 0, 1, 0, 0, 1};
+  EXPECT_LT(
+      MaxGradError(logits, [&] { return BceWithLogitsLoss(logits, targets); }, kEps),
+      kTol);
+}
+
+// A composite expression resembling one transformer sub-block.
+TEST(GradCheck, ComposedAttentionLikeBlock) {
+  Rng rng(20);
+  Var x = RandomLeaf(4, 6, &rng);
+  Var wq = RandomLeaf(6, 6, &rng);
+  Var gamma = RandomLeaf(1, 6, &rng, /*grad=*/false);
+  Var beta = RandomLeaf(1, 6, &rng, /*grad=*/false);
+  auto loss = [&] {
+    Var q = MatMul(x, wq);
+    Var scores = Scale(MatMulNT(q, q), 0.4f);
+    Var ctx = MatMul(Softmax(scores), q);
+    Var res = LayerNorm(Add(x, ctx), gamma, beta);
+    return MeanAll(Mul(res, res));
+  };
+  // Composed float32 chains accumulate slightly more rounding error than a
+  // single op; allow 3e-2 here (broken gradients show errors near 1).
+  EXPECT_LT(MaxGradError(wq, loss, kEps), 3e-2);
+  EXPECT_LT(MaxGradError(x, loss, kEps), 3e-2);
+}
+
+// Parameterized shape sweep for the workhorse op.
+class MatMulShapeTest
+    : public testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(MatMulShapeTest, GradientHoldsAcrossShapes) {
+  auto [m, k, n] = GetParam();
+  Rng rng(100 + m * 7 + k * 3 + n);
+  Var a = RandomLeaf(m, k, &rng);
+  Var b = RandomLeaf(k, n, &rng);
+  auto loss = [&] { return SumAll(Mul(MatMul(a, b), MatMul(a, b))); };
+  EXPECT_LT(MaxGradError(a, loss, kEps), kTol);
+  EXPECT_LT(MaxGradError(b, loss, kEps), kTol);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, MatMulShapeTest,
+                         testing::Values(std::make_tuple(1, 1, 1),
+                                         std::make_tuple(1, 4, 2),
+                                         std::make_tuple(3, 1, 3),
+                                         std::make_tuple(2, 5, 2),
+                                         std::make_tuple(4, 4, 4)));
+
+}  // namespace
+}  // namespace tsfm::nn

@@ -1,0 +1,290 @@
+// Property-style suites: parameterized sweeps over invariants that must
+// hold for every input size / overlap / configuration, plus failure
+// injection for contract violations.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <fstream>
+#include <numeric>
+#include <sstream>
+
+#include "core/embedder.h"
+#include "core/model.h"
+#include "nn/ops.h"
+#include "nn/optimizer.h"
+#include "nn/serialize.h"
+#include "search/metrics.h"
+#include "sketch/table_sketch.h"
+#include "text/tokenizer.h"
+#include "util/random.h"
+
+namespace tsfm {
+namespace {
+
+// ------------------------------------------------ 1-bit MinHash properties
+
+class OneBitMinHashTest : public testing::TestWithParam<int> {};
+
+TEST_P(OneBitMinHashTest, CosineTracksJaccard) {
+  // cos(a, b) of 1-bit minhash vectors estimates J: matching slots
+  // contribute +1, non-matching slots have independent bits (mean 0).
+  const int overlap = GetParam();
+  const int n = 100;
+  Column a, b;
+  a.type = b.type = ColumnType::kString;
+  for (int i = 0; i < n; ++i) {
+    a.cells.push_back("v" + std::to_string(i));
+    b.cells.push_back("v" + std::to_string(i + n - overlap));
+  }
+  SketchOptions opt;
+  opt.num_perm = 256;
+  Table ta("a", ""), tb("b", "");
+  ta.AddColumn(a.name, a.cells);
+  tb.AddColumn(b.name, b.cells);
+  ta.InferTypes();
+  tb.InferTypes();
+  TableSketch sa = BuildTableSketch(ta, opt);
+  TableSketch sb = BuildTableSketch(tb, opt);
+  auto va = sa.columns[0].OneBitMinHashInput();
+  auto vb = sb.columns[0].OneBitMinHashInput();
+
+  double dot = 0;
+  for (size_t i = 0; i < va.size(); ++i) dot += va[i] * vb[i];
+  double cosine = dot / static_cast<double>(va.size());
+
+  double true_jaccard = static_cast<double>(overlap) / (2 * n - overlap);
+  EXPECT_NEAR(cosine, true_jaccard, 0.15);
+}
+
+INSTANTIATE_TEST_SUITE_P(Overlaps, OneBitMinHashTest,
+                         testing::Values(0, 25, 50, 75, 100));
+
+TEST(OneBitMinHashTest, ValuesAreSigns) {
+  Column c;
+  c.cells = {"x", "y", "z"};
+  Table t("t", "");
+  t.AddColumn("c", c.cells);
+  t.InferTypes();
+  TableSketch s = BuildTableSketch(t);
+  for (float v : s.columns[0].OneBitMinHashInput()) {
+    EXPECT_TRUE(v == 1.0f || v == -1.0f);
+  }
+}
+
+// -------------------------------------------------- Model projections
+
+TEST(ModelProjectionTest, LinearInInput) {
+  core::TabSketchFMConfig config;
+  config.encoder.hidden = 16;
+  config.encoder.num_layers = 1;
+  config.encoder.num_heads = 2;
+  config.encoder.ffn_dim = 32;
+  config.vocab_size = 30;
+  config.num_perm = 8;
+  Rng rng(1);
+  core::TabSketchFM model(config, &rng);
+
+  std::vector<float> zero(config.MinHashInputDim(), 0.0f);
+  std::vector<float> x(config.MinHashInputDim(), 0.5f);
+  auto pz = model.ProjectMinHash(zero);
+  auto px = model.ProjectMinHash(x);
+  // Linear layer: f(0) = bias; f(x) != f(0) for generic x.
+  EXPECT_EQ(pz.size(), config.encoder.hidden);
+  EXPECT_NE(pz, px);
+
+  std::vector<float> nz(config.NumericalInputDim(), 0.0f);
+  EXPECT_EQ(model.ProjectNumerical(nz).size(), config.encoder.hidden);
+}
+
+// ------------------------------------------------- Metrics invariants
+
+class MetricsBoundsTest : public testing::TestWithParam<size_t> {};
+
+TEST_P(MetricsBoundsTest, PrecisionRecallF1InUnitInterval) {
+  const size_t k = GetParam();
+  Rng rng(k);
+  std::vector<size_t> ranked(20);
+  std::iota(ranked.begin(), ranked.end(), size_t{0});
+  rng.Shuffle(&ranked);
+  std::vector<size_t> gold;
+  for (size_t g = 0; g < 7; ++g) gold.push_back(rng.Uniform(25));
+
+  search::RankedMetrics m = search::MetricsAtK(ranked, gold, k);
+  EXPECT_GE(m.precision, 0.0);
+  EXPECT_LE(m.precision, 1.0);
+  EXPECT_GE(m.recall, 0.0);
+  EXPECT_LE(m.recall, 1.0);
+  EXPECT_GE(m.f1, 0.0);
+  EXPECT_LE(m.f1, 1.0);
+  // F1 is the harmonic mean: bounded by both components.
+  EXPECT_LE(m.f1, std::max(m.precision, m.recall) + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, MetricsBoundsTest, testing::Values(1, 3, 5, 10, 50));
+
+TEST(MetricsInvariantTest, RecallMonotoneInK) {
+  std::vector<size_t> ranked = {4, 1, 9, 2, 7, 0, 3};
+  std::vector<size_t> gold = {1, 2, 3};
+  double prev = 0.0;
+  for (size_t k = 1; k <= ranked.size(); ++k) {
+    double r = search::MetricsAtK(ranked, gold, k).recall;
+    EXPECT_GE(r, prev);
+    prev = r;
+  }
+  EXPECT_DOUBLE_EQ(prev, 1.0);
+}
+
+TEST(MetricsInvariantTest, WeightedF1PermutationInvariant) {
+  std::vector<int> y_true = {0, 1, 1, 0, 1, 0};
+  std::vector<int> y_pred = {0, 1, 0, 0, 1, 1};
+  double base = search::WeightedF1(y_true, y_pred, 2);
+  // Permute example order consistently; metric must not change.
+  std::vector<size_t> perm = {5, 3, 1, 0, 4, 2};
+  std::vector<int> t2, p2;
+  for (size_t i : perm) {
+    t2.push_back(y_true[i]);
+    p2.push_back(y_pred[i]);
+  }
+  EXPECT_DOUBLE_EQ(search::WeightedF1(t2, p2, 2), base);
+}
+
+// --------------------------------------------- Tokenizer round-trip sweep
+
+class TokenizerRoundTripTest : public testing::TestWithParam<const char*> {};
+
+TEST_P(TokenizerRoundTripTest, EncodeDecodeRecoversKnownText) {
+  std::string input = GetParam();
+  std::vector<std::string> words = text::BasicTokenize(input);
+  text::Vocab vocab = text::Vocab::Build(words);
+  text::Tokenizer tokenizer(&vocab);
+  EXPECT_EQ(tokenizer.Decode(tokenizer.Encode(input)),
+            [&] {
+              std::string joined;
+              for (const auto& w : words) {
+                if (!joined.empty()) joined += " ";
+                joined += w;
+              }
+              return joined;
+            }());
+}
+
+INSTANTIATE_TEST_SUITE_P(Texts, TokenizerRoundTripTest,
+                         testing::Values("reference area", "obs value 42",
+                                         "residential properties age",
+                                         "import export trade flows",
+                                         "a b c d e"));
+
+// -------------------------------------------------- Optimizer invariants
+
+TEST(OptimizerPropertyTest, ZeroGradMeansNoWeightChangeExceptDecay) {
+  Rng rng(2);
+  nn::Linear lin(3, 3, &rng);
+  nn::AdamW::Options opt;
+  opt.lr = 0.1f;
+  opt.weight_decay = 0.0f;
+  nn::AdamW optimizer(lin.Params("m"), opt);
+  nn::Tensor before = lin.weight()->value();
+  optimizer.ZeroGrad();
+  optimizer.Step();
+  for (size_t i = 0; i < before.size(); ++i) {
+    EXPECT_FLOAT_EQ(lin.weight()->value()[i], before[i]);
+  }
+}
+
+TEST(OptimizerPropertyTest, WeightDecayShrinksWeights) {
+  Rng rng(3);
+  nn::Linear lin(4, 4, &rng);
+  nn::AdamW::Options opt;
+  opt.lr = 0.1f;
+  opt.weight_decay = 0.5f;
+  nn::AdamW optimizer(lin.Params("m"), opt);
+  float norm_before = lin.weight()->value().Norm();
+  optimizer.ZeroGrad();
+  optimizer.Step();
+  EXPECT_LT(lin.weight()->value().Norm(), norm_before);
+}
+
+// ------------------------------------------------ Dropout scaling sweep
+
+class DropoutScaleTest : public testing::TestWithParam<float> {};
+
+TEST_P(DropoutScaleTest, ExpectationPreserved) {
+  const float p = GetParam();
+  Rng rng(4);
+  nn::Var x = nn::MakeLeaf(nn::Tensor(1, 5000, 1.0f), false);
+  nn::Var y = nn::Dropout(x, p, /*training=*/true, &rng);
+  EXPECT_NEAR(y->value().Mean(), 1.0f, 0.12f);
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, DropoutScaleTest,
+                         testing::Values(0.1f, 0.25f, 0.5f, 0.75f));
+
+// ----------------------------------------------------- Failure injection
+
+using PropertyDeathTest = testing::Test;
+
+TEST(PropertyDeathTest, MatMulShapeMismatchAborts) {
+  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  nn::Var a = nn::MakeLeaf(nn::Tensor(2, 3), false);
+  nn::Var b = nn::MakeLeaf(nn::Tensor(4, 2), false);
+  EXPECT_DEATH({ nn::MatMul(a, b); }, "Check failed");
+}
+
+TEST(PropertyDeathTest, EmbeddingOutOfRangeAborts) {
+  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  nn::Var w = nn::MakeLeaf(nn::Tensor(5, 2), false);
+  EXPECT_DEATH({ nn::EmbeddingLookup(w, {7}); }, "Check failed");
+}
+
+TEST(PropertyDeathTest, BackwardRequiresScalarLoss) {
+  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  nn::Var x = nn::MakeLeaf(nn::Tensor(2, 2), true);
+  nn::Var y = nn::Scale(x, 2.0f);
+  EXPECT_DEATH({ nn::Backward(y); }, "Check failed");
+}
+
+TEST(PropertyDeathTest, MinHashSizeMismatchAborts) {
+  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  MinHash a(16), b(32);
+  EXPECT_DEATH({ a.EstimateJaccard(b); }, "Check failed");
+}
+
+// ---------------------------------------- Checkpoint failure injection
+
+TEST(CheckpointFailureTest, TruncatedFileRejected) {
+  Rng rng(5);
+  nn::Linear lin(4, 4, &rng);
+  std::string path = testing::TempDir() + "/tsfm_trunc.bin";
+  ASSERT_TRUE(nn::SaveCheckpoint(lin.Params("m"), path).ok());
+  // Truncate the file to half.
+  {
+    std::string data;
+    {
+      std::ifstream in(path, std::ios::binary);
+      std::ostringstream ss;
+      ss << in.rdbuf();
+      data = ss.str();
+    }
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(data.data(), static_cast<std::streamsize>(data.size() / 2));
+  }
+  EXPECT_FALSE(nn::LoadCheckpoint(lin.Params("m"), path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointFailureTest, GarbageMagicRejected) {
+  Rng rng(6);
+  nn::Linear lin(2, 2, &rng);
+  std::string path = testing::TempDir() + "/tsfm_garbage.bin";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "not a checkpoint at all";
+  }
+  auto status = nn::LoadCheckpoint(lin.Params("m"), path);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kParseError);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace tsfm

@@ -1,0 +1,195 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "lakebench/search_benchmarks.h"
+#include "search/knn_index.h"
+#include "search/metrics.h"
+#include "search/pipeline.h"
+#include "search/table_ranker.h"
+
+namespace tsfm::search {
+namespace {
+
+// ---------------------------------------------------------------- Metrics
+
+TEST(MetricsTest, WeightedF1PerfectAndWorst) {
+  std::vector<int> t = {0, 1, 0, 1};
+  EXPECT_DOUBLE_EQ(WeightedF1(t, t, 2), 1.0);
+  std::vector<int> wrong = {1, 0, 1, 0};
+  EXPECT_DOUBLE_EQ(WeightedF1(t, wrong, 2), 0.0);
+}
+
+TEST(MetricsTest, WeightedF1HandlesSkew) {
+  // 3:1 skew; predicting all-majority gives the weighted F1 of sklearn.
+  std::vector<int> t = {0, 0, 0, 1};
+  std::vector<int> p = {0, 0, 0, 0};
+  // class0: P=3/4, R=1, F1=6/7, weight 3/4; class1: F1=0, weight 1/4.
+  EXPECT_NEAR(WeightedF1(t, p, 2), (6.0 / 7.0) * 0.75, 1e-9);
+}
+
+TEST(MetricsTest, R2KnownValues) {
+  std::vector<float> t = {1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(R2Score(t, t), 1.0);
+  std::vector<float> mean_pred = {2.5, 2.5, 2.5, 2.5};
+  EXPECT_NEAR(R2Score(t, mean_pred), 0.0, 1e-9);
+  std::vector<float> bad = {4, 3, 2, 1};
+  EXPECT_LT(R2Score(t, bad), 0.0);
+}
+
+TEST(MetricsTest, MultiLabelF1) {
+  std::vector<std::vector<float>> t = {{1, 0, 1}, {0, 1, 0}};
+  EXPECT_DOUBLE_EQ(MultiLabelF1(t, t), 1.0);
+  std::vector<std::vector<float>> half = {{1, 0, 0}, {0, 1, 0}};
+  // tp=2, fn=1, fp=0 -> P=1, R=2/3, F1=0.8.
+  EXPECT_NEAR(MultiLabelF1(t, half), 0.8, 1e-9);
+}
+
+TEST(MetricsTest, MetricsAtKBasics) {
+  std::vector<size_t> ranked = {5, 3, 9, 1};
+  std::vector<size_t> gold = {3, 9};
+  RankedMetrics m = MetricsAtK(ranked, gold, 2);
+  EXPECT_DOUBLE_EQ(m.precision, 0.5);  // {5,3}: one hit of 2
+  EXPECT_DOUBLE_EQ(m.recall, 0.5);
+  m = MetricsAtK(ranked, gold, 3);
+  EXPECT_DOUBLE_EQ(m.recall, 1.0);
+  EXPECT_NEAR(m.f1, 2 * (2.0 / 3) * 1.0 / ((2.0 / 3) + 1.0), 1e-9);
+}
+
+TEST(MetricsTest, EvaluateSearchAveragesAndSkipsEmptyGold) {
+  std::vector<std::vector<size_t>> ranked = {{1, 2}, {9, 8}};
+  std::vector<std::vector<size_t>> gold = {{1}, {}};  // 2nd query skipped
+  SearchReport r = EvaluateSearch(ranked, gold, 2);
+  EXPECT_DOUBLE_EQ(r.precision_at_k[0], 1.0);
+  EXPECT_DOUBLE_EQ(r.recall_at_k[0], 1.0);
+  EXPECT_GT(r.mean_f1, 0.5);
+}
+
+// -------------------------------------------------------------- KnnIndex
+
+TEST(KnnIndexTest, CosineNearestFirst) {
+  KnnIndex index(2, Metric::kCosine);
+  index.Add(0, {1, 0});
+  index.Add(1, {0, 1});
+  index.Add(2, {0.9f, 0.1f});
+  auto hits = index.Search({1, 0}, 2);
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0].first, 0u);
+  EXPECT_EQ(hits[1].first, 2u);
+  EXPECT_NEAR(hits[0].second, 0.0, 1e-6);
+}
+
+TEST(KnnIndexTest, L2Metric) {
+  KnnIndex index(2, Metric::kL2);
+  index.Add(10, {0, 0});
+  index.Add(11, {3, 4});
+  auto hits = index.Search({0, 1}, 2);
+  EXPECT_EQ(hits[0].first, 10u);
+  EXPECT_NEAR(hits[0].second, 1.0, 1e-6);
+  EXPECT_NEAR(hits[1].second, std::sqrt(9 + 9), 1e-5);
+}
+
+TEST(KnnIndexTest, ZeroVectorGetsMaxCosineDistance) {
+  KnnIndex index(2, Metric::kCosine);
+  index.Add(0, {0, 0});
+  index.Add(1, {1, 1});
+  auto hits = index.Search({1, 1}, 2);
+  EXPECT_EQ(hits[0].first, 1u);
+  EXPECT_NEAR(hits[1].second, 1.0, 1e-6);
+}
+
+TEST(KnnIndexTest, KLargerThanIndex) {
+  KnnIndex index(1, Metric::kCosine);
+  index.Add(0, {1});
+  auto hits = index.Search({1}, 10);
+  EXPECT_EQ(hits.size(), 1u);
+}
+
+// ------------------------------------------------------------ TableRanker
+
+TEST(TableRankerTest, Rank1CountsMatchedColumns) {
+  // Table 100 matches both query columns, table 200 only one.
+  ColumnEmbeddingIndex index(2);
+  index.AddTable(100, {{1, 0}, {0, 1}});
+  index.AddTable(200, {{1, 0}, {0.7f, 0.7f}});
+  TableRanker ranker(&index);
+  auto ranked = ranker.RankTables({{1, 0}, {0, 1}}, 2, /*exclude=*/999);
+  ASSERT_GE(ranked.size(), 2u);
+  EXPECT_EQ(ranked[0], 100u);
+}
+
+TEST(TableRankerTest, ExcludesQueryTable) {
+  ColumnEmbeddingIndex index(2);
+  index.AddTable(1, {{1, 0}});
+  index.AddTable(2, {{1, 0}});
+  TableRanker ranker(&index);
+  auto ranked = ranker.RankTables({{1, 0}}, 5, /*exclude=*/1);
+  for (size_t t : ranked) EXPECT_NE(t, 1u);
+}
+
+TEST(TableRankerTest, ColumnModeRanksByNearestColumn) {
+  ColumnEmbeddingIndex index(2);
+  index.AddTable(1, {{1, 0}, {0, 1}});
+  index.AddTable(2, {{0.6f, 0.8f}});
+  TableRanker ranker(&index);
+  auto ranked = ranker.RankTablesByColumn({1, 0}, 5, 99);
+  ASSERT_EQ(ranked.size(), 2u);
+  EXPECT_EQ(ranked[0], 1u);
+}
+
+// --------------------------------------------------------------- Pipeline
+
+TEST(PipelineTest, PerfectEmbeddingsGivePerfectSearch) {
+  // Synthetic benchmark: 3 groups of 3 tables; "embedding" = one-hot of the
+  // group, so search must be perfect.
+  lakebench::SearchBenchmark bench;
+  bench.name = "synthetic";
+  for (int g = 0; g < 3; ++g) {
+    for (int m = 0; m < 3; ++m) {
+      Table t("g" + std::to_string(g) + "m" + std::to_string(m), "d");
+      t.AddColumn("c", {"x"});
+      bench.tables.push_back(std::move(t));
+    }
+  }
+  for (int g = 0; g < 3; ++g) {
+    lakebench::SearchQuery q;
+    q.table_index = static_cast<size_t>(g * 3);
+    bench.queries.push_back(q);
+    bench.gold.push_back({static_cast<size_t>(g * 3 + 1),
+                          static_cast<size_t>(g * 3 + 2)});
+  }
+  auto embed = [](size_t t) {
+    std::vector<float> v(3, 0.0f);
+    v[t / 3] = 1.0f;
+    return std::vector<std::vector<float>>{v};
+  };
+  SearchReport report = EvaluateEmbeddingSearch(bench, embed, 2);
+  EXPECT_DOUBLE_EQ(report.recall_at_k[1], 1.0);
+  EXPECT_DOUBLE_EQ(report.precision_at_k[1], 1.0);
+}
+
+TEST(PipelineTest, RandomEmbeddingsScoreLow) {
+  lakebench::SearchBenchmark bench;
+  bench.name = "random";
+  for (int i = 0; i < 30; ++i) {
+    Table t("t" + std::to_string(i), "d");
+    t.AddColumn("c", {"x"});
+    bench.tables.push_back(std::move(t));
+  }
+  lakebench::SearchQuery q;
+  q.table_index = 0;
+  bench.queries.push_back(q);
+  bench.gold.push_back({1});  // single relevant table
+  Rng rng(4);
+  std::vector<std::vector<std::vector<float>>> embs(30);
+  for (auto& e : embs) {
+    e = {{static_cast<float>(rng.Normal()), static_cast<float>(rng.Normal()),
+          static_cast<float>(rng.Normal())}};
+  }
+  auto embed = [&](size_t t) { return embs[t]; };
+  SearchReport report = EvaluateEmbeddingSearch(bench, embed, 5);
+  EXPECT_LT(report.mean_f1, 0.5);
+}
+
+}  // namespace
+}  // namespace tsfm::search

@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include "text/tokenizer.h"
+#include "text/vocab.h"
+
+namespace tsfm::text {
+namespace {
+
+TEST(VocabTest, SpecialTokensFixed) {
+  Vocab v;
+  EXPECT_EQ(v.Id("[PAD]"), kPadId);
+  EXPECT_EQ(v.Id("[UNK]"), kUnkId);
+  EXPECT_EQ(v.Id("[CLS]"), kClsId);
+  EXPECT_EQ(v.Id("[SEP]"), kSepId);
+  EXPECT_EQ(v.Id("[MASK]"), kMaskId);
+  EXPECT_EQ(v.size(), static_cast<size_t>(kNumSpecialTokens));
+}
+
+TEST(VocabTest, AddTokenIdempotent) {
+  Vocab v;
+  int id1 = v.AddToken("hello");
+  int id2 = v.AddToken("hello");
+  EXPECT_EQ(id1, id2);
+  EXPECT_TRUE(v.Contains("hello"));
+  EXPECT_EQ(v.TokenOf(id1), "hello");
+}
+
+TEST(VocabTest, UnknownMapsToUnk) {
+  Vocab v;
+  EXPECT_EQ(v.Id("zzz"), kUnkId);
+}
+
+TEST(VocabTest, BuildRespectsMinCount) {
+  Vocab v = Vocab::Build({"aa", "aa", "bb"}, /*min_count=*/2, 1000);
+  EXPECT_TRUE(v.Contains("aa"));
+  EXPECT_FALSE(v.Contains("bb"));
+}
+
+TEST(VocabTest, BuildAddsSuffixPieces) {
+  Vocab v = Vocab::Build({"street"}, 1, 1000);
+  EXPECT_TRUE(v.Contains("street"));
+  EXPECT_TRUE(v.Contains("##treet"));
+  EXPECT_TRUE(v.Contains("##t"));
+}
+
+TEST(VocabTest, BuildIsDeterministic) {
+  std::vector<std::string> words = {"x", "y", "x", "z", "w", "z", "z"};
+  Vocab a = Vocab::Build(words);
+  Vocab b = Vocab::Build(words);
+  EXPECT_EQ(a.size(), b.size());
+  EXPECT_EQ(a.Id("z"), b.Id("z"));
+}
+
+TEST(BasicTokenizeTest, LowercasesAndSplitsPunct) {
+  auto toks = BasicTokenize("Hello, World-2024!");
+  std::vector<std::string> expected = {"hello", ",", "world", "-", "2024", "!"};
+  EXPECT_EQ(toks, expected);
+}
+
+TEST(BasicTokenizeTest, EmptyAndWhitespace) {
+  EXPECT_TRUE(BasicTokenize("").empty());
+  EXPECT_TRUE(BasicTokenize("   \t\n").empty());
+}
+
+TEST(TokenizerTest, WholeWordInVocab) {
+  Vocab v = Vocab::Build({"reference", "area"});
+  Tokenizer t(&v);
+  auto ids = t.Encode("Reference Area");
+  ASSERT_EQ(ids.size(), 2u);
+  EXPECT_EQ(ids[0], v.Id("reference"));
+  EXPECT_EQ(ids[1], v.Id("area"));
+}
+
+TEST(TokenizerTest, GreedyLongestMatchSubwords) {
+  Vocab v;
+  v.AddToken("str");
+  v.AddToken("##eet");
+  Tokenizer t(&v);
+  auto pieces = t.WordPieceIds("street");
+  ASSERT_EQ(pieces.size(), 2u);
+  EXPECT_EQ(pieces[0], v.Id("str"));
+  EXPECT_EQ(pieces[1], v.Id("##eet"));
+}
+
+TEST(TokenizerTest, UndecomposableIsUnk) {
+  Vocab v;
+  v.AddToken("abc");
+  Tokenizer t(&v);
+  auto pieces = t.WordPieceIds("xyz");
+  ASSERT_EQ(pieces.size(), 1u);
+  EXPECT_EQ(pieces[0], kUnkId);
+}
+
+TEST(TokenizerTest, DecodeMergesPieces) {
+  Vocab v;
+  v.AddToken("str");
+  v.AddToken("##eet");
+  v.AddToken("main");
+  Tokenizer t(&v);
+  EXPECT_EQ(t.Decode({v.Id("main"), v.Id("str"), v.Id("##eet")}), "main street");
+}
+
+TEST(TokenizerTest, RoundTripThroughCorpusVocab) {
+  Vocab v = Vocab::Build({"residential", "properties", "age", "price"});
+  Tokenizer t(&v);
+  EXPECT_EQ(t.Decode(t.Encode("residential properties age")),
+            "residential properties age");
+}
+
+TEST(TokenizerTest, CharFallbackDecomposesUnseenWords) {
+  // Build() adds single chars, so unseen alphabetic words decompose instead
+  // of collapsing to UNK.
+  Vocab v = Vocab::Build({"hello"});
+  Tokenizer t(&v);
+  auto pieces = t.WordPieceIds("cat");
+  EXPECT_GT(pieces.size(), 1u);
+  for (int id : pieces) EXPECT_NE(id, kUnkId);
+}
+
+}  // namespace
+}  // namespace tsfm::text
