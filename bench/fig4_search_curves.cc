@@ -118,6 +118,12 @@ void Run() {
   std::printf(
       "\nShape check vs paper Fig 4: curves rise then flatten as k passes the\n"
       "gold-set size; TabSketchFM-SBERT tracks the best method per panel.\n");
+
+  // The ANN substrate the curves above run on: exact flat scan vs HNSW at a
+  // lake-scale column count.
+  PrintHeader("VectorIndex backends: flat vs HNSW");
+  PrintAnnBackendComparison(/*num_columns=*/10000, /*dim=*/64,
+                            /*num_queries=*/64, /*k=*/10);
 }
 
 }  // namespace

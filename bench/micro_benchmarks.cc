@@ -1,8 +1,12 @@
 // google-benchmark micro-benchmarks for the performance-critical substrates:
-// sketching throughput, tokenizer, attention forward/backward, kNN search.
-// These are the ablation benches for DESIGN.md's design choices (MinHash K,
-// tensor-granularity autograd, brute-force kNN).
+// sketching throughput, tokenizer, attention forward/backward, ANN search
+// (flat vs HNSW build/query/recall, serial vs pooled batch). These are the
+// ablation benches for DESIGN.md's design choices (MinHash K,
+// tensor-granularity autograd, pluggable VectorIndex backends).
 #include <benchmark/benchmark.h>
+
+#include <map>
+#include <unordered_set>
 
 #include "lakebench/corpus.h"
 #include "lakebench/datagen.h"
@@ -10,12 +14,66 @@
 #include "nn/ops.h"
 #include "search/hnsw.h"
 #include "search/knn_index.h"
+#include "search/vector_index.h"
 #include "sketch/minhash.h"
 #include "sketch/table_sketch.h"
 #include "text/tokenizer.h"
+#include "util/thread_pool.h"
 
 namespace tsfm {
 namespace {
+
+constexpr size_t kAnnDim = 64;
+
+// Deterministic random corpus + query set shared by the ANN benchmarks,
+// cached so index build cost is paid once per size, not per iteration.
+struct AnnFixture {
+  std::vector<std::vector<float>> corpus;
+  std::vector<std::vector<float>> queries;
+  std::unique_ptr<search::VectorIndex> flat;
+  std::unique_ptr<search::VectorIndex> hnsw;
+};
+
+const AnnFixture& GetAnnFixture(size_t n) {
+  static std::map<size_t, AnnFixture> cache;
+  auto it = cache.find(n);
+  if (it != cache.end()) return it->second;
+  AnnFixture& f = cache[n];
+  Rng rng(11);
+  auto random_vec = [&] {
+    std::vector<float> v(kAnnDim);
+    for (auto& x : v) x = static_cast<float>(rng.Normal());
+    return v;
+  };
+  f.corpus.reserve(n);
+  for (size_t i = 0; i < n; ++i) f.corpus.push_back(random_vec());
+  for (size_t q = 0; q < 64; ++q) f.queries.push_back(random_vec());
+  search::IndexOptions flat_opt;
+  f.flat = search::MakeVectorIndex(kAnnDim, flat_opt);
+  search::IndexOptions hnsw_opt;
+  hnsw_opt.backend = search::IndexBackend::kHnsw;
+  f.hnsw = search::MakeVectorIndex(kAnnDim, hnsw_opt);
+  for (size_t i = 0; i < n; ++i) {
+    f.flat->Add(i, f.corpus[i]);
+    f.hnsw->Add(i, f.corpus[i]);
+  }
+  return f;
+}
+
+// Mean recall@k of `index` against the exact flat scan over the fixture's
+// query set.
+double AnnRecallAtK(const AnnFixture& f, const search::VectorIndex& index,
+                    size_t k) {
+  double recall_sum = 0;
+  for (const auto& query : f.queries) {
+    std::unordered_set<size_t> gold;
+    for (const auto& [p, d] : f.flat->Search(query, k)) gold.insert(p);
+    size_t hits = 0;
+    for (const auto& [p, d] : index.Search(query, k)) hits += gold.count(p);
+    recall_sum += static_cast<double>(hits) / static_cast<double>(gold.size());
+  }
+  return recall_sum / static_cast<double>(f.queries.size());
+}
 
 void BM_MinHashUpdate(benchmark::State& state) {
   const size_t num_perm = static_cast<size_t>(state.range(0));
@@ -103,20 +161,35 @@ void BM_AttentionBackward(benchmark::State& state) {
 }
 BENCHMARK(BM_AttentionBackward)->Arg(32)->Arg(64);
 
+// --------------------------------------------------------- ANN backends
+// Flat-vs-HNSW comparison: build time, single-query QPS (with recall@10 of
+// the approximate backend against the exact scan), and multi-query batch
+// throughput serial vs fanned out over the ThreadPool.
+
+void BM_AnnBuild(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const auto backend = static_cast<search::IndexBackend>(state.range(1));
+  const AnnFixture& f = GetAnnFixture(n);
+  search::IndexOptions options;
+  options.backend = backend;
+  for (auto _ : state) {
+    auto index = search::MakeVectorIndex(kAnnDim, options);
+    for (size_t i = 0; i < n; ++i) index->Add(i, f.corpus[i]);
+    benchmark::DoNotOptimize(index->size());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_AnnBuild)
+    ->ArgsProduct({{1000, 10000},
+                   {static_cast<long>(search::IndexBackend::kFlat),
+                    static_cast<long>(search::IndexBackend::kHnsw)}});
+
 void BM_KnnSearch(benchmark::State& state) {
   const size_t n = static_cast<size_t>(state.range(0));
-  const size_t dim = 64;
-  Rng rng(5);
-  search::KnnIndex index(dim);
-  std::vector<float> query(dim);
-  for (auto& v : query) v = static_cast<float>(rng.Normal());
-  for (size_t i = 0; i < n; ++i) {
-    std::vector<float> vec(dim);
-    for (auto& v : vec) v = static_cast<float>(rng.Normal());
-    index.Add(i, vec);
-  }
+  const AnnFixture& f = GetAnnFixture(n);
+  size_t q = 0;
   for (auto _ : state) {
-    auto hits = index.Search(query, 10);
+    auto hits = f.flat->Search(f.queries[q++ % f.queries.size()], 10);
     benchmark::DoNotOptimize(hits.data());
   }
   state.SetItemsProcessed(state.iterations() * n);
@@ -125,23 +198,56 @@ BENCHMARK(BM_KnnSearch)->Arg(1000)->Arg(10000)->Arg(50000);
 
 void BM_HnswSearch(benchmark::State& state) {
   const size_t n = static_cast<size_t>(state.range(0));
-  const size_t dim = 64;
-  Rng rng(7);
-  search::HnswIndex index(dim);
-  std::vector<float> query(dim);
-  for (auto& v : query) v = static_cast<float>(rng.Normal());
-  for (size_t i = 0; i < n; ++i) {
-    std::vector<float> vec(dim);
-    for (auto& v : vec) v = static_cast<float>(rng.Normal());
-    index.Add(i, vec);
-  }
+  const AnnFixture& f = GetAnnFixture(n);
+  size_t q = 0;
   for (auto _ : state) {
-    auto hits = index.Search(query, 10);
+    auto hits = f.hnsw->Search(f.queries[q++ % f.queries.size()], 10);
     benchmark::DoNotOptimize(hits.data());
   }
   state.SetItemsProcessed(state.iterations() * n);
+  state.counters["recall@10"] = AnnRecallAtK(f, *f.hnsw, 10);
 }
 BENCHMARK(BM_HnswSearch)->Arg(1000)->Arg(10000)->Arg(50000);
+
+// The seed answered benchmark queries one at a time on one thread; the batch
+// path fans the same query set out over the ThreadPool. Compare these two
+// at the same corpus size for the multi-query throughput win.
+void BM_AnnBatchSearchSerial(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const auto backend = static_cast<search::IndexBackend>(state.range(1));
+  const AnnFixture& f = GetAnnFixture(n);
+  const search::VectorIndex& index =
+      backend == search::IndexBackend::kHnsw ? *f.hnsw : *f.flat;
+  for (auto _ : state) {
+    auto results = index.SearchBatch(f.queries, 10, /*pool=*/nullptr);
+    benchmark::DoNotOptimize(results.data());
+  }
+  state.SetItemsProcessed(state.iterations() * f.queries.size());
+}
+BENCHMARK(BM_AnnBatchSearchSerial)
+    ->ArgsProduct({{1000, 10000},
+                   {static_cast<long>(search::IndexBackend::kFlat),
+                    static_cast<long>(search::IndexBackend::kHnsw)}});
+
+void BM_AnnBatchSearchParallel(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const auto backend = static_cast<search::IndexBackend>(state.range(1));
+  const AnnFixture& f = GetAnnFixture(n);
+  const search::VectorIndex& index =
+      backend == search::IndexBackend::kHnsw ? *f.hnsw : *f.flat;
+  ThreadPool pool(std::max(1u, std::thread::hardware_concurrency()));
+  for (auto _ : state) {
+    auto results = index.SearchBatch(f.queries, 10, &pool);
+    benchmark::DoNotOptimize(results.data());
+  }
+  state.SetItemsProcessed(state.iterations() * f.queries.size());
+  state.counters["threads"] = static_cast<double>(pool.num_threads());
+}
+BENCHMARK(BM_AnnBatchSearchParallel)
+    ->ArgsProduct({{1000, 10000},
+                   {static_cast<long>(search::IndexBackend::kFlat),
+                    static_cast<long>(search::IndexBackend::kHnsw)}})
+    ->UseRealTime();  // the work happens on pool threads, not the main one
 
 void BM_MatMul(benchmark::State& state) {
   const size_t n = static_cast<size_t>(state.range(0));

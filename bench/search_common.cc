@@ -1,9 +1,15 @@
 #include "search_common.h"
 
 #include <cstdio>
+#include <thread>
+#include <unordered_set>
 
 #include "baselines/pair_trainer.h"
+#include "search/vector_index.h"
 #include "sketch/table_sketch.h"
+#include "util/random.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
 
 namespace tsfm::bench {
 
@@ -194,6 +200,70 @@ std::unique_ptr<baselines::ValueDualEncoder> FinetuneDualEncoder(
       },
       model->TrainableParams());
   return model;
+}
+
+void PrintAnnBackendComparison(size_t num_columns, size_t dim,
+                               size_t num_queries, size_t k) {
+  Rng rng(23);
+  auto random_vec = [&] {
+    std::vector<float> v(dim);
+    for (auto& x : v) x = static_cast<float>(rng.Normal());
+    return v;
+  };
+  std::vector<std::vector<float>> corpus, queries;
+  corpus.reserve(num_columns);
+  for (size_t i = 0; i < num_columns; ++i) corpus.push_back(random_vec());
+  for (size_t q = 0; q < num_queries; ++q) queries.push_back(random_vec());
+
+  struct Row {
+    const char* name;
+    search::IndexOptions options;
+  };
+  Row rows[2];
+  rows[0].name = "flat (exact)";
+  rows[1].name = "hnsw";
+  rows[1].options.backend = search::IndexBackend::kHnsw;
+
+  ThreadPool pool(std::max(1u, std::thread::hardware_concurrency()));
+  std::printf("ANN backends over %zu columns, dim %zu, %zu queries:\n",
+              num_columns, dim, num_queries);
+  std::printf("%-14s %10s %12s %12s %10s\n", "backend", "build s",
+              "serial QPS", "batch QPS", "recall@k");
+
+  std::unique_ptr<search::VectorIndex> exact;
+  for (const Row& row : rows) {
+    WallTimer build_timer;
+    auto index = search::MakeVectorIndex(dim, row.options);
+    for (size_t i = 0; i < num_columns; ++i) index->Add(i, corpus[i]);
+    const double build_s = build_timer.Seconds();
+
+    WallTimer serial_timer;
+    auto serial = index->SearchBatch(queries, k, /*pool=*/nullptr);
+    const double serial_qps = static_cast<double>(queries.size()) /
+                              std::max(1e-9, serial_timer.Seconds());
+    WallTimer batch_timer;
+    auto batched = index->SearchBatch(queries, k, &pool);
+    const double batch_qps = static_cast<double>(queries.size()) /
+                             std::max(1e-9, batch_timer.Seconds());
+
+    double recall = 1.0;
+    if (exact != nullptr) {
+      double recall_sum = 0;
+      for (size_t q = 0; q < queries.size(); ++q) {
+        std::unordered_set<size_t> gold;
+        for (const auto& [p, d] : exact->Search(queries[q], k)) gold.insert(p);
+        size_t hits = 0;
+        for (const auto& [p, d] : serial[q]) hits += gold.count(p);
+        recall_sum += static_cast<double>(hits) /
+                      static_cast<double>(std::max<size_t>(1, gold.size()));
+      }
+      recall = recall_sum / static_cast<double>(queries.size());
+    } else {
+      exact = std::move(index);
+    }
+    std::printf("%-14s %10.3f %12.0f %12.0f %10.3f\n", row.name, build_s,
+                serial_qps, batch_qps, recall);
+  }
 }
 
 void PrintSearchRow(const std::string& method, const search::SearchReport& report,

@@ -73,6 +73,15 @@ std::unique_ptr<baselines::ValueDualEncoder> FinetuneDualEncoder(
 void PrintSearchRow(const std::string& method, const search::SearchReport& report,
                     size_t k, double paper_f1, double paper_p, double paper_r);
 
+/// \brief Prints a flat-vs-HNSW VectorIndex comparison table.
+///
+/// Builds both backends over `num_columns` random column embeddings and
+/// reports build time, single-thread QPS, ThreadPool batch QPS, and
+/// recall@k against the exact flat scan — the numbers that decide which
+/// backend a deployment should pick (see src/search/README.md).
+void PrintAnnBackendComparison(size_t num_columns, size_t dim,
+                               size_t num_queries, size_t k);
+
 }  // namespace tsfm::bench
 
 #endif  // TSFM_BENCH_SEARCH_COMMON_H_

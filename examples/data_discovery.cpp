@@ -115,12 +115,13 @@ int main() {
   // Search each corpus with the matching fine-tuned model.
   // --------------------------------------------------------------------
   auto evaluate = [&](const lakebench::SearchBenchmark& bench,
-                      core::CrossEncoder* model, size_t k, const char* label) {
+                      core::CrossEncoder* model, size_t k, const char* label,
+                      const search::SearchRunOptions& run = {}) {
     core::Embedder embedder(model->model(), &input_encoder);
     auto embed = [&](size_t t) {
       return embedder.ColumnEmbeddings(bench.sketches[t]);
     };
-    auto report = search::EvaluateEmbeddingSearch(bench, embed, k);
+    auto report = search::EvaluateEmbeddingSearch(bench, embed, k, run);
     std::printf("%-14s mean F1 %.2f   P@%zu %.2f   R@%zu %.2f\n", label,
                 100 * report.mean_f1, k, report.PrecisionAt(k), k,
                 report.RecallAt(k));
@@ -130,6 +131,12 @@ int main() {
   evaluate(union_bench, union_model.get(), 7, "union search");
   evaluate(join_bench, join_model.get(), 10, "join search");
   evaluate(subset_bench, subset_model.get(), 11, "subset search");
+
+  // The same pipeline through the approximate HNSW backend: at lake scale
+  // this trades a little recall for sublinear query time.
+  search::SearchRunOptions hnsw_run;
+  hnsw_run.index.backend = search::IndexBackend::kHnsw;
+  evaluate(join_bench, join_model.get(), 10, "join (hnsw)", hnsw_run);
 
   // --------------------------------------------------------------------
   // Inspect one join query: show the top-3 tables for a query column.

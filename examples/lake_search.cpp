@@ -1,11 +1,15 @@
 // lake_search: offline/online data discovery over a directory of CSVs —
 // the paper's recommended deployment (Sec V).
 //
-// Offline:  ./build/examples/lake_search index <dir-of-csvs> <index-file>
-// Online:   ./build/examples/lake_search query <index-file> <query.csv> [k]
+// Offline:  ./build/lake_search index <dir-of-csvs> <index-file> [flat|hnsw]
+// Online:   ./build/lake_search query <index-file> <query.csv> [k]
+//
+// The offline half picks the ANN backend (exact flat scan by default, HNSW
+// for big lakes); the choice is stored in the index file, so the online
+// half reopens it with identical behaviour.
 //
 // With no arguments, runs a self-contained demo: synthesizes a small lake
-// in a temp directory, indexes it, and queries it.
+// in a temp directory, indexes it with both backends, and queries it.
 #include <cstdio>
 #include <filesystem>
 
@@ -54,7 +58,8 @@ std::vector<std::vector<float>> EmbedTable(const core::Embedder& embedder,
   return embedder.ColumnEmbeddings(BuildTableSketch(*table, sopt));
 }
 
-int IndexCommand(const std::string& dir, const std::string& index_path) {
+int IndexCommand(const std::string& dir, const std::string& index_path,
+                 search::IndexBackend backend) {
   text::Vocab vocab = FixedVocab();
   core::TabSketchFMConfig config = FixedConfig(vocab.size());
   Rng rng(1);
@@ -63,8 +68,11 @@ int IndexCommand(const std::string& dir, const std::string& index_path) {
   core::InputEncoder input_encoder(&config, &tokenizer);
   core::Embedder embedder(&model, &input_encoder);
 
+  search::IndexOptions options;
+  options.backend = backend;
   search::LakeIndex lake(config.encoder.hidden + 2 * config.num_perm +
-                         config.encoder.hidden);
+                             config.encoder.hidden,
+                         options);
 
   size_t indexed = 0;
   for (const auto& entry : fs::directory_iterator(dir)) {
@@ -84,7 +92,9 @@ int IndexCommand(const std::string& dir, const std::string& index_path) {
     std::fprintf(stderr, "save failed: %s\n", status.ToString().c_str());
     return 1;
   }
-  std::printf("indexed %zu tables -> %s\n", indexed, index_path.c_str());
+  std::printf("indexed %zu tables -> %s (%s backend)\n", indexed,
+              index_path.c_str(),
+              backend == search::IndexBackend::kHnsw ? "hnsw" : "flat");
   return 0;
 }
 
@@ -95,6 +105,11 @@ int QueryCommand(const std::string& index_path, const std::string& csv_path,
     std::fprintf(stderr, "load failed: %s\n", loaded.status().ToString().c_str());
     return 1;
   }
+  std::printf("index: %zu tables, dim %zu, %s backend\n",
+              loaded.value().num_tables(), loaded.value().dim(),
+              loaded.value().options().backend == search::IndexBackend::kHnsw
+                  ? "hnsw"
+                  : "flat");
   auto parsed = ReadCsvFile(csv_path);
   if (!parsed.ok()) {
     std::fprintf(stderr, "query read failed: %s\n",
@@ -135,13 +150,18 @@ int Demo() {
         "demo_" + std::to_string(i), 24, &rng);
     WriteCsvFile(t, (dir / (t.id() + ".csv")).string());
   }
-  std::string index_path = (dir / "lake.idx").string();
-  if (IndexCommand(dir.string(), index_path) != 0) return 1;
   // Query with a fresh table from domain 0: demo_0.csv should rank high.
   Table query = lakebench::GenerateDomainTable(catalog.domain(0), "query", 24, &rng);
   std::string query_path = (dir / "query.csv").string();
   WriteCsvFile(query, query_path);
-  return QueryCommand(index_path, query_path, 3);
+  // Index and query with both ANN backends; results should agree at this
+  // scale while HNSW stays sublinear as the lake grows.
+  for (auto backend : {search::IndexBackend::kFlat, search::IndexBackend::kHnsw}) {
+    std::string index_path = (dir / "lake.idx").string();
+    if (IndexCommand(dir.string(), index_path, backend) != 0) return 1;
+    if (int rc = QueryCommand(index_path, query_path, 3); rc != 0) return rc;
+  }
+  return 0;
 }
 
 }  // namespace
@@ -152,15 +172,26 @@ int main(int argc, char** argv) {
     return Demo();
   }
   std::string command = argv[1];
-  if (command == "index" && argc == 4) {
-    return IndexCommand(argv[2], argv[3]);
+  if (command == "index" && (argc == 4 || argc == 5)) {
+    search::IndexBackend backend = search::IndexBackend::kFlat;
+    if (argc == 5) {
+      std::string name = argv[4];
+      if (name == "hnsw") {
+        backend = search::IndexBackend::kHnsw;
+      } else if (name != "flat") {
+        std::fprintf(stderr, "unknown backend '%s' (expected flat or hnsw)\n",
+                     name.c_str());
+        return 2;
+      }
+    }
+    return IndexCommand(argv[2], argv[3], backend);
   }
   if (command == "query" && (argc == 4 || argc == 5)) {
     size_t k = argc == 5 ? std::strtoul(argv[4], nullptr, 10) : 5;
     return QueryCommand(argv[2], argv[3], k);
   }
   std::fprintf(stderr,
-               "usage: lake_search index <dir> <index-file>\n"
+               "usage: lake_search index <dir> <index-file> [flat|hnsw]\n"
                "       lake_search query <index-file> <query.csv> [k]\n");
   return 2;
 }

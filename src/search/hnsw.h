@@ -2,45 +2,57 @@
 // approximate nearest-neighbour search.
 //
 // The paper's DeepJoin baseline indexes column embeddings with HNSW; this
-// implementation provides the same substrate so the repo's DeepJoin can
+// implementation provides the same substrate so the repo's search stack can
 // scale past brute force. Greedy descent through sparse upper layers, then
-// beam search (ef candidates) at layer 0.
+// beam search (ef candidates) at layer 0. Construction/search knobs live in
+// HnswOptions (see vector_index.h).
 #ifndef TSFM_SEARCH_HNSW_H_
 #define TSFM_SEARCH_HNSW_H_
 
 #include <cstdint>
+#include <iosfwd>
 #include <utility>
 #include <vector>
 
+#include "search/vector_index.h"
 #include "util/random.h"
 
 namespace tsfm::search {
 
-/// HNSW construction/search knobs.
-struct HnswOptions {
-  size_t m = 12;                ///< max neighbours per node per layer
-  size_t ef_construction = 64;  ///< beam width during insertion
-  size_t ef_search = 48;        ///< beam width during queries
-  uint64_t seed = 17;           ///< level assignment RNG
-};
-
-/// \brief Approximate kNN over cosine distance.
+/// \brief Approximate kNN over cosine distance (the kHnsw backend).
 ///
 /// Vectors are L2-normalized on insertion, so inner product equals cosine
 /// similarity and distance = 1 - cos.
-class HnswIndex {
+class HnswIndex : public VectorIndex {
  public:
+  /// Binary stream tag written by Save ("HNSW").
+  static constexpr uint32_t kFormatTag = 0x484e5357;
+
   HnswIndex(size_t dim, HnswOptions options = {});
 
   /// Inserts a vector with an opaque payload id.
-  void Add(size_t payload, const std::vector<float>& vec);
+  void Add(size_t payload, const std::vector<float>& vec) override;
 
-  /// Top-k (payload, cosine distance) pairs, nearest first.
+  /// Top-k (payload, cosine distance) pairs, nearest first. k == 0 or a
+  /// query of the wrong dimension returns an empty list.
   std::vector<std::pair<size_t, float>> Search(const std::vector<float>& query,
-                                               size_t k) const;
+                                               size_t k) const override;
 
-  size_t size() const { return payloads_.size(); }
-  size_t dim() const { return dim_; }
+  size_t size() const override { return payloads_.size(); }
+  size_t dim() const override { return dim_; }
+  IndexBackend backend() const override { return IndexBackend::kHnsw; }
+  Metric metric() const override { return Metric::kCosine; }
+
+  const HnswOptions& options() const { return options_; }
+
+  /// Serializes options, vectors, payloads, and the full layer graph, so a
+  /// loaded index answers queries identically without rebuilding.
+  Status Save(std::ostream& out) const override;
+
+  /// Restores an index whose kFormatTag has already been consumed (see
+  /// LoadVectorIndex for the tagged entry point). The level RNG is re-seeded
+  /// from the stored options, so later Adds remain deterministic.
+  static Result<HnswIndex> Load(std::istream& in);
 
  private:
   struct Node {

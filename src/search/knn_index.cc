@@ -2,10 +2,17 @@
 
 #include <algorithm>
 #include <cmath>
+#include <istream>
+#include <ostream>
+#include <queue>
 
+#include "search/stream_io.h"
 #include "util/logging.h"
 
 namespace tsfm::search {
+
+using io::ReadPod;
+using io::WritePod;
 
 KnnIndex::KnnIndex(size_t dim, Metric metric) : dim_(dim), metric_(metric) {}
 
@@ -34,13 +41,15 @@ float KnnIndex::Distance(const float* a, const std::vector<float>& b) const {
 
 std::vector<std::pair<size_t, float>> KnnIndex::Search(const std::vector<float>& query,
                                                        size_t k) const {
-  TSFM_CHECK_EQ(query.size(), dim_);
+  if (k == 0 || query.size() != dim_ || payloads_.empty()) return {};
   double qn = 0.0;
   for (float v : query) qn += static_cast<double>(v) * v;
   const float qnorm = static_cast<float>(std::sqrt(qn));
 
-  std::vector<std::pair<size_t, float>> scored;  // (row, distance)
-  scored.reserve(payloads_.size());
+  // Bounded max-heap of the best k rows: top is the worst kept candidate,
+  // ordered by (distance, row) so ties stay deterministic.
+  using Entry = std::pair<float, size_t>;  // (distance, row)
+  std::priority_queue<Entry> heap;
   for (size_t r = 0; r < payloads_.size(); ++r) {
     const float* row = data_.data() + r * dim_;
     float dist;
@@ -50,17 +59,66 @@ std::vector<std::pair<size_t, float>> KnnIndex::Search(const std::vector<float>&
       float denom = norms_[r] * qnorm;
       dist = denom > 1e-12f ? 1.0f - Distance(row, query) / denom : 1.0f;
     }
-    scored.emplace_back(r, dist);
+    if (heap.size() < k) {
+      heap.emplace(dist, r);
+    } else if (Entry(dist, r) < heap.top()) {
+      heap.pop();
+      heap.emplace(dist, r);
+    }
   }
-  const size_t top = std::min(k, scored.size());
-  std::partial_sort(scored.begin(), scored.begin() + top, scored.end(),
-                    [](const auto& a, const auto& b) {
-                      if (a.second != b.second) return a.second < b.second;
-                      return a.first < b.first;  // deterministic ties
-                    });
-  scored.resize(top);
-  for (auto& [row, dist] : scored) row = payloads_[row];
-  return scored;
+
+  std::vector<std::pair<size_t, float>> out(heap.size());
+  for (size_t i = heap.size(); i-- > 0;) {
+    const auto& [dist, row] = heap.top();
+    out[i] = {payloads_[row], dist};
+    heap.pop();
+  }
+  return out;
+}
+
+Status KnnIndex::Save(std::ostream& out) const {
+  WritePod(out, kFormatTag);
+  WritePod(out, static_cast<uint32_t>(metric_));
+  WritePod(out, static_cast<uint64_t>(dim_));
+  WritePod(out, static_cast<uint64_t>(payloads_.size()));
+  for (size_t p : payloads_) WritePod(out, static_cast<uint64_t>(p));
+  out.write(reinterpret_cast<const char*>(data_.data()),
+            static_cast<std::streamsize>(data_.size() * sizeof(float)));
+  if (!out) return Status::IoError("flat index write failed");
+  return Status::OK();
+}
+
+Result<KnnIndex> KnnIndex::Load(std::istream& in) {
+  uint32_t metric = 0;
+  uint64_t dim = 0, n = 0;
+  if (!ReadPod(in, &metric) || !ReadPod(in, &dim) || !ReadPod(in, &n)) {
+    return Status::IoError("truncated flat index header");
+  }
+  if (metric > static_cast<uint32_t>(Metric::kL2) || dim == 0 ||
+      dim > (1u << 20) || n > (1ull << 32)) {
+    return Status::ParseError("implausible flat index header");
+  }
+  KnnIndex index(dim, static_cast<Metric>(metric));
+  index.payloads_.resize(n);
+  for (auto& p : index.payloads_) {
+    uint64_t v = 0;
+    if (!ReadPod(in, &v)) return Status::IoError("truncated flat payloads");
+    p = static_cast<size_t>(v);
+  }
+  index.data_.resize(n * dim);
+  in.read(reinterpret_cast<char*>(index.data_.data()),
+          static_cast<std::streamsize>(index.data_.size() * sizeof(float)));
+  if (!in) return Status::IoError("truncated flat vectors");
+  index.norms_.reserve(n);
+  for (uint64_t r = 0; r < n; ++r) {
+    double norm = 0.0;
+    const float* row = index.data_.data() + r * dim;
+    for (uint64_t i = 0; i < dim; ++i) {
+      norm += static_cast<double>(row[i]) * row[i];
+    }
+    index.norms_.push_back(static_cast<float>(std::sqrt(norm)));
+  }
+  return index;
 }
 
 }  // namespace tsfm::search

@@ -1,37 +1,49 @@
 // Exact k-nearest-neighbour index over dense vectors.
 //
 // The paper indexes embeddings offline and answers queries in embedding
-// space; at repo scale a brute-force scan with cosine distance is exact and
-// fast enough, and serves as the reference the LSH indexes are tested
-// against.
+// space; the flat backend is a brute-force scan with a bounded top-k heap —
+// exact, cache-friendly, and the recall reference every approximate backend
+// is tested against.
 #ifndef TSFM_SEARCH_KNN_INDEX_H_
 #define TSFM_SEARCH_KNN_INDEX_H_
 
 #include <cstddef>
+#include <iosfwd>
 #include <utility>
 #include <vector>
 
+#include "search/vector_index.h"
+
 namespace tsfm::search {
 
-/// Distance metrics.
-enum class Metric { kCosine, kL2 };
-
-/// \brief Brute-force exact kNN with payload ids.
-class KnnIndex {
+/// \brief Brute-force exact kNN with payload ids (the kFlat backend).
+class KnnIndex : public VectorIndex {
  public:
+  /// Binary stream tag written by Save ("FLAT").
+  static constexpr uint32_t kFormatTag = 0x464c4154;
+
   explicit KnnIndex(size_t dim, Metric metric = Metric::kCosine);
 
   /// Adds a vector with an opaque payload id. Vector size must equal dim.
-  void Add(size_t payload, const std::vector<float>& vec);
+  void Add(size_t payload, const std::vector<float>& vec) override;
 
   /// \brief Top-k (payload, distance) pairs, nearest first.
   ///
   /// Cosine distance = 1 - cos(a, b); zero vectors compare as distance 1.
+  /// k == 0 or a query of the wrong dimension returns an empty list.
   std::vector<std::pair<size_t, float>> Search(const std::vector<float>& query,
-                                               size_t k) const;
+                                               size_t k) const override;
 
-  size_t size() const { return payloads_.size(); }
-  size_t dim() const { return dim_; }
+  size_t size() const override { return payloads_.size(); }
+  size_t dim() const override { return dim_; }
+  IndexBackend backend() const override { return IndexBackend::kFlat; }
+  Metric metric() const override { return metric_; }
+
+  Status Save(std::ostream& out) const override;
+
+  /// Restores an index whose kFormatTag has already been consumed (see
+  /// LoadVectorIndex for the tagged entry point).
+  static Result<KnnIndex> Load(std::istream& in);
 
  private:
   float Distance(const float* a, const std::vector<float>& b) const;

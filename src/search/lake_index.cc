@@ -3,15 +3,25 @@
 #include <cstdint>
 #include <fstream>
 
+#include "search/stream_io.h"
 #include "util/logging.h"
+#include "util/thread_pool.h"
 
 namespace tsfm::search {
 
+using io::ReadPod;
+using io::WritePod;
+
 namespace {
-constexpr uint32_t kMagic = 0x4c414b45;  // "LAKE"
+
+constexpr uint32_t kMagicV1 = 0x4c414b45;  // "LAKE" — legacy headerless format
+constexpr uint32_t kMagicV2 = 0x4c414b32;  // "LAK2" — versioned header
+constexpr uint32_t kFormatVersion = 2;
+
 }  // namespace
 
-LakeIndex::LakeIndex(size_t dim) : dim_(dim), index_(dim) {}
+LakeIndex::LakeIndex(size_t dim, const IndexOptions& options)
+    : dim_(dim), index_(dim, options) {}
 
 size_t LakeIndex::AddTable(const std::string& table_id,
                            const std::vector<std::vector<float>>& column_embeddings) {
@@ -25,45 +35,72 @@ size_t LakeIndex::AddTable(const std::string& table_id,
   return handle;
 }
 
-std::vector<std::string> LakeIndex::QueryUnionable(
-    const std::vector<std::vector<float>>& query_columns, size_t k) const {
-  TableRanker ranker(&index_);
+std::vector<std::string> LakeIndex::RankedIds(const std::vector<size_t>& handles,
+                                              size_t k) const {
   std::vector<std::string> out;
-  // SIZE_MAX: external queries are not part of the corpus; exclude nothing.
-  for (size_t handle : ranker.RankTables(query_columns, k, /*exclude=*/SIZE_MAX)) {
+  out.reserve(std::min(k, handles.size()));
+  for (size_t handle : handles) {
     out.push_back(table_ids_[handle]);
     if (out.size() >= k) break;
   }
   return out;
 }
 
+std::vector<std::string> LakeIndex::QueryUnionable(
+    const std::vector<std::vector<float>>& query_columns, size_t k) const {
+  TableRanker ranker(&index_);
+  // SIZE_MAX: external queries are not part of the corpus; exclude nothing.
+  return RankedIds(ranker.RankTables(query_columns, k, /*exclude=*/SIZE_MAX), k);
+}
+
 std::vector<std::string> LakeIndex::QueryJoinable(
     const std::vector<float>& query_column, size_t k) const {
   TableRanker ranker(&index_);
-  std::vector<std::string> out;
-  for (size_t handle :
-       ranker.RankTablesByColumn(query_column, k, /*exclude=*/SIZE_MAX)) {
-    out.push_back(table_ids_[handle]);
-    if (out.size() >= k) break;
-  }
+  return RankedIds(ranker.RankTablesByColumn(query_column, k, /*exclude=*/SIZE_MAX),
+                   k);
+}
+
+std::vector<std::vector<std::string>> LakeIndex::QueryUnionableBatch(
+    const std::vector<std::vector<std::vector<float>>>& queries, size_t k,
+    ThreadPool* pool) const {
+  TableRanker ranker(&index_);
+  auto ranked = ranker.RankTablesBatch(queries, k, /*excludes=*/{}, pool);
+  std::vector<std::vector<std::string>> out(ranked.size());
+  for (size_t q = 0; q < ranked.size(); ++q) out[q] = RankedIds(ranked[q], k);
+  return out;
+}
+
+std::vector<std::vector<std::string>> LakeIndex::QueryJoinableBatch(
+    const std::vector<std::vector<float>>& query_columns, size_t k,
+    ThreadPool* pool) const {
+  TableRanker ranker(&index_);
+  auto ranked =
+      ranker.RankTablesByColumnBatch(query_columns, k, /*excludes=*/{}, pool);
+  std::vector<std::vector<std::string>> out(ranked.size());
+  for (size_t q = 0; q < ranked.size(); ++q) out[q] = RankedIds(ranked[q], k);
   return out;
 }
 
 Status LakeIndex::Save(const std::string& path) const {
   std::ofstream out(path, std::ios::binary);
   if (!out) return Status::IoError("cannot open " + path + " for writing");
-  uint32_t magic = kMagic;
-  uint64_t dim = dim_;
-  uint64_t num_tables = table_ids_.size();
-  out.write(reinterpret_cast<const char*>(&magic), sizeof(magic));
-  out.write(reinterpret_cast<const char*>(&dim), sizeof(dim));
-  out.write(reinterpret_cast<const char*>(&num_tables), sizeof(num_tables));
+  const IndexOptions& opt = index_.options();
+  WritePod(out, kMagicV2);
+  WritePod(out, kFormatVersion);
+  WritePod(out, static_cast<uint32_t>(opt.backend));
+  WritePod(out, static_cast<uint32_t>(opt.metric));
+  WritePod(out, static_cast<uint64_t>(opt.hnsw.m));
+  WritePod(out, static_cast<uint64_t>(opt.hnsw.ef_construction));
+  WritePod(out, static_cast<uint64_t>(opt.hnsw.ef_search));
+  WritePod(out, opt.hnsw.seed);
+  WritePod(out, static_cast<uint64_t>(dim_));
+  WritePod(out, static_cast<uint64_t>(table_ids_.size()));
   for (size_t t = 0; t < table_ids_.size(); ++t) {
     uint64_t id_len = table_ids_[t].size();
     uint64_t num_cols = columns_[t].size();
-    out.write(reinterpret_cast<const char*>(&id_len), sizeof(id_len));
+    WritePod(out, id_len);
     out.write(table_ids_[t].data(), static_cast<std::streamsize>(id_len));
-    out.write(reinterpret_cast<const char*>(&num_cols), sizeof(num_cols));
+    WritePod(out, num_cols);
     for (const auto& col : columns_[t]) {
       out.write(reinterpret_cast<const char*>(col.data()),
                 static_cast<std::streamsize>(col.size() * sizeof(float)));
@@ -77,20 +114,51 @@ Result<LakeIndex> LakeIndex::Load(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) return Status::IoError("cannot open " + path);
   uint32_t magic = 0;
+  if (!ReadPod(in, &magic)) return Status::IoError("truncated lake index " + path);
+
+  IndexOptions options;  // legacy files predate backends: flat / cosine
+  if (magic == kMagicV2) {
+    uint32_t version = 0, backend = 0, metric = 0;
+    uint64_t m = 0, ef_construction = 0, ef_search = 0, seed = 0;
+    if (!ReadPod(in, &version) || !ReadPod(in, &backend) ||
+        !ReadPod(in, &metric) || !ReadPod(in, &m) ||
+        !ReadPod(in, &ef_construction) || !ReadPod(in, &ef_search) ||
+        !ReadPod(in, &seed)) {
+      return Status::IoError("truncated lake-index header in " + path);
+    }
+    if (version > kFormatVersion) {
+      return Status::ParseError("lake index " + path +
+                                " written by a newer format version");
+    }
+    if (backend > static_cast<uint32_t>(IndexBackend::kHnsw) ||
+        metric > static_cast<uint32_t>(Metric::kL2)) {
+      return Status::ParseError("bad lake-index backend/metric in " + path);
+    }
+    options.backend = static_cast<IndexBackend>(backend);
+    options.metric = static_cast<Metric>(metric);
+    options.hnsw.m = static_cast<size_t>(m);
+    options.hnsw.ef_construction = static_cast<size_t>(ef_construction);
+    options.hnsw.ef_search = static_cast<size_t>(ef_search);
+    options.hnsw.seed = seed;
+  } else if (magic != kMagicV1) {
+    return Status::ParseError("bad lake-index magic in " + path);
+  }
+
   uint64_t dim = 0, num_tables = 0;
-  in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
-  if (magic != kMagic) return Status::ParseError("bad lake-index magic in " + path);
-  in.read(reinterpret_cast<char*>(&dim), sizeof(dim));
-  in.read(reinterpret_cast<char*>(&num_tables), sizeof(num_tables));
+  if (!ReadPod(in, &dim) || !ReadPod(in, &num_tables)) {
+    return Status::IoError("truncated lake index " + path);
+  }
   if (dim == 0 || dim > (1u << 20)) return Status::ParseError("implausible dim");
 
-  LakeIndex index(dim);
+  LakeIndex index(dim, options);
   for (uint64_t t = 0; t < num_tables; ++t) {
     uint64_t id_len = 0, num_cols = 0;
-    in.read(reinterpret_cast<char*>(&id_len), sizeof(id_len));
+    if (!ReadPod(in, &id_len)) return Status::IoError("truncated lake index " + path);
     std::string id(id_len, '\0');
     in.read(id.data(), static_cast<std::streamsize>(id_len));
-    in.read(reinterpret_cast<char*>(&num_cols), sizeof(num_cols));
+    if (!ReadPod(in, &num_cols)) {
+      return Status::IoError("truncated lake index " + path);
+    }
     std::vector<std::vector<float>> cols(num_cols, std::vector<float>(dim));
     for (auto& col : cols) {
       in.read(reinterpret_cast<char*>(col.data()),

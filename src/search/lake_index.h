@@ -1,6 +1,10 @@
 // Persistent data-lake index — the paper's recommended deployment (Sec V):
 // embed and index the lake offline; at query time embed only the query
 // table and search in embedding space.
+//
+// The ANN backend (exact flat scan or HNSW) is chosen at construction and
+// recorded in the on-disk format, so the online half reopens the index with
+// the same behaviour the offline half built it with.
 #ifndef TSFM_SEARCH_LAKE_INDEX_H_
 #define TSFM_SEARCH_LAKE_INDEX_H_
 
@@ -11,17 +15,21 @@
 #include "search/table_ranker.h"
 #include "util/status.h"
 
+namespace tsfm {
+class ThreadPool;
+}  // namespace tsfm
+
 namespace tsfm::search {
 
 /// \brief An offline index of column embeddings for a corpus of tables.
 ///
 /// Build once with AddTable (or from an Embedder over sketches), then
-/// answer join / union / subset queries. The index serializes to a compact
-/// binary file so the offline and online halves can run in different
-/// processes.
+/// answer join / union / subset queries — one at a time or in parallel
+/// batches. The index serializes to a compact binary file so the offline
+/// and online halves can run in different processes.
 class LakeIndex {
  public:
-  explicit LakeIndex(size_t dim);
+  explicit LakeIndex(size_t dim, const IndexOptions& options = {});
 
   /// Registers a table's column embeddings under a stable string id.
   /// Returns the table's dense index handle.
@@ -36,18 +44,32 @@ class LakeIndex {
   std::vector<std::string> QueryJoinable(const std::vector<float>& query_column,
                                          size_t k) const;
 
-  /// Persists the index (dim, table ids, per-table embeddings).
+  /// One QueryUnionable result per query, fanned out over `pool` when given.
+  std::vector<std::vector<std::string>> QueryUnionableBatch(
+      const std::vector<std::vector<std::vector<float>>>& queries, size_t k,
+      ThreadPool* pool = nullptr) const;
+
+  /// One QueryJoinable result per query column, fanned out over `pool`.
+  std::vector<std::vector<std::string>> QueryJoinableBatch(
+      const std::vector<std::vector<float>>& query_columns, size_t k,
+      ThreadPool* pool = nullptr) const;
+
+  /// Persists the index: versioned header (backend, metric, HNSW knobs),
+  /// table ids, per-table embeddings.
   Status Save(const std::string& path) const;
 
-  /// Loads an index written by Save.
+  /// Loads an index written by Save. Files from before the versioned header
+  /// (magic "LAKE") still load and default to the flat backend.
   static Result<LakeIndex> Load(const std::string& path);
 
   size_t num_tables() const { return table_ids_.size(); }
   size_t dim() const { return dim_; }
+  const IndexOptions& options() const { return index_.options(); }
   const std::string& table_id(size_t handle) const { return table_ids_[handle]; }
 
  private:
-  void Reindex();
+  std::vector<std::string> RankedIds(const std::vector<size_t>& handles,
+                                     size_t k) const;
 
   size_t dim_;
   std::vector<std::string> table_ids_;

@@ -17,17 +17,26 @@ namespace tsfm::search {
 using ColumnEmbedFn =
     std::function<std::vector<std::vector<float>>(size_t table_index)>;
 
+/// \brief Knobs for a search evaluation run.
+struct SearchRunOptions {
+  IndexOptions index;      ///< ANN backend for the column index
+  size_t num_threads = 0;  ///< query fan-out width; 0 = hardware concurrency
+};
+
 /// \brief Runs a full search evaluation for one embedding method.
 ///
 /// For join queries (column_index >= 0) tables are ranked by nearest column
 /// to the query column; for union/subset queries the Fig 6 multi-column
-/// ranking is used. Returns ranked lists, one per query.
+/// ranking is used. All queries are answered through the batch ranking API,
+/// fanned out over a ThreadPool. Returns ranked lists, one per query.
 std::vector<std::vector<size_t>> RunSearch(const lakebench::SearchBenchmark& bench,
-                                           const ColumnEmbedFn& embed, size_t k);
+                                           const ColumnEmbedFn& embed, size_t k,
+                                           const SearchRunOptions& options = {});
 
 /// Convenience: RunSearch + EvaluateSearch.
 SearchReport EvaluateEmbeddingSearch(const lakebench::SearchBenchmark& bench,
-                                     const ColumnEmbedFn& embed, size_t k_max);
+                                     const ColumnEmbedFn& embed, size_t k_max,
+                                     const SearchRunOptions& options = {});
 
 /// Evaluates pre-computed ranked lists (for non-embedding baselines such as
 /// Josie or LSH-Forest).

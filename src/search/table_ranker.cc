@@ -1,18 +1,20 @@
 #include "search/table_ranker.h"
 
 #include <algorithm>
-#include <map>
+#include <cstdint>
 #include <unordered_map>
+
+#include "util/thread_pool.h"
 
 namespace tsfm::search {
 
-ColumnEmbeddingIndex::ColumnEmbeddingIndex(size_t dim, Metric metric)
-    : index_(dim, metric) {}
+ColumnEmbeddingIndex::ColumnEmbeddingIndex(size_t dim, const IndexOptions& options)
+    : options_(options), index_(MakeVectorIndex(dim, options)) {}
 
 void ColumnEmbeddingIndex::AddTable(size_t table_id,
                                     const std::vector<std::vector<float>>& columns) {
   for (size_t c = 0; c < columns.size(); ++c) {
-    index_.Add(column_of_.size(), columns[c]);
+    index_->Add(column_of_.size(), columns[c]);
     column_of_.emplace_back(table_id, c);
   }
 }
@@ -20,11 +22,26 @@ void ColumnEmbeddingIndex::AddTable(size_t table_id,
 std::vector<ColumnEmbeddingIndex::ColumnHit> ColumnEmbeddingIndex::SearchColumns(
     const std::vector<float>& query, size_t k) const {
   std::vector<ColumnHit> hits;
-  for (const auto& [payload, dist] : index_.Search(query, k)) {
+  for (const auto& [payload, dist] : index_->Search(query, k)) {
     const auto& [table, col] = column_of_[payload];
     hits.push_back({table, col, dist});
   }
   return hits;
+}
+
+std::vector<std::vector<ColumnEmbeddingIndex::ColumnHit>>
+ColumnEmbeddingIndex::SearchColumnsBatch(const std::vector<std::vector<float>>& queries,
+                                         size_t k, ThreadPool* pool) const {
+  std::vector<std::vector<ColumnHit>> results(queries.size());
+  auto raw = index_->SearchBatch(queries, k, pool);
+  for (size_t q = 0; q < raw.size(); ++q) {
+    results[q].reserve(raw[q].size());
+    for (const auto& [payload, dist] : raw[q]) {
+      const auto& [table, col] = column_of_[payload];
+      results[q].push_back({table, col, dist});
+    }
+  }
+  return results;
 }
 
 std::vector<size_t> TableRanker::RankTables(
@@ -92,6 +109,44 @@ std::vector<size_t> TableRanker::RankTablesByColumn(
   ranked.reserve(order.size());
   for (const auto& [table, dist] : order) ranked.push_back(table);
   return ranked;
+}
+
+std::vector<std::vector<size_t>> TableRanker::RankTablesBatch(
+    const std::vector<std::vector<std::vector<float>>>& queries, size_t k,
+    const std::vector<size_t>& excludes, ThreadPool* pool) const {
+  std::vector<std::vector<size_t>> results(queries.size());
+  auto exclude_of = [&](size_t q) {
+    return q < excludes.size() ? excludes[q] : SIZE_MAX;
+  };
+  if (pool != nullptr && queries.size() > 1) {
+    ParallelFor(pool, 0, queries.size(), [&](size_t q) {
+      results[q] = RankTables(queries[q], k, exclude_of(q));
+    });
+  } else {
+    for (size_t q = 0; q < queries.size(); ++q) {
+      results[q] = RankTables(queries[q], k, exclude_of(q));
+    }
+  }
+  return results;
+}
+
+std::vector<std::vector<size_t>> TableRanker::RankTablesByColumnBatch(
+    const std::vector<std::vector<float>>& query_columns, size_t k,
+    const std::vector<size_t>& excludes, ThreadPool* pool) const {
+  std::vector<std::vector<size_t>> results(query_columns.size());
+  auto exclude_of = [&](size_t q) {
+    return q < excludes.size() ? excludes[q] : SIZE_MAX;
+  };
+  if (pool != nullptr && query_columns.size() > 1) {
+    ParallelFor(pool, 0, query_columns.size(), [&](size_t q) {
+      results[q] = RankTablesByColumn(query_columns[q], k, exclude_of(q));
+    });
+  } else {
+    for (size_t q = 0; q < query_columns.size(); ++q) {
+      results[q] = RankTablesByColumn(query_columns[q], k, exclude_of(q));
+    }
+  }
+  return results;
 }
 
 }  // namespace tsfm::search

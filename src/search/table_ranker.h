@@ -4,20 +4,28 @@
 //   NEARTABLES(t)            -> union over t's columns
 //   RANK1 = number of matched query columns (descending)
 //   RANK2 = sum of column distances (ascending tie-break)
+//
+// The corpus sits behind a pluggable VectorIndex (exact flat scan or HNSW);
+// batch entry points fan independent queries out over a ThreadPool.
 #ifndef TSFM_SEARCH_TABLE_RANKER_H_
 #define TSFM_SEARCH_TABLE_RANKER_H_
 
 #include <cstddef>
+#include <memory>
 #include <vector>
 
-#include "search/knn_index.h"
+#include "search/vector_index.h"
+
+namespace tsfm {
+class ThreadPool;
+}  // namespace tsfm
 
 namespace tsfm::search {
 
 /// \brief A corpus of column embeddings grouped by table.
 class ColumnEmbeddingIndex {
  public:
-  explicit ColumnEmbeddingIndex(size_t dim, Metric metric = Metric::kCosine);
+  explicit ColumnEmbeddingIndex(size_t dim, const IndexOptions& options = {});
 
   /// Adds every column embedding of table `table_id`.
   void AddTable(size_t table_id, const std::vector<std::vector<float>>& columns);
@@ -31,11 +39,18 @@ class ColumnEmbeddingIndex {
   std::vector<ColumnHit> SearchColumns(const std::vector<float>& query,
                                        size_t k) const;
 
-  size_t num_columns() const { return index_.size(); }
-  size_t dim() const { return index_.dim(); }
+  /// One SearchColumns result per query, fanned out over `pool` when given.
+  std::vector<std::vector<ColumnHit>> SearchColumnsBatch(
+      const std::vector<std::vector<float>>& queries, size_t k,
+      ThreadPool* pool = nullptr) const;
+
+  size_t num_columns() const { return index_->size(); }
+  size_t dim() const { return index_->dim(); }
+  const IndexOptions& options() const { return options_; }
 
  private:
-  KnnIndex index_;
+  IndexOptions options_;
+  std::unique_ptr<VectorIndex> index_;
   std::vector<std::pair<size_t, size_t>> column_of_;  // payload -> (table, col)
 };
 
@@ -55,6 +70,19 @@ class TableRanker {
   /// closest column distance.
   std::vector<size_t> RankTablesByColumn(const std::vector<float>& query_column,
                                          size_t k, size_t exclude) const;
+
+  /// \brief Batch union/subset ranking: one RankTables result per query.
+  ///
+  /// `excludes` pairs with `queries` (empty means exclude nothing anywhere).
+  /// Queries fan out over `pool` when given; results match the serial loop.
+  std::vector<std::vector<size_t>> RankTablesBatch(
+      const std::vector<std::vector<std::vector<float>>>& queries, size_t k,
+      const std::vector<size_t>& excludes, ThreadPool* pool = nullptr) const;
+
+  /// Batch join ranking: one RankTablesByColumn result per query column.
+  std::vector<std::vector<size_t>> RankTablesByColumnBatch(
+      const std::vector<std::vector<float>>& query_columns, size_t k,
+      const std::vector<size_t>& excludes, ThreadPool* pool = nullptr) const;
 
  private:
   const ColumnEmbeddingIndex* index_;

@@ -1,0 +1,104 @@
+// Pluggable approximate/exact nearest-neighbour layer.
+//
+// The paper's deployment (Sec V) answers every online query through one
+// column-embedding index; VectorIndex is the seam that lets that index be
+// either exact brute force (KnnIndex) or an HNSW graph (HnswIndex, the
+// substrate DeepJoin uses at scale) without the ranking stack caring which.
+// Backends are chosen with IndexOptions and constructed via MakeVectorIndex;
+// both serialize to a tagged binary stream so an offline builder and an
+// online server can exchange ready-built indexes.
+#ifndef TSFM_SEARCH_VECTOR_INDEX_H_
+#define TSFM_SEARCH_VECTOR_INDEX_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+namespace tsfm {
+class ThreadPool;
+}  // namespace tsfm
+
+namespace tsfm::search {
+
+/// Distance metrics.
+enum class Metric { kCosine, kL2 };
+
+/// Which ANN backend an index uses.
+enum class IndexBackend {
+  kFlat,  ///< exact brute-force scan (KnnIndex)
+  kHnsw,  ///< approximate HNSW graph (HnswIndex), cosine only
+};
+
+/// HNSW construction/search knobs (Malkov & Yashunin 2020).
+struct HnswOptions {
+  size_t m = 12;                ///< max neighbours per node per layer
+  size_t ef_construction = 64;  ///< beam width during insertion
+  size_t ef_search = 48;        ///< beam width during queries
+  uint64_t seed = 17;           ///< level assignment RNG
+};
+
+/// \brief Backend selection for MakeVectorIndex and everything above it.
+///
+/// `metric` applies to the flat backend; HNSW normalizes on insert and is
+/// always cosine. `hnsw` is ignored by the flat backend.
+struct IndexOptions {
+  IndexBackend backend = IndexBackend::kFlat;
+  Metric metric = Metric::kCosine;
+  HnswOptions hnsw;
+};
+
+/// \brief Abstract nearest-neighbour index over dense vectors with payloads.
+///
+/// Implementations must keep Search/SearchBatch const-thread-safe: SearchBatch
+/// fans queries out over a ThreadPool, so concurrent Search calls on one
+/// index must not race. Add is not thread-safe and must not overlap searches.
+class VectorIndex {
+ public:
+  virtual ~VectorIndex() = default;
+
+  /// Adds a vector with an opaque payload id. Vector size must equal dim().
+  virtual void Add(size_t payload, const std::vector<float>& vec) = 0;
+
+  /// \brief Top-k (payload, distance) pairs, nearest first.
+  ///
+  /// Degenerate inputs are answered, not UB: k == 0 or a query whose size
+  /// differs from dim() returns an empty list; k > size() returns size()
+  /// results.
+  virtual std::vector<std::pair<size_t, float>> Search(
+      const std::vector<float>& query, size_t k) const = 0;
+
+  /// \brief Searches many queries, optionally in parallel.
+  ///
+  /// Returns one Search result per query, in query order. With a non-null
+  /// `pool` the queries are fanned out with ParallelFor; results are
+  /// identical to the serial loop.
+  virtual std::vector<std::vector<std::pair<size_t, float>>> SearchBatch(
+      const std::vector<std::vector<float>>& queries, size_t k,
+      ThreadPool* pool = nullptr) const;
+
+  virtual size_t size() const = 0;
+  virtual size_t dim() const = 0;
+  virtual IndexBackend backend() const = 0;
+  virtual Metric metric() const = 0;
+
+  /// Writes a self-describing binary image (backend tag + payload) that
+  /// LoadVectorIndex can restore.
+  virtual Status Save(std::ostream& out) const = 0;
+};
+
+/// Constructs an empty index of the requested backend.
+std::unique_ptr<VectorIndex> MakeVectorIndex(size_t dim,
+                                             const IndexOptions& options = {});
+
+/// Restores an index written by VectorIndex::Save, dispatching on the
+/// backend tag.
+Result<std::unique_ptr<VectorIndex>> LoadVectorIndex(std::istream& in);
+
+}  // namespace tsfm::search
+
+#endif  // TSFM_SEARCH_VECTOR_INDEX_H_

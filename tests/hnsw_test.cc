@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <sstream>
 #include <unordered_set>
 
 #include "search/hnsw.h"
@@ -102,6 +103,97 @@ TEST(HnswTest, KLargerThanIndexSize) {
   HnswIndex index(4);
   for (size_t i = 0; i < 3; ++i) index.Add(i, RandomUnit(4, &rng));
   EXPECT_LE(index.Search(RandomUnit(4, &rng), 50).size(), 3u);
+}
+
+TEST(HnswTest, DegenerateQueriesReturnEmpty) {
+  Rng rng(5);
+  HnswIndex index(4);
+  for (size_t i = 0; i < 10; ++i) index.Add(i, RandomUnit(4, &rng));
+  EXPECT_TRUE(index.Search(RandomUnit(4, &rng), 0).empty());  // k == 0
+  EXPECT_TRUE(index.Search({1, 0}, 5).empty());               // dim mismatch
+}
+
+TEST(HnswTest, RecallAtTenAtLeastPointNineVsExact) {
+  // The flat and HNSW backends index the same random corpus; with a wide
+  // search beam the graph must recover >= 90% of the exact top-10.
+  Rng rng(6);
+  const size_t n = 1000, dim = 24, k = 10;
+  HnswOptions options;
+  options.ef_search = 128;
+  HnswIndex hnsw(dim, options);
+  KnnIndex brute(dim, Metric::kCosine);
+  for (size_t i = 0; i < n; ++i) {
+    auto vec = RandomUnit(dim, &rng);
+    hnsw.Add(i, vec);
+    brute.Add(i, vec);
+  }
+  double recall_sum = 0;
+  const size_t queries = 30;
+  for (size_t q = 0; q < queries; ++q) {
+    auto query = RandomUnit(dim, &rng);
+    std::unordered_set<size_t> gold;
+    for (auto& [p, d] : brute.Search(query, k)) gold.insert(p);
+    size_t hits = 0;
+    for (auto& [p, d] : hnsw.Search(query, k)) hits += gold.count(p);
+    recall_sum += static_cast<double>(hits) / k;
+  }
+  EXPECT_GE(recall_sum / queries, 0.9);
+}
+
+TEST(HnswTest, SaveLoadAnswersIdentically) {
+  Rng rng(7);
+  const size_t dim = 12;
+  HnswIndex index(dim);
+  for (size_t i = 0; i < 120; ++i) index.Add(i * 7, RandomUnit(dim, &rng));
+
+  std::stringstream stream;
+  ASSERT_TRUE(index.Save(stream).ok());
+  uint32_t tag = 0;
+  stream.read(reinterpret_cast<char*>(&tag), sizeof(tag));
+  ASSERT_EQ(tag, HnswIndex::kFormatTag);
+  auto loaded = HnswIndex::Load(stream);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().size(), index.size());
+  for (size_t q = 0; q < 10; ++q) {
+    auto query = RandomUnit(dim, &rng);
+    EXPECT_EQ(loaded.value().Search(query, 10), index.Search(query, 10));
+  }
+}
+
+TEST(HnswTest, LoadRejectsCorruptEntryPoint) {
+  Rng rng(9);
+  HnswIndex index(4);
+  for (size_t i = 0; i < 20; ++i) index.Add(i, RandomUnit(4, &rng));
+  std::stringstream stream;
+  ASSERT_TRUE(index.Save(stream).ok());
+  std::string bytes = stream.str();
+  // Header layout after the 4-byte tag: m, ef_construction, ef_search, seed
+  // (u64 each), dim, n (u64 each), max_level (i32), entry_point (u32).
+  const size_t entry_point_offset = 4 + 6 * sizeof(uint64_t) + sizeof(int32_t);
+  uint32_t bogus = 1000;
+  bytes.replace(entry_point_offset, sizeof(bogus),
+                reinterpret_cast<const char*>(&bogus), sizeof(bogus));
+  std::stringstream corrupt(bytes);
+  uint32_t tag = 0;
+  corrupt.read(reinterpret_cast<char*>(&tag), sizeof(tag));
+  EXPECT_FALSE(HnswIndex::Load(corrupt).ok());
+}
+
+TEST(HnswTest, LoadedIndexAcceptsFurtherAdds) {
+  Rng rng(8);
+  HnswIndex index(8);
+  for (size_t i = 0; i < 50; ++i) index.Add(i, RandomUnit(8, &rng));
+  std::stringstream stream;
+  ASSERT_TRUE(index.Save(stream).ok());
+  uint32_t tag = 0;
+  stream.read(reinterpret_cast<char*>(&tag), sizeof(tag));
+  auto loaded = HnswIndex::Load(stream);
+  ASSERT_TRUE(loaded.ok());
+  auto probe = RandomUnit(8, &rng);
+  loaded.value().Add(999, probe);
+  auto hits = loaded.value().Search(probe, 1);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].first, 999u);
 }
 
 }  // namespace

@@ -4,6 +4,7 @@
 #include <fstream>
 
 #include "search/lake_index.h"
+#include "util/thread_pool.h"
 
 namespace tsfm::search {
 namespace {
@@ -50,6 +51,82 @@ TEST(LakeIndexTest, SaveLoadRoundTrip) {
   ASSERT_FALSE(ranked.empty());
   EXPECT_EQ(ranked[0], "sales_q1");
   std::remove(path.c_str());
+}
+
+TEST(LakeIndexTest, SaveLoadRoundTripBothBackends) {
+  for (auto backend : {search::IndexBackend::kFlat, search::IndexBackend::kHnsw}) {
+    IndexOptions options;
+    options.backend = backend;
+    options.hnsw.ef_search = 96;
+    LakeIndex index(3, options);
+    index.AddTable("sales_q1", {{1, 0, 0}, {0, 1, 0}});
+    index.AddTable("sales_q2", {{0.9f, 0.1f, 0}, {0, 0.9f, 0.1f}});
+    index.AddTable("weather", {{0, 0, 1}});
+
+    std::string path = testing::TempDir() + "/tsfm_lake_backend.bin";
+    ASSERT_TRUE(index.Save(path).ok());
+    auto loaded = LakeIndex::Load(path);
+    ASSERT_TRUE(loaded.ok());
+    // The backend choice survives the file format round trip.
+    EXPECT_EQ(loaded.value().options().backend, backend);
+    EXPECT_EQ(loaded.value().options().hnsw.ef_search, 96u);
+    EXPECT_EQ(loaded.value().num_tables(), 3u);
+    auto ranked = loaded.value().QueryJoinable({1, 0, 0}, 3);
+    ASSERT_FALSE(ranked.empty());
+    EXPECT_EQ(ranked[0], "sales_q1");
+    std::remove(path.c_str());
+  }
+}
+
+TEST(LakeIndexTest, LoadsLegacyHeaderlessFormat) {
+  // Files written before the versioned header: magic "LAKE", then dim and
+  // the table records, with no backend metadata. They must load as flat.
+  std::string path = testing::TempDir() + "/tsfm_lake_legacy.bin";
+  {
+    std::ofstream out(path, std::ios::binary);
+    uint32_t magic = 0x4c414b45;  // "LAKE"
+    uint64_t dim = 2, num_tables = 2;
+    out.write(reinterpret_cast<const char*>(&magic), sizeof(magic));
+    out.write(reinterpret_cast<const char*>(&dim), sizeof(dim));
+    out.write(reinterpret_cast<const char*>(&num_tables), sizeof(num_tables));
+    const std::vector<std::pair<std::string, std::vector<float>>> tables = {
+        {"alpha", {1, 0}}, {"beta", {0, 1}}};
+    for (const auto& [id, col] : tables) {
+      uint64_t id_len = id.size(), num_cols = 1;
+      out.write(reinterpret_cast<const char*>(&id_len), sizeof(id_len));
+      out.write(id.data(), static_cast<std::streamsize>(id_len));
+      out.write(reinterpret_cast<const char*>(&num_cols), sizeof(num_cols));
+      out.write(reinterpret_cast<const char*>(col.data()),
+                static_cast<std::streamsize>(col.size() * sizeof(float)));
+    }
+  }
+  auto loaded = LakeIndex::Load(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().options().backend, search::IndexBackend::kFlat);
+  EXPECT_EQ(loaded.value().num_tables(), 2u);
+  auto ranked = loaded.value().QueryJoinable({1, 0}, 2);
+  ASSERT_FALSE(ranked.empty());
+  EXPECT_EQ(ranked[0], "alpha");
+  std::remove(path.c_str());
+}
+
+TEST(LakeIndexTest, BatchQueriesMatchSerial) {
+  LakeIndex index = MakeToyIndex();
+  std::vector<std::vector<float>> join_queries = {
+      {1, 0, 0}, {0, 1, 0}, {0, 0, 1}};
+  std::vector<std::vector<std::vector<float>>> union_queries = {
+      {{1, 0, 0}, {0, 1, 0}}, {{0, 0, 1}}};
+  ThreadPool pool(2);
+  auto join_batch = index.QueryJoinableBatch(join_queries, 3, &pool);
+  ASSERT_EQ(join_batch.size(), join_queries.size());
+  for (size_t q = 0; q < join_queries.size(); ++q) {
+    EXPECT_EQ(join_batch[q], index.QueryJoinable(join_queries[q], 3));
+  }
+  auto union_batch = index.QueryUnionableBatch(union_queries, 3, &pool);
+  ASSERT_EQ(union_batch.size(), union_queries.size());
+  for (size_t q = 0; q < union_queries.size(); ++q) {
+    EXPECT_EQ(union_batch[q], index.QueryUnionable(union_queries[q], 3));
+  }
 }
 
 TEST(LakeIndexTest, LoadRejectsGarbage) {

@@ -1,12 +1,16 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <sstream>
 
 #include "lakebench/search_benchmarks.h"
 #include "search/knn_index.h"
 #include "search/metrics.h"
 #include "search/pipeline.h"
 #include "search/table_ranker.h"
+#include "search/vector_index.h"
+#include "util/random.h"
+#include "util/thread_pool.h"
 
 namespace tsfm::search {
 namespace {
@@ -105,6 +109,117 @@ TEST(KnnIndexTest, KLargerThanIndex) {
   EXPECT_EQ(hits.size(), 1u);
 }
 
+TEST(KnnIndexTest, DegenerateQueriesReturnEmpty) {
+  KnnIndex index(2, Metric::kCosine);
+  index.Add(0, {1, 0});
+  EXPECT_TRUE(index.Search({1, 0}, 0).empty());        // k == 0
+  EXPECT_TRUE(index.Search({1, 0, 0}, 3).empty());     // dim mismatch
+  EXPECT_TRUE(index.Search({}, 3).empty());            // empty query
+  KnnIndex empty(2);
+  EXPECT_TRUE(empty.Search({1, 0}, 3).empty());        // empty index
+}
+
+TEST(KnnIndexTest, HeapTopKMatchesFullSortOrder) {
+  Rng rng(9);
+  KnnIndex index(4, Metric::kCosine);
+  for (size_t i = 0; i < 200; ++i) {
+    std::vector<float> v(4);
+    for (auto& x : v) x = static_cast<float>(rng.Normal());
+    index.Add(i, v);
+  }
+  std::vector<float> q = {1, 0, -1, 0.5f};
+  // Retrieving everything gives the reference ranking; the top-k heap must
+  // return its prefix, with deterministic tie order.
+  auto all = index.Search(q, 200);
+  ASSERT_EQ(all.size(), 200u);
+  for (size_t k : {1u, 7u, 50u}) {
+    auto topk = index.Search(q, k);
+    ASSERT_EQ(topk.size(), k);
+    for (size_t i = 0; i < k; ++i) {
+      EXPECT_EQ(topk[i].first, all[i].first);
+      EXPECT_FLOAT_EQ(topk[i].second, all[i].second);
+    }
+  }
+}
+
+// ------------------------------------------------------------ VectorIndex
+
+TEST(VectorIndexTest, FactoryMakesRequestedBackend) {
+  IndexOptions flat;
+  auto flat_index = MakeVectorIndex(3, flat);
+  EXPECT_EQ(flat_index->backend(), IndexBackend::kFlat);
+  EXPECT_EQ(flat_index->dim(), 3u);
+  IndexOptions hnsw;
+  hnsw.backend = IndexBackend::kHnsw;
+  auto hnsw_index = MakeVectorIndex(3, hnsw);
+  EXPECT_EQ(hnsw_index->backend(), IndexBackend::kHnsw);
+  EXPECT_EQ(hnsw_index->metric(), Metric::kCosine);
+}
+
+TEST(VectorIndexTest, SearchBatchMatchesSerialForBothBackends) {
+  Rng rng(13);
+  std::vector<std::vector<float>> corpus, queries;
+  for (size_t i = 0; i < 150; ++i) {
+    std::vector<float> v(8);
+    for (auto& x : v) x = static_cast<float>(rng.Normal());
+    corpus.push_back(v);
+  }
+  for (size_t q = 0; q < 9; ++q) {
+    std::vector<float> v(8);
+    for (auto& x : v) x = static_cast<float>(rng.Normal());
+    queries.push_back(v);
+  }
+  ThreadPool pool(3);
+  for (auto backend : {IndexBackend::kFlat, IndexBackend::kHnsw}) {
+    IndexOptions options;
+    options.backend = backend;
+    auto index = MakeVectorIndex(8, options);
+    for (size_t i = 0; i < corpus.size(); ++i) index->Add(i, corpus[i]);
+    auto parallel = index->SearchBatch(queries, 5, &pool);
+    ASSERT_EQ(parallel.size(), queries.size());
+    for (size_t q = 0; q < queries.size(); ++q) {
+      EXPECT_EQ(parallel[q], index->Search(queries[q], 5));
+    }
+  }
+}
+
+TEST(VectorIndexTest, SaveLoadRoundTripBothBackends) {
+  Rng rng(15);
+  std::vector<std::vector<float>> corpus, queries;
+  for (size_t i = 0; i < 80; ++i) {
+    std::vector<float> v(6);
+    for (auto& x : v) x = static_cast<float>(rng.Normal());
+    corpus.push_back(v);
+  }
+  for (size_t q = 0; q < 5; ++q) {
+    std::vector<float> v(6);
+    for (auto& x : v) x = static_cast<float>(rng.Normal());
+    queries.push_back(v);
+  }
+  for (auto backend : {IndexBackend::kFlat, IndexBackend::kHnsw}) {
+    IndexOptions options;
+    options.backend = backend;
+    auto index = MakeVectorIndex(6, options);
+    for (size_t i = 0; i < corpus.size(); ++i) index->Add(i, corpus[i]);
+
+    std::stringstream stream;
+    ASSERT_TRUE(index->Save(stream).ok());
+    auto loaded = LoadVectorIndex(stream);
+    ASSERT_TRUE(loaded.ok());
+    EXPECT_EQ(loaded.value()->backend(), backend);
+    EXPECT_EQ(loaded.value()->size(), corpus.size());
+    EXPECT_EQ(loaded.value()->dim(), 6u);
+    for (const auto& q : queries) {
+      EXPECT_EQ(loaded.value()->Search(q, 10), index->Search(q, 10));
+    }
+  }
+}
+
+TEST(VectorIndexTest, LoadRejectsGarbageStream) {
+  std::stringstream stream("not an index at all");
+  EXPECT_FALSE(LoadVectorIndex(stream).ok());
+}
+
 // ------------------------------------------------------------ TableRanker
 
 TEST(TableRankerTest, Rank1CountsMatchedColumns) {
@@ -137,6 +252,54 @@ TEST(TableRankerTest, ColumnModeRanksByNearestColumn) {
   EXPECT_EQ(ranked[0], 1u);
 }
 
+TEST(TableRankerTest, BatchRankingMatchesSerial) {
+  Rng rng(21);
+  ColumnEmbeddingIndex index(4);
+  for (size_t t = 0; t < 20; ++t) {
+    std::vector<std::vector<float>> cols(2, std::vector<float>(4));
+    for (auto& col : cols) {
+      for (auto& x : col) x = static_cast<float>(rng.Normal());
+    }
+    index.AddTable(t, cols);
+  }
+  TableRanker ranker(&index);
+  std::vector<std::vector<std::vector<float>>> union_queries;
+  std::vector<std::vector<float>> join_queries;
+  std::vector<size_t> excludes;
+  for (size_t q = 0; q < 6; ++q) {
+    std::vector<std::vector<float>> cols(2, std::vector<float>(4));
+    for (auto& col : cols) {
+      for (auto& x : col) x = static_cast<float>(rng.Normal());
+    }
+    join_queries.push_back(cols[0]);
+    union_queries.push_back(cols);
+    excludes.push_back(q);
+  }
+  ThreadPool pool(3);
+  auto union_batch = ranker.RankTablesBatch(union_queries, 5, excludes, &pool);
+  auto join_batch = ranker.RankTablesByColumnBatch(join_queries, 5, excludes, &pool);
+  ASSERT_EQ(union_batch.size(), 6u);
+  ASSERT_EQ(join_batch.size(), 6u);
+  for (size_t q = 0; q < 6; ++q) {
+    EXPECT_EQ(union_batch[q], ranker.RankTables(union_queries[q], 5, excludes[q]));
+    EXPECT_EQ(join_batch[q],
+              ranker.RankTablesByColumn(join_queries[q], 5, excludes[q]));
+  }
+}
+
+TEST(TableRankerTest, HnswBackedIndexRanksLikeFlatOnSeparatedData) {
+  // Two well-separated clusters: approximate search must agree with exact.
+  IndexOptions options;
+  options.backend = IndexBackend::kHnsw;
+  ColumnEmbeddingIndex index(2, options);
+  index.AddTable(1, {{1, 0}});
+  index.AddTable(2, {{0, 1}});
+  TableRanker ranker(&index);
+  auto ranked = ranker.RankTablesByColumn({0.9f, 0.1f}, 5, SIZE_MAX);
+  ASSERT_EQ(ranked.size(), 2u);
+  EXPECT_EQ(ranked[0], 1u);
+}
+
 // --------------------------------------------------------------- Pipeline
 
 TEST(PipelineTest, PerfectEmbeddingsGivePerfectSearch) {
@@ -163,9 +326,16 @@ TEST(PipelineTest, PerfectEmbeddingsGivePerfectSearch) {
     v[t / 3] = 1.0f;
     return std::vector<std::vector<float>>{v};
   };
-  SearchReport report = EvaluateEmbeddingSearch(bench, embed, 2);
-  EXPECT_DOUBLE_EQ(report.recall_at_k[1], 1.0);
-  EXPECT_DOUBLE_EQ(report.precision_at_k[1], 1.0);
+  // The batch-parallel pipeline must be exact regardless of backend or
+  // fan-out width on this separable corpus.
+  for (auto backend : {IndexBackend::kFlat, IndexBackend::kHnsw}) {
+    SearchRunOptions run;
+    run.index.backend = backend;
+    run.num_threads = 3;
+    SearchReport report = EvaluateEmbeddingSearch(bench, embed, 2, run);
+    EXPECT_DOUBLE_EQ(report.recall_at_k[1], 1.0);
+    EXPECT_DOUBLE_EQ(report.precision_at_k[1], 1.0);
+  }
 }
 
 TEST(PipelineTest, RandomEmbeddingsScoreLow) {
