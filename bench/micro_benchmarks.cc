@@ -14,6 +14,7 @@
 #include "nn/ops.h"
 #include "search/hnsw.h"
 #include "search/knn_index.h"
+#include "search/sharded_lake_index.h"
 #include "search/vector_index.h"
 #include "sketch/minhash.h"
 #include "sketch/table_sketch.h"
@@ -248,6 +249,86 @@ BENCHMARK(BM_AnnBatchSearchParallel)
                    {static_cast<long>(search::IndexBackend::kFlat),
                     static_cast<long>(search::IndexBackend::kHnsw)}})
     ->UseRealTime();  // the work happens on pool threads, not the main one
+
+// ------------------------------------------------------- Sharded lake index
+// Sharded-vs-flat comparison on the full LakeIndex stack: build time and
+// batch query throughput at 1 / 2 / 4 shards over the same corpus. Shard
+// count 1 is the unsharded baseline; flat-backend results are identical at
+// every shard count, so these isolate the scatter/gather overhead and the
+// per-shard build-time win.
+
+struct ShardedLakeFixture {
+  std::vector<std::vector<std::vector<float>>> tables;  // per table: columns
+  std::vector<std::vector<float>> join_queries;
+  std::vector<std::vector<std::vector<float>>> union_queries;
+};
+
+constexpr size_t kLakeDim = 32;
+constexpr size_t kLakeTables = 1000;
+
+const ShardedLakeFixture& GetShardedLakeFixture() {
+  static ShardedLakeFixture* fixture = [] {
+    auto* f = new ShardedLakeFixture();
+    Rng rng(13);
+    auto random_vec = [&] {
+      std::vector<float> v(kLakeDim);
+      for (auto& x : v) x = static_cast<float>(rng.Normal());
+      return v;
+    };
+    f->tables.reserve(kLakeTables);
+    for (size_t t = 0; t < kLakeTables; ++t) {
+      std::vector<std::vector<float>> cols(1 + t % 3);
+      for (auto& col : cols) col = random_vec();
+      f->tables.push_back(std::move(cols));
+    }
+    for (size_t q = 0; q < 32; ++q) {
+      f->join_queries.push_back(random_vec());
+      f->union_queries.push_back({random_vec(), random_vec()});
+    }
+    return f;
+  }();
+  return *fixture;
+}
+
+search::ShardedLakeIndex BuildShardedLake(const ShardedLakeFixture& f,
+                                          size_t shards) {
+  search::ShardedLakeIndex lake(kLakeDim, shards, search::IndexOptions{});
+  for (size_t t = 0; t < f.tables.size(); ++t) {
+    lake.AddTable("table_" + std::to_string(t), f.tables[t]);
+  }
+  return lake;
+}
+
+void BM_ShardedLakeBuild(benchmark::State& state) {
+  const size_t shards = static_cast<size_t>(state.range(0));
+  const ShardedLakeFixture& f = GetShardedLakeFixture();
+  for (auto _ : state) {
+    auto lake = BuildShardedLake(f, shards);
+    benchmark::DoNotOptimize(lake.num_tables());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(f.tables.size()));
+  state.counters["shards"] = static_cast<double>(shards);
+}
+BENCHMARK(BM_ShardedLakeBuild)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_ShardedLakeBatchQuery(benchmark::State& state) {
+  const size_t shards = static_cast<size_t>(state.range(0));
+  const ShardedLakeFixture& f = GetShardedLakeFixture();
+  ThreadPool pool(std::max(1u, std::thread::hardware_concurrency()));
+  auto lake = BuildShardedLake(f, shards);
+  for (auto _ : state) {
+    auto join = lake.QueryJoinableBatch(f.join_queries, 10, &pool);
+    auto join_union = lake.QueryUnionableBatch(f.union_queries, 10, &pool);
+    benchmark::DoNotOptimize(join.data());
+    benchmark::DoNotOptimize(join_union.data());
+  }
+  state.SetItemsProcessed(
+      state.iterations() *
+      static_cast<int64_t>(f.join_queries.size() + f.union_queries.size()));
+  state.counters["shards"] = static_cast<double>(shards);
+}
+BENCHMARK(BM_ShardedLakeBatchQuery)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
 
 void BM_MatMul(benchmark::State& state) {
   const size_t n = static_cast<size_t>(state.range(0));

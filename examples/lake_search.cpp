@@ -1,12 +1,14 @@
 // lake_search: offline/online data discovery over a directory of CSVs —
 // the paper's recommended deployment (Sec V).
 //
-// Offline:  ./build/lake_search index <dir-of-csvs> <index-file> [flat|hnsw]
+// Offline:  ./build/lake_search index <dir-of-csvs> <index-file> [flat|hnsw] [shards]
 // Online:   ./build/lake_search query <index-file> <query.csv> [k]
 //
 // The offline half picks the ANN backend (exact flat scan by default, HNSW
-// for big lakes); the choice is stored in the index file, so the online
-// half reopens it with identical behaviour.
+// for big lakes) and the shard count (1 keeps a single index; N > 1 writes
+// a "LAKS" manifest plus one shard file per shard); both choices are stored
+// on disk, so the online half reopens the index with identical behaviour.
+// Legacy single-file indexes still load as one shard.
 //
 // With no arguments, runs a self-contained demo: synthesizes a small lake
 // in a temp directory, indexes it with both backends, and queries it.
@@ -17,7 +19,7 @@
 #include "core/model.h"
 #include "lakebench/corpus.h"
 #include "lakebench/datagen.h"
-#include "search/lake_index.h"
+#include "search/sharded_lake_index.h"
 #include "table/csv.h"
 
 using namespace tsfm;
@@ -59,7 +61,7 @@ std::vector<std::vector<float>> EmbedTable(const core::Embedder& embedder,
 }
 
 int IndexCommand(const std::string& dir, const std::string& index_path,
-                 search::IndexBackend backend) {
+                 search::IndexBackend backend, size_t shards) {
   text::Vocab vocab = FixedVocab();
   core::TabSketchFMConfig config = FixedConfig(vocab.size());
   Rng rng(1);
@@ -70,9 +72,9 @@ int IndexCommand(const std::string& dir, const std::string& index_path,
 
   search::IndexOptions options;
   options.backend = backend;
-  search::LakeIndex lake(config.encoder.hidden + 2 * config.num_perm +
-                             config.encoder.hidden,
-                         options);
+  search::ShardedLakeIndex lake(config.encoder.hidden + 2 * config.num_perm +
+                                    config.encoder.hidden,
+                                shards, options);
 
   size_t indexed = 0;
   for (const auto& entry : fs::directory_iterator(dir)) {
@@ -92,24 +94,27 @@ int IndexCommand(const std::string& dir, const std::string& index_path,
     std::fprintf(stderr, "save failed: %s\n", status.ToString().c_str());
     return 1;
   }
-  std::printf("indexed %zu tables -> %s (%s backend)\n", indexed,
+  std::printf("indexed %zu tables -> %s (%s backend, %zu shard%s)\n", indexed,
               index_path.c_str(),
-              backend == search::IndexBackend::kHnsw ? "hnsw" : "flat");
+              backend == search::IndexBackend::kHnsw ? "hnsw" : "flat",
+              lake.num_shards(), lake.num_shards() == 1 ? "" : "s");
   return 0;
 }
 
 int QueryCommand(const std::string& index_path, const std::string& csv_path,
                  size_t k) {
-  auto loaded = search::LakeIndex::Load(index_path);
+  auto loaded = search::ShardedLakeIndex::Load(index_path);
   if (!loaded.ok()) {
     std::fprintf(stderr, "load failed: %s\n", loaded.status().ToString().c_str());
     return 1;
   }
-  std::printf("index: %zu tables, dim %zu, %s backend\n",
+  std::printf("index: %zu tables, dim %zu, %s backend, %zu shard%s\n",
               loaded.value().num_tables(), loaded.value().dim(),
               loaded.value().options().backend == search::IndexBackend::kHnsw
                   ? "hnsw"
-                  : "flat");
+                  : "flat",
+              loaded.value().num_shards(),
+              loaded.value().num_shards() == 1 ? "" : "s");
   auto parsed = ReadCsvFile(csv_path);
   if (!parsed.ok()) {
     std::fprintf(stderr, "query read failed: %s\n",
@@ -154,12 +159,15 @@ int Demo() {
   Table query = lakebench::GenerateDomainTable(catalog.domain(0), "query", 24, &rng);
   std::string query_path = (dir / "query.csv").string();
   WriteCsvFile(query, query_path);
-  // Index and query with both ANN backends; results should agree at this
-  // scale while HNSW stays sublinear as the lake grows.
+  // Index and query with both ANN backends, unsharded and sharded; the
+  // flat results are identical across shard counts while HNSW stays
+  // sublinear as the lake grows.
   for (auto backend : {search::IndexBackend::kFlat, search::IndexBackend::kHnsw}) {
-    std::string index_path = (dir / "lake.idx").string();
-    if (IndexCommand(dir.string(), index_path, backend) != 0) return 1;
-    if (int rc = QueryCommand(index_path, query_path, 3); rc != 0) return rc;
+    for (size_t shards : {size_t{1}, size_t{3}}) {
+      std::string index_path = (dir / "lake.idx").string();
+      if (IndexCommand(dir.string(), index_path, backend, shards) != 0) return 1;
+      if (int rc = QueryCommand(index_path, query_path, 3); rc != 0) return rc;
+    }
   }
   return 0;
 }
@@ -172,9 +180,9 @@ int main(int argc, char** argv) {
     return Demo();
   }
   std::string command = argv[1];
-  if (command == "index" && (argc == 4 || argc == 5)) {
+  if (command == "index" && argc >= 4 && argc <= 6) {
     search::IndexBackend backend = search::IndexBackend::kFlat;
-    if (argc == 5) {
+    if (argc >= 5) {
       std::string name = argv[4];
       if (name == "hnsw") {
         backend = search::IndexBackend::kHnsw;
@@ -184,14 +192,15 @@ int main(int argc, char** argv) {
         return 2;
       }
     }
-    return IndexCommand(argv[2], argv[3], backend);
+    size_t shards = argc == 6 ? std::strtoul(argv[5], nullptr, 10) : 1;
+    return IndexCommand(argv[2], argv[3], backend, shards);
   }
   if (command == "query" && (argc == 4 || argc == 5)) {
     size_t k = argc == 5 ? std::strtoul(argv[4], nullptr, 10) : 5;
     return QueryCommand(argv[2], argv[3], k);
   }
   std::fprintf(stderr,
-               "usage: lake_search index <dir> <index-file> [flat|hnsw]\n"
+               "usage: lake_search index <dir> <index-file> [flat|hnsw] [shards]\n"
                "       lake_search query <index-file> <query.csv> [k]\n");
   return 2;
 }

@@ -15,13 +15,21 @@ namespace tsfm::search {
 using io::ReadPod;
 using io::WritePod;
 
-HnswIndex::HnswIndex(size_t dim, HnswOptions options)
-    : dim_(dim), options_(options), level_rng_(options.seed) {}
+HnswIndex::HnswIndex(size_t dim, HnswOptions options, Metric metric)
+    : dim_(dim), options_(options), metric_(metric), level_rng_(options.seed) {}
 
 float HnswIndex::Distance(const float* a, const float* b) const {
+  if (metric_ == Metric::kL2) {
+    double s = 0.0;
+    for (size_t i = 0; i < dim_; ++i) {
+      double d = static_cast<double>(a[i]) - b[i];
+      s += d * d;
+    }
+    return static_cast<float>(std::sqrt(s));
+  }
   float dot = 0.0f;
   for (size_t i = 0; i < dim_; ++i) dot += a[i] * b[i];
-  return 1.0f - dot;  // vectors are unit-norm
+  return 1.0f - dot;  // vectors are unit-norm under cosine
 }
 
 std::vector<std::pair<float, uint32_t>> HnswIndex::SearchLayer(const float* query,
@@ -71,12 +79,16 @@ void HnswIndex::SelectNeighbours(std::vector<std::pair<float, uint32_t>>* candid
 
 void HnswIndex::Add(size_t payload, const std::vector<float>& vec) {
   TSFM_CHECK_EQ(vec.size(), dim_);
-  // Normalize.
-  double norm = 0.0;
-  for (float v : vec) norm += static_cast<double>(v) * v;
-  norm = std::sqrt(norm);
-  const float inv = norm > 1e-12 ? static_cast<float>(1.0 / norm) : 0.0f;
-  for (float v : vec) data_.push_back(v * inv);
+  if (metric_ == Metric::kL2) {
+    data_.insert(data_.end(), vec.begin(), vec.end());
+  } else {
+    // Normalize so inner product equals cosine similarity.
+    double norm = 0.0;
+    for (float v : vec) norm += static_cast<double>(v) * v;
+    norm = std::sqrt(norm);
+    const float inv = norm > 1e-12 ? static_cast<float>(1.0 / norm) : 0.0f;
+    for (float v : vec) data_.push_back(v * inv);
+  }
   payloads_.push_back(payload);
 
   const uint32_t id = static_cast<uint32_t>(nodes_.size());
@@ -140,13 +152,14 @@ void HnswIndex::Add(size_t payload, const std::vector<float>& vec) {
 std::vector<std::pair<size_t, float>> HnswIndex::Search(
     const std::vector<float>& query, size_t k) const {
   if (k == 0 || query.size() != dim_ || nodes_.empty()) return {};
-  // Normalize the query.
   std::vector<float> q = query;
-  double norm = 0.0;
-  for (float v : q) norm += static_cast<double>(v) * v;
-  norm = std::sqrt(norm);
-  if (norm > 1e-12) {
-    for (auto& v : q) v = static_cast<float>(v / norm);
+  if (metric_ != Metric::kL2) {
+    double norm = 0.0;
+    for (float v : q) norm += static_cast<double>(v) * v;
+    norm = std::sqrt(norm);
+    if (norm > 1e-12) {
+      for (auto& v : q) v = static_cast<float>(v / norm);
+    }
   }
 
   uint32_t entry = entry_point_;
@@ -174,6 +187,7 @@ std::vector<std::pair<size_t, float>> HnswIndex::Search(
 
 Status HnswIndex::Save(std::ostream& out) const {
   WritePod(out, kFormatTag);
+  WritePod(out, static_cast<uint32_t>(metric_));
   WritePod(out, static_cast<uint64_t>(options_.m));
   WritePod(out, static_cast<uint64_t>(options_.ef_construction));
   WritePod(out, static_cast<uint64_t>(options_.ef_search));
@@ -197,19 +211,23 @@ Status HnswIndex::Save(std::ostream& out) const {
   return Status::OK();
 }
 
-Result<HnswIndex> HnswIndex::Load(std::istream& in) {
+Result<HnswIndex> HnswIndex::Load(std::istream& in, bool legacy) {
+  uint32_t metric = static_cast<uint32_t>(Metric::kCosine);
   uint64_t m = 0, ef_construction = 0, ef_search = 0, seed = 0;
   uint64_t dim = 0, n = 0;
   int32_t max_level = -1;
   uint32_t entry_point = 0;
+  if (!legacy && !ReadPod(in, &metric)) {
+    return Status::IoError("truncated hnsw header");
+  }
   if (!ReadPod(in, &m) || !ReadPod(in, &ef_construction) ||
       !ReadPod(in, &ef_search) || !ReadPod(in, &seed) || !ReadPod(in, &dim) ||
       !ReadPod(in, &n) || !ReadPod(in, &max_level) ||
       !ReadPod(in, &entry_point)) {
     return Status::IoError("truncated hnsw header");
   }
-  if (dim == 0 || dim > (1u << 20) || m == 0 || m > (1u << 16) ||
-      n > (1ull << 32)) {
+  if (metric > static_cast<uint32_t>(Metric::kL2) || dim == 0 ||
+      dim > (1u << 20) || m == 0 || m > (1u << 16) || n > (1ull << 32)) {
     return Status::ParseError("implausible hnsw header");
   }
   HnswOptions options;
@@ -217,7 +235,7 @@ Result<HnswIndex> HnswIndex::Load(std::istream& in) {
   options.ef_construction = static_cast<size_t>(ef_construction);
   options.ef_search = static_cast<size_t>(ef_search);
   options.seed = seed;
-  HnswIndex index(dim, options);
+  HnswIndex index(dim, options, static_cast<Metric>(metric));
   index.max_level_ = max_level;
   index.entry_point_ = entry_point;
   index.payloads_.resize(n);

@@ -19,29 +19,35 @@
 
 namespace tsfm::search {
 
-/// \brief Approximate kNN over cosine distance (the kHnsw backend).
+/// \brief Approximate kNN over cosine or L2 distance (the kHnsw backend).
 ///
-/// Vectors are L2-normalized on insertion, so inner product equals cosine
-/// similarity and distance = 1 - cos.
+/// Under cosine, vectors are L2-normalized on insertion, so inner product
+/// equals cosine similarity and distance = 1 - cos. Under L2 the vectors
+/// are stored raw and distance is the Euclidean norm, matching KnnIndex so
+/// IndexOptions.metric behaves the same for both backends.
 class HnswIndex : public VectorIndex {
  public:
-  /// Binary stream tag written by Save ("HNSW").
-  static constexpr uint32_t kFormatTag = 0x484e5357;
+  /// Binary stream tag written by Save ("HNS2" — the layout with a metric
+  /// field). Streams tagged kLegacyFormatTag predate the field and load as
+  /// cosine.
+  static constexpr uint32_t kFormatTag = 0x484e5332;
+  /// Tag of pre-metric streams ("HNSW").
+  static constexpr uint32_t kLegacyFormatTag = 0x484e5357;
 
-  HnswIndex(size_t dim, HnswOptions options = {});
+  HnswIndex(size_t dim, HnswOptions options = {}, Metric metric = Metric::kCosine);
 
   /// Inserts a vector with an opaque payload id.
   void Add(size_t payload, const std::vector<float>& vec) override;
 
-  /// Top-k (payload, cosine distance) pairs, nearest first. k == 0 or a
-  /// query of the wrong dimension returns an empty list.
+  /// Top-k (payload, distance) pairs, nearest first. k == 0 or a query of
+  /// the wrong dimension returns an empty list.
   std::vector<std::pair<size_t, float>> Search(const std::vector<float>& query,
                                                size_t k) const override;
 
   size_t size() const override { return payloads_.size(); }
   size_t dim() const override { return dim_; }
   IndexBackend backend() const override { return IndexBackend::kHnsw; }
-  Metric metric() const override { return Metric::kCosine; }
+  Metric metric() const override { return metric_; }
 
   const HnswOptions& options() const { return options_; }
 
@@ -49,10 +55,12 @@ class HnswIndex : public VectorIndex {
   /// loaded index answers queries identically without rebuilding.
   Status Save(std::ostream& out) const override;
 
-  /// Restores an index whose kFormatTag has already been consumed (see
-  /// LoadVectorIndex for the tagged entry point). The level RNG is re-seeded
-  /// from the stored options, so later Adds remain deterministic.
-  static Result<HnswIndex> Load(std::istream& in);
+  /// Restores an index whose format tag has already been consumed (see
+  /// LoadVectorIndex for the tagged entry point). `legacy` selects the
+  /// kLegacyFormatTag layout, which has no metric field and is always
+  /// cosine. The level RNG is re-seeded from the stored options, so later
+  /// Adds remain deterministic.
+  static Result<HnswIndex> Load(std::istream& in, bool legacy = false);
 
  private:
   struct Node {
@@ -76,8 +84,9 @@ class HnswIndex : public VectorIndex {
 
   size_t dim_;
   HnswOptions options_;
+  Metric metric_;
   Rng level_rng_;
-  std::vector<float> data_;       // normalized vectors, row-major
+  std::vector<float> data_;       // row-major; unit-norm under cosine
   std::vector<size_t> payloads_;
   std::vector<Node> nodes_;
   int max_level_ = -1;

@@ -35,13 +35,14 @@ size_t LakeIndex::AddTable(const std::string& table_id,
   return handle;
 }
 
-std::vector<std::string> LakeIndex::RankedIds(const std::vector<size_t>& handles,
-                                              size_t k) const {
+std::vector<std::string> RankedTableIds(const std::vector<std::string>& table_ids,
+                                        const std::vector<size_t>& handles,
+                                        size_t k) {
   std::vector<std::string> out;
   out.reserve(std::min(k, handles.size()));
   for (size_t handle : handles) {
-    out.push_back(table_ids_[handle]);
     if (out.size() >= k) break;
+    out.push_back(table_ids[handle]);
   }
   return out;
 }
@@ -50,14 +51,17 @@ std::vector<std::string> LakeIndex::QueryUnionable(
     const std::vector<std::vector<float>>& query_columns, size_t k) const {
   TableRanker ranker(&index_);
   // SIZE_MAX: external queries are not part of the corpus; exclude nothing.
-  return RankedIds(ranker.RankTables(query_columns, k, /*exclude=*/SIZE_MAX), k);
+  return RankedTableIds(table_ids_,
+                        ranker.RankTables(query_columns, k, /*exclude=*/SIZE_MAX),
+                        k);
 }
 
 std::vector<std::string> LakeIndex::QueryJoinable(
     const std::vector<float>& query_column, size_t k) const {
   TableRanker ranker(&index_);
-  return RankedIds(ranker.RankTablesByColumn(query_column, k, /*exclude=*/SIZE_MAX),
-                   k);
+  return RankedTableIds(
+      table_ids_, ranker.RankTablesByColumn(query_column, k, /*exclude=*/SIZE_MAX),
+      k);
 }
 
 std::vector<std::vector<std::string>> LakeIndex::QueryUnionableBatch(
@@ -66,7 +70,9 @@ std::vector<std::vector<std::string>> LakeIndex::QueryUnionableBatch(
   TableRanker ranker(&index_);
   auto ranked = ranker.RankTablesBatch(queries, k, /*excludes=*/{}, pool);
   std::vector<std::vector<std::string>> out(ranked.size());
-  for (size_t q = 0; q < ranked.size(); ++q) out[q] = RankedIds(ranked[q], k);
+  for (size_t q = 0; q < ranked.size(); ++q) {
+    out[q] = RankedTableIds(table_ids_, ranked[q], k);
+  }
   return out;
 }
 
@@ -77,7 +83,9 @@ std::vector<std::vector<std::string>> LakeIndex::QueryJoinableBatch(
   auto ranked =
       ranker.RankTablesByColumnBatch(query_columns, k, /*excludes=*/{}, pool);
   std::vector<std::vector<std::string>> out(ranked.size());
-  for (size_t q = 0; q < ranked.size(); ++q) out[q] = RankedIds(ranked[q], k);
+  for (size_t q = 0; q < ranked.size(); ++q) {
+    out[q] = RankedTableIds(table_ids_, ranked[q], k);
+  }
   return out;
 }
 

@@ -21,6 +21,13 @@ class ThreadPool;
 
 namespace tsfm::search {
 
+/// Maps ranked table handles to their string ids, truncated to `k`.
+/// Shared by LakeIndex and ShardedLakeIndex so the two query surfaces
+/// cannot drift.
+std::vector<std::string> RankedTableIds(const std::vector<std::string>& table_ids,
+                                        const std::vector<size_t>& handles,
+                                        size_t k);
+
 /// \brief An offline index of column embeddings for a corpus of tables.
 ///
 /// Build once with AddTable (or from an Embedder over sketches), then
@@ -67,10 +74,12 @@ class LakeIndex {
   const IndexOptions& options() const { return index_.options(); }
   const std::string& table_id(size_t handle) const { return table_ids_[handle]; }
 
- private:
-  std::vector<std::string> RankedIds(const std::vector<size_t>& handles,
-                                     size_t k) const;
+  /// The underlying column index, keyed by dense table handles. Exposed so
+  /// ShardedLakeIndex can scatter raw column searches across shards and
+  /// gather them through TableRanker's merge.
+  const ColumnEmbeddingIndex& column_index() const { return index_; }
 
+ private:
   size_t dim_;
   std::vector<std::string> table_ids_;
   std::vector<std::vector<std::vector<float>>> columns_;  // per table

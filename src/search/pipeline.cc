@@ -1,7 +1,9 @@
 #include "search/pipeline.h"
 
+#include <string>
 #include <thread>
 
+#include "search/sharded_lake_index.h"
 #include "util/logging.h"
 #include "util/thread_pool.h"
 
@@ -22,12 +24,6 @@ std::vector<std::vector<size_t>> RunSearch(const lakebench::SearchBenchmark& ben
     }
   }
   TSFM_CHECK_GT(dim, 0u);
-
-  ColumnEmbeddingIndex index(dim, options.index);
-  for (size_t t = 0; t < bench.tables.size(); ++t) {
-    index.AddTable(t, all_columns[t]);
-  }
-  TableRanker ranker(&index);
 
   // Split the query mix into join (single-column) and union/subset
   // (multi-column) batches, answer each batch in parallel, then stitch the
@@ -57,13 +53,31 @@ std::vector<std::vector<size_t>> RunSearch(const lakebench::SearchBenchmark& ben
   ThreadPool pool(threads);
 
   std::vector<std::vector<size_t>> ranked(bench.queries.size());
-  auto join_ranked = ranker.RankTablesByColumnBatch(join_queries, k,
-                                                    join_excludes, &pool);
+  std::vector<std::vector<size_t>> join_ranked, union_ranked;
+  if (options.shards > 1) {
+    // Sharded path: table handles are assigned in insertion order, so the
+    // global handle of table t is t and the exclude ids carry over.
+    ShardedLakeIndex lake(dim, options.shards, options.index);
+    for (size_t t = 0; t < bench.tables.size(); ++t) {
+      lake.AddTable(std::to_string(t), all_columns[t]);
+    }
+    join_ranked = lake.RankJoinableBatch(join_queries, k, join_excludes, &pool);
+    union_ranked = lake.RankUnionableBatch(union_queries, k, union_excludes,
+                                           &pool);
+  } else {
+    ColumnEmbeddingIndex index(dim, options.index);
+    for (size_t t = 0; t < bench.tables.size(); ++t) {
+      index.AddTable(t, all_columns[t]);
+    }
+    TableRanker ranker(&index);
+    join_ranked = ranker.RankTablesByColumnBatch(join_queries, k, join_excludes,
+                                                 &pool);
+    union_ranked = ranker.RankTablesBatch(union_queries, k, union_excludes,
+                                          &pool);
+  }
   for (size_t i = 0; i < join_slots.size(); ++i) {
     ranked[join_slots[i]] = std::move(join_ranked[i]);
   }
-  auto union_ranked = ranker.RankTablesBatch(union_queries, k, union_excludes,
-                                             &pool);
   for (size_t i = 0; i < union_slots.size(); ++i) {
     ranked[union_slots[i]] = std::move(union_ranked[i]);
   }

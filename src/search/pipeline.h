@@ -21,6 +21,10 @@ using ColumnEmbedFn =
 struct SearchRunOptions {
   IndexOptions index;      ///< ANN backend for the column index
   size_t num_threads = 0;  ///< query fan-out width; 0 = hardware concurrency
+  /// Shard count for the column index. 1 (the default) keeps the single
+  /// unsharded index; > 1 routes the corpus through ShardedLakeIndex with
+  /// scatter/gather ranking. Flat-backend results are identical either way.
+  size_t shards = 1;
 };
 
 /// \brief Runs a full search evaluation for one embedding method.

@@ -1,0 +1,365 @@
+#include "search/sharded_lake_index.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <optional>
+
+#include "search/stream_io.h"
+#include "search/table_ranker.h"
+#include "util/hash.h"
+#include "util/logging.h"
+#include "util/thread_pool.h"
+
+namespace tsfm::search {
+
+using io::ReadPod;
+using io::WritePod;
+
+namespace {
+
+constexpr uint32_t kManifestMagic = 0x4c414b53;  // "LAKS"
+constexpr uint32_t kManifestVersion = 1;
+constexpr uint64_t kMaxShards = 1u << 16;
+
+std::string ShardFileName(const std::string& manifest_basename, size_t shard) {
+  return manifest_basename + ".shard-" + std::to_string(shard);
+}
+
+}  // namespace
+
+ShardedLakeIndex::ShardedLakeIndex(size_t dim, size_t num_shards,
+                                   const IndexOptions& options)
+    : dim_(dim), options_(options) {
+  num_shards = std::max<size_t>(1, num_shards);
+  shards_.reserve(num_shards);
+  to_global_.resize(num_shards);
+  for (size_t s = 0; s < num_shards; ++s) shards_.emplace_back(dim, options);
+}
+
+ShardedLakeIndex::ShardedLakeIndex(size_t dim, const IndexOptions& options)
+    : dim_(dim), options_(options) {}
+
+ShardedLakeIndex ShardedLakeIndex::FromSingle(LakeIndex&& shard) {
+  ShardedLakeIndex index(shard.dim(), shard.options());
+  index.shards_.push_back(std::move(shard));
+  index.to_global_.resize(1);
+  index.IndexShardTables(0);
+  return index;
+}
+
+void ShardedLakeIndex::IndexShardTables(size_t s) {
+  const LakeIndex& shard = shards_[s];
+  for (size_t local = to_global_[s].size(); local < shard.num_tables(); ++local) {
+    size_t handle = global_ids_.size();
+    global_ids_.push_back(shard.table_id(local));
+    locator_.emplace_back(s, local);
+    to_global_[s].push_back(handle);
+  }
+}
+
+size_t ShardedLakeIndex::shard_of(const std::string& table_id) const {
+  return StableShard(table_id, shards_.size());
+}
+
+size_t ShardedLakeIndex::AddTable(
+    const std::string& table_id,
+    const std::vector<std::vector<float>>& column_embeddings) {
+  const size_t s = shard_of(table_id);
+  const size_t local = shards_[s].AddTable(table_id, column_embeddings);
+  const size_t handle = global_ids_.size();
+  global_ids_.push_back(table_id);
+  locator_.emplace_back(s, local);
+  TSFM_CHECK_EQ(to_global_[s].size(), local);
+  to_global_[s].push_back(handle);
+  return handle;
+}
+
+std::vector<ColumnEmbeddingIndex::ColumnHit> ShardedLakeIndex::GatherColumnHits(
+    const std::vector<float>& query, size_t m, ThreadPool* pool) const {
+  std::vector<std::vector<ColumnEmbeddingIndex::ColumnHit>> per_shard(
+      shards_.size());
+  auto search_shard = [&](size_t s) {
+    auto hits = shards_[s].column_index().SearchColumns(query, m);
+    // Remap shard-local table handles to global handles. Local handles are
+    // assigned in insertion order, so the remap is monotone and each list
+    // stays sorted by (distance, table, column).
+    for (auto& hit : hits) hit.table_id = to_global_[s][hit.table_id];
+    per_shard[s] = std::move(hits);
+  };
+  if (pool != nullptr && shards_.size() > 1) {
+    ParallelFor(pool, 0, shards_.size(), search_shard);
+  } else {
+    for (size_t s = 0; s < shards_.size(); ++s) search_shard(s);
+  }
+  return TableRanker::MergeColumnHits(per_shard, m);
+}
+
+std::vector<size_t> ShardedLakeIndex::RankUnionable(
+    const std::vector<std::vector<float>>& query_columns, size_t k,
+    size_t exclude, ThreadPool* pool) const {
+  std::vector<std::vector<ColumnEmbeddingIndex::ColumnHit>> per_column_hits;
+  per_column_hits.reserve(query_columns.size());
+  for (const auto& qcol : query_columns) {
+    per_column_hits.push_back(GatherColumnHits(qcol, k * 3, pool));
+  }
+  return TableRanker::RankFromColumnHits(per_column_hits, exclude);
+}
+
+std::vector<size_t> ShardedLakeIndex::RankJoinable(
+    const std::vector<float>& query_column, size_t k, size_t exclude,
+    ThreadPool* pool) const {
+  return TableRanker::RankFromSingleColumnHits(
+      GatherColumnHits(query_column, k * 3, pool), exclude);
+}
+
+std::vector<std::vector<size_t>> ShardedLakeIndex::RankUnionableBatch(
+    const std::vector<std::vector<std::vector<float>>>& queries, size_t k,
+    const std::vector<size_t>& excludes, ThreadPool* pool) const {
+  std::vector<std::vector<size_t>> results(queries.size());
+  auto exclude_of = [&](size_t q) {
+    return q < excludes.size() ? excludes[q] : SIZE_MAX;
+  };
+  if (pool != nullptr && queries.size() > 1) {
+    // Fan out over queries; the per-query scatter stays serial because
+    // ParallelFor must not nest on one pool.
+    ParallelFor(pool, 0, queries.size(), [&](size_t q) {
+      results[q] = RankUnionable(queries[q], k, exclude_of(q), nullptr);
+    });
+  } else {
+    for (size_t q = 0; q < queries.size(); ++q) {
+      results[q] = RankUnionable(queries[q], k, exclude_of(q), pool);
+    }
+  }
+  return results;
+}
+
+std::vector<std::vector<size_t>> ShardedLakeIndex::RankJoinableBatch(
+    const std::vector<std::vector<float>>& query_columns, size_t k,
+    const std::vector<size_t>& excludes, ThreadPool* pool) const {
+  std::vector<std::vector<size_t>> results(query_columns.size());
+  auto exclude_of = [&](size_t q) {
+    return q < excludes.size() ? excludes[q] : SIZE_MAX;
+  };
+  if (pool != nullptr && query_columns.size() > 1) {
+    ParallelFor(pool, 0, query_columns.size(), [&](size_t q) {
+      results[q] = RankJoinable(query_columns[q], k, exclude_of(q), nullptr);
+    });
+  } else {
+    for (size_t q = 0; q < query_columns.size(); ++q) {
+      results[q] = RankJoinable(query_columns[q], k, exclude_of(q), pool);
+    }
+  }
+  return results;
+}
+
+std::vector<std::string> ShardedLakeIndex::QueryUnionable(
+    const std::vector<std::vector<float>>& query_columns, size_t k,
+    ThreadPool* pool) const {
+  return RankedTableIds(
+      global_ids_, RankUnionable(query_columns, k, /*exclude=*/SIZE_MAX, pool), k);
+}
+
+std::vector<std::string> ShardedLakeIndex::QueryJoinable(
+    const std::vector<float>& query_column, size_t k, ThreadPool* pool) const {
+  return RankedTableIds(
+      global_ids_, RankJoinable(query_column, k, /*exclude=*/SIZE_MAX, pool), k);
+}
+
+std::vector<std::vector<std::string>> ShardedLakeIndex::QueryUnionableBatch(
+    const std::vector<std::vector<std::vector<float>>>& queries, size_t k,
+    ThreadPool* pool) const {
+  auto ranked = RankUnionableBatch(queries, k, /*excludes=*/{}, pool);
+  std::vector<std::vector<std::string>> out(ranked.size());
+  for (size_t q = 0; q < ranked.size(); ++q) {
+    out[q] = RankedTableIds(global_ids_, ranked[q], k);
+  }
+  return out;
+}
+
+std::vector<std::vector<std::string>> ShardedLakeIndex::QueryJoinableBatch(
+    const std::vector<std::vector<float>>& query_columns, size_t k,
+    ThreadPool* pool) const {
+  auto ranked = RankJoinableBatch(query_columns, k, /*excludes=*/{}, pool);
+  std::vector<std::vector<std::string>> out(ranked.size());
+  for (size_t q = 0; q < ranked.size(); ++q) {
+    out[q] = RankedTableIds(global_ids_, ranked[q], k);
+  }
+  return out;
+}
+
+Status ShardedLakeIndex::Save(const std::string& path, ThreadPool* pool) const {
+  namespace fs = std::filesystem;
+  const fs::path manifest_path(path);
+  const std::string basename = manifest_path.filename().string();
+  const fs::path dir = manifest_path.parent_path();
+
+  // Shard files first, in parallel: each one is an independent LakeIndex
+  // ("LAK2") image, so a crash mid-save never leaves a manifest pointing at
+  // files that were not yet written.
+  std::vector<Status> statuses(shards_.size());
+  auto save_shard = [&](size_t s) {
+    statuses[s] = shards_[s].Save((dir / ShardFileName(basename, s)).string());
+  };
+  if (pool != nullptr && shards_.size() > 1) {
+    ParallelFor(pool, 0, shards_.size(), save_shard);
+  } else {
+    for (size_t s = 0; s < shards_.size(); ++s) save_shard(s);
+  }
+  for (const Status& status : statuses) {
+    if (!status.ok()) return status;
+  }
+
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  WritePod(out, kManifestMagic);
+  WritePod(out, kManifestVersion);
+  WritePod(out, static_cast<uint32_t>(options_.backend));
+  WritePod(out, static_cast<uint32_t>(options_.metric));
+  WritePod(out, static_cast<uint64_t>(dim_));
+  WritePod(out, static_cast<uint64_t>(shards_.size()));
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    const std::string name = ShardFileName(basename, s);
+    WritePod(out, static_cast<uint64_t>(name.size()));
+    out.write(name.data(), static_cast<std::streamsize>(name.size()));
+  }
+  // Global handle space: (shard, local) per handle in insertion order, so
+  // handles assigned by AddTable stay valid across a save/load round trip.
+  WritePod(out, static_cast<uint64_t>(locator_.size()));
+  for (const auto& [shard, local] : locator_) {
+    WritePod(out, static_cast<uint32_t>(shard));
+    WritePod(out, static_cast<uint64_t>(local));
+  }
+  if (!out) return Status::IoError("write failed for " + path);
+  return Status::OK();
+}
+
+Result<ShardedLakeIndex> ShardedLakeIndex::Load(const std::string& path,
+                                                ThreadPool* pool) {
+  namespace fs = std::filesystem;
+  uint32_t magic = 0;
+  {
+    std::ifstream probe(path, std::ios::binary);
+    if (!probe) return Status::IoError("cannot open " + path);
+    if (!ReadPod(probe, &magic)) {
+      return Status::IoError("truncated lake manifest " + path);
+    }
+  }
+  if (magic != kManifestMagic) {
+    // Legacy single-file formats ("LAK2" / "LAKE"): wrap as one shard.
+    auto single = LakeIndex::Load(path);
+    if (!single.ok()) return single.status();
+    return FromSingle(std::move(single).value());
+  }
+
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open " + path);
+  uint32_t version = 0, backend = 0, metric = 0;
+  uint64_t dim = 0, num_shards = 0;
+  ReadPod(in, &magic);
+  if (!ReadPod(in, &version) || !ReadPod(in, &backend) ||
+      !ReadPod(in, &metric) || !ReadPod(in, &dim) || !ReadPod(in, &num_shards)) {
+    return Status::IoError("truncated lake manifest " + path);
+  }
+  if (version > kManifestVersion) {
+    return Status::ParseError("lake manifest " + path +
+                              " written by a newer format version");
+  }
+  if (backend > static_cast<uint32_t>(IndexBackend::kHnsw) ||
+      metric > static_cast<uint32_t>(Metric::kL2)) {
+    return Status::ParseError("bad lake-manifest backend/metric in " + path);
+  }
+  if (dim == 0 || dim > (1u << 20) || num_shards == 0 ||
+      num_shards > kMaxShards) {
+    return Status::ParseError("implausible lake manifest " + path);
+  }
+  std::vector<std::string> shard_files(num_shards);
+  for (auto& name : shard_files) {
+    uint64_t len = 0;
+    if (!ReadPod(in, &len) || len > (1u << 16)) {
+      return Status::IoError("truncated lake manifest " + path);
+    }
+    name.resize(len);
+    in.read(name.data(), static_cast<std::streamsize>(len));
+    if (!in) return Status::IoError("truncated lake manifest " + path);
+  }
+  uint64_t num_tables = 0;
+  if (!ReadPod(in, &num_tables) || num_tables > (1ull << 32)) {
+    return Status::IoError("truncated lake manifest " + path);
+  }
+  std::vector<std::pair<uint32_t, uint64_t>> locator(num_tables);
+  for (auto& [shard, local] : locator) {
+    if (!ReadPod(in, &shard) || !ReadPod(in, &local)) {
+      return Status::IoError("truncated lake manifest " + path);
+    }
+    if (shard >= num_shards) {
+      return Status::ParseError("lake manifest " + path +
+                                " routes a table to a nonexistent shard");
+    }
+  }
+
+  // Load the shard files in parallel; each is a self-contained LakeIndex.
+  const fs::path dir = fs::path(path).parent_path();
+  std::vector<std::optional<Result<LakeIndex>>> loaded(num_shards);
+  auto load_shard = [&](size_t s) {
+    loaded[s] = LakeIndex::Load((dir / shard_files[s]).string());
+  };
+  if (pool != nullptr && num_shards > 1) {
+    ParallelFor(pool, 0, num_shards, load_shard);
+  } else {
+    for (size_t s = 0; s < num_shards; ++s) load_shard(s);
+  }
+
+  IndexOptions options;
+  options.backend = static_cast<IndexBackend>(backend);
+  options.metric = static_cast<Metric>(metric);
+  ShardedLakeIndex index(static_cast<size_t>(dim), options);
+  index.shards_.reserve(num_shards);
+  uint64_t total_shard_tables = 0;
+  for (size_t s = 0; s < num_shards; ++s) {
+    if (!loaded[s]->ok()) return loaded[s]->status();
+    LakeIndex shard = std::move(*loaded[s]).value();
+    if (shard.dim() != dim) {
+      return Status::ParseError("shard " + shard_files[s] +
+                                " dim disagrees with manifest " + path);
+    }
+    if (shard.options().backend != options.backend ||
+        shard.options().metric != options.metric) {
+      return Status::ParseError("shard " + shard_files[s] +
+                                " backend/metric disagrees with manifest " +
+                                path);
+    }
+    total_shard_tables += shard.num_tables();
+    index.shards_.push_back(std::move(shard));
+  }
+  // Rebuild the global handle space in its original insertion order from
+  // the manifest's locator records; every shard table must be claimed by
+  // exactly one record.
+  if (total_shard_tables != num_tables) {
+    return Status::ParseError("lake manifest " + path +
+                              " table count disagrees with shard files");
+  }
+  index.to_global_.resize(num_shards);
+  for (size_t s = 0; s < num_shards; ++s) {
+    index.to_global_[s].assign(index.shards_[s].num_tables(), SIZE_MAX);
+  }
+  index.global_ids_.reserve(num_tables);
+  index.locator_.reserve(num_tables);
+  for (const auto& [shard, local] : locator) {
+    if (local >= index.to_global_[shard].size() ||
+        index.to_global_[shard][local] != SIZE_MAX) {
+      return Status::ParseError("lake manifest " + path +
+                                " has an invalid or duplicate table record");
+    }
+    index.to_global_[shard][local] = index.global_ids_.size();
+    index.global_ids_.push_back(index.shards_[shard].table_id(local));
+    index.locator_.emplace_back(shard, local);
+  }
+  // The shard files carry the HNSW knobs; mirror shard 0's so options()
+  // reports what the shards actually use.
+  index.options_.hnsw = index.shards_[0].options().hnsw;
+  return index;
+}
+
+}  // namespace tsfm::search

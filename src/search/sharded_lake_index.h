@@ -1,0 +1,158 @@
+// Sharded data-lake index: the LakeIndex deployment partitioned across N
+// shards so one lake can exceed a single machine's memory and build time
+// (paper Sec V scaled out; ROADMAP "Sharded LakeIndex").
+//
+// Tables are routed to shards by a stable hash of their string id
+// (util/hash.h StableShard), so every column of a table lives in exactly
+// one shard and the assignment survives rebuilds. Each shard owns its own
+// VectorIndex (flat or HNSW via IndexOptions). Queries scatter over all
+// shards — on a ThreadPool when one is given — and the per-shard sorted
+// candidate lists are gathered with TableRanker::MergeColumnHits (a k-way
+// heap merge) before the usual Fig 6 ranking, which makes the flat-backend
+// results bit-identical to an unsharded LakeIndex over the same corpus.
+//
+// On disk the index is a "LAKS" manifest (shard count, backend, metric,
+// dim, per-shard file names) next to one "LAK2" LakeIndex file per shard;
+// Save and Load handle the shard files in parallel. Legacy single-file
+// "LAK2"/"LAKE" indexes load as a 1-shard index, so existing callers can
+// switch over behind a --shards knob without a migration.
+#ifndef TSFM_SEARCH_SHARDED_LAKE_INDEX_H_
+#define TSFM_SEARCH_SHARDED_LAKE_INDEX_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "search/lake_index.h"
+#include "util/status.h"
+
+namespace tsfm {
+class ThreadPool;
+}  // namespace tsfm
+
+namespace tsfm::search {
+
+/// \brief A LakeIndex partitioned across shards with scatter/gather ranking.
+///
+/// Mirrors the LakeIndex query API (string table ids in, ranked ids out)
+/// and adds handle-level Rank* entry points with an exclude id for
+/// benchmark drivers. All query methods are const-thread-safe; AddTable
+/// must not overlap queries. The optional ThreadPool fans work out over
+/// shards (single queries) or over queries (batch entry points); results
+/// are identical to the serial path.
+///
+/// Like LakeIndex, each shard retains its raw column embeddings so Save
+/// can write self-contained shard files; a query-only deployment pays
+/// that memory twice (once in the shard, once in its VectorIndex).
+class ShardedLakeIndex {
+ public:
+  /// Creates an empty index of `num_shards` shards (clamped to >= 1), each
+  /// owning a VectorIndex configured by `options`.
+  ShardedLakeIndex(size_t dim, size_t num_shards, const IndexOptions& options = {});
+
+  /// Routes the table to its shard by stable hash of `table_id` and
+  /// registers its column embeddings. Returns the table's global handle
+  /// (dense, in insertion order).
+  size_t AddTable(const std::string& table_id,
+                  const std::vector<std::vector<float>>& column_embeddings);
+
+  /// Ranked table ids for a union/subset query (Fig 6 multi-column rank).
+  std::vector<std::string> QueryUnionable(
+      const std::vector<std::vector<float>>& query_columns, size_t k,
+      ThreadPool* pool = nullptr) const;
+
+  /// Ranked table ids for a join query on a single column.
+  std::vector<std::string> QueryJoinable(const std::vector<float>& query_column,
+                                         size_t k,
+                                         ThreadPool* pool = nullptr) const;
+
+  /// One QueryUnionable result per query; queries fan out over `pool`.
+  std::vector<std::vector<std::string>> QueryUnionableBatch(
+      const std::vector<std::vector<std::vector<float>>>& queries, size_t k,
+      ThreadPool* pool = nullptr) const;
+
+  /// One QueryJoinable result per query column; queries fan out over `pool`.
+  std::vector<std::vector<std::string>> QueryJoinableBatch(
+      const std::vector<std::vector<float>>& query_columns, size_t k,
+      ThreadPool* pool = nullptr) const;
+
+  /// \brief Handle-level union/subset ranking with an exclude handle.
+  ///
+  /// Returns global table handles instead of ids and drops `exclude`
+  /// (SIZE_MAX excludes nothing) — the entry point RunSearch uses, where
+  /// the query table itself is part of the corpus.
+  std::vector<size_t> RankUnionable(
+      const std::vector<std::vector<float>>& query_columns, size_t k,
+      size_t exclude, ThreadPool* pool = nullptr) const;
+
+  /// Handle-level join ranking with an exclude handle.
+  std::vector<size_t> RankJoinable(const std::vector<float>& query_column,
+                                   size_t k, size_t exclude,
+                                   ThreadPool* pool = nullptr) const;
+
+  /// Batch RankUnionable; `excludes` pairs with `queries` (empty = none).
+  std::vector<std::vector<size_t>> RankUnionableBatch(
+      const std::vector<std::vector<std::vector<float>>>& queries, size_t k,
+      const std::vector<size_t>& excludes, ThreadPool* pool = nullptr) const;
+
+  /// Batch RankJoinable; `excludes` pairs with `query_columns`.
+  std::vector<std::vector<size_t>> RankJoinableBatch(
+      const std::vector<std::vector<float>>& query_columns, size_t k,
+      const std::vector<size_t>& excludes, ThreadPool* pool = nullptr) const;
+
+  /// \brief Persists the index as a "LAKS" manifest plus one shard file.
+  ///
+  /// `path` names the manifest; shard s is written next to it as
+  /// "<basename>.shard-<s>" and recorded in the manifest by that relative
+  /// name. Shard files are written in parallel over `pool` when given.
+  Status Save(const std::string& path, ThreadPool* pool = nullptr) const;
+
+  /// \brief Loads an index written by Save, shards in parallel over `pool`.
+  ///
+  /// The manifest records the global handle space, so handles assigned by
+  /// AddTable before Save stay valid after Load. A missing shard file, a
+  /// truncated manifest, or metadata that contradicts the shard files
+  /// yields an error Status. A legacy single-file "LAK2"/"LAKE" index
+  /// loads as a 1-shard index.
+  static Result<ShardedLakeIndex> Load(const std::string& path,
+                                       ThreadPool* pool = nullptr);
+
+  size_t num_shards() const { return shards_.size(); }
+  size_t num_tables() const { return global_ids_.size(); }
+  size_t dim() const { return dim_; }
+  const IndexOptions& options() const { return options_; }
+  const std::string& table_id(size_t handle) const { return global_ids_[handle]; }
+
+  /// The shard `table_id` routes to (stable across rebuilds and processes).
+  size_t shard_of(const std::string& table_id) const;
+
+  /// Number of tables resident in shard `s`.
+  size_t shard_size(size_t s) const { return shards_[s].num_tables(); }
+
+ private:
+  explicit ShardedLakeIndex(size_t dim, const IndexOptions& options);
+
+  /// Wraps an already-built single LakeIndex as a 1-shard index (legacy
+  /// file formats).
+  static ShardedLakeIndex FromSingle(LakeIndex&& shard);
+
+  /// Registers every table of shard `s` in the global handle maps, in the
+  /// shard's insertion order.
+  void IndexShardTables(size_t s);
+
+  /// Scatters one column search over all shards, remaps shard-local table
+  /// handles to global handles, and gathers the global top-`m` hits.
+  std::vector<ColumnEmbeddingIndex::ColumnHit> GatherColumnHits(
+      const std::vector<float>& query, size_t m, ThreadPool* pool) const;
+
+  size_t dim_;
+  IndexOptions options_;
+  std::vector<LakeIndex> shards_;
+  std::vector<std::string> global_ids_;                // handle -> id
+  std::vector<std::pair<size_t, size_t>> locator_;     // handle -> (shard, local)
+  std::vector<std::vector<size_t>> to_global_;         // shard -> local -> handle
+};
+
+}  // namespace tsfm::search
+
+#endif  // TSFM_SEARCH_SHARDED_LAKE_INDEX_H_

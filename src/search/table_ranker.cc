@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <queue>
+#include <tuple>
 #include <unordered_map>
 
 #include "util/thread_pool.h"
@@ -44,9 +46,39 @@ ColumnEmbeddingIndex::SearchColumnsBatch(const std::vector<std::vector<float>>& 
   return results;
 }
 
-std::vector<size_t> TableRanker::RankTables(
-    const std::vector<std::vector<float>>& query_columns, size_t k,
-    size_t exclude) const {
+std::vector<ColumnEmbeddingIndex::ColumnHit> TableRanker::MergeColumnHits(
+    const std::vector<std::vector<ColumnEmbeddingIndex::ColumnHit>>& lists,
+    size_t k) {
+  // Min-heap over the head of each list, keyed the same way the flat scan
+  // breaks ties: (distance, table, column). Popping k times yields the
+  // global top-k exactly as if the lists had been concatenated and sorted.
+  using Head = std::tuple<float, size_t, size_t, size_t>;  // key..., list index
+  std::priority_queue<Head, std::vector<Head>, std::greater<>> heap;
+  std::vector<size_t> pos(lists.size(), 0);
+  for (size_t l = 0; l < lists.size(); ++l) {
+    if (!lists[l].empty()) {
+      const auto& h = lists[l][0];
+      heap.emplace(h.distance, h.table_id, h.column_index, l);
+    }
+  }
+  std::vector<ColumnEmbeddingIndex::ColumnHit> merged;
+  merged.reserve(k);
+  while (merged.size() < k && !heap.empty()) {
+    const size_t l = std::get<3>(heap.top());
+    heap.pop();
+    merged.push_back(lists[l][pos[l]]);
+    if (++pos[l] < lists[l].size()) {
+      const auto& h = lists[l][pos[l]];
+      heap.emplace(h.distance, h.table_id, h.column_index, l);
+    }
+  }
+  return merged;
+}
+
+std::vector<size_t> TableRanker::RankFromColumnHits(
+    const std::vector<std::vector<ColumnEmbeddingIndex::ColumnHit>>&
+        per_column_hits,
+    size_t exclude) {
   // Per candidate table: number of distinct query columns matched and the
   // sum of their min distances (RANK1 / RANK2).
   struct Candidate {
@@ -55,10 +87,10 @@ std::vector<size_t> TableRanker::RankTables(
   };
   std::unordered_map<size_t, Candidate> candidates;
 
-  for (const auto& qcol : query_columns) {
+  for (const auto& hits : per_column_hits) {
     // COLUMNNEARTABLES: min distance per table among this column's hits.
     std::unordered_map<size_t, float> near_tables;
-    for (const auto& hit : index_->SearchColumns(qcol, k * 3)) {
+    for (const auto& hit : hits) {
       if (hit.table_id == exclude) continue;
       auto it = near_tables.find(hit.table_id);
       if (it == near_tables.end() || hit.distance < it->second) {
@@ -90,10 +122,10 @@ std::vector<size_t> TableRanker::RankTables(
   return ranked;
 }
 
-std::vector<size_t> TableRanker::RankTablesByColumn(
-    const std::vector<float>& query_column, size_t k, size_t exclude) const {
+std::vector<size_t> TableRanker::RankFromSingleColumnHits(
+    const std::vector<ColumnEmbeddingIndex::ColumnHit>& hits, size_t exclude) {
   std::unordered_map<size_t, float> near_tables;
-  for (const auto& hit : index_->SearchColumns(query_column, k * 3)) {
+  for (const auto& hit : hits) {
     if (hit.table_id == exclude) continue;
     auto it = near_tables.find(hit.table_id);
     if (it == near_tables.end() || hit.distance < it->second) {
@@ -109,6 +141,23 @@ std::vector<size_t> TableRanker::RankTablesByColumn(
   ranked.reserve(order.size());
   for (const auto& [table, dist] : order) ranked.push_back(table);
   return ranked;
+}
+
+std::vector<size_t> TableRanker::RankTables(
+    const std::vector<std::vector<float>>& query_columns, size_t k,
+    size_t exclude) const {
+  std::vector<std::vector<ColumnEmbeddingIndex::ColumnHit>> per_column_hits;
+  per_column_hits.reserve(query_columns.size());
+  for (const auto& qcol : query_columns) {
+    per_column_hits.push_back(index_->SearchColumns(qcol, k * 3));
+  }
+  return RankFromColumnHits(per_column_hits, exclude);
+}
+
+std::vector<size_t> TableRanker::RankTablesByColumn(
+    const std::vector<float>& query_column, size_t k, size_t exclude) const {
+  return RankFromSingleColumnHits(index_->SearchColumns(query_column, k * 3),
+                                  exclude);
 }
 
 std::vector<std::vector<size_t>> TableRanker::RankTablesBatch(

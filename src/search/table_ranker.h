@@ -55,9 +55,43 @@ class ColumnEmbeddingIndex {
 };
 
 /// \brief Fig 6 ranking of corpus tables for a query table.
+///
+/// The instance methods search one ColumnEmbeddingIndex and rank; the
+/// static methods expose the two halves separately — a k-way merge of
+/// pre-sorted per-shard hit lists and the RANK1/RANK2 aggregation over hit
+/// lists — so ShardedLakeIndex can scatter the search across shards and
+/// gather through the exact same ranking code.
 class TableRanker {
  public:
   explicit TableRanker(const ColumnEmbeddingIndex* index) : index_(index) {}
+
+  /// \brief K-way heap merge of sorted candidate lists into the global top-k.
+  ///
+  /// Each input list must be sorted ascending by (distance, table_id,
+  /// column_index) — the order SearchColumns produces. The result equals
+  /// sorting the concatenation of all lists by that key and truncating to
+  /// `k`, and is invariant to the order of the input lists as long as no
+  /// (table_id, column_index) pair appears twice (shards partition columns,
+  /// so per-shard lists never collide).
+  static std::vector<ColumnEmbeddingIndex::ColumnHit> MergeColumnHits(
+      const std::vector<std::vector<ColumnEmbeddingIndex::ColumnHit>>& lists,
+      size_t k);
+
+  /// \brief Fig 6 RANK1/RANK2 aggregation over per-query-column hit lists.
+  ///
+  /// `per_column_hits[c]` holds the candidate columns retrieved for query
+  /// column c (COLUMNNEARTABLES input). Tables are ranked by number of
+  /// matched query columns (descending), then by summed min distance
+  /// (ascending), then by table id. `exclude` is dropped.
+  static std::vector<size_t> RankFromColumnHits(
+      const std::vector<std::vector<ColumnEmbeddingIndex::ColumnHit>>&
+          per_column_hits,
+      size_t exclude);
+
+  /// Join variant of RankFromColumnHits: tables ranked by their closest
+  /// column among `hits`, ties broken by table id.
+  static std::vector<size_t> RankFromSingleColumnHits(
+      const std::vector<ColumnEmbeddingIndex::ColumnHit>& hits, size_t exclude);
 
   /// Ranks corpus tables for a query represented by its column embeddings.
   /// `k` is the target result count; each column over-retrieves k*3

@@ -26,7 +26,7 @@ std::vector<std::vector<std::pair<size_t, float>>> VectorIndex::SearchBatch(
 std::unique_ptr<VectorIndex> MakeVectorIndex(size_t dim,
                                              const IndexOptions& options) {
   if (options.backend == IndexBackend::kHnsw) {
-    return std::make_unique<HnswIndex>(dim, options.hnsw);
+    return std::make_unique<HnswIndex>(dim, options.hnsw, options.metric);
   }
   return std::make_unique<KnnIndex>(dim, options.metric);
 }
@@ -41,8 +41,9 @@ Result<std::unique_ptr<VectorIndex>> LoadVectorIndex(std::istream& in) {
     return std::unique_ptr<VectorIndex>(
         std::make_unique<KnnIndex>(std::move(loaded).value()));
   }
-  if (tag == HnswIndex::kFormatTag) {
-    auto loaded = HnswIndex::Load(in);
+  if (tag == HnswIndex::kFormatTag || tag == HnswIndex::kLegacyFormatTag) {
+    auto loaded =
+        HnswIndex::Load(in, /*legacy=*/tag == HnswIndex::kLegacyFormatTag);
     if (!loaded.ok()) return loaded.status();
     return std::unique_ptr<VectorIndex>(
         std::make_unique<HnswIndex>(std::move(loaded).value()));

@@ -31,7 +31,7 @@ enum class Metric { kCosine, kL2 };
 /// Which ANN backend an index uses.
 enum class IndexBackend {
   kFlat,  ///< exact brute-force scan (KnnIndex)
-  kHnsw,  ///< approximate HNSW graph (HnswIndex), cosine only
+  kHnsw,  ///< approximate HNSW graph (HnswIndex)
 };
 
 /// HNSW construction/search knobs (Malkov & Yashunin 2020).
@@ -44,8 +44,9 @@ struct HnswOptions {
 
 /// \brief Backend selection for MakeVectorIndex and everything above it.
 ///
-/// `metric` applies to the flat backend; HNSW normalizes on insert and is
-/// always cosine. `hnsw` is ignored by the flat backend.
+/// `metric` applies to both backends (HNSW normalizes on insert under
+/// cosine, stores raw vectors under L2). `hnsw` is ignored by the flat
+/// backend.
 struct IndexOptions {
   IndexBackend backend = IndexBackend::kFlat;
   Metric metric = Metric::kCosine;

@@ -80,4 +80,9 @@ uint64_t HashCombine(uint64_t a, uint64_t b) {
   return a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 12) + (a >> 4));
 }
 
+size_t StableShard(std::string_view id, size_t num_shards) {
+  if (num_shards <= 1) return 0;
+  return static_cast<size_t>(SplitMix64(Fnv1a64(id)) % num_shards);
+}
+
 }  // namespace tsfm

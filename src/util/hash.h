@@ -23,6 +23,15 @@ uint64_t SplitMix64(uint64_t x);
 /// Combines two hash values (boost::hash_combine style, 64-bit).
 uint64_t HashCombine(uint64_t a, uint64_t b);
 
+/// \brief Stable shard assignment for a string id.
+///
+/// Routes `id` to one of `num_shards` buckets by a well-mixed hash
+/// (FNV-1a + SplitMix64). The mapping depends only on the id bytes and the
+/// shard count, so it is identical across processes and rebuilds — the
+/// property ShardedLakeIndex relies on to keep a table in one shard.
+/// `num_shards == 0` maps everything to shard 0.
+size_t StableShard(std::string_view id, size_t num_shards);
+
 }  // namespace tsfm
 
 #endif  // TSFM_UTIL_HASH_H_

@@ -167,9 +167,11 @@ TEST(HnswTest, LoadRejectsCorruptEntryPoint) {
   std::stringstream stream;
   ASSERT_TRUE(index.Save(stream).ok());
   std::string bytes = stream.str();
-  // Header layout after the 4-byte tag: m, ef_construction, ef_search, seed
-  // (u64 each), dim, n (u64 each), max_level (i32), entry_point (u32).
-  const size_t entry_point_offset = 4 + 6 * sizeof(uint64_t) + sizeof(int32_t);
+  // Header layout after the 4-byte tag: metric (u32), m, ef_construction,
+  // ef_search, seed (u64 each), dim, n (u64 each), max_level (i32),
+  // entry_point (u32).
+  const size_t entry_point_offset =
+      4 + sizeof(uint32_t) + 6 * sizeof(uint64_t) + sizeof(int32_t);
   uint32_t bogus = 1000;
   bytes.replace(entry_point_offset, sizeof(bogus),
                 reinterpret_cast<const char*>(&bogus), sizeof(bogus));
@@ -177,6 +179,90 @@ TEST(HnswTest, LoadRejectsCorruptEntryPoint) {
   uint32_t tag = 0;
   corrupt.read(reinterpret_cast<char*>(&tag), sizeof(tag));
   EXPECT_FALSE(HnswIndex::Load(corrupt).ok());
+}
+
+TEST(HnswTest, L2NeighboursAgreeWithFlatScan) {
+  // Metric parity: with IndexOptions.metric = kL2 both backends must rank
+  // by Euclidean distance. On a small corpus with a wide beam the graph
+  // recovers (nearly) the exact L2 top-10.
+  Rng rng(10);
+  const size_t n = 200, dim = 12, k = 10;
+  HnswOptions options;
+  options.ef_search = 128;
+  HnswIndex hnsw(dim, options, Metric::kL2);
+  KnnIndex brute(dim, Metric::kL2);
+  for (size_t i = 0; i < n; ++i) {
+    // Deliberately unnormalized: under L2 the vector length matters, which
+    // is exactly what cosine would erase.
+    std::vector<float> vec(dim);
+    for (auto& x : vec) x = static_cast<float>(rng.Normal() * 3.0);
+    hnsw.Add(i, vec);
+    brute.Add(i, vec);
+  }
+  EXPECT_EQ(hnsw.metric(), Metric::kL2);
+  double recall_sum = 0;
+  const size_t queries = 20;
+  for (size_t q = 0; q < queries; ++q) {
+    std::vector<float> query(dim);
+    for (auto& x : query) x = static_cast<float>(rng.Normal() * 3.0);
+    auto exact = brute.Search(query, k);
+    auto approx = hnsw.Search(query, k);
+    ASSERT_FALSE(exact.empty());
+    // Top-1 must agree and carry the same distance value.
+    ASSERT_FALSE(approx.empty());
+    EXPECT_EQ(approx[0].first, exact[0].first);
+    EXPECT_NEAR(approx[0].second, exact[0].second, 1e-4);
+    std::unordered_set<size_t> gold;
+    for (auto& [p, d] : exact) gold.insert(p);
+    size_t hits = 0;
+    for (auto& [p, d] : approx) hits += gold.count(p);
+    recall_sum += static_cast<double>(hits) / k;
+  }
+  EXPECT_GE(recall_sum / queries, 0.9);
+}
+
+TEST(HnswTest, LegacyPreMetricStreamLoadsAsCosine) {
+  // Streams written before the metric field carry the old "HNSW" tag and no
+  // metric u32; they must load as cosine with identical answers. Synthesize
+  // one by re-tagging a current stream and dropping the metric field.
+  Rng rng(12);
+  const size_t dim = 8;
+  HnswIndex index(dim);
+  for (size_t i = 0; i < 80; ++i) index.Add(i, RandomUnit(dim, &rng));
+  std::stringstream stream;
+  ASSERT_TRUE(index.Save(stream).ok());
+  std::string bytes = stream.str();
+  const uint32_t legacy_tag = HnswIndex::kLegacyFormatTag;
+  std::string legacy_bytes(reinterpret_cast<const char*>(&legacy_tag),
+                           sizeof(legacy_tag));
+  legacy_bytes += bytes.substr(sizeof(uint32_t) + sizeof(uint32_t));
+
+  std::stringstream legacy(legacy_bytes);
+  auto loaded = LoadVectorIndex(legacy);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value()->backend(), IndexBackend::kHnsw);
+  EXPECT_EQ(loaded.value()->metric(), Metric::kCosine);
+  auto query = RandomUnit(dim, &rng);
+  EXPECT_EQ(loaded.value()->Search(query, 5), index.Search(query, 5));
+}
+
+TEST(HnswTest, SaveLoadPreservesL2Metric) {
+  Rng rng(11);
+  HnswIndex index(6, HnswOptions{}, Metric::kL2);
+  for (size_t i = 0; i < 50; ++i) {
+    std::vector<float> vec(6);
+    for (auto& x : vec) x = static_cast<float>(rng.Normal());
+    index.Add(i, vec);
+  }
+  std::stringstream stream;
+  ASSERT_TRUE(index.Save(stream).ok());
+  uint32_t tag = 0;
+  stream.read(reinterpret_cast<char*>(&tag), sizeof(tag));
+  auto loaded = HnswIndex::Load(stream);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().metric(), Metric::kL2);
+  std::vector<float> query(6, 0.5f);
+  EXPECT_EQ(loaded.value().Search(query, 5), index.Search(query, 5));
 }
 
 TEST(HnswTest, LoadedIndexAcceptsFurtherAdds) {

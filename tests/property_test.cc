@@ -3,10 +3,12 @@
 // injection for contract violations.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <fstream>
 #include <numeric>
 #include <sstream>
+#include <tuple>
 
 #include "core/embedder.h"
 #include "core/model.h"
@@ -14,8 +16,11 @@
 #include "nn/optimizer.h"
 #include "nn/serialize.h"
 #include "search/metrics.h"
+#include "search/sharded_lake_index.h"
+#include "search/table_ranker.h"
 #include "sketch/table_sketch.h"
 #include "text/tokenizer.h"
+#include "util/hash.h"
 #include "util/random.h"
 
 namespace tsfm {
@@ -218,6 +223,119 @@ TEST_P(DropoutScaleTest, ExpectationPreserved) {
 
 INSTANTIATE_TEST_SUITE_P(Rates, DropoutScaleTest,
                          testing::Values(0.1f, 0.25f, 0.5f, 0.75f));
+
+// ------------------------------------------- K-way top-k merge properties
+
+using ColumnHit = search::ColumnEmbeddingIndex::ColumnHit;
+
+std::tuple<float, size_t, size_t> HitKey(const ColumnHit& h) {
+  return {h.distance, h.table_id, h.column_index};
+}
+
+// Random sorted hit lists with globally unique (table, column) pairs — the
+// shape per-shard candidate lists have, since shards partition columns.
+std::vector<std::vector<ColumnHit>> RandomHitLists(size_t num_lists,
+                                                   size_t max_len, Rng* rng) {
+  std::vector<std::vector<ColumnHit>> lists(num_lists);
+  size_t next_table = 0;
+  for (auto& list : lists) {
+    size_t len = rng->Uniform(static_cast<uint32_t>(max_len + 1));
+    for (size_t i = 0; i < len; ++i) {
+      list.push_back({next_table++, rng->Uniform(4),
+                      static_cast<float>(rng->UniformDouble(0, 2))});
+    }
+    std::sort(list.begin(), list.end(), [](const ColumnHit& a, const ColumnHit& b) {
+      return HitKey(a) < HitKey(b);
+    });
+  }
+  return lists;
+}
+
+class MergeColumnHitsTest : public testing::TestWithParam<size_t> {};
+
+TEST_P(MergeColumnHitsTest, EqualsSortedConcatenationTruncated) {
+  const size_t k = GetParam();
+  Rng rng(40 + k);
+  for (int trial = 0; trial < 10; ++trial) {
+    auto lists = RandomHitLists(1 + rng.Uniform(6u), 12, &rng);
+    std::vector<ColumnHit> all;
+    for (const auto& list : lists) all.insert(all.end(), list.begin(), list.end());
+    std::sort(all.begin(), all.end(), [](const ColumnHit& a, const ColumnHit& b) {
+      return HitKey(a) < HitKey(b);
+    });
+    if (all.size() > k) all.resize(k);
+
+    auto merged = search::TableRanker::MergeColumnHits(lists, k);
+    ASSERT_EQ(merged.size(), all.size());
+    for (size_t i = 0; i < merged.size(); ++i) {
+      EXPECT_EQ(HitKey(merged[i]), HitKey(all[i]));
+    }
+  }
+}
+
+TEST_P(MergeColumnHitsTest, InvariantToInputListOrder) {
+  const size_t k = GetParam();
+  Rng rng(50 + k);
+  auto lists = RandomHitLists(5, 10, &rng);
+  auto base = search::TableRanker::MergeColumnHits(lists, k);
+  for (int trial = 0; trial < 5; ++trial) {
+    std::vector<size_t> perm(lists.size());
+    std::iota(perm.begin(), perm.end(), size_t{0});
+    rng.Shuffle(&perm);
+    std::vector<std::vector<ColumnHit>> shuffled;
+    for (size_t i : perm) shuffled.push_back(lists[i]);
+    auto merged = search::TableRanker::MergeColumnHits(shuffled, k);
+    ASSERT_EQ(merged.size(), base.size());
+    for (size_t i = 0; i < merged.size(); ++i) {
+      EXPECT_EQ(HitKey(merged[i]), HitKey(base[i]));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, MergeColumnHitsTest, testing::Values(1, 5, 20, 100));
+
+// ------------------------------------------- Shard routing properties
+
+class ShardRoutingTest : public testing::TestWithParam<size_t> {};
+
+TEST_P(ShardRoutingTest, StablePartitionAcrossRebuilds) {
+  const size_t num_shards = GetParam();
+  const size_t dim = 4, num_tables = 120;
+  Rng rng(60);
+  std::vector<std::string> ids;
+  for (size_t t = 0; t < num_tables; ++t) {
+    ids.push_back("tbl_" + std::to_string(rng.Uniform(1u << 20)) + "_" +
+                  std::to_string(t));
+  }
+  auto build = [&] {
+    search::ShardedLakeIndex index(dim, num_shards);
+    Rng vec_rng(61);
+    for (const auto& id : ids) {
+      std::vector<float> v(dim);
+      for (auto& x : v) x = static_cast<float>(vec_rng.Normal());
+      index.AddTable(id, {v});
+    }
+    return index;
+  };
+  search::ShardedLakeIndex first = build();
+  search::ShardedLakeIndex second = build();
+
+  // Every table lands in exactly one shard: shard sizes sum to the total.
+  size_t total = 0;
+  for (size_t s = 0; s < first.num_shards(); ++s) total += first.shard_size(s);
+  EXPECT_EQ(total, num_tables);
+
+  for (const auto& id : ids) {
+    const size_t shard = first.shard_of(id);
+    EXPECT_LT(shard, first.num_shards());
+    // Same shard across rebuilds, and identical to the bare routing hash.
+    EXPECT_EQ(second.shard_of(id), shard);
+    EXPECT_EQ(StableShard(id, num_shards), shard);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ShardCounts, ShardRoutingTest,
+                         testing::Values(1, 2, 3, 8));
 
 // ----------------------------------------------------- Failure injection
 

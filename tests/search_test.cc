@@ -338,6 +338,43 @@ TEST(PipelineTest, PerfectEmbeddingsGivePerfectSearch) {
   }
 }
 
+TEST(PipelineTest, ShardedRunSearchMatchesUnsharded) {
+  // The --shards knob routes RunSearch through ShardedLakeIndex; with the
+  // exact flat backend the ranked lists must be identical at any shard
+  // count, including the exclude-own-table handling.
+  lakebench::SearchBenchmark bench;
+  bench.name = "sharded-parity";
+  for (int i = 0; i < 40; ++i) {
+    Table t("t" + std::to_string(i), "d");
+    t.AddColumn("c", {"x"});
+    bench.tables.push_back(std::move(t));
+  }
+  for (size_t q = 0; q < 8; ++q) {
+    lakebench::SearchQuery query;
+    query.table_index = q * 4;
+    query.column_index = q % 2 == 0 ? 0 : -1;  // mix join and union queries
+    bench.queries.push_back(query);
+    bench.gold.push_back({q * 4 + 1});
+  }
+  Rng rng(7);
+  std::vector<std::vector<std::vector<float>>> embs(40);
+  for (auto& e : embs) {
+    e = {{static_cast<float>(rng.Normal()), static_cast<float>(rng.Normal()),
+          static_cast<float>(rng.Normal()), static_cast<float>(rng.Normal())}};
+  }
+  auto embed = [&](size_t t) { return embs[t]; };
+
+  SearchRunOptions unsharded;
+  unsharded.num_threads = 2;
+  auto reference = RunSearch(bench, embed, 5, unsharded);
+  for (size_t shards : {size_t{2}, size_t{4}}) {
+    SearchRunOptions run;
+    run.num_threads = 2;
+    run.shards = shards;
+    EXPECT_EQ(RunSearch(bench, embed, 5, run), reference) << shards << " shards";
+  }
+}
+
 TEST(PipelineTest, RandomEmbeddingsScoreLow) {
   lakebench::SearchBenchmark bench;
   bench.name = "random";

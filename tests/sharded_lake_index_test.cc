@@ -1,0 +1,292 @@
+// ShardedLakeIndex: scatter/gather parity against the unsharded LakeIndex,
+// HNSW recall per shard count, the "LAKS" manifest round trip, and failure
+// injection for missing/truncated/legacy files.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <unordered_set>
+
+#include "search/sharded_lake_index.h"
+#include "util/random.h"
+#include "util/thread_pool.h"
+
+namespace tsfm::search {
+namespace {
+
+std::vector<float> RandomVec(size_t dim, Rng* rng) {
+  std::vector<float> v(dim);
+  for (auto& x : v) x = static_cast<float>(rng->Normal());
+  return v;
+}
+
+struct Corpus {
+  std::vector<std::string> ids;
+  std::vector<std::vector<std::vector<float>>> tables;  // per table: columns
+  std::vector<std::vector<float>> join_queries;
+  std::vector<std::vector<std::vector<float>>> union_queries;
+};
+
+Corpus MakeCorpus(size_t num_tables, size_t dim, uint64_t seed) {
+  Corpus corpus;
+  Rng rng(seed);
+  for (size_t t = 0; t < num_tables; ++t) {
+    corpus.ids.push_back("table_" + std::to_string(t));
+    std::vector<std::vector<float>> cols(1 + t % 3);
+    for (auto& col : cols) col = RandomVec(dim, &rng);
+    corpus.tables.push_back(std::move(cols));
+  }
+  for (size_t q = 0; q < 10; ++q) {
+    corpus.join_queries.push_back(RandomVec(dim, &rng));
+    corpus.union_queries.push_back({RandomVec(dim, &rng), RandomVec(dim, &rng)});
+  }
+  return corpus;
+}
+
+LakeIndex BuildUnsharded(const Corpus& corpus, size_t dim,
+                         const IndexOptions& options = {}) {
+  LakeIndex index(dim, options);
+  for (size_t t = 0; t < corpus.tables.size(); ++t) {
+    index.AddTable(corpus.ids[t], corpus.tables[t]);
+  }
+  return index;
+}
+
+ShardedLakeIndex BuildSharded(const Corpus& corpus, size_t dim, size_t shards,
+                              const IndexOptions& options = {}) {
+  ShardedLakeIndex index(dim, shards, options);
+  for (size_t t = 0; t < corpus.tables.size(); ++t) {
+    index.AddTable(corpus.ids[t], corpus.tables[t]);
+  }
+  return index;
+}
+
+TEST(ShardedLakeIndexTest, FlatBackendExactParityWithUnsharded) {
+  const size_t dim = 16;
+  Corpus corpus = MakeCorpus(60, dim, 1);
+  LakeIndex reference = BuildUnsharded(corpus, dim);
+  for (size_t shards : {size_t{1}, size_t{2}, size_t{7}}) {
+    ShardedLakeIndex sharded = BuildSharded(corpus, dim, shards);
+    EXPECT_EQ(sharded.num_shards(), shards);
+    EXPECT_EQ(sharded.num_tables(), corpus.tables.size());
+    for (const auto& q : corpus.join_queries) {
+      EXPECT_EQ(sharded.QueryJoinable(q, 5), reference.QueryJoinable(q, 5))
+          << shards << " shards";
+    }
+    for (const auto& q : corpus.union_queries) {
+      EXPECT_EQ(sharded.QueryUnionable(q, 5), reference.QueryUnionable(q, 5))
+          << shards << " shards";
+    }
+  }
+}
+
+TEST(ShardedLakeIndexTest, HnswRecallAtLeastPointNinePerShardCount) {
+  const size_t dim = 16, k = 10;
+  Corpus corpus = MakeCorpus(200, dim, 2);
+  LakeIndex flat_gold = BuildUnsharded(corpus, dim);
+  IndexOptions hnsw;
+  hnsw.backend = IndexBackend::kHnsw;
+  hnsw.hnsw.ef_search = 128;
+  for (size_t shards : {size_t{1}, size_t{2}, size_t{7}}) {
+    ShardedLakeIndex sharded = BuildSharded(corpus, dim, shards, hnsw);
+    double recall_sum = 0;
+    for (const auto& q : corpus.join_queries) {
+      auto gold = flat_gold.QueryJoinable(q, k);
+      ASSERT_GE(gold.size(), k);
+      std::unordered_set<std::string> gold_set(gold.begin(), gold.end());
+      size_t hits = 0;
+      for (const auto& id : sharded.QueryJoinable(q, k)) {
+        hits += gold_set.count(id);
+      }
+      recall_sum += static_cast<double>(hits) / static_cast<double>(k);
+    }
+    EXPECT_GE(recall_sum / static_cast<double>(corpus.join_queries.size()), 0.9)
+        << shards << " shards";
+  }
+}
+
+TEST(ShardedLakeIndexTest, ScatterAndBatchMatchSerial) {
+  const size_t dim = 16;
+  Corpus corpus = MakeCorpus(50, dim, 3);
+  ShardedLakeIndex sharded = BuildSharded(corpus, dim, 3);
+  ThreadPool pool(3);
+  for (const auto& q : corpus.join_queries) {
+    // Pool-scattered single query == serial single query.
+    EXPECT_EQ(sharded.QueryJoinable(q, 5, &pool), sharded.QueryJoinable(q, 5));
+  }
+  auto join_batch = sharded.QueryJoinableBatch(corpus.join_queries, 5, &pool);
+  ASSERT_EQ(join_batch.size(), corpus.join_queries.size());
+  for (size_t q = 0; q < corpus.join_queries.size(); ++q) {
+    EXPECT_EQ(join_batch[q], sharded.QueryJoinable(corpus.join_queries[q], 5));
+  }
+  auto union_batch = sharded.QueryUnionableBatch(corpus.union_queries, 5, &pool);
+  ASSERT_EQ(union_batch.size(), corpus.union_queries.size());
+  for (size_t q = 0; q < corpus.union_queries.size(); ++q) {
+    EXPECT_EQ(union_batch[q], sharded.QueryUnionable(corpus.union_queries[q], 5));
+  }
+}
+
+TEST(ShardedLakeIndexTest, ManifestRoundTripBothBackends) {
+  const size_t dim = 12;
+  Corpus corpus = MakeCorpus(40, dim, 4);
+  for (auto backend : {IndexBackend::kFlat, IndexBackend::kHnsw}) {
+    IndexOptions options;
+    options.backend = backend;
+    options.hnsw.ef_search = 96;
+    ShardedLakeIndex index = BuildSharded(corpus, dim, 3, options);
+    std::string path = testing::TempDir() + "/tsfm_sharded_lake.laks";
+    ThreadPool pool(3);
+    ASSERT_TRUE(index.Save(path, &pool).ok());
+
+    auto loaded = ShardedLakeIndex::Load(path, &pool);
+    ASSERT_TRUE(loaded.ok());
+    EXPECT_EQ(loaded.value().num_shards(), 3u);
+    EXPECT_EQ(loaded.value().num_tables(), corpus.tables.size());
+    EXPECT_EQ(loaded.value().options().backend, backend);
+    EXPECT_EQ(loaded.value().options().hnsw.ef_search, 96u);
+    // Global handles survive the round trip: handle h still names the same
+    // table (the manifest records the insertion order).
+    for (size_t h = 0; h < index.num_tables(); ++h) {
+      EXPECT_EQ(loaded.value().table_id(h), index.table_id(h));
+    }
+    // Shard files rebuild each shard's index deterministically, so the
+    // loaded index answers queries identically — both backends.
+    for (const auto& q : corpus.join_queries) {
+      EXPECT_EQ(loaded.value().QueryJoinable(q, 5), index.QueryJoinable(q, 5));
+    }
+    for (const auto& q : corpus.union_queries) {
+      EXPECT_EQ(loaded.value().QueryUnionable(q, 5), index.QueryUnionable(q, 5));
+    }
+    std::remove(path.c_str());
+    for (size_t s = 0; s < 3; ++s) {
+      std::remove((path + ".shard-" + std::to_string(s)).c_str());
+    }
+  }
+}
+
+TEST(ShardedLakeIndexTest, MissingShardFileIsAnErrorNotACrash) {
+  const size_t dim = 8;
+  Corpus corpus = MakeCorpus(30, dim, 5);
+  ShardedLakeIndex index = BuildSharded(corpus, dim, 3);
+  std::string path = testing::TempDir() + "/tsfm_sharded_missing.laks";
+  ASSERT_TRUE(index.Save(path).ok());
+  ASSERT_EQ(std::remove((path + ".shard-1").c_str()), 0);
+  auto loaded = ShardedLakeIndex::Load(path);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIoError);
+  std::remove(path.c_str());
+  std::remove((path + ".shard-0").c_str());
+  std::remove((path + ".shard-2").c_str());
+}
+
+TEST(ShardedLakeIndexTest, TruncatedManifestIsAnErrorNotACrash) {
+  const size_t dim = 8;
+  Corpus corpus = MakeCorpus(30, dim, 6);
+  ShardedLakeIndex index = BuildSharded(corpus, dim, 2);
+  std::string path = testing::TempDir() + "/tsfm_sharded_trunc.laks";
+  ASSERT_TRUE(index.Save(path).ok());
+  std::string bytes;
+  {
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    bytes = ss.str();
+  }
+  // Truncate at every prefix boundary that cuts the header or a shard name;
+  // none may crash and all must fail.
+  for (size_t keep : {size_t{6}, size_t{20}, bytes.size() / 2}) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(keep));
+    out.close();
+    EXPECT_FALSE(ShardedLakeIndex::Load(path).ok()) << "kept " << keep;
+  }
+  std::remove(path.c_str());
+  std::remove((path + ".shard-0").c_str());
+  std::remove((path + ".shard-1").c_str());
+}
+
+TEST(ShardedLakeIndexTest, LegacyLak2FileLoadsAsOneShard) {
+  const size_t dim = 10;
+  Corpus corpus = MakeCorpus(25, dim, 7);
+  LakeIndex single = BuildUnsharded(corpus, dim);
+  std::string path = testing::TempDir() + "/tsfm_sharded_legacy_lak2.bin";
+  ASSERT_TRUE(single.Save(path).ok());
+
+  auto loaded = ShardedLakeIndex::Load(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().num_shards(), 1u);
+  EXPECT_EQ(loaded.value().num_tables(), corpus.tables.size());
+  for (const auto& q : corpus.join_queries) {
+    EXPECT_EQ(loaded.value().QueryJoinable(q, 5), single.QueryJoinable(q, 5));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ShardedLakeIndexTest, LegacyHeaderlessLakeFileLoadsAsOneShard) {
+  // The oldest format: magic "LAKE", dim, table records, no backend
+  // metadata. It must come up as a 1-shard flat index.
+  std::string path = testing::TempDir() + "/tsfm_sharded_legacy_lake.bin";
+  {
+    std::ofstream out(path, std::ios::binary);
+    uint32_t magic = 0x4c414b45;  // "LAKE"
+    uint64_t dim = 2, num_tables = 2;
+    out.write(reinterpret_cast<const char*>(&magic), sizeof(magic));
+    out.write(reinterpret_cast<const char*>(&dim), sizeof(dim));
+    out.write(reinterpret_cast<const char*>(&num_tables), sizeof(num_tables));
+    const std::vector<std::pair<std::string, std::vector<float>>> tables = {
+        {"alpha", {1, 0}}, {"beta", {0, 1}}};
+    for (const auto& [id, col] : tables) {
+      uint64_t id_len = id.size(), num_cols = 1;
+      out.write(reinterpret_cast<const char*>(&id_len), sizeof(id_len));
+      out.write(id.data(), static_cast<std::streamsize>(id_len));
+      out.write(reinterpret_cast<const char*>(&num_cols), sizeof(num_cols));
+      out.write(reinterpret_cast<const char*>(col.data()),
+                static_cast<std::streamsize>(col.size() * sizeof(float)));
+    }
+  }
+  auto loaded = ShardedLakeIndex::Load(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().num_shards(), 1u);
+  EXPECT_EQ(loaded.value().options().backend, IndexBackend::kFlat);
+  auto ranked = loaded.value().QueryJoinable({1, 0}, 2);
+  ASSERT_FALSE(ranked.empty());
+  EXPECT_EQ(ranked[0], "alpha");
+  std::remove(path.c_str());
+}
+
+TEST(ShardedLakeIndexTest, GarbageAndMissingFilesRejected) {
+  std::string path = testing::TempDir() + "/tsfm_sharded_garbage.bin";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "not an index of any vintage";
+  }
+  EXPECT_FALSE(ShardedLakeIndex::Load(path).ok());
+  std::remove(path.c_str());
+  EXPECT_FALSE(ShardedLakeIndex::Load("/nonexistent/lake.laks").ok());
+}
+
+TEST(ShardedLakeIndexTest, HandlesAssignedInInsertionOrder) {
+  const size_t dim = 4;
+  ShardedLakeIndex index(dim, 4);
+  Rng rng(8);
+  for (size_t t = 0; t < 20; ++t) {
+    size_t handle = index.AddTable("t" + std::to_string(t),
+                                   {RandomVec(dim, &rng)});
+    EXPECT_EQ(handle, t);
+    EXPECT_EQ(index.table_id(handle), "t" + std::to_string(t));
+  }
+  size_t total = 0;
+  for (size_t s = 0; s < index.num_shards(); ++s) total += index.shard_size(s);
+  EXPECT_EQ(total, 20u);
+}
+
+TEST(ShardedLakeIndexTest, EmptyIndexQueriesAreEmpty) {
+  ShardedLakeIndex index(4, 3);
+  EXPECT_TRUE(index.QueryJoinable({1, 0, 0, 0}, 5).empty());
+  EXPECT_TRUE(index.QueryUnionable({{1, 0, 0, 0}}, 5).empty());
+}
+
+}  // namespace
+}  // namespace tsfm::search
