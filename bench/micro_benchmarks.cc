@@ -5,7 +5,13 @@
 // tensor-granularity autograd, pluggable VectorIndex backends).
 #include <benchmark/benchmark.h>
 
+#include <unistd.h>
+
+#include <atomic>
+#include <condition_variable>
 #include <map>
+#include <mutex>
+#include <thread>
 #include <unordered_set>
 
 #include "lakebench/corpus.h"
@@ -16,6 +22,8 @@
 #include "search/knn_index.h"
 #include "search/sharded_lake_index.h"
 #include "search/vector_index.h"
+#include "server/lake_client.h"
+#include "server/lake_server.h"
 #include "sketch/minhash.h"
 #include "sketch/table_sketch.h"
 #include "text/tokenizer.h"
@@ -329,6 +337,138 @@ void BM_ShardedLakeBatchQuery(benchmark::State& state) {
   state.counters["shards"] = static_cast<double>(shards);
 }
 BENCHMARK(BM_ShardedLakeBatchQuery)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
+
+// --------------------------------------------------------------- server QPS
+// End-to-end query throughput through the socket server at 1 / 4 / 16
+// concurrent clients, against a direct-batch-call baseline over the same
+// total query count. The gap between the two is the serving overhead
+// (framing + socket hops + batcher queue) the coalescing has to amortize.
+
+constexpr size_t kServerShards = 4;
+constexpr size_t kQueriesPerClient = 8;
+
+void BM_ServerQPS(benchmark::State& state) {
+  const size_t clients = static_cast<size_t>(state.range(0));
+  const ShardedLakeFixture& f = GetShardedLakeFixture();
+  server::ServerOptions options;
+  options.io_threads = clients;  // no client waits behind another's handler
+  server::LakeServer lake_server(BuildShardedLake(f, kServerShards), options);
+  const std::string socket_path =
+      "/tmp/tsfm_bench_server_" + std::to_string(::getpid()) + ".sock";
+  if (!lake_server.Start(socket_path).ok()) {
+    state.SkipWithError("server start failed");
+    return;
+  }
+
+  // Persistent pre-connected client threads driven by a generation
+  // barrier, so the timed region contains only request round trips — not
+  // thread spawns or socket connects, which the direct baseline has no
+  // analogue of.
+  std::mutex mu;
+  std::condition_variable start_cv, done_cv;
+  size_t generation = 0, done = 0, ready = 0, connect_failures = 0;
+  std::atomic<size_t> query_failures{0};
+  bool quit = false;
+  std::vector<std::thread> workers;
+  workers.reserve(clients);
+  for (size_t c = 0; c < clients; ++c) {
+    workers.emplace_back([&, c] {
+      server::LakeClient client;
+      const bool connected = client.Connect(socket_path).ok();
+      {
+        std::unique_lock<std::mutex> lock(mu);
+        if (!connected) ++connect_failures;
+        if (++ready == clients) done_cv.notify_one();
+      }
+      size_t seen = 0;
+      for (;;) {
+        {
+          std::unique_lock<std::mutex> lock(mu);
+          start_cv.wait(lock, [&] { return quit || generation != seen; });
+          if (quit) return;
+          seen = generation;
+        }
+        for (size_t q = 0; q < kQueriesPerClient; ++q) {
+          auto ids = client.QueryJoinable(
+              f.join_queries[(c + q) % f.join_queries.size()], 10);
+          // A failed round trip returns near-instantly; counting it as
+          // served work would inflate the QPS, so invalidate instead.
+          if (!ids.ok()) query_failures.fetch_add(1);
+          benchmark::DoNotOptimize(ids.ok());
+        }
+        std::unique_lock<std::mutex> lock(mu);
+        if (++done == clients) done_cv.notify_one();
+      }
+    });
+  }
+
+  // A worker without a connection would contribute zero round trips while
+  // SetItemsProcessed still counted its share, inflating the reported QPS;
+  // invalidate the run instead.
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    done_cv.wait(lock, [&] { return ready == clients; });
+    if (connect_failures > 0) {
+      quit = true;
+      lock.unlock();
+      start_cv.notify_all();
+      for (auto& t : workers) t.join();
+      state.SkipWithError("client connect failed");
+      lake_server.Stop();
+      return;
+    }
+  }
+
+  for (auto _ : state) {
+    {
+      std::unique_lock<std::mutex> lock(mu);
+      done = 0;
+      ++generation;
+    }
+    start_cv.notify_all();
+    std::unique_lock<std::mutex> lock(mu);
+    done_cv.wait(lock, [&] { return done == clients; });
+  }
+
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    quit = true;
+  }
+  start_cv.notify_all();
+  for (auto& t : workers) t.join();
+  if (query_failures.load() > 0) {
+    state.SkipWithError("query round trips failed mid-benchmark");
+  } else {
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<int64_t>(clients * kQueriesPerClient));
+  }
+  state.counters["clients"] = static_cast<double>(clients);
+  lake_server.Stop();
+}
+BENCHMARK(BM_ServerQPS)->Arg(1)->Arg(4)->Arg(16)->UseRealTime();
+
+void BM_ServerQPSDirectBaseline(benchmark::State& state) {
+  const size_t clients = static_cast<size_t>(state.range(0));
+  const ShardedLakeFixture& f = GetShardedLakeFixture();
+  auto lake = BuildShardedLake(f, kServerShards);
+  ThreadPool pool(std::max(1u, std::thread::hardware_concurrency()));
+  // The same queries BM_ServerQPS issues at this client count, as one
+  // in-process batch call: the upper bound the server is measured against.
+  std::vector<std::vector<float>> queries;
+  for (size_t c = 0; c < clients; ++c) {
+    for (size_t q = 0; q < kQueriesPerClient; ++q) {
+      queries.push_back(f.join_queries[(c + q) % f.join_queries.size()]);
+    }
+  }
+  for (auto _ : state) {
+    auto ranked = lake.QueryJoinableBatch(queries, 10, &pool);
+    benchmark::DoNotOptimize(ranked.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(queries.size()));
+  state.counters["clients"] = static_cast<double>(clients);
+}
+BENCHMARK(BM_ServerQPSDirectBaseline)->Arg(1)->Arg(4)->Arg(16)->UseRealTime();
 
 void BM_MatMul(benchmark::State& state) {
   const size_t n = static_cast<size_t>(state.range(0));

@@ -3,6 +3,8 @@
 //
 // Offline:  ./build/lake_search index <dir-of-csvs> <index-file> [flat|hnsw] [shards]
 // Online:   ./build/lake_search query <index-file> <query.csv> [k]
+// Remote:   ./build/lake_search remote <socket-path> <query.csv> [k]
+//           (queries a running lake_server instead of loading the index)
 //
 // The offline half picks the ANN backend (exact flat scan by default, HNSW
 // for big lakes) and the shard count (1 keeps a single index; N > 1 writes
@@ -20,6 +22,7 @@
 #include "lakebench/corpus.h"
 #include "lakebench/datagen.h"
 #include "search/sharded_lake_index.h"
+#include "server/lake_client.h"
 #include "table/csv.h"
 
 using namespace tsfm;
@@ -60,21 +63,42 @@ std::vector<std::vector<float>> EmbedTable(const core::Embedder& embedder,
   return embedder.ColumnEmbeddings(BuildTableSketch(*table, sopt));
 }
 
+// The full model/encoder wiring every command needs, built once and kept
+// together so the index/query/remote paths cannot drift apart. Members
+// hold pointers into each other; construct in place and don't move.
+struct EmbedderStack {
+  EmbedderStack()
+      : vocab(FixedVocab()),
+        config(FixedConfig(vocab.size())),
+        rng(1),
+        model(config, &rng),
+        tokenizer(&vocab),
+        input_encoder(&config, &tokenizer),
+        embedder(&model, &input_encoder) {}
+
+  EmbedderStack(const EmbedderStack&) = delete;
+  EmbedderStack& operator=(const EmbedderStack&) = delete;
+
+  size_t dim() const {
+    return config.encoder.hidden + 2 * config.num_perm + config.encoder.hidden;
+  }
+
+  text::Vocab vocab;
+  core::TabSketchFMConfig config;
+  Rng rng;
+  core::TabSketchFM model;
+  text::Tokenizer tokenizer;
+  core::InputEncoder input_encoder;
+  core::Embedder embedder;
+};
+
 int IndexCommand(const std::string& dir, const std::string& index_path,
                  search::IndexBackend backend, size_t shards) {
-  text::Vocab vocab = FixedVocab();
-  core::TabSketchFMConfig config = FixedConfig(vocab.size());
-  Rng rng(1);
-  core::TabSketchFM model(config, &rng);
-  text::Tokenizer tokenizer(&vocab);
-  core::InputEncoder input_encoder(&config, &tokenizer);
-  core::Embedder embedder(&model, &input_encoder);
+  EmbedderStack stack;
 
   search::IndexOptions options;
   options.backend = backend;
-  search::ShardedLakeIndex lake(config.encoder.hidden + 2 * config.num_perm +
-                                    config.encoder.hidden,
-                                shards, options);
+  search::ShardedLakeIndex lake(stack.dim(), shards, options);
 
   size_t indexed = 0;
   for (const auto& entry : fs::directory_iterator(dir)) {
@@ -86,7 +110,8 @@ int IndexCommand(const std::string& dir, const std::string& index_path,
       continue;
     }
     Table table = parsed.value();
-    lake.AddTable(entry.path().filename().string(), EmbedTable(embedder, &table));
+    lake.AddTable(entry.path().filename().string(),
+                  EmbedTable(stack.embedder, &table));
     ++indexed;
   }
   Status status = lake.Save(index_path);
@@ -122,16 +147,9 @@ int QueryCommand(const std::string& index_path, const std::string& csv_path,
     return 1;
   }
 
-  text::Vocab vocab = FixedVocab();
-  core::TabSketchFMConfig config = FixedConfig(vocab.size());
-  Rng rng(1);
-  core::TabSketchFM model(config, &rng);
-  text::Tokenizer tokenizer(&vocab);
-  core::InputEncoder input_encoder(&config, &tokenizer);
-  core::Embedder embedder(&model, &input_encoder);
-
+  EmbedderStack stack;
   Table table = parsed.value();
-  auto columns = EmbedTable(embedder, &table);
+  auto columns = EmbedTable(stack.embedder, &table);
   std::printf("unionable candidates for %s:\n", csv_path.c_str());
   for (const auto& id : loaded.value().QueryUnionable(columns, k)) {
     std::printf("  %s\n", id.c_str());
@@ -141,6 +159,47 @@ int QueryCommand(const std::string& index_path, const std::string& csv_path,
   for (const auto& id : loaded.value().QueryJoinable(columns[0], k)) {
     std::printf("  %s\n", id.c_str());
   }
+  return 0;
+}
+
+// Same embedding + query flow as QueryCommand, but the index lives in a
+// running lake_server process; only the query table is embedded locally.
+int RemoteCommand(const std::string& socket_path, const std::string& csv_path,
+                  size_t k) {
+  auto parsed = ReadCsvFile(csv_path);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "query read failed: %s\n",
+                 parsed.status().ToString().c_str());
+    return 1;
+  }
+  EmbedderStack stack;
+  Table table = parsed.value();
+  // Embed before connecting: the server dedicates a handler to each open
+  // connection, and the model forward pass can take a while.
+  auto columns = EmbedTable(stack.embedder, &table);
+  server::LakeClient client;
+  if (Status status = client.Connect(socket_path); !status.ok()) {
+    std::fprintf(stderr, "connect failed: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  auto unionable = client.QueryUnionable(columns, k);
+  if (!unionable.ok()) {
+    std::fprintf(stderr, "union query failed: %s\n",
+                 unionable.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("unionable candidates for %s:\n", csv_path.c_str());
+  for (const auto& id : unionable.value()) std::printf("  %s\n", id.c_str());
+
+  auto joinable = client.QueryJoinable(columns[0], k);
+  if (!joinable.ok()) {
+    std::fprintf(stderr, "join query failed: %s\n",
+                 joinable.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("joinable candidates on column '%s':\n",
+              table.column(0).name.c_str());
+  for (const auto& id : joinable.value()) std::printf("  %s\n", id.c_str());
   return 0;
 }
 
@@ -199,8 +258,13 @@ int main(int argc, char** argv) {
     size_t k = argc == 5 ? std::strtoul(argv[4], nullptr, 10) : 5;
     return QueryCommand(argv[2], argv[3], k);
   }
+  if (command == "remote" && (argc == 4 || argc == 5)) {
+    size_t k = argc == 5 ? std::strtoul(argv[4], nullptr, 10) : 5;
+    return RemoteCommand(argv[2], argv[3], k);
+  }
   std::fprintf(stderr,
                "usage: lake_search index <dir> <index-file> [flat|hnsw] [shards]\n"
-               "       lake_search query <index-file> <query.csv> [k]\n");
+               "       lake_search query <index-file> <query.csv> [k]\n"
+               "       lake_search remote <socket-path> <query.csv> [k]\n");
   return 2;
 }

@@ -1,0 +1,135 @@
+#include "server/batcher.h"
+
+#include <algorithm>
+#include <chrono>
+#include <future>
+#include <map>
+#include <utility>
+
+#include "search/sharded_lake_index.h"
+#include "server/net_util.h"
+#include "util/thread_pool.h"
+
+namespace tsfm::server {
+
+using internal::MsSince;
+using Clock = internal::SteadyClock;
+
+struct QueryBatcher::Job {
+  Opcode op;
+  std::vector<std::vector<float>> columns;
+  size_t k;
+  Clock::time_point enqueued;
+  std::promise<std::vector<std::string>> done;
+};
+
+QueryBatcher::QueryBatcher(const search::ShardedLakeIndex* index,
+                           ThreadPool* query_pool, size_t max_batch)
+    : index_(index),
+      query_pool_(query_pool),
+      max_batch_(std::max<size_t>(1, max_batch)),
+      dispatcher_([this] { DispatchLoop(); }) {}
+
+QueryBatcher::~QueryBatcher() { Stop(); }
+
+Result<std::vector<std::string>> QueryBatcher::Submit(
+    Opcode op, std::vector<std::vector<float>> columns, size_t k) {
+  auto job = std::make_unique<Job>();
+  job->op = op;
+  job->columns = std::move(columns);
+  job->k = k;
+  job->enqueued = Clock::now();
+  std::future<std::vector<std::string>> result = job->done.get_future();
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (stopping_) {
+      return Status::Internal("query batcher is shutting down");
+    }
+    pending_.push_back(std::move(job));
+  }
+  work_cv_.notify_one();
+  return result.get();
+}
+
+void QueryBatcher::Stop() {
+  // Serialize concurrent Stop calls (e.g. an explicit Stop racing the
+  // destructor's): the loser blocks until the dispatcher is joined rather
+  // than returning while the thread is still live.
+  std::lock_guard<std::mutex> stop_lock(stop_mu_);
+  if (!dispatcher_.joinable()) return;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  dispatcher_.join();
+}
+
+ServerStats QueryBatcher::stats() const {
+  std::unique_lock<std::mutex> lock(stats_mu_);
+  return stats_;
+}
+
+void QueryBatcher::DispatchLoop() {
+  for (;;) {
+    std::vector<std::unique_ptr<Job>> round;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return stopping_ || !pending_.empty(); });
+      // Drain before exiting so every accepted query gets its result.
+      if (pending_.empty()) return;
+      size_t take = std::min(max_batch_, pending_.size());
+      round.reserve(take);
+      for (size_t i = 0; i < take; ++i) {
+        round.push_back(std::move(pending_.front()));
+        pending_.pop_front();
+      }
+    }
+
+    // Group compatible jobs: the batch entry points take one k for the
+    // whole batch, so (opcode, k) is the coalescing key.
+    std::map<std::pair<uint8_t, size_t>, std::vector<std::unique_ptr<Job>>>
+        groups;
+    for (auto& job : round) {
+      auto key = std::make_pair(static_cast<uint8_t>(job->op), job->k);
+      groups[key].push_back(std::move(job));
+    }
+    for (auto& [key, group] : groups) {
+      RunGroup(static_cast<Opcode>(key.first), key.second, std::move(group));
+    }
+  }
+}
+
+void QueryBatcher::RunGroup(Opcode op, size_t k,
+                            std::vector<std::unique_ptr<Job>> group) {
+  double queue_wait_ms = 0;
+  for (const auto& job : group) queue_wait_ms += MsSince(job->enqueued);
+
+  std::vector<std::vector<std::string>> results;
+  if (op == Opcode::kJoin) {
+    std::vector<std::vector<float>> queries;
+    queries.reserve(group.size());
+    for (auto& job : group) queries.push_back(std::move(job->columns[0]));
+    results = index_->QueryJoinableBatch(queries, k, query_pool_);
+  } else {
+    std::vector<std::vector<std::vector<float>>> queries;
+    queries.reserve(group.size());
+    for (auto& job : group) queries.push_back(std::move(job->columns));
+    results = index_->QueryUnionableBatch(queries, k, query_pool_);
+  }
+  // Count the batch before unblocking its waiters: once a response is
+  // delivered, a STATS read must already see its request, or an exact
+  // served-vs-reported comparison can transiently undercount.
+  {
+    std::unique_lock<std::mutex> lock(stats_mu_);
+    stats_.requests += group.size();
+    stats_.batches += 1;
+    stats_.max_batch = std::max<uint64_t>(stats_.max_batch, group.size());
+    stats_.total_queue_wait_ms += queue_wait_ms;
+  }
+  for (size_t i = 0; i < group.size(); ++i) {
+    group[i]->done.set_value(std::move(results[i]));
+  }
+}
+
+}  // namespace tsfm::server

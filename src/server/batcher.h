@@ -1,0 +1,94 @@
+// Coalesces concurrent in-flight queries into ShardedLakeIndex batch calls.
+//
+// Connection handlers block per request, so without coalescing the index
+// would see one single-query call per connection and throughput would be
+// bounded by connection count. The batcher instead parks each request on a
+// queue; a dedicated dispatcher thread drains the queue, groups compatible
+// requests (same opcode and k), and issues one QueryJoinableBatch /
+// QueryUnionableBatch per group on the query ThreadPool — so throughput
+// scales with shard count and pool width rather than connection count.
+#ifndef TSFM_SERVER_BATCHER_H_
+#define TSFM_SERVER_BATCHER_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "server/protocol.h"
+#include "util/status.h"
+
+namespace tsfm {
+class ThreadPool;
+}  // namespace tsfm
+
+namespace tsfm::search {
+class ShardedLakeIndex;
+}  // namespace tsfm::search
+
+namespace tsfm::server {
+
+/// \brief Groups concurrent queries into batch calls on the lake index.
+///
+/// Submit is called from many connection-handler threads and blocks until
+/// the batch containing the query has executed. Stop() drains: every query
+/// accepted before Stop still gets its result; queries submitted after
+/// Stop are rejected with an error Status. The destructor calls Stop().
+class QueryBatcher {
+ public:
+  /// `index` and `query_pool` must outlive the batcher. `max_batch` caps
+  /// how many queries one dispatch round coalesces (>= 1).
+  QueryBatcher(const search::ShardedLakeIndex* index, ThreadPool* query_pool,
+               size_t max_batch);
+  ~QueryBatcher();
+
+  QueryBatcher(const QueryBatcher&) = delete;
+  QueryBatcher& operator=(const QueryBatcher&) = delete;
+
+  /// \brief Enqueues one query and blocks until its batch has run.
+  ///
+  /// `op` must be kJoin (exactly one column) or kUnion; the caller is
+  /// responsible for dimension validation. Returns the ranked table ids,
+  /// or an error Status if the batcher is stopping.
+  Result<std::vector<std::string>> Submit(
+      Opcode op, std::vector<std::vector<float>> columns, size_t k);
+
+  /// Drains every accepted query, then joins the dispatcher. Idempotent.
+  void Stop();
+
+  /// Point-in-time batching counters (queue-wait / batch-size fields of
+  /// ServerStats; the server layers latency on top).
+  ServerStats stats() const;
+
+ private:
+  struct Job;
+
+  void DispatchLoop();
+  /// Runs one group of same-(op, k) jobs as a single batch call and
+  /// fulfils their results.
+  void RunGroup(Opcode op, size_t k,
+                std::vector<std::unique_ptr<Job>> group);
+
+  const search::ShardedLakeIndex* index_;
+  ThreadPool* query_pool_;
+  size_t max_batch_;
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::deque<std::unique_ptr<Job>> pending_;
+  bool stopping_ = false;
+  std::mutex stop_mu_;  // serializes Stop
+
+  mutable std::mutex stats_mu_;
+  ServerStats stats_;
+
+  std::thread dispatcher_;
+};
+
+}  // namespace tsfm::server
+
+#endif  // TSFM_SERVER_BATCHER_H_

@@ -1,0 +1,123 @@
+#include "server/lake_client.h"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <limits>
+#include <sstream>
+#include <utility>
+
+#include "server/net_util.h"
+
+namespace tsfm::server {
+
+LakeClient::~LakeClient() { Close(); }
+
+Status LakeClient::Connect(const std::string& socket_path) {
+  if (fd_ >= 0) return Status::Internal("client already connected");
+  sockaddr_un addr;
+  if (Status s = internal::FillUnixSockaddr(socket_path, &addr); !s.ok()) {
+    return s;
+  }
+  int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    return Status::IoError(std::string("socket: ") + std::strerror(errno));
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    Status status = Status::IoError("connect " + socket_path + ": " +
+                                    std::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+  fd_ = fd;
+  return Status::OK();
+}
+
+void LakeClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<Response> LakeClient::RoundTrip(const Request& request) {
+  if (fd_ < 0) return Status::Internal("client is not connected");
+  if (Status s = WriteFrame(fd_, SerializeRequest(request)); !s.ok()) {
+    Close();
+    return s;
+  }
+  std::string payload;
+  bool clean_eof = false;
+  if (Status s = ReadFrame(fd_, max_frame_bytes_, &payload, &clean_eof);
+      !s.ok()) {
+    Close();
+    return s;
+  }
+  if (clean_eof) {
+    Close();
+    return Status::IoError("server closed the connection");
+  }
+  std::istringstream in(payload);
+  Response response;
+  if (Status s = DecodeResponse(in, &response); !s.ok()) {
+    Close();
+    return s;
+  }
+  if (response.status != StatusCode::kOk) {
+    return Status(response.status, response.message);
+  }
+  return response;
+}
+
+namespace {
+// The wire carries a uint32 k; saturate rather than silently wrap (a k of
+// exactly 2^32 would otherwise encode as 0 and return nothing). The server
+// clamps to its table count anyway, so saturation never changes results.
+uint32_t SaturateK(size_t k) {
+  return static_cast<uint32_t>(
+      std::min<size_t>(k, std::numeric_limits<uint32_t>::max()));
+}
+}  // namespace
+
+Result<std::vector<std::string>> LakeClient::QueryJoinable(
+    const std::vector<float>& column, size_t k) {
+  Request request;
+  request.op = Opcode::kJoin;
+  request.k = SaturateK(k);
+  request.columns = {column};
+  Result<Response> response = RoundTrip(request);
+  if (!response.ok()) return response.status();
+  return std::move(response).value().ids;
+}
+
+Result<std::vector<std::string>> LakeClient::QueryUnionable(
+    const std::vector<std::vector<float>>& columns, size_t k) {
+  // EncodeRequest writes one dim for the whole query; catch ragged input
+  // here rather than silently mangling it on the wire.
+  for (const auto& column : columns) {
+    if (column.size() != columns[0].size()) {
+      return Status::InvalidArgument("union query columns differ in dim");
+    }
+  }
+  Request request;
+  request.op = Opcode::kUnion;
+  request.k = SaturateK(k);
+  request.columns = columns;
+  Result<Response> response = RoundTrip(request);
+  if (!response.ok()) return response.status();
+  return std::move(response).value().ids;
+}
+
+Result<ServerStats> LakeClient::Stats() {
+  Request request;
+  request.op = Opcode::kStats;
+  Result<Response> response = RoundTrip(request);
+  if (!response.ok()) return response.status();
+  return std::move(response).value().stats;
+}
+
+}  // namespace tsfm::server

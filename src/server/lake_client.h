@@ -1,0 +1,63 @@
+// Blocking client for the LakeServer wire protocol: connect to a serving
+// socket, issue join/union/stats requests, read framed responses. One
+// in-flight request per client; share nothing across threads, or give each
+// thread its own client (connections are cheap on AF_UNIX).
+#ifndef TSFM_SERVER_LAKE_CLIENT_H_
+#define TSFM_SERVER_LAKE_CLIENT_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "server/protocol.h"
+#include "util/status.h"
+
+namespace tsfm::server {
+
+/// \brief A synchronous connection to a LakeServer.
+///
+/// Query methods mirror ShardedLakeIndex's Query* surface and return the
+/// same ranked ids the index would return directly. A server-side error
+/// comes back as that error's Status; transport failures (server gone,
+/// malformed response) are kIoError/kParseError. The destructor closes.
+class LakeClient {
+ public:
+  /// `max_frame_bytes` bounds the response frames this client will accept;
+  /// raise it for very large k against very large lakes (the server's
+  /// request-side ceiling is configured independently in ServerOptions).
+  explicit LakeClient(size_t max_frame_bytes = kDefaultMaxFrameBytes)
+      : max_frame_bytes_(max_frame_bytes) {}
+  ~LakeClient();
+
+  LakeClient(const LakeClient&) = delete;
+  LakeClient& operator=(const LakeClient&) = delete;
+
+  /// Connects to a LakeServer's AF_UNIX socket path.
+  Status Connect(const std::string& socket_path);
+
+  /// Ranked table ids joinable on `column`, best first. k saturates at
+  /// UINT32_MAX on the wire (the server clamps to its table count anyway).
+  Result<std::vector<std::string>> QueryJoinable(
+      const std::vector<float>& column, size_t k);
+
+  /// Ranked table ids unionable with `columns` (all columns must share one
+  /// dimension; an empty query is legal and returns no results).
+  Result<std::vector<std::string>> QueryUnionable(
+      const std::vector<std::vector<float>>& columns, size_t k);
+
+  /// Server-side batching and latency counters.
+  Result<ServerStats> Stats();
+
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+
+ private:
+  Result<Response> RoundTrip(const Request& request);
+
+  size_t max_frame_bytes_;
+  int fd_ = -1;
+};
+
+}  // namespace tsfm::server
+
+#endif  // TSFM_SERVER_LAKE_CLIENT_H_

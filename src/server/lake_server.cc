@@ -1,0 +1,244 @@
+#include "server/lake_server.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <sstream>
+#include <thread>
+#include <utility>
+
+#include "server/net_util.h"
+#include "util/thread_pool.h"
+
+namespace tsfm::server {
+
+using internal::FillUnixSockaddr;
+using internal::MsSince;
+using Clock = internal::SteadyClock;
+
+namespace {
+constexpr int kAcceptPollMs = 50;  // stop-flag check cadence
+}  // namespace
+
+LakeServer::LakeServer(search::ShardedLakeIndex index,
+                       const ServerOptions& options)
+    : index_(std::move(index)), options_(options) {
+  size_t query_threads = options_.query_threads != 0
+                             ? options_.query_threads
+                             : std::thread::hardware_concurrency();
+  query_pool_ = std::make_unique<ThreadPool>(query_threads);
+  io_pool_ = std::make_unique<ThreadPool>(options_.io_threads);
+  batcher_ = std::make_unique<QueryBatcher>(&index_, query_pool_.get(),
+                                            options_.max_batch);
+}
+
+LakeServer::~LakeServer() { Stop(); }
+
+Status LakeServer::Start(const std::string& socket_path) {
+  if (started_) return Status::Internal("server already started");
+  sockaddr_un addr;
+  if (Status s = FillUnixSockaddr(socket_path, &addr); !s.ok()) return s;
+
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) {
+    return Status::IoError(std::string("socket: ") + std::strerror(errno));
+  }
+  ::unlink(socket_path.c_str());  // a stale path from a dead server is fine
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    Status status = Status::IoError("bind " + socket_path + ": " +
+                                    std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+  if (::listen(listen_fd_, 128) < 0) {
+    Status status =
+        Status::IoError(std::string("listen: ") + std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    ::unlink(socket_path.c_str());
+    return status;
+  }
+  socket_path_ = socket_path;
+  started_ = true;
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void LakeServer::Stop() {
+  // Serialize concurrent Stop calls (say, an explicit call racing the
+  // destructor's): the loser blocks until the winner has fully torn down,
+  // so it can never observe a half-stopped server.
+  std::lock_guard<std::mutex> stop_lock(stop_mu_);
+  if (!started_ || stopped_) return;
+  stopped_ = true;
+
+  // 1. Refuse new connections: flag the accept loop down, join it, release
+  //    the socket path.
+  stopping_.store(true);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  ::unlink(socket_path_.c_str());
+
+  // 2. Nudge every open connection: a read-side shutdown makes a handler
+  //    blocked in ReadFrame see a clean EOF. Handlers that already read a
+  //    request keep going — they finish through the batcher and write
+  //    their response on the still-open write side.
+  {
+    std::unique_lock<std::mutex> lock(conn_mu_);
+    for (int fd : conns_) ::shutdown(fd, SHUT_RD);
+  }
+
+  // 3. Drain: wait for every connection handler (running and queued), then
+  //    for the batcher (which answers all accepted queries before exiting).
+  io_pool_->Wait();
+  batcher_->Stop();
+
+  // 4. Tear down the pools; their destructors would do this too, but doing
+  //    it here makes "no leaked threads" hold the moment Stop returns.
+  io_pool_->Shutdown();
+  query_pool_->Shutdown();
+}
+
+ServerStats LakeServer::stats() const {
+  ServerStats stats = batcher_->stats();
+  std::unique_lock<std::mutex> lock(latency_mu_);
+  stats.total_latency_ms = total_latency_ms_;
+  return stats;
+}
+
+void LakeServer::AcceptLoop() {
+  for (;;) {
+    if (stopping_.load()) return;
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    int ready = ::poll(&pfd, 1, kAcceptPollMs);
+    if (ready < 0 && errno != EINTR) {
+      // A transient poll failure (e.g. ENOMEM) must not silently retire
+      // the accept loop while running() still reads true; back off, retry.
+      std::this_thread::sleep_for(std::chrono::milliseconds(kAcceptPollMs));
+      continue;
+    }
+    if (ready <= 0 || (pfd.revents & POLLIN) == 0) continue;
+    int fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_CLOEXEC);
+    if (fd < 0) {
+      // Under fd exhaustion (EMFILE/ENFILE) the pending connection keeps
+      // the listen fd readable, so a bare retry would busy-spin a core;
+      // back off and let fds free up.
+      std::this_thread::sleep_for(std::chrono::milliseconds(kAcceptPollMs));
+      continue;
+    }
+    if (stopping_.load()) {
+      ::close(fd);
+      return;
+    }
+    // A client that stops reading must not wedge a handler (and with it
+    // graceful shutdown) in send() forever.
+    timeval send_timeout{/*tv_sec=*/60, /*tv_usec=*/0};
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &send_timeout,
+                 sizeof(send_timeout));
+    {
+      std::unique_lock<std::mutex> lock(conn_mu_);
+      conns_.insert(fd);
+    }
+    if (!io_pool_->Submit([this, fd] { HandleConnection(fd); })) {
+      std::unique_lock<std::mutex> lock(conn_mu_);
+      conns_.erase(fd);
+      ::close(fd);
+    }
+  }
+}
+
+void LakeServer::HandleConnection(int fd) {
+  for (;;) {
+    std::string payload;
+    bool clean_eof = false;
+    Status status =
+        ReadFrame(fd, options_.max_frame_bytes, &payload, &clean_eof);
+    if (status.ok() && clean_eof) break;
+    if (!status.ok()) {
+      // An oversized length prefix leaves the stream positioned after the
+      // prefix, so the connection cannot be re-synchronized — answer with
+      // a Status error, then close. Truncated frames and transport errors
+      // mean the client is gone; just close.
+      if (status.code() == StatusCode::kOutOfRange) {
+        WriteFrame(fd,
+                   SerializeResponse(Response::Error(Opcode::kJoin, status)));
+      }
+      break;
+    }
+
+    Clock::time_point received = Clock::now();
+    std::istringstream in(payload);
+    Request request;
+    Response response;
+    if (Status parsed = DecodeRequest(in, &request); !parsed.ok()) {
+      // The frame boundary survived, so the connection is still usable.
+      // DecodeRequest fills request.op before later failures (trailing
+      // bytes, truncated vectors), so echo it where it got that far;
+      // header-level failures leave the default.
+      response = Response::Error(request.op, parsed);
+    } else {
+      response = HandleRequest(std::move(request));
+    }
+    if (response.status == StatusCode::kOk &&
+        response.op != Opcode::kStats) {
+      std::unique_lock<std::mutex> lock(latency_mu_);
+      total_latency_ms_ += MsSince(received);
+    }
+    if (!WriteFrame(fd, SerializeResponse(response)).ok()) break;
+  }
+  {
+    std::unique_lock<std::mutex> lock(conn_mu_);
+    conns_.erase(fd);
+  }
+  ::close(fd);
+}
+
+Response LakeServer::HandleRequest(Request&& request) {
+  const Opcode op = request.op;
+  if (op == Opcode::kStats) {
+    Response response;
+    response.op = op;
+    response.stats = stats();
+    return response;
+  }
+  if (op == Opcode::kJoin && request.columns.size() != 1) {
+    return Response::Error(
+        op, Status::InvalidArgument(
+                "join query must carry exactly one column, got " +
+                std::to_string(request.columns.size())));
+  }
+  for (const auto& column : request.columns) {
+    if (column.size() != index_.dim()) {
+      return Response::Error(
+          op, Status::InvalidArgument(
+                  "query dim " + std::to_string(column.size()) +
+                  " does not match index dim " + std::to_string(index_.dim())));
+    }
+  }
+  // Ranked results can never exceed the table count, so clamping k there
+  // changes nothing semantically — but it stops a hostile k=0xFFFFFFFF in
+  // an otherwise-valid tiny frame from driving a ~300 GB reserve() inside
+  // the ranking stack and killing the server with bad_alloc.
+  const size_t k = std::min<size_t>(request.k, index_.num_tables());
+  Result<std::vector<std::string>> ids =
+      batcher_->Submit(op, std::move(request.columns), k);
+  if (!ids.ok()) return Response::Error(op, ids.status());
+  Response response;
+  response.op = op;
+  response.ids = std::move(ids).value();
+  return response;
+}
+
+}  // namespace tsfm::server

@@ -1,0 +1,116 @@
+// Long-lived query server over a ShardedLakeIndex (ROADMAP "Async query
+// server"): load the index once, then serve join/union queries to many
+// concurrent clients over a local (AF_UNIX) socket.
+//
+// Architecture: one accept thread polls the listening socket and hands each
+// accepted connection to an I/O ThreadPool; connection handlers read
+// length-prefixed request frames (server/protocol.h) and park each query on
+// the QueryBatcher, which coalesces concurrent in-flight queries into
+// QueryJoinableBatch/QueryUnionableBatch calls on a separate query
+// ThreadPool. Results are bit-identical to calling the index directly.
+//
+// Shutdown is graceful: Stop() refuses new connections, nudges idle
+// connections with a read-side shutdown, lets every request that was
+// already read off the wire finish through the batcher, writes its
+// response, and only then tears the pools down — no dropped accepted
+// requests, no leaked threads.
+#ifndef TSFM_SERVER_LAKE_SERVER_H_
+#define TSFM_SERVER_LAKE_SERVER_H_
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_set>
+
+#include "search/sharded_lake_index.h"
+#include "server/batcher.h"
+#include "server/protocol.h"
+#include "util/status.h"
+
+namespace tsfm {
+class ThreadPool;
+}  // namespace tsfm
+
+namespace tsfm::server {
+
+/// \brief Serving knobs.
+///
+/// `io_threads` bounds how many connections are serviced concurrently
+/// (excess accepted connections wait for a free handler); `query_threads`
+/// sizes the pool the batch calls fan out over (0 = hardware concurrency).
+struct ServerOptions {
+  size_t io_threads = 8;
+  size_t query_threads = 0;
+  size_t max_batch = 64;                          ///< per dispatch round
+  size_t max_frame_bytes = kDefaultMaxFrameBytes; ///< request frame ceiling
+};
+
+/// \brief A blocking query server that owns a ShardedLakeIndex.
+///
+/// Construct with a ready index (move it in, or load one with
+/// ShardedLakeIndex::Load), Start() on a socket path, Stop() to drain.
+/// The destructor calls Stop(). Not copyable or movable — live threads
+/// hold `this`.
+class LakeServer {
+ public:
+  explicit LakeServer(search::ShardedLakeIndex index,
+                      const ServerOptions& options = {});
+  ~LakeServer();
+
+  LakeServer(const LakeServer&) = delete;
+  LakeServer& operator=(const LakeServer&) = delete;
+
+  /// \brief Binds `socket_path` (an AF_UNIX path, unlinked first if stale)
+  /// and starts accepting connections. One Start per server.
+  Status Start(const std::string& socket_path);
+
+  /// \brief Graceful shutdown; see the file comment. Idempotent.
+  void Stop();
+
+  /// True between a successful Start and Stop.
+  bool running() const { return started_ && !stopping_.load(); }
+
+  /// Batching counters plus served-request latency, as reported by the
+  /// STATS opcode.
+  ServerStats stats() const;
+
+  const search::ShardedLakeIndex& index() const { return index_; }
+  const std::string& socket_path() const { return socket_path_; }
+
+ private:
+  void AcceptLoop();
+  void HandleConnection(int fd);
+  /// Validates and executes one parsed request (the only layer that knows
+  /// both the protocol and the index).
+  Response HandleRequest(Request&& request);
+
+  search::ShardedLakeIndex index_;
+  ServerOptions options_;
+
+  // Declaration order is teardown order in reverse: the batcher must die
+  // before the query pool it dispatches onto.
+  std::unique_ptr<ThreadPool> query_pool_;
+  std::unique_ptr<ThreadPool> io_pool_;
+  std::unique_ptr<QueryBatcher> batcher_;
+
+  std::thread accept_thread_;
+  int listen_fd_ = -1;
+  std::string socket_path_;
+  bool started_ = false;
+  std::atomic<bool> stopping_{false};
+  std::mutex stop_mu_;  // serializes Stop; stopped_ is written under it
+  bool stopped_ = false;
+
+  std::mutex conn_mu_;
+  std::unordered_set<int> conns_;
+
+  mutable std::mutex latency_mu_;
+  double total_latency_ms_ = 0;
+};
+
+}  // namespace tsfm::server
+
+#endif  // TSFM_SERVER_LAKE_SERVER_H_

@@ -1,0 +1,41 @@
+// Internal plumbing shared by the server-subsystem .cc files (not part of
+// the public surface): steady-clock millisecond deltas for the stats
+// counters, and AF_UNIX address setup used identically on both ends of the
+// socket.
+#ifndef TSFM_SERVER_NET_UTIL_H_
+#define TSFM_SERVER_NET_UTIL_H_
+
+#include <sys/socket.h>
+#include <sys/un.h>
+
+#include <chrono>
+#include <cstring>
+#include <string>
+
+#include "util/status.h"
+
+namespace tsfm::server::internal {
+
+using SteadyClock = std::chrono::steady_clock;
+
+inline double MsSince(SteadyClock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(SteadyClock::now() - t0)
+      .count();
+}
+
+/// Fills `addr` for `socket_path`; too-long paths (sun_path is ~108 bytes)
+/// are an error on either end, not a silent truncation.
+inline Status FillUnixSockaddr(const std::string& socket_path,
+                               sockaddr_un* addr) {
+  *addr = {};
+  addr->sun_family = AF_UNIX;
+  if (socket_path.size() >= sizeof(addr->sun_path)) {
+    return Status::InvalidArgument("socket path too long: " + socket_path);
+  }
+  std::memcpy(addr->sun_path, socket_path.c_str(), socket_path.size() + 1);
+  return Status::OK();
+}
+
+}  // namespace tsfm::server::internal
+
+#endif  // TSFM_SERVER_NET_UTIL_H_

@@ -1,0 +1,132 @@
+// Wire protocol for the lake query server (ROADMAP "Async query server").
+//
+// Everything on the socket is a length-prefixed frame: a uint32 payload
+// byte count followed by the payload, little-endian host layout via
+// stream_io.h like the rest of the on-disk formats. Payloads start with a
+// protocol version byte so the format can evolve without breaking old
+// clients, then an opcode. See src/server/README.md for the full layout.
+//
+// The codec is split from the socket layer on purpose: Encode*/Decode*
+// work on std::iostreams so they can be property-tested without a socket,
+// while WriteFrame/ReadFrame move whole frames over a file descriptor and
+// are the only functions that touch the network.
+#ifndef TSFM_SERVER_PROTOCOL_H_
+#define TSFM_SERVER_PROTOCOL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace tsfm::server {
+
+/// Bumped whenever the payload layout changes; a request or response with
+/// any other version is rejected with kParseError.
+inline constexpr uint8_t kProtocolVersion = 1;
+
+/// Default ceiling on one frame's payload. A length prefix above the
+/// negotiated ceiling is answered with a Status error, not an allocation.
+inline constexpr size_t kDefaultMaxFrameBytes = 16u << 20;
+
+/// Request kinds. Values are wire format — never renumber.
+enum class Opcode : uint8_t {
+  kJoin = 1,   ///< rank tables joinable on one query column
+  kUnion = 2,  ///< rank tables unionable with a set of query columns
+  kStats = 3,  ///< fetch server-side batching/latency counters
+};
+
+/// True for the opcodes this version understands.
+bool IsValidOpcode(uint8_t raw);
+
+/// \brief One client request.
+///
+/// kJoin carries exactly one column; kUnion any number (zero included —
+/// the server answers it exactly like a direct QueryUnionable({}) call);
+/// kStats carries neither k nor columns.
+struct Request {
+  uint8_t version = kProtocolVersion;
+  Opcode op = Opcode::kJoin;
+  uint32_t k = 0;
+  std::vector<std::vector<float>> columns;
+
+  bool operator==(const Request&) const = default;
+};
+
+/// Server-side counters returned by the kStats opcode.
+struct ServerStats {
+  uint64_t requests = 0;          ///< join/union requests answered
+  uint64_t batches = 0;           ///< coalesced batch dispatches
+  uint64_t max_batch = 0;         ///< largest batch coalesced so far
+  double total_queue_wait_ms = 0; ///< sum of enqueue->dispatch waits
+  double total_latency_ms = 0;    ///< sum of frame-read->response latencies
+
+  bool operator==(const ServerStats&) const = default;
+};
+
+/// \brief One server response.
+///
+/// `op` echoes the request opcode — when the server could parse one; for
+/// frame-level errors (oversized prefix) and header-level parse failures
+/// it stays the default kJoin — and selects which payload field is
+/// meaningful. A non-OK `status` carries `message` and no payload.
+struct Response {
+  uint8_t version = kProtocolVersion;
+  Opcode op = Opcode::kJoin;
+  StatusCode status = StatusCode::kOk;
+  std::string message;           ///< non-empty iff status != kOk
+  std::vector<std::string> ids;  ///< kJoin/kUnion payload, ranked
+  ServerStats stats;             ///< kStats payload
+
+  bool operator==(const Response&) const = default;
+
+  /// Shorthand for an error response echoing `op`.
+  static Response Error(Opcode op, const Status& status);
+};
+
+/// Serializes a request payload (without the frame length prefix). All
+/// columns must share one dimension — the wire format carries a single dim
+/// for the whole query — and ragged input check-fails rather than encoding
+/// a payload that would decode to a different request.
+void EncodeRequest(const Request& request, std::ostream& out);
+
+/// \brief Parses a request payload.
+///
+/// Returns kParseError for a wrong version byte, unknown opcode, column
+/// counts or dims large enough to be hostile, a stream that ends early, or
+/// one that does not end exactly at the message end (a frame carries one
+/// message; trailing bytes mean a desynced or hostile peer).
+Status DecodeRequest(std::istream& in, Request* request);
+
+/// Serializes a response payload (without the frame length prefix).
+void EncodeResponse(const Response& response, std::ostream& out);
+
+/// Parses a response payload; error taxonomy mirrors DecodeRequest.
+Status DecodeResponse(std::istream& in, Response* response);
+
+/// EncodeRequest into a string, ready for WriteFrame.
+std::string SerializeRequest(const Request& request);
+
+/// EncodeResponse into a string, ready for WriteFrame.
+std::string SerializeResponse(const Response& response);
+
+/// \brief Sends one length-prefixed frame over `fd`.
+///
+/// Handles short writes; never raises SIGPIPE (a vanished peer surfaces as
+/// a kIoError Status instead).
+Status WriteFrame(int fd, const std::string& payload);
+
+/// \brief Reads one length-prefixed frame from `fd`.
+///
+/// A clean EOF at a frame boundary sets `*clean_eof` and returns OK with an
+/// empty payload. EOF mid-frame (a truncated frame) is kIoError; a length
+/// prefix above `max_bytes` is kOutOfRange, reported before any allocation
+/// so an adversarial prefix cannot balloon memory.
+Status ReadFrame(int fd, size_t max_bytes, std::string* payload,
+                 bool* clean_eof);
+
+}  // namespace tsfm::server
+
+#endif  // TSFM_SERVER_PROTOCOL_H_

@@ -5,34 +5,45 @@
 namespace tsfm {
 
 ThreadPool::ThreadPool(size_t num_threads) {
-  num_threads = std::max<size_t>(1, num_threads);
-  workers_.reserve(num_threads);
-  for (size_t i = 0; i < num_threads; ++i) {
+  num_threads_ = std::max<size_t>(1, num_threads);
+  workers_.reserve(num_threads_);
+  for (size_t i = 0; i < num_threads_; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
   }
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { Shutdown(); }
+
+bool ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    // After stop_ the workers may already have exited; a task enqueued now
+    // would never run but still count in in_flight_, wedging Wait().
+    if (stop_) return false;
+    tasks_.push(std::move(task));
+    ++in_flight_;
+  }
+  task_cv_.notify_one();
+  return true;
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::Shutdown() {
+  // Serialized so concurrent Shutdown calls (an explicit one racing the
+  // destructor's, say) cannot double-join the workers; a late caller
+  // blocks until the first teardown completes, then finds nothing to do.
+  std::lock_guard<std::mutex> shutdown_lock(shutdown_mu_);
   {
     std::unique_lock<std::mutex> lock(mu_);
     stop_ = true;
   }
   task_cv_.notify_all();
   for (auto& w : workers_) w.join();
-}
-
-void ThreadPool::Submit(std::function<void()> task) {
-  {
-    std::unique_lock<std::mutex> lock(mu_);
-    tasks_.push(std::move(task));
-    ++in_flight_;
-  }
-  task_cv_.notify_one();
-}
-
-void ThreadPool::Wait() {
-  std::unique_lock<std::mutex> lock(mu_);
-  done_cv_.wait(lock, [this] { return in_flight_ == 0; });
+  workers_.clear();
 }
 
 void ThreadPool::WorkerLoop() {
@@ -60,15 +71,22 @@ void ParallelFor(ThreadPool* pool, size_t begin, size_t end,
   const size_t n = end - begin;
   const size_t chunks = std::min(n, pool->num_threads() * 4);
   const size_t chunk_size = (n + chunks - 1) / chunks;
+  size_t accepted_hi = begin;
   for (size_t c = 0; c < chunks; ++c) {
     size_t lo = begin + c * chunk_size;
     size_t hi = std::min(end, lo + chunk_size);
     if (lo >= hi) break;
-    pool->Submit([lo, hi, &body] {
-      for (size_t i = lo; i < hi; ++i) body(i);
-    });
+    if (!pool->Submit([lo, hi, &body] {
+          for (size_t i = lo; i < hi; ++i) body(i);
+        })) {
+      break;  // pool shut down mid-loop; run the tail inline below
+    }
+    accepted_hi = hi;
   }
   pool->Wait();
+  // A shutdown pool rejects tasks rather than stranding them; honour the
+  // ParallelFor contract by covering the rejected range on this thread.
+  for (size_t i = accepted_hi; i < end; ++i) body(i);
 }
 
 }  // namespace tsfm

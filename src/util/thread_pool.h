@@ -26,20 +26,34 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Enqueues a task for execution.
-  void Submit(std::function<void()> task);
+  /// \brief Enqueues a task for execution.
+  ///
+  /// Returns true if the task was accepted. Once Shutdown() has begun the
+  /// task is rejected (returns false) and will never run — accepting it
+  /// could strand a task no worker will pick up, wedging Wait() forever.
+  bool Submit(std::function<void()> task);
 
-  /// Blocks until every submitted task has finished.
+  /// Blocks until every accepted task has finished.
   void Wait();
 
-  size_t num_threads() const { return workers_.size(); }
+  /// \brief Drains every queued task, then joins the workers.
+  ///
+  /// Idempotent and safe to call concurrently with Submit and with other
+  /// Shutdown calls: tasks accepted before shutdown all run to completion,
+  /// tasks submitted after are rejected, and a racing second Shutdown
+  /// blocks until the first finishes. The destructor calls Shutdown().
+  void Shutdown();
+
+  size_t num_threads() const { return num_threads_; }
 
  private:
   void WorkerLoop();
 
+  size_t num_threads_ = 0;
   std::vector<std::thread> workers_;
   std::queue<std::function<void()>> tasks_;
   std::mutex mu_;
+  std::mutex shutdown_mu_;  // serializes Shutdown
   std::condition_variable task_cv_;
   std::condition_variable done_cv_;
   size_t in_flight_ = 0;

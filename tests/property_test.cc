@@ -17,7 +17,9 @@
 #include "nn/serialize.h"
 #include "search/metrics.h"
 #include "search/sharded_lake_index.h"
+#include "search/stream_io.h"
 #include "search/table_ranker.h"
+#include "server/protocol.h"
 #include "sketch/table_sketch.h"
 #include "text/tokenizer.h"
 #include "util/hash.h"
@@ -402,6 +404,142 @@ TEST(CheckpointFailureTest, GarbageMagicRejected) {
   EXPECT_FALSE(status.ok());
   EXPECT_EQ(status.code(), StatusCode::kParseError);
   std::remove(path.c_str());
+}
+
+// --------------------------------------- server wire-protocol round trips
+//
+// Every message the server and client can exchange must encode->decode to
+// an identical value, across all opcodes and the degenerate shapes (zero
+// queries, zero k, empty ids, error statuses); and no proper prefix of an
+// encoding may decode successfully — a truncated payload is a parse error,
+// never a crash or a silently misparsed message.
+
+server::Request RandomRequest(Rng* rng) {
+  server::Request request;
+  switch (rng->UniformInt(0, 2)) {
+    case 0: request.op = server::Opcode::kJoin; break;
+    case 1: request.op = server::Opcode::kUnion; break;
+    default: request.op = server::Opcode::kStats; break;
+  }
+  if (request.op == server::Opcode::kStats) return request;
+  request.k = static_cast<uint32_t>(rng->UniformInt(0, 50));
+  size_t num_columns = request.op == server::Opcode::kJoin
+                           ? 1
+                           : static_cast<size_t>(rng->UniformInt(0, 4));
+  size_t dim = static_cast<size_t>(rng->UniformInt(0, 8));
+  request.columns.resize(num_columns);
+  for (auto& column : request.columns) {
+    column.resize(dim);
+    for (auto& x : column) x = static_cast<float>(rng->Normal());
+  }
+  return request;
+}
+
+server::Response RandomResponse(Rng* rng) {
+  server::Response response;
+  switch (rng->UniformInt(0, 2)) {
+    case 0: response.op = server::Opcode::kJoin; break;
+    case 1: response.op = server::Opcode::kUnion; break;
+    default: response.op = server::Opcode::kStats; break;
+  }
+  if (rng->UniformInt(0, 3) == 0) {
+    response.status = StatusCode::kInvalidArgument;
+    response.message = "injected failure #" + std::to_string(rng->UniformInt(0, 99));
+    return response;
+  }
+  if (response.op == server::Opcode::kStats) {
+    response.stats.requests = static_cast<uint64_t>(rng->UniformInt(0, 1000));
+    response.stats.batches = static_cast<uint64_t>(rng->UniformInt(0, 100));
+    response.stats.max_batch = static_cast<uint64_t>(rng->UniformInt(0, 64));
+    response.stats.total_queue_wait_ms = rng->UniformDouble(0, 10);
+    response.stats.total_latency_ms = rng->UniformDouble(0, 10);
+    return response;
+  }
+  size_t n = static_cast<size_t>(rng->UniformInt(0, 6));
+  for (size_t i = 0; i < n; ++i) {
+    // Include the empty string: a zero-length table id must survive the wire.
+    response.ids.push_back(i == 0 ? "" : "tbl_" + std::to_string(rng->UniformInt(0, 999)));
+  }
+  return response;
+}
+
+class ProtocolRoundTripTest : public testing::TestWithParam<uint64_t> {};
+
+TEST_P(ProtocolRoundTripTest, RequestsSurviveTheWire) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 50; ++i) {
+    server::Request request = RandomRequest(&rng);
+    std::string payload = server::SerializeRequest(request);
+    std::istringstream in(payload);
+    server::Request decoded;
+    ASSERT_TRUE(server::DecodeRequest(in, &decoded).ok());
+    EXPECT_EQ(decoded, request);
+  }
+}
+
+TEST_P(ProtocolRoundTripTest, ResponsesSurviveTheWire) {
+  Rng rng(GetParam() + 1000);
+  for (int i = 0; i < 50; ++i) {
+    server::Response response = RandomResponse(&rng);
+    std::string payload = server::SerializeResponse(response);
+    std::istringstream in(payload);
+    server::Response decoded;
+    ASSERT_TRUE(server::DecodeResponse(in, &decoded).ok());
+    EXPECT_EQ(decoded, response);
+  }
+}
+
+TEST_P(ProtocolRoundTripTest, NoProperPrefixOfAQueryRequestDecodes) {
+  Rng rng(GetParam() + 2000);
+  for (int i = 0; i < 10; ++i) {
+    server::Request request = RandomRequest(&rng);
+    if (request.op == server::Opcode::kStats) continue;  // 2-byte payload
+    std::string payload = server::SerializeRequest(request);
+    for (size_t cut = 0; cut < payload.size(); ++cut) {
+      std::istringstream in(payload.substr(0, cut));
+      server::Request decoded;
+      EXPECT_FALSE(server::DecodeRequest(in, &decoded).ok())
+          << "prefix of " << cut << "/" << payload.size() << " bytes decoded";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ProtocolRoundTripTest,
+                         testing::Values(1u, 2u, 3u, 4u));
+
+TEST(ProtocolRoundTripTest, ExplicitEdgeCases) {
+  // Zero-query union with zero k: the smallest legal query message.
+  server::Request empty_union;
+  empty_union.op = server::Opcode::kUnion;
+  empty_union.k = 0;
+  std::string payload = server::SerializeRequest(empty_union);
+  std::istringstream in(payload);
+  server::Request decoded;
+  ASSERT_TRUE(server::DecodeRequest(in, &decoded).ok());
+  EXPECT_EQ(decoded, empty_union);
+  EXPECT_TRUE(decoded.columns.empty());
+
+  // An OK response with zero results.
+  server::Response empty_ok;
+  empty_ok.op = server::Opcode::kUnion;
+  std::string response_payload = server::SerializeResponse(empty_ok);
+  std::istringstream rin(response_payload);
+  server::Response rdecoded;
+  ASSERT_TRUE(server::DecodeResponse(rin, &rdecoded).ok());
+  EXPECT_EQ(rdecoded, empty_ok);
+
+  // A hostile column count must be rejected before any allocation.
+  std::ostringstream hostile;
+  search::io::WritePod(hostile, server::kProtocolVersion);
+  search::io::WritePod(hostile, static_cast<uint8_t>(server::Opcode::kUnion));
+  search::io::WritePod(hostile, uint32_t{10});           // k
+  search::io::WritePod(hostile, uint32_t{0xFFFFFFFF});   // columns
+  search::io::WritePod(hostile, uint32_t{0xFFFFFFFF});   // dim
+  std::istringstream hin(hostile.str());
+  server::Request hostile_decoded;
+  auto status = server::DecodeRequest(hin, &hostile_decoded);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kParseError);
 }
 
 }  // namespace

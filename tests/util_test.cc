@@ -1,7 +1,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <memory>
 #include <set>
+#include <thread>
+#include <vector>
 
 #include "util/hash.h"
 #include "util/random.h"
@@ -263,6 +266,61 @@ TEST(ThreadPoolTest, ParallelForCoversRange) {
 TEST(ThreadPoolTest, EmptyRangeIsNoop) {
   ThreadPool pool(2);
   ParallelFor(&pool, 5, 5, [](size_t) { FAIL() << "must not run"; });
+}
+
+TEST(ThreadPoolTest, ShutdownDrainsQueuedTasks) {
+  std::atomic<int> counter{0};
+  ThreadPool pool(2);
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(pool.Submit([&counter] { counter.fetch_add(1); }));
+  }
+  pool.Shutdown();  // must run everything already accepted, then join
+  EXPECT_EQ(counter.load(), 200);
+}
+
+TEST(ThreadPoolTest, SubmitAfterShutdownIsRejectedAndWaitDoesNotWedge) {
+  ThreadPool pool(2);
+  pool.Shutdown();
+  // A task accepted now would never run — in_flight would stay nonzero and
+  // Wait() below would block forever. Rejection is the only safe answer.
+  EXPECT_FALSE(pool.Submit([] { FAIL() << "must not run"; }));
+  pool.Wait();  // returns immediately; wedging here is the bug
+  pool.Shutdown();  // idempotent
+}
+
+TEST(ThreadPoolTest, ConcurrentSubmitDuringShutdownNeverLosesAcceptedTasks) {
+  // Hammer Submit from several threads while the pool shuts down. Every
+  // accepted task must execute (else Wait()/Shutdown() can wedge on a
+  // stranded in_flight count); every rejected task must not.
+  std::atomic<int> accepted{0};
+  std::atomic<int> executed{0};
+  auto pool = std::make_unique<ThreadPool>(2);
+  std::vector<std::thread> submitters;
+  std::atomic<bool> go{false};
+  for (int t = 0; t < 4; ++t) {
+    submitters.emplace_back([&] {
+      while (!go.load()) std::this_thread::yield();
+      for (int i = 0; i < 500; ++i) {
+        if (pool->Submit([&executed] { executed.fetch_add(1); })) {
+          accepted.fetch_add(1);
+        }
+      }
+    });
+  }
+  go.store(true);
+  pool->Shutdown();
+  for (auto& t : submitters) t.join();
+  EXPECT_EQ(executed.load(), accepted.load());
+}
+
+TEST(ThreadPoolTest, ParallelForOnShutDownPoolStillCoversRange) {
+  ThreadPool pool(2);
+  pool.Shutdown();
+  // The pool rejects everything, so ParallelFor must fall back to running
+  // the whole range inline rather than silently skipping it.
+  std::vector<std::atomic<int>> touched(20);
+  ParallelFor(&pool, 0, 20, [&](size_t i) { touched[i].fetch_add(1); });
+  for (auto& t : touched) EXPECT_EQ(t.load(), 1);
 }
 
 TEST(TimerTest, MeasuresElapsed) {
