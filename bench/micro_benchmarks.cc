@@ -22,8 +22,10 @@
 #include "search/knn_index.h"
 #include "search/sharded_lake_index.h"
 #include "search/vector_index.h"
+#include "server/distributed_lake_index.h"
 #include "server/lake_client.h"
 #include "server/lake_server.h"
+#include "server/shard_worker.h"
 #include "sketch/minhash.h"
 #include "sketch/table_sketch.h"
 #include "text/tokenizer.h"
@@ -469,6 +471,79 @@ void BM_ServerQPSDirectBaseline(benchmark::State& state) {
   state.counters["clients"] = static_cast<double>(clients);
 }
 BENCHMARK(BM_ServerQPSDirectBaseline)->Arg(1)->Arg(4)->Arg(16)->UseRealTime();
+
+// ---------------------------------------------------------- distributed QPS
+// The same batch workload BM_ShardedLakeBatchQuery answers in-process, but
+// scattered over 1 / 2 / 4 lake_shard_worker *processes* through a
+// DistributedLakeIndex coordinator. Results are identical at every worker
+// count (the distributed parity suite proves it bit-exactly), so the gap
+// against BM_ShardedLakeBatchQuery at the same shard count is precisely the
+// cost of crossing the process boundary: framing, socket hops, and the
+// coordinator's remap/merge.
+
+void BM_DistributedQPS(benchmark::State& state) {
+  const size_t workers = static_cast<size_t>(state.range(0));
+  const ShardedLakeFixture& f = GetShardedLakeFixture();
+  auto lake = BuildShardedLake(f, workers);
+  const std::string manifest = "/tmp/tsfm_bench_dist_" +
+                               std::to_string(::getpid()) + "_" +
+                               std::to_string(workers) + ".laks";
+  if (!lake.Save(manifest).ok()) {
+    state.SkipWithError("manifest save failed");
+    return;
+  }
+
+  auto unlink_index_files = [&] {
+    for (size_t s = 0; s < workers; ++s) {
+      ::unlink((manifest + ".shard-" + std::to_string(s)).c_str());
+    }
+    ::unlink(manifest.c_str());
+  };
+  // Fork the worker fleet before this benchmark grows pool threads; the
+  // fleet stops its workers and unlinks its sockets on destruction. The
+  // socket prefix must differ from the manifest path — worker sockets are
+  // "<prefix>.shard-s" and binding one must not clobber a shard *file* of
+  // the same name.
+  auto fleet = server::ShardWorkerFleet::Spawn(manifest, manifest + ".sock");
+  if (!fleet.ok()) {
+    unlink_index_files();
+    state.SkipWithError("worker spawn failed");
+    return;
+  }
+  auto coordinator =
+      server::DistributedLakeIndex::Connect(manifest, fleet.value().sockets());
+  if (!coordinator.ok()) {
+    unlink_index_files();
+    state.SkipWithError("coordinator connect failed");
+    return;
+  }
+
+  ThreadPool pool(std::max(1u, std::thread::hardware_concurrency()));
+  bool failed = false;
+  for (auto _ : state) {
+    auto join =
+        coordinator.value().QueryJoinableBatch(f.join_queries, 10, &pool);
+    auto join_union =
+        coordinator.value().QueryUnionableBatch(f.union_queries, 10, &pool);
+    if (!join.ok() || !join_union.ok()) {
+      failed = true;
+      break;
+    }
+    benchmark::DoNotOptimize(join.value().data());
+    benchmark::DoNotOptimize(join_union.value().data());
+  }
+  if (failed) {
+    state.SkipWithError("distributed query failed mid-benchmark");
+  } else {
+    state.SetItemsProcessed(
+        state.iterations() *
+        static_cast<int64_t>(f.join_queries.size() + f.union_queries.size()));
+  }
+  state.counters["workers"] = static_cast<double>(workers);
+  fleet.value().StopAll();
+  unlink_index_files();
+}
+BENCHMARK(BM_DistributedQPS)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
 
 void BM_MatMul(benchmark::State& state) {
   const size_t n = static_cast<size_t>(state.range(0));

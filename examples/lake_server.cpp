@@ -3,8 +3,15 @@
 // once, then serve join/union queries to concurrent clients over a local
 // socket, batching in-flight requests into the index's batch entry points.
 //
-// Serve:  ./build/lake_server <index-file> <socket-path>
-//         (runs until SIGINT/SIGTERM, then drains and prints stats)
+// Serve:        ./build/lake_server <index-file> <socket-path>
+//               (runs until SIGINT/SIGTERM, then drains and prints stats)
+//
+// Distributed:  ./build/lake_server --distributed <manifest.laks> <socket-path>
+//               spawns one lake_shard_worker *process* per manifest shard
+//               (worker s serves on "<socket-path>.shard-s"), connects a
+//               DistributedLakeIndex coordinator over them, and serves the
+//               same public socket — clients cannot tell the difference.
+//               SIGINT drains the coordinator, then SIGTERMs the workers.
 //
 // With no arguments, runs a self-contained demo: builds a small in-memory
 // lake, serves it from a temp socket, queries it with a LakeClient from
@@ -19,11 +26,14 @@
 #include <csignal>
 #include <cstdio>
 #include <filesystem>
+#include <string>
 #include <thread>
 
 #include "search/sharded_lake_index.h"
+#include "server/distributed_lake_index.h"
 #include "server/lake_client.h"
 #include "server/lake_server.h"
+#include "server/shard_worker.h"
 #include "util/random.h"
 
 using namespace tsfm;
@@ -72,6 +82,60 @@ int Serve(const std::string& index_path, const std::string& socket_path) {
   std::printf("\ndraining...\n");
   lake_server.Stop();
   PrintStats(lake_server.stats());  // still readable after Stop
+  return 0;
+}
+
+int ServeDistributed(const std::string& manifest_path,
+                     const std::string& socket_path) {
+  // Workers first (the fleet forks before this process grows threads and
+  // rolls partial failures back itself), then the coordinator handshake.
+  // Worker s serves on "<socket_path>.shard-s"; workers ignore the
+  // terminal's group-wide SIGINT and stop only on the fleet's SIGTERM,
+  // after the coordinator has drained.
+  auto fleet = server::ShardWorkerFleet::Spawn(manifest_path, socket_path);
+  if (!fleet.ok()) {
+    std::fprintf(stderr, "worker fleet failed: %s\n",
+                 fleet.status().ToString().c_str());
+    return 1;
+  }
+
+  auto coordinator = server::DistributedLakeIndex::Connect(
+      manifest_path, fleet.value().sockets());
+  if (!coordinator.ok()) {
+    std::fprintf(stderr, "coordinator connect failed: %s\n",
+                 coordinator.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("distributed lake: %zu tables, dim %zu, %zu worker processes\n",
+              coordinator.value().num_tables(), coordinator.value().dim(),
+              fleet.value().num_workers());
+
+  server::LakeServer lake_server(std::move(coordinator).value());
+  if (Status status = lake_server.Start(socket_path); !status.ok()) {
+    std::fprintf(stderr, "start failed: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+  std::printf("serving on %s (ctrl-c to drain and exit)\n",
+              socket_path.c_str());
+  while (!g_stop.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  }
+  std::printf("\ndraining coordinator, stopping %zu workers...\n",
+              fleet.value().num_workers());
+  lake_server.Stop();
+  PrintStats(lake_server.stats());
+  // Worker-side view of the same traffic: each public query fans out as
+  // one SHARD_QUERY per worker, so the fleet total is ~requests x workers.
+  const server::DistributedBackend& backend =
+      static_cast<const server::DistributedBackend&>(lake_server.backend());
+  if (auto worker_stats = backend.index().AggregateStats();
+      worker_stats.ok()) {
+    std::printf("worker fleet: %llu shard queries served\n",
+                static_cast<unsigned long long>(worker_stats.value().requests));
+  }
+  fleet.value().StopAll();
   return 0;
 }
 
@@ -126,7 +190,12 @@ int main(int argc, char** argv) {
     std::printf("(no arguments; running the self-contained demo)\n\n");
     return Demo();
   }
+  if (argc == 4 && std::string(argv[1]) == "--distributed") {
+    return ServeDistributed(argv[2], argv[3]);
+  }
   if (argc == 3) return Serve(argv[1], argv[2]);
-  std::fprintf(stderr, "usage: lake_server <index-file> <socket-path>\n");
+  std::fprintf(stderr,
+               "usage: lake_server <index-file> <socket-path>\n"
+               "       lake_server --distributed <manifest.laks> <socket-path>\n");
   return 2;
 }

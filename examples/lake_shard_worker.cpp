@@ -1,0 +1,63 @@
+// lake_shard_worker: one shard of a distributed lake as its own process.
+//
+// Loads one index file — normally a "<lake>.laks.shard-N" LakeIndex file
+// written by ShardedLakeIndex::Save — and serves it over an AF_UNIX socket
+// until SIGINT/SIGTERM, then drains gracefully and prints its stats.
+//
+//   ./build/lake_shard_worker <shard-file> <socket-path>
+//
+// The worker speaks the full protocol: a DistributedLakeIndex coordinator
+// scatters SHARD_QUERY/HEALTH/SHARD_TABLES frames at it, and plain
+// join/union queries (lake_search remote) work too, which makes a single
+// misbehaving shard directly debuggable. Spawning a whole worker fleet +
+// coordinator in one command is `lake_server --distributed` instead.
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <thread>
+
+#include "server/shard_worker.h"
+
+using namespace tsfm;
+
+namespace {
+
+std::atomic<bool> g_stop{false};
+
+void HandleSignal(int) { g_stop.store(true); }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 3) {
+    std::fprintf(stderr, "usage: lake_shard_worker <shard-file> <socket-path>\n");
+    return 2;
+  }
+  auto worker = server::ShardWorker::Load(argv[1]);
+  if (!worker.ok()) {
+    std::fprintf(stderr, "load failed: %s\n",
+                 worker.status().ToString().c_str());
+    return 1;
+  }
+  const server::LakeBackend& backend = worker.value().server().backend();
+  std::printf("shard: %zu tables, %zu columns, dim %zu\n",
+              backend.num_tables(), backend.num_columns(), backend.dim());
+  if (Status status = worker.value().Start(argv[2]); !status.ok()) {
+    std::fprintf(stderr, "start failed: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+  std::printf("serving shard on %s (ctrl-c to drain and exit)\n", argv[2]);
+  while (!g_stop.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  std::printf("\ndraining...\n");
+  worker.value().Stop();
+  server::ServerStats stats = worker.value().server().stats();
+  std::printf("served %llu ranked queries in %llu batches\n",
+              static_cast<unsigned long long>(stats.requests),
+              static_cast<unsigned long long>(stats.batches));
+  return 0;
+}

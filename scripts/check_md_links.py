@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Offline markdown link checker for the repo's doc layer.
+
+Walks every tracked .md file, extracts [text](target) links, and verifies
+that each *relative* target resolves to a file or directory in the repo
+(anchors are stripped; http(s)/mailto links are skipped — CI has no
+network and the doc layer should not depend on one). Exits nonzero with
+one line per broken link, so the docs cannot silently rot as files move.
+
+Usage: scripts/check_md_links.py [repo-root]
+"""
+import os
+import re
+import sys
+
+# [text](target) — skips images' leading '!' implicitly (same syntax) and
+# ignores inline code spans by stripping them first.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+CODE_SPAN_RE = re.compile(r"`[^`]*`")
+SKIP_DIRS = {".git", "build", ".claude"}
+
+
+def md_files(root):
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = [d for d in dirnames if d not in SKIP_DIRS]
+        for name in filenames:
+            if name.endswith(".md"):
+                yield os.path.join(dirpath, name)
+
+
+def check_file(path, root):
+    broken = []
+    with open(path, encoding="utf-8") as f:
+        for lineno, line in enumerate(f, 1):
+            for target in LINK_RE.findall(CODE_SPAN_RE.sub("", line)):
+                if target.startswith(("http://", "https://", "mailto:")):
+                    continue
+                target = target.split("#", 1)[0]
+                if not target:  # pure in-page anchor
+                    continue
+                if target.startswith("/"):
+                    resolved = os.path.join(root, target.lstrip("/"))
+                else:
+                    resolved = os.path.join(os.path.dirname(path), target)
+                if not os.path.exists(resolved):
+                    broken.append((lineno, target))
+    return broken
+
+
+def main():
+    root = os.path.abspath(sys.argv[1] if len(sys.argv) > 1 else ".")
+    failures = 0
+    checked = 0
+    for path in sorted(md_files(root)):
+        checked += 1
+        for lineno, target in check_file(path, root):
+            rel = os.path.relpath(path, root)
+            print(f"BROKEN {rel}:{lineno}: ({target}) does not exist")
+            failures += 1
+    print(f"checked {checked} markdown files, {failures} broken links")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -6,7 +6,7 @@
 #include <fstream>
 #include <optional>
 
-#include "search/stream_io.h"
+#include "search/lake_manifest.h"
 #include "search/table_ranker.h"
 #include "util/hash.h"
 #include "util/logging.h"
@@ -14,20 +14,6 @@
 
 namespace tsfm::search {
 
-using io::ReadPod;
-using io::WritePod;
-
-namespace {
-
-constexpr uint32_t kManifestMagic = 0x4c414b53;  // "LAKS"
-constexpr uint32_t kManifestVersion = 1;
-constexpr uint64_t kMaxShards = 1u << 16;
-
-std::string ShardFileName(const std::string& manifest_basename, size_t shard) {
-  return manifest_basename + ".shard-" + std::to_string(shard);
-}
-
-}  // namespace
 
 ShardedLakeIndex::ShardedLakeIndex(size_t dim, size_t num_shards,
                                    const IndexOptions& options)
@@ -76,7 +62,15 @@ size_t ShardedLakeIndex::AddTable(
   return handle;
 }
 
-std::vector<ColumnEmbeddingIndex::ColumnHit> ShardedLakeIndex::GatherColumnHits(
+size_t ShardedLakeIndex::num_columns() const {
+  size_t total = 0;
+  for (const LakeIndex& shard : shards_) {
+    total += shard.column_index().num_columns();
+  }
+  return total;
+}
+
+std::vector<ColumnEmbeddingIndex::ColumnHit> ShardedLakeIndex::SearchColumnHits(
     const std::vector<float>& query, size_t m, ThreadPool* pool) const {
   std::vector<std::vector<ColumnEmbeddingIndex::ColumnHit>> per_shard(
       shards_.size());
@@ -102,7 +96,7 @@ std::vector<size_t> ShardedLakeIndex::RankUnionable(
   std::vector<std::vector<ColumnEmbeddingIndex::ColumnHit>> per_column_hits;
   per_column_hits.reserve(query_columns.size());
   for (const auto& qcol : query_columns) {
-    per_column_hits.push_back(GatherColumnHits(qcol, k * 3, pool));
+    per_column_hits.push_back(SearchColumnHits(qcol, k * 3, pool));
   }
   return TableRanker::RankFromColumnHits(per_column_hits, exclude);
 }
@@ -111,7 +105,7 @@ std::vector<size_t> ShardedLakeIndex::RankJoinable(
     const std::vector<float>& query_column, size_t k, size_t exclude,
     ThreadPool* pool) const {
   return TableRanker::RankFromSingleColumnHits(
-      GatherColumnHits(query_column, k * 3, pool), exclude);
+      SearchColumnHits(query_column, k * 3, pool), exclude);
 }
 
 std::vector<std::vector<size_t>> ShardedLakeIndex::RankUnionableBatch(
@@ -200,7 +194,8 @@ Status ShardedLakeIndex::Save(const std::string& path, ThreadPool* pool) const {
   // files that were not yet written.
   std::vector<Status> statuses(shards_.size());
   auto save_shard = [&](size_t s) {
-    statuses[s] = shards_[s].Save((dir / ShardFileName(basename, s)).string());
+    statuses[s] =
+        shards_[s].Save((dir / LakeShardFileName(basename, s)).string());
   };
   if (pool != nullptr && shards_.size() > 1) {
     ParallelFor(pool, 0, shards_.size(), save_shard);
@@ -211,93 +206,46 @@ Status ShardedLakeIndex::Save(const std::string& path, ThreadPool* pool) const {
     if (!status.ok()) return status;
   }
 
-  std::ofstream out(path, std::ios::binary);
-  if (!out) return Status::IoError("cannot open " + path + " for writing");
-  WritePod(out, kManifestMagic);
-  WritePod(out, kManifestVersion);
-  WritePod(out, static_cast<uint32_t>(options_.backend));
-  WritePod(out, static_cast<uint32_t>(options_.metric));
-  WritePod(out, static_cast<uint64_t>(dim_));
-  WritePod(out, static_cast<uint64_t>(shards_.size()));
+  LakeManifest manifest;
+  manifest.backend = options_.backend;
+  manifest.metric = options_.metric;
+  manifest.dim = dim_;
+  manifest.shard_files.reserve(shards_.size());
   for (size_t s = 0; s < shards_.size(); ++s) {
-    const std::string name = ShardFileName(basename, s);
-    WritePod(out, static_cast<uint64_t>(name.size()));
-    out.write(name.data(), static_cast<std::streamsize>(name.size()));
+    manifest.shard_files.push_back(LakeShardFileName(basename, s));
   }
   // Global handle space: (shard, local) per handle in insertion order, so
   // handles assigned by AddTable stay valid across a save/load round trip.
-  WritePod(out, static_cast<uint64_t>(locator_.size()));
+  manifest.locator.reserve(locator_.size());
   for (const auto& [shard, local] : locator_) {
-    WritePod(out, static_cast<uint32_t>(shard));
-    WritePod(out, static_cast<uint64_t>(local));
+    manifest.locator.emplace_back(static_cast<uint32_t>(shard),
+                                  static_cast<uint64_t>(local));
   }
-  if (!out) return Status::IoError("write failed for " + path);
-  return Status::OK();
+  return SaveLakeManifest(manifest, path);
 }
 
 Result<ShardedLakeIndex> ShardedLakeIndex::Load(const std::string& path,
                                                 ThreadPool* pool) {
   namespace fs = std::filesystem;
-  uint32_t magic = 0;
   {
     std::ifstream probe(path, std::ios::binary);
     if (!probe) return Status::IoError("cannot open " + path);
-    if (!ReadPod(probe, &magic)) {
-      return Status::IoError("truncated lake manifest " + path);
-    }
   }
-  if (magic != kManifestMagic) {
+  if (!IsLakeManifestFile(path)) {
     // Legacy single-file formats ("LAK2" / "LAKE"): wrap as one shard.
     auto single = LakeIndex::Load(path);
     if (!single.ok()) return single.status();
     return FromSingle(std::move(single).value());
   }
 
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return Status::IoError("cannot open " + path);
-  uint32_t version = 0, backend = 0, metric = 0;
-  uint64_t dim = 0, num_shards = 0;
-  ReadPod(in, &magic);
-  if (!ReadPod(in, &version) || !ReadPod(in, &backend) ||
-      !ReadPod(in, &metric) || !ReadPod(in, &dim) || !ReadPod(in, &num_shards)) {
-    return Status::IoError("truncated lake manifest " + path);
-  }
-  if (version > kManifestVersion) {
-    return Status::ParseError("lake manifest " + path +
-                              " written by a newer format version");
-  }
-  if (backend > static_cast<uint32_t>(IndexBackend::kHnsw) ||
-      metric > static_cast<uint32_t>(Metric::kL2)) {
-    return Status::ParseError("bad lake-manifest backend/metric in " + path);
-  }
-  if (dim == 0 || dim > (1u << 20) || num_shards == 0 ||
-      num_shards > kMaxShards) {
-    return Status::ParseError("implausible lake manifest " + path);
-  }
-  std::vector<std::string> shard_files(num_shards);
-  for (auto& name : shard_files) {
-    uint64_t len = 0;
-    if (!ReadPod(in, &len) || len > (1u << 16)) {
-      return Status::IoError("truncated lake manifest " + path);
-    }
-    name.resize(len);
-    in.read(name.data(), static_cast<std::streamsize>(len));
-    if (!in) return Status::IoError("truncated lake manifest " + path);
-  }
-  uint64_t num_tables = 0;
-  if (!ReadPod(in, &num_tables) || num_tables > (1ull << 32)) {
-    return Status::IoError("truncated lake manifest " + path);
-  }
-  std::vector<std::pair<uint32_t, uint64_t>> locator(num_tables);
-  for (auto& [shard, local] : locator) {
-    if (!ReadPod(in, &shard) || !ReadPod(in, &local)) {
-      return Status::IoError("truncated lake manifest " + path);
-    }
-    if (shard >= num_shards) {
-      return Status::ParseError("lake manifest " + path +
-                                " routes a table to a nonexistent shard");
-    }
-  }
+  Result<LakeManifest> parsed = LoadLakeManifest(path);
+  if (!parsed.ok()) return parsed.status();
+  const LakeManifest manifest = std::move(parsed).value();
+  const size_t num_shards = manifest.num_shards();
+  const uint64_t dim = manifest.dim;
+  const std::vector<std::string>& shard_files = manifest.shard_files;
+  const auto& locator = manifest.locator;
+  const uint64_t num_tables = manifest.num_tables();
 
   // Load the shard files in parallel; each is a self-contained LakeIndex.
   const fs::path dir = fs::path(path).parent_path();
@@ -312,8 +260,8 @@ Result<ShardedLakeIndex> ShardedLakeIndex::Load(const std::string& path,
   }
 
   IndexOptions options;
-  options.backend = static_cast<IndexBackend>(backend);
-  options.metric = static_cast<Metric>(metric);
+  options.backend = manifest.backend;
+  options.metric = manifest.metric;
   ShardedLakeIndex index(static_cast<size_t>(dim), options);
   index.shards_.reserve(num_shards);
   uint64_t total_shard_tables = 0;

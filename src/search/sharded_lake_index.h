@@ -100,6 +100,24 @@ class ShardedLakeIndex {
       const std::vector<std::vector<float>>& query_columns, size_t k,
       const std::vector<size_t>& excludes, ThreadPool* pool = nullptr) const;
 
+  /// \brief Raw scatter/gather: the global top-`m` column hits for one query.
+  ///
+  /// Scatters the column search over all shards, remaps shard-local table
+  /// handles to global handles, and k-way-merges the sorted per-shard lists
+  /// (TableRanker::MergeColumnHits). This is the half of a query below the
+  /// Fig 6 ranking — exposed so a serving layer can answer SHARD_QUERY
+  /// frames for a distributed coordinator, which gathers hits from many
+  /// worker processes and runs the exact same ranking code on top.
+  std::vector<ColumnEmbeddingIndex::ColumnHit> SearchColumnHits(
+      const std::vector<float>& query, size_t m, ThreadPool* pool = nullptr) const;
+
+  /// \brief Wraps an already-built single LakeIndex as a 1-shard index.
+  ///
+  /// Used for legacy single-file formats and by shard workers, which serve
+  /// exactly one shard file of a distributed lake through the regular
+  /// ShardedLakeIndex surface.
+  static ShardedLakeIndex FromSingle(LakeIndex&& shard);
+
   /// \brief Persists the index as a "LAKS" manifest plus one shard file.
   ///
   /// `path` names the manifest; shard s is written next to it as
@@ -119,6 +137,9 @@ class ShardedLakeIndex {
 
   size_t num_shards() const { return shards_.size(); }
   size_t num_tables() const { return global_ids_.size(); }
+  /// Total column count across all shards (the ceiling on SearchColumnHits
+  /// results — a serving layer clamps hostile `m` to it).
+  size_t num_columns() const;
   size_t dim() const { return dim_; }
   const IndexOptions& options() const { return options_; }
   const std::string& table_id(size_t handle) const { return global_ids_[handle]; }
@@ -132,18 +153,9 @@ class ShardedLakeIndex {
  private:
   explicit ShardedLakeIndex(size_t dim, const IndexOptions& options);
 
-  /// Wraps an already-built single LakeIndex as a 1-shard index (legacy
-  /// file formats).
-  static ShardedLakeIndex FromSingle(LakeIndex&& shard);
-
   /// Registers every table of shard `s` in the global handle maps, in the
   /// shard's insertion order.
   void IndexShardTables(size_t s);
-
-  /// Scatters one column search over all shards, remaps shard-local table
-  /// handles to global handles, and gathers the global top-`m` hits.
-  std::vector<ColumnEmbeddingIndex::ColumnHit> GatherColumnHits(
-      const std::vector<float>& query, size_t m, ThreadPool* pool) const;
 
   size_t dim_;
   IndexOptions options_;

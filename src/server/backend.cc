@@ -1,0 +1,102 @@
+#include "server/backend.h"
+
+#include <utility>
+
+namespace tsfm::server {
+
+Result<std::vector<std::vector<std::string>>>
+InProcessBackend::QueryJoinableBatch(
+    const std::vector<std::vector<float>>& queries, size_t k,
+    ThreadPool* pool) const {
+  return index_.QueryJoinableBatch(queries, k, pool);
+}
+
+Result<std::vector<std::vector<std::string>>>
+InProcessBackend::QueryUnionableBatch(
+    const std::vector<std::vector<std::vector<float>>>& queries, size_t k,
+    ThreadPool* pool) const {
+  return index_.QueryUnionableBatch(queries, k, pool);
+}
+
+Result<std::vector<std::vector<ShardHit>>> InProcessBackend::ShardQuery(
+    const std::vector<std::vector<float>>& columns, size_t m,
+    ThreadPool* pool) const {
+  std::vector<std::vector<ShardHit>> hits(columns.size());
+  for (size_t c = 0; c < columns.size(); ++c) {
+    auto merged = index_.SearchColumnHits(columns[c], m, pool);
+    hits[c].reserve(merged.size());
+    for (const auto& hit : merged) {
+      hits[c].push_back({static_cast<uint64_t>(hit.table_id),
+                         static_cast<uint32_t>(hit.column_index),
+                         hit.distance});
+    }
+  }
+  return hits;
+}
+
+Result<std::vector<std::string>> InProcessBackend::TableIds() const {
+  std::vector<std::string> ids;
+  ids.reserve(index_.num_tables());
+  for (size_t h = 0; h < index_.num_tables(); ++h) {
+    ids.push_back(index_.table_id(h));
+  }
+  return ids;
+}
+
+ShardHealth InProcessBackend::Health() const {
+  ShardHealth health;
+  health.protocol_version = kProtocolVersion;
+  health.backend = static_cast<uint8_t>(index_.options().backend);
+  health.metric = static_cast<uint8_t>(index_.options().metric);
+  health.dim = index_.dim();
+  health.num_tables = index_.num_tables();
+  health.num_columns = index_.num_columns();
+  return health;
+}
+
+Result<std::vector<std::vector<std::string>>>
+DistributedBackend::QueryJoinableBatch(
+    const std::vector<std::vector<float>>& queries, size_t k,
+    ThreadPool* pool) const {
+  return index_.QueryJoinableBatch(queries, k, pool);
+}
+
+Result<std::vector<std::vector<std::string>>>
+DistributedBackend::QueryUnionableBatch(
+    const std::vector<std::vector<std::vector<float>>>& queries, size_t k,
+    ThreadPool* pool) const {
+  return index_.QueryUnionableBatch(queries, k, pool);
+}
+
+Result<std::vector<std::vector<ShardHit>>> DistributedBackend::ShardQuery(
+    const std::vector<std::vector<float>>& columns, size_t m,
+    ThreadPool* pool) const {
+  (void)columns;
+  (void)m;
+  (void)pool;
+  return Status::Unimplemented(
+      "this server fronts a distributed coordinator; it is not itself a "
+      "shard worker");
+}
+
+Result<std::vector<std::string>> DistributedBackend::TableIds() const {
+  std::vector<std::string> ids;
+  ids.reserve(index_.num_tables());
+  for (size_t h = 0; h < index_.num_tables(); ++h) {
+    ids.push_back(index_.table_id(h));
+  }
+  return ids;
+}
+
+ShardHealth DistributedBackend::Health() const {
+  ShardHealth health;
+  health.protocol_version = kProtocolVersion;
+  health.backend = static_cast<uint8_t>(index_.backend());
+  health.metric = static_cast<uint8_t>(index_.metric());
+  health.dim = index_.dim();
+  health.num_tables = index_.num_tables();
+  health.num_columns = index_.num_columns();
+  return health;
+}
+
+}  // namespace tsfm::server

@@ -1,0 +1,131 @@
+// The seam between LakeServer and whatever actually answers queries.
+//
+// PR 3's server hard-wired an in-process ShardedLakeIndex; the distributed
+// tier needs the same serving front (accept loop, framing, validation,
+// batching, graceful shutdown) over a coordinator that talks to shard
+// worker processes instead. LakeBackend is that seam: batch query entry
+// points returning Result (a distributed backend can fail per-shard), plus
+// the shard-worker surface (SHARD_QUERY / HEALTH / SHARD_TABLES) that lets
+// any LakeServer also act as one shard of a larger distributed lake.
+#ifndef TSFM_SERVER_BACKEND_H_
+#define TSFM_SERVER_BACKEND_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "search/sharded_lake_index.h"
+#include "server/distributed_lake_index.h"
+#include "server/protocol.h"
+#include "util/status.h"
+
+namespace tsfm {
+class ThreadPool;
+}  // namespace tsfm
+
+namespace tsfm::server {
+
+/// \brief What LakeServer serves. All methods must be const-thread-safe.
+class LakeBackend {
+ public:
+  virtual ~LakeBackend() = default;
+
+  virtual size_t dim() const = 0;
+  virtual size_t num_tables() const = 0;
+  virtual size_t num_columns() const = 0;
+
+  /// Human-readable backend kind for logs ("in-process", "distributed").
+  virtual const char* kind() const = 0;
+
+  /// One ranked-id list per query column (JOIN batch).
+  virtual Result<std::vector<std::vector<std::string>>> QueryJoinableBatch(
+      const std::vector<std::vector<float>>& queries, size_t k,
+      ThreadPool* pool) const = 0;
+
+  /// One ranked-id list per multi-column query (UNION batch).
+  virtual Result<std::vector<std::vector<std::string>>> QueryUnionableBatch(
+      const std::vector<std::vector<std::vector<float>>>& queries, size_t k,
+      ThreadPool* pool) const = 0;
+
+  /// Raw top-`m` column hits per query column in this backend's handle
+  /// space (the SHARD_QUERY opcode). kUnimplemented when this backend is
+  /// itself a coordinator — two-level scatter is not supported.
+  virtual Result<std::vector<std::vector<ShardHit>>> ShardQuery(
+      const std::vector<std::vector<float>>& columns, size_t m,
+      ThreadPool* pool) const = 0;
+
+  /// Table ids in handle order (the SHARD_TABLES opcode).
+  virtual Result<std::vector<std::string>> TableIds() const = 0;
+
+  /// Identity/shape counters (the HEALTH opcode).
+  virtual ShardHealth Health() const = 0;
+};
+
+/// \brief LakeBackend over an owned in-process ShardedLakeIndex.
+///
+/// The PR 3 deployment, and — over a 1-shard index loaded from one shard
+/// file — what a lake_shard_worker process serves.
+class InProcessBackend final : public LakeBackend {
+ public:
+  explicit InProcessBackend(search::ShardedLakeIndex index)
+      : index_(std::move(index)) {}
+
+  const search::ShardedLakeIndex& index() const { return index_; }
+
+  size_t dim() const override { return index_.dim(); }
+  size_t num_tables() const override { return index_.num_tables(); }
+  size_t num_columns() const override { return index_.num_columns(); }
+  const char* kind() const override { return "in-process"; }
+
+  Result<std::vector<std::vector<std::string>>> QueryJoinableBatch(
+      const std::vector<std::vector<float>>& queries, size_t k,
+      ThreadPool* pool) const override;
+  Result<std::vector<std::vector<std::string>>> QueryUnionableBatch(
+      const std::vector<std::vector<std::vector<float>>>& queries, size_t k,
+      ThreadPool* pool) const override;
+  Result<std::vector<std::vector<ShardHit>>> ShardQuery(
+      const std::vector<std::vector<float>>& columns, size_t m,
+      ThreadPool* pool) const override;
+  Result<std::vector<std::string>> TableIds() const override;
+  ShardHealth Health() const override;
+
+ private:
+  search::ShardedLakeIndex index_;
+};
+
+/// \brief LakeBackend over a DistributedLakeIndex coordinator.
+///
+/// Lets the public LakeServer front a fleet of shard worker processes with
+/// the exact same wire surface clients already speak. ShardQuery is
+/// rejected (a coordinator is not itself a shard).
+class DistributedBackend final : public LakeBackend {
+ public:
+  explicit DistributedBackend(DistributedLakeIndex index)
+      : index_(std::move(index)) {}
+
+  const DistributedLakeIndex& index() const { return index_; }
+
+  size_t dim() const override { return index_.dim(); }
+  size_t num_tables() const override { return index_.num_tables(); }
+  size_t num_columns() const override { return index_.num_columns(); }
+  const char* kind() const override { return "distributed"; }
+
+  Result<std::vector<std::vector<std::string>>> QueryJoinableBatch(
+      const std::vector<std::vector<float>>& queries, size_t k,
+      ThreadPool* pool) const override;
+  Result<std::vector<std::vector<std::string>>> QueryUnionableBatch(
+      const std::vector<std::vector<std::vector<float>>>& queries, size_t k,
+      ThreadPool* pool) const override;
+  Result<std::vector<std::vector<ShardHit>>> ShardQuery(
+      const std::vector<std::vector<float>>& columns, size_t m,
+      ThreadPool* pool) const override;
+  Result<std::vector<std::string>> TableIds() const override;
+  ShardHealth Health() const override;
+
+ private:
+  DistributedLakeIndex index_;
+};
+
+}  // namespace tsfm::server
+
+#endif  // TSFM_SERVER_BACKEND_H_

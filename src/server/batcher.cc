@@ -6,7 +6,7 @@
 #include <map>
 #include <utility>
 
-#include "search/sharded_lake_index.h"
+#include "server/backend.h"
 #include "server/net_util.h"
 #include "util/thread_pool.h"
 
@@ -20,12 +20,12 @@ struct QueryBatcher::Job {
   std::vector<std::vector<float>> columns;
   size_t k;
   Clock::time_point enqueued;
-  std::promise<std::vector<std::string>> done;
+  std::promise<Result<std::vector<std::string>>> done;
 };
 
-QueryBatcher::QueryBatcher(const search::ShardedLakeIndex* index,
-                           ThreadPool* query_pool, size_t max_batch)
-    : index_(index),
+QueryBatcher::QueryBatcher(const LakeBackend* backend, ThreadPool* query_pool,
+                           size_t max_batch)
+    : backend_(backend),
       query_pool_(query_pool),
       max_batch_(std::max<size_t>(1, max_batch)),
       dispatcher_([this] { DispatchLoop(); }) {}
@@ -39,7 +39,7 @@ Result<std::vector<std::string>> QueryBatcher::Submit(
   job->columns = std::move(columns);
   job->k = k;
   job->enqueued = Clock::now();
-  std::future<std::vector<std::string>> result = job->done.get_future();
+  std::future<Result<std::vector<std::string>>> result = job->done.get_future();
   {
     std::unique_lock<std::mutex> lock(mu_);
     if (stopping_) {
@@ -105,17 +105,23 @@ void QueryBatcher::RunGroup(Opcode op, size_t k,
   double queue_wait_ms = 0;
   for (const auto& job : group) queue_wait_ms += MsSince(job->enqueued);
 
-  std::vector<std::vector<std::string>> results;
+  // These batch calls fan out on query_pool_ with ParallelFor. During a
+  // shutdown drain the pool may already be rejecting tasks; ParallelFor's
+  // contract (util/thread_pool.h) runs rejected chunks inline on this
+  // dispatcher thread, so every drained query still gets a complete
+  // answer — slower, never partial.
+  Result<std::vector<std::vector<std::string>>> results =
+      Status::Internal("batch not run");
   if (op == Opcode::kJoin) {
     std::vector<std::vector<float>> queries;
     queries.reserve(group.size());
     for (auto& job : group) queries.push_back(std::move(job->columns[0]));
-    results = index_->QueryJoinableBatch(queries, k, query_pool_);
+    results = backend_->QueryJoinableBatch(queries, k, query_pool_);
   } else {
     std::vector<std::vector<std::vector<float>>> queries;
     queries.reserve(group.size());
     for (auto& job : group) queries.push_back(std::move(job->columns));
-    results = index_->QueryUnionableBatch(queries, k, query_pool_);
+    results = backend_->QueryUnionableBatch(queries, k, query_pool_);
   }
   // Count the batch before unblocking its waiters: once a response is
   // delivered, a STATS read must already see its request, or an exact
@@ -127,8 +133,15 @@ void QueryBatcher::RunGroup(Opcode op, size_t k,
     stats_.max_batch = std::max<uint64_t>(stats_.max_batch, group.size());
     stats_.total_queue_wait_ms += queue_wait_ms;
   }
+  if (!results.ok()) {
+    // A backend failure (dead shard, say) fails the whole batch: every
+    // coalesced query gets the same Status rather than a fabricated
+    // partial answer.
+    for (auto& job : group) job->done.set_value(results.status());
+    return;
+  }
   for (size_t i = 0; i < group.size(); ++i) {
-    group[i]->done.set_value(std::move(results[i]));
+    group[i]->done.set_value(std::move(results.value()[i]));
   }
 }
 

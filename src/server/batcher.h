@@ -26,23 +26,25 @@ namespace tsfm {
 class ThreadPool;
 }  // namespace tsfm
 
-namespace tsfm::search {
-class ShardedLakeIndex;
-}  // namespace tsfm::search
-
 namespace tsfm::server {
 
-/// \brief Groups concurrent queries into batch calls on the lake index.
+class LakeBackend;
+
+/// \brief Groups concurrent queries into batch calls on the lake backend.
 ///
 /// Submit is called from many connection-handler threads and blocks until
 /// the batch containing the query has executed. Stop() drains: every query
 /// accepted before Stop still gets its result; queries submitted after
 /// Stop are rejected with an error Status. The destructor calls Stop().
+/// A backend failure (a distributed backend's dead shard, say) fails every
+/// query of the affected batch with that Status — coalescing never turns
+/// one query's error into another's wrong answer, because a batch call
+/// either answers all its queries or none.
 class QueryBatcher {
  public:
-  /// `index` and `query_pool` must outlive the batcher. `max_batch` caps
+  /// `backend` and `query_pool` must outlive the batcher. `max_batch` caps
   /// how many queries one dispatch round coalesces (>= 1).
-  QueryBatcher(const search::ShardedLakeIndex* index, ThreadPool* query_pool,
+  QueryBatcher(const LakeBackend* backend, ThreadPool* query_pool,
                size_t max_batch);
   ~QueryBatcher();
 
@@ -73,7 +75,7 @@ class QueryBatcher {
   void RunGroup(Opcode op, size_t k,
                 std::vector<std::unique_ptr<Job>> group);
 
-  const search::ShardedLakeIndex* index_;
+  const LakeBackend* backend_;
   ThreadPool* query_pool_;
   size_t max_batch_;
 

@@ -1,0 +1,387 @@
+#include "server/distributed_lake_index.h"
+
+#include <algorithm>
+#include <mutex>
+#include <utility>
+
+#include "search/lake_index.h"
+#include "search/lake_manifest.h"
+#include "server/lake_client.h"
+#include "util/thread_pool.h"
+
+namespace tsfm::server {
+
+using search::ColumnEmbeddingIndex;
+using search::TableRanker;
+
+namespace {
+
+/// One worker endpoint with its pool of warm connections. Heap-allocated
+/// (the mutex pins it) and shared-fate: a transport failure drops every
+/// idle connection, since they all point at the same dead process.
+struct ShardEndpoint {
+  std::string socket_path;
+  std::mutex mu;
+  std::vector<std::unique_ptr<LakeClient>> idle;
+};
+
+}  // namespace
+
+struct DistributedLakeIndex::State {
+  DistributedOptions options;
+  search::IndexBackend backend = search::IndexBackend::kFlat;
+  search::Metric metric = search::Metric::kCosine;
+  size_t dim = 0;
+  size_t num_columns = 0;
+  std::vector<std::string> global_ids;          // handle -> id
+  std::vector<std::vector<size_t>> to_global;   // shard -> local -> handle
+  std::vector<std::unique_ptr<ShardEndpoint>> shards;
+
+  Status Annotate(size_t shard, const Status& status) const {
+    return Status(status.code(), "shard " + std::to_string(shard) + " (" +
+                                     shards[shard]->socket_path +
+                                     "): " + status.message());
+  }
+
+  Result<std::unique_ptr<LakeClient>> Acquire(size_t shard) {
+    ShardEndpoint& ep = *shards[shard];
+    {
+      std::lock_guard<std::mutex> lock(ep.mu);
+      if (!ep.idle.empty()) {
+        auto client = std::move(ep.idle.back());
+        ep.idle.pop_back();
+        return client;
+      }
+    }
+    auto client = std::make_unique<LakeClient>(options.max_frame_bytes);
+    client->set_timeout_ms(options.shard_timeout_ms);
+    if (Status s = client->Connect(ep.socket_path); !s.ok()) return s;
+    return client;
+  }
+
+  void Release(size_t shard, std::unique_ptr<LakeClient> client) {
+    if (client == nullptr || !client->connected()) return;
+    ShardEndpoint& ep = *shards[shard];
+    std::lock_guard<std::mutex> lock(ep.mu);
+    if (ep.idle.size() < options.max_idle_connections_per_shard) {
+      ep.idle.push_back(std::move(client));
+    }
+  }
+
+  // A dead worker invalidates every pooled connection to it at once;
+  // dropping them makes the retry below connect fresh instead of cycling
+  // through stale fds.
+  void DropIdle(size_t shard) {
+    ShardEndpoint& ep = *shards[shard];
+    std::lock_guard<std::mutex> lock(ep.mu);
+    ep.idle.clear();
+  }
+
+  /// \brief Runs `fn(client)` against shard `shard` with retry-once.
+  ///
+  /// A transport failure (the client closed its connection: worker died,
+  /// timeout, stale socket) drops the shard's idle pool and retries once
+  /// on a fresh connection — queries are idempotent reads, so a resend is
+  /// safe. A server-side error (connection still open) is deterministic
+  /// and returned immediately. Every error is annotated with the shard
+  /// number and socket path.
+  template <typename Fn>
+  auto CallShard(size_t shard, Fn&& fn) -> decltype(fn(
+      std::declval<LakeClient&>())) {
+    Status last = Status::OK();
+    for (int attempt = 0; attempt < 2; ++attempt) {
+      auto conn = Acquire(shard);
+      if (!conn.ok()) {
+        last = conn.status();
+        DropIdle(shard);
+        continue;
+      }
+      std::unique_ptr<LakeClient> client = std::move(conn).value();
+      auto result = fn(*client);
+      const bool transport_failure = !result.ok() && !client->connected();
+      Release(shard, std::move(client));
+      if (result.ok()) return result;
+      if (!transport_failure) return Annotate(shard, result.status());
+      last = result.status();
+      DropIdle(shard);
+    }
+    return Annotate(shard, last);
+  }
+};
+
+DistributedLakeIndex::DistributedLakeIndex(std::unique_ptr<State> state)
+    : state_(std::move(state)) {}
+
+DistributedLakeIndex::DistributedLakeIndex(DistributedLakeIndex&&) noexcept =
+    default;
+DistributedLakeIndex& DistributedLakeIndex::operator=(
+    DistributedLakeIndex&&) noexcept = default;
+DistributedLakeIndex::~DistributedLakeIndex() = default;
+
+size_t DistributedLakeIndex::num_shards() const { return state_->shards.size(); }
+size_t DistributedLakeIndex::num_tables() const {
+  return state_->global_ids.size();
+}
+size_t DistributedLakeIndex::num_columns() const { return state_->num_columns; }
+size_t DistributedLakeIndex::dim() const { return state_->dim; }
+search::IndexBackend DistributedLakeIndex::backend() const {
+  return state_->backend;
+}
+search::Metric DistributedLakeIndex::metric() const { return state_->metric; }
+const std::string& DistributedLakeIndex::table_id(size_t handle) const {
+  return state_->global_ids[handle];
+}
+const std::string& DistributedLakeIndex::worker_socket(size_t shard) const {
+  return state_->shards[shard]->socket_path;
+}
+
+Result<DistributedLakeIndex> DistributedLakeIndex::Connect(
+    const std::string& manifest_path,
+    const std::vector<std::string>& worker_sockets,
+    const DistributedOptions& options) {
+  Result<search::LakeManifest> parsed =
+      search::LoadLakeManifest(manifest_path);
+  if (!parsed.ok()) return parsed.status();
+  const search::LakeManifest manifest = std::move(parsed).value();
+  if (worker_sockets.size() != manifest.num_shards()) {
+    return Status::InvalidArgument(
+        "manifest " + manifest_path + " has " +
+        std::to_string(manifest.num_shards()) + " shards but " +
+        std::to_string(worker_sockets.size()) + " worker sockets were given");
+  }
+
+  auto state = std::make_unique<State>();
+  state->options = options;
+  state->backend = manifest.backend;
+  state->metric = manifest.metric;
+  state->dim = static_cast<size_t>(manifest.dim);
+  state->shards.reserve(worker_sockets.size());
+  for (const std::string& socket_path : worker_sockets) {
+    auto ep = std::make_unique<ShardEndpoint>();
+    ep->socket_path = socket_path;
+    state->shards.push_back(std::move(ep));
+  }
+
+  // Handshake every worker: health must agree with the manifest, and the
+  // table list sizes must match the locator before the global handle space
+  // can be trusted.
+  const size_t num_shards = state->shards.size();
+  // Per-shard table counts from one locator pass up front.
+  std::vector<size_t> expected_counts(num_shards, 0);
+  for (const auto& [shard, local] : manifest.locator) ++expected_counts[shard];
+  std::vector<std::vector<std::string>> shard_tables(num_shards);
+  for (size_t s = 0; s < num_shards; ++s) {
+    Result<ShardHealth> health = state->CallShard(
+        s, [](LakeClient& client) { return client.Health(); });
+    if (!health.ok()) return health.status();
+    const ShardHealth& h = health.value();
+    auto reject = [&](const std::string& what) {
+      return state->Annotate(s, Status::InvalidArgument(what));
+    };
+    if (h.protocol_version != kProtocolVersion) {
+      return reject("worker speaks protocol version " +
+                    std::to_string(h.protocol_version) +
+                    ", coordinator requires " +
+                    std::to_string(kProtocolVersion));
+    }
+    if (h.dim != manifest.dim) {
+      return reject("worker dim " + std::to_string(h.dim) +
+                    " disagrees with manifest dim " +
+                    std::to_string(manifest.dim));
+    }
+    if (h.backend != static_cast<uint8_t>(manifest.backend) ||
+        h.metric != static_cast<uint8_t>(manifest.metric)) {
+      return reject("worker backend/metric disagrees with the manifest");
+    }
+    const size_t expected_tables = expected_counts[s];
+    if (h.num_tables != expected_tables) {
+      return reject("worker holds " + std::to_string(h.num_tables) +
+                    " tables, manifest routes " +
+                    std::to_string(expected_tables) + " to this shard");
+    }
+    Result<std::vector<std::string>> tables = state->CallShard(
+        s, [](LakeClient& client) { return client.ShardTables(); });
+    if (!tables.ok()) return tables.status();
+    if (tables.value().size() != expected_tables) {
+      return reject("worker table list disagrees with its health counters");
+    }
+    shard_tables[s] = std::move(tables).value();
+    state->num_columns += static_cast<size_t>(h.num_columns);
+  }
+
+  // Rebuild the global handle space in insertion order from the locator,
+  // exactly as ShardedLakeIndex::Load does — this is what keeps the Fig 6
+  // tie-breaking identical between the two deployments.
+  state->to_global.resize(num_shards);
+  for (size_t s = 0; s < num_shards; ++s) {
+    state->to_global[s].assign(shard_tables[s].size(), SIZE_MAX);
+  }
+  state->global_ids.reserve(manifest.num_tables());
+  for (const auto& [shard, local] : manifest.locator) {
+    if (local >= state->to_global[shard].size() ||
+        state->to_global[shard][local] != SIZE_MAX) {
+      return Status::ParseError("lake manifest " + manifest_path +
+                                " has an invalid or duplicate table record");
+    }
+    state->to_global[shard][local] = state->global_ids.size();
+    state->global_ids.push_back(shard_tables[shard][local]);
+  }
+  return DistributedLakeIndex(std::move(state));
+}
+
+Result<std::vector<std::vector<std::vector<ColumnEmbeddingIndex::ColumnHit>>>>
+DistributedLakeIndex::ScatterColumnHits(
+    const std::vector<std::vector<float>>& columns, size_t m,
+    ThreadPool* pool) const {
+  const size_t num_shards = state_->shards.size();
+  std::vector<Result<std::vector<std::vector<ShardHit>>>> raw(
+      num_shards, Status::Internal("shard not queried"));
+  auto query_shard = [&](size_t s) {
+    raw[s] = state_->CallShard(s, [&](LakeClient& client) {
+      return client.ShardQuery(columns, m);
+    });
+  };
+  if (pool != nullptr && num_shards > 1) {
+    ParallelFor(pool, 0, num_shards, query_shard);
+  } else {
+    for (size_t s = 0; s < num_shards; ++s) query_shard(s);
+  }
+
+  // result[column][shard]: the sorted lists MergeColumnHits expects. The
+  // local->global remap is monotone (locals are insertion-ordered), so
+  // each list stays sorted by (distance, table, column).
+  std::vector<std::vector<std::vector<ColumnEmbeddingIndex::ColumnHit>>>
+      result(columns.size());
+  for (auto& per_shard : result) per_shard.resize(num_shards);
+  for (size_t s = 0; s < num_shards; ++s) {
+    if (!raw[s].ok()) return raw[s].status();
+    const auto& lists = raw[s].value();
+    if (lists.size() != columns.size()) {
+      return state_->Annotate(
+          s, Status::ParseError("worker answered " +
+                                std::to_string(lists.size()) +
+                                " hit lists for " +
+                                std::to_string(columns.size()) + " columns"));
+    }
+    for (size_t c = 0; c < lists.size(); ++c) {
+      auto& out = result[c][s];
+      out.reserve(lists[c].size());
+      for (const ShardHit& hit : lists[c]) {
+        if (hit.table >= state_->to_global[s].size()) {
+          return state_->Annotate(
+              s, Status::ParseError("worker returned unknown table handle " +
+                                    std::to_string(hit.table)));
+        }
+        out.push_back({state_->to_global[s][hit.table], hit.column,
+                       hit.distance});
+      }
+    }
+  }
+  return result;
+}
+
+Result<std::vector<std::string>> DistributedLakeIndex::QueryJoinable(
+    const std::vector<float>& query_column, size_t k, ThreadPool* pool) const {
+  auto scattered = ScatterColumnHits({query_column}, k * 3, pool);
+  if (!scattered.ok()) return scattered.status();
+  auto merged = TableRanker::MergeColumnHits(scattered.value()[0], k * 3);
+  return search::RankedTableIds(
+      state_->global_ids,
+      TableRanker::RankFromSingleColumnHits(merged, /*exclude=*/SIZE_MAX), k);
+}
+
+Result<std::vector<std::string>> DistributedLakeIndex::QueryUnionable(
+    const std::vector<std::vector<float>>& query_columns, size_t k,
+    ThreadPool* pool) const {
+  auto scattered = ScatterColumnHits(query_columns, k * 3, pool);
+  if (!scattered.ok()) return scattered.status();
+  std::vector<std::vector<ColumnEmbeddingIndex::ColumnHit>> per_column_hits;
+  per_column_hits.reserve(query_columns.size());
+  for (const auto& per_shard : scattered.value()) {
+    per_column_hits.push_back(TableRanker::MergeColumnHits(per_shard, k * 3));
+  }
+  return search::RankedTableIds(
+      state_->global_ids,
+      TableRanker::RankFromColumnHits(per_column_hits, /*exclude=*/SIZE_MAX),
+      k);
+}
+
+namespace {
+
+// Shared batch fan-out: per-query results gathered under the same
+// pool-or-serial rules as ShardedLakeIndex's batch entry points, with the
+// first shard failure (lowest query index) failing the batch.
+template <typename Query, typename Fn>
+Result<std::vector<std::vector<std::string>>> RunBatch(
+    const std::vector<Query>& queries, ThreadPool* pool, Fn&& run_one) {
+  std::vector<Result<std::vector<std::string>>> results(
+      queries.size(), Status::Internal("query not run"));
+  if (pool != nullptr && queries.size() > 1) {
+    // Fan out over queries; the per-query scatter stays serial because
+    // ParallelFor must not nest on one pool.
+    ParallelFor(pool, 0, queries.size(),
+                [&](size_t q) { results[q] = run_one(queries[q], nullptr); });
+  } else {
+    for (size_t q = 0; q < queries.size(); ++q) {
+      results[q] = run_one(queries[q], pool);
+    }
+  }
+  std::vector<std::vector<std::string>> out;
+  out.reserve(queries.size());
+  for (auto& result : results) {
+    if (!result.ok()) return result.status();
+    out.push_back(std::move(result).value());
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<std::vector<std::vector<std::string>>>
+DistributedLakeIndex::QueryJoinableBatch(
+    const std::vector<std::vector<float>>& query_columns, size_t k,
+    ThreadPool* pool) const {
+  return RunBatch(query_columns, pool,
+                  [&](const std::vector<float>& q, ThreadPool* p) {
+                    return QueryJoinable(q, k, p);
+                  });
+}
+
+Result<std::vector<std::vector<std::string>>>
+DistributedLakeIndex::QueryUnionableBatch(
+    const std::vector<std::vector<std::vector<float>>>& queries, size_t k,
+    ThreadPool* pool) const {
+  return RunBatch(queries, pool,
+                  [&](const std::vector<std::vector<float>>& q, ThreadPool* p) {
+                    return QueryUnionable(q, k, p);
+                  });
+}
+
+Result<std::vector<ShardHealth>> DistributedLakeIndex::Health() const {
+  std::vector<ShardHealth> health(state_->shards.size());
+  for (size_t s = 0; s < state_->shards.size(); ++s) {
+    Result<ShardHealth> one = state_->CallShard(
+        s, [](LakeClient& client) { return client.Health(); });
+    if (!one.ok()) return one.status();
+    health[s] = std::move(one).value();
+  }
+  return health;
+}
+
+Result<ServerStats> DistributedLakeIndex::AggregateStats() const {
+  ServerStats total;
+  for (size_t s = 0; s < state_->shards.size(); ++s) {
+    Result<ServerStats> one = state_->CallShard(
+        s, [](LakeClient& client) { return client.Stats(); });
+    if (!one.ok()) return one.status();
+    const ServerStats& stats = one.value();
+    total.requests += stats.requests;
+    total.batches += stats.batches;
+    total.max_batch = std::max(total.max_batch, stats.max_batch);
+    total.total_queue_wait_ms += stats.total_queue_wait_ms;
+    total.total_latency_ms += stats.total_latency_ms;
+  }
+  return total;
+}
+
+}  // namespace tsfm::server

@@ -1,0 +1,148 @@
+// Distributed data-lake index (ROADMAP "Distributed shards"): the
+// ShardedLakeIndex scatter/gather path stretched across process
+// boundaries. Each shard of a saved "LAKS" lake runs as its own
+// lake_shard_worker process serving one shard file over the AF_UNIX wire
+// protocol; this coordinator opens only the manifest, handshakes every
+// worker, and answers the same join/union query surface by scattering
+// SHARD_QUERY frames and gathering through the exact ranking code the
+// in-process index uses (TableRanker::MergeColumnHits + Fig 6 RANK1/2).
+//
+// Parity: a SHARD_QUERY returns each worker's sorted top-m column hits in
+// its local handle space with precomputed query embeddings on the wire (so
+// workers never re-embed); the coordinator remaps local handles through
+// the manifest's locator into the global insertion order — the same
+// monotone remap ShardedLakeIndex uses — which makes flat-backend results
+// bit-identical to the in-process sharded index over the same shard files
+// (tests/distributed_lake_index_test.cc proves this at 1/2/4 workers).
+//
+// Failure semantics: every per-shard round trip is bounded by
+// DistributedOptions::shard_timeout_ms, and a transport failure (worker
+// killed, socket gone, timeout) is retried once on a fresh connection.
+// When the retry also fails the query returns a Status error *naming the
+// shard and its socket* — never a hang, and never a silently partial
+// result. Server-side errors (e.g. a dim mismatch) are not retried.
+#ifndef TSFM_SERVER_DISTRIBUTED_LAKE_INDEX_H_
+#define TSFM_SERVER_DISTRIBUTED_LAKE_INDEX_H_
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "search/table_ranker.h"
+#include "search/vector_index.h"
+#include "server/protocol.h"
+#include "util/status.h"
+
+namespace tsfm {
+class ThreadPool;
+}  // namespace tsfm
+
+namespace tsfm::server {
+
+/// \brief Coordinator knobs.
+///
+/// `shard_timeout_ms` bounds each socket send/recv of a worker round trip
+/// (a wedged worker — whether it stops writing or stops reading — surfaces
+/// as a kIoError naming the shard, not a coordinator hang).
+/// `max_idle_connections_per_shard` caps the pooled connections kept warm
+/// per worker; concurrent queries above the cap open short-lived extras.
+struct DistributedOptions {
+  int shard_timeout_ms = 5000;
+  size_t max_idle_connections_per_shard = 4;
+  size_t max_frame_bytes = kDefaultMaxFrameBytes;
+};
+
+/// \brief A ShardedLakeIndex-shaped query surface over worker processes.
+///
+/// Construct with Connect. Query methods mirror ShardedLakeIndex
+/// (QueryJoinable/QueryUnionable + batch variants, optional ThreadPool to
+/// fan the scatter out) but return Result: a dead or mismatched worker is
+/// a recoverable error naming the shard, not a crash. All query methods
+/// are const-thread-safe; the connection pool grows on demand. Movable,
+/// not copyable.
+class DistributedLakeIndex {
+ public:
+  /// \brief Opens the manifest, handshakes every worker, builds the global
+  /// handle space.
+  ///
+  /// `worker_sockets[s]` must serve shard s of `manifest_path` (one socket
+  /// per manifest shard file, same order). The handshake rejects, naming
+  /// the shard: a worker that cannot be reached, speaks a different
+  /// protocol version, disagrees with the manifest on backend/metric/dim,
+  /// or reports a table count that contradicts the manifest's locator.
+  ///
+  /// Scale ceiling: the handshake fetches each worker's full table-id
+  /// list in one SHARD_TABLES frame, so a single shard is limited to the
+  /// protocol's 2^20 ids-per-message cap (and `max_frame_bytes` of id
+  /// bytes) — far below the manifest format's 2^32-table ceiling that the
+  /// in-process loader supports. Lakes beyond ~1M tables per shard need
+  /// more shards until the handshake learns to page (see ROADMAP).
+  static Result<DistributedLakeIndex> Connect(
+      const std::string& manifest_path,
+      const std::vector<std::string>& worker_sockets,
+      const DistributedOptions& options = {});
+
+  DistributedLakeIndex(DistributedLakeIndex&&) noexcept;
+  DistributedLakeIndex& operator=(DistributedLakeIndex&&) noexcept;
+  ~DistributedLakeIndex();
+
+  DistributedLakeIndex(const DistributedLakeIndex&) = delete;
+  DistributedLakeIndex& operator=(const DistributedLakeIndex&) = delete;
+
+  /// Ranked table ids for a join query on a single column.
+  Result<std::vector<std::string>> QueryJoinable(
+      const std::vector<float>& query_column, size_t k,
+      ThreadPool* pool = nullptr) const;
+
+  /// Ranked table ids for a union/subset query (Fig 6 multi-column rank).
+  Result<std::vector<std::string>> QueryUnionable(
+      const std::vector<std::vector<float>>& query_columns, size_t k,
+      ThreadPool* pool = nullptr) const;
+
+  /// One QueryJoinable result per query column; queries fan out over
+  /// `pool`, each query's scatter then runs serially (ParallelFor must not
+  /// nest). The first shard failure fails the whole batch.
+  Result<std::vector<std::vector<std::string>>> QueryJoinableBatch(
+      const std::vector<std::vector<float>>& query_columns, size_t k,
+      ThreadPool* pool = nullptr) const;
+
+  /// One QueryUnionable result per query; same fan-out and failure rules.
+  Result<std::vector<std::vector<std::string>>> QueryUnionableBatch(
+      const std::vector<std::vector<std::vector<float>>>& queries, size_t k,
+      ThreadPool* pool = nullptr) const;
+
+  /// Fresh HEALTH from every worker, indexed by shard.
+  Result<std::vector<ShardHealth>> Health() const;
+
+  /// Worker STATS summed across shards (requests/batches/waits/latency).
+  Result<ServerStats> AggregateStats() const;
+
+  size_t num_shards() const;
+  size_t num_tables() const;
+  size_t num_columns() const;
+  size_t dim() const;
+  search::IndexBackend backend() const;
+  search::Metric metric() const;
+  const std::string& table_id(size_t handle) const;
+  const std::string& worker_socket(size_t shard) const;
+
+ private:
+  struct State;
+
+  explicit DistributedLakeIndex(std::unique_ptr<State> state);
+
+  /// Scatters one SHARD_QUERY over all workers and remaps hits to global
+  /// handles: result[column] holds one sorted list per shard, ready for
+  /// TableRanker::MergeColumnHits.
+  Result<std::vector<std::vector<
+      std::vector<search::ColumnEmbeddingIndex::ColumnHit>>>>
+  ScatterColumnHits(const std::vector<std::vector<float>>& columns, size_t m,
+                    ThreadPool* pool) const;
+
+  std::unique_ptr<State> state_;
+};
+
+}  // namespace tsfm::server
+
+#endif  // TSFM_SERVER_DISTRIBUTED_LAKE_INDEX_H_

@@ -1,6 +1,7 @@
 #include "server/lake_client.h"
 
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <sys/un.h>
 #include <unistd.h>
 
@@ -34,7 +35,22 @@ Status LakeClient::Connect(const std::string& socket_path) {
     return status;
   }
   fd_ = fd;
+  ApplyTimeouts();
   return Status::OK();
+}
+
+void LakeClient::set_timeout_ms(int ms) {
+  timeout_ms_ = ms > 0 ? ms : 0;
+  ApplyTimeouts();
+}
+
+void LakeClient::ApplyTimeouts() {
+  if (fd_ < 0) return;
+  timeval tv{};
+  tv.tv_sec = timeout_ms_ / 1000;
+  tv.tv_usec = static_cast<suseconds_t>(timeout_ms_ % 1000) * 1000;
+  ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
 }
 
 void LakeClient::Close() {
@@ -81,12 +97,21 @@ uint32_t SaturateK(size_t k) {
   return static_cast<uint32_t>(
       std::min<size_t>(k, std::numeric_limits<uint32_t>::max()));
 }
+
+// Stamp each request with the lowest protocol version that carries its
+// opcode, so this client keeps working against version-1 servers for the
+// version-1 opcodes.
+Request MakeRequest(Opcode op) {
+  Request request;
+  request.version = RequiredVersion(op);
+  request.op = op;
+  return request;
+}
 }  // namespace
 
 Result<std::vector<std::string>> LakeClient::QueryJoinable(
     const std::vector<float>& column, size_t k) {
-  Request request;
-  request.op = Opcode::kJoin;
+  Request request = MakeRequest(Opcode::kJoin);
   request.k = SaturateK(k);
   request.columns = {column};
   Result<Response> response = RoundTrip(request);
@@ -103,8 +128,7 @@ Result<std::vector<std::string>> LakeClient::QueryUnionable(
       return Status::InvalidArgument("union query columns differ in dim");
     }
   }
-  Request request;
-  request.op = Opcode::kUnion;
+  Request request = MakeRequest(Opcode::kUnion);
   request.k = SaturateK(k);
   request.columns = columns;
   Result<Response> response = RoundTrip(request);
@@ -113,11 +137,36 @@ Result<std::vector<std::string>> LakeClient::QueryUnionable(
 }
 
 Result<ServerStats> LakeClient::Stats() {
-  Request request;
-  request.op = Opcode::kStats;
-  Result<Response> response = RoundTrip(request);
+  Result<Response> response = RoundTrip(MakeRequest(Opcode::kStats));
   if (!response.ok()) return response.status();
   return std::move(response).value().stats;
+}
+
+Result<std::vector<std::vector<ShardHit>>> LakeClient::ShardQuery(
+    const std::vector<std::vector<float>>& columns, size_t m) {
+  for (const auto& column : columns) {
+    if (column.size() != columns[0].size()) {
+      return Status::InvalidArgument("shard query columns differ in dim");
+    }
+  }
+  Request request = MakeRequest(Opcode::kShardQuery);
+  request.k = SaturateK(m);
+  request.columns = columns;
+  Result<Response> response = RoundTrip(request);
+  if (!response.ok()) return response.status();
+  return std::move(response).value().hits;
+}
+
+Result<ShardHealth> LakeClient::Health() {
+  Result<Response> response = RoundTrip(MakeRequest(Opcode::kHealth));
+  if (!response.ok()) return response.status();
+  return std::move(response).value().health;
+}
+
+Result<std::vector<std::string>> LakeClient::ShardTables() {
+  Result<Response> response = RoundTrip(MakeRequest(Opcode::kShardTables));
+  if (!response.ok()) return response.status();
+  return std::move(response).value().ids;
 }
 
 }  // namespace tsfm::server

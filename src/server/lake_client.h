@@ -48,13 +48,45 @@ class LakeClient {
   /// Server-side batching and latency counters.
   Result<ServerStats> Stats();
 
+  /// \brief Raw top-`m` column hits per query column (SHARD_QUERY).
+  ///
+  /// The scatter half of a distributed query: hits come back in the
+  /// server's own table-handle space, sorted by (distance, table, column),
+  /// one list per query column, for the coordinator to remap and k-way
+  /// merge. Requires a protocol-version-2 server.
+  Result<std::vector<std::vector<ShardHit>>> ShardQuery(
+      const std::vector<std::vector<float>>& columns, size_t m);
+
+  /// The server's identity/shape counters (HEALTH). Requires a v2 server.
+  Result<ShardHealth> Health();
+
+  /// The server's table ids in its local handle order (SHARD_TABLES).
+  /// Requires a v2 server.
+  Result<std::vector<std::string>> ShardTables();
+
+  /// \brief Bounds how long each socket operation of a round trip may block.
+  ///
+  /// Sets both SO_RCVTIMEO and SO_SNDTIMEO: a worker that stops *reading*
+  /// (wedged peer, SIGSTOP) would otherwise hang a large send forever once
+  /// the socket buffer fills, exactly like one that stops writing. `ms`
+  /// <= 0 restores the default (block forever). Applies to the current
+  /// connection immediately and to future Connects. On expiry the pending
+  /// call fails with kIoError ("timed out") and the connection closes —
+  /// the request may still execute server-side, so only idempotent reads
+  /// should be retried. The bound is per socket operation, not per round
+  /// trip: a peer trickling bytes can stretch a round trip past it, but
+  /// can no longer stall one indefinitely.
+  void set_timeout_ms(int ms);
+
   void Close();
   bool connected() const { return fd_ >= 0; }
 
  private:
   Result<Response> RoundTrip(const Request& request);
+  void ApplyTimeouts();
 
   size_t max_frame_bytes_;
+  int timeout_ms_ = 0;
   int fd_ = -1;
 };
 

@@ -27,17 +27,26 @@ namespace {
 constexpr int kAcceptPollMs = 50;  // stop-flag check cadence
 }  // namespace
 
-LakeServer::LakeServer(search::ShardedLakeIndex index,
+LakeServer::LakeServer(std::unique_ptr<LakeBackend> backend,
                        const ServerOptions& options)
-    : index_(std::move(index)), options_(options) {
+    : backend_(std::move(backend)), options_(options) {
   size_t query_threads = options_.query_threads != 0
                              ? options_.query_threads
                              : std::thread::hardware_concurrency();
   query_pool_ = std::make_unique<ThreadPool>(query_threads);
   io_pool_ = std::make_unique<ThreadPool>(options_.io_threads);
-  batcher_ = std::make_unique<QueryBatcher>(&index_, query_pool_.get(),
+  batcher_ = std::make_unique<QueryBatcher>(backend_.get(), query_pool_.get(),
                                             options_.max_batch);
 }
+
+LakeServer::LakeServer(search::ShardedLakeIndex index,
+                       const ServerOptions& options)
+    : LakeServer(std::make_unique<InProcessBackend>(std::move(index)),
+                 options) {}
+
+LakeServer::LakeServer(DistributedLakeIndex index, const ServerOptions& options)
+    : LakeServer(std::make_unique<DistributedBackend>(std::move(index)),
+                 options) {}
 
 LakeServer::~LakeServer() { Stop(); }
 
@@ -102,6 +111,10 @@ void LakeServer::Stop() {
 
   // 3. Drain: wait for every connection handler (running and queued), then
   //    for the batcher (which answers all accepted queries before exiting).
+  //    If a drained query's ParallelFor races the query pool's teardown
+  //    below, rejected chunks run inline on the batcher's dispatcher
+  //    thread (the ParallelFor shutdown contract in util/thread_pool.h) —
+  //    drained responses are complete, never partial.
   io_pool_->Wait();
   batcher_->Stop();
 
@@ -115,6 +128,7 @@ ServerStats LakeServer::stats() const {
   ServerStats stats = batcher_->stats();
   std::unique_lock<std::mutex> lock(latency_mu_);
   stats.total_latency_ms = total_latency_ms_;
+  stats.requests += shard_requests_;
   return stats;
 }
 
@@ -191,8 +205,12 @@ void LakeServer::HandleConnection(int fd) {
     } else {
       response = HandleRequest(std::move(request));
     }
+    // Query round trips (ranked and shard) feed the latency counter —
+    // the same set stats() counts as requests, so served-vs-reported
+    // means stay consistent; metadata ops (STATS/HEALTH/TABLES) don't.
     if (response.status == StatusCode::kOk &&
-        response.op != Opcode::kStats) {
+        (response.op == Opcode::kJoin || response.op == Opcode::kUnion ||
+         response.op == Opcode::kShardQuery)) {
       std::unique_lock<std::mutex> lock(latency_mu_);
       total_latency_ms_ += MsSince(received);
     }
@@ -207,10 +225,24 @@ void LakeServer::HandleConnection(int fd) {
 
 Response LakeServer::HandleRequest(Request&& request) {
   const Opcode op = request.op;
+  // Echo the version the request arrived with: a version-1 client must get
+  // version-1 responses it can decode, and Error() below already stamps
+  // the lowest version that carries the opcode.
+  Response response;
+  response.version = request.version;
+  response.op = op;
   if (op == Opcode::kStats) {
-    Response response;
-    response.op = op;
     response.stats = stats();
+    return response;
+  }
+  if (op == Opcode::kHealth) {
+    response.health = backend_->Health();
+    return response;
+  }
+  if (op == Opcode::kShardTables) {
+    Result<std::vector<std::string>> ids = backend_->TableIds();
+    if (!ids.ok()) return Response::Error(op, ids.status());
+    response.ids = std::move(ids).value();
     return response;
   }
   if (op == Opcode::kJoin && request.columns.size() != 1) {
@@ -220,23 +252,40 @@ Response LakeServer::HandleRequest(Request&& request) {
                 std::to_string(request.columns.size())));
   }
   for (const auto& column : request.columns) {
-    if (column.size() != index_.dim()) {
+    if (column.size() != backend_->dim()) {
       return Response::Error(
-          op, Status::InvalidArgument(
-                  "query dim " + std::to_string(column.size()) +
-                  " does not match index dim " + std::to_string(index_.dim())));
+          op, Status::InvalidArgument("query dim " +
+                                      std::to_string(column.size()) +
+                                      " does not match index dim " +
+                                      std::to_string(backend_->dim())));
     }
+  }
+  if (op == Opcode::kShardQuery) {
+    // Shard queries bypass the batcher: they are the scatter primitive a
+    // coordinator builds its own coalescing on, and their per-column hit
+    // budget does not coalesce by (opcode, k) the way ranked queries do.
+    // Clamping m to the column count changes nothing semantically (a
+    // search cannot return more hits than columns exist) but bounds what
+    // a hostile m can make the ANN layer allocate.
+    const size_t m = std::min<size_t>(request.k, backend_->num_columns());
+    Result<std::vector<std::vector<ShardHit>>> hits =
+        backend_->ShardQuery(request.columns, m, query_pool_.get());
+    if (!hits.ok()) return Response::Error(op, hits.status());
+    response.hits = std::move(hits).value();
+    {
+      std::unique_lock<std::mutex> lock(latency_mu_);
+      ++shard_requests_;
+    }
+    return response;
   }
   // Ranked results can never exceed the table count, so clamping k there
   // changes nothing semantically — but it stops a hostile k=0xFFFFFFFF in
   // an otherwise-valid tiny frame from driving a ~300 GB reserve() inside
   // the ranking stack and killing the server with bad_alloc.
-  const size_t k = std::min<size_t>(request.k, index_.num_tables());
+  const size_t k = std::min<size_t>(request.k, backend_->num_tables());
   Result<std::vector<std::string>> ids =
       batcher_->Submit(op, std::move(request.columns), k);
   if (!ids.ok()) return Response::Error(op, ids.status());
-  Response response;
-  response.op = op;
   response.ids = std::move(ids).value();
   return response;
 }

@@ -1,13 +1,22 @@
-// Long-lived query server over a ShardedLakeIndex (ROADMAP "Async query
-// server"): load the index once, then serve join/union queries to many
-// concurrent clients over a local (AF_UNIX) socket.
+// Long-lived query server over a LakeBackend (ROADMAP "Async query
+// server" + "Distributed shards"): load or connect a backend once, then
+// serve join/union queries to many concurrent clients over a local
+// (AF_UNIX) socket.
 //
 // Architecture: one accept thread polls the listening socket and hands each
 // accepted connection to an I/O ThreadPool; connection handlers read
 // length-prefixed request frames (server/protocol.h) and park each query on
 // the QueryBatcher, which coalesces concurrent in-flight queries into
 // QueryJoinableBatch/QueryUnionableBatch calls on a separate query
-// ThreadPool. Results are bit-identical to calling the index directly.
+// ThreadPool. Results are bit-identical to calling the backend directly.
+//
+// The backend is pluggable (server/backend.h): an in-process
+// ShardedLakeIndex (PR 3's deployment, and what a lake_shard_worker
+// process serves over one shard file), or a DistributedLakeIndex
+// coordinator fronting a fleet of shard workers. The shard opcodes
+// (SHARD_QUERY / HEALTH / SHARD_TABLES) bypass the batcher and run
+// directly on the connection handler — they are the scatter primitive a
+// coordinator builds its own batching on top of.
 //
 // Shutdown is graceful: Stop() refuses new connections, nudges idle
 // connections with a read-side shutdown, lets every request that was
@@ -25,7 +34,7 @@
 #include <thread>
 #include <unordered_set>
 
-#include "search/sharded_lake_index.h"
+#include "server/backend.h"
 #include "server/batcher.h"
 #include "server/protocol.h"
 #include "util/status.h"
@@ -48,15 +57,19 @@ struct ServerOptions {
   size_t max_frame_bytes = kDefaultMaxFrameBytes; ///< request frame ceiling
 };
 
-/// \brief A blocking query server that owns a ShardedLakeIndex.
+/// \brief A blocking query server that owns a LakeBackend.
 ///
-/// Construct with a ready index (move it in, or load one with
-/// ShardedLakeIndex::Load), Start() on a socket path, Stop() to drain.
-/// The destructor calls Stop(). Not copyable or movable — live threads
-/// hold `this`.
+/// Construct with a ready backend (an in-process ShardedLakeIndex, a
+/// DistributedLakeIndex coordinator, or any LakeBackend), Start() on a
+/// socket path, Stop() to drain. The destructor calls Stop(). Not
+/// copyable or movable — live threads hold `this`.
 class LakeServer {
  public:
   explicit LakeServer(search::ShardedLakeIndex index,
+                      const ServerOptions& options = {});
+  explicit LakeServer(DistributedLakeIndex index,
+                      const ServerOptions& options = {});
+  explicit LakeServer(std::unique_ptr<LakeBackend> backend,
                       const ServerOptions& options = {});
   ~LakeServer();
 
@@ -77,17 +90,17 @@ class LakeServer {
   /// STATS opcode.
   ServerStats stats() const;
 
-  const search::ShardedLakeIndex& index() const { return index_; }
+  const LakeBackend& backend() const { return *backend_; }
   const std::string& socket_path() const { return socket_path_; }
 
  private:
   void AcceptLoop();
   void HandleConnection(int fd);
   /// Validates and executes one parsed request (the only layer that knows
-  /// both the protocol and the index).
+  /// both the protocol and the backend).
   Response HandleRequest(Request&& request);
 
-  search::ShardedLakeIndex index_;
+  std::unique_ptr<LakeBackend> backend_;
   ServerOptions options_;
 
   // Declaration order is teardown order in reverse: the batcher must die
@@ -109,6 +122,10 @@ class LakeServer {
 
   mutable std::mutex latency_mu_;
   double total_latency_ms_ = 0;
+  // SHARD_QUERY round trips bypass the batcher, so they are counted here
+  // and folded into stats(): a worker fleet that only ever serves a
+  // coordinator must not report zero requests.
+  uint64_t shard_requests_ = 0;
 };
 
 }  // namespace tsfm::server

@@ -40,16 +40,57 @@ Status RequireFullyConsumed(std::istream& in) {
   return Status::OK();
 }
 
+// True for the opcodes that carry no payload beyond the header.
+bool IsHeaderOnly(Opcode op) {
+  return op == Opcode::kStats || op == Opcode::kHealth ||
+         op == Opcode::kShardTables;
+}
+
+// Shared header validation: the version byte must be one this build
+// decodes, and a v2 opcode must not be smuggled into a v1 frame — a
+// v1-only peer would misparse it, so that combination never appears on a
+// healthy wire.
+Status CheckVersionedOpcode(uint8_t version, uint8_t raw_op) {
+  if (version < kMinProtocolVersion || version > kProtocolVersion) {
+    return Status::ParseError("unsupported protocol version " +
+                              std::to_string(version));
+  }
+  if (!IsValidOpcode(raw_op)) {
+    return Status::ParseError("unknown opcode " + std::to_string(raw_op));
+  }
+  const uint8_t required = RequiredVersion(static_cast<Opcode>(raw_op));
+  if (version < required) {
+    return Status::ParseError(
+        "opcode " + std::to_string(raw_op) + " requires protocol version " +
+        std::to_string(required) + ", got " + std::to_string(version));
+  }
+  return Status::OK();
+}
+
 }  // namespace
 
 bool IsValidOpcode(uint8_t raw) {
-  return raw == static_cast<uint8_t>(Opcode::kJoin) ||
-         raw == static_cast<uint8_t>(Opcode::kUnion) ||
-         raw == static_cast<uint8_t>(Opcode::kStats);
+  return raw >= static_cast<uint8_t>(Opcode::kJoin) &&
+         raw <= static_cast<uint8_t>(Opcode::kShardTables);
+}
+
+uint8_t RequiredVersion(Opcode op) {
+  switch (op) {
+    case Opcode::kJoin:
+    case Opcode::kUnion:
+    case Opcode::kStats:
+      return 1;
+    case Opcode::kShardQuery:
+    case Opcode::kHealth:
+    case Opcode::kShardTables:
+      return 2;
+  }
+  return kProtocolVersion;
 }
 
 Response Response::Error(Opcode op, const Status& status) {
   Response response;
+  response.version = RequiredVersion(op);
   response.op = op;
   response.status = status.code();
   response.message = status.message();
@@ -59,7 +100,7 @@ Response Response::Error(Opcode op, const Status& status) {
 void EncodeRequest(const Request& request, std::ostream& out) {
   WritePod(out, request.version);
   WritePod(out, static_cast<uint8_t>(request.op));
-  if (request.op == Opcode::kStats) return;
+  if (IsHeaderOnly(request.op)) return;
   WritePod(out, request.k);
   WritePod(out, static_cast<uint32_t>(request.columns.size()));
   const uint32_t dim =
@@ -80,18 +121,12 @@ Status DecodeRequest(std::istream& in, Request* request) {
   if (!ReadPod(in, &version) || !ReadPod(in, &raw_op)) {
     return Truncated("request header");
   }
-  if (version != kProtocolVersion) {
-    return Status::ParseError("unsupported protocol version " +
-                              std::to_string(version));
-  }
-  if (!IsValidOpcode(raw_op)) {
-    return Status::ParseError("unknown opcode " + std::to_string(raw_op));
-  }
+  if (Status s = CheckVersionedOpcode(version, raw_op); !s.ok()) return s;
   request->version = version;
   request->op = static_cast<Opcode>(raw_op);
   request->k = 0;
   request->columns.clear();
-  if (request->op == Opcode::kStats) return RequireFullyConsumed(in);
+  if (IsHeaderOnly(request->op)) return RequireFullyConsumed(in);
 
   uint32_t num_columns = 0, dim = 0;
   if (!ReadPod(in, &request->k) || !ReadPod(in, &num_columns) ||
@@ -131,6 +166,27 @@ void EncodeResponse(const Response& response, std::ostream& out) {
     WritePod(out, response.stats.total_latency_ms);
     return;
   }
+  if (response.op == Opcode::kHealth) {
+    WritePod(out, response.health.protocol_version);
+    WritePod(out, response.health.backend);
+    WritePod(out, response.health.metric);
+    WritePod(out, response.health.dim);
+    WritePod(out, response.health.num_tables);
+    WritePod(out, response.health.num_columns);
+    return;
+  }
+  if (response.op == Opcode::kShardQuery) {
+    WritePod(out, static_cast<uint32_t>(response.hits.size()));
+    for (const auto& list : response.hits) {
+      WritePod(out, static_cast<uint32_t>(list.size()));
+      for (const ShardHit& hit : list) {
+        WritePod(out, hit.table);
+        WritePod(out, hit.column);
+        WritePod(out, hit.distance);
+      }
+    }
+    return;
+  }
   WritePod(out, static_cast<uint32_t>(response.ids.size()));
   for (const auto& id : response.ids) {
     WritePod(out, static_cast<uint32_t>(id.size()));
@@ -144,13 +200,7 @@ Status DecodeResponse(std::istream& in, Response* response) {
       !ReadPod(in, &raw_status)) {
     return Truncated("response header");
   }
-  if (version != kProtocolVersion) {
-    return Status::ParseError("unsupported protocol version " +
-                              std::to_string(version));
-  }
-  if (!IsValidOpcode(raw_op)) {
-    return Status::ParseError("unknown opcode " + std::to_string(raw_op));
-  }
+  if (Status s = CheckVersionedOpcode(version, raw_op); !s.ok()) return s;
   if (raw_status > static_cast<uint8_t>(StatusCode::kUnimplemented)) {
     return Status::ParseError("unknown status code " +
                               std::to_string(raw_status));
@@ -161,6 +211,8 @@ Status DecodeResponse(std::istream& in, Response* response) {
   response->message.clear();
   response->ids.clear();
   response->stats = ServerStats{};
+  response->hits.clear();
+  response->health = ShardHealth{};
   if (response->status != StatusCode::kOk) {
     uint32_t len = 0;
     if (!ReadPod(in, &len)) return Truncated("error message length");
@@ -179,6 +231,44 @@ Status DecodeResponse(std::istream& in, Response* response) {
         !ReadPod(in, &response->stats.total_queue_wait_ms) ||
         !ReadPod(in, &response->stats.total_latency_ms)) {
       return Truncated("stats payload");
+    }
+    return RequireFullyConsumed(in);
+  }
+  if (response->op == Opcode::kHealth) {
+    if (!ReadPod(in, &response->health.protocol_version) ||
+        !ReadPod(in, &response->health.backend) ||
+        !ReadPod(in, &response->health.metric) ||
+        !ReadPod(in, &response->health.dim) ||
+        !ReadPod(in, &response->health.num_tables) ||
+        !ReadPod(in, &response->health.num_columns)) {
+      return Truncated("health payload");
+    }
+    return RequireFullyConsumed(in);
+  }
+  if (response->op == Opcode::kShardQuery) {
+    uint32_t num_lists = 0;
+    if (!ReadPod(in, &num_lists)) return Truncated("hit list count");
+    if (num_lists > kMaxColumns) {
+      return Status::ParseError("hit list count exceeds protocol limits");
+    }
+    response->hits.resize(num_lists);
+    for (auto& list : response->hits) {
+      uint32_t num_hits = 0;
+      if (!ReadPod(in, &num_hits)) return Truncated("hit count");
+      if (num_hits > kMaxIds) {
+        return Status::ParseError("hit count exceeds protocol limits");
+      }
+      // Grow incrementally so a hostile count with no data behind it fails
+      // on its first missing hit, not after a count-sized allocation.
+      list.reserve(std::min<uint32_t>(num_hits, 1024));
+      for (uint32_t i = 0; i < num_hits; ++i) {
+        ShardHit hit;
+        if (!ReadPod(in, &hit.table) || !ReadPod(in, &hit.column) ||
+            !ReadPod(in, &hit.distance)) {
+          return Truncated("hit entries");
+        }
+        list.push_back(hit);
+      }
     }
     return RequireFullyConsumed(in);
   }
@@ -227,6 +317,12 @@ Status SendAll(int fd, const char* data, size_t len) {
     ssize_t n = ::send(fd, data + sent, len - sent, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        // SO_SNDTIMEO expired: the peer stopped reading and the socket
+        // buffer is full — same alive-but-wedged condition as a recv
+        // timeout, named the same way.
+        return Status::IoError("send timed out writing a frame");
+      }
       return Status::IoError(std::string("send: ") + std::strerror(errno));
     }
     sent += static_cast<size_t>(n);
@@ -242,6 +338,12 @@ Status RecvAll(int fd, char* data, size_t len, bool* clean_eof) {
     ssize_t n = ::recv(fd, data + got, len - got, 0);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        // SO_RCVTIMEO expired: the peer is alive-but-silent or wedged. Name
+        // the condition so a coordinator can report "timed out", not a
+        // generic resource error.
+        return Status::IoError("recv timed out waiting for a frame");
+      }
       return Status::IoError(std::string("recv: ") + std::strerror(errno));
     }
     if (n == 0) {

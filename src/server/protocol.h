@@ -23,9 +23,20 @@
 
 namespace tsfm::server {
 
-/// Bumped whenever the payload layout changes; a request or response with
-/// any other version is rejected with kParseError.
-inline constexpr uint8_t kProtocolVersion = 1;
+/// \brief Newest protocol version this build understands.
+///
+/// Version 1 defined JOIN/UNION/STATS; version 2 added the per-shard
+/// opcodes (SHARD_QUERY/HEALTH/SHARD_TABLES) for the distributed tier and
+/// changed nothing about the version-1 payloads. Every message is encoded
+/// with the *lowest* version that can express it (RequiredVersion below),
+/// so a v2 client interoperates with a v1 server for the v1 opcodes, and
+/// decoders reject only frames they genuinely cannot parse: a version
+/// outside [kMinProtocolVersion, kProtocolVersion], or a v2 opcode claimed
+/// inside a v1 frame.
+inline constexpr uint8_t kProtocolVersion = 2;
+
+/// Oldest version still decoded (version-1 traffic stays valid).
+inline constexpr uint8_t kMinProtocolVersion = 1;
 
 /// Default ceiling on one frame's payload. A length prefix above the
 /// negotiated ceiling is answered with a Status error, not an allocation.
@@ -33,19 +44,29 @@ inline constexpr size_t kDefaultMaxFrameBytes = 16u << 20;
 
 /// Request kinds. Values are wire format — never renumber.
 enum class Opcode : uint8_t {
-  kJoin = 1,   ///< rank tables joinable on one query column
-  kUnion = 2,  ///< rank tables unionable with a set of query columns
-  kStats = 3,  ///< fetch server-side batching/latency counters
+  kJoin = 1,         ///< rank tables joinable on one query column
+  kUnion = 2,        ///< rank tables unionable with a set of query columns
+  kStats = 3,        ///< fetch server-side batching/latency counters
+  kShardQuery = 4,   ///< raw top-m column hits per query column (coordinator scatter)
+  kHealth = 5,       ///< shard identity: protocol version, backend, dim, counts
+  kShardTables = 6,  ///< the shard's table ids in local-handle order
 };
 
 /// True for the opcodes this version understands.
 bool IsValidOpcode(uint8_t raw);
 
+/// The lowest protocol version that can carry `op` (1 for the original
+/// opcodes, 2 for the shard opcodes). Encoders stamp messages with this so
+/// old peers keep understanding new binaries' v1 traffic.
+uint8_t RequiredVersion(Opcode op);
+
 /// \brief One client request.
 ///
-/// kJoin carries exactly one column; kUnion any number (zero included —
-/// the server answers it exactly like a direct QueryUnionable({}) call);
-/// kStats carries neither k nor columns.
+/// kJoin carries exactly one column; kUnion and kShardQuery any number
+/// (zero included — the server answers it exactly like a direct call with
+/// no columns); kStats, kHealth, and kShardTables carry neither k nor
+/// columns. For kShardQuery, `k` is the per-column hit budget `m` (the
+/// coordinator's k*3 over-retrieval), not a result-table count.
 struct Request {
   uint8_t version = kProtocolVersion;
   Opcode op = Opcode::kJoin;
@@ -55,9 +76,39 @@ struct Request {
   bool operator==(const Request&) const = default;
 };
 
+/// \brief One raw column hit returned by a SHARD_QUERY.
+///
+/// `table` is a table handle in the *responding server's* handle space
+/// (shard-local when the worker serves one shard); the coordinator remaps
+/// it into the global handle space before merging.
+struct ShardHit {
+  uint64_t table = 0;
+  uint32_t column = 0;
+  float distance = 0;
+
+  bool operator==(const ShardHit&) const = default;
+};
+
+/// \brief A shard worker's identity, returned by the HEALTH opcode.
+///
+/// The coordinator handshakes every worker with this before serving:
+/// `protocol_version` catches mixed-version deployments, `backend`/
+/// `metric`/`dim` must match the lake manifest, and the counts must agree
+/// with the manifest's locator records.
+struct ShardHealth {
+  uint8_t protocol_version = kProtocolVersion;
+  uint8_t backend = 0;  ///< search::IndexBackend
+  uint8_t metric = 0;   ///< search::Metric
+  uint64_t dim = 0;
+  uint64_t num_tables = 0;
+  uint64_t num_columns = 0;
+
+  bool operator==(const ShardHealth&) const = default;
+};
+
 /// Server-side counters returned by the kStats opcode.
 struct ServerStats {
-  uint64_t requests = 0;          ///< join/union requests answered
+  uint64_t requests = 0;          ///< query requests answered (join/union/shard)
   uint64_t batches = 0;           ///< coalesced batch dispatches
   uint64_t max_batch = 0;         ///< largest batch coalesced so far
   double total_queue_wait_ms = 0; ///< sum of enqueue->dispatch waits
@@ -77,12 +128,15 @@ struct Response {
   Opcode op = Opcode::kJoin;
   StatusCode status = StatusCode::kOk;
   std::string message;           ///< non-empty iff status != kOk
-  std::vector<std::string> ids;  ///< kJoin/kUnion payload, ranked
+  std::vector<std::string> ids;  ///< kJoin/kUnion/kShardTables payload, ranked
   ServerStats stats;             ///< kStats payload
+  std::vector<std::vector<ShardHit>> hits;  ///< kShardQuery: one list per column
+  ShardHealth health;            ///< kHealth payload
 
   bool operator==(const Response&) const = default;
 
-  /// Shorthand for an error response echoing `op`.
+  /// Shorthand for an error response echoing `op`, stamped with the lowest
+  /// version that carries `op` so peers of either version can decode it.
   static Response Error(Opcode op, const Status& status);
 };
 

@@ -60,8 +60,24 @@ class ThreadPool {
   bool stop_ = false;
 };
 
-/// Runs body(i) for i in [begin, end) across `pool`, blocking until done.
-/// Work is chunked to limit queue overhead.
+/// \brief Runs body(i) for i in [begin, end) across `pool`, blocking until
+/// done. Work is chunked to limit queue overhead.
+///
+/// Shutdown contract: ParallelFor NEVER silently drops work. If the pool
+/// has been shut down — or shuts down mid-loop, rejecting the remaining
+/// chunks — every index the pool did not accept runs *inline on the
+/// calling thread*, serially, after the accepted chunks finish. Each index
+/// still executes exactly once. Callers rely on this: the server's
+/// drain path (QueryBatcher::RunGroup, ShardedLakeIndex batch queries on
+/// the query pool) may issue a ParallelFor that races Stop()'s pool
+/// teardown, and a dropped range there would mean a client request
+/// silently answered with partial results. The fallback trades parallelism
+/// for completeness — correct, just slower — and is pinned by
+/// ThreadPoolTest.ParallelForOnShutDownPoolRunsRejectedWorkInlineExactlyOnce.
+///
+/// `body` must therefore be safe to run on the calling thread (it already
+/// must be: the pool's workers are arbitrary threads), and must not assume
+/// it is ever actually parallel.
 void ParallelFor(ThreadPool* pool, size_t begin, size_t end,
                  const std::function<void(size_t)>& body);
 

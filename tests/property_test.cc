@@ -416,12 +416,22 @@ TEST(CheckpointFailureTest, GarbageMagicRejected) {
 
 server::Request RandomRequest(Rng* rng) {
   server::Request request;
-  switch (rng->UniformInt(0, 2)) {
+  switch (rng->UniformInt(0, 5)) {
     case 0: request.op = server::Opcode::kJoin; break;
     case 1: request.op = server::Opcode::kUnion; break;
-    default: request.op = server::Opcode::kStats; break;
+    case 2: request.op = server::Opcode::kStats; break;
+    case 3: request.op = server::Opcode::kShardQuery; break;
+    case 4: request.op = server::Opcode::kHealth; break;
+    default: request.op = server::Opcode::kShardTables; break;
   }
-  if (request.op == server::Opcode::kStats) return request;
+  // Messages travel at the lowest version that can carry them (what
+  // LakeClient sends); round trips must preserve that.
+  request.version = server::RequiredVersion(request.op);
+  if (request.op == server::Opcode::kStats ||
+      request.op == server::Opcode::kHealth ||
+      request.op == server::Opcode::kShardTables) {
+    return request;
+  }
   request.k = static_cast<uint32_t>(rng->UniformInt(0, 50));
   size_t num_columns = request.op == server::Opcode::kJoin
                            ? 1
@@ -437,11 +447,15 @@ server::Request RandomRequest(Rng* rng) {
 
 server::Response RandomResponse(Rng* rng) {
   server::Response response;
-  switch (rng->UniformInt(0, 2)) {
+  switch (rng->UniformInt(0, 5)) {
     case 0: response.op = server::Opcode::kJoin; break;
     case 1: response.op = server::Opcode::kUnion; break;
-    default: response.op = server::Opcode::kStats; break;
+    case 2: response.op = server::Opcode::kStats; break;
+    case 3: response.op = server::Opcode::kShardQuery; break;
+    case 4: response.op = server::Opcode::kHealth; break;
+    default: response.op = server::Opcode::kShardTables; break;
   }
+  response.version = server::RequiredVersion(response.op);
   if (rng->UniformInt(0, 3) == 0) {
     response.status = StatusCode::kInvalidArgument;
     response.message = "injected failure #" + std::to_string(rng->UniformInt(0, 99));
@@ -453,6 +467,28 @@ server::Response RandomResponse(Rng* rng) {
     response.stats.max_batch = static_cast<uint64_t>(rng->UniformInt(0, 64));
     response.stats.total_queue_wait_ms = rng->UniformDouble(0, 10);
     response.stats.total_latency_ms = rng->UniformDouble(0, 10);
+    return response;
+  }
+  if (response.op == server::Opcode::kHealth) {
+    response.health.protocol_version = server::kProtocolVersion;
+    response.health.backend = static_cast<uint8_t>(rng->UniformInt(0, 1));
+    response.health.metric = static_cast<uint8_t>(rng->UniformInt(0, 1));
+    response.health.dim = static_cast<uint64_t>(rng->UniformInt(1, 256));
+    response.health.num_tables = static_cast<uint64_t>(rng->UniformInt(0, 500));
+    response.health.num_columns = static_cast<uint64_t>(rng->UniformInt(0, 900));
+    return response;
+  }
+  if (response.op == server::Opcode::kShardQuery) {
+    size_t lists = static_cast<size_t>(rng->UniformInt(0, 3));
+    response.hits.resize(lists);
+    for (auto& list : response.hits) {
+      size_t n = static_cast<size_t>(rng->UniformInt(0, 5));
+      for (size_t i = 0; i < n; ++i) {
+        list.push_back({static_cast<uint64_t>(rng->UniformInt(0, 999)),
+                        static_cast<uint32_t>(rng->UniformInt(0, 7)),
+                        static_cast<float>(rng->UniformDouble(0, 2))});
+      }
+    }
     return response;
   }
   size_t n = static_cast<size_t>(rng->UniformInt(0, 6));
@@ -493,7 +529,13 @@ TEST_P(ProtocolRoundTripTest, NoProperPrefixOfAQueryRequestDecodes) {
   Rng rng(GetParam() + 2000);
   for (int i = 0; i < 10; ++i) {
     server::Request request = RandomRequest(&rng);
-    if (request.op == server::Opcode::kStats) continue;  // 2-byte payload
+    // Header-only opcodes (STATS/HEALTH/SHARD_TABLES) are 2-byte payloads.
+    if (request.columns.empty() && request.k == 0 &&
+        (request.op == server::Opcode::kStats ||
+         request.op == server::Opcode::kHealth ||
+         request.op == server::Opcode::kShardTables)) {
+      continue;
+    }
     std::string payload = server::SerializeRequest(request);
     for (size_t cut = 0; cut < payload.size(); ++cut) {
       std::istringstream in(payload.substr(0, cut));
@@ -540,6 +582,76 @@ TEST(ProtocolRoundTripTest, ExplicitEdgeCases) {
   auto status = server::DecodeRequest(hin, &hostile_decoded);
   ASSERT_FALSE(status.ok());
   EXPECT_EQ(status.code(), StatusCode::kParseError);
+}
+
+// ------------------------------------- protocol version compatibility rules
+//
+// The compatibility contract (src/server/README.md): v1 opcodes travel in
+// v1 frames and decode under every supported version; v2 (shard) opcodes
+// require v2 frames; versions outside [min, current] are rejected; and a
+// v2 opcode smuggled into a v1 frame is a parse error, because a v1-only
+// peer would misparse it.
+
+TEST(ProtocolVersionTest, EncodersStampTheLowestVersionThatCarriesTheOpcode) {
+  EXPECT_EQ(server::RequiredVersion(server::Opcode::kJoin), 1);
+  EXPECT_EQ(server::RequiredVersion(server::Opcode::kUnion), 1);
+  EXPECT_EQ(server::RequiredVersion(server::Opcode::kStats), 1);
+  EXPECT_EQ(server::RequiredVersion(server::Opcode::kShardQuery), 2);
+  EXPECT_EQ(server::RequiredVersion(server::Opcode::kHealth), 2);
+  EXPECT_EQ(server::RequiredVersion(server::Opcode::kShardTables), 2);
+}
+
+TEST(ProtocolVersionTest, V1OpcodesDecodeUnderBothSupportedVersions) {
+  for (uint8_t version : {uint8_t{1}, uint8_t{2}}) {
+    server::Request request;
+    request.version = version;
+    request.op = server::Opcode::kJoin;
+    request.k = 3;
+    request.columns = {{1.0f, 2.0f}};
+    std::istringstream in(server::SerializeRequest(request));
+    server::Request decoded;
+    ASSERT_TRUE(server::DecodeRequest(in, &decoded).ok())
+        << "version " << int(version);
+    EXPECT_EQ(decoded, request);
+  }
+}
+
+TEST(ProtocolVersionTest, ShardOpcodeInsideAV1FrameIsRejected) {
+  server::Request request;
+  request.version = 1;  // lies: shard opcodes need version 2
+  request.op = server::Opcode::kShardQuery;
+  request.k = 5;
+  request.columns = {{1.0f, 2.0f}};
+  std::istringstream in(server::SerializeRequest(request));
+  server::Request decoded;
+  auto status = server::DecodeRequest(in, &decoded);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kParseError);
+}
+
+TEST(ProtocolVersionTest, VersionsOutsideTheSupportedRangeAreRejected) {
+  for (uint8_t version : {uint8_t{0}, uint8_t{server::kProtocolVersion + 1}}) {
+    server::Request request;
+    request.version = version;
+    request.op = server::Opcode::kStats;
+    std::istringstream in(server::SerializeRequest(request));
+    server::Request decoded;
+    auto status = server::DecodeRequest(in, &decoded);
+    ASSERT_FALSE(status.ok()) << "version " << int(version);
+    EXPECT_EQ(status.code(), StatusCode::kParseError);
+  }
+}
+
+TEST(ProtocolVersionTest, ErrorResponsesAreDecodableByTheOldestPeer) {
+  // Frame-level errors can be answered before any request version is known;
+  // they must arrive in a version-1 envelope so even a v1 client reads them.
+  server::Response error = server::Response::Error(
+      server::Opcode::kJoin, Status::OutOfRange("too big"));
+  EXPECT_EQ(error.version, 1);
+  std::istringstream in(server::SerializeResponse(error));
+  server::Response decoded;
+  ASSERT_TRUE(server::DecodeResponse(in, &decoded).ok());
+  EXPECT_EQ(decoded, error);
 }
 
 }  // namespace

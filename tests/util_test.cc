@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <memory>
 #include <set>
@@ -321,6 +322,34 @@ TEST(ThreadPoolTest, ParallelForOnShutDownPoolStillCoversRange) {
   std::vector<std::atomic<int>> touched(20);
   ParallelFor(&pool, 0, 20, [&](size_t i) { touched[i].fetch_add(1); });
   for (auto& t : touched) EXPECT_EQ(t.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForOnShutDownPoolRunsRejectedWorkInlineExactlyOnce) {
+  // Assertion-style pin of the full shutdown contract in thread_pool.h,
+  // which the server's drain path relies on (QueryBatcher::RunGroup may
+  // issue a ParallelFor racing Stop()'s pool teardown): on a shut pool,
+  // every index runs (1) exactly once, (2) on the *calling* thread, and
+  // (3) in ascending order — i.e. the serial inline fallback, not a
+  // half-parallel remnant that could reorder or drop work.
+  ThreadPool pool(3);
+  pool.Shutdown();
+  const std::thread::id caller = std::this_thread::get_id();
+  std::vector<int> runs(64, 0);
+  std::vector<size_t> order;
+  bool all_on_caller = true;
+  ParallelFor(&pool, 0, 64, [&](size_t i) {
+    // No synchronization on purpose: if the fallback ever ran off-thread,
+    // TSan/ASan runs of this test would flag it even before the asserts.
+    runs[i] += 1;
+    order.push_back(i);
+    if (std::this_thread::get_id() != caller) all_on_caller = false;
+  });
+  for (size_t i = 0; i < runs.size(); ++i) {
+    ASSERT_EQ(runs[i], 1) << "index " << i << " ran " << runs[i] << " times";
+  }
+  ASSERT_TRUE(all_on_caller) << "inline fallback left the calling thread";
+  ASSERT_EQ(order.size(), runs.size());
+  EXPECT_TRUE(std::is_sorted(order.begin(), order.end()));
 }
 
 TEST(TimerTest, MeasuresElapsed) {
