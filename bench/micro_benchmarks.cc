@@ -8,6 +8,7 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <cmath>
 #include <condition_variable>
 #include <map>
 #include <mutex>
@@ -18,6 +19,7 @@
 #include "lakebench/datagen.h"
 #include "nn/attention.h"
 #include "nn/ops.h"
+#include "search/distance_kernels.h"
 #include "search/hnsw.h"
 #include "search/knn_index.h"
 #include "search/sharded_lake_index.h"
@@ -171,6 +173,90 @@ void BM_AttentionBackward(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_AttentionBackward)->Arg(32)->Arg(64);
+
+// ----------------------------------------------------- distance kernels
+// Scalar vs SIMD kernel throughput at embedding-sized dims, plus the
+// one-query-many-rows flat scan both paths feed. The last arg selects the
+// kernel set (0 = scalar reference, 1 = BestKernels — AVX2+FMA / NEON
+// where available, scalar otherwise; the label names the set measured);
+// for BM_DistanceKernel{Dot,L2} the first arg is the dim.
+// The acceptance bar is SIMD >= 2x scalar at dim 768 on AVX2 hosts; see
+// bench/results/distance_kernels.json for a recorded run.
+
+const search::KernelDispatch& BenchKernels(int64_t simd) {
+  return simd != 0 ? search::BestKernels() : search::ScalarKernels();
+}
+
+// Two vectors long enough that dim-768 reads stream from cache, offset so
+// the pair never aliases.
+struct KernelFixture {
+  std::vector<float> a, b;
+  KernelFixture() {
+    Rng rng(23);
+    a.resize(4096);
+    b.resize(4096);
+    for (auto& x : a) x = static_cast<float>(rng.Normal());
+    for (auto& x : b) x = static_cast<float>(rng.Normal());
+  }
+};
+
+void BM_DistanceKernelDot(benchmark::State& state) {
+  static const KernelFixture& f = *new KernelFixture();
+  const size_t dim = static_cast<size_t>(state.range(0));
+  const search::KernelDispatch& kd = BenchKernels(state.range(1));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kd.dot(f.a.data(), f.b.data(), dim));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(dim));
+  state.SetLabel(kd.name);
+}
+BENCHMARK(BM_DistanceKernelDot)->ArgsProduct({{64, 384, 768}, {0, 1}});
+
+void BM_DistanceKernelL2(benchmark::State& state) {
+  static const KernelFixture& f = *new KernelFixture();
+  const size_t dim = static_cast<size_t>(state.range(0));
+  const search::KernelDispatch& kd = BenchKernels(state.range(1));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kd.l2sq(f.a.data(), f.b.data(), dim));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(dim));
+  state.SetLabel(kd.name);
+}
+BENCHMARK(BM_DistanceKernelL2)->ArgsProduct({{64, 384, 768}, {0, 1}});
+
+// Single-thread flat-scan QPS through ScanTopK — the loop every flat
+// KnnIndex::Search (and therefore every flat lake query) bottoms out in.
+void BM_FlatScanTopK(benchmark::State& state) {
+  constexpr size_t kRows = 512, kDim = 768;
+  struct ScanFixture {
+    std::vector<float> rows, norms, query;
+    ScanFixture() {
+      Rng rng(29);
+      rows.resize(kRows * kDim);
+      for (auto& x : rows) x = static_cast<float>(rng.Normal());
+      for (size_t r = 0; r < kRows; ++r) {
+        norms.push_back(search::ScalarKernels().dot(rows.data() + r * kDim,
+                                                    rows.data() + r * kDim,
+                                                    kDim));
+        norms.back() = std::sqrt(norms.back());
+      }
+      for (size_t i = 0; i < kDim; ++i) {
+        query.push_back(static_cast<float>(rng.Normal()));
+      }
+    }
+  };
+  static const ScanFixture& f = *new ScanFixture();
+  const search::KernelDispatch& kd = BenchKernels(state.range(0));
+  for (auto _ : state) {
+    auto hits = search::ScanTopK(kd, f.query.data(), f.rows.data(),
+                                 f.norms.data(), kRows, kDim,
+                                 search::Metric::kCosine, 10);
+    benchmark::DoNotOptimize(hits.data());
+  }
+  state.SetItemsProcessed(state.iterations() * kRows);
+  state.SetLabel(kd.name);
+}
+BENCHMARK(BM_FlatScanTopK)->Arg(0)->Arg(1);
 
 // --------------------------------------------------------- ANN backends
 // Flat-vs-HNSW comparison: build time, single-query QPS (with recall@10 of

@@ -1,0 +1,282 @@
+#include "search/distance_kernels.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdlib>
+#include <queue>
+#include <utility>
+
+#if defined(__aarch64__)
+#include <arm_neon.h>
+#endif
+
+namespace tsfm::search {
+
+namespace {
+
+// ------------------------------------------------------------------ scalar
+// The reference set. Four independent accumulators: deterministic,
+// autovectorizer-friendly, and closer to the SIMD lane sums than a single
+// serial accumulator, which keeps the 1e-4 agreement contract comfortable.
+
+float DotScalar(const float* a, const float* b, size_t n) {
+  float s0 = 0.0f, s1 = 0.0f, s2 = 0.0f, s3 = 0.0f;
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    s0 += a[i] * b[i];
+    s1 += a[i + 1] * b[i + 1];
+    s2 += a[i + 2] * b[i + 2];
+    s3 += a[i + 3] * b[i + 3];
+  }
+  for (; i < n; ++i) s0 += a[i] * b[i];
+  return (s0 + s1) + (s2 + s3);
+}
+
+float L2SqScalar(const float* a, const float* b, size_t n) {
+  float s0 = 0.0f, s1 = 0.0f, s2 = 0.0f, s3 = 0.0f;
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const float d0 = a[i] - b[i];
+    const float d1 = a[i + 1] - b[i + 1];
+    const float d2 = a[i + 2] - b[i + 2];
+    const float d3 = a[i + 3] - b[i + 3];
+    s0 += d0 * d0;
+    s1 += d1 * d1;
+    s2 += d2 * d2;
+    s3 += d3 * d3;
+  }
+  for (; i < n; ++i) {
+    const float d = a[i] - b[i];
+    s0 += d * d;
+  }
+  return (s0 + s1) + (s2 + s3);
+}
+
+float CosineScalar(const float* a, const float* b, size_t n) {
+  float dot = 0.0f, na = 0.0f, nb = 0.0f;
+  for (size_t i = 0; i < n; ++i) {
+    dot += a[i] * b[i];
+    na += a[i] * a[i];
+    nb += b[i] * b[i];
+  }
+  return CosineDistanceFromDot(dot, std::sqrt(na), std::sqrt(nb));
+}
+
+void DotManyScalar(const float* query, const float* rows, size_t num_rows,
+                   size_t dim, float* out) {
+  for (size_t r = 0; r < num_rows; ++r) {
+    out[r] = DotScalar(query, rows + r * dim, dim);
+  }
+}
+
+void L2SqManyScalar(const float* query, const float* rows, size_t num_rows,
+                    size_t dim, float* out) {
+  for (size_t r = 0; r < num_rows; ++r) {
+    out[r] = L2SqScalar(query, rows + r * dim, dim);
+  }
+}
+
+constexpr KernelDispatch kScalarKernels = {
+    "scalar", DotScalar, L2SqScalar, CosineScalar, DotManyScalar, L2SqManyScalar,
+};
+
+// -------------------------------------------------------------------- NEON
+// aarch64 always has Advanced SIMD, so the kernels live in this TU behind
+// the arch guard — no separate flags or runtime probe needed.
+#if defined(__aarch64__)
+
+float DotNeon(const float* a, const float* b, size_t n) {
+  float32x4_t acc0 = vdupq_n_f32(0.0f), acc1 = vdupq_n_f32(0.0f);
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    acc0 = vfmaq_f32(acc0, vld1q_f32(a + i), vld1q_f32(b + i));
+    acc1 = vfmaq_f32(acc1, vld1q_f32(a + i + 4), vld1q_f32(b + i + 4));
+  }
+  if (i + 4 <= n) {
+    acc0 = vfmaq_f32(acc0, vld1q_f32(a + i), vld1q_f32(b + i));
+    i += 4;
+  }
+  float s = vaddvq_f32(vaddq_f32(acc0, acc1));
+  for (; i < n; ++i) s += a[i] * b[i];
+  return s;
+}
+
+float L2SqNeon(const float* a, const float* b, size_t n) {
+  float32x4_t acc0 = vdupq_n_f32(0.0f), acc1 = vdupq_n_f32(0.0f);
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const float32x4_t d0 = vsubq_f32(vld1q_f32(a + i), vld1q_f32(b + i));
+    const float32x4_t d1 = vsubq_f32(vld1q_f32(a + i + 4), vld1q_f32(b + i + 4));
+    acc0 = vfmaq_f32(acc0, d0, d0);
+    acc1 = vfmaq_f32(acc1, d1, d1);
+  }
+  if (i + 4 <= n) {
+    const float32x4_t d = vsubq_f32(vld1q_f32(a + i), vld1q_f32(b + i));
+    acc0 = vfmaq_f32(acc0, d, d);
+    i += 4;
+  }
+  float s = vaddvq_f32(vaddq_f32(acc0, acc1));
+  for (; i < n; ++i) {
+    const float d = a[i] - b[i];
+    s += d * d;
+  }
+  return s;
+}
+
+float CosineNeon(const float* a, const float* b, size_t n) {
+  float32x4_t dot = vdupq_n_f32(0.0f), na = vdupq_n_f32(0.0f),
+              nb = vdupq_n_f32(0.0f);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const float32x4_t va = vld1q_f32(a + i);
+    const float32x4_t vb = vld1q_f32(b + i);
+    dot = vfmaq_f32(dot, va, vb);
+    na = vfmaq_f32(na, va, va);
+    nb = vfmaq_f32(nb, vb, vb);
+  }
+  float sdot = vaddvq_f32(dot), sna = vaddvq_f32(na), snb = vaddvq_f32(nb);
+  for (; i < n; ++i) {
+    sdot += a[i] * b[i];
+    sna += a[i] * a[i];
+    snb += b[i] * b[i];
+  }
+  return CosineDistanceFromDot(sdot, std::sqrt(sna), std::sqrt(snb));
+}
+
+void DotManyNeon(const float* query, const float* rows, size_t num_rows,
+                 size_t dim, float* out) {
+  for (size_t r = 0; r < num_rows; ++r) {
+    out[r] = DotNeon(query, rows + r * dim, dim);
+  }
+}
+
+void L2SqManyNeon(const float* query, const float* rows, size_t num_rows,
+                  size_t dim, float* out) {
+  for (size_t r = 0; r < num_rows; ++r) {
+    out[r] = L2SqNeon(query, rows + r * dim, dim);
+  }
+}
+
+constexpr KernelDispatch kNeonKernels = {
+    "neon", DotNeon, L2SqNeon, CosineNeon, DotManyNeon, L2SqManyNeon,
+};
+
+#endif  // __aarch64__
+
+// --------------------------------------------------------------- selection
+
+bool ForceScalarFromEnv() {
+  const char* v = std::getenv("LAKS_FORCE_SCALAR");
+  // Any non-empty value other than "0" forces scalar.
+  return v != nullptr && v[0] != '\0' && !(v[0] == '0' && v[1] == '\0');
+}
+
+const KernelDispatch* SelectKernels(bool force_scalar) {
+  if (force_scalar) return &kScalarKernels;
+#if defined(TSFM_HAVE_AVX2_KERNELS)
+  if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma")) {
+    return internal::Avx2Kernels();
+  }
+#endif
+#if defined(__aarch64__)
+  return &kNeonKernels;
+#else
+  return &kScalarKernels;
+#endif
+}
+
+std::atomic<const KernelDispatch*> g_active{nullptr};
+
+}  // namespace
+
+const KernelDispatch& Kernels() {
+  const KernelDispatch* active = g_active.load(std::memory_order_acquire);
+  if (active == nullptr) {
+    // Selection is deterministic, so a racing first call resolves to the
+    // same set whichever store wins.
+    const KernelDispatch* selected = SelectKernels(ForceScalarFromEnv());
+    const KernelDispatch* expected = nullptr;
+    g_active.compare_exchange_strong(expected, selected,
+                                     std::memory_order_acq_rel);
+    active = g_active.load(std::memory_order_acquire);
+  }
+  return *active;
+}
+
+const KernelDispatch& ScalarKernels() { return kScalarKernels; }
+
+const KernelDispatch& BestKernels() {
+  return *SelectKernels(/*force_scalar=*/false);
+}
+
+namespace internal {
+
+void OverrideKernelsForTest(const KernelDispatch* kernels) {
+  g_active.store(kernels != nullptr ? kernels
+                                    : SelectKernels(ForceScalarFromEnv()),
+                 std::memory_order_release);
+}
+
+}  // namespace internal
+
+float Norm(const float* a, size_t n) {
+  return std::sqrt(Kernels().dot(a, a, n));
+}
+
+std::vector<ScanHit> ScanTopK(const KernelDispatch& kernels, const float* query,
+                              const float* rows, const float* row_norms,
+                              size_t num_rows, size_t dim, Metric metric,
+                              size_t k) {
+  if (k == 0 || num_rows == 0) return {};
+  const bool cosine = metric == Metric::kCosine;
+  const float query_norm =
+      cosine ? std::sqrt(kernels.dot(query, query, dim)) : 0.0f;
+
+  // Distances are produced a block at a time so the row loop stays inside
+  // the kernel TU; the heap keeps the best k as (distance, row) with the
+  // worst kept candidate on top, ties resolved toward the lower row.
+  using Entry = std::pair<float, size_t>;
+  std::priority_queue<Entry> heap;
+  constexpr size_t kBlockRows = 512;
+  std::vector<float> block(std::min(num_rows, kBlockRows));
+  for (size_t base = 0; base < num_rows; base += kBlockRows) {
+    const size_t count = std::min(kBlockRows, num_rows - base);
+    if (cosine) {
+      kernels.dot_many(query, rows + base * dim, count, dim, block.data());
+    } else {
+      kernels.l2sq_many(query, rows + base * dim, count, dim, block.data());
+    }
+    for (size_t i = 0; i < count; ++i) {
+      const size_t r = base + i;
+      // L2 takes the root here, before the heap: candidates must be
+      // selected and tie-broken on the distances we report, or two squared
+      // values that round to the same float sqrt would order by row
+      // inconsistently with the (distance, row) contract.
+      const float dist =
+          cosine ? CosineDistanceFromDot(block[i], row_norms[r], query_norm)
+                 : std::sqrt(block[i]);
+      if (heap.size() < k) {
+        heap.emplace(dist, r);
+      } else if (Entry(dist, r) < heap.top()) {
+        heap.pop();
+        heap.emplace(dist, r);
+      }
+    }
+  }
+
+  std::vector<ScanHit> out(heap.size());
+  for (size_t i = heap.size(); i-- > 0;) {
+    out[i] = {heap.top().first, heap.top().second};
+    heap.pop();
+  }
+  return out;
+}
+
+std::vector<ScanHit> ScanTopK(const float* query, const float* rows,
+                              const float* row_norms, size_t num_rows,
+                              size_t dim, Metric metric, size_t k) {
+  return ScanTopK(Kernels(), query, rows, row_norms, num_rows, dim, metric, k);
+}
+
+}  // namespace tsfm::search

@@ -1,0 +1,156 @@
+// SIMD distance kernels — the lowest layer of the search stack.
+//
+// Every query in the repo bottoms out in inner-product / L2 scans
+// (KnnIndex::Search) or HNSW neighbour expansion (HnswIndex::Distance).
+// This module owns those loops: a kernel set (dot, squared L2, cosine
+// distance, and one-query-many-rows batch variants) is selected once per
+// process by runtime CPU detection — AVX2+FMA when the CPU has both, NEON
+// on aarch64, portable scalar otherwise — and exposed as plain function
+// pointers so the indexes above never carry their own arithmetic.
+//
+// Semantics the seam guarantees (so callers cannot diverge):
+//   - Cosine normalization lives HERE. CosineDistanceFromDot folds the
+//     norm division and the zero-norm guard into the kernel layer; no
+//     caller divides by norms itself.
+//   - A zero-norm vector has no direction, so wherever norms are known
+//     (the cosine kernel, CosineDistanceFromDot, and therefore the flat
+//     scan) its cosine distance is kMaxCosineDistance (+inf): it ranks
+//     strictly after every vector with a direction instead of
+//     masquerading as "orthogonal". HnswIndex is the one exception: it
+//     normalizes on insert, so a zero-norm input degrades to the zero
+//     vector at distance 1.0 — see hnsw.h.
+//   - Accumulation is in float on every path (the SIMD lanes are float;
+//     the scalar reference matches). Kernel sets agree within 1e-4
+//     relative on random vectors (property-tested in
+//     tests/distance_kernels_test.cc) but are NOT bit-identical — never
+//     compare distances across kernel sets with ==. The same contract
+//     covers the batch (*_many) kernels against their pairwise
+//     counterparts: row blocking changes the accumulation order.
+//
+// Setting LAKS_FORCE_SCALAR=1 in the environment forces the scalar set
+// regardless of CPU, so SIMD/scalar parity is testable on any machine
+// (CI runs the whole tier-1 suite once per mode).
+#ifndef TSFM_SEARCH_DISTANCE_KERNELS_H_
+#define TSFM_SEARCH_DISTANCE_KERNELS_H_
+
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+namespace tsfm::search {
+
+/// Distance metrics understood by every index backend.
+enum class Metric { kCosine, kL2 };
+
+/// Cosine distance reported for a zero-norm vector (no direction — it must
+/// rank after everything that has one).
+inline constexpr float kMaxCosineDistance =
+    std::numeric_limits<float>::infinity();
+
+/// Norm-product guard below which cosine is treated as undefined.
+inline constexpr float kNormProductEps = 1e-12f;
+
+/// Pairwise kernel: one value from two length-`n` vectors.
+using PairKernelFn = float (*)(const float* a, const float* b, size_t n);
+
+/// Batch kernel: `query` against `num_rows` contiguous row-major rows of
+/// length `dim`, one output per row. This is what the flat scan streams
+/// through — no per-row indirect call, the row loop lives inside the
+/// selected ISA's translation unit.
+using BatchKernelFn = void (*)(const float* query, const float* rows,
+                               size_t num_rows, size_t dim, float* out);
+
+/// \brief One ISA's kernel set. Instances are immutable process-lifetime
+/// statics; Kernels() picks one at first use.
+struct KernelDispatch {
+  const char* name;        ///< "scalar", "avx2-fma", or "neon"
+  PairKernelFn dot;        ///< inner product
+  PairKernelFn l2sq;       ///< squared Euclidean distance
+  PairKernelFn cosine;     ///< 1 - cos(a, b); zero norm -> kMaxCosineDistance
+  BatchKernelFn dot_many;  ///< dot of query vs each row
+  BatchKernelFn l2sq_many; ///< squared L2 of query vs each row
+};
+
+/// \brief The kernel set this process uses, selected once at first call.
+///
+/// AVX2+FMA when compiled in and the CPU supports both, NEON on aarch64,
+/// scalar otherwise; LAKS_FORCE_SCALAR=1 in the environment forces scalar.
+const KernelDispatch& Kernels();
+
+/// The portable scalar reference set (always available).
+const KernelDispatch& ScalarKernels();
+
+/// The best set for this CPU, ignoring the LAKS_FORCE_SCALAR override.
+/// Lets parity tests and benches compare scalar vs SIMD in one process
+/// even when the process-wide selection was forced scalar.
+const KernelDispatch& BestKernels();
+
+namespace internal {
+/// Replaces the process-wide selection (nullptr restores the automatic
+/// choice). Test-only: lets one process run the same queries under two
+/// kernel sets. Not safe while searches run on other threads.
+void OverrideKernelsForTest(const KernelDispatch* kernels);
+
+/// The AVX2+FMA set. Defined in distance_kernels_avx2.cc, which CMake
+/// compiles (with -mavx2 -mfma) only on x86-64; referenced only under
+/// TSFM_HAVE_AVX2_KERNELS and behind a runtime CPU check.
+const KernelDispatch* Avx2Kernels();
+}  // namespace internal
+
+/// Inner product via the selected kernels.
+inline float Dot(const float* a, const float* b, size_t n) {
+  return Kernels().dot(a, b, n);
+}
+
+/// Squared Euclidean distance via the selected kernels.
+inline float L2Sq(const float* a, const float* b, size_t n) {
+  return Kernels().l2sq(a, b, n);
+}
+
+/// Full cosine distance (norms computed internally) via the selected
+/// kernels. Prefer CosineDistanceFromDot when norms are cached.
+inline float CosineDistance(const float* a, const float* b, size_t n) {
+  return Kernels().cosine(a, b, n);
+}
+
+/// \brief Cosine distance from a precomputed dot product and norms.
+///
+/// The one place cosine normalization happens: 1 - dot / (|a||b|), with
+/// zero-norm inputs mapped to kMaxCosineDistance. Callers with cached
+/// norms (the flat index) use this instead of dividing themselves.
+inline float CosineDistanceFromDot(float dot, float norm_a, float norm_b) {
+  const float denom = norm_a * norm_b;
+  return denom > kNormProductEps ? 1.0f - dot / denom : kMaxCosineDistance;
+}
+
+/// L2 norm of `a` via the selected kernels.
+float Norm(const float* a, size_t n);
+
+/// One row of a ScanTopK result.
+struct ScanHit {
+  float distance;
+  size_t row;
+};
+
+/// \brief One-query-many-rows top-k scan: the flat backend's hot loop.
+///
+/// Streams `num_rows` row-major rows through the batch kernels in blocks
+/// and keeps a bounded (distance, row) max-heap, so the inner loop is pure
+/// SIMD with no per-row virtual or indirect dispatch. Returns up to `k`
+/// hits sorted ascending by (distance, row). Under kCosine, `row_norms`
+/// must hold the rows' L2 norms (the query's norm is computed internally;
+/// zero norms yield kMaxCosineDistance). Under kL2, `row_norms` is ignored
+/// and distances are Euclidean (square-rooted).
+std::vector<ScanHit> ScanTopK(const float* query, const float* rows,
+                              const float* row_norms, size_t num_rows,
+                              size_t dim, Metric metric, size_t k);
+
+/// ScanTopK pinned to an explicit kernel set (parity tests, benches).
+std::vector<ScanHit> ScanTopK(const KernelDispatch& kernels, const float* query,
+                              const float* rows, const float* row_norms,
+                              size_t num_rows, size_t dim, Metric metric,
+                              size_t k);
+
+}  // namespace tsfm::search
+
+#endif  // TSFM_SEARCH_DISTANCE_KERNELS_H_

@@ -1,0 +1,232 @@
+// AVX2+FMA kernel set. This TU is the only one compiled with
+// -mavx2 -mfma (see CMakeLists.txt), and is only reached through the
+// runtime CPU check in Kernels() — so nothing here may be called, and no
+// header inline function may be instantiated, from this TU in a way that
+// could be linked into the portable path (a scalar-looking inline compiled
+// here still carries VEX encodings). Everything below is file-local except
+// internal::Avx2Kernels().
+//
+// When the build does not enable the kernels (non-x86 target, or a
+// compiler without -mavx2 -mfma) TSFM_HAVE_AVX2_KERNELS is undefined and
+// this TU compiles empty — the dispatch never references it then.
+#ifdef TSFM_HAVE_AVX2_KERNELS
+
+#include <immintrin.h>
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+
+#include "search/distance_kernels.h"
+
+namespace tsfm::search {
+namespace {
+
+// Mask whose first `tail` (1..7) lanes are set — maskload zeroes the rest,
+// so sub-8 tails contribute exact values without reading past the row.
+inline __m256i TailMask(size_t tail) {
+  alignas(32) static constexpr int32_t kMaskSource[16] = {
+      -1, -1, -1, -1, -1, -1, -1, -1, 0, 0, 0, 0, 0, 0, 0, 0};
+  return _mm256_loadu_si256(
+      reinterpret_cast<const __m256i*>(kMaskSource + 8 - tail));
+}
+
+inline float HorizontalSum(__m256 v) {
+  __m128 lo = _mm256_castps256_ps128(v);
+  const __m128 hi = _mm256_extractf128_ps(v, 1);
+  lo = _mm_add_ps(lo, hi);
+  lo = _mm_hadd_ps(lo, lo);
+  lo = _mm_hadd_ps(lo, lo);
+  return _mm_cvtss_f32(lo);
+}
+
+// Local copy of CosineDistanceFromDot: the header inline must not be
+// instantiated in this TU (see the file comment).
+inline float CosineFromDot(float dot, float norm_a, float norm_b) {
+  const float denom = norm_a * norm_b;
+  return denom > kNormProductEps ? 1.0f - dot / denom : kMaxCosineDistance;
+}
+
+float DotAvx2(const float* a, const float* b, size_t n) {
+  // Four independent 8-wide accumulators: enough FMA chains in flight to
+  // hide the FMA latency and run at the load-port limit.
+  __m256 acc0 = _mm256_setzero_ps(), acc1 = _mm256_setzero_ps();
+  __m256 acc2 = _mm256_setzero_ps(), acc3 = _mm256_setzero_ps();
+  size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i), acc0);
+    acc1 = _mm256_fmadd_ps(_mm256_loadu_ps(a + i + 8),
+                           _mm256_loadu_ps(b + i + 8), acc1);
+    acc2 = _mm256_fmadd_ps(_mm256_loadu_ps(a + i + 16),
+                           _mm256_loadu_ps(b + i + 16), acc2);
+    acc3 = _mm256_fmadd_ps(_mm256_loadu_ps(a + i + 24),
+                           _mm256_loadu_ps(b + i + 24), acc3);
+  }
+  for (; i + 8 <= n; i += 8) {
+    acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i), acc0);
+  }
+  if (i < n) {
+    const __m256i mask = TailMask(n - i);
+    acc1 = _mm256_fmadd_ps(_mm256_maskload_ps(a + i, mask),
+                           _mm256_maskload_ps(b + i, mask), acc1);
+  }
+  return HorizontalSum(
+      _mm256_add_ps(_mm256_add_ps(acc0, acc1), _mm256_add_ps(acc2, acc3)));
+}
+
+float L2SqAvx2(const float* a, const float* b, size_t n) {
+  __m256 acc0 = _mm256_setzero_ps(), acc1 = _mm256_setzero_ps();
+  __m256 acc2 = _mm256_setzero_ps(), acc3 = _mm256_setzero_ps();
+  size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    const __m256 d0 =
+        _mm256_sub_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i));
+    const __m256 d1 =
+        _mm256_sub_ps(_mm256_loadu_ps(a + i + 8), _mm256_loadu_ps(b + i + 8));
+    const __m256 d2 =
+        _mm256_sub_ps(_mm256_loadu_ps(a + i + 16), _mm256_loadu_ps(b + i + 16));
+    const __m256 d3 =
+        _mm256_sub_ps(_mm256_loadu_ps(a + i + 24), _mm256_loadu_ps(b + i + 24));
+    acc0 = _mm256_fmadd_ps(d0, d0, acc0);
+    acc1 = _mm256_fmadd_ps(d1, d1, acc1);
+    acc2 = _mm256_fmadd_ps(d2, d2, acc2);
+    acc3 = _mm256_fmadd_ps(d3, d3, acc3);
+  }
+  for (; i + 8 <= n; i += 8) {
+    const __m256 d =
+        _mm256_sub_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i));
+    acc0 = _mm256_fmadd_ps(d, d, acc0);
+  }
+  if (i < n) {
+    const __m256i mask = TailMask(n - i);
+    // Masked-off lanes are 0 - 0 = 0 and contribute nothing.
+    const __m256 d = _mm256_sub_ps(_mm256_maskload_ps(a + i, mask),
+                                   _mm256_maskload_ps(b + i, mask));
+    acc1 = _mm256_fmadd_ps(d, d, acc1);
+  }
+  return HorizontalSum(
+      _mm256_add_ps(_mm256_add_ps(acc0, acc1), _mm256_add_ps(acc2, acc3)));
+}
+
+float CosineAvx2(const float* a, const float* b, size_t n) {
+  __m256 dot = _mm256_setzero_ps(), na = _mm256_setzero_ps(),
+         nb = _mm256_setzero_ps();
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 va = _mm256_loadu_ps(a + i);
+    const __m256 vb = _mm256_loadu_ps(b + i);
+    dot = _mm256_fmadd_ps(va, vb, dot);
+    na = _mm256_fmadd_ps(va, va, na);
+    nb = _mm256_fmadd_ps(vb, vb, nb);
+  }
+  if (i < n) {
+    const __m256i mask = TailMask(n - i);
+    const __m256 va = _mm256_maskload_ps(a + i, mask);
+    const __m256 vb = _mm256_maskload_ps(b + i, mask);
+    dot = _mm256_fmadd_ps(va, vb, dot);
+    na = _mm256_fmadd_ps(va, va, na);
+    nb = _mm256_fmadd_ps(vb, vb, nb);
+  }
+  return CosineFromDot(HorizontalSum(dot), std::sqrt(HorizontalSum(na)),
+                       std::sqrt(HorizontalSum(nb)));
+}
+
+// The batch variants walk four rows abreast so each 8-wide query load is
+// shared by four FMAs — ~40% fewer loads than row-at-a-time, and four
+// independent accumulator chains keep the FMA units busy while the row
+// streams come out of L2.
+void DotManyAvx2(const float* query, const float* rows, size_t num_rows,
+                 size_t dim, float* out) {
+  size_t r = 0;
+  for (; r + 4 <= num_rows; r += 4) {
+    const float* r0 = rows + r * dim;
+    const float* r1 = r0 + dim;
+    const float* r2 = r1 + dim;
+    const float* r3 = r2 + dim;
+    __m256 acc0 = _mm256_setzero_ps(), acc1 = _mm256_setzero_ps();
+    __m256 acc2 = _mm256_setzero_ps(), acc3 = _mm256_setzero_ps();
+    size_t i = 0;
+    for (; i + 8 <= dim; i += 8) {
+      const __m256 q = _mm256_loadu_ps(query + i);
+      acc0 = _mm256_fmadd_ps(q, _mm256_loadu_ps(r0 + i), acc0);
+      acc1 = _mm256_fmadd_ps(q, _mm256_loadu_ps(r1 + i), acc1);
+      acc2 = _mm256_fmadd_ps(q, _mm256_loadu_ps(r2 + i), acc2);
+      acc3 = _mm256_fmadd_ps(q, _mm256_loadu_ps(r3 + i), acc3);
+    }
+    if (i < dim) {
+      const __m256i mask = TailMask(dim - i);
+      const __m256 q = _mm256_maskload_ps(query + i, mask);
+      acc0 = _mm256_fmadd_ps(q, _mm256_maskload_ps(r0 + i, mask), acc0);
+      acc1 = _mm256_fmadd_ps(q, _mm256_maskload_ps(r1 + i, mask), acc1);
+      acc2 = _mm256_fmadd_ps(q, _mm256_maskload_ps(r2 + i, mask), acc2);
+      acc3 = _mm256_fmadd_ps(q, _mm256_maskload_ps(r3 + i, mask), acc3);
+    }
+    out[r] = HorizontalSum(acc0);
+    out[r + 1] = HorizontalSum(acc1);
+    out[r + 2] = HorizontalSum(acc2);
+    out[r + 3] = HorizontalSum(acc3);
+  }
+  for (; r < num_rows; ++r) {
+    out[r] = DotAvx2(query, rows + r * dim, dim);
+  }
+}
+
+void L2SqManyAvx2(const float* query, const float* rows, size_t num_rows,
+                  size_t dim, float* out) {
+  size_t r = 0;
+  for (; r + 4 <= num_rows; r += 4) {
+    const float* r0 = rows + r * dim;
+    const float* r1 = r0 + dim;
+    const float* r2 = r1 + dim;
+    const float* r3 = r2 + dim;
+    __m256 acc0 = _mm256_setzero_ps(), acc1 = _mm256_setzero_ps();
+    __m256 acc2 = _mm256_setzero_ps(), acc3 = _mm256_setzero_ps();
+    size_t i = 0;
+    for (; i + 8 <= dim; i += 8) {
+      const __m256 q = _mm256_loadu_ps(query + i);
+      const __m256 d0 = _mm256_sub_ps(q, _mm256_loadu_ps(r0 + i));
+      const __m256 d1 = _mm256_sub_ps(q, _mm256_loadu_ps(r1 + i));
+      const __m256 d2 = _mm256_sub_ps(q, _mm256_loadu_ps(r2 + i));
+      const __m256 d3 = _mm256_sub_ps(q, _mm256_loadu_ps(r3 + i));
+      acc0 = _mm256_fmadd_ps(d0, d0, acc0);
+      acc1 = _mm256_fmadd_ps(d1, d1, acc1);
+      acc2 = _mm256_fmadd_ps(d2, d2, acc2);
+      acc3 = _mm256_fmadd_ps(d3, d3, acc3);
+    }
+    if (i < dim) {
+      const __m256i mask = TailMask(dim - i);
+      const __m256 q = _mm256_maskload_ps(query + i, mask);
+      const __m256 d0 = _mm256_sub_ps(q, _mm256_maskload_ps(r0 + i, mask));
+      const __m256 d1 = _mm256_sub_ps(q, _mm256_maskload_ps(r1 + i, mask));
+      const __m256 d2 = _mm256_sub_ps(q, _mm256_maskload_ps(r2 + i, mask));
+      const __m256 d3 = _mm256_sub_ps(q, _mm256_maskload_ps(r3 + i, mask));
+      acc0 = _mm256_fmadd_ps(d0, d0, acc0);
+      acc1 = _mm256_fmadd_ps(d1, d1, acc1);
+      acc2 = _mm256_fmadd_ps(d2, d2, acc2);
+      acc3 = _mm256_fmadd_ps(d3, d3, acc3);
+    }
+    out[r] = HorizontalSum(acc0);
+    out[r + 1] = HorizontalSum(acc1);
+    out[r + 2] = HorizontalSum(acc2);
+    out[r + 3] = HorizontalSum(acc3);
+  }
+  for (; r < num_rows; ++r) {
+    out[r] = L2SqAvx2(query, rows + r * dim, dim);
+  }
+}
+
+constexpr KernelDispatch kAvx2Kernels = {
+    "avx2-fma", DotAvx2, L2SqAvx2, CosineAvx2, DotManyAvx2, L2SqManyAvx2,
+};
+
+}  // namespace
+
+namespace internal {
+
+const KernelDispatch* Avx2Kernels() { return &kAvx2Kernels; }
+
+}  // namespace internal
+
+}  // namespace tsfm::search
+
+#endif  // TSFM_HAVE_AVX2_KERNELS

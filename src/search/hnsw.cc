@@ -7,6 +7,7 @@
 #include <queue>
 #include <unordered_set>
 
+#include "search/distance_kernels.h"
 #include "search/stream_io.h"
 #include "util/logging.h"
 
@@ -19,17 +20,8 @@ HnswIndex::HnswIndex(size_t dim, HnswOptions options, Metric metric)
     : dim_(dim), options_(options), metric_(metric), level_rng_(options.seed) {}
 
 float HnswIndex::Distance(const float* a, const float* b) const {
-  if (metric_ == Metric::kL2) {
-    double s = 0.0;
-    for (size_t i = 0; i < dim_; ++i) {
-      double d = static_cast<double>(a[i]) - b[i];
-      s += d * d;
-    }
-    return static_cast<float>(std::sqrt(s));
-  }
-  float dot = 0.0f;
-  for (size_t i = 0; i < dim_; ++i) dot += a[i] * b[i];
-  return 1.0f - dot;  // vectors are unit-norm under cosine
+  if (metric_ == Metric::kL2) return std::sqrt(L2Sq(a, b, dim_));
+  return 1.0f - Dot(a, b, dim_);  // vectors are unit-norm under cosine
 }
 
 std::vector<std::pair<float, uint32_t>> HnswIndex::SearchLayer(const float* query,
@@ -83,10 +75,8 @@ void HnswIndex::Add(size_t payload, const std::vector<float>& vec) {
     data_.insert(data_.end(), vec.begin(), vec.end());
   } else {
     // Normalize so inner product equals cosine similarity.
-    double norm = 0.0;
-    for (float v : vec) norm += static_cast<double>(v) * v;
-    norm = std::sqrt(norm);
-    const float inv = norm > 1e-12 ? static_cast<float>(1.0 / norm) : 0.0f;
+    const float norm = Norm(vec.data(), dim_);
+    const float inv = norm > 1e-12f ? 1.0f / norm : 0.0f;
     for (float v : vec) data_.push_back(v * inv);
   }
   payloads_.push_back(payload);
@@ -154,11 +144,9 @@ std::vector<std::pair<size_t, float>> HnswIndex::Search(
   if (k == 0 || query.size() != dim_ || nodes_.empty()) return {};
   std::vector<float> q = query;
   if (metric_ != Metric::kL2) {
-    double norm = 0.0;
-    for (float v : q) norm += static_cast<double>(v) * v;
-    norm = std::sqrt(norm);
-    if (norm > 1e-12) {
-      for (auto& v : q) v = static_cast<float>(v / norm);
+    const float norm = Norm(q.data(), dim_);
+    if (norm > 1e-12f) {
+      for (auto& v : q) v /= norm;
     }
   }
 

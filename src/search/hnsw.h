@@ -25,6 +25,13 @@ namespace tsfm::search {
 /// equals cosine similarity and distance = 1 - cos. Under L2 the vectors
 /// are stored raw and distance is the Euclidean norm, matching KnnIndex so
 /// IndexOptions.metric behaves the same for both backends.
+///
+/// Zero-norm caveat: normalization on insert erases norms, so a zero-norm
+/// vector (or query) degrades to the zero vector and scores distance 1.0
+/// against everything — unlike the flat backend, whose kernel seam reports
+/// kMaxCosineDistance for it. The graph needs finite distances during
+/// construction, and the exact backend is the reference for such edge
+/// cases anyway (pinned in tests/hnsw_test.cc).
 class HnswIndex : public VectorIndex {
  public:
   /// Binary stream tag written by Save ("HNS2" — the layout with a metric

@@ -1,11 +1,10 @@
 #include "search/knn_index.h"
 
 #include <algorithm>
-#include <cmath>
 #include <istream>
 #include <ostream>
-#include <queue>
 
+#include "search/distance_kernels.h"
 #include "search/stream_io.h"
 #include "util/logging.h"
 
@@ -20,58 +19,20 @@ void KnnIndex::Add(size_t payload, const std::vector<float>& vec) {
   TSFM_CHECK_EQ(vec.size(), dim_);
   data_.insert(data_.end(), vec.begin(), vec.end());
   payloads_.push_back(payload);
-  double n = 0.0;
-  for (float v : vec) n += static_cast<double>(v) * v;
-  norms_.push_back(static_cast<float>(std::sqrt(n)));
-}
-
-float KnnIndex::Distance(const float* a, const std::vector<float>& b) const {
-  if (metric_ == Metric::kL2) {
-    double s = 0.0;
-    for (size_t i = 0; i < dim_; ++i) {
-      double d = static_cast<double>(a[i]) - b[i];
-      s += d * d;
-    }
-    return static_cast<float>(std::sqrt(s));
-  }
-  double dot = 0.0;
-  for (size_t i = 0; i < dim_; ++i) dot += static_cast<double>(a[i]) * b[i];
-  return static_cast<float>(dot);  // caller divides by norms
+  norms_.push_back(Norm(vec.data(), dim_));
 }
 
 std::vector<std::pair<size_t, float>> KnnIndex::Search(const std::vector<float>& query,
                                                        size_t k) const {
   if (k == 0 || query.size() != dim_ || payloads_.empty()) return {};
-  double qn = 0.0;
-  for (float v : query) qn += static_cast<double>(v) * v;
-  const float qnorm = static_cast<float>(std::sqrt(qn));
-
-  // Bounded max-heap of the best k rows: top is the worst kept candidate,
-  // ordered by (distance, row) so ties stay deterministic.
-  using Entry = std::pair<float, size_t>;  // (distance, row)
-  std::priority_queue<Entry> heap;
-  for (size_t r = 0; r < payloads_.size(); ++r) {
-    const float* row = data_.data() + r * dim_;
-    float dist;
-    if (metric_ == Metric::kL2) {
-      dist = Distance(row, query);
-    } else {
-      float denom = norms_[r] * qnorm;
-      dist = denom > 1e-12f ? 1.0f - Distance(row, query) / denom : 1.0f;
-    }
-    if (heap.size() < k) {
-      heap.emplace(dist, r);
-    } else if (Entry(dist, r) < heap.top()) {
-      heap.pop();
-      heap.emplace(dist, r);
-    }
-  }
-
-  std::vector<std::pair<size_t, float>> out(heap.size());
-  for (size_t i = heap.size(); i-- > 0;) {
-    const auto& [dist, row] = heap.top();
-    out[i] = {payloads_[row], dist};
-    heap.pop();
+  // The scan streams rows through the selected SIMD kernels; cosine
+  // normalization (and the zero-norm -> kMaxCosineDistance rule) lives in
+  // the kernel seam, not here.
+  auto hits = ScanTopK(query.data(), data_.data(), norms_.data(),
+                       payloads_.size(), dim_, metric_, k);
+  std::vector<std::pair<size_t, float>> out(hits.size());
+  for (size_t i = 0; i < hits.size(); ++i) {
+    out[i] = {payloads_[hits[i].row], hits[i].distance};
   }
   return out;
 }
@@ -111,12 +72,7 @@ Result<KnnIndex> KnnIndex::Load(std::istream& in) {
   if (!in) return Status::IoError("truncated flat vectors");
   index.norms_.reserve(n);
   for (uint64_t r = 0; r < n; ++r) {
-    double norm = 0.0;
-    const float* row = index.data_.data() + r * dim;
-    for (uint64_t i = 0; i < dim; ++i) {
-      norm += static_cast<double>(row[i]) * row[i];
-    }
-    index.norms_.push_back(static_cast<float>(std::sqrt(norm)));
+    index.norms_.push_back(Norm(index.data_.data() + r * dim, dim));
   }
   return index;
 }

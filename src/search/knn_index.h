@@ -29,8 +29,11 @@ class KnnIndex : public VectorIndex {
 
   /// \brief Top-k (payload, distance) pairs, nearest first.
   ///
-  /// Cosine distance = 1 - cos(a, b); zero vectors compare as distance 1.
-  /// k == 0 or a query of the wrong dimension returns an empty list.
+  /// Cosine distance = 1 - cos(a, b); a zero vector has no direction, so
+  /// it (or a zero query) scores kMaxCosineDistance and ranks after every
+  /// vector that has one. k == 0 or a query of the wrong dimension returns
+  /// an empty list. The scan runs through the process's selected distance
+  /// kernels (see distance_kernels.h).
   std::vector<std::pair<size_t, float>> Search(const std::vector<float>& query,
                                                size_t k) const override;
 
@@ -46,8 +49,6 @@ class KnnIndex : public VectorIndex {
   static Result<KnnIndex> Load(std::istream& in);
 
  private:
-  float Distance(const float* a, const std::vector<float>& b) const;
-
   size_t dim_;
   Metric metric_;
   std::vector<float> data_;      // row-major, one row per item

@@ -17,6 +17,7 @@
 #include <utility>
 #include <vector>
 
+#include "search/distance_kernels.h"  // Metric + the kernel seam below it
 #include "util/status.h"
 
 namespace tsfm {
@@ -24,9 +25,6 @@ class ThreadPool;
 }  // namespace tsfm
 
 namespace tsfm::search {
-
-/// Distance metrics.
-enum class Metric { kCosine, kL2 };
 
 /// Which ANN backend an index uses.
 enum class IndexBackend {

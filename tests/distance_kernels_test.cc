@@ -1,0 +1,336 @@
+// The distance-kernel seam: scalar/SIMD agreement (the 1e-4 relative
+// tolerance contract), exact tail handling, the cosine normalization and
+// zero-norm semantics the seam owns, ScanTopK vs the pairwise kernels,
+// dispatch selection (including the LAKS_FORCE_SCALAR override), and
+// end-to-end lake parity between kernel sets.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <unordered_set>
+#include <vector>
+
+#include "search/distance_kernels.h"
+#include "search/hnsw.h"
+#include "search/knn_index.h"
+#include "search/sharded_lake_index.h"
+#include "search/vector_index.h"
+#include "util/random.h"
+
+namespace tsfm::search {
+namespace {
+
+// Pins the process-wide kernel selection for one scope.
+class ScopedKernels {
+ public:
+  explicit ScopedKernels(const KernelDispatch& kernels) {
+    internal::OverrideKernelsForTest(&kernels);
+  }
+  ~ScopedKernels() { internal::OverrideKernelsForTest(nullptr); }
+};
+
+std::vector<float> RandomVec(Rng* rng, size_t dim) {
+  std::vector<float> v(dim);
+  for (auto& x : v) x = static_cast<float>(rng->Normal());
+  return v;
+}
+
+// The documented contract: kernel sets agree within 1e-4 relative (floored
+// at 1 so near-zero values compare absolutely).
+void ExpectWithinContract(float a, float b) {
+  const float scale = std::max({1.0f, std::abs(a), std::abs(b)});
+  EXPECT_LE(std::abs(a - b), 1e-4f * scale) << a << " vs " << b;
+}
+
+// ------------------------------------------------- scalar/SIMD agreement
+
+TEST(DistanceKernelsTest, KernelSetsAgreeAcrossDims) {
+  const KernelDispatch& scalar = ScalarKernels();
+  const KernelDispatch& best = BestKernels();
+  Rng rng(41);
+  // 1..1024 including every sub-8 tail shape and non-multiple-of-8 dims.
+  const std::vector<size_t> dims = {1,  2,  3,   4,   5,   6,   7,   8,  9,
+                                    12, 15, 16,  17,  24,  31,  32,  33, 63,
+                                    64, 65, 127, 128, 255, 257, 384, 511,
+                                    512, 768, 1000, 1023, 1024};
+  for (size_t dim : dims) {
+    for (int trial = 0; trial < 4; ++trial) {
+      const auto a = RandomVec(&rng, dim);
+      const auto b = RandomVec(&rng, dim);
+      ExpectWithinContract(scalar.dot(a.data(), b.data(), dim),
+                           best.dot(a.data(), b.data(), dim));
+      ExpectWithinContract(scalar.l2sq(a.data(), b.data(), dim),
+                           best.l2sq(a.data(), b.data(), dim));
+      ExpectWithinContract(scalar.cosine(a.data(), b.data(), dim),
+                           best.cosine(a.data(), b.data(), dim));
+      // The batch kernels must agree with their pairwise counterparts too
+      // (their row blocking changes the accumulation order).
+      float batch_scalar = 0.0f, batch_best = 0.0f;
+      scalar.dot_many(a.data(), b.data(), 1, dim, &batch_scalar);
+      best.dot_many(a.data(), b.data(), 1, dim, &batch_best);
+      ExpectWithinContract(batch_scalar, batch_best);
+      ExpectWithinContract(scalar.dot(a.data(), b.data(), dim), batch_best);
+    }
+  }
+}
+
+TEST(DistanceKernelsTest, BatchKernelsMatchPairwiseAcrossRowCounts) {
+  // 1..9 rows exercises the 4-row blocked main loop and every remainder.
+  Rng rng(67);
+  for (size_t dim : {7u, 8u, 19u, 64u}) {
+    const auto query = RandomVec(&rng, dim);
+    for (size_t rows = 1; rows <= 9; ++rows) {
+      std::vector<float> data;
+      for (size_t r = 0; r < rows; ++r) {
+        const auto v = RandomVec(&rng, dim);
+        data.insert(data.end(), v.begin(), v.end());
+      }
+      for (const KernelDispatch* kd : {&ScalarKernels(), &BestKernels()}) {
+        std::vector<float> dots(rows), l2s(rows);
+        kd->dot_many(query.data(), data.data(), rows, dim, dots.data());
+        kd->l2sq_many(query.data(), data.data(), rows, dim, l2s.data());
+        for (size_t r = 0; r < rows; ++r) {
+          ExpectWithinContract(dots[r],
+                               kd->dot(query.data(), data.data() + r * dim, dim));
+          ExpectWithinContract(
+              l2s[r], kd->l2sq(query.data(), data.data() + r * dim, dim));
+        }
+      }
+    }
+  }
+}
+
+TEST(DistanceKernelsTest, IntegerVectorsAreExactIncludingTails) {
+  // Small-integer floats make every partial product exact, so any
+  // accumulation order must produce the identical sum — a wrong tail mask
+  // (reading a lane too many or too few) shows up as an exact mismatch.
+  Rng rng(43);
+  for (size_t dim = 1; dim <= 40; ++dim) {
+    std::vector<float> a(dim), b(dim);
+    for (size_t i = 0; i < dim; ++i) {
+      a[i] = static_cast<float>(static_cast<int>(rng.UniformDouble(-9, 9)));
+      b[i] = static_cast<float>(static_cast<int>(rng.UniformDouble(-9, 9)));
+    }
+    float expected_dot = 0.0f, expected_l2 = 0.0f;
+    for (size_t i = 0; i < dim; ++i) {
+      expected_dot += a[i] * b[i];
+      const float d = a[i] - b[i];
+      expected_l2 += d * d;
+    }
+    for (const KernelDispatch* kd : {&ScalarKernels(), &BestKernels()}) {
+      EXPECT_EQ(kd->dot(a.data(), b.data(), dim), expected_dot)
+          << kd->name << " dim " << dim;
+      EXPECT_EQ(kd->l2sq(a.data(), b.data(), dim), expected_l2)
+          << kd->name << " dim " << dim;
+    }
+  }
+}
+
+// ------------------------------------------------------ cosine semantics
+
+TEST(DistanceKernelsTest, CosineKernelNormalizesInternally) {
+  // Scaling either argument must not change the distance: normalization is
+  // the kernel's job, never a caller-side division.
+  Rng rng(47);
+  const size_t dim = 13;
+  const auto a = RandomVec(&rng, dim);
+  auto b = RandomVec(&rng, dim);
+  for (const KernelDispatch* kd : {&ScalarKernels(), &BestKernels()}) {
+    const float base = kd->cosine(a.data(), b.data(), dim);
+    std::vector<float> scaled = b;
+    for (auto& x : scaled) x *= 7.5f;
+    ExpectWithinContract(base, kd->cosine(a.data(), scaled.data(), dim));
+    EXPECT_NEAR(kd->cosine(a.data(), a.data(), dim), 0.0f, 1e-5f);
+  }
+}
+
+TEST(DistanceKernelsTest, ZeroNormVectorsScoreMaxCosineDistance) {
+  const std::vector<float> zero(11, 0.0f);
+  Rng rng(53);
+  const auto x = RandomVec(&rng, 11);
+  for (const KernelDispatch* kd : {&ScalarKernels(), &BestKernels()}) {
+    EXPECT_EQ(kd->cosine(zero.data(), x.data(), 11), kMaxCosineDistance);
+    EXPECT_EQ(kd->cosine(x.data(), zero.data(), 11), kMaxCosineDistance);
+    EXPECT_EQ(kd->cosine(zero.data(), zero.data(), 11), kMaxCosineDistance);
+  }
+  EXPECT_EQ(CosineDistanceFromDot(0.0f, 0.0f, 1.0f), kMaxCosineDistance);
+}
+
+// --------------------------------------------------------------- ScanTopK
+
+TEST(DistanceKernelsTest, ScanTopKMatchesPairwiseKernels) {
+  Rng rng(59);
+  const size_t dim = 19, rows = 300;  // odd dim: every row ends in a tail
+  std::vector<float> data;
+  std::vector<float> norms;
+  for (size_t r = 0; r < rows; ++r) {
+    const auto v = RandomVec(&rng, dim);
+    data.insert(data.end(), v.begin(), v.end());
+  }
+  const auto query = RandomVec(&rng, dim);
+  for (const KernelDispatch* kd : {&ScalarKernels(), &BestKernels()}) {
+    norms.clear();
+    for (size_t r = 0; r < rows; ++r) {
+      norms.push_back(std::sqrt(kd->dot(data.data() + r * dim,
+                                        data.data() + r * dim, dim)));
+    }
+    const float qnorm = std::sqrt(kd->dot(query.data(), query.data(), dim));
+    for (Metric metric : {Metric::kCosine, Metric::kL2}) {
+      // Reference: every pairwise distance, stably ordered by (dist, row).
+      std::vector<std::pair<float, size_t>> ref;
+      for (size_t r = 0; r < rows; ++r) {
+        const float* row = data.data() + r * dim;
+        const float dist =
+            metric == Metric::kCosine
+                ? CosineDistanceFromDot(kd->dot(query.data(), row, dim),
+                                        norms[r], qnorm)
+                : std::sqrt(kd->l2sq(query.data(), row, dim));
+        ref.emplace_back(dist, r);
+      }
+      std::sort(ref.begin(), ref.end());
+      for (size_t k : {1u, 7u, 64u, 300u, 500u}) {
+        auto hits = ScanTopK(*kd, query.data(), data.data(), norms.data(),
+                             rows, dim, metric, k);
+        ASSERT_EQ(hits.size(), std::min<size_t>(k, rows));
+        for (size_t i = 0; i < hits.size(); ++i) {
+          EXPECT_EQ(hits[i].row, ref[i].second) << kd->name << " k=" << k;
+          // The scan streams through the *_many kernels, whose accumulation
+          // order may differ from the pairwise kernels — values agree within
+          // the tolerance contract, not bit-exactly.
+          ExpectWithinContract(hits[i].distance, ref[i].first);
+        }
+      }
+    }
+  }
+}
+
+TEST(DistanceKernelsTest, ScanTopKDegenerateInputs) {
+  const std::vector<float> query = {1.0f, 0.0f};
+  EXPECT_TRUE(
+      ScanTopK(query.data(), nullptr, nullptr, 0, 2, Metric::kL2, 5).empty());
+  const std::vector<float> rows = {0.5f, 0.5f};
+  EXPECT_TRUE(
+      ScanTopK(query.data(), rows.data(), nullptr, 1, 2, Metric::kL2, 0)
+          .empty());
+}
+
+// ------------------------------------------------------------- dispatch
+
+TEST(DistanceKernelsTest, DispatchSelectsAKnownSet) {
+  EXPECT_STREQ(ScalarKernels().name, "scalar");
+  const std::string active = Kernels().name;
+  EXPECT_TRUE(active == "scalar" || active == "avx2-fma" || active == "neon")
+      << active;
+  const std::string best = BestKernels().name;
+  EXPECT_TRUE(best == "scalar" || best == "avx2-fma" || best == "neon");
+  // Under the LAKS_FORCE_SCALAR CI leg the process-wide selection must be
+  // scalar even though BestKernels may still name a SIMD set.
+  const char* force = std::getenv("LAKS_FORCE_SCALAR");
+  if (force != nullptr && force[0] != '\0' &&
+      !(force[0] == '0' && force[1] == '\0')) {
+    EXPECT_STREQ(Kernels().name, "scalar");
+  }
+}
+
+// -------------------------------------------------- end-to-end parity
+
+// One lake corpus shared by the parity tests: odd dim (tail lanes on every
+// row) and a couple of zero-norm columns to exercise the max-distance rule
+// through the whole ranking stack.
+struct LakeFixture {
+  static constexpr size_t kDim = 19;
+  std::vector<std::vector<std::vector<float>>> tables;
+  std::vector<std::vector<float>> join_queries;
+  std::vector<std::vector<std::vector<float>>> union_queries;
+
+  LakeFixture() {
+    Rng rng(61);
+    for (size_t t = 0; t < 120; ++t) {
+      std::vector<std::vector<float>> cols(1 + t % 3);
+      for (auto& col : cols) col = RandomVec(&rng, kDim);
+      if (t % 40 == 7) cols[0].assign(kDim, 0.0f);  // zero-norm column
+      tables.push_back(std::move(cols));
+    }
+    for (size_t q = 0; q < 12; ++q) {
+      join_queries.push_back(RandomVec(&rng, kDim));
+      union_queries.push_back({RandomVec(&rng, kDim), RandomVec(&rng, kDim)});
+    }
+  }
+};
+
+ShardedLakeIndex BuildLake(const LakeFixture& f, size_t shards,
+                           const IndexOptions& options) {
+  ShardedLakeIndex lake(LakeFixture::kDim, shards, options);
+  for (size_t t = 0; t < f.tables.size(); ++t) {
+    lake.AddTable("table_" + std::to_string(t), f.tables[t]);
+  }
+  return lake;
+}
+
+TEST(DistanceKernelsTest, FlatLakeResultsIdenticalScalarVsSimd) {
+  const LakeFixture f;
+  for (size_t shards : {1u, 4u}) {
+    const auto lake = BuildLake(f, shards, IndexOptions{});
+    std::vector<std::vector<std::string>> scalar_join, simd_join;
+    std::vector<std::vector<std::string>> scalar_union, simd_union;
+    {
+      ScopedKernels pin(ScalarKernels());
+      for (const auto& q : f.join_queries) {
+        scalar_join.push_back(lake.QueryJoinable(q, 10));
+      }
+      for (const auto& q : f.union_queries) {
+        scalar_union.push_back(lake.QueryUnionable(q, 10));
+      }
+    }
+    {
+      ScopedKernels pin(BestKernels());
+      for (const auto& q : f.join_queries) {
+        simd_join.push_back(lake.QueryJoinable(q, 10));
+      }
+      for (const auto& q : f.union_queries) {
+        simd_union.push_back(lake.QueryUnionable(q, 10));
+      }
+    }
+    EXPECT_EQ(scalar_join, simd_join) << "shards=" << shards;
+    EXPECT_EQ(scalar_union, simd_union) << "shards=" << shards;
+  }
+}
+
+TEST(DistanceKernelsTest, HnswRecallUnchangedScalarVsSimd) {
+  const LakeFixture f;
+  // One flat and one HNSW column index over the same corpus; recall@10 of
+  // the graph against the exact scan must not depend on the kernel set.
+  IndexOptions flat_opt;
+  IndexOptions hnsw_opt;
+  hnsw_opt.backend = IndexBackend::kHnsw;
+  auto flat = MakeVectorIndex(LakeFixture::kDim, flat_opt);
+  auto hnsw = MakeVectorIndex(LakeFixture::kDim, hnsw_opt);
+  size_t next = 0;
+  for (const auto& table : f.tables) {
+    for (const auto& col : table) {
+      flat->Add(next, col);
+      hnsw->Add(next, col);
+      ++next;
+    }
+  }
+  auto recall_at_10 = [&](const KernelDispatch& kernels) {
+    ScopedKernels pin(kernels);
+    double sum = 0.0;
+    for (const auto& q : f.join_queries) {
+      std::unordered_set<size_t> gold;
+      for (const auto& [p, d] : flat->Search(q, 10)) gold.insert(p);
+      size_t hits = 0;
+      for (const auto& [p, d] : hnsw->Search(q, 10)) hits += gold.count(p);
+      sum += static_cast<double>(hits) / static_cast<double>(gold.size());
+    }
+    return sum / static_cast<double>(f.join_queries.size());
+  };
+  const double scalar_recall = recall_at_10(ScalarKernels());
+  const double simd_recall = recall_at_10(BestKernels());
+  EXPECT_GE(scalar_recall, 0.9);
+  EXPECT_EQ(scalar_recall, simd_recall);
+}
+
+}  // namespace
+}  // namespace tsfm::search

@@ -37,6 +37,21 @@ TEST(HnswTest, SingleItem) {
   EXPECT_NEAR(hits[0].second, 0.0f, 1e-5);
 }
 
+TEST(HnswTest, ZeroVectorDegradesToDistanceOne) {
+  // Normalization on insert erases norms, so HNSW cannot apply the flat
+  // backend's zero-norm -> kMaxCosineDistance rule: a zero-norm vector
+  // degrades to the zero vector at distance 1.0 (documented in hnsw.h).
+  // This pins the divergence so a silent change fails loudly.
+  HnswIndex index(2);
+  index.Add(0, {0, 0});
+  index.Add(1, {1, 1});
+  auto hits = index.Search({1, 1}, 2);
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0].first, 1u);
+  EXPECT_EQ(hits[1].first, 0u);
+  EXPECT_NEAR(hits[1].second, 1.0f, 1e-5);
+}
+
 TEST(HnswTest, ExactMatchRanksFirst) {
   Rng rng(1);
   HnswIndex index(16);

@@ -94,12 +94,33 @@ TEST(KnnIndexTest, L2Metric) {
 }
 
 TEST(KnnIndexTest, ZeroVectorGetsMaxCosineDistance) {
+  // A zero-norm row has no direction: it must score kMaxCosineDistance and
+  // rank strictly after every row that has one — the old denom guard gave
+  // it distance 1.0, silently tying it with genuinely orthogonal rows.
   KnnIndex index(2, Metric::kCosine);
   index.Add(0, {0, 0});
   index.Add(1, {1, 1});
-  auto hits = index.Search({1, 1}, 2);
+  index.Add(2, {-1, 1});  // orthogonal to the query: distance exactly 1
+  auto hits = index.Search({1, 1}, 3);
+  ASSERT_EQ(hits.size(), 3u);
   EXPECT_EQ(hits[0].first, 1u);
+  EXPECT_EQ(hits[1].first, 2u);
   EXPECT_NEAR(hits[1].second, 1.0, 1e-6);
+  EXPECT_EQ(hits[2].first, 0u);
+  EXPECT_EQ(hits[2].second, kMaxCosineDistance);
+}
+
+TEST(KnnIndexTest, ZeroQueryRanksEverythingAtMaxCosineDistance) {
+  KnnIndex index(2, Metric::kCosine);
+  index.Add(0, {1, 0});
+  index.Add(1, {0, 1});
+  auto hits = index.Search({0, 0}, 2);
+  ASSERT_EQ(hits.size(), 2u);
+  // Cosine is undefined against a zero query; results stay deterministic
+  // (row order) with the max distance instead of fake ties at 1.0.
+  EXPECT_EQ(hits[0].first, 0u);
+  EXPECT_EQ(hits[0].second, kMaxCosineDistance);
+  EXPECT_EQ(hits[1].second, kMaxCosineDistance);
 }
 
 TEST(KnnIndexTest, KLargerThanIndex) {
