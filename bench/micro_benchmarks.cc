@@ -22,6 +22,7 @@
 #include "search/distance_kernels.h"
 #include "search/hnsw.h"
 #include "search/knn_index.h"
+#include "search/quantizer.h"
 #include "search/sharded_lake_index.h"
 #include "search/vector_index.h"
 #include "server/distributed_lake_index.h"
@@ -224,39 +225,77 @@ void BM_DistanceKernelL2(benchmark::State& state) {
 }
 BENCHMARK(BM_DistanceKernelL2)->ArgsProduct({{64, 384, 768}, {0, 1}});
 
-// Single-thread flat-scan QPS through ScanTopK — the loop every flat
-// KnnIndex::Search (and therefore every flat lake query) bottoms out in.
-void BM_FlatScanTopK(benchmark::State& state) {
-  constexpr size_t kRows = 512, kDim = 768;
-  struct ScanFixture {
-    std::vector<float> rows, norms, query;
-    ScanFixture() {
-      Rng rng(29);
-      rows.resize(kRows * kDim);
-      for (auto& x : rows) x = static_cast<float>(rng.Normal());
-      for (size_t r = 0; r < kRows; ++r) {
-        norms.push_back(search::ScalarKernels().dot(rows.data() + r * kDim,
-                                                    rows.data() + r * kDim,
-                                                    kDim));
-        norms.back() = std::sqrt(norms.back());
-      }
-      for (size_t i = 0; i < kDim; ++i) {
-        query.push_back(static_cast<float>(rng.Normal()));
-      }
+// Single-thread flat-scan QPS through ScanTopK / ScanTopKSq8 — the loop
+// every flat KnnIndex::Search (and therefore every flat lake query)
+// bottoms out in. Second arg picks the row storage (0 = float32 rows,
+// 1 = sq8 codes + exact rescore); bytes_per_row makes the 4x footprint
+// gap explicit in the report.
+struct ScanFixture {
+  std::vector<float> rows, norms, query;
+  search::Sq8Codec codec;
+  std::vector<uint8_t> codes;
+  std::vector<float> code_norms;
+  ScanFixture(size_t num_rows, size_t dim) {
+    Rng rng(29);
+    rows.resize(num_rows * dim);
+    for (auto& x : rows) x = static_cast<float>(rng.Normal());
+    for (size_t r = 0; r < num_rows; ++r) {
+      norms.push_back(std::sqrt(search::ScalarKernels().dot(
+          rows.data() + r * dim, rows.data() + r * dim, dim)));
     }
-  };
-  static const ScanFixture& f = *new ScanFixture();
+    for (size_t i = 0; i < dim; ++i) {
+      query.push_back(static_cast<float>(rng.Normal()));
+    }
+    codec = search::Sq8Codec::Train(rows.data(), num_rows, dim);
+    codes.resize(num_rows * dim);
+    for (size_t r = 0; r < num_rows; ++r) {
+      codec.EncodeRow(rows.data() + r * dim, codes.data() + r * dim);
+      code_norms.push_back(codec.DecodedNorm(codes.data() + r * dim));
+    }
+  }
+};
+
+void ScanTopKBody(benchmark::State& state, const ScanFixture& f,
+                  size_t num_rows, size_t dim) {
   const search::KernelDispatch& kd = BenchKernels(state.range(0));
+  const bool sq8 = state.range(1) != 0;
   for (auto _ : state) {
-    auto hits = search::ScanTopK(kd, f.query.data(), f.rows.data(),
-                                 f.norms.data(), kRows, kDim,
-                                 search::Metric::kCosine, 10);
+    auto hits =
+        sq8 ? search::ScanTopKSq8(kd, f.query.data(), f.codes.data(), f.codec,
+                                  f.code_norms.data(), num_rows,
+                                  search::Metric::kCosine, 10)
+            : search::ScanTopK(kd, f.query.data(), f.rows.data(),
+                               f.norms.data(), num_rows, dim,
+                               search::Metric::kCosine, 10);
     benchmark::DoNotOptimize(hits.data());
   }
-  state.SetItemsProcessed(state.iterations() * kRows);
-  state.SetLabel(kd.name);
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(num_rows));
+  state.SetLabel(std::string(kd.name) + (sq8 ? "/sq8" : "/float32"));
+  // sq8 rows store dim bytes of codes plus the cached decoded norm; float
+  // rows store dim floats plus the cached norm.
+  state.counters["bytes_per_row"] =
+      static_cast<double>(sq8 ? dim + sizeof(float)
+                              : dim * sizeof(float) + sizeof(float));
 }
-BENCHMARK(BM_FlatScanTopK)->Arg(0)->Arg(1);
+
+void BM_FlatScanTopK(benchmark::State& state) {
+  constexpr size_t kRows = 512, kDim = 768;
+  static const ScanFixture& f = *new ScanFixture(kRows, kDim);
+  ScanTopKBody(state, f, kRows, kDim);
+}
+BENCHMARK(BM_FlatScanTopK)->ArgsProduct({{0, 1}, {0, 1}});
+
+// The acceptance-bar configuration: a corpus big enough that float rows
+// (192 MB at 65536 x 768) stream from memory while sq8 codes (48 MB) sit
+// much closer to cache — the 4x bandwidth saving is the speedup source, so
+// a small corpus would understate it. Excluded from the bench_smoke ctest
+// (fixture build alone dwarfs the smoke budget).
+void BM_FlatScanTopKLarge(benchmark::State& state) {
+  constexpr size_t kRows = 65536, kDim = 768;
+  static const ScanFixture& f = *new ScanFixture(kRows, kDim);
+  ScanTopKBody(state, f, kRows, kDim);
+}
+BENCHMARK(BM_FlatScanTopKLarge)->ArgsProduct({{0, 1}, {0, 1}});
 
 // --------------------------------------------------------- ANN backends
 // Flat-vs-HNSW comparison: build time, single-query QPS (with recall@10 of
@@ -386,9 +425,12 @@ const ShardedLakeFixture& GetShardedLakeFixture() {
   return *fixture;
 }
 
-search::ShardedLakeIndex BuildShardedLake(const ShardedLakeFixture& f,
-                                          size_t shards) {
-  search::ShardedLakeIndex lake(kLakeDim, shards, search::IndexOptions{});
+search::ShardedLakeIndex BuildShardedLake(
+    const ShardedLakeFixture& f, size_t shards,
+    search::Storage storage = search::Storage::kFloat32) {
+  search::IndexOptions options;
+  options.storage = storage;
+  search::ShardedLakeIndex lake(kLakeDim, shards, options);
   for (size_t t = 0; t < f.tables.size(); ++t) {
     lake.AddTable("table_" + std::to_string(t), f.tables[t]);
   }
@@ -410,9 +452,11 @@ BENCHMARK(BM_ShardedLakeBuild)->Arg(1)->Arg(2)->Arg(4);
 
 void BM_ShardedLakeBatchQuery(benchmark::State& state) {
   const size_t shards = static_cast<size_t>(state.range(0));
+  const auto storage = state.range(1) != 0 ? search::Storage::kSq8
+                                           : search::Storage::kFloat32;
   const ShardedLakeFixture& f = GetShardedLakeFixture();
   ThreadPool pool(std::max(1u, std::thread::hardware_concurrency()));
-  auto lake = BuildShardedLake(f, shards);
+  auto lake = BuildShardedLake(f, shards, storage);
   for (auto _ : state) {
     auto join = lake.QueryJoinableBatch(f.join_queries, 10, &pool);
     auto join_union = lake.QueryUnionableBatch(f.union_queries, 10, &pool);
@@ -423,8 +467,11 @@ void BM_ShardedLakeBatchQuery(benchmark::State& state) {
       state.iterations() *
       static_cast<int64_t>(f.join_queries.size() + f.union_queries.size()));
   state.counters["shards"] = static_cast<double>(shards);
+  state.SetLabel(storage == search::Storage::kSq8 ? "sq8" : "float32");
 }
-BENCHMARK(BM_ShardedLakeBatchQuery)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
+BENCHMARK(BM_ShardedLakeBatchQuery)
+    ->ArgsProduct({{1, 2, 4}, {0, 1}})
+    ->UseRealTime();
 
 // --------------------------------------------------------------- server QPS
 // End-to-end query throughput through the socket server at 1 / 4 / 16
@@ -652,4 +699,20 @@ BENCHMARK(BM_MatMul)->Arg(32)->Arg(64)->Arg(128);
 }  // namespace
 }  // namespace tsfm
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN(), plus a context line recording how *this* binary was
+// compiled. The stock "library_build_type" JSON field describes the
+// google-benchmark shared library (which distro packages ship
+// self-reporting debug), not the code under test; scripts/record_bench.sh
+// keys off tsfm_build_type instead.
+int main(int argc, char** argv) {
+#ifdef NDEBUG
+  benchmark::AddCustomContext("tsfm_build_type", "release");
+#else
+  benchmark::AddCustomContext("tsfm_build_type", "debug");
+#endif
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

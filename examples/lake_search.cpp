@@ -93,11 +93,13 @@ struct EmbedderStack {
 };
 
 int IndexCommand(const std::string& dir, const std::string& index_path,
-                 search::IndexBackend backend, size_t shards) {
+                 search::IndexBackend backend, size_t shards,
+                 search::Storage storage) {
   EmbedderStack stack;
 
   search::IndexOptions options;
   options.backend = backend;
+  options.storage = storage;
   search::ShardedLakeIndex lake(stack.dim(), shards, options);
 
   size_t indexed = 0;
@@ -119,9 +121,11 @@ int IndexCommand(const std::string& dir, const std::string& index_path,
     std::fprintf(stderr, "save failed: %s\n", status.ToString().c_str());
     return 1;
   }
-  std::printf("indexed %zu tables -> %s (%s backend, %zu shard%s)\n", indexed,
-              index_path.c_str(),
+  std::printf("indexed %zu tables -> %s (%s backend, %s storage, %zu shard%s)\n",
+              indexed, index_path.c_str(),
               backend == search::IndexBackend::kHnsw ? "hnsw" : "flat",
+              lake.options().storage == search::Storage::kSq8 ? "sq8"
+                                                              : "float32",
               lake.num_shards(), lake.num_shards() == 1 ? "" : "s");
   return 0;
 }
@@ -133,11 +137,14 @@ int QueryCommand(const std::string& index_path, const std::string& csv_path,
     std::fprintf(stderr, "load failed: %s\n", loaded.status().ToString().c_str());
     return 1;
   }
-  std::printf("index: %zu tables, dim %zu, %s backend, %zu shard%s\n",
+  std::printf("index: %zu tables, dim %zu, %s backend, %s storage, %zu shard%s\n",
               loaded.value().num_tables(), loaded.value().dim(),
               loaded.value().options().backend == search::IndexBackend::kHnsw
                   ? "hnsw"
                   : "flat",
+              loaded.value().options().storage == search::Storage::kSq8
+                  ? "sq8"
+                  : "float32",
               loaded.value().num_shards(),
               loaded.value().num_shards() == 1 ? "" : "s");
   auto parsed = ReadCsvFile(csv_path);
@@ -224,7 +231,10 @@ int Demo() {
   for (auto backend : {search::IndexBackend::kFlat, search::IndexBackend::kHnsw}) {
     for (size_t shards : {size_t{1}, size_t{3}}) {
       std::string index_path = (dir / "lake.idx").string();
-      if (IndexCommand(dir.string(), index_path, backend, shards) != 0) return 1;
+      if (IndexCommand(dir.string(), index_path, backend, shards,
+                       search::Storage::kFloat32) != 0) {
+        return 1;
+      }
       if (int rc = QueryCommand(index_path, query_path, 3); rc != 0) return rc;
     }
   }
@@ -239,20 +249,49 @@ int main(int argc, char** argv) {
     return Demo();
   }
   std::string command = argv[1];
-  if (command == "index" && argc >= 4 && argc <= 6) {
+  if (command == "index" && argc >= 4) {
+    // Positional: <dir> <index-file> [flat|hnsw] [shards]; the row codec is
+    // a flag (--storage sq8|float32) so old invocations keep working.
     search::IndexBackend backend = search::IndexBackend::kFlat;
-    if (argc >= 5) {
-      std::string name = argv[4];
-      if (name == "hnsw") {
+    search::Storage storage = search::Storage::kFloat32;
+    std::vector<std::string> positional;
+    for (int i = 4; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg == "--storage") {
+        if (i + 1 >= argc) {
+          std::fprintf(stderr, "--storage needs a value (sq8 or float32)\n");
+          return 2;
+        }
+        std::string value = argv[++i];
+        if (value == "sq8") {
+          storage = search::Storage::kSq8;
+        } else if (value != "float32") {
+          std::fprintf(stderr,
+                       "unknown storage '%s' (expected sq8 or float32)\n",
+                       value.c_str());
+          return 2;
+        }
+      } else {
+        positional.push_back(std::move(arg));
+      }
+    }
+    if (positional.size() > 2) {
+      std::fprintf(stderr, "too many index arguments\n");
+      return 2;
+    }
+    if (!positional.empty()) {
+      if (positional[0] == "hnsw") {
         backend = search::IndexBackend::kHnsw;
-      } else if (name != "flat") {
+      } else if (positional[0] != "flat") {
         std::fprintf(stderr, "unknown backend '%s' (expected flat or hnsw)\n",
-                     name.c_str());
+                     positional[0].c_str());
         return 2;
       }
     }
-    size_t shards = argc == 6 ? std::strtoul(argv[5], nullptr, 10) : 1;
-    return IndexCommand(argv[2], argv[3], backend, shards);
+    size_t shards =
+        positional.size() == 2 ? std::strtoul(positional[1].c_str(), nullptr, 10)
+                               : 1;
+    return IndexCommand(argv[2], argv[3], backend, shards, storage);
   }
   if (command == "query" && (argc == 4 || argc == 5)) {
     size_t k = argc == 5 ? std::strtoul(argv[4], nullptr, 10) : 5;
@@ -263,7 +302,8 @@ int main(int argc, char** argv) {
     return RemoteCommand(argv[2], argv[3], k);
   }
   std::fprintf(stderr,
-               "usage: lake_search index <dir> <index-file> [flat|hnsw] [shards]\n"
+               "usage: lake_search index <dir> <index-file> [flat|hnsw] "
+               "[shards] [--storage sq8|float32]\n"
                "       lake_search query <index-file> <query.csv> [k]\n"
                "       lake_search remote <socket-path> <query.csv> [k]\n");
   return 2;

@@ -29,6 +29,7 @@
 #include <string>
 #include <thread>
 
+#include "search/lake_manifest.h"
 #include "search/sharded_lake_index.h"
 #include "server/distributed_lake_index.h"
 #include "server/lake_client.h"
@@ -63,8 +64,11 @@ int Serve(const std::string& index_path, const std::string& socket_path) {
     std::fprintf(stderr, "load failed: %s\n", loaded.status().ToString().c_str());
     return 1;
   }
-  std::printf("index: %zu tables, dim %zu, %zu shard%s\n",
+  std::printf("index: %zu tables, dim %zu, %s storage, %zu shard%s\n",
               loaded.value().num_tables(), loaded.value().dim(),
+              loaded.value().options().storage == search::Storage::kSq8
+                  ? "sq8"
+                  : "float32",
               loaded.value().num_shards(),
               loaded.value().num_shards() == 1 ? "" : "s");
 
@@ -106,9 +110,18 @@ int ServeDistributed(const std::string& manifest_path,
                  coordinator.status().ToString().c_str());
     return 1;
   }
-  std::printf("distributed lake: %zu tables, dim %zu, %zu worker processes\n",
-              coordinator.value().num_tables(), coordinator.value().dim(),
-              fleet.value().num_workers());
+  // Workers inherit the row codec from the shard files they load; surface
+  // the manifest's storage here so operators can tell what the fleet runs.
+  const char* storage = "float32";
+  if (auto manifest = search::LoadLakeManifest(manifest_path); manifest.ok() &&
+      manifest.value().storage == search::Storage::kSq8) {
+    storage = "sq8";
+  }
+  std::printf(
+      "distributed lake: %zu tables, dim %zu, %s storage, %zu worker "
+      "processes\n",
+      coordinator.value().num_tables(), coordinator.value().dim(), storage,
+      fleet.value().num_workers());
 
   server::LakeServer lake_server(std::move(coordinator).value());
   if (Status status = lake_server.Start(socket_path); !status.ok()) {

@@ -1,0 +1,59 @@
+#!/usr/bin/env bash
+# Record a micro_benchmarks run to a JSON file under bench/results/.
+#
+# Checked-in benchmark numbers must come from an optimized build — a debug
+# binary understates the SIMD and quantization wins by an order of
+# magnitude and poisons any comparison against them. This script refuses
+# to record unless both the configured CMAKE_BUILD_TYPE and the JSON the
+# binary reports about itself say Release.
+#
+# usage: scripts/record_bench.sh <build-dir> <output.json> [benchmark args...]
+# e.g.:  scripts/record_bench.sh build bench/results/sq8_scan.json \
+#            '--benchmark_filter=BM_FlatScanTopK'
+set -euo pipefail
+
+if [[ $# -lt 2 ]]; then
+  echo "usage: $0 <build-dir> <output.json> [benchmark args...]" >&2
+  exit 2
+fi
+
+build_dir=$1
+out=$2
+shift 2
+
+cache="$build_dir/CMakeCache.txt"
+if [[ ! -f "$cache" ]]; then
+  echo "error: $cache not found — configure the build first" >&2
+  exit 1
+fi
+if ! grep -q '^CMAKE_BUILD_TYPE:STRING=Release$' "$cache"; then
+  echo "error: $build_dir is not a Release build; refusing to record." >&2
+  echo "       (re-run: cmake -B $build_dir -S . -DCMAKE_BUILD_TYPE=Release)" >&2
+  exit 1
+fi
+
+bench="$build_dir/micro_benchmarks"
+if [[ ! -x "$bench" ]]; then
+  echo "error: $bench not built" >&2
+  exit 1
+fi
+
+tmp=$(mktemp)
+trap 'rm -f "$tmp"' EXIT
+"$bench" --benchmark_out="$tmp" --benchmark_out_format=json "$@"
+
+# Belt and braces: the binary stamps its own compile mode into the JSON
+# context (tsfm_build_type — the stock library_build_type field describes
+# the google-benchmark shared library, which distro packages ship
+# self-reporting debug). A stale non-optimized binary in a Release tree
+# must not slip through.
+if ! grep -q '"tsfm_build_type": "release"' "$tmp"; then
+  echo "error: benchmark binary reports a non-release build; refusing to" >&2
+  echo "       record. Rebuild $build_dir and retry." >&2
+  exit 1
+fi
+
+mkdir -p "$(dirname "$out")"
+mv "$tmp" "$out"
+trap - EXIT
+echo "recorded -> $out"

@@ -3,9 +3,12 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <cstdint>
 #include <cstdlib>
 #include <queue>
 #include <utility>
+
+#include "search/quantizer.h"
 
 #if defined(__aarch64__)
 #include <arm_neon.h>
@@ -77,8 +80,60 @@ void L2SqManyScalar(const float* query, const float* rows, size_t num_rows,
   }
 }
 
+// Asymmetric SQ8 references: float query, raw uint8 rows. Same
+// four-accumulator shape as the float kernels so the SIMD agreement
+// contract (1e-4 relative) carries over unchanged.
+
+float DotSq8Scalar(const float* q, const uint8_t* row, size_t n) {
+  float s0 = 0.0f, s1 = 0.0f, s2 = 0.0f, s3 = 0.0f;
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    s0 += q[i] * static_cast<float>(row[i]);
+    s1 += q[i + 1] * static_cast<float>(row[i + 1]);
+    s2 += q[i + 2] * static_cast<float>(row[i + 2]);
+    s3 += q[i + 3] * static_cast<float>(row[i + 3]);
+  }
+  for (; i < n; ++i) s0 += q[i] * static_cast<float>(row[i]);
+  return (s0 + s1) + (s2 + s3);
+}
+
+float L2SqSq8Scalar(const float* q, const uint8_t* row, size_t n) {
+  float s0 = 0.0f, s1 = 0.0f, s2 = 0.0f, s3 = 0.0f;
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const float d0 = q[i] - static_cast<float>(row[i]);
+    const float d1 = q[i + 1] - static_cast<float>(row[i + 1]);
+    const float d2 = q[i + 2] - static_cast<float>(row[i + 2]);
+    const float d3 = q[i + 3] - static_cast<float>(row[i + 3]);
+    s0 += d0 * d0;
+    s1 += d1 * d1;
+    s2 += d2 * d2;
+    s3 += d3 * d3;
+  }
+  for (; i < n; ++i) {
+    const float d = q[i] - static_cast<float>(row[i]);
+    s0 += d * d;
+  }
+  return (s0 + s1) + (s2 + s3);
+}
+
+void DotManySq8Scalar(const float* query, const uint8_t* rows, size_t num_rows,
+                      size_t dim, float* out) {
+  for (size_t r = 0; r < num_rows; ++r) {
+    out[r] = DotSq8Scalar(query, rows + r * dim, dim);
+  }
+}
+
+void L2SqManySq8Scalar(const float* query, const uint8_t* rows,
+                       size_t num_rows, size_t dim, float* out) {
+  for (size_t r = 0; r < num_rows; ++r) {
+    out[r] = L2SqSq8Scalar(query, rows + r * dim, dim);
+  }
+}
+
 constexpr KernelDispatch kScalarKernels = {
-    "scalar", DotScalar, L2SqScalar, CosineScalar, DotManyScalar, L2SqManyScalar,
+    "scalar",      DotScalar,        L2SqScalar,        CosineScalar,
+    DotManyScalar, L2SqManyScalar,   DotManySq8Scalar,  L2SqManySq8Scalar,
 };
 
 // -------------------------------------------------------------------- NEON
@@ -158,8 +213,12 @@ void L2SqManyNeon(const float* query, const float* rows, size_t num_rows,
   }
 }
 
+// The sq8 batch kernels reuse the scalar reference on NEON for now: the
+// widening u8 -> f32 ladder costs most of what the float FMA saves at
+// these dims, and the bandwidth win (4x smaller rows) is ISA-independent.
 constexpr KernelDispatch kNeonKernels = {
-    "neon", DotNeon, L2SqNeon, CosineNeon, DotManyNeon, L2SqManyNeon,
+    "neon",      DotNeon,      L2SqNeon,         CosineNeon,
+    DotManyNeon, L2SqManyNeon, DotManySq8Scalar, L2SqManySq8Scalar,
 };
 
 #endif  // __aarch64__
@@ -277,6 +336,104 @@ std::vector<ScanHit> ScanTopK(const float* query, const float* rows,
                               const float* row_norms, size_t num_rows,
                               size_t dim, Metric metric, size_t k) {
   return ScanTopK(Kernels(), query, rows, row_norms, num_rows, dim, metric, k);
+}
+
+std::vector<ScanHit> ScanTopKSq8(const KernelDispatch& kernels,
+                                 const float* query, const uint8_t* codes,
+                                 const Sq8Codec& codec, const float* row_norms,
+                                 size_t num_rows, Metric metric, size_t k) {
+  if (k == 0 || num_rows == 0) return {};
+  const size_t dim = codec.dim();
+  const bool cosine = metric == Metric::kCosine;
+  const float* scale = codec.scale().data();
+  const float* offset = codec.offset().data();
+
+  // Query pre-transform: fold the affine calibration out of the inner
+  // loop so the u8 kernels stay codec-agnostic.
+  //   kCosine: dot(q, decode(u)) = sum q_i*offset_i + sum (q_i*scale_i)*u_i
+  //            -> prep = q (.) scale, bias added back per row; exact in
+  //            decoded space up to float rounding.
+  //   kL2:     prep_i = (q_i - offset_i) / scale_i makes the kernel's
+  //            sum (prep_i - u_i)^2 a scale-weighted proxy for the decoded
+  //            L2 — monotone enough to pick candidates, never reported
+  //            (the rescore below replaces it with the exact distance).
+  std::vector<float> prep(dim);
+  float bias = 0.0f;
+  if (cosine) {
+    for (size_t i = 0; i < dim; ++i) {
+      prep[i] = query[i] * scale[i];
+      bias += query[i] * offset[i];
+    }
+  } else {
+    for (size_t i = 0; i < dim; ++i) {
+      prep[i] = (query[i] - offset[i]) / scale[i];
+    }
+  }
+  const float query_norm =
+      cosine ? std::sqrt(kernels.dot(query, query, dim)) : 0.0f;
+
+  // Phase 1: scan the u8 rows into a top-C candidate heap. C over-selects
+  // relative to k so quantization noise at the k boundary cannot evict a
+  // true top-k row before the rescore sees it.
+  const size_t candidates = std::min(num_rows, std::max<size_t>(4 * k, 64));
+  using Entry = std::pair<float, size_t>;
+  std::priority_queue<Entry> heap;
+  constexpr size_t kBlockRows = 512;
+  std::vector<float> block(std::min(num_rows, kBlockRows));
+  for (size_t base = 0; base < num_rows; base += kBlockRows) {
+    const size_t count = std::min(kBlockRows, num_rows - base);
+    if (cosine) {
+      kernels.dot_many_sq8(prep.data(), codes + base * dim, count, dim,
+                           block.data());
+    } else {
+      kernels.l2sq_many_sq8(prep.data(), codes + base * dim, count, dim,
+                            block.data());
+    }
+    for (size_t i = 0; i < count; ++i) {
+      const size_t r = base + i;
+      const float score =
+          cosine ? CosineDistanceFromDot(bias + block[i], row_norms[r],
+                                         query_norm)
+                 : block[i];
+      if (heap.size() < candidates) {
+        heap.emplace(score, r);
+      } else if (Entry(score, r) < heap.top()) {
+        heap.pop();
+        heap.emplace(score, r);
+      }
+    }
+  }
+
+  // Phase 2: exact rescore. Decode each candidate and rank it with the
+  // float pairwise kernels, so the distances (and the (distance, row)
+  // order) match a float ScanTopK over the decoded rows.
+  std::vector<float> decoded(dim);
+  std::vector<ScanHit> rescored;
+  rescored.reserve(heap.size());
+  while (!heap.empty()) {
+    const size_t r = heap.top().second;
+    heap.pop();
+    codec.DecodeRow(codes + r * dim, decoded.data());
+    const float dist =
+        cosine ? CosineDistanceFromDot(kernels.dot(query, decoded.data(), dim),
+                                       row_norms[r], query_norm)
+               : std::sqrt(kernels.l2sq(query, decoded.data(), dim));
+    rescored.push_back({dist, r});
+  }
+  std::sort(rescored.begin(), rescored.end(),
+            [](const ScanHit& a, const ScanHit& b) {
+              return a.distance != b.distance ? a.distance < b.distance
+                                              : a.row < b.row;
+            });
+  if (rescored.size() > k) rescored.resize(k);
+  return rescored;
+}
+
+std::vector<ScanHit> ScanTopKSq8(const float* query, const uint8_t* codes,
+                                 const Sq8Codec& codec, const float* row_norms,
+                                 size_t num_rows, Metric metric, size_t k) {
+  return ScanTopKSq8(Kernels(), query, codes, codec, row_norms, num_rows,
+                     metric, k);
 }
 
 }  // namespace tsfm::search

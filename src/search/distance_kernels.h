@@ -34,6 +34,7 @@
 #define TSFM_SEARCH_DISTANCE_KERNELS_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <limits>
 #include <vector>
 
@@ -60,6 +61,14 @@ using PairKernelFn = float (*)(const float* a, const float* b, size_t n);
 using BatchKernelFn = void (*)(const float* query, const float* rows,
                                size_t num_rows, size_t dim, float* out);
 
+/// Asymmetric batch kernel: float query against `num_rows` row-major
+/// uint8 SQ8 code rows. The kernels are codec-agnostic — they treat each
+/// byte as the number it is (dot: sum q_i * u_i; l2sq: sum (q_i - u_i)^2)
+/// and ScanTopKSq8 pre-transforms the query per metric so the affine
+/// calibration never enters the inner loop.
+using BatchKernelSq8Fn = void (*)(const float* query, const uint8_t* rows,
+                                  size_t num_rows, size_t dim, float* out);
+
 /// \brief One ISA's kernel set. Instances are immutable process-lifetime
 /// statics; Kernels() picks one at first use.
 struct KernelDispatch {
@@ -69,6 +78,8 @@ struct KernelDispatch {
   PairKernelFn cosine;     ///< 1 - cos(a, b); zero norm -> kMaxCosineDistance
   BatchKernelFn dot_many;  ///< dot of query vs each row
   BatchKernelFn l2sq_many; ///< squared L2 of query vs each row
+  BatchKernelSq8Fn dot_many_sq8;   ///< dot of float query vs each u8 row
+  BatchKernelSq8Fn l2sq_many_sq8;  ///< squared L2 of float query vs each u8 row
 };
 
 /// \brief The kernel set this process uses, selected once at first call.
@@ -150,6 +161,32 @@ std::vector<ScanHit> ScanTopK(const KernelDispatch& kernels, const float* query,
                               const float* rows, const float* row_norms,
                               size_t num_rows, size_t dim, Metric metric,
                               size_t k);
+
+class Sq8Codec;
+
+/// \brief Quantized flat scan: SQ8 code rows in, exact-in-decoded-space
+/// top-k out.
+///
+/// Two phases. (1) Candidate scan: the query is pre-transformed per metric
+/// (kCosine folds the codec's scale into the query and its offset into a
+/// scalar bias, so the u8 dot is the decoded dot exactly; kL2 scans a
+/// scale-weighted proxy in quantized units) and streamed through the
+/// *_many_sq8 batch kernels into a top-C heap with C = max(4k, 64). (2)
+/// Exact rescore: each surviving candidate row is decoded to float and
+/// re-ranked with the pairwise float kernels, so the returned hits carry
+/// the same distances a float scan over the decoded rows would — the L2
+/// proxy's scale weighting never reaches the caller. Under kCosine,
+/// `row_norms` must hold the *decoded* rows' L2 norms; under kL2 it is
+/// ignored. Returns up to k hits sorted ascending by (distance, row).
+std::vector<ScanHit> ScanTopKSq8(const float* query, const uint8_t* codes,
+                                 const Sq8Codec& codec, const float* row_norms,
+                                 size_t num_rows, Metric metric, size_t k);
+
+/// ScanTopKSq8 pinned to an explicit kernel set (parity tests, benches).
+std::vector<ScanHit> ScanTopKSq8(const KernelDispatch& kernels,
+                                 const float* query, const uint8_t* codes,
+                                 const Sq8Codec& codec, const float* row_norms,
+                                 size_t num_rows, Metric metric, size_t k);
 
 }  // namespace tsfm::search
 

@@ -215,8 +215,141 @@ void L2SqManyAvx2(const float* query, const float* rows, size_t num_rows,
   }
 }
 
+// Widens 8 uint8 codes to an 8-lane float vector. cvtepu8 + cvtepi32 is
+// the cheapest correct ladder here: every code is exactly representable in
+// float, so the asymmetric kernels stay bit-deterministic per ISA.
+inline __m256 LoadU8x8(const uint8_t* p) {
+  const __m128i bytes = _mm_loadl_epi64(reinterpret_cast<const __m128i*>(p));
+  return _mm256_cvtepi32_ps(_mm256_cvtepu8_epi32(bytes));
+}
+
+float DotSq8Avx2(const float* q, const uint8_t* row, size_t n) {
+  __m256 acc0 = _mm256_setzero_ps(), acc1 = _mm256_setzero_ps();
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(q + i), LoadU8x8(row + i), acc0);
+    acc1 = _mm256_fmadd_ps(_mm256_loadu_ps(q + i + 8), LoadU8x8(row + i + 8),
+                           acc1);
+  }
+  for (; i + 8 <= n; i += 8) {
+    acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(q + i), LoadU8x8(row + i), acc0);
+  }
+  float s = HorizontalSum(_mm256_add_ps(acc0, acc1));
+  // No masked u8 load exists; the sub-8 tail stays scalar.
+  for (; i < n; ++i) s += q[i] * static_cast<float>(row[i]);
+  return s;
+}
+
+float L2SqSq8Avx2(const float* q, const uint8_t* row, size_t n) {
+  __m256 acc0 = _mm256_setzero_ps(), acc1 = _mm256_setzero_ps();
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m256 d0 = _mm256_sub_ps(_mm256_loadu_ps(q + i), LoadU8x8(row + i));
+    const __m256 d1 =
+        _mm256_sub_ps(_mm256_loadu_ps(q + i + 8), LoadU8x8(row + i + 8));
+    acc0 = _mm256_fmadd_ps(d0, d0, acc0);
+    acc1 = _mm256_fmadd_ps(d1, d1, acc1);
+  }
+  for (; i + 8 <= n; i += 8) {
+    const __m256 d = _mm256_sub_ps(_mm256_loadu_ps(q + i), LoadU8x8(row + i));
+    acc0 = _mm256_fmadd_ps(d, d, acc0);
+  }
+  float s = HorizontalSum(_mm256_add_ps(acc0, acc1));
+  for (; i < n; ++i) {
+    const float d = q[i] - static_cast<float>(row[i]);
+    s += d * d;
+  }
+  return s;
+}
+
+// Same four-rows-abreast shape as the float batch kernels: one query load
+// feeds four FMA chains while the u8 row streams cost a quarter of the
+// float bandwidth — which is the whole point of the sq8 scan.
+void DotManySq8Avx2(const float* query, const uint8_t* rows, size_t num_rows,
+                    size_t dim, float* out) {
+  size_t r = 0;
+  for (; r + 4 <= num_rows; r += 4) {
+    const uint8_t* r0 = rows + r * dim;
+    const uint8_t* r1 = r0 + dim;
+    const uint8_t* r2 = r1 + dim;
+    const uint8_t* r3 = r2 + dim;
+    __m256 acc0 = _mm256_setzero_ps(), acc1 = _mm256_setzero_ps();
+    __m256 acc2 = _mm256_setzero_ps(), acc3 = _mm256_setzero_ps();
+    size_t i = 0;
+    for (; i + 8 <= dim; i += 8) {
+      const __m256 q = _mm256_loadu_ps(query + i);
+      acc0 = _mm256_fmadd_ps(q, LoadU8x8(r0 + i), acc0);
+      acc1 = _mm256_fmadd_ps(q, LoadU8x8(r1 + i), acc1);
+      acc2 = _mm256_fmadd_ps(q, LoadU8x8(r2 + i), acc2);
+      acc3 = _mm256_fmadd_ps(q, LoadU8x8(r3 + i), acc3);
+    }
+    float s0 = HorizontalSum(acc0), s1 = HorizontalSum(acc1);
+    float s2 = HorizontalSum(acc2), s3 = HorizontalSum(acc3);
+    for (; i < dim; ++i) {
+      const float q = query[i];
+      s0 += q * static_cast<float>(r0[i]);
+      s1 += q * static_cast<float>(r1[i]);
+      s2 += q * static_cast<float>(r2[i]);
+      s3 += q * static_cast<float>(r3[i]);
+    }
+    out[r] = s0;
+    out[r + 1] = s1;
+    out[r + 2] = s2;
+    out[r + 3] = s3;
+  }
+  for (; r < num_rows; ++r) {
+    out[r] = DotSq8Avx2(query, rows + r * dim, dim);
+  }
+}
+
+void L2SqManySq8Avx2(const float* query, const uint8_t* rows, size_t num_rows,
+                     size_t dim, float* out) {
+  size_t r = 0;
+  for (; r + 4 <= num_rows; r += 4) {
+    const uint8_t* r0 = rows + r * dim;
+    const uint8_t* r1 = r0 + dim;
+    const uint8_t* r2 = r1 + dim;
+    const uint8_t* r3 = r2 + dim;
+    __m256 acc0 = _mm256_setzero_ps(), acc1 = _mm256_setzero_ps();
+    __m256 acc2 = _mm256_setzero_ps(), acc3 = _mm256_setzero_ps();
+    size_t i = 0;
+    for (; i + 8 <= dim; i += 8) {
+      const __m256 q = _mm256_loadu_ps(query + i);
+      const __m256 d0 = _mm256_sub_ps(q, LoadU8x8(r0 + i));
+      const __m256 d1 = _mm256_sub_ps(q, LoadU8x8(r1 + i));
+      const __m256 d2 = _mm256_sub_ps(q, LoadU8x8(r2 + i));
+      const __m256 d3 = _mm256_sub_ps(q, LoadU8x8(r3 + i));
+      acc0 = _mm256_fmadd_ps(d0, d0, acc0);
+      acc1 = _mm256_fmadd_ps(d1, d1, acc1);
+      acc2 = _mm256_fmadd_ps(d2, d2, acc2);
+      acc3 = _mm256_fmadd_ps(d3, d3, acc3);
+    }
+    float s0 = HorizontalSum(acc0), s1 = HorizontalSum(acc1);
+    float s2 = HorizontalSum(acc2), s3 = HorizontalSum(acc3);
+    for (; i < dim; ++i) {
+      const float q = query[i];
+      const float d0 = q - static_cast<float>(r0[i]);
+      const float d1 = q - static_cast<float>(r1[i]);
+      const float d2 = q - static_cast<float>(r2[i]);
+      const float d3 = q - static_cast<float>(r3[i]);
+      s0 += d0 * d0;
+      s1 += d1 * d1;
+      s2 += d2 * d2;
+      s3 += d3 * d3;
+    }
+    out[r] = s0;
+    out[r + 1] = s1;
+    out[r + 2] = s2;
+    out[r + 3] = s3;
+  }
+  for (; r < num_rows; ++r) {
+    out[r] = L2SqSq8Avx2(query, rows + r * dim, dim);
+  }
+}
+
 constexpr KernelDispatch kAvx2Kernels = {
-    "avx2-fma", DotAvx2, L2SqAvx2, CosineAvx2, DotManyAvx2, L2SqManyAvx2,
+    "avx2-fma",  DotAvx2,      L2SqAvx2,       CosineAvx2,
+    DotManyAvx2, L2SqManyAvx2, DotManySq8Avx2, L2SqManySq8Avx2,
 };
 
 }  // namespace

@@ -13,13 +13,83 @@ namespace tsfm::search {
 using io::ReadPod;
 using io::WritePod;
 
-KnnIndex::KnnIndex(size_t dim, Metric metric) : dim_(dim), metric_(metric) {}
+KnnIndex::KnnIndex(size_t dim, Metric metric, Storage storage)
+    : dim_(dim), metric_(metric), storage_(storage) {}
+
+KnnIndex::KnnIndex(KnnIndex&& other) noexcept
+    : dim_(other.dim_),
+      metric_(other.metric_),
+      storage_(other.storage_),
+      data_(std::move(other.data_)),
+      payloads_(std::move(other.payloads_)),
+      norms_(std::move(other.norms_)),
+      codec_(std::move(other.codec_)),
+      codes_(std::move(other.codes_)),
+      quantized_(other.quantized_.load(std::memory_order_acquire)) {}
+
+KnnIndex& KnnIndex::operator=(KnnIndex&& other) noexcept {
+  if (this == &other) return *this;
+  dim_ = other.dim_;
+  metric_ = other.metric_;
+  storage_ = other.storage_;
+  data_ = std::move(other.data_);
+  payloads_ = std::move(other.payloads_);
+  norms_ = std::move(other.norms_);
+  codec_ = std::move(other.codec_);
+  codes_ = std::move(other.codes_);
+  quantized_.store(other.quantized_.load(std::memory_order_acquire),
+                   std::memory_order_release);
+  return *this;
+}
 
 void KnnIndex::Add(size_t payload, const std::vector<float>& vec) {
   TSFM_CHECK_EQ(vec.size(), dim_);
-  data_.insert(data_.end(), vec.begin(), vec.end());
   payloads_.push_back(payload);
+  if (storage_ == Storage::kSq8 &&
+      quantized_.load(std::memory_order_acquire)) {
+    // The codec is already pinned (trained, loaded, or seeded): encode
+    // straight through it so the row joins the quantized scan.
+    codes_.resize(codes_.size() + dim_);
+    uint8_t* code = codes_.data() + codes_.size() - dim_;
+    codec_.EncodeRow(vec.data(), code);
+    norms_.push_back(codec_.DecodedNorm(code));
+    return;
+  }
+  data_.insert(data_.end(), vec.begin(), vec.end());
   norms_.push_back(Norm(vec.data(), dim_));
+}
+
+void KnnIndex::EnsureQuantized() const {
+  if (quantized_.load(std::memory_order_acquire)) return;
+  std::lock_guard<std::mutex> lock(quantize_mu_);
+  if (quantized_.load(std::memory_order_relaxed)) return;
+  const size_t n = payloads_.size();
+  codec_ = Sq8Codec::Train(data_.data(), n, dim_);
+  codes_.resize(n * dim_);
+  for (size_t r = 0; r < n; ++r) {
+    uint8_t* code = codes_.data() + r * dim_;
+    codec_.EncodeRow(data_.data() + r * dim_, code);
+    // Cosine ranks against the norms of what the scan actually sees — the
+    // decoded rows — not the original floats.
+    norms_[r] = codec_.DecodedNorm(code);
+  }
+  data_.clear();
+  data_.shrink_to_fit();
+  quantized_.store(true, std::memory_order_release);
+}
+
+void KnnIndex::SeedSq8Codec(Sq8Codec codec) {
+  TSFM_CHECK(storage_ == Storage::kSq8);
+  TSFM_CHECK(payloads_.empty());
+  TSFM_CHECK_EQ(codec.dim(), dim_);
+  codec_ = std::move(codec);
+  quantized_.store(true, std::memory_order_release);
+}
+
+const Sq8Codec* KnnIndex::sq8_codec() const {
+  if (storage_ != Storage::kSq8) return nullptr;
+  EnsureQuantized();
+  return &codec_;
 }
 
 std::vector<std::pair<size_t, float>> KnnIndex::Search(const std::vector<float>& query,
@@ -28,8 +98,15 @@ std::vector<std::pair<size_t, float>> KnnIndex::Search(const std::vector<float>&
   // The scan streams rows through the selected SIMD kernels; cosine
   // normalization (and the zero-norm -> kMaxCosineDistance rule) lives in
   // the kernel seam, not here.
-  auto hits = ScanTopK(query.data(), data_.data(), norms_.data(),
-                       payloads_.size(), dim_, metric_, k);
+  std::vector<ScanHit> hits;
+  if (storage_ == Storage::kSq8) {
+    EnsureQuantized();
+    hits = ScanTopKSq8(query.data(), codes_.data(), codec_, norms_.data(),
+                       payloads_.size(), metric_, k);
+  } else {
+    hits = ScanTopK(query.data(), data_.data(), norms_.data(),
+                    payloads_.size(), dim_, metric_, k);
+  }
   std::vector<std::pair<size_t, float>> out(hits.size());
   for (size_t i = 0; i < hits.size(); ++i) {
     out[i] = {payloads_[hits[i].row], hits[i].distance};
@@ -38,6 +115,19 @@ std::vector<std::pair<size_t, float>> KnnIndex::Search(const std::vector<float>&
 }
 
 Status KnnIndex::Save(std::ostream& out) const {
+  if (storage_ == Storage::kSq8) {
+    EnsureQuantized();
+    WritePod(out, kSq8FormatTag);
+    WritePod(out, static_cast<uint32_t>(metric_));
+    WritePod(out, static_cast<uint64_t>(dim_));
+    WritePod(out, static_cast<uint64_t>(payloads_.size()));
+    for (size_t p : payloads_) WritePod(out, static_cast<uint64_t>(p));
+    if (Status s = codec_.Save(out); !s.ok()) return s;
+    out.write(reinterpret_cast<const char*>(codes_.data()),
+              static_cast<std::streamsize>(codes_.size()));
+    if (!out) return Status::IoError("sq8 flat index write failed");
+    return Status::OK();
+  }
   WritePod(out, kFormatTag);
   WritePod(out, static_cast<uint32_t>(metric_));
   WritePod(out, static_cast<uint64_t>(dim_));
@@ -49,31 +139,76 @@ Status KnnIndex::Save(std::ostream& out) const {
   return Status::OK();
 }
 
-Result<KnnIndex> KnnIndex::Load(std::istream& in) {
+namespace {
+
+struct FlatHeader {
   uint32_t metric = 0;
-  uint64_t dim = 0, n = 0;
-  if (!ReadPod(in, &metric) || !ReadPod(in, &dim) || !ReadPod(in, &n)) {
+  uint64_t dim = 0;
+  uint64_t n = 0;
+};
+
+// Shared header + payload prefix of both flat layouts (tag already
+// consumed by the caller).
+Status ReadFlatPrefix(std::istream& in, FlatHeader* header,
+                      std::vector<size_t>* payloads) {
+  if (!ReadPod(in, &header->metric) || !ReadPod(in, &header->dim) ||
+      !ReadPod(in, &header->n)) {
     return Status::IoError("truncated flat index header");
   }
-  if (metric > static_cast<uint32_t>(Metric::kL2) || dim == 0 ||
-      dim > (1u << 20) || n > (1ull << 32)) {
+  if (header->metric > static_cast<uint32_t>(Metric::kL2) ||
+      header->dim == 0 || header->dim > (1u << 20) ||
+      header->n > (1ull << 32)) {
     return Status::ParseError("implausible flat index header");
   }
-  KnnIndex index(dim, static_cast<Metric>(metric));
-  index.payloads_.resize(n);
-  for (auto& p : index.payloads_) {
+  payloads->resize(header->n);
+  for (auto& p : *payloads) {
     uint64_t v = 0;
     if (!ReadPod(in, &v)) return Status::IoError("truncated flat payloads");
     p = static_cast<size_t>(v);
   }
-  index.data_.resize(n * dim);
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<KnnIndex> KnnIndex::Load(std::istream& in) {
+  FlatHeader header;
+  std::vector<size_t> payloads;
+  if (Status s = ReadFlatPrefix(in, &header, &payloads); !s.ok()) return s;
+  KnnIndex index(header.dim, static_cast<Metric>(header.metric));
+  index.payloads_ = std::move(payloads);
+  index.data_.resize(header.n * header.dim);
   in.read(reinterpret_cast<char*>(index.data_.data()),
           static_cast<std::streamsize>(index.data_.size() * sizeof(float)));
   if (!in) return Status::IoError("truncated flat vectors");
-  index.norms_.reserve(n);
-  for (uint64_t r = 0; r < n; ++r) {
-    index.norms_.push_back(Norm(index.data_.data() + r * dim, dim));
+  index.norms_.reserve(header.n);
+  for (uint64_t r = 0; r < header.n; ++r) {
+    index.norms_.push_back(Norm(index.data_.data() + r * header.dim,
+                                header.dim));
   }
+  return index;
+}
+
+Result<KnnIndex> KnnIndex::LoadSq8(std::istream& in) {
+  FlatHeader header;
+  std::vector<size_t> payloads;
+  if (Status s = ReadFlatPrefix(in, &header, &payloads); !s.ok()) return s;
+  auto codec = Sq8Codec::Load(in, header.dim);
+  if (!codec.ok()) return codec.status();
+  KnnIndex index(header.dim, static_cast<Metric>(header.metric),
+                 Storage::kSq8);
+  index.payloads_ = std::move(payloads);
+  index.codes_.resize(header.n * header.dim);
+  in.read(reinterpret_cast<char*>(index.codes_.data()),
+          static_cast<std::streamsize>(index.codes_.size()));
+  if (!in) return Status::IoError("truncated sq8 rows");
+  index.codec_ = std::move(codec).value();
+  index.norms_.reserve(header.n);
+  for (uint64_t r = 0; r < header.n; ++r) {
+    index.norms_.push_back(
+        index.codec_.DecodedNorm(index.codes_.data() + r * header.dim));
+  }
+  index.quantized_.store(true, std::memory_order_release);
   return index;
 }
 

@@ -4,14 +4,26 @@
 // space; the flat backend is a brute-force scan with a bounded top-k heap —
 // exact, cache-friendly, and the recall reference every approximate backend
 // is tested against.
+//
+// With Storage::kSq8 the rows live as scalar-quantized bytes instead of
+// floats (4x smaller; see quantizer.h). Quantization is lazy: Add keeps
+// accumulating float rows, and the first Search/Save calibrates the codec
+// over everything added so far, encodes the rows, and drops the float
+// copies. An index restored from disk (or seeded via SeedSq8Codec) keeps
+// the persisted calibration and encodes later Adds directly, so a
+// save/load round-trip is faithful byte-for-byte.
 #ifndef TSFM_SEARCH_KNN_INDEX_H_
 #define TSFM_SEARCH_KNN_INDEX_H_
 
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <iosfwd>
+#include <mutex>
 #include <utility>
 #include <vector>
 
+#include "search/quantizer.h"
 #include "search/vector_index.h"
 
 namespace tsfm::search {
@@ -19,10 +31,19 @@ namespace tsfm::search {
 /// \brief Brute-force exact kNN with payload ids (the kFlat backend).
 class KnnIndex : public VectorIndex {
  public:
-  /// Binary stream tag written by Save ("FLAT").
+  /// Binary stream tag written by Save for float32 storage ("FLAT").
   static constexpr uint32_t kFormatTag = 0x464c4154;
 
-  explicit KnnIndex(size_t dim, Metric metric = Metric::kCosine);
+  /// Binary stream tag written by Save for SQ8 storage ("FSQ8").
+  static constexpr uint32_t kSq8FormatTag = 0x38515346;
+
+  explicit KnnIndex(size_t dim, Metric metric = Metric::kCosine,
+                    Storage storage = Storage::kFloat32);
+
+  // The quantization mutex pins the defaults; moves carry every field and
+  // re-arm a fresh mutex (no search may overlap a move, same as Add).
+  KnnIndex(KnnIndex&& other) noexcept;
+  KnnIndex& operator=(KnnIndex&& other) noexcept;
 
   /// Adds a vector with an opaque payload id. Vector size must equal dim.
   void Add(size_t payload, const std::vector<float>& vec) override;
@@ -33,7 +54,9 @@ class KnnIndex : public VectorIndex {
   /// it (or a zero query) scores kMaxCosineDistance and ranks after every
   /// vector that has one. k == 0 or a query of the wrong dimension returns
   /// an empty list. The scan runs through the process's selected distance
-  /// kernels (see distance_kernels.h).
+  /// kernels (see distance_kernels.h); under kSq8 it is the asymmetric
+  /// int8 scan with exact rescore (ScanTopKSq8), reporting distances in
+  /// decoded space.
   std::vector<std::pair<size_t, float>> Search(const std::vector<float>& query,
                                                size_t k) const override;
 
@@ -41,19 +64,47 @@ class KnnIndex : public VectorIndex {
   size_t dim() const override { return dim_; }
   IndexBackend backend() const override { return IndexBackend::kFlat; }
   Metric metric() const override { return metric_; }
+  Storage storage() const { return storage_; }
+
+  /// \brief Installs a pre-trained codec on an empty kSq8 index.
+  ///
+  /// Every subsequent Add encodes through this calibration instead of
+  /// re-training — how LakeIndex::Load keeps a restored index encoding
+  /// exactly as the saved one did. Check-fails on a non-empty or
+  /// non-kSq8 index.
+  void SeedSq8Codec(Sq8Codec codec);
+
+  /// The trained codec (calibrating first if needed), or nullptr on a
+  /// float32 index.
+  const Sq8Codec* sq8_codec() const;
 
   Status Save(std::ostream& out) const override;
 
-  /// Restores an index whose kFormatTag has already been consumed (see
-  /// LoadVectorIndex for the tagged entry point).
+  /// Restores a float32 index whose kFormatTag has already been consumed
+  /// (see LoadVectorIndex for the tagged entry point).
   static Result<KnnIndex> Load(std::istream& in);
 
+  /// Restores an SQ8 index whose kSq8FormatTag has already been consumed.
+  static Result<KnnIndex> LoadSq8(std::istream& in);
+
  private:
+  // Calibrates + encodes the pending float rows on first use (kSq8 only).
+  // Const because it is reached from Search: double-checked on quantized_
+  // so the steady state is one relaxed-ish atomic load.
+  void EnsureQuantized() const;
+
   size_t dim_;
   Metric metric_;
-  std::vector<float> data_;      // row-major, one row per item
+  Storage storage_;
+  mutable std::vector<float> data_;  // row-major float rows; under kSq8,
+                                     // only the not-yet-encoded pending rows
   std::vector<size_t> payloads_;
-  std::vector<float> norms_;     // cached L2 norms for cosine
+  mutable std::vector<float> norms_;  // L2 norms for cosine; decoded norms
+                                      // once rows are quantized
+  mutable Sq8Codec codec_;            // trained calibration (kSq8)
+  mutable std::vector<uint8_t> codes_;  // row-major SQ8 rows (kSq8)
+  mutable std::atomic<bool> quantized_{false};
+  mutable std::mutex quantize_mu_;
 };
 
 }  // namespace tsfm::search

@@ -2,7 +2,9 @@
 
 #include <cstdint>
 #include <fstream>
+#include <utility>
 
+#include "search/quantizer.h"
 #include "search/stream_io.h"
 #include "util/logging.h"
 #include "util/thread_pool.h"
@@ -16,7 +18,14 @@ namespace {
 
 constexpr uint32_t kMagicV1 = 0x4c414b45;  // "LAKE" — legacy headerless format
 constexpr uint32_t kMagicV2 = 0x4c414b32;  // "LAK2" — versioned header
-constexpr uint32_t kFormatVersion = 2;
+// Version 2: backend/metric/hnsw header. Version 3 adds a storage word to
+// the header and an Sq8Codec calibration section ("CSQ8") before the table
+// records. Float32 indexes still write version 2 — byte-identical to what
+// older readers expect — so only genuinely quantized files demand a reader
+// that understands them (and old readers reject those with a clean
+// "newer format version" Status rather than misparsing).
+constexpr uint32_t kFormatVersion = 3;
+constexpr uint32_t kFloat32FormatVersion = 2;
 
 }  // namespace
 
@@ -93,15 +102,25 @@ Status LakeIndex::Save(const std::string& path) const {
   std::ofstream out(path, std::ios::binary);
   if (!out) return Status::IoError("cannot open " + path + " for writing");
   const IndexOptions& opt = index_.options();
+  const bool sq8 = opt.storage == Storage::kSq8;
   WritePod(out, kMagicV2);
-  WritePod(out, kFormatVersion);
+  WritePod(out, sq8 ? kFormatVersion : kFloat32FormatVersion);
   WritePod(out, static_cast<uint32_t>(opt.backend));
   WritePod(out, static_cast<uint32_t>(opt.metric));
+  if (sq8) WritePod(out, static_cast<uint32_t>(opt.storage));
   WritePod(out, static_cast<uint64_t>(opt.hnsw.m));
   WritePod(out, static_cast<uint64_t>(opt.hnsw.ef_construction));
   WritePod(out, static_cast<uint64_t>(opt.hnsw.ef_search));
   WritePod(out, opt.hnsw.seed);
   WritePod(out, static_cast<uint64_t>(dim_));
+  if (sq8) {
+    // Persist the live calibration (training it now if no search has yet),
+    // so Load re-arms the index to encode exactly as this one does — even
+    // for rows that were added after the codec was trained.
+    const Sq8Codec* codec = index_.sq8_codec();
+    TSFM_CHECK(codec != nullptr);
+    if (Status s = codec->Save(out); !s.ok()) return s;
+  }
   WritePod(out, static_cast<uint64_t>(table_ids_.size()));
   for (size_t t = 0; t < table_ids_.size(); ++t) {
     uint64_t id_len = table_ids_[t].size();
@@ -125,25 +144,33 @@ Result<LakeIndex> LakeIndex::Load(const std::string& path) {
   if (!ReadPod(in, &magic)) return Status::IoError("truncated lake index " + path);
 
   IndexOptions options;  // legacy files predate backends: flat / cosine
+  uint32_t version = 0;
   if (magic == kMagicV2) {
-    uint32_t version = 0, backend = 0, metric = 0;
+    uint32_t backend = 0, metric = 0, storage = 0;
     uint64_t m = 0, ef_construction = 0, ef_search = 0, seed = 0;
     if (!ReadPod(in, &version) || !ReadPod(in, &backend) ||
-        !ReadPod(in, &metric) || !ReadPod(in, &m) ||
-        !ReadPod(in, &ef_construction) || !ReadPod(in, &ef_search) ||
-        !ReadPod(in, &seed)) {
+        !ReadPod(in, &metric)) {
       return Status::IoError("truncated lake-index header in " + path);
     }
     if (version > kFormatVersion) {
       return Status::ParseError("lake index " + path +
                                 " written by a newer format version");
     }
+    if (version >= 3 && !ReadPod(in, &storage)) {
+      return Status::IoError("truncated lake-index header in " + path);
+    }
+    if (!ReadPod(in, &m) || !ReadPod(in, &ef_construction) ||
+        !ReadPod(in, &ef_search) || !ReadPod(in, &seed)) {
+      return Status::IoError("truncated lake-index header in " + path);
+    }
     if (backend > static_cast<uint32_t>(IndexBackend::kHnsw) ||
-        metric > static_cast<uint32_t>(Metric::kL2)) {
+        metric > static_cast<uint32_t>(Metric::kL2) ||
+        storage > static_cast<uint32_t>(Storage::kSq8)) {
       return Status::ParseError("bad lake-index backend/metric in " + path);
     }
     options.backend = static_cast<IndexBackend>(backend);
     options.metric = static_cast<Metric>(metric);
+    options.storage = static_cast<Storage>(storage);
     options.hnsw.m = static_cast<size_t>(m);
     options.hnsw.ef_construction = static_cast<size_t>(ef_construction);
     options.hnsw.ef_search = static_cast<size_t>(ef_search);
@@ -152,13 +179,25 @@ Result<LakeIndex> LakeIndex::Load(const std::string& path) {
     return Status::ParseError("bad lake-index magic in " + path);
   }
 
-  uint64_t dim = 0, num_tables = 0;
-  if (!ReadPod(in, &dim) || !ReadPod(in, &num_tables)) {
+  uint64_t dim = 0;
+  if (!ReadPod(in, &dim)) {
     return Status::IoError("truncated lake index " + path);
   }
   if (dim == 0 || dim > (1u << 20)) return Status::ParseError("implausible dim");
 
   LakeIndex index(dim, options);
+  if (version >= 3 && options.storage == Storage::kSq8) {
+    auto codec = Sq8Codec::Load(in, dim);
+    if (!codec.ok()) return codec.status();
+    // Seed before the AddTable replay: every replayed (and future) row
+    // encodes through the calibration the saved index used.
+    index.index_.SeedSq8Codec(std::move(codec).value());
+  }
+
+  uint64_t num_tables = 0;
+  if (!ReadPod(in, &num_tables)) {
+    return Status::IoError("truncated lake index " + path);
+  }
   for (uint64_t t = 0; t < num_tables; ++t) {
     uint64_t id_len = 0, num_cols = 0;
     if (!ReadPod(in, &id_len)) return Status::IoError("truncated lake index " + path);

@@ -38,10 +38,12 @@ Status SaveLakeManifest(const LakeManifest& manifest, const std::string& path) {
 
   std::ofstream out(path, std::ios::binary);
   if (!out) return Status::IoError("cannot open " + path + " for writing");
+  const bool sq8 = manifest.storage == Storage::kSq8;
   WritePod(out, kLakeManifestMagic);
-  WritePod(out, kLakeManifestVersion);
+  WritePod(out, sq8 ? kLakeManifestVersion : uint32_t{1});
   WritePod(out, static_cast<uint32_t>(manifest.backend));
   WritePod(out, static_cast<uint32_t>(manifest.metric));
+  if (sq8) WritePod(out, static_cast<uint32_t>(manifest.storage));
   WritePod(out, manifest.dim);
   WritePod(out, static_cast<uint64_t>(manifest.shard_files.size()));
   for (const std::string& name : manifest.shard_files) {
@@ -60,7 +62,7 @@ Status SaveLakeManifest(const LakeManifest& manifest, const std::string& path) {
 Result<LakeManifest> LoadLakeManifest(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) return Status::IoError("cannot open " + path);
-  uint32_t magic = 0, version = 0, backend = 0, metric = 0;
+  uint32_t magic = 0, version = 0, backend = 0, metric = 0, storage = 0;
   uint64_t dim = 0, num_shards = 0;
   if (!ReadPod(in, &magic)) {
     return Status::IoError("truncated lake manifest " + path);
@@ -69,16 +71,22 @@ Result<LakeManifest> LoadLakeManifest(const std::string& path) {
     return Status::ParseError(path + " is not a lake manifest");
   }
   if (!ReadPod(in, &version) || !ReadPod(in, &backend) ||
-      !ReadPod(in, &metric) || !ReadPod(in, &dim) ||
-      !ReadPod(in, &num_shards)) {
+      !ReadPod(in, &metric)) {
     return Status::IoError("truncated lake manifest " + path);
   }
   if (version > kLakeManifestVersion) {
     return Status::ParseError("lake manifest " + path +
                               " written by a newer format version");
   }
+  if (version >= 2 && !ReadPod(in, &storage)) {
+    return Status::IoError("truncated lake manifest " + path);
+  }
+  if (!ReadPod(in, &dim) || !ReadPod(in, &num_shards)) {
+    return Status::IoError("truncated lake manifest " + path);
+  }
   if (backend > static_cast<uint32_t>(IndexBackend::kHnsw) ||
-      metric > static_cast<uint32_t>(Metric::kL2)) {
+      metric > static_cast<uint32_t>(Metric::kL2) ||
+      storage > static_cast<uint32_t>(Storage::kSq8)) {
     return Status::ParseError("bad lake-manifest backend/metric in " + path);
   }
   if (dim == 0 || dim > (1u << 20) || num_shards == 0 ||
@@ -89,6 +97,7 @@ Result<LakeManifest> LoadLakeManifest(const std::string& path) {
   LakeManifest manifest;
   manifest.backend = static_cast<IndexBackend>(backend);
   manifest.metric = static_cast<Metric>(metric);
+  manifest.storage = static_cast<Storage>(storage);
   manifest.dim = dim;
   manifest.shard_files.resize(num_shards);
   for (auto& name : manifest.shard_files) {

@@ -29,8 +29,14 @@ namespace tsfm::search {
 /// else is treated as a legacy single-file index by ShardedLakeIndex::Load.
 inline constexpr uint32_t kLakeManifestMagic = 0x4c414b53;
 
-/// Bumped whenever the manifest layout changes.
-inline constexpr uint32_t kLakeManifestVersion = 1;
+/// \brief Newest manifest layout this build writes or reads.
+///
+/// Version 1: backend/metric/dim/shard files/locator. Version 2 adds a
+/// storage word after the metric. Float32 manifests still write version 1
+/// (byte-identical for old readers); only sq8 manifests use version 2, and
+/// version-1 readers reject those with a clean "newer format version"
+/// Status.
+inline constexpr uint32_t kLakeManifestVersion = 2;
 
 /// Upper bound on the shard count a manifest may claim.
 inline constexpr uint64_t kMaxLakeShards = 1u << 16;
@@ -44,6 +50,7 @@ inline constexpr uint64_t kMaxLakeShards = 1u << 16;
 struct LakeManifest {
   IndexBackend backend = IndexBackend::kFlat;
   Metric metric = Metric::kCosine;
+  Storage storage = Storage::kFloat32;  ///< storage of every shard file
   uint64_t dim = 0;
   std::vector<std::string> shard_files;
   std::vector<std::pair<uint32_t, uint64_t>> locator;

@@ -1,0 +1,113 @@
+#include "search/quantizer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <utility>
+
+#include "search/stream_io.h"
+
+namespace tsfm::search {
+
+Sq8Codec Sq8Codec::Train(const float* rows, size_t num_rows, size_t dim) {
+  Sq8Codec codec;
+  codec.scale_.assign(dim, 1.0f);
+  codec.offset_.assign(dim, 0.0f);
+  if (num_rows == 0 || dim == 0) return codec;
+
+  std::vector<float> lo(dim, std::numeric_limits<float>::infinity());
+  std::vector<float> hi(dim, -std::numeric_limits<float>::infinity());
+  for (size_t r = 0; r < num_rows; ++r) {
+    const float* row = rows + r * dim;
+    for (size_t i = 0; i < dim; ++i) {
+      lo[i] = std::min(lo[i], row[i]);
+      hi[i] = std::max(hi[i], row[i]);
+    }
+  }
+  for (size_t i = 0; i < dim; ++i) {
+    codec.offset_[i] = lo[i];
+    const float range = hi[i] - lo[i];
+    // A constant dimension carries no information: scale 1 keeps decode
+    // exact (offset + 0) and keeps every scale strictly positive so the
+    // encode divide is always well-defined.
+    codec.scale_[i] = range > 0 ? range / 255.0f : 1.0f;
+  }
+  return codec;
+}
+
+Result<Sq8Codec> Sq8Codec::FromParts(std::vector<float> scale,
+                                     std::vector<float> offset) {
+  if (scale.size() != offset.size()) {
+    return Status::InvalidArgument("sq8 codec scale/offset size mismatch");
+  }
+  for (size_t i = 0; i < scale.size(); ++i) {
+    if (!(scale[i] > 0) || !std::isfinite(scale[i]) ||
+        !std::isfinite(offset[i])) {
+      return Status::ParseError("sq8 codec has non-finite or non-positive "
+                                "calibration at dim " +
+                                std::to_string(i));
+    }
+  }
+  Sq8Codec codec;
+  codec.scale_ = std::move(scale);
+  codec.offset_ = std::move(offset);
+  return codec;
+}
+
+void Sq8Codec::EncodeRow(const float* row, uint8_t* code) const {
+  const size_t dim = scale_.size();
+  for (size_t i = 0; i < dim; ++i) {
+    const float q = std::round((row[i] - offset_[i]) / scale_[i]);
+    code[i] = static_cast<uint8_t>(std::clamp(q, 0.0f, 255.0f));
+  }
+}
+
+void Sq8Codec::DecodeRow(const uint8_t* code, float* out) const {
+  const size_t dim = scale_.size();
+  for (size_t i = 0; i < dim; ++i) {
+    out[i] = offset_[i] + scale_[i] * static_cast<float>(code[i]);
+  }
+}
+
+float Sq8Codec::DecodedNorm(const uint8_t* code) const {
+  const size_t dim = scale_.size();
+  double sum = 0;
+  for (size_t i = 0; i < dim; ++i) {
+    const float v = offset_[i] + scale_[i] * static_cast<float>(code[i]);
+    sum += static_cast<double>(v) * v;
+  }
+  return static_cast<float>(std::sqrt(sum));
+}
+
+Status Sq8Codec::Save(std::ostream& out) const {
+  io::WritePod(out, kSectionTag);
+  io::WritePod(out, static_cast<uint64_t>(scale_.size()));
+  out.write(reinterpret_cast<const char*>(scale_.data()),
+            static_cast<std::streamsize>(scale_.size() * sizeof(float)));
+  out.write(reinterpret_cast<const char*>(offset_.data()),
+            static_cast<std::streamsize>(offset_.size() * sizeof(float)));
+  if (!out) return Status::IoError("writing sq8 codec section");
+  return Status::OK();
+}
+
+Result<Sq8Codec> Sq8Codec::Load(std::istream& in, size_t expected_dim) {
+  uint32_t tag = 0;
+  uint64_t dim = 0;
+  if (!io::ReadPod(in, &tag) || tag != kSectionTag) {
+    return Status::ParseError("missing sq8 codec section tag");
+  }
+  if (!io::ReadPod(in, &dim) || dim != expected_dim) {
+    return Status::ParseError("sq8 codec dim " + std::to_string(dim) +
+                              " does not match index dim " +
+                              std::to_string(expected_dim));
+  }
+  std::vector<float> scale(dim), offset(dim);
+  in.read(reinterpret_cast<char*>(scale.data()),
+          static_cast<std::streamsize>(dim * sizeof(float)));
+  in.read(reinterpret_cast<char*>(offset.data()),
+          static_cast<std::streamsize>(dim * sizeof(float)));
+  if (!in) return Status::ParseError("truncated sq8 codec section");
+  return FromParts(std::move(scale), std::move(offset));
+}
+
+}  // namespace tsfm::search

@@ -15,17 +15,31 @@
 namespace tsfm::search {
 
 
+namespace {
+
+// Mirror ColumnEmbeddingIndex's normalization: the HNSW backend stores
+// floats whatever the storage knob says, and the manifest must describe
+// what the shard files actually contain.
+IndexOptions NormalizeShardStorage(IndexOptions options) {
+  if (options.backend == IndexBackend::kHnsw) {
+    options.storage = Storage::kFloat32;
+  }
+  return options;
+}
+
+}  // namespace
+
 ShardedLakeIndex::ShardedLakeIndex(size_t dim, size_t num_shards,
                                    const IndexOptions& options)
-    : dim_(dim), options_(options) {
+    : dim_(dim), options_(NormalizeShardStorage(options)) {
   num_shards = std::max<size_t>(1, num_shards);
   shards_.reserve(num_shards);
   to_global_.resize(num_shards);
-  for (size_t s = 0; s < num_shards; ++s) shards_.emplace_back(dim, options);
+  for (size_t s = 0; s < num_shards; ++s) shards_.emplace_back(dim, options_);
 }
 
 ShardedLakeIndex::ShardedLakeIndex(size_t dim, const IndexOptions& options)
-    : dim_(dim), options_(options) {}
+    : dim_(dim), options_(NormalizeShardStorage(options)) {}
 
 ShardedLakeIndex ShardedLakeIndex::FromSingle(LakeIndex&& shard) {
   ShardedLakeIndex index(shard.dim(), shard.options());
@@ -209,6 +223,7 @@ Status ShardedLakeIndex::Save(const std::string& path, ThreadPool* pool) const {
   LakeManifest manifest;
   manifest.backend = options_.backend;
   manifest.metric = options_.metric;
+  manifest.storage = options_.storage;
   manifest.dim = dim_;
   manifest.shard_files.reserve(shards_.size());
   for (size_t s = 0; s < shards_.size(); ++s) {
@@ -262,6 +277,7 @@ Result<ShardedLakeIndex> ShardedLakeIndex::Load(const std::string& path,
   IndexOptions options;
   options.backend = manifest.backend;
   options.metric = manifest.metric;
+  options.storage = manifest.storage;
   ShardedLakeIndex index(static_cast<size_t>(dim), options);
   index.shards_.reserve(num_shards);
   uint64_t total_shard_tables = 0;
@@ -277,6 +293,15 @@ Result<ShardedLakeIndex> ShardedLakeIndex::Load(const std::string& path,
       return Status::ParseError("shard " + shard_files[s] +
                                 " backend/metric disagrees with manifest " +
                                 path);
+    }
+    if (shard.options().storage != options.storage) {
+      // A float shard merged into an sq8 lake (or vice versa) would rank
+      // with distances from two different spaces; refuse loudly.
+      return Status::ParseError(
+          "shard " + shard_files[s] + " storage (" +
+          (shard.options().storage == Storage::kSq8 ? "sq8" : "float32") +
+          ") disagrees with manifest " + path + " (" +
+          (options.storage == Storage::kSq8 ? "sq8" : "float32") + ")");
     }
     total_shard_tables += shard.num_tables();
     index.shards_.push_back(std::move(shard));

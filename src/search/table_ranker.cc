@@ -5,13 +5,41 @@
 #include <queue>
 #include <tuple>
 #include <unordered_map>
+#include <utility>
 
+#include "search/knn_index.h"
+#include "util/logging.h"
 #include "util/thread_pool.h"
 
 namespace tsfm::search {
 
+namespace {
+
+// The HNSW backend stores float vectors regardless of the storage knob;
+// normalizing here keeps options() honest about what was actually built
+// (and keeps persisted headers from claiming sq8 for a float graph).
+IndexOptions NormalizeStorage(IndexOptions options) {
+  if (options.backend == IndexBackend::kHnsw) {
+    options.storage = Storage::kFloat32;
+  }
+  return options;
+}
+
+}  // namespace
+
 ColumnEmbeddingIndex::ColumnEmbeddingIndex(size_t dim, const IndexOptions& options)
-    : options_(options), index_(MakeVectorIndex(dim, options)) {}
+    : options_(NormalizeStorage(options)), index_(MakeVectorIndex(dim, options_)) {}
+
+void ColumnEmbeddingIndex::SeedSq8Codec(Sq8Codec codec) {
+  auto* flat = dynamic_cast<KnnIndex*>(index_.get());
+  TSFM_CHECK(flat != nullptr);
+  flat->SeedSq8Codec(std::move(codec));
+}
+
+const Sq8Codec* ColumnEmbeddingIndex::sq8_codec() const {
+  const auto* flat = dynamic_cast<const KnnIndex*>(index_.get());
+  return flat != nullptr ? flat->sq8_codec() : nullptr;
+}
 
 void ColumnEmbeddingIndex::AddTable(size_t table_id,
                                     const std::vector<std::vector<float>>& columns) {

@@ -22,6 +22,8 @@ class ThreadPool;
 
 namespace tsfm::search {
 
+class Sq8Codec;
+
 /// \brief A corpus of column embeddings grouped by table.
 class ColumnEmbeddingIndex {
  public:
@@ -47,6 +49,17 @@ class ColumnEmbeddingIndex {
   size_t num_columns() const { return index_->size(); }
   size_t dim() const { return index_->dim(); }
   const IndexOptions& options() const { return options_; }
+
+  /// \brief Installs a pre-trained SQ8 codec on an empty kSq8 flat index.
+  ///
+  /// How LakeIndex::Load re-arms a restored corpus with the persisted
+  /// calibration before replaying AddTable. Check-fails unless the corpus
+  /// is an empty kFlat/kSq8 index (see KnnIndex::SeedSq8Codec).
+  void SeedSq8Codec(Sq8Codec codec);
+
+  /// The trained SQ8 codec (calibrating first if needed), or nullptr when
+  /// the corpus does not use kSq8 storage.
+  const Sq8Codec* sq8_codec() const;
 
  private:
   IndexOptions options_;

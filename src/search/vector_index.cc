@@ -28,7 +28,7 @@ std::unique_ptr<VectorIndex> MakeVectorIndex(size_t dim,
   if (options.backend == IndexBackend::kHnsw) {
     return std::make_unique<HnswIndex>(dim, options.hnsw, options.metric);
   }
-  return std::make_unique<KnnIndex>(dim, options.metric);
+  return std::make_unique<KnnIndex>(dim, options.metric, options.storage);
 }
 
 Result<std::unique_ptr<VectorIndex>> LoadVectorIndex(std::istream& in) {
@@ -37,6 +37,12 @@ Result<std::unique_ptr<VectorIndex>> LoadVectorIndex(std::istream& in) {
   if (!in) return Status::IoError("truncated vector-index stream");
   if (tag == KnnIndex::kFormatTag) {
     auto loaded = KnnIndex::Load(in);
+    if (!loaded.ok()) return loaded.status();
+    return std::unique_ptr<VectorIndex>(
+        std::make_unique<KnnIndex>(std::move(loaded).value()));
+  }
+  if (tag == KnnIndex::kSq8FormatTag) {
+    auto loaded = KnnIndex::LoadSq8(in);
     if (!loaded.ok()) return loaded.status();
     return std::unique_ptr<VectorIndex>(
         std::make_unique<KnnIndex>(std::move(loaded).value()));

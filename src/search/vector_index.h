@@ -40,14 +40,28 @@ struct HnswOptions {
   uint64_t seed = 17;           ///< level assignment RNG
 };
 
+/// \brief Row storage of the flat backend.
+///
+/// kSq8 keeps each row as per-dimension scalar-quantized bytes (4x smaller,
+/// calibrated from the indexed data; see quantizer.h) and answers Search
+/// through the asymmetric int8 scan with exact rescore, so ranked results
+/// track the float scan within the tested recall bound. The HNSW backend
+/// stores float rows regardless — graph construction re-reads stored
+/// vectors at full precision — and treats kSq8 as kFloat32.
+enum class Storage {
+  kFloat32,  ///< rows stored as float, exact scan
+  kSq8,      ///< rows stored as SQ8 bytes, quantized scan + exact rescore
+};
+
 /// \brief Backend selection for MakeVectorIndex and everything above it.
 ///
 /// `metric` applies to both backends (HNSW normalizes on insert under
 /// cosine, stores raw vectors under L2). `hnsw` is ignored by the flat
-/// backend.
+/// backend; `storage` by the HNSW backend.
 struct IndexOptions {
   IndexBackend backend = IndexBackend::kFlat;
   Metric metric = Metric::kCosine;
+  Storage storage = Storage::kFloat32;
   HnswOptions hnsw;
 };
 

@@ -7,6 +7,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <cstdlib>
 #include <unordered_set>
 #include <vector>
@@ -123,6 +124,100 @@ TEST(DistanceKernelsTest, IntegerVectorsAreExactIncludingTails) {
           << kd->name << " dim " << dim;
       EXPECT_EQ(kd->l2sq(a.data(), b.data(), dim), expected_l2)
           << kd->name << " dim " << dim;
+    }
+  }
+}
+
+// --------------------------------------------- sq8 scalar/SIMD agreement
+
+std::vector<uint8_t> RandomCodes(Rng* rng, size_t n) {
+  std::vector<uint8_t> codes(n);
+  for (auto& c : codes) {
+    c = static_cast<uint8_t>(rng->UniformDouble(0, 255.999));
+  }
+  return codes;
+}
+
+TEST(DistanceKernelsTest, Sq8KernelSetsAgreeAcrossDims) {
+  // Mirror of KernelSetsAgreeAcrossDims for the asymmetric u8 kernels:
+  // same 1e-4 contract, same dim sweep with every sub-8 tail shape.
+  const KernelDispatch& scalar = ScalarKernels();
+  const KernelDispatch& best = BestKernels();
+  Rng rng(151);
+  const std::vector<size_t> dims = {1,  2,  3,   4,   5,   6,   7,   8,  9,
+                                    12, 15, 16,  17,  24,  31,  32,  33, 63,
+                                    64, 65, 127, 128, 255, 257, 384, 511,
+                                    512, 768, 1000, 1023, 1024};
+  for (size_t dim : dims) {
+    for (int trial = 0; trial < 4; ++trial) {
+      const auto q = RandomVec(&rng, dim);
+      const auto row = RandomCodes(&rng, dim);
+      float dot_scalar = 0.0f, dot_best = 0.0f;
+      scalar.dot_many_sq8(q.data(), row.data(), 1, dim, &dot_scalar);
+      best.dot_many_sq8(q.data(), row.data(), 1, dim, &dot_best);
+      ExpectWithinContract(dot_scalar, dot_best);
+      float l2_scalar = 0.0f, l2_best = 0.0f;
+      scalar.l2sq_many_sq8(q.data(), row.data(), 1, dim, &l2_scalar);
+      best.l2sq_many_sq8(q.data(), row.data(), 1, dim, &l2_best);
+      ExpectWithinContract(l2_scalar, l2_best);
+    }
+  }
+}
+
+TEST(DistanceKernelsTest, Sq8BatchKernelsMatchReferenceAcrossRowCounts) {
+  // 1..9 rows exercises the 4-rows-abreast main loop and every remainder.
+  Rng rng(157);
+  for (size_t dim : {7u, 8u, 19u, 64u}) {
+    const auto query = RandomVec(&rng, dim);
+    for (size_t rows = 1; rows <= 9; ++rows) {
+      const auto codes = RandomCodes(&rng, rows * dim);
+      // Reference: per-row scalar accumulation over widened bytes.
+      std::vector<float> ref_dot(rows, 0.0f), ref_l2(rows, 0.0f);
+      for (size_t r = 0; r < rows; ++r) {
+        for (size_t i = 0; i < dim; ++i) {
+          const float u = static_cast<float>(codes[r * dim + i]);
+          ref_dot[r] += query[i] * u;
+          const float d = query[i] - u;
+          ref_l2[r] += d * d;
+        }
+      }
+      for (const KernelDispatch* kd : {&ScalarKernels(), &BestKernels()}) {
+        std::vector<float> dots(rows), l2s(rows);
+        kd->dot_many_sq8(query.data(), codes.data(), rows, dim, dots.data());
+        kd->l2sq_many_sq8(query.data(), codes.data(), rows, dim, l2s.data());
+        for (size_t r = 0; r < rows; ++r) {
+          ExpectWithinContract(dots[r], ref_dot[r]);
+          ExpectWithinContract(l2s[r], ref_l2[r]);
+        }
+      }
+    }
+  }
+}
+
+TEST(DistanceKernelsTest, Sq8IntegerQueriesAreExactIncludingTails) {
+  // Small-integer queries against u8 codes make every partial product
+  // exact — any tail-handling bug (a byte too many or too few) shows up
+  // as an exact mismatch on some dim in 1..40.
+  Rng rng(163);
+  for (size_t dim = 1; dim <= 40; ++dim) {
+    std::vector<float> q(dim);
+    for (auto& x : q) {
+      x = static_cast<float>(static_cast<int>(rng.UniformDouble(-9, 9)));
+    }
+    const auto codes = RandomCodes(&rng, dim);
+    float expected_dot = 0.0f, expected_l2 = 0.0f;
+    for (size_t i = 0; i < dim; ++i) {
+      const float u = static_cast<float>(codes[i]);
+      expected_dot += q[i] * u;
+      const float d = q[i] - u;
+      expected_l2 += d * d;
+    }
+    for (const KernelDispatch* kd : {&ScalarKernels(), &BestKernels()}) {
+      float dot = 0.0f, l2 = 0.0f;
+      kd->dot_many_sq8(q.data(), codes.data(), 1, dim, &dot);
+      kd->l2sq_many_sq8(q.data(), codes.data(), 1, dim, &l2);
+      EXPECT_EQ(dot, expected_dot) << kd->name << " dim " << dim;
+      EXPECT_EQ(l2, expected_l2) << kd->name << " dim " << dim;
     }
   }
 }
@@ -272,6 +367,41 @@ TEST(DistanceKernelsTest, FlatLakeResultsIdenticalScalarVsSimd) {
   const LakeFixture f;
   for (size_t shards : {1u, 4u}) {
     const auto lake = BuildLake(f, shards, IndexOptions{});
+    std::vector<std::vector<std::string>> scalar_join, simd_join;
+    std::vector<std::vector<std::string>> scalar_union, simd_union;
+    {
+      ScopedKernels pin(ScalarKernels());
+      for (const auto& q : f.join_queries) {
+        scalar_join.push_back(lake.QueryJoinable(q, 10));
+      }
+      for (const auto& q : f.union_queries) {
+        scalar_union.push_back(lake.QueryUnionable(q, 10));
+      }
+    }
+    {
+      ScopedKernels pin(BestKernels());
+      for (const auto& q : f.join_queries) {
+        simd_join.push_back(lake.QueryJoinable(q, 10));
+      }
+      for (const auto& q : f.union_queries) {
+        simd_union.push_back(lake.QueryUnionable(q, 10));
+      }
+    }
+    EXPECT_EQ(scalar_join, simd_join) << "shards=" << shards;
+    EXPECT_EQ(scalar_union, simd_union) << "shards=" << shards;
+  }
+}
+
+TEST(DistanceKernelsTest, Sq8LakeResultsIdenticalScalarVsSimd) {
+  // Same corpus and queries as the float parity test, but with sq8 shards:
+  // candidate selection runs through the asymmetric u8 kernels and the
+  // rescore through the float pairwise kernels, and the ranked ids must
+  // still not depend on which ISA produced them.
+  const LakeFixture f;
+  IndexOptions options;
+  options.storage = Storage::kSq8;
+  for (size_t shards : {1u, 4u}) {
+    const auto lake = BuildLake(f, shards, options);
     std::vector<std::vector<std::string>> scalar_join, simd_join;
     std::vector<std::vector<std::string>> scalar_union, simd_union;
     {

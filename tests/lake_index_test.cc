@@ -78,6 +78,70 @@ TEST(LakeIndexTest, SaveLoadRoundTripBothBackends) {
   }
 }
 
+TEST(LakeIndexTest, Sq8SaveLoadRoundTrip) {
+  IndexOptions options;
+  options.storage = Storage::kSq8;
+  LakeIndex index(3, options);
+  index.AddTable("sales_q1", {{1, 0, 0}, {0, 1, 0}});
+  index.AddTable("sales_q2", {{0.9f, 0.1f, 0}, {0, 0.9f, 0.1f}});
+  index.AddTable("weather", {{0, 0, 1}});
+
+  std::string path = testing::TempDir() + "/tsfm_lake_sq8.bin";
+  ASSERT_TRUE(index.Save(path).ok());
+  auto loaded = LakeIndex::Load(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value().options().storage, Storage::kSq8);
+  EXPECT_EQ(loaded.value().num_tables(), 3u);
+  // The restored index (persisted codec + replayed rows) must rank exactly
+  // like the one that wrote the file.
+  for (const std::vector<float> q :
+       {std::vector<float>{1, 0, 0}, {0, 1, 0}, {0.5f, 0.5f, 0}}) {
+    EXPECT_EQ(loaded.value().QueryJoinable(q, 3), index.QueryJoinable(q, 3));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(LakeIndexTest, Sq8RoundTripFaithfulAfterPostTrainingAdds) {
+  // Adds after the first query encode through the already-trained codec;
+  // the file persists that codec, so the restored index must reproduce the
+  // writer's results even though re-training over all rows would have
+  // produced a different calibration.
+  IndexOptions options;
+  options.storage = Storage::kSq8;
+  LakeIndex index(3, options);
+  index.AddTable("sales_q1", {{1, 0, 0}, {0, 1, 0}});
+  (void)index.QueryJoinable({1, 0, 0}, 1);  // trains the codec
+  index.AddTable("outlier", {{9, -9, 9}});  // outside the calibrated range
+
+  std::string path = testing::TempDir() + "/tsfm_lake_sq8_posttrain.bin";
+  ASSERT_TRUE(index.Save(path).ok());
+  auto loaded = LakeIndex::Load(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  for (const std::vector<float> q :
+       {std::vector<float>{1, 0, 0}, {9, -9, 9}}) {
+    EXPECT_EQ(loaded.value().QueryJoinable(q, 3), index.QueryJoinable(q, 3));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(LakeIndexTest, FloatFilesStayOnVersionTwo) {
+  // A float32 index must keep writing the exact version-2 header so
+  // pre-sq8 readers keep loading it; only sq8 files get the new version.
+  LakeIndex index = MakeToyIndex();
+  std::string path = testing::TempDir() + "/tsfm_lake_v2check.bin";
+  ASSERT_TRUE(index.Save(path).ok());
+  std::ifstream in(path, std::ios::binary);
+  uint32_t magic = 0, version = 0;
+  in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  in.read(reinterpret_cast<char*>(&version), sizeof(version));
+  EXPECT_EQ(magic, 0x4c414b32u);  // "LAK2"
+  EXPECT_EQ(version, 2u);
+  auto loaded = LakeIndex::Load(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().options().storage, Storage::kFloat32);
+  std::remove(path.c_str());
+}
+
 TEST(LakeIndexTest, LoadsLegacyHeaderlessFormat) {
   // Files written before the versioned header: magic "LAKE", then dim and
   // the table records, with no backend metadata. They must load as flat.

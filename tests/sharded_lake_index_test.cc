@@ -166,6 +166,90 @@ TEST(ShardedLakeIndexTest, ManifestRoundTripBothBackends) {
   }
 }
 
+TEST(ShardedLakeIndexTest, Sq8ManifestRoundTrip) {
+  const size_t dim = 12;
+  Corpus corpus = MakeCorpus(40, dim, 9);
+  IndexOptions options;
+  options.storage = Storage::kSq8;
+  ShardedLakeIndex index = BuildSharded(corpus, dim, 3, options);
+  std::string path = testing::TempDir() + "/tsfm_sharded_sq8.laks";
+  ThreadPool pool(3);
+  ASSERT_TRUE(index.Save(path, &pool).ok());
+
+  auto loaded = ShardedLakeIndex::Load(path, &pool);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value().options().storage, Storage::kSq8);
+  EXPECT_EQ(loaded.value().num_tables(), corpus.tables.size());
+  // Shard files persist codec + codes, so the loaded index ranks exactly
+  // like the writer.
+  for (const auto& q : corpus.join_queries) {
+    EXPECT_EQ(loaded.value().QueryJoinable(q, 5), index.QueryJoinable(q, 5));
+  }
+  for (const auto& q : corpus.union_queries) {
+    EXPECT_EQ(loaded.value().QueryUnionable(q, 5), index.QueryUnionable(q, 5));
+  }
+  std::remove(path.c_str());
+  for (size_t s = 0; s < 3; ++s) {
+    std::remove((path + ".shard-" + std::to_string(s)).c_str());
+  }
+}
+
+TEST(ShardedLakeIndexTest, MixedStorageShardsRejected) {
+  // A manifest that says sq8 but points at a float32 shard file (or vice
+  // versa) is corrupt; loading must fail with a clear ParseError, not
+  // silently mix representations.
+  const size_t dim = 8;
+  Corpus corpus = MakeCorpus(30, dim, 10);
+  IndexOptions sq8;
+  sq8.storage = Storage::kSq8;
+  ShardedLakeIndex index = BuildSharded(corpus, dim, 3, sq8);
+  std::string path = testing::TempDir() + "/tsfm_sharded_mixed.laks";
+  ASSERT_TRUE(index.Save(path).ok());
+
+  // Overwrite shard 1 with a float32 lake of the same dim.
+  Rng rng(11);
+  LakeIndex imposter(dim);
+  imposter.AddTable("imposter", {RandomVec(dim, &rng)});
+  ASSERT_TRUE(imposter.Save(path + ".shard-1").ok());
+
+  auto loaded = ShardedLakeIndex::Load(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kParseError);
+  EXPECT_NE(loaded.status().ToString().find("storage"), std::string::npos)
+      << loaded.status().ToString();
+  std::remove(path.c_str());
+  for (size_t s = 0; s < 3; ++s) {
+    std::remove((path + ".shard-" + std::to_string(s)).c_str());
+  }
+}
+
+TEST(ShardedLakeIndexTest, Sq8RecallAtTenVersusFloatFlat) {
+  // Acceptance bar for quantized storage: after exact rescore, sharded sq8
+  // recall@10 against the float32 flat gold standard is at least 0.99.
+  const size_t dim = 32, k = 10;
+  Corpus corpus = MakeCorpus(300, dim, 12);
+  LakeIndex flat_gold = BuildUnsharded(corpus, dim);
+  IndexOptions sq8;
+  sq8.storage = Storage::kSq8;
+  for (size_t shards : {size_t{1}, size_t{4}}) {
+    ShardedLakeIndex sharded = BuildSharded(corpus, dim, shards, sq8);
+    double recall_sum = 0;
+    for (const auto& q : corpus.join_queries) {
+      auto gold = flat_gold.QueryJoinable(q, k);
+      ASSERT_GE(gold.size(), k);
+      std::unordered_set<std::string> gold_set(gold.begin(), gold.end());
+      size_t hits = 0;
+      for (const auto& id : sharded.QueryJoinable(q, k)) {
+        hits += gold_set.count(id);
+      }
+      recall_sum += static_cast<double>(hits) / static_cast<double>(k);
+    }
+    EXPECT_GE(recall_sum / static_cast<double>(corpus.join_queries.size()),
+              0.99)
+        << shards << " shards";
+  }
+}
+
 TEST(ShardedLakeIndexTest, MissingShardFileIsAnErrorNotACrash) {
   const size_t dim = 8;
   Corpus corpus = MakeCorpus(30, dim, 5);
