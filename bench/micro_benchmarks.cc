@@ -297,6 +297,41 @@ void BM_FlatScanTopKLarge(benchmark::State& state) {
 }
 BENCHMARK(BM_FlatScanTopKLarge)->ArgsProduct({{0, 1}, {0, 1}});
 
+// Multi-query mini-GEMM scan: ONE pass over the rows answers the whole
+// query block, so row loads amortize across queries instead of re-streaming
+// per query. items_processed counts (query, row) pairs, so items/sec is
+// directly comparable across num_queries: the gap between num_queries=1
+// and 8 at the same kernel/storage is the batching win. Args:
+// {kernel set, storage, num_queries}.
+void BM_MultiScanTopK(benchmark::State& state) {
+  constexpr size_t kRows = 4096, kDim = 768, kMaxQueries = 8;
+  static const ScanFixture& f = *new ScanFixture(kRows, kDim);
+  static const std::vector<float>& queries = *[] {
+    Rng rng(31);
+    auto* q = new std::vector<float>(kMaxQueries * kDim);
+    for (auto& x : *q) x = static_cast<float>(rng.Normal());
+    return q;
+  }();
+  const search::KernelDispatch& kd = BenchKernels(state.range(0));
+  const bool sq8 = state.range(1) != 0;
+  const size_t nq = static_cast<size_t>(state.range(2));
+  for (auto _ : state) {
+    auto hits =
+        sq8 ? search::ScanTopKMultiSq8(kd, queries.data(), nq, f.codes.data(),
+                                       f.codec, f.code_norms.data(), kRows,
+                                       search::Metric::kCosine, 10)
+            : search::ScanTopKMulti(kd, queries.data(), nq, f.rows.data(),
+                                    f.norms.data(), kRows, kDim,
+                                    search::Metric::kCosine, 10);
+    benchmark::DoNotOptimize(hits.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(nq * kRows));
+  state.SetLabel(std::string(kd.name) + (sq8 ? "/sq8" : "/float32"));
+  state.counters["num_queries"] = static_cast<double>(nq);
+}
+BENCHMARK(BM_MultiScanTopK)->ArgsProduct({{0, 1}, {0, 1}, {1, 4, 8}});
+
 // --------------------------------------------------------- ANN backends
 // Flat-vs-HNSW comparison: build time, single-query QPS (with recall@10 of
 // the approximate backend against the exact scan), and multi-query batch
@@ -478,15 +513,20 @@ BENCHMARK(BM_ShardedLakeBatchQuery)
 // concurrent clients, against a direct-batch-call baseline over the same
 // total query count. The gap between the two is the serving overhead
 // (framing + socket hops + batcher queue) the coalescing has to amortize.
+// The second arg is the batcher's max_batch: 1 disables coalescing (every
+// query dispatches alone), the default 64 lets concurrent clients share
+// one multi-query scan — the gap at 16 clients is the coalescing win.
 
 constexpr size_t kServerShards = 4;
 constexpr size_t kQueriesPerClient = 8;
 
 void BM_ServerQPS(benchmark::State& state) {
   const size_t clients = static_cast<size_t>(state.range(0));
+  const size_t max_batch = static_cast<size_t>(state.range(1));
   const ShardedLakeFixture& f = GetShardedLakeFixture();
   server::ServerOptions options;
   options.io_threads = clients;  // no client waits behind another's handler
+  options.max_batch = max_batch;
   server::LakeServer lake_server(BuildShardedLake(f, kServerShards), options);
   const std::string socket_path =
       "/tmp/tsfm_bench_server_" + std::to_string(::getpid()) + ".sock";
@@ -578,9 +618,21 @@ void BM_ServerQPS(benchmark::State& state) {
                             static_cast<int64_t>(clients * kQueriesPerClient));
   }
   state.counters["clients"] = static_cast<double>(clients);
+  state.counters["max_batch"] = static_cast<double>(max_batch);
+  // How much coalescing actually happened: the mean dispatched batch size
+  // over the whole run (1.0 means every query went to the backend alone).
+  server::LakeClient stats_client;
+  if (stats_client.Connect(socket_path).ok()) {
+    if (auto stats = stats_client.Stats(); stats.ok() &&
+                                           stats.value().batches > 0) {
+      state.counters["avg_batch"] =
+          static_cast<double>(stats.value().requests) /
+          static_cast<double>(stats.value().batches);
+    }
+  }
   lake_server.Stop();
 }
-BENCHMARK(BM_ServerQPS)->Arg(1)->Arg(4)->Arg(16)->UseRealTime();
+BENCHMARK(BM_ServerQPS)->ArgsProduct({{1, 4, 16}, {1, 64}})->UseRealTime();
 
 void BM_ServerQPSDirectBaseline(benchmark::State& state) {
   const size_t clients = static_cast<size_t>(state.range(0));

@@ -131,9 +131,74 @@ void L2SqManySq8Scalar(const float* query, const uint8_t* rows,
   }
 }
 
+// Multi-query reference kernels. The tile walks a block of rows for every
+// query before moving on, so the row block stays hot in L1 across the
+// whole query batch; within a (query, row) pair the arithmetic is the
+// exact pairwise kernel, which keeps every value bit-identical to the
+// *_many kernels above (the contract ScanTopKMulti depends on).
+constexpr size_t kMultiRowTile = 4;
+
+void DotMultiScalar(const float* queries, size_t num_queries,
+                    const float* rows, size_t num_rows, size_t dim,
+                    float* out) {
+  for (size_t base = 0; base < num_rows; base += kMultiRowTile) {
+    const size_t end = std::min(num_rows, base + kMultiRowTile);
+    for (size_t q = 0; q < num_queries; ++q) {
+      const float* query = queries + q * dim;
+      for (size_t r = base; r < end; ++r) {
+        out[q * num_rows + r] = DotScalar(query, rows + r * dim, dim);
+      }
+    }
+  }
+}
+
+void L2SqMultiScalar(const float* queries, size_t num_queries,
+                     const float* rows, size_t num_rows, size_t dim,
+                     float* out) {
+  for (size_t base = 0; base < num_rows; base += kMultiRowTile) {
+    const size_t end = std::min(num_rows, base + kMultiRowTile);
+    for (size_t q = 0; q < num_queries; ++q) {
+      const float* query = queries + q * dim;
+      for (size_t r = base; r < end; ++r) {
+        out[q * num_rows + r] = L2SqScalar(query, rows + r * dim, dim);
+      }
+    }
+  }
+}
+
+void DotMultiSq8Scalar(const float* queries, size_t num_queries,
+                       const uint8_t* rows, size_t num_rows, size_t dim,
+                       float* out) {
+  for (size_t base = 0; base < num_rows; base += kMultiRowTile) {
+    const size_t end = std::min(num_rows, base + kMultiRowTile);
+    for (size_t q = 0; q < num_queries; ++q) {
+      const float* query = queries + q * dim;
+      for (size_t r = base; r < end; ++r) {
+        out[q * num_rows + r] = DotSq8Scalar(query, rows + r * dim, dim);
+      }
+    }
+  }
+}
+
+void L2SqMultiSq8Scalar(const float* queries, size_t num_queries,
+                        const uint8_t* rows, size_t num_rows, size_t dim,
+                        float* out) {
+  for (size_t base = 0; base < num_rows; base += kMultiRowTile) {
+    const size_t end = std::min(num_rows, base + kMultiRowTile);
+    for (size_t q = 0; q < num_queries; ++q) {
+      const float* query = queries + q * dim;
+      for (size_t r = base; r < end; ++r) {
+        out[q * num_rows + r] = L2SqSq8Scalar(query, rows + r * dim, dim);
+      }
+    }
+  }
+}
+
 constexpr KernelDispatch kScalarKernels = {
     "scalar",      DotScalar,        L2SqScalar,        CosineScalar,
     DotManyScalar, L2SqManyScalar,   DotManySq8Scalar,  L2SqManySq8Scalar,
+    DotMultiScalar,    L2SqMultiScalar,
+    DotMultiSq8Scalar, L2SqMultiSq8Scalar,
 };
 
 // -------------------------------------------------------------------- NEON
@@ -213,12 +278,36 @@ void L2SqManyNeon(const float* query, const float* rows, size_t num_rows,
   }
 }
 
+// The float multi kernels loop DotManyNeon/L2SqManyNeon per query instead
+// of tiling queries into the NEON registers: a genuine register tile would
+// change the per-pair accumulation order vs. DotNeon and break the
+// bit-identity contract with per-query ScanTopK on aarch64. The sq8 multi
+// kernels alias the scalar tile for the same reason the *_many_sq8 entries
+// alias scalar below: per-pair values must match that dispatch's own
+// single-query kernels.
+void DotMultiNeon(const float* queries, size_t num_queries, const float* rows,
+                  size_t num_rows, size_t dim, float* out) {
+  for (size_t q = 0; q < num_queries; ++q) {
+    DotManyNeon(queries + q * dim, rows, num_rows, dim, out + q * num_rows);
+  }
+}
+
+void L2SqMultiNeon(const float* queries, size_t num_queries,
+                   const float* rows, size_t num_rows, size_t dim,
+                   float* out) {
+  for (size_t q = 0; q < num_queries; ++q) {
+    L2SqManyNeon(queries + q * dim, rows, num_rows, dim, out + q * num_rows);
+  }
+}
+
 // The sq8 batch kernels reuse the scalar reference on NEON for now: the
 // widening u8 -> f32 ladder costs most of what the float FMA saves at
 // these dims, and the bandwidth win (4x smaller rows) is ISA-independent.
 constexpr KernelDispatch kNeonKernels = {
     "neon",      DotNeon,      L2SqNeon,         CosineNeon,
     DotManyNeon, L2SqManyNeon, DotManySq8Scalar, L2SqManySq8Scalar,
+    DotMultiNeon,      L2SqMultiNeon,
+    DotMultiSq8Scalar, L2SqMultiSq8Scalar,
 };
 
 #endif  // __aarch64__
@@ -434,6 +523,193 @@ std::vector<ScanHit> ScanTopKSq8(const float* query, const uint8_t* codes,
                                  size_t num_rows, Metric metric, size_t k) {
   return ScanTopKSq8(Kernels(), query, codes, codec, row_norms, num_rows,
                      metric, k);
+}
+
+namespace {
+
+// Shared heap scaffolding of the multi-query scans: one bounded
+// (distance, row) max-heap per query, fed in ascending row order with the
+// same insert/evict logic as the single-query scans — so given bit-equal
+// block values the kept rows and tie-breaks are bit-equal too.
+using HeapEntry = std::pair<float, size_t>;
+using TopKHeap = std::priority_queue<HeapEntry>;
+
+inline void HeapPush(TopKHeap& heap, size_t cap, float dist, size_t row) {
+  if (heap.size() < cap) {
+    heap.emplace(dist, row);
+  } else if (HeapEntry(dist, row) < heap.top()) {
+    heap.pop();
+    heap.emplace(dist, row);
+  }
+}
+
+std::vector<ScanHit> DrainHeapSorted(TopKHeap& heap) {
+  std::vector<ScanHit> out(heap.size());
+  for (size_t i = heap.size(); i-- > 0;) {
+    out[i] = {heap.top().first, heap.top().second};
+    heap.pop();
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::vector<ScanHit>> ScanTopKMulti(
+    const KernelDispatch& kernels, const float* queries, size_t num_queries,
+    const float* rows, const float* row_norms, size_t num_rows, size_t dim,
+    Metric metric, size_t k) {
+  std::vector<std::vector<ScanHit>> out(num_queries);
+  if (num_queries == 0 || k == 0 || num_rows == 0) return out;
+  const bool cosine = metric == Metric::kCosine;
+  std::vector<float> query_norms(cosine ? num_queries : 0);
+  if (cosine) {
+    for (size_t q = 0; q < num_queries; ++q) {
+      const float* query = queries + q * dim;
+      query_norms[q] = std::sqrt(kernels.dot(query, query, dim));
+    }
+  }
+
+  // Same 512-row blocking as ScanTopK — the block boundaries are part of
+  // the bit-identity contract (they decide which rows share a kernel
+  // call). Each block is loaded from memory once for all queries; the
+  // heaps then consume it query-major, in ascending row order per query.
+  std::vector<TopKHeap> heaps(num_queries);
+  constexpr size_t kBlockRows = 512;
+  std::vector<float> block(num_queries * std::min(num_rows, kBlockRows));
+  for (size_t base = 0; base < num_rows; base += kBlockRows) {
+    const size_t count = std::min(kBlockRows, num_rows - base);
+    if (cosine) {
+      kernels.dot_multi(queries, num_queries, rows + base * dim, count, dim,
+                        block.data());
+    } else {
+      kernels.l2sq_multi(queries, num_queries, rows + base * dim, count, dim,
+                         block.data());
+    }
+    for (size_t q = 0; q < num_queries; ++q) {
+      const float* vals = block.data() + q * count;
+      for (size_t i = 0; i < count; ++i) {
+        const size_t r = base + i;
+        const float dist =
+            cosine ? CosineDistanceFromDot(vals[i], row_norms[r],
+                                           query_norms[q])
+                   : std::sqrt(vals[i]);
+        HeapPush(heaps[q], k, dist, r);
+      }
+    }
+  }
+
+  for (size_t q = 0; q < num_queries; ++q) out[q] = DrainHeapSorted(heaps[q]);
+  return out;
+}
+
+std::vector<std::vector<ScanHit>> ScanTopKMulti(
+    const float* queries, size_t num_queries, const float* rows,
+    const float* row_norms, size_t num_rows, size_t dim, Metric metric,
+    size_t k) {
+  return ScanTopKMulti(Kernels(), queries, num_queries, rows, row_norms,
+                       num_rows, dim, metric, k);
+}
+
+std::vector<std::vector<ScanHit>> ScanTopKMultiSq8(
+    const KernelDispatch& kernels, const float* queries, size_t num_queries,
+    const uint8_t* codes, const Sq8Codec& codec, const float* row_norms,
+    size_t num_rows, Metric metric, size_t k) {
+  std::vector<std::vector<ScanHit>> out(num_queries);
+  if (num_queries == 0 || k == 0 || num_rows == 0) return out;
+  const size_t dim = codec.dim();
+  const bool cosine = metric == Metric::kCosine;
+  const float* scale = codec.scale().data();
+  const float* offset = codec.offset().data();
+
+  // Per-query pre-transform, packed row-major so the candidate scan can
+  // stream all prepared queries through one multi kernel call per block.
+  // The per-query arithmetic is exactly ScanTopKSq8's.
+  std::vector<float> prep(num_queries * dim);
+  std::vector<float> biases(cosine ? num_queries : 0, 0.0f);
+  std::vector<float> query_norms(cosine ? num_queries : 0, 0.0f);
+  for (size_t q = 0; q < num_queries; ++q) {
+    const float* query = queries + q * dim;
+    float* p = prep.data() + q * dim;
+    if (cosine) {
+      float bias = 0.0f;
+      for (size_t i = 0; i < dim; ++i) {
+        p[i] = query[i] * scale[i];
+        bias += query[i] * offset[i];
+      }
+      biases[q] = bias;
+      query_norms[q] = std::sqrt(kernels.dot(query, query, dim));
+    } else {
+      for (size_t i = 0; i < dim; ++i) {
+        p[i] = (query[i] - offset[i]) / scale[i];
+      }
+    }
+  }
+
+  // Phase 1: one blocked pass over the u8 rows feeding a top-C candidate
+  // heap per query (same C and tie-breaks as ScanTopKSq8).
+  const size_t candidates = std::min(num_rows, std::max<size_t>(4 * k, 64));
+  std::vector<TopKHeap> heaps(num_queries);
+  constexpr size_t kBlockRows = 512;
+  std::vector<float> block(num_queries * std::min(num_rows, kBlockRows));
+  for (size_t base = 0; base < num_rows; base += kBlockRows) {
+    const size_t count = std::min(kBlockRows, num_rows - base);
+    if (cosine) {
+      kernels.dot_multi_sq8(prep.data(), num_queries, codes + base * dim,
+                            count, dim, block.data());
+    } else {
+      kernels.l2sq_multi_sq8(prep.data(), num_queries, codes + base * dim,
+                             count, dim, block.data());
+    }
+    for (size_t q = 0; q < num_queries; ++q) {
+      const float* vals = block.data() + q * count;
+      for (size_t i = 0; i < count; ++i) {
+        const size_t r = base + i;
+        const float score =
+            cosine ? CosineDistanceFromDot(biases[q] + vals[i], row_norms[r],
+                                           query_norms[q])
+                   : vals[i];
+        HeapPush(heaps[q], candidates, score, r);
+      }
+    }
+  }
+
+  // Phase 2: per-query exact rescore, identical to ScanTopKSq8 — each
+  // query decodes its own candidate set (the sets differ per query, so
+  // there is nothing to share across the batch here).
+  std::vector<float> decoded(dim);
+  for (size_t q = 0; q < num_queries; ++q) {
+    const float* query = queries + q * dim;
+    TopKHeap& heap = heaps[q];
+    std::vector<ScanHit> rescored;
+    rescored.reserve(heap.size());
+    while (!heap.empty()) {
+      const size_t r = heap.top().second;
+      heap.pop();
+      codec.DecodeRow(codes + r * dim, decoded.data());
+      const float dist =
+          cosine ? CosineDistanceFromDot(
+                       kernels.dot(query, decoded.data(), dim), row_norms[r],
+                       query_norms[q])
+                 : std::sqrt(kernels.l2sq(query, decoded.data(), dim));
+      rescored.push_back({dist, r});
+    }
+    std::sort(rescored.begin(), rescored.end(),
+              [](const ScanHit& a, const ScanHit& b) {
+                return a.distance != b.distance ? a.distance < b.distance
+                                                : a.row < b.row;
+              });
+    if (rescored.size() > k) rescored.resize(k);
+    out[q] = std::move(rescored);
+  }
+  return out;
+}
+
+std::vector<std::vector<ScanHit>> ScanTopKMultiSq8(
+    const float* queries, size_t num_queries, const uint8_t* codes,
+    const Sq8Codec& codec, const float* row_norms, size_t num_rows,
+    Metric metric, size_t k) {
+  return ScanTopKMultiSq8(Kernels(), queries, num_queries, codes, codec,
+                          row_norms, num_rows, metric, k);
 }
 
 }  // namespace tsfm::search

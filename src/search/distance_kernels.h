@@ -69,6 +69,29 @@ using BatchKernelFn = void (*)(const float* query, const float* rows,
 using BatchKernelSq8Fn = void (*)(const float* query, const uint8_t* rows,
                                   size_t num_rows, size_t dim, float* out);
 
+/// \brief Multi-query batch ("mini-GEMM") kernel: `num_queries` row-major
+/// queries of length `dim` against `num_rows` row-major rows, writing
+/// out[q * num_rows + r].
+///
+/// This is the batched-server hot loop: the register tile walks several
+/// queries and rows abreast so each row load from memory is shared by the
+/// whole query tile instead of being re-fetched per query. Contract: the
+/// value produced for every (q, r) pair is bit-identical to what the SAME
+/// dispatch's single-query batch kernel (dot_many / l2sq_many) produces
+/// for that row — the tile may reorder which pair is computed when, but
+/// never the accumulation order within a pair. ScanTopKMulti relies on
+/// this to return exactly what per-query ScanTopK calls would.
+using MultiBatchKernelFn = void (*)(const float* queries, size_t num_queries,
+                                    const float* rows, size_t num_rows,
+                                    size_t dim, float* out);
+
+/// Multi-query variant of BatchKernelSq8Fn, same layout and bit-identity
+/// contract as MultiBatchKernelFn (vs. dot_many_sq8 / l2sq_many_sq8).
+using MultiBatchKernelSq8Fn = void (*)(const float* queries,
+                                       size_t num_queries,
+                                       const uint8_t* rows, size_t num_rows,
+                                       size_t dim, float* out);
+
 /// \brief One ISA's kernel set. Instances are immutable process-lifetime
 /// statics; Kernels() picks one at first use.
 struct KernelDispatch {
@@ -80,6 +103,10 @@ struct KernelDispatch {
   BatchKernelFn l2sq_many; ///< squared L2 of query vs each row
   BatchKernelSq8Fn dot_many_sq8;   ///< dot of float query vs each u8 row
   BatchKernelSq8Fn l2sq_many_sq8;  ///< squared L2 of float query vs each u8 row
+  MultiBatchKernelFn dot_multi;    ///< dot of each query vs each row
+  MultiBatchKernelFn l2sq_multi;   ///< squared L2 of each query vs each row
+  MultiBatchKernelSq8Fn dot_multi_sq8;   ///< multi-query dot vs u8 rows
+  MultiBatchKernelSq8Fn l2sq_multi_sq8;  ///< multi-query sq L2 vs u8 rows
 };
 
 /// \brief The kernel set this process uses, selected once at first call.
@@ -187,6 +214,48 @@ std::vector<ScanHit> ScanTopKSq8(const KernelDispatch& kernels,
                                  const float* query, const uint8_t* codes,
                                  const Sq8Codec& codec, const float* row_norms,
                                  size_t num_rows, Metric metric, size_t k);
+
+/// \brief Multi-query top-k scan: one streaming pass over the rows for a
+/// whole batch of queries ("mini-GEMM" scan).
+///
+/// `queries` holds `num_queries` row-major queries of length `dim`. The
+/// rows stream through the dot_multi / l2sq_multi kernels block by block
+/// while one bounded top-k heap per query tracks that query's best rows —
+/// so each block of rows is loaded from memory once for the whole batch
+/// instead of once per query. Result q is BIT-IDENTICAL to
+/// ScanTopK(query q, ...) under the same kernel set (same distances, same
+/// rows, same tie-breaks): the multi kernels preserve each (query, row)
+/// pair's accumulation order, and the heap logic is the same. Semantics
+/// of `row_norms`, metric handling, and degenerate inputs match ScanTopK.
+std::vector<std::vector<ScanHit>> ScanTopKMulti(
+    const float* queries, size_t num_queries, const float* rows,
+    const float* row_norms, size_t num_rows, size_t dim, Metric metric,
+    size_t k);
+
+/// ScanTopKMulti pinned to an explicit kernel set (parity tests, benches).
+std::vector<std::vector<ScanHit>> ScanTopKMulti(
+    const KernelDispatch& kernels, const float* queries, size_t num_queries,
+    const float* rows, const float* row_norms, size_t num_rows, size_t dim,
+    Metric metric, size_t k);
+
+/// \brief Multi-query ScanTopKSq8: one candidate-scan pass over the u8
+/// rows for the whole batch, then the usual per-query exact rescore.
+///
+/// Per query the result is bit-identical to ScanTopKSq8 under the same
+/// kernel set: the per-query pre-transform, candidate count C, heap
+/// tie-breaks, and decode-and-rescore phase are the same code paths; only
+/// the candidate scan is blocked across queries (through dot_multi_sq8 /
+/// l2sq_multi_sq8, which preserve per-pair accumulation order).
+std::vector<std::vector<ScanHit>> ScanTopKMultiSq8(
+    const float* queries, size_t num_queries, const uint8_t* codes,
+    const Sq8Codec& codec, const float* row_norms, size_t num_rows,
+    Metric metric, size_t k);
+
+/// ScanTopKMultiSq8 pinned to an explicit kernel set.
+std::vector<std::vector<ScanHit>> ScanTopKMultiSq8(
+    const KernelDispatch& kernels, const float* queries, size_t num_queries,
+    const uint8_t* codes, const Sq8Codec& codec, const float* row_norms,
+    size_t num_rows, Metric metric, size_t k);
 
 }  // namespace tsfm::search
 

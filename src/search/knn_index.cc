@@ -7,6 +7,7 @@
 #include "search/distance_kernels.h"
 #include "search/stream_io.h"
 #include "util/logging.h"
+#include "util/thread_pool.h"
 
 namespace tsfm::search {
 
@@ -112,6 +113,59 @@ std::vector<std::pair<size_t, float>> KnnIndex::Search(const std::vector<float>&
     out[i] = {payloads_[hits[i].row], hits[i].distance};
   }
   return out;
+}
+
+std::vector<std::vector<std::pair<size_t, float>>> KnnIndex::SearchBatch(
+    const std::vector<std::vector<float>>& queries, size_t k,
+    ThreadPool* pool) const {
+  std::vector<std::vector<std::pair<size_t, float>>> results(queries.size());
+  if (k == 0 || payloads_.empty()) return results;
+  // Wrong-dimension queries keep their (empty) slot, matching Search.
+  std::vector<size_t> valid;
+  valid.reserve(queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    if (queries[i].size() == dim_) valid.push_back(i);
+  }
+  if (valid.empty()) return results;
+  const bool sq8 = storage_ == Storage::kSq8;
+  if (sq8) EnsureQuantized();
+
+  // Pack queries into chunks of up to kChunkQueries and give each chunk
+  // one multi-query pass over the rows. The chunk bounds the scan's block
+  // buffer (512 rows x chunk floats) and is the unit of pool parallelism;
+  // per-query results do not depend on which chunk a query lands in (the
+  // multi kernels' per-pair values are batch-size-invariant), so chunked,
+  // pooled, and serial execution all return bit-identical hits.
+  constexpr size_t kChunkQueries = 8;
+  const size_t num_chunks = (valid.size() + kChunkQueries - 1) / kChunkQueries;
+  auto run_chunk = [&](size_t c) {
+    const size_t lo = c * kChunkQueries;
+    const size_t hi = std::min(valid.size(), lo + kChunkQueries);
+    const size_t count = hi - lo;
+    std::vector<float> packed(count * dim_);
+    for (size_t j = 0; j < count; ++j) {
+      const std::vector<float>& query = queries[valid[lo + j]];
+      std::copy(query.begin(), query.end(), packed.begin() + j * dim_);
+    }
+    std::vector<std::vector<ScanHit>> hits =
+        sq8 ? ScanTopKMultiSq8(packed.data(), count, codes_.data(), codec_,
+                               norms_.data(), payloads_.size(), metric_, k)
+            : ScanTopKMulti(packed.data(), count, data_.data(), norms_.data(),
+                            payloads_.size(), dim_, metric_, k);
+    for (size_t j = 0; j < count; ++j) {
+      auto& out = results[valid[lo + j]];
+      out.resize(hits[j].size());
+      for (size_t h = 0; h < hits[j].size(); ++h) {
+        out[h] = {payloads_[hits[j][h].row], hits[j][h].distance};
+      }
+    }
+  };
+  if (pool != nullptr && num_chunks > 1) {
+    ParallelFor(pool, 0, num_chunks, run_chunk);
+  } else {
+    for (size_t c = 0; c < num_chunks; ++c) run_chunk(c);
+  }
+  return results;
 }
 
 Status KnnIndex::Save(std::ostream& out) const {

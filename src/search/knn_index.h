@@ -60,6 +60,19 @@ class KnnIndex : public VectorIndex {
   std::vector<std::pair<size_t, float>> Search(const std::vector<float>& query,
                                                size_t k) const override;
 
+  /// \brief Batched search through the multi-query ("mini-GEMM") scan.
+  ///
+  /// Overrides the default per-query fan-out: queries are packed into
+  /// chunks and each chunk makes ONE streaming pass over the rows
+  /// (ScanTopKMulti / ScanTopKMultiSq8), so row loads amortize across the
+  /// batch. Results are bit-identical to calling Search per query — the
+  /// multi scan guarantees it per kernel set — including the degenerate
+  /// cases (k == 0 or a wrong-dimension query yields that query an empty
+  /// list). With a non-null `pool` the chunks fan out over it.
+  std::vector<std::vector<std::pair<size_t, float>>> SearchBatch(
+      const std::vector<std::vector<float>>& queries, size_t k,
+      ThreadPool* pool = nullptr) const override;
+
   size_t size() const override { return payloads_.size(); }
   size_t dim() const override { return dim_; }
   IndexBackend backend() const override { return IndexBackend::kFlat; }

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <filesystem>
 #include <fstream>
+#include <iterator>
 #include <optional>
 
 #include "search/lake_manifest.h"
@@ -104,6 +105,45 @@ std::vector<ColumnEmbeddingIndex::ColumnHit> ShardedLakeIndex::SearchColumnHits(
   return TableRanker::MergeColumnHits(per_shard, m);
 }
 
+std::vector<std::vector<ColumnEmbeddingIndex::ColumnHit>>
+ShardedLakeIndex::SearchColumnHitsBatch(
+    const std::vector<std::vector<float>>& queries, size_t m,
+    ThreadPool* pool) const {
+  // Scatter the WHOLE batch to each shard (one SearchColumnsBatch call per
+  // shard, which reaches the flat backend's multi-query scan), remap local
+  // table handles to global, then k-way-merge per query. ParallelFor is
+  // nest-safe (util/thread_pool.h), so the shard fan-out and the
+  // per-shard query-chunk fan-out share one pool.
+  std::vector<std::vector<std::vector<ColumnEmbeddingIndex::ColumnHit>>>
+      per_shard(shards_.size());
+  auto search_shard = [&](size_t s, ThreadPool* inner) {
+    auto lists = shards_[s].column_index().SearchColumnsBatch(queries, m,
+                                                              inner);
+    for (auto& hits : lists) {
+      for (auto& hit : hits) hit.table_id = to_global_[s][hit.table_id];
+    }
+    per_shard[s] = std::move(lists);
+  };
+  if (pool != nullptr && shards_.size() > 1) {
+    ParallelFor(pool, 0, shards_.size(),
+                [&](size_t s) { search_shard(s, pool); });
+  } else {
+    for (size_t s = 0; s < shards_.size(); ++s) search_shard(s, pool);
+  }
+
+  std::vector<std::vector<ColumnEmbeddingIndex::ColumnHit>> merged(
+      queries.size());
+  std::vector<std::vector<ColumnEmbeddingIndex::ColumnHit>> lists(
+      shards_.size());
+  for (size_t q = 0; q < queries.size(); ++q) {
+    for (size_t s = 0; s < shards_.size(); ++s) {
+      lists[s] = std::move(per_shard[s][q]);
+    }
+    merged[q] = TableRanker::MergeColumnHits(lists, m);
+  }
+  return merged;
+}
+
 std::vector<size_t> ShardedLakeIndex::RankUnionable(
     const std::vector<std::vector<float>>& query_columns, size_t k,
     size_t exclude, ThreadPool* pool) const {
@@ -129,16 +169,25 @@ std::vector<std::vector<size_t>> ShardedLakeIndex::RankUnionableBatch(
   auto exclude_of = [&](size_t q) {
     return q < excludes.size() ? excludes[q] : SIZE_MAX;
   };
-  if (pool != nullptr && queries.size() > 1) {
-    // Fan out over queries; the per-query scatter stays serial because
-    // ParallelFor must not nest on one pool.
-    ParallelFor(pool, 0, queries.size(), [&](size_t q) {
-      results[q] = RankUnionable(queries[q], k, exclude_of(q), nullptr);
-    });
-  } else {
-    for (size_t q = 0; q < queries.size(); ++q) {
-      results[q] = RankUnionable(queries[q], k, exclude_of(q), pool);
-    }
+  // Flatten every query's columns into one batched scatter so each shard
+  // streams its rows once for the whole coalesced group (the multi-query
+  // scan), instead of once per query column. Hit lists are identical to
+  // per-query SearchColumnHits, so the Fig 6 ranking is unchanged.
+  std::vector<std::vector<float>> flat;
+  std::vector<size_t> offset(queries.size() + 1, 0);
+  for (size_t q = 0; q < queries.size(); ++q) {
+    offset[q + 1] = offset[q] + queries[q].size();
+  }
+  flat.reserve(offset.back());
+  for (const auto& query : queries) {
+    flat.insert(flat.end(), query.begin(), query.end());
+  }
+  auto hits = SearchColumnHitsBatch(flat, k * 3, pool);
+  for (size_t q = 0; q < queries.size(); ++q) {
+    std::vector<std::vector<ColumnEmbeddingIndex::ColumnHit>> per_column(
+        std::make_move_iterator(hits.begin() + offset[q]),
+        std::make_move_iterator(hits.begin() + offset[q + 1]));
+    results[q] = TableRanker::RankFromColumnHits(per_column, exclude_of(q));
   }
   return results;
 }
@@ -150,14 +199,9 @@ std::vector<std::vector<size_t>> ShardedLakeIndex::RankJoinableBatch(
   auto exclude_of = [&](size_t q) {
     return q < excludes.size() ? excludes[q] : SIZE_MAX;
   };
-  if (pool != nullptr && query_columns.size() > 1) {
-    ParallelFor(pool, 0, query_columns.size(), [&](size_t q) {
-      results[q] = RankJoinable(query_columns[q], k, exclude_of(q), nullptr);
-    });
-  } else {
-    for (size_t q = 0; q < query_columns.size(); ++q) {
-      results[q] = RankJoinable(query_columns[q], k, exclude_of(q), pool);
-    }
+  auto hits = SearchColumnHitsBatch(query_columns, k * 3, pool);
+  for (size_t q = 0; q < query_columns.size(); ++q) {
+    results[q] = TableRanker::RankFromSingleColumnHits(hits[q], exclude_of(q));
   }
   return results;
 }

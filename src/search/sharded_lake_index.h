@@ -111,6 +111,18 @@ class ShardedLakeIndex {
   std::vector<ColumnEmbeddingIndex::ColumnHit> SearchColumnHits(
       const std::vector<float>& query, size_t m, ThreadPool* pool = nullptr) const;
 
+  /// \brief Batched SearchColumnHits: one scatter per shard for the whole
+  /// query batch.
+  ///
+  /// Each shard answers ALL queries through one SearchColumnsBatch call —
+  /// on flat backends that is the multi-query mini-GEMM scan, so each
+  /// shard's rows stream from memory once per batch instead of once per
+  /// query. Shards (and the per-shard query chunks) fan out over `pool`
+  /// when given. Result q is identical to SearchColumnHits(query q, m).
+  std::vector<std::vector<ColumnEmbeddingIndex::ColumnHit>>
+  SearchColumnHitsBatch(const std::vector<std::vector<float>>& queries,
+                        size_t m, ThreadPool* pool = nullptr) const;
+
   /// \brief Wraps an already-built single LakeIndex as a 1-shard index.
   ///
   /// Used for legacy single-file formats and by shard workers, which serve

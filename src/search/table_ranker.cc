@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <iterator>
 #include <queue>
 #include <tuple>
 #include <unordered_map>
@@ -195,14 +196,26 @@ std::vector<std::vector<size_t>> TableRanker::RankTablesBatch(
   auto exclude_of = [&](size_t q) {
     return q < excludes.size() ? excludes[q] : SIZE_MAX;
   };
-  if (pool != nullptr && queries.size() > 1) {
-    ParallelFor(pool, 0, queries.size(), [&](size_t q) {
-      results[q] = RankTables(queries[q], k, exclude_of(q));
-    });
-  } else {
-    for (size_t q = 0; q < queries.size(); ++q) {
-      results[q] = RankTables(queries[q], k, exclude_of(q));
-    }
+  // Flatten every query's columns into ONE column-search batch so the
+  // whole coalesced group reaches the index's multi-query scan together —
+  // batching per query would hand the kernel tiles of one or two columns.
+  // Per-column hit lists are bit-identical to per-query SearchColumns
+  // (SearchBatch guarantees it), so the per-query ranking is unchanged.
+  std::vector<std::vector<float>> flat;
+  std::vector<size_t> offset(queries.size() + 1, 0);
+  for (size_t q = 0; q < queries.size(); ++q) {
+    offset[q + 1] = offset[q] + queries[q].size();
+  }
+  flat.reserve(offset.back());
+  for (const auto& query : queries) {
+    flat.insert(flat.end(), query.begin(), query.end());
+  }
+  auto hits = index_->SearchColumnsBatch(flat, k * 3, pool);
+  for (size_t q = 0; q < queries.size(); ++q) {
+    std::vector<std::vector<ColumnEmbeddingIndex::ColumnHit>> per_column(
+        std::make_move_iterator(hits.begin() + offset[q]),
+        std::make_move_iterator(hits.begin() + offset[q + 1]));
+    results[q] = RankFromColumnHits(per_column, exclude_of(q));
   }
   return results;
 }
@@ -214,14 +227,9 @@ std::vector<std::vector<size_t>> TableRanker::RankTablesByColumnBatch(
   auto exclude_of = [&](size_t q) {
     return q < excludes.size() ? excludes[q] : SIZE_MAX;
   };
-  if (pool != nullptr && query_columns.size() > 1) {
-    ParallelFor(pool, 0, query_columns.size(), [&](size_t q) {
-      results[q] = RankTablesByColumn(query_columns[q], k, exclude_of(q));
-    });
-  } else {
-    for (size_t q = 0; q < query_columns.size(); ++q) {
-      results[q] = RankTablesByColumn(query_columns[q], k, exclude_of(q));
-    }
+  auto hits = index_->SearchColumnsBatch(query_columns, k * 3, pool);
+  for (size_t q = 0; q < query_columns.size(); ++q) {
+    results[q] = RankFromSingleColumnHits(hits[q], exclude_of(q));
   }
   return results;
 }

@@ -21,11 +21,13 @@ InProcessBackend::QueryUnionableBatch(
 Result<std::vector<std::vector<ShardHit>>> InProcessBackend::ShardQuery(
     const std::vector<std::vector<float>>& columns, size_t m,
     ThreadPool* pool) const {
+  // One batched scatter for all columns in the frame: each shard streams
+  // its rows once for the whole SHARD_QUERY instead of once per column.
   std::vector<std::vector<ShardHit>> hits(columns.size());
+  auto merged = index_.SearchColumnHitsBatch(columns, m, pool);
   for (size_t c = 0; c < columns.size(); ++c) {
-    auto merged = index_.SearchColumnHits(columns[c], m, pool);
-    hits[c].reserve(merged.size());
-    for (const auto& hit : merged) {
+    hits[c].reserve(merged[c].size());
+    for (const auto& hit : merged[c]) {
       hits[c].push_back({static_cast<uint64_t>(hit.table_id),
                          static_cast<uint32_t>(hit.column_index),
                          hit.distance});

@@ -28,6 +28,7 @@ QueryBatcher::QueryBatcher(const LakeBackend* backend, ThreadPool* query_pool,
     : backend_(backend),
       query_pool_(query_pool),
       max_batch_(std::max<size_t>(1, max_batch)),
+      max_inflight_groups_(std::max<size_t>(1, query_pool->num_threads())),
       dispatcher_([this] { DispatchLoop(); }) {}
 
 QueryBatcher::~QueryBatcher() { Stop(); }
@@ -63,6 +64,11 @@ void QueryBatcher::Stop() {
   }
   work_cv_.notify_all();
   dispatcher_.join();
+  // The dispatcher has drained the queue, but groups it handed to the
+  // query pool may still be running; wait them out so every accepted
+  // query has its result before Stop returns.
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] { return inflight_groups_ == 0; });
 }
 
 ServerStats QueryBatcher::stats() const {
@@ -70,33 +76,79 @@ ServerStats QueryBatcher::stats() const {
   return stats_;
 }
 
+size_t QueryBatcher::PendingForTest() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  return pending_.size();
+}
+
 void QueryBatcher::DispatchLoop() {
   for (;;) {
-    std::vector<std::unique_ptr<Job>> round;
+    // Group compatible jobs: the batch entry points take one k for the
+    // whole batch, so (opcode, k) is the coalescing key. Each group fills
+    // to max_batch_ from the WHOLE queue — splitting happens before the
+    // cap, so a mixed-opcode burst still yields full per-key batches
+    // instead of max_batch_ jobs fragmented across keys. Jobs whose group
+    // is already full stay parked in FIFO order for the next round.
+    std::map<std::pair<uint8_t, size_t>, std::vector<std::unique_ptr<Job>>>
+        groups;
     {
       std::unique_lock<std::mutex> lock(mu_);
       work_cv_.wait(lock, [this] { return stopping_ || !pending_.empty(); });
       // Drain before exiting so every accepted query gets its result.
       if (pending_.empty()) return;
-      size_t take = std::min(max_batch_, pending_.size());
-      round.reserve(take);
-      for (size_t i = 0; i < take; ++i) {
-        round.push_back(std::move(pending_.front()));
+      std::deque<std::unique_ptr<Job>> leftover;
+      while (!pending_.empty()) {
+        std::unique_ptr<Job> job = std::move(pending_.front());
         pending_.pop_front();
+        auto key = std::make_pair(static_cast<uint8_t>(job->op), job->k);
+        auto& group = groups[key];
+        if (group.size() < max_batch_) {
+          group.push_back(std::move(job));
+        } else {
+          leftover.push_back(std::move(job));
+        }
       }
-    }
-
-    // Group compatible jobs: the batch entry points take one k for the
-    // whole batch, so (opcode, k) is the coalescing key.
-    std::map<std::pair<uint8_t, size_t>, std::vector<std::unique_ptr<Job>>>
-        groups;
-    for (auto& job : round) {
-      auto key = std::make_pair(static_cast<uint8_t>(job->op), job->k);
-      groups[key].push_back(std::move(job));
+      pending_ = std::move(leftover);
     }
     for (auto& [key, group] : groups) {
-      RunGroup(static_cast<Opcode>(key.first), key.second, std::move(group));
+      DispatchGroup(static_cast<Opcode>(key.first), key.second,
+                    std::move(group));
     }
+  }
+}
+
+void QueryBatcher::DispatchGroup(Opcode op, size_t k,
+                                 std::vector<std::unique_ptr<Job>> group) {
+  // Hand the group to the query pool so one slow group (a huge k, a cold
+  // shard) cannot head-of-line-block every other group behind the
+  // dispatcher thread. inflight_groups_ keeps the Stop() drain guarantee:
+  // Stop waits until every dispatched group has fulfilled its promises.
+  //
+  // The pool-width cap is the coalescing backpressure: more concurrent
+  // groups than threads adds no parallelism, and a dispatcher that raced
+  // ahead of the pool would shred a steady request stream into singleton
+  // batches (each arrival dispatched the instant it lands). Waiting here
+  // instead lets pending_ accumulate, so the next round forms full
+  // per-key groups for the multi-query scan.
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    idle_cv_.wait(lock,
+                  [this] { return inflight_groups_ < max_inflight_groups_; });
+    ++inflight_groups_;
+  }
+  // std::function must be copyable; the move-only group rides a shared_ptr.
+  auto shared = std::make_shared<std::vector<std::unique_ptr<Job>>>(
+      std::move(group));
+  auto task = [this, op, k, shared] {
+    RunGroup(op, k, std::move(*shared));
+    std::unique_lock<std::mutex> lock(mu_);
+    --inflight_groups_;
+    idle_cv_.notify_all();
+  };
+  if (!query_pool_->Submit(task)) {
+    // Pool already shut down (shutdown drain): run inline on the
+    // dispatcher — slower, but every accepted query still gets its result.
+    task();
   }
 }
 
@@ -105,11 +157,12 @@ void QueryBatcher::RunGroup(Opcode op, size_t k,
   double queue_wait_ms = 0;
   for (const auto& job : group) queue_wait_ms += MsSince(job->enqueued);
 
-  // These batch calls fan out on query_pool_ with ParallelFor. During a
-  // shutdown drain the pool may already be rejecting tasks; ParallelFor's
-  // contract (util/thread_pool.h) runs rejected chunks inline on this
-  // dispatcher thread, so every drained query still gets a complete
-  // answer — slower, never partial.
+  // These batch calls fan out on query_pool_ with ParallelFor — which is
+  // nest-safe, so it is fine that this very function is usually itself a
+  // query_pool_ task. During a shutdown drain the pool may already be
+  // rejecting tasks; ParallelFor's contract (util/thread_pool.h) runs
+  // rejected chunks inline on the calling thread, so every drained query
+  // still gets a complete answer — slower, never partial.
   Result<std::vector<std::vector<std::string>>> results =
       Status::Internal("batch not run");
   if (op == Opcode::kJoin) {

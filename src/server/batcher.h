@@ -4,9 +4,17 @@
 // would see one single-query call per connection and throughput would be
 // bounded by connection count. The batcher instead parks each request on a
 // queue; a dedicated dispatcher thread drains the queue, groups compatible
-// requests (same opcode and k), and issues one QueryJoinableBatch /
-// QueryUnionableBatch per group on the query ThreadPool — so throughput
-// scales with shard count and pool width rather than connection count.
+// requests (same opcode and k) — each group filling to max_batch from the
+// whole queue, so a mixed-opcode burst still forms full per-key batches —
+// and hands each group to the query ThreadPool as one QueryJoinableBatch /
+// QueryUnionableBatch call. Up to pool-width groups run concurrently, so a
+// slow group (huge k, cold shard) never head-of-line-blocks the groups
+// formed after it; past that cap the dispatcher waits — deliberate
+// backpressure, since a dispatcher racing ahead of the pool would shred a
+// steady request stream into singleton batches, while waiting lets
+// arrivals accumulate into full per-key groups for the multi-query scan.
+// Throughput therefore scales with shard count and pool width rather than
+// connection count or the latency of the slowest in-flight group.
 #ifndef TSFM_SERVER_BATCHER_H_
 #define TSFM_SERVER_BATCHER_H_
 
@@ -59,17 +67,28 @@ class QueryBatcher {
   Result<std::vector<std::string>> Submit(
       Opcode op, std::vector<std::vector<float>> columns, size_t k);
 
-  /// Drains every accepted query, then joins the dispatcher. Idempotent.
+  /// \brief Drains every accepted query, then joins the dispatcher.
+  ///
+  /// Waits for groups already handed to the query pool as well as parked
+  /// jobs, so every Submit accepted before Stop has its result when Stop
+  /// returns. Idempotent.
   void Stop();
 
   /// Point-in-time batching counters (queue-wait / batch-size fields of
   /// ServerStats; the server layers latency on top).
   ServerStats stats() const;
 
+  /// Test-only: parked jobs not yet taken by a dispatch round.
+  size_t PendingForTest() const;
+
  private:
   struct Job;
 
   void DispatchLoop();
+  /// Hands one same-(op, k) group to the query pool (inline on a rejected
+  /// Submit during shutdown drain) and tracks it in inflight_groups_.
+  void DispatchGroup(Opcode op, size_t k,
+                     std::vector<std::unique_ptr<Job>> group);
   /// Runs one group of same-(op, k) jobs as a single batch call and
   /// fulfils their results.
   void RunGroup(Opcode op, size_t k,
@@ -78,11 +97,14 @@ class QueryBatcher {
   const LakeBackend* backend_;
   ThreadPool* query_pool_;
   size_t max_batch_;
+  size_t max_inflight_groups_;  // = pool width; the coalescing backpressure
 
   mutable std::mutex mu_;
   std::condition_variable work_cv_;
   std::deque<std::unique_ptr<Job>> pending_;
   bool stopping_ = false;
+  size_t inflight_groups_ = 0;     // groups handed to the pool, not yet done
+  std::condition_variable idle_cv_;  // signalled when a group finishes
   std::mutex stop_mu_;  // serializes Stop
 
   mutable std::mutex stats_mu_;

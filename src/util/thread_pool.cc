@@ -71,22 +71,52 @@ void ParallelFor(ThreadPool* pool, size_t begin, size_t end,
   const size_t n = end - begin;
   const size_t chunks = std::min(n, pool->num_threads() * 4);
   const size_t chunk_size = (n + chunks - 1) / chunks;
-  size_t accepted_hi = begin;
-  for (size_t c = 0; c < chunks; ++c) {
-    size_t lo = begin + c * chunk_size;
-    size_t hi = std::min(end, lo + chunk_size);
-    if (lo >= hi) break;
-    if (!pool->Submit([lo, hi, &body] {
-          for (size_t i = lo; i < hi; ++i) body(i);
-        })) {
-      break;  // pool shut down mid-loop; run the tail inline below
+
+  // Chunks are claimed from a shared atomic cursor by the calling thread
+  // AND by helper tasks on the pool ("caller participates"). This is what
+  // makes ParallelFor safe to call from a pool worker of the same pool: a
+  // chunk is only ever owned by a thread that is actively running, so the
+  // caller's wait below can only be on chunks that are finishing — never
+  // on a task stuck behind it in the queue. (The old implementation
+  // blocked on the pool's global in-flight count, which deadlocked under
+  // nesting — the caller's own task never leaves flight — and stalled on
+  // unrelated concurrent submitters.) The state lives on the heap so a
+  // helper that wakes up after all chunks are done — when the caller may
+  // already have returned — touches only the cursor, never `body`.
+  struct State {
+    std::atomic<size_t> next{0};
+    std::atomic<size_t> done{0};
+    std::mutex mu;
+    std::condition_variable cv;
+  };
+  auto state = std::make_shared<State>();
+  auto drain = [state, begin, end, chunk_size, chunks, &body] {
+    for (;;) {
+      const size_t c = state->next.fetch_add(1, std::memory_order_relaxed);
+      if (c >= chunks) return;
+      const size_t lo = begin + c * chunk_size;
+      const size_t hi = std::min(end, lo + chunk_size);
+      for (size_t i = lo; i < hi; ++i) body(i);
+      if (state->done.fetch_add(1, std::memory_order_acq_rel) + 1 == chunks) {
+        std::lock_guard<std::mutex> lock(state->mu);
+        state->cv.notify_all();
+      }
     }
-    accepted_hi = hi;
+  };
+
+  // One looping helper per worker is enough (each drains chunks until the
+  // cursor runs dry). A rejected Submit means the pool is shutting down —
+  // the caller's own drain below still covers every chunk exactly once,
+  // which is the never-drop-work contract.
+  const size_t helpers = std::min(chunks - 1, pool->num_threads());
+  for (size_t h = 0; h < helpers; ++h) {
+    if (!pool->Submit(drain)) break;
   }
-  pool->Wait();
-  // A shutdown pool rejects tasks rather than stranding them; honour the
-  // ParallelFor contract by covering the rejected range on this thread.
-  for (size_t i = accepted_hi; i < end; ++i) body(i);
+  drain();
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->cv.wait(lock, [&] {
+    return state->done.load(std::memory_order_acquire) == chunks;
+  });
 }
 
 }  // namespace tsfm

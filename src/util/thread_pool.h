@@ -61,13 +61,23 @@ class ThreadPool {
 };
 
 /// \brief Runs body(i) for i in [begin, end) across `pool`, blocking until
-/// done. Work is chunked to limit queue overhead.
+/// done. Work is chunked to limit queue overhead; the calling thread
+/// participates, claiming chunks from the same shared cursor as the
+/// pool's helper tasks.
+///
+/// Nesting contract: safe to call from a task already running ON `pool`
+/// (the QueryBatcher dispatches batch groups onto the query pool, and the
+/// backend's batch call fans out over the same pool). Because the caller
+/// drains chunks itself and only ever waits on chunks a *running* thread
+/// has claimed, a saturated or wedged queue degrades to running the loop
+/// inline on the caller — it cannot deadlock waiting on a task that is
+/// queued behind it. The wait is per-call, not pool-global, so concurrent
+/// ParallelFor callers never block on each other's unrelated tasks.
 ///
 /// Shutdown contract: ParallelFor NEVER silently drops work. If the pool
-/// has been shut down — or shuts down mid-loop, rejecting the remaining
-/// chunks — every index the pool did not accept runs *inline on the
-/// calling thread*, serially, after the accepted chunks finish. Each index
-/// still executes exactly once. Callers rely on this: the server's
+/// has been shut down — or shuts down mid-loop, rejecting helper tasks —
+/// the calling thread drains every remaining chunk inline, serially. Each
+/// index still executes exactly once. Callers rely on this: the server's
 /// drain path (QueryBatcher::RunGroup, ShardedLakeIndex batch queries on
 /// the query pool) may issue a ParallelFor that races Stop()'s pool
 /// teardown, and a dropped range there would mean a client request

@@ -15,9 +15,11 @@
 #include "search/distance_kernels.h"
 #include "search/hnsw.h"
 #include "search/knn_index.h"
+#include "search/quantizer.h"
 #include "search/sharded_lake_index.h"
 #include "search/vector_index.h"
 #include "util/random.h"
+#include "util/thread_pool.h"
 
 namespace tsfm::search {
 namespace {
@@ -308,6 +310,203 @@ TEST(DistanceKernelsTest, ScanTopKDegenerateInputs) {
   EXPECT_TRUE(
       ScanTopK(query.data(), rows.data(), nullptr, 1, 2, Metric::kL2, 0)
           .empty());
+}
+
+// --------------------------------------------- multi-query (mini-GEMM)
+
+TEST(DistanceKernelsTest, MultiKernelsBitIdenticalToSingleQueryBatch) {
+  // The documented multi-kernel contract: out[q * rows + r] is
+  // BIT-IDENTICAL to what the same dispatch's single-query batch kernel
+  // returns for (query q, row r) — the register tiling may reorder rows
+  // and queries but never an accumulation. Row counts 1..9 cover the
+  // 4-row tile and every remainder; query counts 1..5 cover the 2-query
+  // tile, its odd-query remainder, and the degenerate single query.
+  Rng rng(211);
+  const std::vector<size_t> dims = {1, 3, 5, 7, 8, 9, 16, 19, 64, 65, 127};
+  for (size_t dim : dims) {
+    for (size_t rows : {1u, 2u, 3u, 4u, 5u, 7u, 8u, 9u}) {
+      std::vector<float> data;
+      for (size_t r = 0; r < rows; ++r) {
+        const auto v = RandomVec(&rng, dim);
+        data.insert(data.end(), v.begin(), v.end());
+      }
+      const auto codes = RandomCodes(&rng, rows * dim);
+      for (size_t nq : {1u, 2u, 3u, 4u, 5u}) {
+        std::vector<float> queries;
+        for (size_t q = 0; q < nq; ++q) {
+          const auto v = RandomVec(&rng, dim);
+          queries.insert(queries.end(), v.begin(), v.end());
+        }
+        for (const KernelDispatch* kd : {&ScalarKernels(), &BestKernels()}) {
+          std::vector<float> multi(nq * rows), single(rows);
+          kd->dot_multi(queries.data(), nq, data.data(), rows, dim,
+                        multi.data());
+          for (size_t q = 0; q < nq; ++q) {
+            kd->dot_many(queries.data() + q * dim, data.data(), rows, dim,
+                         single.data());
+            for (size_t r = 0; r < rows; ++r) {
+              EXPECT_EQ(multi[q * rows + r], single[r])
+                  << kd->name << " dot dim=" << dim << " rows=" << rows
+                  << " nq=" << nq << " q=" << q << " r=" << r;
+            }
+          }
+          kd->l2sq_multi(queries.data(), nq, data.data(), rows, dim,
+                         multi.data());
+          for (size_t q = 0; q < nq; ++q) {
+            kd->l2sq_many(queries.data() + q * dim, data.data(), rows, dim,
+                          single.data());
+            for (size_t r = 0; r < rows; ++r) {
+              EXPECT_EQ(multi[q * rows + r], single[r])
+                  << kd->name << " l2sq dim=" << dim << " rows=" << rows
+                  << " nq=" << nq << " q=" << q << " r=" << r;
+            }
+          }
+          kd->dot_multi_sq8(queries.data(), nq, codes.data(), rows, dim,
+                            multi.data());
+          for (size_t q = 0; q < nq; ++q) {
+            kd->dot_many_sq8(queries.data() + q * dim, codes.data(), rows,
+                             dim, single.data());
+            for (size_t r = 0; r < rows; ++r) {
+              EXPECT_EQ(multi[q * rows + r], single[r])
+                  << kd->name << " dot_sq8 dim=" << dim << " rows=" << rows
+                  << " nq=" << nq << " q=" << q << " r=" << r;
+            }
+          }
+          kd->l2sq_multi_sq8(queries.data(), nq, codes.data(), rows, dim,
+                             multi.data());
+          for (size_t q = 0; q < nq; ++q) {
+            kd->l2sq_many_sq8(queries.data() + q * dim, codes.data(), rows,
+                              dim, single.data());
+            for (size_t r = 0; r < rows; ++r) {
+              EXPECT_EQ(multi[q * rows + r], single[r])
+                  << kd->name << " l2sq_sq8 dim=" << dim << " rows=" << rows
+                  << " nq=" << nq << " q=" << q << " r=" << r;
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(DistanceKernelsTest, ScanTopKMultiBitIdenticalToPerQueryScan) {
+  // The whole point of the multi scan: the batch path may not change ANY
+  // answer. 600 rows crosses the 512-row block boundary; dims include
+  // sub-8 tails; a zero-norm row exercises kMaxCosineDistance ranking.
+  Rng rng(223);
+  for (size_t dim : {5u, 19u, 64u}) {
+    const size_t rows = 600;
+    std::vector<float> data;
+    for (size_t r = 0; r < rows; ++r) {
+      const auto v = RandomVec(&rng, dim);
+      data.insert(data.end(), v.begin(), v.end());
+    }
+    std::fill(data.begin() + 17 * dim, data.begin() + 18 * dim, 0.0f);
+    for (const KernelDispatch* kd : {&ScalarKernels(), &BestKernels()}) {
+      std::vector<float> norms;
+      for (size_t r = 0; r < rows; ++r) {
+        norms.push_back(std::sqrt(
+            kd->dot(data.data() + r * dim, data.data() + r * dim, dim)));
+      }
+      for (Metric metric : {Metric::kCosine, Metric::kL2}) {
+        for (size_t nq : {1u, 3u, 4u, 5u}) {
+          std::vector<float> queries;
+          for (size_t q = 0; q < nq; ++q) {
+            const auto v = RandomVec(&rng, dim);
+            queries.insert(queries.end(), v.begin(), v.end());
+          }
+          auto multi = ScanTopKMulti(*kd, queries.data(), nq, data.data(),
+                                     norms.data(), rows, dim, metric, 10);
+          ASSERT_EQ(multi.size(), nq);
+          for (size_t q = 0; q < nq; ++q) {
+            auto single = ScanTopK(*kd, queries.data() + q * dim, data.data(),
+                                   norms.data(), rows, dim, metric, 10);
+            ASSERT_EQ(multi[q].size(), single.size());
+            for (size_t i = 0; i < single.size(); ++i) {
+              EXPECT_EQ(multi[q][i].row, single[i].row)
+                  << kd->name << " dim=" << dim << " nq=" << nq << " q=" << q;
+              EXPECT_EQ(multi[q][i].distance, single[i].distance)
+                  << kd->name << " dim=" << dim << " nq=" << nq << " q=" << q;
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(DistanceKernelsTest, ScanTopKMultiSq8BitIdenticalToPerQueryScan) {
+  // Same contract through the quantized pipeline: candidate selection and
+  // the exact rescore must be unaffected by batching.
+  Rng rng(227);
+  for (size_t dim : {5u, 19u, 64u}) {
+    const size_t rows = 600;
+    std::vector<float> data;
+    for (size_t r = 0; r < rows; ++r) {
+      const auto v = RandomVec(&rng, dim);
+      data.insert(data.end(), v.begin(), v.end());
+    }
+    const Sq8Codec codec = Sq8Codec::Train(data.data(), rows, dim);
+    std::vector<uint8_t> codes(rows * dim);
+    std::vector<float> norms(rows);
+    for (size_t r = 0; r < rows; ++r) {
+      codec.EncodeRow(data.data() + r * dim, codes.data() + r * dim);
+      norms[r] = codec.DecodedNorm(codes.data() + r * dim);
+    }
+    for (const KernelDispatch* kd : {&ScalarKernels(), &BestKernels()}) {
+      for (Metric metric : {Metric::kCosine, Metric::kL2}) {
+        for (size_t nq : {1u, 3u, 4u, 5u}) {
+          std::vector<float> queries;
+          for (size_t q = 0; q < nq; ++q) {
+            const auto v = RandomVec(&rng, dim);
+            queries.insert(queries.end(), v.begin(), v.end());
+          }
+          auto multi =
+              ScanTopKMultiSq8(*kd, queries.data(), nq, codes.data(), codec,
+                               norms.data(), rows, metric, 10);
+          ASSERT_EQ(multi.size(), nq);
+          for (size_t q = 0; q < nq; ++q) {
+            auto single =
+                ScanTopKSq8(*kd, queries.data() + q * dim, codes.data(),
+                            codec, norms.data(), rows, metric, 10);
+            ASSERT_EQ(multi[q].size(), single.size());
+            for (size_t i = 0; i < single.size(); ++i) {
+              EXPECT_EQ(multi[q][i].row, single[i].row)
+                  << kd->name << " dim=" << dim << " nq=" << nq << " q=" << q;
+              EXPECT_EQ(multi[q][i].distance, single[i].distance)
+                  << kd->name << " dim=" << dim << " nq=" << nq << " q=" << q;
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(DistanceKernelsTest, KnnSearchBatchBitIdenticalToPerQuerySearch) {
+  // The index-level seam over the multi scan: SearchBatch must return, per
+  // query, exactly what Search returns — with or without a pool, for both
+  // storage modes, and a wrong-dimension query keeps its empty slot.
+  Rng rng(229);
+  const size_t dim = 19, rows = 200;
+  ThreadPool pool(3);
+  for (Storage storage : {Storage::kFloat32, Storage::kSq8}) {
+    for (Metric metric : {Metric::kCosine, Metric::kL2}) {
+      KnnIndex index(dim, metric, storage);
+      for (size_t r = 0; r < rows; ++r) index.Add(r * 7, RandomVec(&rng, dim));
+      std::vector<std::vector<float>> queries;
+      for (size_t q = 0; q < 11; ++q) queries.push_back(RandomVec(&rng, dim));
+      queries[4] = RandomVec(&rng, dim - 1);  // wrong dim: empty slot
+      for (ThreadPool* p : {static_cast<ThreadPool*>(nullptr), &pool}) {
+        auto batch = index.SearchBatch(queries, 10, p);
+        ASSERT_EQ(batch.size(), queries.size());
+        for (size_t q = 0; q < queries.size(); ++q) {
+          EXPECT_EQ(batch[q], index.Search(queries[q], 10)) << "q=" << q;
+        }
+        EXPECT_TRUE(batch[4].empty());
+      }
+    }
+  }
 }
 
 // ------------------------------------------------------------- dispatch
