@@ -508,6 +508,47 @@ BENCHMARK(BM_ShardedLakeBatchQuery)
     ->ArgsProduct({{1, 2, 4}, {0, 1}})
     ->UseRealTime();
 
+// Query throughput under churn: a sealed 4-shard lake with 0% / 10% / 50%
+// of its tables tombstoned, measured pre-compaction (the scan filters dead
+// handles and merges the delta segment every query) and post-compaction
+// (dead rows physically gone, handles re-densified). The pre/post gap at a
+// given tombstone ratio is what a compaction pass buys; the 0% rows pin
+// the no-churn overhead of the epoch locking itself.
+void BM_ChurnedQueryQPS(benchmark::State& state) {
+  const size_t tombstone_pct = static_cast<size_t>(state.range(0));
+  const bool compacted = state.range(1) != 0;
+  const ShardedLakeFixture& f = GetShardedLakeFixture();
+  ThreadPool pool(std::max(1u, std::thread::hardware_concurrency()));
+  auto lake = BuildShardedLake(f, 4);
+  lake.Seal();
+  // 7919 is coprime with the table count, so the removals walk a
+  // permutation — no duplicate ids, spread across every shard.
+  const size_t to_remove = kLakeTables * tombstone_pct / 100;
+  for (size_t t = 0; t < to_remove; ++t) {
+    Status removed =
+        lake.RemoveTable("table_" + std::to_string((t * 7919) % kLakeTables));
+    if (!removed.ok()) state.SkipWithError(removed.ToString().c_str());
+  }
+  if (compacted) {
+    Status folded = lake.Compact(/*hnsw_rebuild_threshold=*/0.0, &pool);
+    if (!folded.ok()) state.SkipWithError(folded.ToString().c_str());
+  }
+  for (auto _ : state) {
+    auto join = lake.QueryJoinableBatch(f.join_queries, 10, &pool);
+    auto join_union = lake.QueryUnionableBatch(f.union_queries, 10, &pool);
+    benchmark::DoNotOptimize(join.data());
+    benchmark::DoNotOptimize(join_union.data());
+  }
+  state.SetItemsProcessed(
+      state.iterations() *
+      static_cast<int64_t>(f.join_queries.size() + f.union_queries.size()));
+  state.counters["tombstone_pct"] = static_cast<double>(tombstone_pct);
+  state.SetLabel(compacted ? "post-compaction" : "pre-compaction");
+}
+BENCHMARK(BM_ChurnedQueryQPS)
+    ->ArgsProduct({{0, 10, 50}, {0, 1}})
+    ->UseRealTime();
+
 // --------------------------------------------------------------- server QPS
 // End-to-end query throughput through the socket server at 1 / 4 / 16
 // concurrent clients, against a direct-batch-call baseline over the same

@@ -1,5 +1,6 @@
 #include "search/lake_index.h"
 
+#include <algorithm>
 #include <cstdint>
 #include <fstream>
 #include <utility>
@@ -20,28 +21,239 @@ constexpr uint32_t kMagicV1 = 0x4c414b45;  // "LAKE" — legacy headerless forma
 constexpr uint32_t kMagicV2 = 0x4c414b32;  // "LAK2" — versioned header
 // Version 2: backend/metric/hnsw header. Version 3 adds a storage word to
 // the header and an Sq8Codec calibration section ("CSQ8") before the table
-// records. Float32 indexes still write version 2 — byte-identical to what
-// older readers expect — so only genuinely quantized files demand a reader
-// that understands them (and old readers reject those with a clean
-// "newer format version" Status rather than misparsing).
-constexpr uint32_t kFormatVersion = 3;
+// records. Version 4 adds a churn section (base table count + tombstone
+// list) between the header and the table records, and is written only for
+// lakes with pending deltas or tombstones. Float32 unchurned indexes still
+// write version 2 — byte-identical to what older readers expect — and
+// unchurned sq8 keeps writing version 3, so only files a pre-churn reader
+// genuinely cannot represent demand version 4 (and old readers reject
+// those with a clean "newer format version" Status rather than misparsing).
+constexpr uint32_t kFormatVersion = 4;
+constexpr uint32_t kSq8FormatVersion = 3;
 constexpr uint32_t kFloat32FormatVersion = 2;
+
+// The delta segment holds full-precision rows and is scanned exactly —
+// tiny relative to the base, and exactness keeps pre-compaction float32
+// results bit-identical to a from-scratch build.
+IndexOptions DeltaOptions(const IndexOptions& base, Metric metric) {
+  IndexOptions options;
+  options.backend = IndexBackend::kFlat;
+  options.storage = Storage::kFloat32;
+  options.metric = metric;
+  options.hnsw = base.hnsw;
+  return options;
+}
 
 }  // namespace
 
 LakeIndex::LakeIndex(size_t dim, const IndexOptions& options)
     : dim_(dim), index_(dim, options) {}
 
+void LakeIndex::MoveFieldsFrom(LakeIndex&& other) {
+  dim_ = other.dim_;
+  table_ids_ = std::move(other.table_ids_);
+  columns_ = std::move(other.columns_);
+  index_ = std::move(other.index_);
+  sealed_ = other.sealed_;
+  base_tables_ = other.base_tables_;
+  delta_ = std::move(other.delta_);
+  dead_ = std::move(other.dead_);
+  dead_tables_ = other.dead_tables_;
+  dead_base_columns_ = other.dead_base_columns_;
+  dead_delta_columns_ = other.dead_delta_columns_;
+  compactions_ = other.compactions_;
+  handles_by_id_ = std::move(other.handles_by_id_);
+}
+
+LakeIndex::LakeIndex(LakeIndex&& other) noexcept
+    : dim_(other.dim_), index_(std::move(other.index_)) {
+  // Locks are not movable and a move must not overlap any other operation
+  // on either operand, so the new index simply re-arms fresh ones.
+  table_ids_ = std::move(other.table_ids_);
+  columns_ = std::move(other.columns_);
+  sealed_ = other.sealed_;
+  base_tables_ = other.base_tables_;
+  delta_ = std::move(other.delta_);
+  dead_ = std::move(other.dead_);
+  dead_tables_ = other.dead_tables_;
+  dead_base_columns_ = other.dead_base_columns_;
+  dead_delta_columns_ = other.dead_delta_columns_;
+  compactions_ = other.compactions_;
+  handles_by_id_ = std::move(other.handles_by_id_);
+}
+
+LakeIndex& LakeIndex::operator=(LakeIndex&& other) noexcept {
+  if (this != &other) MoveFieldsFrom(std::move(other));
+  return *this;
+}
+
 size_t LakeIndex::AddTable(const std::string& table_id,
                            const std::vector<std::vector<float>>& column_embeddings) {
   for (const auto& col : column_embeddings) {
     TSFM_CHECK_EQ(col.size(), dim_);
   }
+  std::lock_guard<std::mutex> writer(writer_mu_);
+  std::unique_lock<std::shared_mutex> lock(mu_);
   size_t handle = table_ids_.size();
   table_ids_.push_back(table_id);
   columns_.push_back(column_embeddings);
-  index_.AddTable(handle, column_embeddings);
+  dead_.push_back(0);
+  handles_by_id_[table_id].push_back(handle);
+  if (!sealed_) {
+    index_.AddTable(handle, column_embeddings);
+    base_tables_ = handle + 1;
+  } else {
+    if (delta_ == nullptr) {
+      delta_ = std::make_unique<ColumnEmbeddingIndex>(
+          dim_, DeltaOptions(index_.options(), index_.options().metric));
+    }
+    delta_->AddTable(handle, column_embeddings);
+  }
   return handle;
+}
+
+Status LakeIndex::RemoveTable(const std::string& table_id) {
+  std::lock_guard<std::mutex> writer(writer_mu_);
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  auto it = handles_by_id_.find(table_id);
+  if (it != handles_by_id_.end()) {
+    // Newest live handle wins; already-dead trailing handles are pruned so
+    // repeated removes of a duplicated id stay O(removes).
+    while (!it->second.empty() && dead_[it->second.back()] != 0) {
+      it->second.pop_back();
+    }
+    if (!it->second.empty()) {
+      const size_t handle = it->second.back();
+      it->second.pop_back();
+      dead_[handle] = 1;
+      ++dead_tables_;
+      const size_t cols = columns_[handle].size();
+      if (handle < base_tables_) {
+        dead_base_columns_ += cols;
+      } else {
+        dead_delta_columns_ += cols;
+      }
+      return Status::OK();
+    }
+  }
+  return Status::NotFound("no live table with id \"" + table_id + "\"");
+}
+
+void LakeIndex::Seal() {
+  std::lock_guard<std::mutex> writer(writer_mu_);
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  sealed_ = true;
+}
+
+bool LakeIndex::WouldFoldInPlace(double hnsw_rebuild_threshold) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  if (index_.options().backend != IndexBackend::kHnsw) return false;
+  if (hnsw_rebuild_threshold <= 0.0) return false;
+  if (table_ids_.empty()) return false;
+  const double ratio = static_cast<double>(dead_tables_) /
+                       static_cast<double>(table_ids_.size());
+  return ratio <= hnsw_rebuild_threshold;
+}
+
+void LakeIndex::FoldDeltaInPlace() {
+  std::lock_guard<std::mutex> writer(writer_mu_);
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  for (size_t handle = base_tables_; handle < table_ids_.size(); ++handle) {
+    index_.AddTable(handle, columns_[handle]);
+  }
+  base_tables_ = table_ids_.size();
+  dead_base_columns_ += dead_delta_columns_;
+  dead_delta_columns_ = 0;
+  delta_.reset();
+  sealed_ = true;
+  ++compactions_;
+}
+
+LakeIndex::Compacted LakeIndex::BuildCompacted() const {
+  // Reads segment state without mu_: the caller excludes mutations (it
+  // holds this index's writer_mu_ via Compact, or the sharded writer lock)
+  // and concurrent queries never write the fields read here.
+  Compacted out{LakeIndex(dim_, index_.options()),
+                std::vector<size_t>(table_ids_.size(), SIZE_MAX)};
+  for (size_t handle = 0; handle < table_ids_.size(); ++handle) {
+    if (dead_[handle] != 0) continue;
+    // Survivors keep their relative insertion order, so re-densified
+    // handles tie-break Fig 6 ranks exactly like a from-scratch build.
+    out.remap[handle] = out.index.AddTable(table_ids_[handle], columns_[handle]);
+  }
+  out.index.Seal();
+  return out;
+}
+
+void LakeIndex::AdoptLocked(LakeIndex&& other) {
+  const uint64_t done = compactions_ + 1;
+  MoveFieldsFrom(std::move(other));
+  compactions_ = done;
+}
+
+Status LakeIndex::Compact(double hnsw_rebuild_threshold) {
+  {
+    std::lock_guard<std::mutex> writer(writer_mu_);
+    bool churned;
+    {
+      std::shared_lock<std::shared_mutex> lock(mu_);
+      churned = ChurnedLocked();
+    }
+    if (!churned) {
+      // Nothing to fold; still seal (a compacted lake serves live churn)
+      // and count the pass so callers can observe it completed.
+      std::unique_lock<std::shared_mutex> lock(mu_);
+      sealed_ = true;
+      ++compactions_;
+      return Status::OK();
+    }
+  }
+  if (WouldFoldInPlace(hnsw_rebuild_threshold)) {
+    FoldDeltaInPlace();
+    return Status::OK();
+  }
+  std::lock_guard<std::mutex> writer(writer_mu_);
+  // The expensive rebuild runs while queries continue against the old
+  // segments; only the swap below excludes them.
+  Compacted compacted = BuildCompacted();
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  AdoptLocked(std::move(compacted.index));
+  return Status::OK();
+}
+
+size_t LakeIndex::num_tables() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return table_ids_.size();
+}
+
+bool LakeIndex::churned() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return ChurnedLocked();
+}
+
+size_t LakeIndex::num_live_tables() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return table_ids_.size() - dead_tables_;
+}
+
+size_t LakeIndex::num_columns() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return index_.num_columns() + (delta_ != nullptr ? delta_->num_columns() : 0);
+}
+
+size_t LakeIndex::pending_delta_tables() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return table_ids_.size() - base_tables_;
+}
+
+size_t LakeIndex::pending_tombstones() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return dead_tables_;
+}
+
+uint64_t LakeIndex::compactions() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return compactions_;
 }
 
 std::vector<std::string> RankedTableIds(const std::vector<std::string>& table_ids,
@@ -56,31 +268,146 @@ std::vector<std::string> RankedTableIds(const std::vector<std::string>& table_id
   return out;
 }
 
+void LakeIndex::FilterDeadLocked(
+    std::vector<ColumnEmbeddingIndex::ColumnHit>* hits, size_t m) const {
+  auto dead = [this](const ColumnEmbeddingIndex::ColumnHit& hit) {
+    return dead_[hit.table_id] != 0;
+  };
+  hits->erase(std::remove_if(hits->begin(), hits->end(), dead), hits->end());
+  if (hits->size() > m) hits->resize(m);
+}
+
+std::vector<ColumnEmbeddingIndex::ColumnHit> LakeIndex::SearchColumnsLocked(
+    const std::vector<float>& query, size_t m) const {
+  if (!ChurnedLocked()) return index_.SearchColumns(query, m);
+  // Over-fetch by the tombstoned-column count: at most that many of the
+  // top slots can be dead, so filtering still leaves m live hits whenever
+  // m live columns exist (exact for flat scans; HNSW is approximate
+  // regardless, and the budget keeps its candidate frontier honest).
+  std::vector<std::vector<ColumnEmbeddingIndex::ColumnHit>> lists;
+  lists.push_back(index_.SearchColumns(query, m + dead_base_columns_));
+  FilterDeadLocked(&lists.back(), m);
+  if (delta_ != nullptr) {
+    lists.push_back(delta_->SearchColumns(query, m + dead_delta_columns_));
+    FilterDeadLocked(&lists.back(), m);
+  }
+  // Base handles precede delta handles, and both lists are sorted by
+  // (distance, table, column), so the merge equals one sorted scan over
+  // all live columns — bit-identical to an unchurned flat index holding
+  // the same live tables under the same handles.
+  return TableRanker::MergeColumnHits(lists, m);
+}
+
+std::vector<ColumnEmbeddingIndex::ColumnHit> LakeIndex::SearchColumns(
+    const std::vector<float>& query, size_t m) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return SearchColumnsLocked(query, m);
+}
+
+std::vector<std::vector<ColumnEmbeddingIndex::ColumnHit>>
+LakeIndex::SearchColumnsBatchLocked(
+    const std::vector<std::vector<float>>& queries, size_t m,
+    ThreadPool* pool) const {
+  if (!ChurnedLocked()) return index_.SearchColumnsBatch(queries, m, pool);
+  auto base = index_.SearchColumnsBatch(queries, m + dead_base_columns_, pool);
+  std::vector<std::vector<ColumnEmbeddingIndex::ColumnHit>> delta;
+  if (delta_ != nullptr) {
+    delta = delta_->SearchColumnsBatch(queries, m + dead_delta_columns_, pool);
+  }
+  std::vector<std::vector<ColumnEmbeddingIndex::ColumnHit>> merged(
+      queries.size());
+  for (size_t q = 0; q < queries.size(); ++q) {
+    std::vector<std::vector<ColumnEmbeddingIndex::ColumnHit>> lists;
+    lists.push_back(std::move(base[q]));
+    FilterDeadLocked(&lists.back(), m);
+    if (!delta.empty()) {
+      lists.push_back(std::move(delta[q]));
+      FilterDeadLocked(&lists.back(), m);
+    }
+    merged[q] = TableRanker::MergeColumnHits(lists, m);
+  }
+  return merged;
+}
+
+std::vector<std::vector<ColumnEmbeddingIndex::ColumnHit>>
+LakeIndex::SearchColumnsBatch(const std::vector<std::vector<float>>& queries,
+                              size_t m, ThreadPool* pool) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return SearchColumnsBatchLocked(queries, m, pool);
+}
+
 std::vector<std::string> LakeIndex::QueryUnionable(
     const std::vector<std::vector<float>>& query_columns, size_t k) const {
-  TableRanker ranker(&index_);
-  // SIZE_MAX: external queries are not part of the corpus; exclude nothing.
-  return RankedTableIds(table_ids_,
-                        ranker.RankTables(query_columns, k, /*exclude=*/SIZE_MAX),
-                        k);
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  if (!ChurnedLocked()) {
+    TableRanker ranker(&index_);
+    // SIZE_MAX: external queries are not part of the corpus; exclude nothing.
+    return RankedTableIds(
+        table_ids_, ranker.RankTables(query_columns, k, /*exclude=*/SIZE_MAX),
+        k);
+  }
+  // Same k*3 over-retrieval and RANK1/RANK2 aggregation as the unchurned
+  // path, with the churn-aware candidate search underneath.
+  std::vector<std::vector<ColumnEmbeddingIndex::ColumnHit>> per_column_hits;
+  per_column_hits.reserve(query_columns.size());
+  for (const auto& qcol : query_columns) {
+    per_column_hits.push_back(SearchColumnsLocked(qcol, k * 3));
+  }
+  return RankedTableIds(
+      table_ids_,
+      TableRanker::RankFromColumnHits(per_column_hits, /*exclude=*/SIZE_MAX),
+      k);
 }
 
 std::vector<std::string> LakeIndex::QueryJoinable(
     const std::vector<float>& query_column, size_t k) const {
-  TableRanker ranker(&index_);
-  return RankedTableIds(
-      table_ids_, ranker.RankTablesByColumn(query_column, k, /*exclude=*/SIZE_MAX),
-      k);
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  if (!ChurnedLocked()) {
+    TableRanker ranker(&index_);
+    return RankedTableIds(
+        table_ids_,
+        ranker.RankTablesByColumn(query_column, k, /*exclude=*/SIZE_MAX), k);
+  }
+  return RankedTableIds(table_ids_,
+                        TableRanker::RankFromSingleColumnHits(
+                            SearchColumnsLocked(query_column, k * 3),
+                            /*exclude=*/SIZE_MAX),
+                        k);
 }
 
 std::vector<std::vector<std::string>> LakeIndex::QueryUnionableBatch(
     const std::vector<std::vector<std::vector<float>>>& queries, size_t k,
     ThreadPool* pool) const {
-  TableRanker ranker(&index_);
-  auto ranked = ranker.RankTablesBatch(queries, k, /*excludes=*/{}, pool);
-  std::vector<std::vector<std::string>> out(ranked.size());
-  for (size_t q = 0; q < ranked.size(); ++q) {
-    out[q] = RankedTableIds(table_ids_, ranked[q], k);
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  if (!ChurnedLocked()) {
+    TableRanker ranker(&index_);
+    auto ranked = ranker.RankTablesBatch(queries, k, /*excludes=*/{}, pool);
+    std::vector<std::vector<std::string>> out(ranked.size());
+    for (size_t q = 0; q < ranked.size(); ++q) {
+      out[q] = RankedTableIds(table_ids_, ranked[q], k);
+    }
+    return out;
+  }
+  // Flatten every query's columns into one batched candidate search (the
+  // same shape ShardedLakeIndex uses), then aggregate per query.
+  std::vector<size_t> offset(queries.size() + 1, 0);
+  for (size_t q = 0; q < queries.size(); ++q) {
+    offset[q + 1] = offset[q] + queries[q].size();
+  }
+  std::vector<std::vector<float>> flat;
+  flat.reserve(offset.back());
+  for (const auto& query : queries) {
+    flat.insert(flat.end(), query.begin(), query.end());
+  }
+  auto hits = SearchColumnsBatchLocked(flat, k * 3, pool);
+  std::vector<std::vector<std::string>> out(queries.size());
+  for (size_t q = 0; q < queries.size(); ++q) {
+    std::vector<std::vector<ColumnEmbeddingIndex::ColumnHit>> per_column(
+        std::make_move_iterator(hits.begin() + offset[q]),
+        std::make_move_iterator(hits.begin() + offset[q + 1]));
+    out[q] = RankedTableIds(
+        table_ids_,
+        TableRanker::RankFromColumnHits(per_column, /*exclude=*/SIZE_MAX), k);
   }
   return out;
 }
@@ -88,26 +415,45 @@ std::vector<std::vector<std::string>> LakeIndex::QueryUnionableBatch(
 std::vector<std::vector<std::string>> LakeIndex::QueryJoinableBatch(
     const std::vector<std::vector<float>>& query_columns, size_t k,
     ThreadPool* pool) const {
-  TableRanker ranker(&index_);
-  auto ranked =
-      ranker.RankTablesByColumnBatch(query_columns, k, /*excludes=*/{}, pool);
-  std::vector<std::vector<std::string>> out(ranked.size());
-  for (size_t q = 0; q < ranked.size(); ++q) {
-    out[q] = RankedTableIds(table_ids_, ranked[q], k);
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  if (!ChurnedLocked()) {
+    TableRanker ranker(&index_);
+    auto ranked =
+        ranker.RankTablesByColumnBatch(query_columns, k, /*excludes=*/{}, pool);
+    std::vector<std::vector<std::string>> out(ranked.size());
+    for (size_t q = 0; q < ranked.size(); ++q) {
+      out[q] = RankedTableIds(table_ids_, ranked[q], k);
+    }
+    return out;
+  }
+  auto hits = SearchColumnsBatchLocked(query_columns, k * 3, pool);
+  std::vector<std::vector<std::string>> out(query_columns.size());
+  for (size_t q = 0; q < query_columns.size(); ++q) {
+    out[q] = RankedTableIds(table_ids_,
+                            TableRanker::RankFromSingleColumnHits(
+                                hits[q], /*exclude=*/SIZE_MAX),
+                            k);
   }
   return out;
 }
 
 Status LakeIndex::Save(const std::string& path) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   std::ofstream out(path, std::ios::binary);
   if (!out) return Status::IoError("cannot open " + path + " for writing");
   const IndexOptions& opt = index_.options();
   const bool sq8 = opt.storage == Storage::kSq8;
+  const bool churned = ChurnedLocked();
+  const uint32_t version = churned ? kFormatVersion
+                          : sq8    ? kSq8FormatVersion
+                                   : kFloat32FormatVersion;
   WritePod(out, kMagicV2);
-  WritePod(out, sq8 ? kFormatVersion : kFloat32FormatVersion);
+  WritePod(out, version);
   WritePod(out, static_cast<uint32_t>(opt.backend));
   WritePod(out, static_cast<uint32_t>(opt.metric));
-  if (sq8) WritePod(out, static_cast<uint32_t>(opt.storage));
+  // Version >= 3 headers always carry the storage word (a churned float32
+  // lake writes kFloat32 explicitly).
+  if (version >= 3) WritePod(out, static_cast<uint32_t>(opt.storage));
   WritePod(out, static_cast<uint64_t>(opt.hnsw.m));
   WritePod(out, static_cast<uint64_t>(opt.hnsw.ef_construction));
   WritePod(out, static_cast<uint64_t>(opt.hnsw.ef_search));
@@ -116,10 +462,21 @@ Status LakeIndex::Save(const std::string& path) const {
   if (sq8) {
     // Persist the live calibration (training it now if no search has yet),
     // so Load re-arms the index to encode exactly as this one does — even
-    // for rows that were added after the codec was trained.
+    // for rows that were added after the codec was trained. Delta rows are
+    // float on both sides, so the calibration describes the base only.
     const Sq8Codec* codec = index_.sq8_codec();
     TSFM_CHECK(codec != nullptr);
     if (Status s = codec->Save(out); !s.ok()) return s;
+  }
+  if (churned) {
+    // Churn section: how many leading table records belong to the base
+    // segment, then the tombstoned handles. Placed before the records so
+    // Load can replay base and delta adds into the right segments.
+    WritePod(out, static_cast<uint64_t>(base_tables_));
+    WritePod(out, static_cast<uint64_t>(dead_tables_));
+    for (size_t handle = 0; handle < dead_.size(); ++handle) {
+      if (dead_[handle] != 0) WritePod(out, static_cast<uint64_t>(handle));
+    }
   }
   WritePod(out, static_cast<uint64_t>(table_ids_.size()));
   for (size_t t = 0; t < table_ids_.size(); ++t) {
@@ -194,11 +551,33 @@ Result<LakeIndex> LakeIndex::Load(const std::string& path) {
     index.index_.SeedSq8Codec(std::move(codec).value());
   }
 
+  uint64_t base_tables = UINT64_MAX;  // v4 seals mid-replay at this count
+  std::vector<uint64_t> tombstones;
+  if (version >= 4) {
+    uint64_t num_dead = 0;
+    if (!ReadPod(in, &base_tables) || !ReadPod(in, &num_dead)) {
+      return Status::IoError("truncated lake-index churn section in " + path);
+    }
+    tombstones.reserve(std::min<uint64_t>(num_dead, 1024));
+    for (uint64_t i = 0; i < num_dead; ++i) {
+      uint64_t handle = 0;
+      if (!ReadPod(in, &handle)) {
+        return Status::IoError("truncated lake-index churn section in " + path);
+      }
+      tombstones.push_back(handle);
+    }
+  }
+
   uint64_t num_tables = 0;
   if (!ReadPod(in, &num_tables)) {
     return Status::IoError("truncated lake index " + path);
   }
+  if (base_tables != UINT64_MAX && base_tables > num_tables) {
+    return Status::ParseError("lake index " + path +
+                              " claims more base tables than tables");
+  }
   for (uint64_t t = 0; t < num_tables; ++t) {
+    if (t == base_tables) index.Seal();
     uint64_t id_len = 0, num_cols = 0;
     if (!ReadPod(in, &id_len)) return Status::IoError("truncated lake index " + path);
     std::string id(id_len, '\0');
@@ -214,6 +593,25 @@ Result<LakeIndex> LakeIndex::Load(const std::string& path) {
     if (!in) return Status::IoError("truncated lake index " + path);
     index.AddTable(id, cols);
   }
+  // Replay the tombstones directly: RemoveTable's newest-live-first rule
+  // must not reshuffle which of several same-id handles died.
+  for (uint64_t handle : tombstones) {
+    if (handle >= index.table_ids_.size() || index.dead_[handle] != 0) {
+      return Status::ParseError("lake index " + path +
+                                " has an invalid or duplicate tombstone");
+    }
+    index.dead_[handle] = 1;
+    ++index.dead_tables_;
+    const size_t cols = index.columns_[handle].size();
+    if (handle < index.base_tables_) {
+      index.dead_base_columns_ += cols;
+    } else {
+      index.dead_delta_columns_ += cols;
+    }
+  }
+  // A loaded lake is a serving artifact: later AddTable calls are live
+  // churn and belong in the delta segment.
+  index.Seal();
   return index;
 }
 

@@ -5,10 +5,33 @@
 // The ANN backend (exact flat scan or HNSW) is chosen at construction and
 // recorded in the on-disk format, so the online half reopens the index with
 // the same behaviour the offline half built it with.
+//
+// Mutability (ROADMAP "Mutable lakes"): a lake is built in two phases.
+// Before Seal(), AddTable appends straight into the base segment — the
+// offline bulk build, byte-identical to what this class always did. After
+// Seal() (Load seals automatically: a loaded lake is a serving artifact),
+// AddTable appends to a small float32 *delta segment* scanned exactly, and
+// RemoveTable only marks a *tombstone* — queries filter tombstoned hits
+// and merge base + delta candidates, so mutations are visible immediately
+// without touching the base storage (whose SQ8 calibration or HNSW graph
+// would otherwise degrade under incremental writes). Compact() folds
+// deltas + tombstones back into a fresh base; the churn-parity contract is
+// that a compacted lake ranks bit-identically (flat backends) to the same
+// surviving tables added from scratch in their original order.
+//
+// Concurrency: queries hold a shared lock for their full duration (they
+// pin one epoch of the segment state), AddTable/RemoveTable take brief
+// exclusive locks, and Compact rebuilds off-lock — writers excluded by a
+// separate writer mutex — then swaps the new segments in under one
+// exclusive lock, so a query never observes a half-compacted lake.
 #ifndef TSFM_SEARCH_LAKE_INDEX_H_
 #define TSFM_SEARCH_LAKE_INDEX_H_
 
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "core/embedder.h"
@@ -33,15 +56,70 @@ std::vector<std::string> RankedTableIds(const std::vector<std::string>& table_id
 /// Build once with AddTable (or from an Embedder over sketches), then
 /// answer join / union / subset queries — one at a time or in parallel
 /// batches. The index serializes to a compact binary file so the offline
-/// and online halves can run in different processes.
+/// and online halves can run in different processes. After Seal() the lake
+/// also accepts live AddTable/RemoveTable churn concurrently with queries
+/// (see the file comment for the delta/tombstone/compaction lifecycle).
 class LakeIndex {
  public:
   explicit LakeIndex(size_t dim, const IndexOptions& options = {});
 
+  /// Moves must not overlap any other operation on either operand (the
+  /// same contract as KnnIndex: a moved index re-arms fresh locks).
+  LakeIndex(LakeIndex&& other) noexcept;
+  LakeIndex& operator=(LakeIndex&& other) noexcept;
+  LakeIndex(const LakeIndex&) = delete;
+  LakeIndex& operator=(const LakeIndex&) = delete;
+
   /// Registers a table's column embeddings under a stable string id.
-  /// Returns the table's dense index handle.
+  /// Returns the table's dense index handle. Before Seal() the table joins
+  /// the base segment; after, the delta segment. Safe to call concurrently
+  /// with queries (not with other mutations of the same sharded wrapper —
+  /// ShardedLakeIndex serializes its writers itself).
   size_t AddTable(const std::string& table_id,
                   const std::vector<std::vector<float>>& column_embeddings);
+
+  /// \brief Tombstones the most recently added live table named `table_id`.
+  ///
+  /// The handle stays allocated (handles are never reused between
+  /// compactions) but the table vanishes from every query immediately.
+  /// kNotFound when no live table has that id.
+  Status RemoveTable(const std::string& table_id);
+
+  /// \brief Ends the bulk-build phase: later AddTable calls go to the
+  /// delta segment. Idempotent; Load() and Compact() seal automatically.
+  void Seal();
+
+  /// \brief Folds delta tables and tombstones into a fresh base segment.
+  ///
+  /// Flat backends (float32 and sq8) always rebuild the base from the
+  /// surviving tables in insertion order — for sq8 that retrains the codec
+  /// over exactly the rows a from-scratch build would see, which is what
+  /// makes post-compaction rankings bit-identical to a rebuild. An HNSW
+  /// lake whose tombstone fraction is at most `hnsw_rebuild_threshold`
+  /// instead folds in place: delta tables are inserted into the existing
+  /// graph and tombstones remain (still filtered at query time), deferring
+  /// the expensive graph rebuild until the ratio crosses the threshold.
+  /// The default threshold 0 always rebuilds. The heavy rebuild runs
+  /// without blocking queries; only the final swap excludes them.
+  Status Compact(double hnsw_rebuild_threshold = 0.0);
+
+  /// A full from-scratch compaction image plus the old->new handle remap
+  /// (SIZE_MAX for tombstoned handles). Used by ShardedLakeIndex, which
+  /// rebuilds every shard off-lock and swaps them together with its global
+  /// handle maps under one exclusive section. Callers must exclude
+  /// concurrent mutations (queries may continue). Defined after the class
+  /// (it holds a LakeIndex by value).
+  struct Compacted;
+  Compacted BuildCompacted() const;
+
+  /// True when Compact(`hnsw_rebuild_threshold`) would fold in place
+  /// instead of rebuilding (HNSW under the tombstone threshold).
+  bool WouldFoldInPlace(double hnsw_rebuild_threshold) const;
+
+  /// The in-place half of Compact for HNSW shards under the rebuild
+  /// threshold: inserts delta tables into the existing graph, keeps
+  /// tombstones. ShardedLakeIndex calls this under its own exclusive lock.
+  void FoldDeltaInPlace();
 
   /// Ranked table ids for a union/subset query (Fig 6 multi-column rank).
   std::vector<std::string> QueryUnionable(
@@ -61,29 +139,108 @@ class LakeIndex {
       const std::vector<std::vector<float>>& query_columns, size_t k,
       ThreadPool* pool = nullptr) const;
 
+  /// \brief Top-`m` live column hits for one query, merged across the base
+  /// and delta segments with tombstoned columns filtered out.
+  ///
+  /// The churn-aware replacement for column_index().SearchColumns: on an
+  /// unchurned lake it is exactly that call; on a churned one the base is
+  /// over-fetched by the tombstoned-column count so filtering can never
+  /// starve the result, and the delta's exact float hits are k-way merged
+  /// in by (distance, table, column).
+  std::vector<ColumnEmbeddingIndex::ColumnHit> SearchColumns(
+      const std::vector<float>& query, size_t m) const;
+
+  /// Batched SearchColumns; one result list per query, identical to the
+  /// serial loop. Fans over `pool` when given.
+  std::vector<std::vector<ColumnEmbeddingIndex::ColumnHit>> SearchColumnsBatch(
+      const std::vector<std::vector<float>>& queries, size_t m,
+      ThreadPool* pool = nullptr) const;
+
   /// Persists the index: versioned header (backend, metric, HNSW knobs),
-  /// table ids, per-table embeddings.
+  /// table ids, per-table embeddings. A churned lake (pending deltas or
+  /// tombstones) writes format version 4 with a churn section; unchurned
+  /// lakes keep writing version 2 (float32) / 3 (sq8) byte-identically.
   Status Save(const std::string& path) const;
 
-  /// Loads an index written by Save. Files from before the versioned header
-  /// (magic "LAKE") still load and default to the flat backend.
+  /// Loads an index written by Save and seals it. Files from before the
+  /// versioned header (magic "LAKE") still load and default to the flat
+  /// backend; pre-v4 readers reject churned (v4) files with a clean
+  /// "newer format version" Status rather than misparsing them.
   static Result<LakeIndex> Load(const std::string& path);
 
-  size_t num_tables() const { return table_ids_.size(); }
+  /// Handle-space size: live + tombstoned tables (handles stay dense and
+  /// allocated until a full compaction re-densifies them).
+  size_t num_tables() const;
+  /// True when the lake carries pending deltas or tombstones (the states a
+  /// pre-churn on-disk format cannot represent).
+  bool churned() const;
+  /// Tables a query can still return.
+  size_t num_live_tables() const;
+  /// Columns indexed across base + delta (the ceiling on SearchColumns
+  /// results before tombstone filtering).
+  size_t num_columns() const;
   size_t dim() const { return dim_; }
   const IndexOptions& options() const { return index_.options(); }
   const std::string& table_id(size_t handle) const { return table_ids_[handle]; }
+  bool is_live(size_t handle) const { return dead_[handle] == 0; }
 
-  /// The underlying column index, keyed by dense table handles. Exposed so
-  /// ShardedLakeIndex can scatter raw column searches across shards and
-  /// gather them through TableRanker's merge.
+  /// Tables waiting in the delta segment for the next compaction.
+  size_t pending_delta_tables() const;
+  /// Tombstoned-but-not-yet-compacted tables.
+  size_t pending_tombstones() const;
+  /// Completed Compact calls (in-place folds included).
+  uint64_t compactions() const;
+
+  /// The base-segment column index, keyed by dense table handles. Exposed
+  /// for tests and benchmarks; churn-aware callers (ShardedLakeIndex) use
+  /// SearchColumns, which also covers the delta segment and tombstones.
   const ColumnEmbeddingIndex& column_index() const { return index_; }
 
  private:
+  bool ChurnedLocked() const {
+    return dead_tables_ > 0 || table_ids_.size() > base_tables_;
+  }
+  std::vector<ColumnEmbeddingIndex::ColumnHit> SearchColumnsLocked(
+      const std::vector<float>& query, size_t m) const;
+  std::vector<std::vector<ColumnEmbeddingIndex::ColumnHit>>
+  SearchColumnsBatchLocked(const std::vector<std::vector<float>>& queries,
+                           size_t m, ThreadPool* pool) const;
+  /// Drops tombstoned hits and truncates to `m` (in place).
+  void FilterDeadLocked(std::vector<ColumnEmbeddingIndex::ColumnHit>* hits,
+                        size_t m) const;
+  /// Moves `other`'s segment state into this index under the caller's
+  /// exclusive lock, preserving this index's compaction counter.
+  void AdoptLocked(LakeIndex&& other);
+  void MoveFieldsFrom(LakeIndex&& other);
+
+  // Lock order: writer_mu_ before mu_. Queries take mu_ shared for their
+  // whole duration; mutations take writer_mu_, then mu_ exclusive for the
+  // (brief) state change; Compact holds writer_mu_ across its off-lock
+  // rebuild so the state it reads without mu_ cannot change under it.
+  mutable std::shared_mutex mu_;
+  std::mutex writer_mu_;
+
   size_t dim_;
   std::vector<std::string> table_ids_;
   std::vector<std::vector<std::vector<float>>> columns_;  // per table
-  ColumnEmbeddingIndex index_;
+  ColumnEmbeddingIndex index_;  // base segment: handles [0, base_tables_)
+
+  bool sealed_ = false;
+  size_t base_tables_ = 0;
+  std::unique_ptr<ColumnEmbeddingIndex> delta_;  // float32 flat, by handle
+  std::vector<uint8_t> dead_;                    // tombstones, by handle
+  size_t dead_tables_ = 0;
+  size_t dead_base_columns_ = 0;   // over-fetch budget for base searches
+  size_t dead_delta_columns_ = 0;
+  uint64_t compactions_ = 0;
+  // id -> handles bearing it, oldest first (RemoveTable kills the newest
+  // live one; duplicate ids are legal, as they always were in AddTable).
+  std::unordered_map<std::string, std::vector<size_t>> handles_by_id_;
+};
+
+struct LakeIndex::Compacted {
+  LakeIndex index;
+  std::vector<size_t> remap;
 };
 
 }  // namespace tsfm::search

@@ -39,12 +39,19 @@ Status SaveLakeManifest(const LakeManifest& manifest, const std::string& path) {
   std::ofstream out(path, std::ios::binary);
   if (!out) return Status::IoError("cannot open " + path + " for writing");
   const bool sq8 = manifest.storage == Storage::kSq8;
+  // Lowest version that can represent the manifest, so unchurned lakes
+  // keep their historical bytes: 3 = churned (live-table count), 2 = sq8
+  // storage word, 1 = the original float32 shape.
+  const uint32_t version = manifest.churned ? kLakeManifestVersion
+                           : sq8            ? uint32_t{2}
+                                            : uint32_t{1};
   WritePod(out, kLakeManifestMagic);
-  WritePod(out, sq8 ? kLakeManifestVersion : uint32_t{1});
+  WritePod(out, version);
   WritePod(out, static_cast<uint32_t>(manifest.backend));
   WritePod(out, static_cast<uint32_t>(manifest.metric));
-  if (sq8) WritePod(out, static_cast<uint32_t>(manifest.storage));
+  if (version >= 2) WritePod(out, static_cast<uint32_t>(manifest.storage));
   WritePod(out, manifest.dim);
+  if (version >= 3) WritePod(out, manifest.live_tables);
   WritePod(out, static_cast<uint64_t>(manifest.shard_files.size()));
   for (const std::string& name : manifest.shard_files) {
     WritePod(out, static_cast<uint64_t>(name.size()));
@@ -81,7 +88,14 @@ Result<LakeManifest> LoadLakeManifest(const std::string& path) {
   if (version >= 2 && !ReadPod(in, &storage)) {
     return Status::IoError("truncated lake manifest " + path);
   }
-  if (!ReadPod(in, &dim) || !ReadPod(in, &num_shards)) {
+  if (!ReadPod(in, &dim)) {
+    return Status::IoError("truncated lake manifest " + path);
+  }
+  uint64_t live_tables = 0;
+  if (version >= 3 && !ReadPod(in, &live_tables)) {
+    return Status::IoError("truncated lake manifest " + path);
+  }
+  if (!ReadPod(in, &num_shards)) {
     return Status::IoError("truncated lake manifest " + path);
   }
   if (backend > static_cast<uint32_t>(IndexBackend::kHnsw) ||
@@ -99,6 +113,8 @@ Result<LakeManifest> LoadLakeManifest(const std::string& path) {
   manifest.metric = static_cast<Metric>(metric);
   manifest.storage = static_cast<Storage>(storage);
   manifest.dim = dim;
+  manifest.churned = version >= 3;
+  manifest.live_tables = live_tables;
   manifest.shard_files.resize(num_shards);
   for (auto& name : manifest.shard_files) {
     uint64_t len = 0;
@@ -122,6 +138,14 @@ Result<LakeManifest> LoadLakeManifest(const std::string& path) {
       return Status::ParseError("lake manifest " + path +
                                 " routes a table to a nonexistent shard");
     }
+  }
+  if (manifest.churned) {
+    if (manifest.live_tables > num_tables) {
+      return Status::ParseError("lake manifest " + path +
+                                " claims more live tables than tables");
+    }
+  } else {
+    manifest.live_tables = num_tables;  // pre-churn manifests: all live
   }
   return manifest;
 }

@@ -42,6 +42,27 @@ ShardedLakeIndex::ShardedLakeIndex(size_t dim, size_t num_shards,
 ShardedLakeIndex::ShardedLakeIndex(size_t dim, const IndexOptions& options)
     : dim_(dim), options_(NormalizeShardStorage(options)) {}
 
+void ShardedLakeIndex::MoveFieldsFrom(ShardedLakeIndex&& other) {
+  dim_ = other.dim_;
+  options_ = other.options_;
+  shards_ = std::move(other.shards_);
+  global_ids_ = std::move(other.global_ids_);
+  locator_ = std::move(other.locator_);
+  to_global_ = std::move(other.to_global_);
+  compactions_ = other.compactions_;
+}
+
+ShardedLakeIndex::ShardedLakeIndex(ShardedLakeIndex&& other) noexcept
+    : dim_(other.dim_), options_(other.options_) {
+  MoveFieldsFrom(std::move(other));
+}
+
+ShardedLakeIndex& ShardedLakeIndex::operator=(
+    ShardedLakeIndex&& other) noexcept {
+  if (this != &other) MoveFieldsFrom(std::move(other));
+  return *this;
+}
+
 ShardedLakeIndex ShardedLakeIndex::FromSingle(LakeIndex&& shard) {
   ShardedLakeIndex index(shard.dim(), shard.options());
   index.shards_.push_back(std::move(shard));
@@ -67,7 +88,13 @@ size_t ShardedLakeIndex::shard_of(const std::string& table_id) const {
 size_t ShardedLakeIndex::AddTable(
     const std::string& table_id,
     const std::vector<std::vector<float>>& column_embeddings) {
+  std::lock_guard<std::mutex> writer(writer_mu_);
   const size_t s = shard_of(table_id);
+  // The shard add and the global-map append publish together under one
+  // exclusive section, so an in-flight query (which pins the maps with a
+  // shared lock for its whole scatter) can never see a shard hit whose
+  // local handle lacks a to_global_ entry.
+  std::unique_lock<std::shared_mutex> lock(mu_);
   const size_t local = shards_[s].AddTable(table_id, column_embeddings);
   const size_t handle = global_ids_.size();
   global_ids_.push_back(table_id);
@@ -77,20 +104,142 @@ size_t ShardedLakeIndex::AddTable(
   return handle;
 }
 
-size_t ShardedLakeIndex::num_columns() const {
-  size_t total = 0;
-  for (const LakeIndex& shard : shards_) {
-    total += shard.column_index().num_columns();
+Status ShardedLakeIndex::RemoveTable(const std::string& table_id) {
+  std::lock_guard<std::mutex> writer(writer_mu_);
+  // A tombstone changes no global maps (the handle stays allocated until
+  // the next full compaction), so the shard's own locking suffices for
+  // query consistency — a shared lock here keeps the shard set pinned.
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return shards_[shard_of(table_id)].RemoveTable(table_id);
+}
+
+void ShardedLakeIndex::Seal() {
+  std::lock_guard<std::mutex> writer(writer_mu_);
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  for (LakeIndex& shard : shards_) shard.Seal();
+}
+
+Status ShardedLakeIndex::Compact(double hnsw_rebuild_threshold,
+                                 ThreadPool* pool) {
+  std::lock_guard<std::mutex> writer(writer_mu_);
+
+  // Phase A, off-lock: queries keep running against the old epoch while
+  // every churned shard that needs a full rebuild builds its compacted
+  // image (survivors re-added in insertion order — the churn-parity
+  // contract). writer_mu_ excludes mutations, so the shard state read
+  // here cannot move underneath.
+  std::vector<std::optional<LakeIndex::Compacted>> built(shards_.size());
+  auto build_shard = [&](size_t s) {
+    if (shards_[s].churned() &&
+        !shards_[s].WouldFoldInPlace(hnsw_rebuild_threshold)) {
+      built[s] = shards_[s].BuildCompacted();
+    }
+  };
+  if (pool != nullptr && shards_.size() > 1) {
+    ParallelFor(pool, 0, shards_.size(), build_shard);
+  } else {
+    for (size_t s = 0; s < shards_.size(); ++s) build_shard(s);
   }
+
+  // Phase B, exclusive: swap rebuilt shards, fold the rest in place, and
+  // re-densify the global handle maps — one atomic epoch change.
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  std::vector<std::string> new_ids;
+  std::vector<std::pair<size_t, size_t>> new_locator;
+  std::vector<std::vector<size_t>> new_to_global(shards_.size());
+  new_ids.reserve(global_ids_.size());
+  new_locator.reserve(global_ids_.size());
+  for (size_t h = 0; h < global_ids_.size(); ++h) {
+    const auto [s, local] = locator_[h];
+    size_t new_local = local;
+    if (built[s].has_value()) {
+      new_local = built[s]->remap[local];
+      if (new_local == SIZE_MAX) continue;  // tombstoned; handle retired
+    }
+    // Surviving locals keep their relative order, so the new maps stay
+    // dense per shard and global order matches a from-scratch build.
+    TSFM_CHECK_EQ(new_to_global[s].size(), new_local);
+    new_to_global[s].push_back(new_ids.size());
+    new_locator.emplace_back(s, new_local);
+    new_ids.push_back(std::move(global_ids_[h]));
+  }
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    if (built[s].has_value()) {
+      shards_[s] = std::move(built[s]->index);
+    } else if (shards_[s].churned()) {
+      // HNSW under the rebuild threshold: insert deltas into the existing
+      // graph; tombstoned handles stay in the maps and stay filtered.
+      shards_[s].FoldDeltaInPlace();
+    } else {
+      shards_[s].Seal();
+    }
+  }
+  global_ids_ = std::move(new_ids);
+  locator_ = std::move(new_locator);
+  to_global_ = std::move(new_to_global);
+  ++compactions_;
+  return Status::OK();
+}
+
+size_t ShardedLakeIndex::num_tables() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return global_ids_.size();
+}
+
+size_t ShardedLakeIndex::num_live_tables() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  size_t total = 0;
+  for (const LakeIndex& shard : shards_) total += shard.num_live_tables();
   return total;
 }
 
-std::vector<ColumnEmbeddingIndex::ColumnHit> ShardedLakeIndex::SearchColumnHits(
-    const std::vector<float>& query, size_t m, ThreadPool* pool) const {
+size_t ShardedLakeIndex::num_columns() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  size_t total = 0;
+  for (const LakeIndex& shard : shards_) total += shard.num_columns();
+  return total;
+}
+
+std::string ShardedLakeIndex::table_id(size_t handle) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return global_ids_[handle];
+}
+
+size_t ShardedLakeIndex::pending_delta_tables() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  size_t total = 0;
+  for (const LakeIndex& shard : shards_) total += shard.pending_delta_tables();
+  return total;
+}
+
+size_t ShardedLakeIndex::pending_tombstones() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  size_t total = 0;
+  for (const LakeIndex& shard : shards_) total += shard.pending_tombstones();
+  return total;
+}
+
+uint64_t ShardedLakeIndex::compactions() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return compactions_;
+}
+
+bool ShardedLakeIndex::churned() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  for (const LakeIndex& shard : shards_) {
+    if (shard.churned()) return true;
+  }
+  return false;
+}
+
+std::vector<ColumnEmbeddingIndex::ColumnHit>
+ShardedLakeIndex::SearchColumnHitsLocked(const std::vector<float>& query,
+                                         size_t m, ThreadPool* pool) const {
   std::vector<std::vector<ColumnEmbeddingIndex::ColumnHit>> per_shard(
       shards_.size());
   auto search_shard = [&](size_t s) {
-    auto hits = shards_[s].column_index().SearchColumns(query, m);
+    // Churn-aware shard search: covers base + delta, filters tombstones.
+    auto hits = shards_[s].SearchColumns(query, m);
     // Remap shard-local table handles to global handles. Local handles are
     // assigned in insertion order, so the remap is monotone and each list
     // stays sorted by (distance, table, column).
@@ -105,8 +254,14 @@ std::vector<ColumnEmbeddingIndex::ColumnHit> ShardedLakeIndex::SearchColumnHits(
   return TableRanker::MergeColumnHits(per_shard, m);
 }
 
+std::vector<ColumnEmbeddingIndex::ColumnHit> ShardedLakeIndex::SearchColumnHits(
+    const std::vector<float>& query, size_t m, ThreadPool* pool) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return SearchColumnHitsLocked(query, m, pool);
+}
+
 std::vector<std::vector<ColumnEmbeddingIndex::ColumnHit>>
-ShardedLakeIndex::SearchColumnHitsBatch(
+ShardedLakeIndex::SearchColumnHitsBatchLocked(
     const std::vector<std::vector<float>>& queries, size_t m,
     ThreadPool* pool) const {
   // Scatter the WHOLE batch to each shard (one SearchColumnsBatch call per
@@ -117,8 +272,7 @@ ShardedLakeIndex::SearchColumnHitsBatch(
   std::vector<std::vector<std::vector<ColumnEmbeddingIndex::ColumnHit>>>
       per_shard(shards_.size());
   auto search_shard = [&](size_t s, ThreadPool* inner) {
-    auto lists = shards_[s].column_index().SearchColumnsBatch(queries, m,
-                                                              inner);
+    auto lists = shards_[s].SearchColumnsBatch(queries, m, inner);
     for (auto& hits : lists) {
       for (auto& hit : hits) hit.table_id = to_global_[s][hit.table_id];
     }
@@ -144,25 +298,41 @@ ShardedLakeIndex::SearchColumnHitsBatch(
   return merged;
 }
 
-std::vector<size_t> ShardedLakeIndex::RankUnionable(
+std::vector<std::vector<ColumnEmbeddingIndex::ColumnHit>>
+ShardedLakeIndex::SearchColumnHitsBatch(
+    const std::vector<std::vector<float>>& queries, size_t m,
+    ThreadPool* pool) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return SearchColumnHitsBatchLocked(queries, m, pool);
+}
+
+std::vector<size_t> ShardedLakeIndex::RankUnionableLocked(
     const std::vector<std::vector<float>>& query_columns, size_t k,
     size_t exclude, ThreadPool* pool) const {
   std::vector<std::vector<ColumnEmbeddingIndex::ColumnHit>> per_column_hits;
   per_column_hits.reserve(query_columns.size());
   for (const auto& qcol : query_columns) {
-    per_column_hits.push_back(SearchColumnHits(qcol, k * 3, pool));
+    per_column_hits.push_back(SearchColumnHitsLocked(qcol, k * 3, pool));
   }
   return TableRanker::RankFromColumnHits(per_column_hits, exclude);
+}
+
+std::vector<size_t> ShardedLakeIndex::RankUnionable(
+    const std::vector<std::vector<float>>& query_columns, size_t k,
+    size_t exclude, ThreadPool* pool) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return RankUnionableLocked(query_columns, k, exclude, pool);
 }
 
 std::vector<size_t> ShardedLakeIndex::RankJoinable(
     const std::vector<float>& query_column, size_t k, size_t exclude,
     ThreadPool* pool) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   return TableRanker::RankFromSingleColumnHits(
-      SearchColumnHits(query_column, k * 3, pool), exclude);
+      SearchColumnHitsLocked(query_column, k * 3, pool), exclude);
 }
 
-std::vector<std::vector<size_t>> ShardedLakeIndex::RankUnionableBatch(
+std::vector<std::vector<size_t>> ShardedLakeIndex::RankUnionableBatchLocked(
     const std::vector<std::vector<std::vector<float>>>& queries, size_t k,
     const std::vector<size_t>& excludes, ThreadPool* pool) const {
   std::vector<std::vector<size_t>> results(queries.size());
@@ -182,7 +352,7 @@ std::vector<std::vector<size_t>> ShardedLakeIndex::RankUnionableBatch(
   for (const auto& query : queries) {
     flat.insert(flat.end(), query.begin(), query.end());
   }
-  auto hits = SearchColumnHitsBatch(flat, k * 3, pool);
+  auto hits = SearchColumnHitsBatchLocked(flat, k * 3, pool);
   for (size_t q = 0; q < queries.size(); ++q) {
     std::vector<std::vector<ColumnEmbeddingIndex::ColumnHit>> per_column(
         std::make_move_iterator(hits.begin() + offset[q]),
@@ -192,37 +362,58 @@ std::vector<std::vector<size_t>> ShardedLakeIndex::RankUnionableBatch(
   return results;
 }
 
-std::vector<std::vector<size_t>> ShardedLakeIndex::RankJoinableBatch(
+std::vector<std::vector<size_t>> ShardedLakeIndex::RankUnionableBatch(
+    const std::vector<std::vector<std::vector<float>>>& queries, size_t k,
+    const std::vector<size_t>& excludes, ThreadPool* pool) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return RankUnionableBatchLocked(queries, k, excludes, pool);
+}
+
+std::vector<std::vector<size_t>> ShardedLakeIndex::RankJoinableBatchLocked(
     const std::vector<std::vector<float>>& query_columns, size_t k,
     const std::vector<size_t>& excludes, ThreadPool* pool) const {
   std::vector<std::vector<size_t>> results(query_columns.size());
   auto exclude_of = [&](size_t q) {
     return q < excludes.size() ? excludes[q] : SIZE_MAX;
   };
-  auto hits = SearchColumnHitsBatch(query_columns, k * 3, pool);
+  auto hits = SearchColumnHitsBatchLocked(query_columns, k * 3, pool);
   for (size_t q = 0; q < query_columns.size(); ++q) {
     results[q] = TableRanker::RankFromSingleColumnHits(hits[q], exclude_of(q));
   }
   return results;
 }
 
+std::vector<std::vector<size_t>> ShardedLakeIndex::RankJoinableBatch(
+    const std::vector<std::vector<float>>& query_columns, size_t k,
+    const std::vector<size_t>& excludes, ThreadPool* pool) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return RankJoinableBatchLocked(query_columns, k, excludes, pool);
+}
+
 std::vector<std::string> ShardedLakeIndex::QueryUnionable(
     const std::vector<std::vector<float>>& query_columns, size_t k,
     ThreadPool* pool) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   return RankedTableIds(
-      global_ids_, RankUnionable(query_columns, k, /*exclude=*/SIZE_MAX, pool), k);
+      global_ids_,
+      RankUnionableLocked(query_columns, k, /*exclude=*/SIZE_MAX, pool), k);
 }
 
 std::vector<std::string> ShardedLakeIndex::QueryJoinable(
     const std::vector<float>& query_column, size_t k, ThreadPool* pool) const {
-  return RankedTableIds(
-      global_ids_, RankJoinable(query_column, k, /*exclude=*/SIZE_MAX, pool), k);
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return RankedTableIds(global_ids_,
+                        TableRanker::RankFromSingleColumnHits(
+                            SearchColumnHitsLocked(query_column, k * 3, pool),
+                            /*exclude=*/SIZE_MAX),
+                        k);
 }
 
 std::vector<std::vector<std::string>> ShardedLakeIndex::QueryUnionableBatch(
     const std::vector<std::vector<std::vector<float>>>& queries, size_t k,
     ThreadPool* pool) const {
-  auto ranked = RankUnionableBatch(queries, k, /*excludes=*/{}, pool);
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  auto ranked = RankUnionableBatchLocked(queries, k, /*excludes=*/{}, pool);
   std::vector<std::vector<std::string>> out(ranked.size());
   for (size_t q = 0; q < ranked.size(); ++q) {
     out[q] = RankedTableIds(global_ids_, ranked[q], k);
@@ -233,7 +424,9 @@ std::vector<std::vector<std::string>> ShardedLakeIndex::QueryUnionableBatch(
 std::vector<std::vector<std::string>> ShardedLakeIndex::QueryJoinableBatch(
     const std::vector<std::vector<float>>& query_columns, size_t k,
     ThreadPool* pool) const {
-  auto ranked = RankJoinableBatch(query_columns, k, /*excludes=*/{}, pool);
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  auto ranked =
+      RankJoinableBatchLocked(query_columns, k, /*excludes=*/{}, pool);
   std::vector<std::vector<std::string>> out(ranked.size());
   for (size_t q = 0; q < ranked.size(); ++q) {
     out[q] = RankedTableIds(global_ids_, ranked[q], k);
@@ -246,6 +439,11 @@ Status ShardedLakeIndex::Save(const std::string& path, ThreadPool* pool) const {
   const fs::path manifest_path(path);
   const std::string basename = manifest_path.filename().string();
   const fs::path dir = manifest_path.parent_path();
+
+  // Exclude mutations (writer_mu_) but not queries for the whole save, so
+  // the manifest and the shard files describe one epoch.
+  std::lock_guard<std::mutex> writer(writer_mu_);
+  std::shared_lock<std::shared_mutex> lock(mu_);
 
   // Shard files first, in parallel: each one is an independent LakeIndex
   // ("LAK2") image, so a crash mid-save never leaves a manifest pointing at
@@ -269,12 +467,20 @@ Status ShardedLakeIndex::Save(const std::string& path, ThreadPool* pool) const {
   manifest.metric = options_.metric;
   manifest.storage = options_.storage;
   manifest.dim = dim_;
+  size_t live = 0;
+  for (const LakeIndex& shard : shards_) {
+    if (shard.churned()) manifest.churned = true;
+    live += shard.num_live_tables();
+  }
+  manifest.live_tables = live;
   manifest.shard_files.reserve(shards_.size());
   for (size_t s = 0; s < shards_.size(); ++s) {
     manifest.shard_files.push_back(LakeShardFileName(basename, s));
   }
-  // Global handle space: (shard, local) per handle in insertion order, so
-  // handles assigned by AddTable stay valid across a save/load round trip.
+  // Global handle space: (shard, local) per handle in insertion order —
+  // tombstoned handles included, matching the shard files' churn sections —
+  // so handles assigned by AddTable stay valid across a save/load round
+  // trip (until the next full compaction re-densifies them).
   manifest.locator.reserve(locator_.size());
   for (const auto& [shard, local] : locator_) {
     manifest.locator.emplace_back(static_cast<uint32_t>(shard),
@@ -325,6 +531,7 @@ Result<ShardedLakeIndex> ShardedLakeIndex::Load(const std::string& path,
   ShardedLakeIndex index(static_cast<size_t>(dim), options);
   index.shards_.reserve(num_shards);
   uint64_t total_shard_tables = 0;
+  uint64_t total_live_tables = 0;
   for (size_t s = 0; s < num_shards; ++s) {
     if (!loaded[s]->ok()) return loaded[s]->status();
     LakeIndex shard = std::move(*loaded[s]).value();
@@ -348,6 +555,7 @@ Result<ShardedLakeIndex> ShardedLakeIndex::Load(const std::string& path,
           (options.storage == Storage::kSq8 ? "sq8" : "float32") + ")");
     }
     total_shard_tables += shard.num_tables();
+    total_live_tables += shard.num_live_tables();
     index.shards_.push_back(std::move(shard));
   }
   // Rebuild the global handle space in its original insertion order from
@@ -356,6 +564,12 @@ Result<ShardedLakeIndex> ShardedLakeIndex::Load(const std::string& path,
   if (total_shard_tables != num_tables) {
     return Status::ParseError("lake manifest " + path +
                               " table count disagrees with shard files");
+  }
+  // Churned manifests also pin the live count, catching a manifest paired
+  // with shard files from a different compaction epoch.
+  if (total_live_tables != manifest.live_tables) {
+    return Status::ParseError("lake manifest " + path +
+                              " live-table count disagrees with shard files");
   }
   index.to_global_.resize(num_shards);
   for (size_t s = 0; s < num_shards; ++s) {

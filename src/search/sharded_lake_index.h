@@ -19,6 +19,8 @@
 #ifndef TSFM_SEARCH_SHARDED_LAKE_INDEX_H_
 #define TSFM_SEARCH_SHARDED_LAKE_INDEX_H_
 
+#include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -36,10 +38,14 @@ namespace tsfm::search {
 ///
 /// Mirrors the LakeIndex query API (string table ids in, ranked ids out)
 /// and adds handle-level Rank* entry points with an exclude id for
-/// benchmark drivers. All query methods are const-thread-safe; AddTable
-/// must not overlap queries. The optional ThreadPool fans work out over
-/// shards (single queries) or over queries (batch entry points); results
-/// are identical to the serial path.
+/// benchmark drivers. All query methods are const-thread-safe and may
+/// overlap AddTable/RemoveTable/Compact: a query pins one epoch of the
+/// global handle maps and shard set for its whole duration (shared lock),
+/// mutations serialize behind a writer mutex and publish under brief
+/// exclusive locks, and Compact rebuilds every churned shard off-lock
+/// before swapping shards + maps in one exclusive section. The optional
+/// ThreadPool fans work out over shards (single queries) or over queries
+/// (batch entry points); results are identical to the serial path.
 ///
 /// Like LakeIndex, each shard retains its raw column embeddings so Save
 /// can write self-contained shard files; a query-only deployment pays
@@ -50,11 +56,42 @@ class ShardedLakeIndex {
   /// owning a VectorIndex configured by `options`.
   ShardedLakeIndex(size_t dim, size_t num_shards, const IndexOptions& options = {});
 
+  /// Moves must not overlap any other operation on either operand (the
+  /// same contract as LakeIndex: a moved index re-arms fresh locks).
+  ShardedLakeIndex(ShardedLakeIndex&& other) noexcept;
+  ShardedLakeIndex& operator=(ShardedLakeIndex&& other) noexcept;
+  ShardedLakeIndex(const ShardedLakeIndex&) = delete;
+  ShardedLakeIndex& operator=(const ShardedLakeIndex&) = delete;
+
   /// Routes the table to its shard by stable hash of `table_id` and
   /// registers its column embeddings. Returns the table's global handle
-  /// (dense, in insertion order).
+  /// (dense, in insertion order). Safe to call concurrently with queries;
+  /// before any shard is sealed the table joins that shard's base segment
+  /// (bulk build), afterwards its delta segment (live ingest).
   size_t AddTable(const std::string& table_id,
                   const std::vector<std::vector<float>>& column_embeddings);
+
+  /// Tombstones the most recently added live table named `table_id` in its
+  /// owning shard. kNotFound when no live table has that id. Safe to call
+  /// concurrently with queries.
+  Status RemoveTable(const std::string& table_id);
+
+  /// Ends the bulk-build phase on every shard: later AddTable calls land
+  /// in delta segments. Idempotent; Load() and Compact() seal.
+  void Seal();
+
+  /// \brief Folds every shard's deltas + tombstones back into its base.
+  ///
+  /// Rebuild shards are compacted off-lock in parallel over `pool`; the
+  /// new shards and the re-densified global handle maps are then swapped
+  /// in under one exclusive section, so concurrent queries see either the
+  /// old epoch or the new one, never a mix. HNSW shards at or under
+  /// `hnsw_rebuild_threshold` tombstone fraction fold in place (graph
+  /// insert of deltas, tombstones kept and filtered) and keep their
+  /// handles. Post-compaction flat-backend rankings are bit-identical to
+  /// a from-scratch build of the surviving tables in insertion order.
+  Status Compact(double hnsw_rebuild_threshold = 0.0,
+                 ThreadPool* pool = nullptr);
 
   /// Ranked table ids for a union/subset query (Fig 6 multi-column rank).
   std::vector<std::string> QueryUnionable(
@@ -148,19 +185,35 @@ class ShardedLakeIndex {
                                        ThreadPool* pool = nullptr);
 
   size_t num_shards() const { return shards_.size(); }
-  size_t num_tables() const { return global_ids_.size(); }
+  /// Global handle-space size: live + tombstoned tables (re-densified by a
+  /// full compaction, like LakeIndex handles).
+  size_t num_tables() const;
+  /// Tables a query can still return.
+  size_t num_live_tables() const;
   /// Total column count across all shards (the ceiling on SearchColumnHits
   /// results — a serving layer clamps hostile `m` to it).
   size_t num_columns() const;
   size_t dim() const { return dim_; }
   const IndexOptions& options() const { return options_; }
-  const std::string& table_id(size_t handle) const { return global_ids_[handle]; }
+  /// The id behind a global handle (a copy: the maps may be re-densified
+  /// by a concurrent compaction).
+  std::string table_id(size_t handle) const;
 
   /// The shard `table_id` routes to (stable across rebuilds and processes).
   size_t shard_of(const std::string& table_id) const;
 
-  /// Number of tables resident in shard `s`.
+  /// Number of tables resident in shard `s` (live + tombstoned).
   size_t shard_size(size_t s) const { return shards_[s].num_tables(); }
+
+  /// Delta tables across all shards awaiting the next compaction.
+  size_t pending_delta_tables() const;
+  /// Tombstoned-but-not-yet-compacted tables across all shards.
+  size_t pending_tombstones() const;
+  /// Completed Compact calls on this sharded index (shard-internal folds
+  /// triggered through this index count once, not per shard).
+  uint64_t compactions() const;
+  /// True when any shard carries pending deltas or tombstones.
+  bool churned() const;
 
  private:
   explicit ShardedLakeIndex(size_t dim, const IndexOptions& options);
@@ -168,6 +221,31 @@ class ShardedLakeIndex {
   /// Registers every table of shard `s` in the global handle maps, in the
   /// shard's insertion order.
   void IndexShardTables(size_t s);
+  void MoveFieldsFrom(ShardedLakeIndex&& other);
+
+  std::vector<ColumnEmbeddingIndex::ColumnHit> SearchColumnHitsLocked(
+      const std::vector<float>& query, size_t m, ThreadPool* pool) const;
+  std::vector<std::vector<ColumnEmbeddingIndex::ColumnHit>>
+  SearchColumnHitsBatchLocked(const std::vector<std::vector<float>>& queries,
+                              size_t m, ThreadPool* pool) const;
+  std::vector<size_t> RankUnionableLocked(
+      const std::vector<std::vector<float>>& query_columns, size_t k,
+      size_t exclude, ThreadPool* pool) const;
+  std::vector<std::vector<size_t>> RankUnionableBatchLocked(
+      const std::vector<std::vector<std::vector<float>>>& queries, size_t k,
+      const std::vector<size_t>& excludes, ThreadPool* pool) const;
+  std::vector<std::vector<size_t>> RankJoinableBatchLocked(
+      const std::vector<std::vector<float>>& query_columns, size_t k,
+      const std::vector<size_t>& excludes, ThreadPool* pool) const;
+
+  // Lock order: writer_mu_ before mu_ (before any shard's own locks).
+  // Queries hold mu_ shared across the whole scatter + merge + rank so the
+  // maps and shard set they read belong to one epoch; mutations take
+  // writer_mu_, then mu_ exclusive only for the brief publish step.
+  mutable std::shared_mutex mu_;
+  // mutable: Save is const but must exclude mutations so the manifest and
+  // shard files describe one epoch.
+  mutable std::mutex writer_mu_;
 
   size_t dim_;
   IndexOptions options_;
@@ -175,6 +253,7 @@ class ShardedLakeIndex {
   std::vector<std::string> global_ids_;                // handle -> id
   std::vector<std::pair<size_t, size_t>> locator_;     // handle -> (shard, local)
   std::vector<std::vector<size_t>> to_global_;         // shard -> local -> handle
+  uint64_t compactions_ = 0;
 };
 
 }  // namespace tsfm::search

@@ -56,6 +56,32 @@ ShardHealth InProcessBackend::Health() const {
   return health;
 }
 
+Status InProcessBackend::AddTable(
+    const std::string& table_id,
+    const std::vector<std::vector<float>>& columns) {
+  index_.AddTable(table_id, columns);
+  return Status::OK();
+}
+
+Status InProcessBackend::RemoveTable(const std::string& table_id) {
+  return index_.RemoveTable(table_id);
+}
+
+Status InProcessBackend::Compact(ThreadPool* pool) {
+  // Wire-driven compaction always rebuilds churned shards from scratch
+  // (threshold 0): a coordinator fronting this worker mirrors the handle
+  // remap locally, which is deterministic only for the full rebuild.
+  return index_.Compact(/*hnsw_rebuild_threshold=*/0.0, pool);
+}
+
+LakeBackend::ChurnCounters InProcessBackend::Churn() const {
+  ChurnCounters counters;
+  counters.pending_delta_tables = index_.pending_delta_tables();
+  counters.pending_tombstones = index_.pending_tombstones();
+  counters.compactions = index_.compactions();
+  return counters;
+}
+
 Result<std::vector<std::vector<std::string>>>
 DistributedBackend::QueryJoinableBatch(
     const std::vector<std::vector<float>>& queries, size_t k,
@@ -99,6 +125,24 @@ ShardHealth DistributedBackend::Health() const {
   health.num_tables = index_.num_tables();
   health.num_columns = index_.num_columns();
   return health;
+}
+
+Status DistributedBackend::AddTable(
+    const std::string& table_id,
+    const std::vector<std::vector<float>>& columns) {
+  return index_.AddTable(table_id, columns);
+}
+
+Status DistributedBackend::RemoveTable(const std::string& table_id) {
+  return index_.RemoveTable(table_id);
+}
+
+Status DistributedBackend::Compact(ThreadPool* pool) {
+  return index_.Compact(pool);
+}
+
+LakeBackend::ChurnCounters DistributedBackend::Churn() const {
+  return index_.Churn();
 }
 
 }  // namespace tsfm::server

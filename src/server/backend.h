@@ -25,9 +25,15 @@ class ThreadPool;
 
 namespace tsfm::server {
 
-/// \brief What LakeServer serves. All methods must be const-thread-safe.
+/// \brief What LakeServer serves. All const methods must be
+/// const-thread-safe; the mutation entry points (AddTable/RemoveTable/
+/// Compact) may run concurrently with queries but are serialized against
+/// each other by the backend itself.
 class LakeBackend {
  public:
+  /// Churn counters reported through the v3 STATS payload.
+  using ChurnCounters = LakeChurnCounters;
+
   virtual ~LakeBackend() = default;
 
   virtual size_t dim() const = 0;
@@ -59,6 +65,31 @@ class LakeBackend {
 
   /// Identity/shape counters (the HEALTH opcode).
   virtual ShardHealth Health() const = 0;
+
+  /// Live-ingests one table (the ADD_TABLE opcode). The default backend
+  /// serves a frozen lake and answers kUnimplemented.
+  virtual Status AddTable(const std::string& table_id,
+                          const std::vector<std::vector<float>>& columns) {
+    (void)table_id;
+    (void)columns;
+    return Status::Unimplemented("this backend serves a frozen lake");
+  }
+
+  /// Tombstones the newest live table with `table_id` (REMOVE_TABLE).
+  virtual Status RemoveTable(const std::string& table_id) {
+    (void)table_id;
+    return Status::Unimplemented("this backend serves a frozen lake");
+  }
+
+  /// Folds deltas + tombstones into the base segments (COMPACT). May fan
+  /// the per-shard rebuilds over `pool`.
+  virtual Status Compact(ThreadPool* pool) {
+    (void)pool;
+    return Status::Unimplemented("this backend serves a frozen lake");
+  }
+
+  /// Point-in-time churn counters (zeros for a frozen backend).
+  virtual ChurnCounters Churn() const { return {}; }
 };
 
 /// \brief LakeBackend over an owned in-process ShardedLakeIndex.
@@ -68,7 +99,11 @@ class LakeBackend {
 class InProcessBackend final : public LakeBackend {
  public:
   explicit InProcessBackend(search::ShardedLakeIndex index)
-      : index_(std::move(index)) {}
+      : index_(std::move(index)) {
+    // A served lake is a live artifact: tables ingested from here on are
+    // churn (delta segments + tombstones), not bulk build, on every shard.
+    index_.Seal();
+  }
 
   const search::ShardedLakeIndex& index() const { return index_; }
 
@@ -88,6 +123,11 @@ class InProcessBackend final : public LakeBackend {
       ThreadPool* pool) const override;
   Result<std::vector<std::string>> TableIds() const override;
   ShardHealth Health() const override;
+  Status AddTable(const std::string& table_id,
+                  const std::vector<std::vector<float>>& columns) override;
+  Status RemoveTable(const std::string& table_id) override;
+  Status Compact(ThreadPool* pool) override;
+  ChurnCounters Churn() const override;
 
  private:
   search::ShardedLakeIndex index_;
@@ -121,6 +161,11 @@ class DistributedBackend final : public LakeBackend {
       ThreadPool* pool) const override;
   Result<std::vector<std::string>> TableIds() const override;
   ShardHealth Health() const override;
+  Status AddTable(const std::string& table_id,
+                  const std::vector<std::vector<float>>& columns) override;
+  Status RemoveTable(const std::string& table_id) override;
+  Status Compact(ThreadPool* pool) override;
+  ChurnCounters Churn() const override;
 
  private:
   DistributedLakeIndex index_;

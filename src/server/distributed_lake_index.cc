@@ -1,12 +1,16 @@
 #include "server/distributed_lake_index.h"
 
 #include <algorithm>
+#include <cstdint>
 #include <mutex>
+#include <shared_mutex>
+#include <unordered_map>
 #include <utility>
 
 #include "search/lake_index.h"
 #include "search/lake_manifest.h"
 #include "server/lake_client.h"
+#include "util/hash.h"
 #include "util/thread_pool.h"
 
 namespace tsfm::server {
@@ -36,6 +40,29 @@ struct DistributedLakeIndex::State {
   std::vector<std::string> global_ids;          // handle -> id
   std::vector<std::vector<size_t>> to_global;   // shard -> local -> handle
   std::vector<std::unique_ptr<ShardEndpoint>> shards;
+
+  // --- mutation bookkeeping (mirrors each worker's newest-live rule) ---
+  // `maps_mu` pins a map epoch: queries hold it shared across their whole
+  // scatter+remap+rank so a concurrent Compact's map swap (unique) can
+  // never tear a result. `writer_mu` serializes mutations against each
+  // other and is always taken before `maps_mu`.
+  mutable std::shared_mutex maps_mu;
+  std::mutex writer_mu;
+  std::vector<std::pair<size_t, size_t>> locator;  // handle -> (shard, local)
+  std::vector<uint8_t> dead;                       // handle -> tombstoned?
+  std::unordered_map<std::string, std::vector<size_t>> handles_by_id;
+  uint64_t pending_delta_tables = 0;
+  uint64_t pending_tombstones = 0;
+  uint64_t compactions = 0;
+  // Cleared when Connect finds a churned manifest: the handshake cannot
+  // see which handles the workers have tombstoned, so the coordinator's
+  // newest-live bookkeeping could diverge from theirs. Queries still work.
+  bool mutable_ok = true;
+  // Set when a mutation fails after it may have reached a worker: the
+  // coordinator's maps may disagree with worker handle spaces, so further
+  // mutations are refused until a fresh Connect (queries stay available
+  // against the old epoch).
+  bool mutations_broken = false;
 
   Status Annotate(size_t shard, const Status& status) const {
     return Status(status.code(), "shard " + std::to_string(shard) + " (" +
@@ -107,6 +134,34 @@ struct DistributedLakeIndex::State {
     }
     return Annotate(shard, last);
   }
+
+  /// \brief Runs a Status-returning mutation against shard `shard`,
+  /// exactly once.
+  ///
+  /// Mutations are not idempotent, so unlike CallShard a transport
+  /// failure is never retried: if the request may have reached the worker
+  /// (the connection dropped after the send), `*maybe_applied` is set and
+  /// the caller must treat the coordinator's bookkeeping as suspect. A
+  /// failure to even connect leaves `*maybe_applied` false — the mutation
+  /// definitely did not happen.
+  template <typename Fn>
+  Status CallShardMutation(size_t shard, bool* maybe_applied, Fn&& fn) {
+    *maybe_applied = false;
+    auto conn = Acquire(shard);
+    if (!conn.ok()) {
+      DropIdle(shard);
+      return Annotate(shard, conn.status());
+    }
+    std::unique_ptr<LakeClient> client = std::move(conn).value();
+    Status status = fn(*client);
+    const bool transport_failure = !status.ok() && !client->connected();
+    Release(shard, std::move(client));
+    if (transport_failure) {
+      *maybe_applied = true;
+      DropIdle(shard);
+    }
+    return status.ok() ? status : Annotate(shard, status);
+  }
 };
 
 DistributedLakeIndex::DistributedLakeIndex(std::unique_ptr<State> state)
@@ -120,15 +175,20 @@ DistributedLakeIndex::~DistributedLakeIndex() = default;
 
 size_t DistributedLakeIndex::num_shards() const { return state_->shards.size(); }
 size_t DistributedLakeIndex::num_tables() const {
+  std::shared_lock<std::shared_mutex> lock(state_->maps_mu);
   return state_->global_ids.size();
 }
-size_t DistributedLakeIndex::num_columns() const { return state_->num_columns; }
+size_t DistributedLakeIndex::num_columns() const {
+  std::shared_lock<std::shared_mutex> lock(state_->maps_mu);
+  return state_->num_columns;
+}
 size_t DistributedLakeIndex::dim() const { return state_->dim; }
 search::IndexBackend DistributedLakeIndex::backend() const {
   return state_->backend;
 }
 search::Metric DistributedLakeIndex::metric() const { return state_->metric; }
-const std::string& DistributedLakeIndex::table_id(size_t handle) const {
+std::string DistributedLakeIndex::table_id(size_t handle) const {
+  std::shared_lock<std::shared_mutex> lock(state_->maps_mu);
   return state_->global_ids[handle];
 }
 const std::string& DistributedLakeIndex::worker_socket(size_t shard) const {
@@ -223,12 +283,26 @@ Result<DistributedLakeIndex> DistributedLakeIndex::Connect(
       return Status::ParseError("lake manifest " + manifest_path +
                                 " has an invalid or duplicate table record");
     }
-    state->to_global[shard][local] = state->global_ids.size();
+    const size_t handle = state->global_ids.size();
+    state->to_global[shard][local] = handle;
+    state->locator.emplace_back(static_cast<size_t>(shard),
+                                static_cast<size_t>(local));
+    state->handles_by_id[shard_tables[shard][local]].push_back(handle);
     state->global_ids.push_back(shard_tables[shard][local]);
+  }
+  state->dead.assign(state->global_ids.size(), 0);
+  // A churned manifest means the workers carry tombstones this handshake
+  // cannot see, so the coordinator's newest-live bookkeeping would
+  // diverge from theirs: serve queries, refuse mutations.
+  if (manifest.live_tables < manifest.num_tables()) {
+    state->mutable_ok = false;
+    state->pending_tombstones =
+        manifest.num_tables() - manifest.live_tables;
   }
   return DistributedLakeIndex(std::move(state));
 }
 
+// Callers hold state_->maps_mu shared for the duration.
 Result<std::vector<std::vector<std::vector<ColumnEmbeddingIndex::ColumnHit>>>>
 DistributedLakeIndex::ScatterColumnHits(
     const std::vector<std::vector<float>>& columns, size_t m,
@@ -282,6 +356,9 @@ DistributedLakeIndex::ScatterColumnHits(
 
 Result<std::vector<std::string>> DistributedLakeIndex::QueryJoinable(
     const std::vector<float>& query_column, size_t k, ThreadPool* pool) const {
+  // Pin one map epoch across the whole scatter+remap+rank: a concurrent
+  // Compact re-densifies the maps under the unique side of this lock.
+  std::shared_lock<std::shared_mutex> lock(state_->maps_mu);
   auto scattered = ScatterColumnHits({query_column}, k * 3, pool);
   if (!scattered.ok()) return scattered.status();
   auto merged = TableRanker::MergeColumnHits(scattered.value()[0], k * 3);
@@ -293,6 +370,7 @@ Result<std::vector<std::string>> DistributedLakeIndex::QueryJoinable(
 Result<std::vector<std::string>> DistributedLakeIndex::QueryUnionable(
     const std::vector<std::vector<float>>& query_columns, size_t k,
     ThreadPool* pool) const {
+  std::shared_lock<std::shared_mutex> lock(state_->maps_mu);
   auto scattered = ScatterColumnHits(query_columns, k * 3, pool);
   if (!scattered.ok()) return scattered.status();
   std::vector<std::vector<ColumnEmbeddingIndex::ColumnHit>> per_column_hits;
@@ -357,6 +435,193 @@ DistributedLakeIndex::QueryUnionableBatch(
                   });
 }
 
+namespace {
+
+// Gate shared by every coordinator mutation; callers hold writer_mu.
+Status MutationGate(bool mutable_ok, bool mutations_broken) {
+  if (!mutable_ok) {
+    return Status::InvalidArgument(
+        "coordinator connected to a churned manifest; compact the lake "
+        "before serving mutations through a coordinator");
+  }
+  if (mutations_broken) {
+    return Status::Internal(
+        "a previous mutation failed in flight and coordinator bookkeeping "
+        "may disagree with the workers; reconnect to recover");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status DistributedLakeIndex::AddTable(
+    const std::string& table_id, const std::vector<std::vector<float>>& columns) {
+  State& st = *state_;
+  std::lock_guard<std::mutex> writer(st.writer_mu);
+  if (Status s = MutationGate(st.mutable_ok, st.mutations_broken); !s.ok()) {
+    return s;
+  }
+  const size_t shard = StableShard(table_id, st.shards.size());
+  bool maybe_applied = false;
+  Status sent = st.CallShardMutation(shard, &maybe_applied,
+                                     [&](LakeClient& client) {
+                                       return client.AddTable(table_id, columns);
+                                     });
+  if (!sent.ok()) {
+    // A server-side rejection (dim mismatch, ...) did not mutate the
+    // worker; only a maybe-delivered send poisons the bookkeeping.
+    st.mutations_broken = maybe_applied;
+    return sent;
+  }
+  std::unique_lock<std::shared_mutex> lock(st.maps_mu);
+  const size_t handle = st.global_ids.size();
+  st.to_global[shard].push_back(handle);
+  st.locator.emplace_back(shard, st.to_global[shard].size() - 1);
+  st.handles_by_id[table_id].push_back(handle);
+  st.global_ids.push_back(table_id);
+  st.dead.push_back(0);
+  st.num_columns += columns.size();
+  ++st.pending_delta_tables;
+  return Status::OK();
+}
+
+Status DistributedLakeIndex::RemoveTable(const std::string& table_id) {
+  State& st = *state_;
+  std::lock_guard<std::mutex> writer(st.writer_mu);
+  if (Status s = MutationGate(st.mutable_ok, st.mutations_broken); !s.ok()) {
+    return s;
+  }
+  // Resolve the victim locally first (the coordinator mirrors the owning
+  // worker's newest-live rule, so a miss here needs no wire trip).
+  size_t victim = SIZE_MAX;
+  auto it = st.handles_by_id.find(table_id);
+  if (it != st.handles_by_id.end() && !it->second.empty()) {
+    victim = it->second.back();
+  }
+  if (victim == SIZE_MAX) {
+    return Status::NotFound("no live table with id \"" + table_id + "\"");
+  }
+  const size_t shard = StableShard(table_id, st.shards.size());
+  bool maybe_applied = false;
+  Status sent = st.CallShardMutation(
+      shard, &maybe_applied,
+      [&](LakeClient& client) { return client.RemoveTable(table_id); });
+  if (!sent.ok()) {
+    // The worker disagreeing that the table exists is also divergence.
+    st.mutations_broken = maybe_applied || sent.code() == StatusCode::kNotFound;
+    return sent;
+  }
+  std::unique_lock<std::shared_mutex> lock(st.maps_mu);
+  st.dead[victim] = 1;
+  it->second.pop_back();
+  if (it->second.empty()) st.handles_by_id.erase(it);
+  ++st.pending_tombstones;
+  return Status::OK();
+}
+
+Status DistributedLakeIndex::Compact(ThreadPool* pool) {
+  State& st = *state_;
+  std::lock_guard<std::mutex> writer(st.writer_mu);
+  if (Status s = MutationGate(st.mutable_ok, st.mutations_broken); !s.ok()) {
+    return s;
+  }
+  const size_t num_shards = st.shards.size();
+
+  // Phase 1: every worker folds its deltas + tombstones (full rebuild of
+  // churned shards, so the remap below is deterministic). A partial
+  // success leaves worker handle spaces out of step with these maps, so
+  // any failure disables further mutations until a fresh Connect.
+  std::vector<Status> compacted(num_shards, Status::OK());
+  std::vector<uint8_t> applied(num_shards, 0);
+  auto compact_shard = [&](size_t s) {
+    bool maybe_applied = false;
+    compacted[s] = st.CallShardMutation(
+        s, &maybe_applied, [](LakeClient& client) { return client.Compact(); });
+    applied[s] = compacted[s].ok() || maybe_applied;
+  };
+  if (pool != nullptr && num_shards > 1) {
+    ParallelFor(pool, 0, num_shards, compact_shard);
+  } else {
+    for (size_t s = 0; s < num_shards; ++s) compact_shard(s);
+  }
+  size_t first_failure = num_shards;
+  bool any_applied = false;
+  for (size_t s = 0; s < num_shards; ++s) {
+    if (!compacted[s].ok() && first_failure == num_shards) first_failure = s;
+    if (applied[s]) any_applied = true;
+  }
+  if (first_failure != num_shards) {
+    // Only a clean sweep of server-side rejections (nothing applied
+    // anywhere) leaves the old epoch intact and retryable.
+    if (any_applied) st.mutations_broken = true;
+    return compacted[first_failure];
+  }
+
+  // Phase 2: verify each worker's post-compaction shape against the
+  // survivor counts these maps predict (off the maps lock — writer_mu
+  // already excludes other mutations, and queries only read).
+  std::vector<size_t> survivors(num_shards, 0);
+  size_t live_columns = 0;
+  for (size_t h = 0; h < st.global_ids.size(); ++h) {
+    if (!st.dead[h]) ++survivors[st.locator[h].first];
+  }
+  for (size_t s = 0; s < num_shards; ++s) {
+    Result<ShardHealth> health = st.CallShard(
+        s, [](LakeClient& client) { return client.Health(); });
+    if (!health.ok()) {
+      st.mutations_broken = true;
+      return health.status();
+    }
+    if (health.value().num_tables != survivors[s]) {
+      st.mutations_broken = true;
+      return st.Annotate(
+          s, Status::Internal(
+                 "worker holds " + std::to_string(health.value().num_tables) +
+                 " tables after compaction, coordinator expected " +
+                 std::to_string(survivors[s]) + "; reconnect to recover"));
+    }
+    live_columns += static_cast<size_t>(health.value().num_columns);
+  }
+
+  // Phase 3: re-densify the global maps exactly as each worker's full
+  // rebuild did — survivors keep their per-shard insertion order — so the
+  // new local handle spaces line up without another table-list fetch.
+  std::vector<std::string> new_ids;
+  std::vector<std::pair<size_t, size_t>> new_locator;
+  std::vector<std::vector<size_t>> new_to_global(num_shards);
+  std::unordered_map<std::string, std::vector<size_t>> new_handles_by_id;
+  new_ids.reserve(st.global_ids.size());
+  for (size_t h = 0; h < st.global_ids.size(); ++h) {
+    if (st.dead[h]) continue;
+    const size_t shard = st.locator[h].first;
+    const size_t handle = new_ids.size();
+    new_to_global[shard].push_back(handle);
+    new_locator.emplace_back(shard, new_to_global[shard].size() - 1);
+    new_handles_by_id[st.global_ids[h]].push_back(handle);
+    new_ids.push_back(st.global_ids[h]);
+  }
+  std::unique_lock<std::shared_mutex> lock(st.maps_mu);
+  st.global_ids = std::move(new_ids);
+  st.locator = std::move(new_locator);
+  st.to_global = std::move(new_to_global);
+  st.handles_by_id = std::move(new_handles_by_id);
+  st.dead.assign(st.global_ids.size(), 0);
+  st.num_columns = live_columns;
+  st.pending_delta_tables = 0;
+  st.pending_tombstones = 0;
+  ++st.compactions;
+  return Status::OK();
+}
+
+LakeChurnCounters DistributedLakeIndex::Churn() const {
+  std::shared_lock<std::shared_mutex> lock(state_->maps_mu);
+  LakeChurnCounters counters;
+  counters.pending_delta_tables = state_->pending_delta_tables;
+  counters.pending_tombstones = state_->pending_tombstones;
+  counters.compactions = state_->compactions;
+  return counters;
+}
+
 Result<std::vector<ShardHealth>> DistributedLakeIndex::Health() const {
   std::vector<ShardHealth> health(state_->shards.size());
   for (size_t s = 0; s < state_->shards.size(); ++s) {
@@ -380,6 +645,9 @@ Result<ServerStats> DistributedLakeIndex::AggregateStats() const {
     total.max_batch = std::max(total.max_batch, stats.max_batch);
     total.total_queue_wait_ms += stats.total_queue_wait_ms;
     total.total_latency_ms += stats.total_latency_ms;
+    total.pending_delta_tables += stats.pending_delta_tables;
+    total.pending_tombstones += stats.pending_tombstones;
+    total.compactions += stats.compactions;
   }
   return total;
 }

@@ -53,6 +53,15 @@ struct DistributedOptions {
   size_t max_frame_bytes = kDefaultMaxFrameBytes;
 };
 
+/// Point-in-time churn counters (the shape of the v3 STATS churn fields).
+/// Defined here rather than in backend.h so the coordinator can report
+/// them without depending on the serving seam.
+struct LakeChurnCounters {
+  uint64_t pending_delta_tables = 0;
+  uint64_t pending_tombstones = 0;
+  uint64_t compactions = 0;
+};
+
 /// \brief A ShardedLakeIndex-shaped query surface over worker processes.
 ///
 /// Construct with Connect. Query methods mirror ShardedLakeIndex
@@ -118,13 +127,45 @@ class DistributedLakeIndex {
   /// Worker STATS summed across shards (requests/batches/waits/latency).
   Result<ServerStats> AggregateStats() const;
 
+  /// \brief Live-ingests one table: forwards ADD_TABLE to the owning shard
+  /// worker (StableShard routing) and mirrors the new handle locally.
+  ///
+  /// Mutations through the coordinator require the lake to have been
+  /// connected unchurned (a compacted or freshly built manifest): the
+  /// handshake cannot see per-handle tombstones, so a churned connect
+  /// disables mutations with a clean error. Mutations are never retried —
+  /// a transport failure mid-mutation leaves worker and coordinator
+  /// bookkeeping possibly diverged, so further mutations are refused until
+  /// a fresh Connect (queries stay available).
+  Status AddTable(const std::string& table_id,
+                  const std::vector<std::vector<float>>& columns);
+
+  /// Tombstones the newest live table named `table_id` on its owning shard
+  /// and in the local maps. kNotFound when no live table has that id.
+  Status RemoveTable(const std::string& table_id);
+
+  /// \brief Sends COMPACT to every worker, then re-densifies the global
+  /// handle maps to mirror the workers' full rebuilds (survivors keep
+  /// their per-shard insertion order).
+  ///
+  /// On a partial failure the coordinator's maps are left at the old
+  /// epoch and mutations are disabled (reconnect to recover) — some
+  /// workers may have compacted, so the handle spaces no longer line up.
+  Status Compact(ThreadPool* pool = nullptr);
+
+  /// Coordinator-side churn counters (pending deltas/tombstones mirrored
+  /// from the mutations issued through this coordinator).
+  LakeChurnCounters Churn() const;
+
   size_t num_shards() const;
   size_t num_tables() const;
   size_t num_columns() const;
   size_t dim() const;
   search::IndexBackend backend() const;
   search::Metric metric() const;
-  const std::string& table_id(size_t handle) const;
+  /// The id behind a global handle (a copy: the maps may be re-densified
+  /// by a concurrent Compact).
+  std::string table_id(size_t handle) const;
   const std::string& worker_socket(size_t shard) const;
 
  private:

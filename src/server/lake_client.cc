@@ -137,9 +137,39 @@ Result<std::vector<std::string>> LakeClient::QueryUnionable(
 }
 
 Result<ServerStats> LakeClient::Stats() {
-  Result<Response> response = RoundTrip(MakeRequest(Opcode::kStats));
+  Request request = MakeRequest(Opcode::kStats);
+  // The stats payload shape follows the request version: stamp the newest
+  // version so the response carries the v3 churn counters too.
+  request.version = kProtocolVersion;
+  Result<Response> response = RoundTrip(request);
   if (!response.ok()) return response.status();
   return std::move(response).value().stats;
+}
+
+Status LakeClient::AddTable(const std::string& table_id,
+                            const std::vector<std::vector<float>>& columns) {
+  for (const auto& column : columns) {
+    if (column.size() != columns[0].size()) {
+      return Status::InvalidArgument("new table's columns differ in dim");
+    }
+  }
+  Request request = MakeRequest(Opcode::kAddTable);
+  request.table_id = table_id;
+  request.columns = columns;
+  Result<Response> response = RoundTrip(request);
+  return response.ok() ? Status::OK() : response.status();
+}
+
+Status LakeClient::RemoveTable(const std::string& table_id) {
+  Request request = MakeRequest(Opcode::kRemoveTable);
+  request.table_id = table_id;
+  Result<Response> response = RoundTrip(request);
+  return response.ok() ? Status::OK() : response.status();
+}
+
+Status LakeClient::Compact() {
+  Result<Response> response = RoundTrip(MakeRequest(Opcode::kCompact));
+  return response.ok() ? Status::OK() : response.status();
 }
 
 Result<std::vector<std::vector<ShardHit>>> LakeClient::ShardQuery(

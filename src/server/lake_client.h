@@ -45,8 +45,26 @@ class LakeClient {
   Result<std::vector<std::string>> QueryUnionable(
       const std::vector<std::vector<float>>& columns, size_t k);
 
-  /// Server-side batching and latency counters.
+  /// \brief Server-side batching/latency counters plus churn counters.
+  ///
+  /// The request is stamped protocol version 3 so the response carries the
+  /// churn counters (the stats payload shape follows the request version).
+  /// Pre-v3 servers reject the stamp with a clean version error — query a
+  /// frozen deployment's stats with an older client build.
   Result<ServerStats> Stats();
+
+  /// Live-ingests one table (ADD_TABLE). All columns must share one
+  /// dimension. Requires a protocol-version-3 server.
+  Status AddTable(const std::string& table_id,
+                  const std::vector<std::vector<float>>& columns);
+
+  /// Tombstones the newest live table named `table_id` (REMOVE_TABLE);
+  /// kNotFound when no live table has that id. Requires a v3 server.
+  Status RemoveTable(const std::string& table_id);
+
+  /// Folds deltas + tombstones into the base segments (COMPACT). Blocks
+  /// until the server's compaction finishes. Requires a v3 server.
+  Status Compact();
 
   /// \brief Raw top-`m` column hits per query column (SHARD_QUERY).
   ///

@@ -126,10 +126,37 @@ void LakeServer::Stop() {
 
 ServerStats LakeServer::stats() const {
   ServerStats stats = batcher_->stats();
+  const LakeBackend::ChurnCounters churn = backend_->Churn();
+  stats.pending_delta_tables = churn.pending_delta_tables;
+  stats.pending_tombstones = churn.pending_tombstones;
+  stats.compactions = churn.compactions;
   std::unique_lock<std::mutex> lock(latency_mu_);
   stats.total_latency_ms = total_latency_ms_;
   stats.requests += shard_requests_;
   return stats;
+}
+
+void LakeServer::MaybeAutoCompact() {
+  if (options_.auto_compact_pending == 0) return;
+  const LakeBackend::ChurnCounters churn = backend_->Churn();
+  if (churn.pending_delta_tables + churn.pending_tombstones <
+      options_.auto_compact_pending) {
+    return;
+  }
+  if (compacting_.exchange(true)) return;  // one in flight is enough
+  // The compaction itself runs serially (pool=nullptr): its task lives on
+  // the query pool, and ParallelFor must not nest on the pool it runs on.
+  // Stop() drains the query pool, so a compaction in flight at shutdown
+  // completes rather than being torn out from under the backend.
+  if (!query_pool_->Submit([this] {
+        // Failure shows up in the still-elevated churn counters; there is
+        // no client on this code path to report it to.
+        Status ignored = backend_->Compact(nullptr);
+        (void)ignored;
+        compacting_.store(false);
+      })) {
+    compacting_.store(false);
+  }
 }
 
 void LakeServer::AcceptLoop() {
@@ -245,6 +272,22 @@ Response LakeServer::HandleRequest(Request&& request) {
     response.ids = std::move(ids).value();
     return response;
   }
+  if (op == Opcode::kRemoveTable) {
+    if (Status s = backend_->RemoveTable(request.table_id); !s.ok()) {
+      return Response::Error(op, s);
+    }
+    MaybeAutoCompact();
+    return response;
+  }
+  if (op == Opcode::kCompact) {
+    // Blocks this handler until the fold finishes — the client asked for a
+    // compaction and gets told when it is durable. Concurrent queries keep
+    // serving against the pre-compaction epoch until the atomic swap.
+    if (Status s = backend_->Compact(query_pool_.get()); !s.ok()) {
+      return Response::Error(op, s);
+    }
+    return response;
+  }
   if (op == Opcode::kJoin && request.columns.size() != 1) {
     return Response::Error(
         op, Status::InvalidArgument(
@@ -259,6 +302,14 @@ Response LakeServer::HandleRequest(Request&& request) {
                                       " does not match index dim " +
                                       std::to_string(backend_->dim())));
     }
+  }
+  if (op == Opcode::kAddTable) {
+    if (Status s = backend_->AddTable(request.table_id, request.columns);
+        !s.ok()) {
+      return Response::Error(op, s);
+    }
+    MaybeAutoCompact();
+    return response;
   }
   if (op == Opcode::kShardQuery) {
     // Shard queries bypass the batcher: they are the scatter primitive a

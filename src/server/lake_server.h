@@ -55,6 +55,10 @@ struct ServerOptions {
   size_t query_threads = 0;
   size_t max_batch = 64;                          ///< per dispatch round
   size_t max_frame_bytes = kDefaultMaxFrameBytes; ///< request frame ceiling
+  /// When non-zero, a background compaction is kicked off on the query
+  /// pool whenever pending deltas + tombstones reach this count after a
+  /// mutation (at most one in flight; queries keep serving throughout).
+  size_t auto_compact_pending = 0;
 };
 
 /// \brief A blocking query server that owns a LakeBackend.
@@ -99,6 +103,9 @@ class LakeServer {
   /// Validates and executes one parsed request (the only layer that knows
   /// both the protocol and the backend).
   Response HandleRequest(Request&& request);
+  /// Kicks a background compaction onto the query pool when the churn
+  /// counters cross ServerOptions::auto_compact_pending.
+  void MaybeAutoCompact();
 
   std::unique_ptr<LakeBackend> backend_;
   ServerOptions options_;
@@ -114,6 +121,7 @@ class LakeServer {
   std::string socket_path_;
   bool started_ = false;
   std::atomic<bool> stopping_{false};
+  std::atomic<bool> compacting_{false};  // one auto-compaction in flight
   std::mutex stop_mu_;  // serializes Stop; stopped_ is written under it
   bool stopped_ = false;
 

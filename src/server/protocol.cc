@@ -43,13 +43,18 @@ Status RequireFullyConsumed(std::istream& in) {
 // True for the opcodes that carry no payload beyond the header.
 bool IsHeaderOnly(Opcode op) {
   return op == Opcode::kStats || op == Opcode::kHealth ||
-         op == Opcode::kShardTables;
+         op == Opcode::kShardTables || op == Opcode::kCompact;
+}
+
+// True for the opcodes whose payload starts with a table id.
+bool CarriesTableId(Opcode op) {
+  return op == Opcode::kAddTable || op == Opcode::kRemoveTable;
 }
 
 // Shared header validation: the version byte must be one this build
-// decodes, and a v2 opcode must not be smuggled into a v1 frame — a
-// v1-only peer would misparse it, so that combination never appears on a
-// healthy wire.
+// decodes, and a newer opcode must not be smuggled into an older frame — an
+// old-version-only peer would misparse it, so that combination never
+// appears on a healthy wire.
 Status CheckVersionedOpcode(uint8_t version, uint8_t raw_op) {
   if (version < kMinProtocolVersion || version > kProtocolVersion) {
     return Status::ParseError("unsupported protocol version " +
@@ -71,7 +76,7 @@ Status CheckVersionedOpcode(uint8_t version, uint8_t raw_op) {
 
 bool IsValidOpcode(uint8_t raw) {
   return raw >= static_cast<uint8_t>(Opcode::kJoin) &&
-         raw <= static_cast<uint8_t>(Opcode::kShardTables);
+         raw <= static_cast<uint8_t>(Opcode::kCompact);
 }
 
 uint8_t RequiredVersion(Opcode op) {
@@ -84,6 +89,10 @@ uint8_t RequiredVersion(Opcode op) {
     case Opcode::kHealth:
     case Opcode::kShardTables:
       return 2;
+    case Opcode::kAddTable:
+    case Opcode::kRemoveTable:
+    case Opcode::kCompact:
+      return 3;
   }
   return kProtocolVersion;
 }
@@ -101,6 +110,25 @@ void EncodeRequest(const Request& request, std::ostream& out) {
   WritePod(out, request.version);
   WritePod(out, static_cast<uint8_t>(request.op));
   if (IsHeaderOnly(request.op)) return;
+  if (CarriesTableId(request.op)) {
+    WritePod(out, static_cast<uint32_t>(request.table_id.size()));
+    out.write(request.table_id.data(),
+              static_cast<std::streamsize>(request.table_id.size()));
+    if (request.op == Opcode::kRemoveTable) return;
+    // kAddTable continues with the new table's columns; no k — an ingest
+    // has no result-count knob.
+    WritePod(out, static_cast<uint32_t>(request.columns.size()));
+    const uint32_t dim = request.columns.empty()
+                             ? 0u
+                             : static_cast<uint32_t>(request.columns[0].size());
+    WritePod(out, dim);
+    for (const auto& column : request.columns) {
+      TSFM_CHECK_EQ(column.size(), static_cast<size_t>(dim));
+      out.write(reinterpret_cast<const char*>(column.data()),
+                static_cast<std::streamsize>(column.size() * sizeof(float)));
+    }
+    return;
+  }
   WritePod(out, request.k);
   WritePod(out, static_cast<uint32_t>(request.columns.size()));
   const uint32_t dim =
@@ -125,8 +153,37 @@ Status DecodeRequest(std::istream& in, Request* request) {
   request->version = version;
   request->op = static_cast<Opcode>(raw_op);
   request->k = 0;
+  request->table_id.clear();
   request->columns.clear();
   if (IsHeaderOnly(request->op)) return RequireFullyConsumed(in);
+  if (CarriesTableId(request->op)) {
+    uint32_t id_len = 0;
+    if (!ReadPod(in, &id_len)) return Truncated("table id length");
+    if (id_len > kMaxIdBytes) {
+      return Status::ParseError("table id length exceeds protocol limits");
+    }
+    request->table_id.resize(id_len);
+    in.read(request->table_id.data(), static_cast<std::streamsize>(id_len));
+    if (!in) return Truncated("table id");
+    if (request->op == Opcode::kRemoveTable) return RequireFullyConsumed(in);
+    uint32_t num_columns = 0, dim = 0;
+    if (!ReadPod(in, &num_columns) || !ReadPod(in, &dim)) {
+      return Truncated("table shape");
+    }
+    if (num_columns > kMaxColumns || dim > kMaxDim) {
+      return Status::ParseError("table shape " + std::to_string(num_columns) +
+                                "x" + std::to_string(dim) +
+                                " exceeds protocol limits");
+    }
+    request->columns.resize(num_columns);
+    for (auto& column : request->columns) {
+      column.resize(dim);
+      in.read(reinterpret_cast<char*>(column.data()),
+              static_cast<std::streamsize>(dim * sizeof(float)));
+      if (!in) return Truncated("table vectors");
+    }
+    return RequireFullyConsumed(in);
+  }
 
   uint32_t num_columns = 0, dim = 0;
   if (!ReadPod(in, &request->k) || !ReadPod(in, &num_columns) ||
@@ -164,6 +221,14 @@ void EncodeResponse(const Response& response, std::ostream& out) {
     WritePod(out, response.stats.max_batch);
     WritePod(out, response.stats.total_queue_wait_ms);
     WritePod(out, response.stats.total_latency_ms);
+    // Churn counters ride only in v3-stamped stats responses; the server
+    // echoes the request's version, so a v1/v2 peer keeps receiving the
+    // exact five-field payload it always parsed.
+    if (response.version >= 3) {
+      WritePod(out, response.stats.pending_delta_tables);
+      WritePod(out, response.stats.pending_tombstones);
+      WritePod(out, response.stats.compactions);
+    }
     return;
   }
   if (response.op == Opcode::kHealth) {
@@ -231,6 +296,12 @@ Status DecodeResponse(std::istream& in, Response* response) {
         !ReadPod(in, &response->stats.total_queue_wait_ms) ||
         !ReadPod(in, &response->stats.total_latency_ms)) {
       return Truncated("stats payload");
+    }
+    if (version >= 3 &&
+        (!ReadPod(in, &response->stats.pending_delta_tables) ||
+         !ReadPod(in, &response->stats.pending_tombstones) ||
+         !ReadPod(in, &response->stats.compactions))) {
+      return Truncated("stats churn counters");
     }
     return RequireFullyConsumed(in);
   }

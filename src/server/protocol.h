@@ -27,13 +27,16 @@ namespace tsfm::server {
 ///
 /// Version 1 defined JOIN/UNION/STATS; version 2 added the per-shard
 /// opcodes (SHARD_QUERY/HEALTH/SHARD_TABLES) for the distributed tier and
-/// changed nothing about the version-1 payloads. Every message is encoded
-/// with the *lowest* version that can express it (RequiredVersion below),
-/// so a v2 client interoperates with a v1 server for the v1 opcodes, and
-/// decoders reject only frames they genuinely cannot parse: a version
-/// outside [kMinProtocolVersion, kProtocolVersion], or a v2 opcode claimed
-/// inside a v1 frame.
-inline constexpr uint8_t kProtocolVersion = 2;
+/// changed nothing about the version-1 payloads. Version 3 added the
+/// mutation opcodes (ADD_TABLE/REMOVE_TABLE/COMPACT) and three churn
+/// counters to the kStats payload (carried only in v3-stamped stats
+/// responses, so v1/v2 stats traffic is unchanged). Every message is
+/// encoded with the *lowest* version that can express it (RequiredVersion
+/// below), so a v3 client interoperates with a v1 server for the v1
+/// opcodes, and decoders reject only frames they genuinely cannot parse: a
+/// version outside [kMinProtocolVersion, kProtocolVersion], or an opcode
+/// claimed inside a frame older than its RequiredVersion.
+inline constexpr uint8_t kProtocolVersion = 3;
 
 /// Oldest version still decoded (version-1 traffic stays valid).
 inline constexpr uint8_t kMinProtocolVersion = 1;
@@ -50,27 +53,34 @@ enum class Opcode : uint8_t {
   kShardQuery = 4,   ///< raw top-m column hits per query column (coordinator scatter)
   kHealth = 5,       ///< shard identity: protocol version, backend, dim, counts
   kShardTables = 6,  ///< the shard's table ids in local-handle order
+  kAddTable = 7,     ///< live-ingest one table (id + column embeddings)
+  kRemoveTable = 8,  ///< tombstone the newest live table with an id
+  kCompact = 9,      ///< fold deltas + tombstones into the base segments
 };
 
 /// True for the opcodes this version understands.
 bool IsValidOpcode(uint8_t raw);
 
 /// The lowest protocol version that can carry `op` (1 for the original
-/// opcodes, 2 for the shard opcodes). Encoders stamp messages with this so
-/// old peers keep understanding new binaries' v1 traffic.
+/// opcodes, 2 for the shard opcodes, 3 for the mutation opcodes). Encoders
+/// stamp messages with this so old peers keep understanding new binaries'
+/// v1 traffic.
 uint8_t RequiredVersion(Opcode op);
 
 /// \brief One client request.
 ///
 /// kJoin carries exactly one column; kUnion and kShardQuery any number
 /// (zero included — the server answers it exactly like a direct call with
-/// no columns); kStats, kHealth, and kShardTables carry neither k nor
-/// columns. For kShardQuery, `k` is the per-column hit budget `m` (the
-/// coordinator's k*3 over-retrieval), not a result-table count.
+/// no columns); kStats, kHealth, kShardTables, and kCompact carry neither
+/// k nor columns. For kShardQuery, `k` is the per-column hit budget `m`
+/// (the coordinator's k*3 over-retrieval), not a result-table count.
+/// kAddTable carries `table_id` plus the new table's columns (no k);
+/// kRemoveTable carries only `table_id`.
 struct Request {
   uint8_t version = kProtocolVersion;
   Opcode op = Opcode::kJoin;
   uint32_t k = 0;
+  std::string table_id;  ///< kAddTable / kRemoveTable target
   std::vector<std::vector<float>> columns;
 
   bool operator==(const Request&) const = default;
@@ -106,13 +116,19 @@ struct ShardHealth {
   bool operator==(const ShardHealth&) const = default;
 };
 
-/// Server-side counters returned by the kStats opcode.
+/// Server-side counters returned by the kStats opcode. The churn counters
+/// travel only in v3-stamped stats responses (RequiredVersion keeps kStats
+/// itself at version 1, so old peers still get the original five fields);
+/// a v3 client requests the v3 shape by stamping its stats request v3.
 struct ServerStats {
   uint64_t requests = 0;          ///< query requests answered (join/union/shard)
   uint64_t batches = 0;           ///< coalesced batch dispatches
   uint64_t max_batch = 0;         ///< largest batch coalesced so far
   double total_queue_wait_ms = 0; ///< sum of enqueue->dispatch waits
   double total_latency_ms = 0;    ///< sum of frame-read->response latencies
+  uint64_t pending_delta_tables = 0;  ///< v3: delta tables awaiting compaction
+  uint64_t pending_tombstones = 0;    ///< v3: tombstoned-but-uncompacted tables
+  uint64_t compactions = 0;           ///< v3: completed compaction passes
 
   bool operator==(const ServerStats&) const = default;
 };

@@ -18,11 +18,14 @@
 #include "search/quantizer.h"
 #include "search/sharded_lake_index.h"
 #include "search/vector_index.h"
+#include "test_util.h"
 #include "util/random.h"
 #include "util/thread_pool.h"
 
 namespace tsfm::search {
 namespace {
+
+using testutil::RandomVec;
 
 // Pins the process-wide kernel selection for one scope.
 class ScopedKernels {
@@ -32,12 +35,6 @@ class ScopedKernels {
   }
   ~ScopedKernels() { internal::OverrideKernelsForTest(nullptr); }
 };
-
-std::vector<float> RandomVec(Rng* rng, size_t dim) {
-  std::vector<float> v(dim);
-  for (auto& x : v) x = static_cast<float>(rng->Normal());
-  return v;
-}
 
 // The documented contract: kernel sets agree within 1e-4 relative (floored
 // at 1 so near-zero values compare absolutely).

@@ -416,20 +416,41 @@ TEST(CheckpointFailureTest, GarbageMagicRejected) {
 
 server::Request RandomRequest(Rng* rng) {
   server::Request request;
-  switch (rng->UniformInt(0, 5)) {
+  switch (rng->UniformInt(0, 8)) {
     case 0: request.op = server::Opcode::kJoin; break;
     case 1: request.op = server::Opcode::kUnion; break;
     case 2: request.op = server::Opcode::kStats; break;
     case 3: request.op = server::Opcode::kShardQuery; break;
     case 4: request.op = server::Opcode::kHealth; break;
-    default: request.op = server::Opcode::kShardTables; break;
+    case 5: request.op = server::Opcode::kShardTables; break;
+    case 6: request.op = server::Opcode::kAddTable; break;
+    case 7: request.op = server::Opcode::kRemoveTable; break;
+    default: request.op = server::Opcode::kCompact; break;
   }
   // Messages travel at the lowest version that can carry them (what
   // LakeClient sends); round trips must preserve that.
   request.version = server::RequiredVersion(request.op);
   if (request.op == server::Opcode::kStats ||
       request.op == server::Opcode::kHealth ||
-      request.op == server::Opcode::kShardTables) {
+      request.op == server::Opcode::kShardTables ||
+      request.op == server::Opcode::kCompact) {
+    return request;
+  }
+  if (request.op == server::Opcode::kAddTable ||
+      request.op == server::Opcode::kRemoveTable) {
+    // Mutations carry a table id (empty ids must survive the wire too);
+    // ingest adds the new table's columns but no k.
+    if (rng->UniformInt(0, 4) != 0) {
+      request.table_id = "tbl_" + std::to_string(rng->UniformInt(0, 999));
+    }
+    if (request.op == server::Opcode::kAddTable) {
+      request.columns.resize(static_cast<size_t>(rng->UniformInt(0, 3)));
+      size_t dim = static_cast<size_t>(rng->UniformInt(0, 8));
+      for (auto& column : request.columns) {
+        column.resize(dim);
+        for (auto& x : column) x = static_cast<float>(rng->Normal());
+      }
+    }
     return request;
   }
   request.k = static_cast<uint32_t>(rng->UniformInt(0, 50));
@@ -447,13 +468,16 @@ server::Request RandomRequest(Rng* rng) {
 
 server::Response RandomResponse(Rng* rng) {
   server::Response response;
-  switch (rng->UniformInt(0, 5)) {
+  switch (rng->UniformInt(0, 8)) {
     case 0: response.op = server::Opcode::kJoin; break;
     case 1: response.op = server::Opcode::kUnion; break;
     case 2: response.op = server::Opcode::kStats; break;
     case 3: response.op = server::Opcode::kShardQuery; break;
     case 4: response.op = server::Opcode::kHealth; break;
-    default: response.op = server::Opcode::kShardTables; break;
+    case 5: response.op = server::Opcode::kShardTables; break;
+    case 6: response.op = server::Opcode::kAddTable; break;
+    case 7: response.op = server::Opcode::kRemoveTable; break;
+    default: response.op = server::Opcode::kCompact; break;
   }
   response.version = server::RequiredVersion(response.op);
   if (rng->UniformInt(0, 3) == 0) {
@@ -467,7 +491,22 @@ server::Response RandomResponse(Rng* rng) {
     response.stats.max_batch = static_cast<uint64_t>(rng->UniformInt(0, 64));
     response.stats.total_queue_wait_ms = rng->UniformDouble(0, 10);
     response.stats.total_latency_ms = rng->UniformDouble(0, 10);
+    // Half the time, upgrade to a v3 stats frame carrying churn counters —
+    // the shape a v3 client's Stats() call elicits.
+    if (rng->Bernoulli(0.5)) {
+      response.version = server::kProtocolVersion;
+      response.stats.pending_delta_tables =
+          static_cast<uint64_t>(rng->UniformInt(0, 50));
+      response.stats.pending_tombstones =
+          static_cast<uint64_t>(rng->UniformInt(0, 50));
+      response.stats.compactions = static_cast<uint64_t>(rng->UniformInt(0, 9));
+    }
     return response;
+  }
+  if (response.op == server::Opcode::kAddTable ||
+      response.op == server::Opcode::kRemoveTable ||
+      response.op == server::Opcode::kCompact) {
+    return response;  // mutation acks travel as empty id lists
   }
   if (response.op == server::Opcode::kHealth) {
     response.health.protocol_version = server::kProtocolVersion;
@@ -529,11 +568,13 @@ TEST_P(ProtocolRoundTripTest, NoProperPrefixOfAQueryRequestDecodes) {
   Rng rng(GetParam() + 2000);
   for (int i = 0; i < 10; ++i) {
     server::Request request = RandomRequest(&rng);
-    // Header-only opcodes (STATS/HEALTH/SHARD_TABLES) are 2-byte payloads.
+    // Header-only opcodes (STATS/HEALTH/SHARD_TABLES/COMPACT) are 2-byte
+    // payloads with no proper prefix worth cutting.
     if (request.columns.empty() && request.k == 0 &&
         (request.op == server::Opcode::kStats ||
          request.op == server::Opcode::kHealth ||
-         request.op == server::Opcode::kShardTables)) {
+         request.op == server::Opcode::kShardTables ||
+         request.op == server::Opcode::kCompact)) {
       continue;
     }
     std::string payload = server::SerializeRequest(request);
@@ -588,9 +629,10 @@ TEST(ProtocolRoundTripTest, ExplicitEdgeCases) {
 //
 // The compatibility contract (src/server/README.md): v1 opcodes travel in
 // v1 frames and decode under every supported version; v2 (shard) opcodes
-// require v2 frames; versions outside [min, current] are rejected; and a
-// v2 opcode smuggled into a v1 frame is a parse error, because a v1-only
-// peer would misparse it.
+// require v2 frames and v3 (mutation) opcodes v3 frames; versions outside
+// [min, current] are rejected; and a newer opcode smuggled into an older
+// frame is a parse error, because an old-version-only peer would misparse
+// it.
 
 TEST(ProtocolVersionTest, EncodersStampTheLowestVersionThatCarriesTheOpcode) {
   EXPECT_EQ(server::RequiredVersion(server::Opcode::kJoin), 1);
@@ -599,10 +641,13 @@ TEST(ProtocolVersionTest, EncodersStampTheLowestVersionThatCarriesTheOpcode) {
   EXPECT_EQ(server::RequiredVersion(server::Opcode::kShardQuery), 2);
   EXPECT_EQ(server::RequiredVersion(server::Opcode::kHealth), 2);
   EXPECT_EQ(server::RequiredVersion(server::Opcode::kShardTables), 2);
+  EXPECT_EQ(server::RequiredVersion(server::Opcode::kAddTable), 3);
+  EXPECT_EQ(server::RequiredVersion(server::Opcode::kRemoveTable), 3);
+  EXPECT_EQ(server::RequiredVersion(server::Opcode::kCompact), 3);
 }
 
-TEST(ProtocolVersionTest, V1OpcodesDecodeUnderBothSupportedVersions) {
-  for (uint8_t version : {uint8_t{1}, uint8_t{2}}) {
+TEST(ProtocolVersionTest, V1OpcodesDecodeUnderAllSupportedVersions) {
+  for (uint8_t version : {uint8_t{1}, uint8_t{2}, uint8_t{3}}) {
     server::Request request;
     request.version = version;
     request.op = server::Opcode::kJoin;
@@ -623,6 +668,69 @@ TEST(ProtocolVersionTest, ShardOpcodeInsideAV1FrameIsRejected) {
   request.k = 5;
   request.columns = {{1.0f, 2.0f}};
   std::istringstream in(server::SerializeRequest(request));
+  server::Request decoded;
+  auto status = server::DecodeRequest(in, &decoded);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kParseError);
+}
+
+TEST(ProtocolVersionTest, MutationOpcodesInsideOlderFramesAreRejected) {
+  // A v1/v2 peer cannot parse the mutation payloads, so the decoder must
+  // refuse the combination outright — a pre-v3 client never hangs on a
+  // half-understood ADD_TABLE, it gets a clean parse error.
+  for (uint8_t version : {uint8_t{1}, uint8_t{2}}) {
+    for (auto op : {server::Opcode::kAddTable, server::Opcode::kRemoveTable,
+                    server::Opcode::kCompact}) {
+      server::Request request;
+      request.version = version;
+      request.op = op;
+      request.table_id = "t";
+      if (op == server::Opcode::kAddTable) request.columns = {{1.0f, 2.0f}};
+      std::istringstream in(server::SerializeRequest(request));
+      server::Request decoded;
+      auto status = server::DecodeRequest(in, &decoded);
+      ASSERT_FALSE(status.ok())
+          << "op " << int(static_cast<uint8_t>(op)) << " v" << int(version);
+      EXPECT_EQ(status.code(), StatusCode::kParseError);
+      EXPECT_NE(status.ToString().find("requires protocol version"),
+                std::string::npos)
+          << status.ToString();
+    }
+  }
+}
+
+TEST(ProtocolVersionTest, StatsPayloadKeepsTheFiveFieldShapeForOldPeers) {
+  // The churn counters ride only in v3-stamped stats frames; a v1/v2 peer
+  // keeps receiving (and fully consuming) the exact payload it always had.
+  server::Response churned;
+  churned.op = server::Opcode::kStats;
+  churned.stats.requests = 7;
+  churned.stats.pending_delta_tables = 4;
+  churned.stats.pending_tombstones = 2;
+  churned.stats.compactions = 1;
+  churned.version = 2;
+  const std::string old_frame = server::SerializeResponse(churned);
+  churned.version = 3;
+  const std::string new_frame = server::SerializeResponse(churned);
+  // Exactly the three u64 counters of extra payload, and not a byte more.
+  EXPECT_EQ(new_frame.size(), old_frame.size() + 3 * sizeof(uint64_t));
+
+  std::istringstream in(old_frame);
+  server::Response decoded;
+  ASSERT_TRUE(server::DecodeResponse(in, &decoded).ok());
+  EXPECT_EQ(decoded.stats.requests, 7u);
+  EXPECT_EQ(decoded.stats.pending_delta_tables, 0u);
+  EXPECT_EQ(decoded.stats.pending_tombstones, 0u);
+  EXPECT_EQ(decoded.stats.compactions, 0u);
+}
+
+TEST(ProtocolVersionTest, HostileTableIdLengthIsRejectedBeforeAllocation) {
+  std::ostringstream hostile;
+  search::io::WritePod(hostile, server::kProtocolVersion);
+  search::io::WritePod(hostile,
+                       static_cast<uint8_t>(server::Opcode::kRemoveTable));
+  search::io::WritePod(hostile, uint32_t{0xFFFFFFFF});  // table id length
+  std::istringstream in(hostile.str());
   server::Request decoded;
   auto status = server::DecodeRequest(in, &decoded);
   ASSERT_FALSE(status.ok());

@@ -16,25 +16,14 @@
 #include "search/knn_index.h"
 #include "search/quantizer.h"
 #include "search/vector_index.h"
+#include "test_util.h"
 #include "util/random.h"
 
 namespace tsfm::search {
 namespace {
 
-std::vector<float> RandomVec(Rng* rng, size_t dim) {
-  std::vector<float> v(dim);
-  for (auto& x : v) x = static_cast<float>(rng->Normal());
-  return v;
-}
-
-std::vector<float> RandomRows(Rng* rng, size_t rows, size_t dim) {
-  std::vector<float> data;
-  data.reserve(rows * dim);
-  for (size_t r = 0; r < rows * dim; ++r) {
-    data.push_back(static_cast<float>(rng->Normal()));
-  }
-  return data;
-}
+using testutil::RandomRows;
+using testutil::RandomVec;
 
 // ----------------------------------------------------------------- codec
 

@@ -10,40 +10,17 @@
 #include <unordered_set>
 
 #include "search/sharded_lake_index.h"
+#include "test_util.h"
 #include "util/random.h"
 #include "util/thread_pool.h"
 
 namespace tsfm::search {
 namespace {
 
-std::vector<float> RandomVec(size_t dim, Rng* rng) {
-  std::vector<float> v(dim);
-  for (auto& x : v) x = static_cast<float>(rng->Normal());
-  return v;
-}
-
-struct Corpus {
-  std::vector<std::string> ids;
-  std::vector<std::vector<std::vector<float>>> tables;  // per table: columns
-  std::vector<std::vector<float>> join_queries;
-  std::vector<std::vector<std::vector<float>>> union_queries;
-};
-
-Corpus MakeCorpus(size_t num_tables, size_t dim, uint64_t seed) {
-  Corpus corpus;
-  Rng rng(seed);
-  for (size_t t = 0; t < num_tables; ++t) {
-    corpus.ids.push_back("table_" + std::to_string(t));
-    std::vector<std::vector<float>> cols(1 + t % 3);
-    for (auto& col : cols) col = RandomVec(dim, &rng);
-    corpus.tables.push_back(std::move(cols));
-  }
-  for (size_t q = 0; q < 10; ++q) {
-    corpus.join_queries.push_back(RandomVec(dim, &rng));
-    corpus.union_queries.push_back({RandomVec(dim, &rng), RandomVec(dim, &rng)});
-  }
-  return corpus;
-}
+using testutil::Corpus;
+using testutil::MakeCorpus;
+using testutil::RandomVec;
+using testutil::RecallAtK;
 
 LakeIndex BuildUnsharded(const Corpus& corpus, size_t dim,
                          const IndexOptions& options = {}) {
@@ -95,12 +72,7 @@ TEST(ShardedLakeIndexTest, HnswRecallAtLeastPointNinePerShardCount) {
     for (const auto& q : corpus.join_queries) {
       auto gold = flat_gold.QueryJoinable(q, k);
       ASSERT_GE(gold.size(), k);
-      std::unordered_set<std::string> gold_set(gold.begin(), gold.end());
-      size_t hits = 0;
-      for (const auto& id : sharded.QueryJoinable(q, k)) {
-        hits += gold_set.count(id);
-      }
-      recall_sum += static_cast<double>(hits) / static_cast<double>(k);
+      recall_sum += RecallAtK(gold, sharded.QueryJoinable(q, k), k);
     }
     EXPECT_GE(recall_sum / static_cast<double>(corpus.join_queries.size()), 0.9)
         << shards << " shards";
@@ -209,7 +181,7 @@ TEST(ShardedLakeIndexTest, MixedStorageShardsRejected) {
   // Overwrite shard 1 with a float32 lake of the same dim.
   Rng rng(11);
   LakeIndex imposter(dim);
-  imposter.AddTable("imposter", {RandomVec(dim, &rng)});
+  imposter.AddTable("imposter", {RandomVec(&rng, dim)});
   ASSERT_TRUE(imposter.Save(path + ".shard-1").ok());
 
   auto loaded = ShardedLakeIndex::Load(path);
@@ -237,12 +209,7 @@ TEST(ShardedLakeIndexTest, Sq8RecallAtTenVersusFloatFlat) {
     for (const auto& q : corpus.join_queries) {
       auto gold = flat_gold.QueryJoinable(q, k);
       ASSERT_GE(gold.size(), k);
-      std::unordered_set<std::string> gold_set(gold.begin(), gold.end());
-      size_t hits = 0;
-      for (const auto& id : sharded.QueryJoinable(q, k)) {
-        hits += gold_set.count(id);
-      }
-      recall_sum += static_cast<double>(hits) / static_cast<double>(k);
+      recall_sum += RecallAtK(gold, sharded.QueryJoinable(q, k), k);
     }
     EXPECT_GE(recall_sum / static_cast<double>(corpus.join_queries.size()),
               0.99)
@@ -357,7 +324,7 @@ TEST(ShardedLakeIndexTest, HandlesAssignedInInsertionOrder) {
   Rng rng(8);
   for (size_t t = 0; t < 20; ++t) {
     size_t handle = index.AddTable("t" + std::to_string(t),
-                                   {RandomVec(dim, &rng)});
+                                   {RandomVec(&rng, dim)});
     EXPECT_EQ(handle, t);
     EXPECT_EQ(index.table_id(handle), "t" + std::to_string(t));
   }
