@@ -219,12 +219,20 @@ int Demo() {
     Table t = lakebench::GenerateDomainTable(
         catalog.domain(static_cast<size_t>(i) % catalog.size()),
         "demo_" + std::to_string(i), 24, &rng);
-    WriteCsvFile(t, (dir / (t.id() + ".csv")).string());
+    if (Status s = WriteCsvFile(t, (dir / (t.id() + ".csv")).string());
+        !s.ok()) {
+      std::fprintf(stderr, "write %s: %s\n", t.id().c_str(),
+                   s.ToString().c_str());
+      return 1;
+    }
   }
   // Query with a fresh table from domain 0: demo_0.csv should rank high.
   Table query = lakebench::GenerateDomainTable(catalog.domain(0), "query", 24, &rng);
   std::string query_path = (dir / "query.csv").string();
-  WriteCsvFile(query, query_path);
+  if (Status s = WriteCsvFile(query, query_path); !s.ok()) {
+    std::fprintf(stderr, "write query: %s\n", s.ToString().c_str());
+    return 1;
+  }
   // Index and query with both ANN backends, unsharded and sharded; the
   // flat results are identical across shard counts while HNSW stays
   // sublinear as the lake grows.

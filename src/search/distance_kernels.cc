@@ -366,6 +366,8 @@ void OverrideKernelsForTest(const KernelDispatch* kernels) {
                  std::memory_order_release);
 }
 
+bool ForceScalarFromEnvForTest() { return ForceScalarFromEnv(); }
+
 }  // namespace internal
 
 float Norm(const float* a, size_t n) {

@@ -129,6 +129,11 @@ namespace internal {
 /// kernel sets. Not safe while searches run on other threads.
 void OverrideKernelsForTest(const KernelDispatch* kernels);
 
+/// Whether LAKS_FORCE_SCALAR currently forces the scalar set. Test-only:
+/// lets the env-override test restore whatever selection the surrounding
+/// process was launched with.
+bool ForceScalarFromEnvForTest();
+
 /// The AVX2+FMA set. Defined in distance_kernels_avx2.cc, which CMake
 /// compiles (with -mavx2 -mfma) only on x86-64; referenced only under
 /// TSFM_HAVE_AVX2_KERNELS and behind a runtime CPU check.

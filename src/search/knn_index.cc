@@ -62,7 +62,7 @@ void KnnIndex::Add(size_t payload, const std::vector<float>& vec) {
 
 void KnnIndex::EnsureQuantized() const {
   if (quantized_.load(std::memory_order_acquire)) return;
-  std::lock_guard<std::mutex> lock(quantize_mu_);
+  MutexLock lock(&quantize_mu_);
   if (quantized_.load(std::memory_order_relaxed)) return;
   const size_t n = payloads_.size();
   codec_ = Sq8Codec::Train(data_.data(), n, dim_);

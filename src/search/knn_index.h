@@ -19,12 +19,13 @@
 #include <cstddef>
 #include <cstdint>
 #include <iosfwd>
-#include <mutex>
 #include <utility>
 #include <vector>
 
 #include "search/quantizer.h"
 #include "search/vector_index.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace tsfm::search {
 
@@ -109,6 +110,15 @@ class KnnIndex : public VectorIndex {
   size_t dim_;
   Metric metric_;
   Storage storage_;
+  // data_/norms_/codec_/codes_ are deliberately NOT lock-annotated: they
+  // follow the double-checked publication protocol on quantized_, not a
+  // mutex. Writers hold quantize_mu_ while encoding, then publish with a
+  // release store of quantized_; readers that observed quantized_ == true
+  // (acquire) read them lock-free. That protocol is outside what the
+  // static analysis can express — TSan (which sees the acquire/release
+  // edge) is the checker of record here. Adds may not overlap searches on
+  // the same index by the VectorIndex contract, which is what makes the
+  // pre-publication float reads in EnsureQuantized safe.
   mutable std::vector<float> data_;  // row-major float rows; under kSq8,
                                      // only the not-yet-encoded pending rows
   std::vector<size_t> payloads_;
@@ -117,7 +127,7 @@ class KnnIndex : public VectorIndex {
   mutable Sq8Codec codec_;            // trained calibration (kSq8)
   mutable std::vector<uint8_t> codes_;  // row-major SQ8 rows (kSq8)
   mutable std::atomic<bool> quantized_{false};
-  mutable std::mutex quantize_mu_;
+  mutable Mutex quantize_mu_;
 };
 
 }  // namespace tsfm::search

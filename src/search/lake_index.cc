@@ -92,8 +92,8 @@ size_t LakeIndex::AddTable(const std::string& table_id,
   for (const auto& col : column_embeddings) {
     TSFM_CHECK_EQ(col.size(), dim_);
   }
-  std::lock_guard<std::mutex> writer(writer_mu_);
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  MutexLock writer(&writer_mu_);
+  WriterMutexLock lock(&mu_);
   size_t handle = table_ids_.size();
   table_ids_.push_back(table_id);
   columns_.push_back(column_embeddings);
@@ -113,8 +113,8 @@ size_t LakeIndex::AddTable(const std::string& table_id,
 }
 
 Status LakeIndex::RemoveTable(const std::string& table_id) {
-  std::lock_guard<std::mutex> writer(writer_mu_);
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  MutexLock writer(&writer_mu_);
+  WriterMutexLock lock(&mu_);
   auto it = handles_by_id_.find(table_id);
   if (it != handles_by_id_.end()) {
     // Newest live handle wins; already-dead trailing handles are pruned so
@@ -140,13 +140,13 @@ Status LakeIndex::RemoveTable(const std::string& table_id) {
 }
 
 void LakeIndex::Seal() {
-  std::lock_guard<std::mutex> writer(writer_mu_);
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  MutexLock writer(&writer_mu_);
+  WriterMutexLock lock(&mu_);
   sealed_ = true;
 }
 
 bool LakeIndex::WouldFoldInPlace(double hnsw_rebuild_threshold) const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  ReaderMutexLock lock(&mu_);
   if (index_.options().backend != IndexBackend::kHnsw) return false;
   if (hnsw_rebuild_threshold <= 0.0) return false;
   if (table_ids_.empty()) return false;
@@ -156,8 +156,8 @@ bool LakeIndex::WouldFoldInPlace(double hnsw_rebuild_threshold) const {
 }
 
 void LakeIndex::FoldDeltaInPlace() {
-  std::lock_guard<std::mutex> writer(writer_mu_);
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  MutexLock writer(&writer_mu_);
+  WriterMutexLock lock(&mu_);
   for (size_t handle = base_tables_; handle < table_ids_.size(); ++handle) {
     index_.AddTable(handle, columns_[handle]);
   }
@@ -170,9 +170,11 @@ void LakeIndex::FoldDeltaInPlace() {
 }
 
 LakeIndex::Compacted LakeIndex::BuildCompacted() const {
-  // Reads segment state without mu_: the caller excludes mutations (it
-  // holds this index's writer_mu_ via Compact, or the sharded writer lock)
-  // and concurrent queries never write the fields read here.
+  // The caller excludes mutations (it holds this index's writer_mu_ via
+  // Compact, or the sharded writer lock), so the shared lock taken here
+  // never contends with an exclusive waiter — it exists to pin the fields
+  // read below for the duration of the rebuild, same as any query.
+  ReaderMutexLock lock(&mu_);
   Compacted out{LakeIndex(dim_, index_.options()),
                 std::vector<size_t>(table_ids_.size(), SIZE_MAX)};
   for (size_t handle = 0; handle < table_ids_.size(); ++handle) {
@@ -193,16 +195,16 @@ void LakeIndex::AdoptLocked(LakeIndex&& other) {
 
 Status LakeIndex::Compact(double hnsw_rebuild_threshold) {
   {
-    std::lock_guard<std::mutex> writer(writer_mu_);
+    MutexLock writer(&writer_mu_);
     bool churned;
     {
-      std::shared_lock<std::shared_mutex> lock(mu_);
+      ReaderMutexLock lock(&mu_);
       churned = ChurnedLocked();
     }
     if (!churned) {
       // Nothing to fold; still seal (a compacted lake serves live churn)
       // and count the pass so callers can observe it completed.
-      std::unique_lock<std::shared_mutex> lock(mu_);
+      WriterMutexLock lock(&mu_);
       sealed_ = true;
       ++compactions_;
       return Status::OK();
@@ -212,47 +214,47 @@ Status LakeIndex::Compact(double hnsw_rebuild_threshold) {
     FoldDeltaInPlace();
     return Status::OK();
   }
-  std::lock_guard<std::mutex> writer(writer_mu_);
+  MutexLock writer(&writer_mu_);
   // The expensive rebuild runs while queries continue against the old
   // segments; only the swap below excludes them.
   Compacted compacted = BuildCompacted();
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  WriterMutexLock lock(&mu_);
   AdoptLocked(std::move(compacted.index));
   return Status::OK();
 }
 
 size_t LakeIndex::num_tables() const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  ReaderMutexLock lock(&mu_);
   return table_ids_.size();
 }
 
 bool LakeIndex::churned() const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  ReaderMutexLock lock(&mu_);
   return ChurnedLocked();
 }
 
 size_t LakeIndex::num_live_tables() const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  ReaderMutexLock lock(&mu_);
   return table_ids_.size() - dead_tables_;
 }
 
 size_t LakeIndex::num_columns() const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  ReaderMutexLock lock(&mu_);
   return index_.num_columns() + (delta_ != nullptr ? delta_->num_columns() : 0);
 }
 
 size_t LakeIndex::pending_delta_tables() const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  ReaderMutexLock lock(&mu_);
   return table_ids_.size() - base_tables_;
 }
 
 size_t LakeIndex::pending_tombstones() const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  ReaderMutexLock lock(&mu_);
   return dead_tables_;
 }
 
 uint64_t LakeIndex::compactions() const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  ReaderMutexLock lock(&mu_);
   return compactions_;
 }
 
@@ -270,11 +272,15 @@ std::vector<std::string> RankedTableIds(const std::vector<std::string>& table_id
 
 void LakeIndex::FilterDeadLocked(
     std::vector<ColumnEmbeddingIndex::ColumnHit>* hits, size_t m) const {
-  auto dead = [this](const ColumnEmbeddingIndex::ColumnHit& hit) {
-    return dead_[hit.table_id] != 0;
-  };
-  hits->erase(std::remove_if(hits->begin(), hits->end(), dead), hits->end());
-  if (hits->size() > m) hits->resize(m);
+  // Open-coded remove_if: a predicate lambda would read dead_ from a
+  // function the thread-safety analysis treats as unlocked.
+  size_t kept = 0;
+  for (size_t i = 0; i < hits->size(); ++i) {
+    if (dead_[(*hits)[i].table_id] != 0) continue;
+    if (kept != i) (*hits)[kept] = std::move((*hits)[i]);
+    ++kept;
+  }
+  hits->resize(std::min(kept, m));
 }
 
 std::vector<ColumnEmbeddingIndex::ColumnHit> LakeIndex::SearchColumnsLocked(
@@ -300,7 +306,7 @@ std::vector<ColumnEmbeddingIndex::ColumnHit> LakeIndex::SearchColumnsLocked(
 
 std::vector<ColumnEmbeddingIndex::ColumnHit> LakeIndex::SearchColumns(
     const std::vector<float>& query, size_t m) const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  ReaderMutexLock lock(&mu_);
   return SearchColumnsLocked(query, m);
 }
 
@@ -332,13 +338,13 @@ LakeIndex::SearchColumnsBatchLocked(
 std::vector<std::vector<ColumnEmbeddingIndex::ColumnHit>>
 LakeIndex::SearchColumnsBatch(const std::vector<std::vector<float>>& queries,
                               size_t m, ThreadPool* pool) const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  ReaderMutexLock lock(&mu_);
   return SearchColumnsBatchLocked(queries, m, pool);
 }
 
 std::vector<std::string> LakeIndex::QueryUnionable(
     const std::vector<std::vector<float>>& query_columns, size_t k) const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  ReaderMutexLock lock(&mu_);
   if (!ChurnedLocked()) {
     TableRanker ranker(&index_);
     // SIZE_MAX: external queries are not part of the corpus; exclude nothing.
@@ -361,7 +367,7 @@ std::vector<std::string> LakeIndex::QueryUnionable(
 
 std::vector<std::string> LakeIndex::QueryJoinable(
     const std::vector<float>& query_column, size_t k) const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  ReaderMutexLock lock(&mu_);
   if (!ChurnedLocked()) {
     TableRanker ranker(&index_);
     return RankedTableIds(
@@ -378,7 +384,7 @@ std::vector<std::string> LakeIndex::QueryJoinable(
 std::vector<std::vector<std::string>> LakeIndex::QueryUnionableBatch(
     const std::vector<std::vector<std::vector<float>>>& queries, size_t k,
     ThreadPool* pool) const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  ReaderMutexLock lock(&mu_);
   if (!ChurnedLocked()) {
     TableRanker ranker(&index_);
     auto ranked = ranker.RankTablesBatch(queries, k, /*excludes=*/{}, pool);
@@ -415,7 +421,7 @@ std::vector<std::vector<std::string>> LakeIndex::QueryUnionableBatch(
 std::vector<std::vector<std::string>> LakeIndex::QueryJoinableBatch(
     const std::vector<std::vector<float>>& query_columns, size_t k,
     ThreadPool* pool) const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  ReaderMutexLock lock(&mu_);
   if (!ChurnedLocked()) {
     TableRanker ranker(&index_);
     auto ranked =
@@ -438,7 +444,7 @@ std::vector<std::vector<std::string>> LakeIndex::QueryJoinableBatch(
 }
 
 Status LakeIndex::Save(const std::string& path) const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  ReaderMutexLock lock(&mu_);
   std::ofstream out(path, std::ios::binary);
   if (!out) return Status::IoError("cannot open " + path + " for writing");
   const IndexOptions& opt = index_.options();
@@ -547,7 +553,10 @@ Result<LakeIndex> LakeIndex::Load(const std::string& path) {
     auto codec = Sq8Codec::Load(in, dim);
     if (!codec.ok()) return codec.status();
     // Seed before the AddTable replay: every replayed (and future) row
-    // encodes through the calibration the saved index used.
+    // encodes through the calibration the saved index used. `index` is
+    // local and unshared, but its fields are lock-guarded, so the direct
+    // write takes the (uncontended) lock to keep the checker honest.
+    WriterMutexLock lock(&index.mu_);
     index.index_.SeedSq8Codec(std::move(codec).value());
   }
 
@@ -594,19 +603,23 @@ Result<LakeIndex> LakeIndex::Load(const std::string& path) {
     index.AddTable(id, cols);
   }
   // Replay the tombstones directly: RemoveTable's newest-live-first rule
-  // must not reshuffle which of several same-id handles died.
-  for (uint64_t handle : tombstones) {
-    if (handle >= index.table_ids_.size() || index.dead_[handle] != 0) {
-      return Status::ParseError("lake index " + path +
-                                " has an invalid or duplicate tombstone");
-    }
-    index.dead_[handle] = 1;
-    ++index.dead_tables_;
-    const size_t cols = index.columns_[handle].size();
-    if (handle < index.base_tables_) {
-      index.dead_base_columns_ += cols;
-    } else {
-      index.dead_delta_columns_ += cols;
+  // must not reshuffle which of several same-id handles died. As above,
+  // the lock is uncontended; it exists for the checker.
+  {
+    WriterMutexLock lock(&index.mu_);
+    for (uint64_t handle : tombstones) {
+      if (handle >= index.table_ids_.size() || index.dead_[handle] != 0) {
+        return Status::ParseError("lake index " + path +
+                                  " has an invalid or duplicate tombstone");
+      }
+      index.dead_[handle] = 1;
+      ++index.dead_tables_;
+      const size_t cols = index.columns_[handle].size();
+      if (handle < index.base_tables_) {
+        index.dead_base_columns_ += cols;
+      } else {
+        index.dead_delta_columns_ += cols;
+      }
     }
   }
   // A loaded lake is a serving artifact: later AddTable calls are live

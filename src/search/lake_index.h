@@ -28,15 +28,15 @@
 #define TSFM_SEARCH_LAKE_INDEX_H_
 
 #include <memory>
-#include <mutex>
-#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "core/embedder.h"
 #include "search/table_ranker.h"
+#include "util/mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace tsfm {
 class ThreadPool;
@@ -76,18 +76,20 @@ class LakeIndex {
   /// with queries (not with other mutations of the same sharded wrapper —
   /// ShardedLakeIndex serializes its writers itself).
   size_t AddTable(const std::string& table_id,
-                  const std::vector<std::vector<float>>& column_embeddings);
+                  const std::vector<std::vector<float>>& column_embeddings)
+      LAKS_EXCLUDES(writer_mu_, mu_);
 
   /// \brief Tombstones the most recently added live table named `table_id`.
   ///
   /// The handle stays allocated (handles are never reused between
   /// compactions) but the table vanishes from every query immediately.
   /// kNotFound when no live table has that id.
-  Status RemoveTable(const std::string& table_id);
+  Status RemoveTable(const std::string& table_id)
+      LAKS_EXCLUDES(writer_mu_, mu_);
 
   /// \brief Ends the bulk-build phase: later AddTable calls go to the
   /// delta segment. Idempotent; Load() and Compact() seal automatically.
-  void Seal();
+  void Seal() LAKS_EXCLUDES(writer_mu_, mu_);
 
   /// \brief Folds delta tables and tombstones into a fresh base segment.
   ///
@@ -101,7 +103,8 @@ class LakeIndex {
   /// the expensive graph rebuild until the ratio crosses the threshold.
   /// The default threshold 0 always rebuilds. The heavy rebuild runs
   /// without blocking queries; only the final swap excludes them.
-  Status Compact(double hnsw_rebuild_threshold = 0.0);
+  Status Compact(double hnsw_rebuild_threshold = 0.0)
+      LAKS_EXCLUDES(writer_mu_, mu_);
 
   /// A full from-scratch compaction image plus the old->new handle remap
   /// (SIZE_MAX for tombstoned handles). Used by ShardedLakeIndex, which
@@ -110,34 +113,36 @@ class LakeIndex {
   /// concurrent mutations (queries may continue). Defined after the class
   /// (it holds a LakeIndex by value).
   struct Compacted;
-  Compacted BuildCompacted() const;
+  Compacted BuildCompacted() const LAKS_EXCLUDES(mu_);
 
   /// True when Compact(`hnsw_rebuild_threshold`) would fold in place
   /// instead of rebuilding (HNSW under the tombstone threshold).
-  bool WouldFoldInPlace(double hnsw_rebuild_threshold) const;
+  bool WouldFoldInPlace(double hnsw_rebuild_threshold) const
+      LAKS_EXCLUDES(mu_);
 
   /// The in-place half of Compact for HNSW shards under the rebuild
   /// threshold: inserts delta tables into the existing graph, keeps
   /// tombstones. ShardedLakeIndex calls this under its own exclusive lock.
-  void FoldDeltaInPlace();
+  void FoldDeltaInPlace() LAKS_EXCLUDES(writer_mu_, mu_);
 
   /// Ranked table ids for a union/subset query (Fig 6 multi-column rank).
   std::vector<std::string> QueryUnionable(
-      const std::vector<std::vector<float>>& query_columns, size_t k) const;
+      const std::vector<std::vector<float>>& query_columns, size_t k) const
+      LAKS_EXCLUDES(mu_);
 
   /// Ranked table ids for a join query on a single column.
   std::vector<std::string> QueryJoinable(const std::vector<float>& query_column,
-                                         size_t k) const;
+                                         size_t k) const LAKS_EXCLUDES(mu_);
 
   /// One QueryUnionable result per query, fanned out over `pool` when given.
   std::vector<std::vector<std::string>> QueryUnionableBatch(
       const std::vector<std::vector<std::vector<float>>>& queries, size_t k,
-      ThreadPool* pool = nullptr) const;
+      ThreadPool* pool = nullptr) const LAKS_EXCLUDES(mu_);
 
   /// One QueryJoinable result per query column, fanned out over `pool`.
   std::vector<std::vector<std::string>> QueryJoinableBatch(
       const std::vector<std::vector<float>>& query_columns, size_t k,
-      ThreadPool* pool = nullptr) const;
+      ThreadPool* pool = nullptr) const LAKS_EXCLUDES(mu_);
 
   /// \brief Top-`m` live column hits for one query, merged across the base
   /// and delta segments with tombstoned columns filtered out.
@@ -148,19 +153,19 @@ class LakeIndex {
   /// starve the result, and the delta's exact float hits are k-way merged
   /// in by (distance, table, column).
   std::vector<ColumnEmbeddingIndex::ColumnHit> SearchColumns(
-      const std::vector<float>& query, size_t m) const;
+      const std::vector<float>& query, size_t m) const LAKS_EXCLUDES(mu_);
 
   /// Batched SearchColumns; one result list per query, identical to the
   /// serial loop. Fans over `pool` when given.
   std::vector<std::vector<ColumnEmbeddingIndex::ColumnHit>> SearchColumnsBatch(
       const std::vector<std::vector<float>>& queries, size_t m,
-      ThreadPool* pool = nullptr) const;
+      ThreadPool* pool = nullptr) const LAKS_EXCLUDES(mu_);
 
   /// Persists the index: versioned header (backend, metric, HNSW knobs),
   /// table ids, per-table embeddings. A churned lake (pending deltas or
   /// tombstones) writes format version 4 with a churn section; unchurned
   /// lakes keep writing version 2 (float32) / 3 (sq8) byte-identically.
-  Status Save(const std::string& path) const;
+  Status Save(const std::string& path) const LAKS_EXCLUDES(mu_);
 
   /// Loads an index written by Save and seals it. Files from before the
   /// versioned header (magic "LAKE") still load and default to the flat
@@ -170,72 +175,99 @@ class LakeIndex {
 
   /// Handle-space size: live + tombstoned tables (handles stay dense and
   /// allocated until a full compaction re-densifies them).
-  size_t num_tables() const;
+  size_t num_tables() const LAKS_EXCLUDES(mu_);
   /// True when the lake carries pending deltas or tombstones (the states a
   /// pre-churn on-disk format cannot represent).
-  bool churned() const;
+  bool churned() const LAKS_EXCLUDES(mu_);
   /// Tables a query can still return.
-  size_t num_live_tables() const;
+  size_t num_live_tables() const LAKS_EXCLUDES(mu_);
   /// Columns indexed across base + delta (the ceiling on SearchColumns
   /// results before tombstone filtering).
-  size_t num_columns() const;
+  size_t num_columns() const LAKS_EXCLUDES(mu_);
   size_t dim() const { return dim_; }
-  const IndexOptions& options() const { return index_.options(); }
-  const std::string& table_id(size_t handle) const { return table_ids_[handle]; }
-  bool is_live(size_t handle) const { return dead_[handle] == 0; }
+  /// By value: the backing index can be swapped by a concurrent Compact,
+  /// so a reference would dangle the moment the shared lock dropped.
+  IndexOptions options() const LAKS_EXCLUDES(mu_) {
+    ReaderMutexLock lock(&mu_);
+    return index_.options();
+  }
+  std::string table_id(size_t handle) const LAKS_EXCLUDES(mu_) {
+    ReaderMutexLock lock(&mu_);
+    return table_ids_[handle];
+  }
+  bool is_live(size_t handle) const LAKS_EXCLUDES(mu_) {
+    ReaderMutexLock lock(&mu_);
+    return dead_[handle] == 0;
+  }
 
   /// Tables waiting in the delta segment for the next compaction.
-  size_t pending_delta_tables() const;
+  size_t pending_delta_tables() const LAKS_EXCLUDES(mu_);
   /// Tombstoned-but-not-yet-compacted tables.
-  size_t pending_tombstones() const;
+  size_t pending_tombstones() const LAKS_EXCLUDES(mu_);
   /// Completed Compact calls (in-place folds included).
-  uint64_t compactions() const;
+  uint64_t compactions() const LAKS_EXCLUDES(mu_);
 
   /// The base-segment column index, keyed by dense table handles. Exposed
   /// for tests and benchmarks; churn-aware callers (ShardedLakeIndex) use
   /// SearchColumns, which also covers the delta segment and tombstones.
-  const ColumnEmbeddingIndex& column_index() const { return index_; }
+  /// The reference is only stable while the caller excludes Compact (which
+  /// swaps the backing index) — tests and benches are single-threaded here.
+  const ColumnEmbeddingIndex& column_index() const LAKS_EXCLUDES(mu_) {
+    ReaderMutexLock lock(&mu_);
+    return index_;
+  }
 
  private:
-  bool ChurnedLocked() const {
+  bool ChurnedLocked() const LAKS_REQUIRES_SHARED(mu_) {
     return dead_tables_ > 0 || table_ids_.size() > base_tables_;
   }
   std::vector<ColumnEmbeddingIndex::ColumnHit> SearchColumnsLocked(
-      const std::vector<float>& query, size_t m) const;
+      const std::vector<float>& query, size_t m) const
+      LAKS_REQUIRES_SHARED(mu_);
   std::vector<std::vector<ColumnEmbeddingIndex::ColumnHit>>
   SearchColumnsBatchLocked(const std::vector<std::vector<float>>& queries,
-                           size_t m, ThreadPool* pool) const;
+                           size_t m, ThreadPool* pool) const
+      LAKS_REQUIRES_SHARED(mu_);
   /// Drops tombstoned hits and truncates to `m` (in place).
   void FilterDeadLocked(std::vector<ColumnEmbeddingIndex::ColumnHit>* hits,
-                        size_t m) const;
+                        size_t m) const LAKS_REQUIRES_SHARED(mu_);
   /// Moves `other`'s segment state into this index under the caller's
   /// exclusive lock, preserving this index's compaction counter.
-  void AdoptLocked(LakeIndex&& other);
-  void MoveFieldsFrom(LakeIndex&& other);
+  void AdoptLocked(LakeIndex&& other) LAKS_REQUIRES(mu_);
+  /// Unanalyzed on purpose: moves must not overlap any other operation on
+  /// either operand (the documented move contract), so no lock is held —
+  /// there is no lock the analysis could be told about.
+  void MoveFieldsFrom(LakeIndex&& other) LAKS_NO_THREAD_SAFETY_ANALYSIS;
 
   // Lock order: writer_mu_ before mu_. Queries take mu_ shared for their
   // whole duration; mutations take writer_mu_, then mu_ exclusive for the
   // (brief) state change; Compact holds writer_mu_ across its off-lock
   // rebuild so the state it reads without mu_ cannot change under it.
-  mutable std::shared_mutex mu_;
-  std::mutex writer_mu_;
+  Mutex writer_mu_;
+  mutable SharedMutex mu_ LAKS_ACQUIRED_AFTER(writer_mu_);
 
-  size_t dim_;
-  std::vector<std::string> table_ids_;
-  std::vector<std::vector<std::vector<float>>> columns_;  // per table
-  ColumnEmbeddingIndex index_;  // base segment: handles [0, base_tables_)
+  size_t dim_;  // immutable after construction (moves excepted)
+  std::vector<std::string> table_ids_ LAKS_GUARDED_BY(mu_);
+  // Per-table embeddings.
+  std::vector<std::vector<std::vector<float>>> columns_ LAKS_GUARDED_BY(mu_);
+  // Base segment: handles [0, base_tables_).
+  ColumnEmbeddingIndex index_ LAKS_GUARDED_BY(mu_);
 
-  bool sealed_ = false;
-  size_t base_tables_ = 0;
-  std::unique_ptr<ColumnEmbeddingIndex> delta_;  // float32 flat, by handle
-  std::vector<uint8_t> dead_;                    // tombstones, by handle
-  size_t dead_tables_ = 0;
-  size_t dead_base_columns_ = 0;   // over-fetch budget for base searches
-  size_t dead_delta_columns_ = 0;
-  uint64_t compactions_ = 0;
+  bool sealed_ LAKS_GUARDED_BY(mu_) = false;
+  size_t base_tables_ LAKS_GUARDED_BY(mu_) = 0;
+  // Delta segment: float32 flat, by handle.
+  std::unique_ptr<ColumnEmbeddingIndex> delta_ LAKS_GUARDED_BY(mu_);
+  // Tombstones, by handle.
+  std::vector<uint8_t> dead_ LAKS_GUARDED_BY(mu_);
+  size_t dead_tables_ LAKS_GUARDED_BY(mu_) = 0;
+  // Over-fetch budget for base searches.
+  size_t dead_base_columns_ LAKS_GUARDED_BY(mu_) = 0;
+  size_t dead_delta_columns_ LAKS_GUARDED_BY(mu_) = 0;
+  uint64_t compactions_ LAKS_GUARDED_BY(mu_) = 0;
   // id -> handles bearing it, oldest first (RemoveTable kills the newest
   // live one; duplicate ids are legal, as they always were in AddTable).
-  std::unordered_map<std::string, std::vector<size_t>> handles_by_id_;
+  std::unordered_map<std::string, std::vector<size_t>> handles_by_id_
+      LAKS_GUARDED_BY(mu_);
 };
 
 struct LakeIndex::Compacted {

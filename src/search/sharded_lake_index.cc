@@ -65,9 +65,14 @@ ShardedLakeIndex& ShardedLakeIndex::operator=(
 
 ShardedLakeIndex ShardedLakeIndex::FromSingle(LakeIndex&& shard) {
   ShardedLakeIndex index(shard.dim(), shard.options());
-  index.shards_.push_back(std::move(shard));
-  index.to_global_.resize(1);
-  index.IndexShardTables(0);
+  {
+    // `index` is not visible to any other thread yet; the lock is
+    // uncontended and exists for the checker.
+    WriterMutexLock lock(&index.mu_);
+    index.shards_.push_back(std::move(shard));
+    index.to_global_.resize(1);
+    index.IndexShardTables(0);
+  }
   return index;
 }
 
@@ -81,20 +86,25 @@ void ShardedLakeIndex::IndexShardTables(size_t s) {
   }
 }
 
-size_t ShardedLakeIndex::shard_of(const std::string& table_id) const {
+size_t ShardedLakeIndex::ShardOfLocked(const std::string& table_id) const {
   return StableShard(table_id, shards_.size());
+}
+
+size_t ShardedLakeIndex::shard_of(const std::string& table_id) const {
+  ReaderMutexLock lock(&mu_);
+  return ShardOfLocked(table_id);
 }
 
 size_t ShardedLakeIndex::AddTable(
     const std::string& table_id,
     const std::vector<std::vector<float>>& column_embeddings) {
-  std::lock_guard<std::mutex> writer(writer_mu_);
-  const size_t s = shard_of(table_id);
+  MutexLock writer(&writer_mu_);
   // The shard add and the global-map append publish together under one
   // exclusive section, so an in-flight query (which pins the maps with a
   // shared lock for its whole scatter) can never see a shard hit whose
   // local handle lacks a to_global_ entry.
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  WriterMutexLock lock(&mu_);
+  const size_t s = ShardOfLocked(table_id);
   const size_t local = shards_[s].AddTable(table_id, column_embeddings);
   const size_t handle = global_ids_.size();
   global_ids_.push_back(table_id);
@@ -105,45 +115,54 @@ size_t ShardedLakeIndex::AddTable(
 }
 
 Status ShardedLakeIndex::RemoveTable(const std::string& table_id) {
-  std::lock_guard<std::mutex> writer(writer_mu_);
+  MutexLock writer(&writer_mu_);
   // A tombstone changes no global maps (the handle stays allocated until
   // the next full compaction), so the shard's own locking suffices for
   // query consistency — a shared lock here keeps the shard set pinned.
-  std::shared_lock<std::shared_mutex> lock(mu_);
-  return shards_[shard_of(table_id)].RemoveTable(table_id);
+  ReaderMutexLock lock(&mu_);
+  return shards_[ShardOfLocked(table_id)].RemoveTable(table_id);
 }
 
 void ShardedLakeIndex::Seal() {
-  std::lock_guard<std::mutex> writer(writer_mu_);
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  MutexLock writer(&writer_mu_);
+  ReaderMutexLock lock(&mu_);
   for (LakeIndex& shard : shards_) shard.Seal();
 }
 
 Status ShardedLakeIndex::Compact(double hnsw_rebuild_threshold,
                                  ThreadPool* pool) {
-  std::lock_guard<std::mutex> writer(writer_mu_);
+  MutexLock writer(&writer_mu_);
 
-  // Phase A, off-lock: queries keep running against the old epoch while
+  // Phase A, shared-lock: queries keep running against the old epoch while
   // every churned shard that needs a full rebuild builds its compacted
   // image (survivors re-added in insertion order — the churn-parity
   // contract). writer_mu_ excludes mutations, so the shard state read
-  // here cannot move underneath.
-  std::vector<std::optional<LakeIndex::Compacted>> built(shards_.size());
-  auto build_shard = [&](size_t s) {
-    if (shards_[s].churned() &&
-        !shards_[s].WouldFoldInPlace(hnsw_rebuild_threshold)) {
-      built[s] = shards_[s].BuildCompacted();
+  // here cannot move underneath; the shared lock makes that visible to
+  // the checker and costs nothing (readers never block readers).
+  std::vector<std::optional<LakeIndex::Compacted>> built;
+  {
+    ReaderMutexLock lock(&mu_);
+    built.resize(shards_.size());
+    // The build lambda runs on pool threads, where the analysis cannot see
+    // this frame's shared lock; bind the guarded field to a plain alias
+    // under the lock and capture that instead.
+    const std::vector<LakeIndex>& shards = shards_;
+    auto build_shard = [&](size_t s) {
+      if (shards[s].churned() &&
+          !shards[s].WouldFoldInPlace(hnsw_rebuild_threshold)) {
+        built[s] = shards[s].BuildCompacted();
+      }
+    };
+    if (pool != nullptr && shards.size() > 1) {
+      ParallelFor(pool, 0, shards.size(), build_shard);
+    } else {
+      for (size_t s = 0; s < shards.size(); ++s) build_shard(s);
     }
-  };
-  if (pool != nullptr && shards_.size() > 1) {
-    ParallelFor(pool, 0, shards_.size(), build_shard);
-  } else {
-    for (size_t s = 0; s < shards_.size(); ++s) build_shard(s);
   }
 
   // Phase B, exclusive: swap rebuilt shards, fold the rest in place, and
   // re-densify the global handle maps — one atomic epoch change.
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  WriterMutexLock lock(&mu_);
   std::vector<std::string> new_ids;
   std::vector<std::pair<size_t, size_t>> new_locator;
   std::vector<std::vector<size_t>> new_to_global(shards_.size());
@@ -182,50 +201,50 @@ Status ShardedLakeIndex::Compact(double hnsw_rebuild_threshold,
 }
 
 size_t ShardedLakeIndex::num_tables() const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  ReaderMutexLock lock(&mu_);
   return global_ids_.size();
 }
 
 size_t ShardedLakeIndex::num_live_tables() const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  ReaderMutexLock lock(&mu_);
   size_t total = 0;
   for (const LakeIndex& shard : shards_) total += shard.num_live_tables();
   return total;
 }
 
 size_t ShardedLakeIndex::num_columns() const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  ReaderMutexLock lock(&mu_);
   size_t total = 0;
   for (const LakeIndex& shard : shards_) total += shard.num_columns();
   return total;
 }
 
 std::string ShardedLakeIndex::table_id(size_t handle) const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  ReaderMutexLock lock(&mu_);
   return global_ids_[handle];
 }
 
 size_t ShardedLakeIndex::pending_delta_tables() const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  ReaderMutexLock lock(&mu_);
   size_t total = 0;
   for (const LakeIndex& shard : shards_) total += shard.pending_delta_tables();
   return total;
 }
 
 size_t ShardedLakeIndex::pending_tombstones() const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  ReaderMutexLock lock(&mu_);
   size_t total = 0;
   for (const LakeIndex& shard : shards_) total += shard.pending_tombstones();
   return total;
 }
 
 uint64_t ShardedLakeIndex::compactions() const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  ReaderMutexLock lock(&mu_);
   return compactions_;
 }
 
 bool ShardedLakeIndex::churned() const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  ReaderMutexLock lock(&mu_);
   for (const LakeIndex& shard : shards_) {
     if (shard.churned()) return true;
   }
@@ -235,28 +254,33 @@ bool ShardedLakeIndex::churned() const {
 std::vector<ColumnEmbeddingIndex::ColumnHit>
 ShardedLakeIndex::SearchColumnHitsLocked(const std::vector<float>& query,
                                          size_t m, ThreadPool* pool) const {
+  // The search lambda runs on pool threads, invisible to this frame's
+  // shared lock; bind the guarded fields to aliases under the lock and
+  // capture those (see the concurrency contract in docs/architecture.md).
+  const std::vector<LakeIndex>& shards = shards_;
+  const std::vector<std::vector<size_t>>& to_global = to_global_;
   std::vector<std::vector<ColumnEmbeddingIndex::ColumnHit>> per_shard(
-      shards_.size());
+      shards.size());
   auto search_shard = [&](size_t s) {
     // Churn-aware shard search: covers base + delta, filters tombstones.
-    auto hits = shards_[s].SearchColumns(query, m);
+    auto hits = shards[s].SearchColumns(query, m);
     // Remap shard-local table handles to global handles. Local handles are
     // assigned in insertion order, so the remap is monotone and each list
     // stays sorted by (distance, table, column).
-    for (auto& hit : hits) hit.table_id = to_global_[s][hit.table_id];
+    for (auto& hit : hits) hit.table_id = to_global[s][hit.table_id];
     per_shard[s] = std::move(hits);
   };
-  if (pool != nullptr && shards_.size() > 1) {
-    ParallelFor(pool, 0, shards_.size(), search_shard);
+  if (pool != nullptr && shards.size() > 1) {
+    ParallelFor(pool, 0, shards.size(), search_shard);
   } else {
-    for (size_t s = 0; s < shards_.size(); ++s) search_shard(s);
+    for (size_t s = 0; s < shards.size(); ++s) search_shard(s);
   }
   return TableRanker::MergeColumnHits(per_shard, m);
 }
 
 std::vector<ColumnEmbeddingIndex::ColumnHit> ShardedLakeIndex::SearchColumnHits(
     const std::vector<float>& query, size_t m, ThreadPool* pool) const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  ReaderMutexLock lock(&mu_);
   return SearchColumnHitsLocked(query, m, pool);
 }
 
@@ -269,28 +293,31 @@ ShardedLakeIndex::SearchColumnHitsBatchLocked(
   // table handles to global, then k-way-merge per query. ParallelFor is
   // nest-safe (util/thread_pool.h), so the shard fan-out and the
   // per-shard query-chunk fan-out share one pool.
+  // Aliases bound under the shared lock for the pool-dispatched lambda.
+  const std::vector<LakeIndex>& shards = shards_;
+  const std::vector<std::vector<size_t>>& to_global = to_global_;
   std::vector<std::vector<std::vector<ColumnEmbeddingIndex::ColumnHit>>>
-      per_shard(shards_.size());
+      per_shard(shards.size());
   auto search_shard = [&](size_t s, ThreadPool* inner) {
-    auto lists = shards_[s].SearchColumnsBatch(queries, m, inner);
+    auto lists = shards[s].SearchColumnsBatch(queries, m, inner);
     for (auto& hits : lists) {
-      for (auto& hit : hits) hit.table_id = to_global_[s][hit.table_id];
+      for (auto& hit : hits) hit.table_id = to_global[s][hit.table_id];
     }
     per_shard[s] = std::move(lists);
   };
-  if (pool != nullptr && shards_.size() > 1) {
-    ParallelFor(pool, 0, shards_.size(),
+  if (pool != nullptr && shards.size() > 1) {
+    ParallelFor(pool, 0, shards.size(),
                 [&](size_t s) { search_shard(s, pool); });
   } else {
-    for (size_t s = 0; s < shards_.size(); ++s) search_shard(s, pool);
+    for (size_t s = 0; s < shards.size(); ++s) search_shard(s, pool);
   }
 
   std::vector<std::vector<ColumnEmbeddingIndex::ColumnHit>> merged(
       queries.size());
   std::vector<std::vector<ColumnEmbeddingIndex::ColumnHit>> lists(
-      shards_.size());
+      shards.size());
   for (size_t q = 0; q < queries.size(); ++q) {
-    for (size_t s = 0; s < shards_.size(); ++s) {
+    for (size_t s = 0; s < shards.size(); ++s) {
       lists[s] = std::move(per_shard[s][q]);
     }
     merged[q] = TableRanker::MergeColumnHits(lists, m);
@@ -302,7 +329,7 @@ std::vector<std::vector<ColumnEmbeddingIndex::ColumnHit>>
 ShardedLakeIndex::SearchColumnHitsBatch(
     const std::vector<std::vector<float>>& queries, size_t m,
     ThreadPool* pool) const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  ReaderMutexLock lock(&mu_);
   return SearchColumnHitsBatchLocked(queries, m, pool);
 }
 
@@ -320,14 +347,14 @@ std::vector<size_t> ShardedLakeIndex::RankUnionableLocked(
 std::vector<size_t> ShardedLakeIndex::RankUnionable(
     const std::vector<std::vector<float>>& query_columns, size_t k,
     size_t exclude, ThreadPool* pool) const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  ReaderMutexLock lock(&mu_);
   return RankUnionableLocked(query_columns, k, exclude, pool);
 }
 
 std::vector<size_t> ShardedLakeIndex::RankJoinable(
     const std::vector<float>& query_column, size_t k, size_t exclude,
     ThreadPool* pool) const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  ReaderMutexLock lock(&mu_);
   return TableRanker::RankFromSingleColumnHits(
       SearchColumnHitsLocked(query_column, k * 3, pool), exclude);
 }
@@ -365,7 +392,7 @@ std::vector<std::vector<size_t>> ShardedLakeIndex::RankUnionableBatchLocked(
 std::vector<std::vector<size_t>> ShardedLakeIndex::RankUnionableBatch(
     const std::vector<std::vector<std::vector<float>>>& queries, size_t k,
     const std::vector<size_t>& excludes, ThreadPool* pool) const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  ReaderMutexLock lock(&mu_);
   return RankUnionableBatchLocked(queries, k, excludes, pool);
 }
 
@@ -386,14 +413,14 @@ std::vector<std::vector<size_t>> ShardedLakeIndex::RankJoinableBatchLocked(
 std::vector<std::vector<size_t>> ShardedLakeIndex::RankJoinableBatch(
     const std::vector<std::vector<float>>& query_columns, size_t k,
     const std::vector<size_t>& excludes, ThreadPool* pool) const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  ReaderMutexLock lock(&mu_);
   return RankJoinableBatchLocked(query_columns, k, excludes, pool);
 }
 
 std::vector<std::string> ShardedLakeIndex::QueryUnionable(
     const std::vector<std::vector<float>>& query_columns, size_t k,
     ThreadPool* pool) const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  ReaderMutexLock lock(&mu_);
   return RankedTableIds(
       global_ids_,
       RankUnionableLocked(query_columns, k, /*exclude=*/SIZE_MAX, pool), k);
@@ -401,7 +428,7 @@ std::vector<std::string> ShardedLakeIndex::QueryUnionable(
 
 std::vector<std::string> ShardedLakeIndex::QueryJoinable(
     const std::vector<float>& query_column, size_t k, ThreadPool* pool) const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  ReaderMutexLock lock(&mu_);
   return RankedTableIds(global_ids_,
                         TableRanker::RankFromSingleColumnHits(
                             SearchColumnHitsLocked(query_column, k * 3, pool),
@@ -412,7 +439,7 @@ std::vector<std::string> ShardedLakeIndex::QueryJoinable(
 std::vector<std::vector<std::string>> ShardedLakeIndex::QueryUnionableBatch(
     const std::vector<std::vector<std::vector<float>>>& queries, size_t k,
     ThreadPool* pool) const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  ReaderMutexLock lock(&mu_);
   auto ranked = RankUnionableBatchLocked(queries, k, /*excludes=*/{}, pool);
   std::vector<std::vector<std::string>> out(ranked.size());
   for (size_t q = 0; q < ranked.size(); ++q) {
@@ -424,7 +451,7 @@ std::vector<std::vector<std::string>> ShardedLakeIndex::QueryUnionableBatch(
 std::vector<std::vector<std::string>> ShardedLakeIndex::QueryJoinableBatch(
     const std::vector<std::vector<float>>& query_columns, size_t k,
     ThreadPool* pool) const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  ReaderMutexLock lock(&mu_);
   auto ranked =
       RankJoinableBatchLocked(query_columns, k, /*excludes=*/{}, pool);
   std::vector<std::vector<std::string>> out(ranked.size());
@@ -442,21 +469,23 @@ Status ShardedLakeIndex::Save(const std::string& path, ThreadPool* pool) const {
 
   // Exclude mutations (writer_mu_) but not queries for the whole save, so
   // the manifest and the shard files describe one epoch.
-  std::lock_guard<std::mutex> writer(writer_mu_);
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  MutexLock writer(&writer_mu_);
+  ReaderMutexLock lock(&mu_);
+  // Alias bound under the shared lock for the pool-dispatched save lambda.
+  const std::vector<LakeIndex>& shards = shards_;
 
   // Shard files first, in parallel: each one is an independent LakeIndex
   // ("LAK2") image, so a crash mid-save never leaves a manifest pointing at
   // files that were not yet written.
-  std::vector<Status> statuses(shards_.size());
+  std::vector<Status> statuses(shards.size());
   auto save_shard = [&](size_t s) {
     statuses[s] =
-        shards_[s].Save((dir / LakeShardFileName(basename, s)).string());
+        shards[s].Save((dir / LakeShardFileName(basename, s)).string());
   };
-  if (pool != nullptr && shards_.size() > 1) {
-    ParallelFor(pool, 0, shards_.size(), save_shard);
+  if (pool != nullptr && shards.size() > 1) {
+    ParallelFor(pool, 0, shards.size(), save_shard);
   } else {
-    for (size_t s = 0; s < shards_.size(); ++s) save_shard(s);
+    for (size_t s = 0; s < shards.size(); ++s) save_shard(s);
   }
   for (const Status& status : statuses) {
     if (!status.ok()) return status;
@@ -529,67 +558,74 @@ Result<ShardedLakeIndex> ShardedLakeIndex::Load(const std::string& path,
   options.metric = manifest.metric;
   options.storage = manifest.storage;
   ShardedLakeIndex index(static_cast<size_t>(dim), options);
-  index.shards_.reserve(num_shards);
-  uint64_t total_shard_tables = 0;
-  uint64_t total_live_tables = 0;
-  for (size_t s = 0; s < num_shards; ++s) {
-    if (!loaded[s]->ok()) return loaded[s]->status();
-    LakeIndex shard = std::move(*loaded[s]).value();
-    if (shard.dim() != dim) {
-      return Status::ParseError("shard " + shard_files[s] +
-                                " dim disagrees with manifest " + path);
+  {
+    // `index` is not visible to any other thread yet; the lock is
+    // uncontended and exists for the checker. Error paths return while it is
+    // held, which is fine — the guard unwinds first. The scope ends before
+    // the success return so the move out of `index` happens unlocked.
+    WriterMutexLock lock(&index.mu_);
+    index.shards_.reserve(num_shards);
+    uint64_t total_shard_tables = 0;
+    uint64_t total_live_tables = 0;
+    for (size_t s = 0; s < num_shards; ++s) {
+      if (!loaded[s]->ok()) return loaded[s]->status();
+      LakeIndex shard = std::move(*loaded[s]).value();
+      if (shard.dim() != dim) {
+        return Status::ParseError("shard " + shard_files[s] +
+                                  " dim disagrees with manifest " + path);
+      }
+      if (shard.options().backend != options.backend ||
+          shard.options().metric != options.metric) {
+        return Status::ParseError("shard " + shard_files[s] +
+                                  " backend/metric disagrees with manifest " +
+                                  path);
+      }
+      if (shard.options().storage != options.storage) {
+        // A float shard merged into an sq8 lake (or vice versa) would rank
+        // with distances from two different spaces; refuse loudly.
+        return Status::ParseError(
+            "shard " + shard_files[s] + " storage (" +
+            (shard.options().storage == Storage::kSq8 ? "sq8" : "float32") +
+            ") disagrees with manifest " + path + " (" +
+            (options.storage == Storage::kSq8 ? "sq8" : "float32") + ")");
+      }
+      total_shard_tables += shard.num_tables();
+      total_live_tables += shard.num_live_tables();
+      index.shards_.push_back(std::move(shard));
     }
-    if (shard.options().backend != options.backend ||
-        shard.options().metric != options.metric) {
-      return Status::ParseError("shard " + shard_files[s] +
-                                " backend/metric disagrees with manifest " +
-                                path);
-    }
-    if (shard.options().storage != options.storage) {
-      // A float shard merged into an sq8 lake (or vice versa) would rank
-      // with distances from two different spaces; refuse loudly.
-      return Status::ParseError(
-          "shard " + shard_files[s] + " storage (" +
-          (shard.options().storage == Storage::kSq8 ? "sq8" : "float32") +
-          ") disagrees with manifest " + path + " (" +
-          (options.storage == Storage::kSq8 ? "sq8" : "float32") + ")");
-    }
-    total_shard_tables += shard.num_tables();
-    total_live_tables += shard.num_live_tables();
-    index.shards_.push_back(std::move(shard));
-  }
-  // Rebuild the global handle space in its original insertion order from
-  // the manifest's locator records; every shard table must be claimed by
-  // exactly one record.
-  if (total_shard_tables != num_tables) {
-    return Status::ParseError("lake manifest " + path +
-                              " table count disagrees with shard files");
-  }
-  // Churned manifests also pin the live count, catching a manifest paired
-  // with shard files from a different compaction epoch.
-  if (total_live_tables != manifest.live_tables) {
-    return Status::ParseError("lake manifest " + path +
-                              " live-table count disagrees with shard files");
-  }
-  index.to_global_.resize(num_shards);
-  for (size_t s = 0; s < num_shards; ++s) {
-    index.to_global_[s].assign(index.shards_[s].num_tables(), SIZE_MAX);
-  }
-  index.global_ids_.reserve(num_tables);
-  index.locator_.reserve(num_tables);
-  for (const auto& [shard, local] : locator) {
-    if (local >= index.to_global_[shard].size() ||
-        index.to_global_[shard][local] != SIZE_MAX) {
+    // Rebuild the global handle space in its original insertion order from
+    // the manifest's locator records; every shard table must be claimed by
+    // exactly one record.
+    if (total_shard_tables != num_tables) {
       return Status::ParseError("lake manifest " + path +
-                                " has an invalid or duplicate table record");
+                                " table count disagrees with shard files");
     }
-    index.to_global_[shard][local] = index.global_ids_.size();
-    index.global_ids_.push_back(index.shards_[shard].table_id(local));
-    index.locator_.emplace_back(shard, local);
+    // Churned manifests also pin the live count, catching a manifest paired
+    // with shard files from a different compaction epoch.
+    if (total_live_tables != manifest.live_tables) {
+      return Status::ParseError("lake manifest " + path +
+                                " live-table count disagrees with shard files");
+    }
+    index.to_global_.resize(num_shards);
+    for (size_t s = 0; s < num_shards; ++s) {
+      index.to_global_[s].assign(index.shards_[s].num_tables(), SIZE_MAX);
+    }
+    index.global_ids_.reserve(num_tables);
+    index.locator_.reserve(num_tables);
+    for (const auto& [shard, local] : locator) {
+      if (local >= index.to_global_[shard].size() ||
+          index.to_global_[shard][local] != SIZE_MAX) {
+        return Status::ParseError("lake manifest " + path +
+                                  " has an invalid or duplicate table record");
+      }
+      index.to_global_[shard][local] = index.global_ids_.size();
+      index.global_ids_.push_back(index.shards_[shard].table_id(local));
+      index.locator_.emplace_back(shard, local);
+    }
+    // The shard files carry the HNSW knobs; mirror shard 0's so options()
+    // reports what the shards actually use.
+    index.options_.hnsw = index.shards_[0].options().hnsw;
   }
-  // The shard files carry the HNSW knobs; mirror shard 0's so options()
-  // reports what the shards actually use.
-  index.options_.hnsw = index.shards_[0].options().hnsw;
   return index;
 }
 

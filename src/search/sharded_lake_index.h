@@ -19,14 +19,14 @@
 #ifndef TSFM_SEARCH_SHARDED_LAKE_INDEX_H_
 #define TSFM_SEARCH_SHARDED_LAKE_INDEX_H_
 
-#include <mutex>
-#include <shared_mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "search/lake_index.h"
+#include "util/mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace tsfm {
 class ThreadPool;
@@ -69,16 +69,18 @@ class ShardedLakeIndex {
   /// before any shard is sealed the table joins that shard's base segment
   /// (bulk build), afterwards its delta segment (live ingest).
   size_t AddTable(const std::string& table_id,
-                  const std::vector<std::vector<float>>& column_embeddings);
+                  const std::vector<std::vector<float>>& column_embeddings)
+      LAKS_EXCLUDES(writer_mu_, mu_);
 
   /// Tombstones the most recently added live table named `table_id` in its
   /// owning shard. kNotFound when no live table has that id. Safe to call
   /// concurrently with queries.
-  Status RemoveTable(const std::string& table_id);
+  Status RemoveTable(const std::string& table_id)
+      LAKS_EXCLUDES(writer_mu_, mu_);
 
   /// Ends the bulk-build phase on every shard: later AddTable calls land
   /// in delta segments. Idempotent; Load() and Compact() seal.
-  void Seal();
+  void Seal() LAKS_EXCLUDES(writer_mu_, mu_);
 
   /// \brief Folds every shard's deltas + tombstones back into its base.
   ///
@@ -91,27 +93,28 @@ class ShardedLakeIndex {
   /// handles. Post-compaction flat-backend rankings are bit-identical to
   /// a from-scratch build of the surviving tables in insertion order.
   Status Compact(double hnsw_rebuild_threshold = 0.0,
-                 ThreadPool* pool = nullptr);
+                 ThreadPool* pool = nullptr) LAKS_EXCLUDES(writer_mu_, mu_);
 
   /// Ranked table ids for a union/subset query (Fig 6 multi-column rank).
   std::vector<std::string> QueryUnionable(
       const std::vector<std::vector<float>>& query_columns, size_t k,
-      ThreadPool* pool = nullptr) const;
+      ThreadPool* pool = nullptr) const LAKS_EXCLUDES(mu_);
 
   /// Ranked table ids for a join query on a single column.
   std::vector<std::string> QueryJoinable(const std::vector<float>& query_column,
                                          size_t k,
-                                         ThreadPool* pool = nullptr) const;
+                                         ThreadPool* pool = nullptr) const
+      LAKS_EXCLUDES(mu_);
 
   /// One QueryUnionable result per query; queries fan out over `pool`.
   std::vector<std::vector<std::string>> QueryUnionableBatch(
       const std::vector<std::vector<std::vector<float>>>& queries, size_t k,
-      ThreadPool* pool = nullptr) const;
+      ThreadPool* pool = nullptr) const LAKS_EXCLUDES(mu_);
 
   /// One QueryJoinable result per query column; queries fan out over `pool`.
   std::vector<std::vector<std::string>> QueryJoinableBatch(
       const std::vector<std::vector<float>>& query_columns, size_t k,
-      ThreadPool* pool = nullptr) const;
+      ThreadPool* pool = nullptr) const LAKS_EXCLUDES(mu_);
 
   /// \brief Handle-level union/subset ranking with an exclude handle.
   ///
@@ -120,22 +123,25 @@ class ShardedLakeIndex {
   /// the query table itself is part of the corpus.
   std::vector<size_t> RankUnionable(
       const std::vector<std::vector<float>>& query_columns, size_t k,
-      size_t exclude, ThreadPool* pool = nullptr) const;
+      size_t exclude, ThreadPool* pool = nullptr) const LAKS_EXCLUDES(mu_);
 
   /// Handle-level join ranking with an exclude handle.
   std::vector<size_t> RankJoinable(const std::vector<float>& query_column,
                                    size_t k, size_t exclude,
-                                   ThreadPool* pool = nullptr) const;
+                                   ThreadPool* pool = nullptr) const
+      LAKS_EXCLUDES(mu_);
 
   /// Batch RankUnionable; `excludes` pairs with `queries` (empty = none).
   std::vector<std::vector<size_t>> RankUnionableBatch(
       const std::vector<std::vector<std::vector<float>>>& queries, size_t k,
-      const std::vector<size_t>& excludes, ThreadPool* pool = nullptr) const;
+      const std::vector<size_t>& excludes, ThreadPool* pool = nullptr) const
+      LAKS_EXCLUDES(mu_);
 
   /// Batch RankJoinable; `excludes` pairs with `query_columns`.
   std::vector<std::vector<size_t>> RankJoinableBatch(
       const std::vector<std::vector<float>>& query_columns, size_t k,
-      const std::vector<size_t>& excludes, ThreadPool* pool = nullptr) const;
+      const std::vector<size_t>& excludes, ThreadPool* pool = nullptr) const
+      LAKS_EXCLUDES(mu_);
 
   /// \brief Raw scatter/gather: the global top-`m` column hits for one query.
   ///
@@ -146,7 +152,8 @@ class ShardedLakeIndex {
   /// frames for a distributed coordinator, which gathers hits from many
   /// worker processes and runs the exact same ranking code on top.
   std::vector<ColumnEmbeddingIndex::ColumnHit> SearchColumnHits(
-      const std::vector<float>& query, size_t m, ThreadPool* pool = nullptr) const;
+      const std::vector<float>& query, size_t m,
+      ThreadPool* pool = nullptr) const LAKS_EXCLUDES(mu_);
 
   /// \brief Batched SearchColumnHits: one scatter per shard for the whole
   /// query batch.
@@ -158,7 +165,8 @@ class ShardedLakeIndex {
   /// when given. Result q is identical to SearchColumnHits(query q, m).
   std::vector<std::vector<ColumnEmbeddingIndex::ColumnHit>>
   SearchColumnHitsBatch(const std::vector<std::vector<float>>& queries,
-                        size_t m, ThreadPool* pool = nullptr) const;
+                        size_t m, ThreadPool* pool = nullptr) const
+      LAKS_EXCLUDES(mu_);
 
   /// \brief Wraps an already-built single LakeIndex as a 1-shard index.
   ///
@@ -172,7 +180,8 @@ class ShardedLakeIndex {
   /// `path` names the manifest; shard s is written next to it as
   /// "<basename>.shard-<s>" and recorded in the manifest by that relative
   /// name. Shard files are written in parallel over `pool` when given.
-  Status Save(const std::string& path, ThreadPool* pool = nullptr) const;
+  Status Save(const std::string& path, ThreadPool* pool = nullptr) const
+      LAKS_EXCLUDES(writer_mu_, mu_);
 
   /// \brief Loads an index written by Save, shards in parallel over `pool`.
   ///
@@ -184,76 +193,100 @@ class ShardedLakeIndex {
   static Result<ShardedLakeIndex> Load(const std::string& path,
                                        ThreadPool* pool = nullptr);
 
-  size_t num_shards() const { return shards_.size(); }
+  size_t num_shards() const LAKS_EXCLUDES(mu_) {
+    ReaderMutexLock lock(&mu_);
+    return shards_.size();
+  }
   /// Global handle-space size: live + tombstoned tables (re-densified by a
   /// full compaction, like LakeIndex handles).
-  size_t num_tables() const;
+  size_t num_tables() const LAKS_EXCLUDES(mu_);
   /// Tables a query can still return.
-  size_t num_live_tables() const;
+  size_t num_live_tables() const LAKS_EXCLUDES(mu_);
   /// Total column count across all shards (the ceiling on SearchColumnHits
   /// results — a serving layer clamps hostile `m` to it).
-  size_t num_columns() const;
+  size_t num_columns() const LAKS_EXCLUDES(mu_);
   size_t dim() const { return dim_; }
   const IndexOptions& options() const { return options_; }
   /// The id behind a global handle (a copy: the maps may be re-densified
   /// by a concurrent compaction).
-  std::string table_id(size_t handle) const;
+  std::string table_id(size_t handle) const LAKS_EXCLUDES(mu_);
 
   /// The shard `table_id` routes to (stable across rebuilds and processes).
-  size_t shard_of(const std::string& table_id) const;
+  size_t shard_of(const std::string& table_id) const LAKS_EXCLUDES(mu_);
 
   /// Number of tables resident in shard `s` (live + tombstoned).
-  size_t shard_size(size_t s) const { return shards_[s].num_tables(); }
+  size_t shard_size(size_t s) const LAKS_EXCLUDES(mu_) {
+    ReaderMutexLock lock(&mu_);
+    return shards_[s].num_tables();
+  }
 
   /// Delta tables across all shards awaiting the next compaction.
-  size_t pending_delta_tables() const;
+  size_t pending_delta_tables() const LAKS_EXCLUDES(mu_);
   /// Tombstoned-but-not-yet-compacted tables across all shards.
-  size_t pending_tombstones() const;
+  size_t pending_tombstones() const LAKS_EXCLUDES(mu_);
   /// Completed Compact calls on this sharded index (shard-internal folds
   /// triggered through this index count once, not per shard).
-  uint64_t compactions() const;
+  uint64_t compactions() const LAKS_EXCLUDES(mu_);
   /// True when any shard carries pending deltas or tombstones.
-  bool churned() const;
+  bool churned() const LAKS_EXCLUDES(mu_);
 
  private:
   explicit ShardedLakeIndex(size_t dim, const IndexOptions& options);
 
   /// Registers every table of shard `s` in the global handle maps, in the
   /// shard's insertion order.
-  void IndexShardTables(size_t s);
-  void MoveFieldsFrom(ShardedLakeIndex&& other);
+  void IndexShardTables(size_t s) LAKS_REQUIRES(mu_);
+  /// Unanalyzed on purpose: moves must not overlap any other operation on
+  /// either operand (the documented move contract), so no lock is held.
+  void MoveFieldsFrom(ShardedLakeIndex&& other) LAKS_NO_THREAD_SAFETY_ANALYSIS;
+  size_t ShardOfLocked(const std::string& table_id) const
+      LAKS_REQUIRES_SHARED(mu_);
 
   std::vector<ColumnEmbeddingIndex::ColumnHit> SearchColumnHitsLocked(
-      const std::vector<float>& query, size_t m, ThreadPool* pool) const;
+      const std::vector<float>& query, size_t m, ThreadPool* pool) const
+      LAKS_REQUIRES_SHARED(mu_);
   std::vector<std::vector<ColumnEmbeddingIndex::ColumnHit>>
   SearchColumnHitsBatchLocked(const std::vector<std::vector<float>>& queries,
-                              size_t m, ThreadPool* pool) const;
+                              size_t m, ThreadPool* pool) const
+      LAKS_REQUIRES_SHARED(mu_);
   std::vector<size_t> RankUnionableLocked(
       const std::vector<std::vector<float>>& query_columns, size_t k,
-      size_t exclude, ThreadPool* pool) const;
+      size_t exclude, ThreadPool* pool) const LAKS_REQUIRES_SHARED(mu_);
   std::vector<std::vector<size_t>> RankUnionableBatchLocked(
       const std::vector<std::vector<std::vector<float>>>& queries, size_t k,
-      const std::vector<size_t>& excludes, ThreadPool* pool) const;
+      const std::vector<size_t>& excludes, ThreadPool* pool) const
+      LAKS_REQUIRES_SHARED(mu_);
   std::vector<std::vector<size_t>> RankJoinableBatchLocked(
       const std::vector<std::vector<float>>& query_columns, size_t k,
-      const std::vector<size_t>& excludes, ThreadPool* pool) const;
+      const std::vector<size_t>& excludes, ThreadPool* pool) const
+      LAKS_REQUIRES_SHARED(mu_);
 
   // Lock order: writer_mu_ before mu_ (before any shard's own locks).
   // Queries hold mu_ shared across the whole scatter + merge + rank so the
   // maps and shard set they read belong to one epoch; mutations take
   // writer_mu_, then mu_ exclusive only for the brief publish step.
-  mutable std::shared_mutex mu_;
-  // mutable: Save is const but must exclude mutations so the manifest and
-  // shard files describe one epoch.
-  mutable std::mutex writer_mu_;
+  //
+  // mutable writer_mu_: Save is const but must exclude mutations so the
+  // manifest and shard files describe one epoch.
+  mutable Mutex writer_mu_;
+  mutable SharedMutex mu_ LAKS_ACQUIRED_AFTER(writer_mu_);
 
+  // dim_ and options_ are set before the index is shared (constructor /
+  // Load, moves excepted) and never change afterwards, so they are read
+  // without the lock.
   size_t dim_;
   IndexOptions options_;
-  std::vector<LakeIndex> shards_;
-  std::vector<std::string> global_ids_;                // handle -> id
-  std::vector<std::pair<size_t, size_t>> locator_;     // handle -> (shard, local)
-  std::vector<std::vector<size_t>> to_global_;         // shard -> local -> handle
-  uint64_t compactions_ = 0;
+  // The vector structure (element count) only changes pre-publication; a
+  // compaction swaps *elements* under an exclusive lock, which is why the
+  // whole vector is guarded. Each element also carries its own locks.
+  std::vector<LakeIndex> shards_ LAKS_GUARDED_BY(mu_);
+  // handle -> id
+  std::vector<std::string> global_ids_ LAKS_GUARDED_BY(mu_);
+  // handle -> (shard, local)
+  std::vector<std::pair<size_t, size_t>> locator_ LAKS_GUARDED_BY(mu_);
+  // shard -> local -> handle
+  std::vector<std::vector<size_t>> to_global_ LAKS_GUARDED_BY(mu_);
+  uint64_t compactions_ LAKS_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace tsfm::search

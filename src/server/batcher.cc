@@ -42,13 +42,13 @@ Result<std::vector<std::string>> QueryBatcher::Submit(
   job->enqueued = Clock::now();
   std::future<Result<std::vector<std::string>>> result = job->done.get_future();
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (stopping_) {
       return Status::Internal("query batcher is shutting down");
     }
     pending_.push_back(std::move(job));
   }
-  work_cv_.notify_one();
+  work_cv_.NotifyOne();
   return result.get();
 }
 
@@ -56,28 +56,28 @@ void QueryBatcher::Stop() {
   // Serialize concurrent Stop calls (e.g. an explicit Stop racing the
   // destructor's): the loser blocks until the dispatcher is joined rather
   // than returning while the thread is still live.
-  std::lock_guard<std::mutex> stop_lock(stop_mu_);
+  MutexLock stop_lock(&stop_mu_);
   if (!dispatcher_.joinable()) return;
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     stopping_ = true;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   dispatcher_.join();
   // The dispatcher has drained the queue, but groups it handed to the
   // query pool may still be running; wait them out so every accepted
   // query has its result before Stop returns.
-  std::unique_lock<std::mutex> lock(mu_);
-  idle_cv_.wait(lock, [this] { return inflight_groups_ == 0; });
+  MutexLock lock(&mu_);
+  while (inflight_groups_ != 0) idle_cv_.Wait(mu_);
 }
 
 ServerStats QueryBatcher::stats() const {
-  std::unique_lock<std::mutex> lock(stats_mu_);
+  MutexLock lock(&stats_mu_);
   return stats_;
 }
 
 size_t QueryBatcher::PendingForTest() const {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return pending_.size();
 }
 
@@ -92,8 +92,8 @@ void QueryBatcher::DispatchLoop() {
     std::map<std::pair<uint8_t, size_t>, std::vector<std::unique_ptr<Job>>>
         groups;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [this] { return stopping_ || !pending_.empty(); });
+      MutexLock lock(&mu_);
+      while (!stopping_ && pending_.empty()) work_cv_.Wait(mu_);
       // Drain before exiting so every accepted query gets its result.
       if (pending_.empty()) return;
       std::deque<std::unique_ptr<Job>> leftover;
@@ -131,9 +131,8 @@ void QueryBatcher::DispatchGroup(Opcode op, size_t k,
   // instead lets pending_ accumulate, so the next round forms full
   // per-key groups for the multi-query scan.
   {
-    std::unique_lock<std::mutex> lock(mu_);
-    idle_cv_.wait(lock,
-                  [this] { return inflight_groups_ < max_inflight_groups_; });
+    MutexLock lock(&mu_);
+    while (inflight_groups_ >= max_inflight_groups_) idle_cv_.Wait(mu_);
     ++inflight_groups_;
   }
   // std::function must be copyable; the move-only group rides a shared_ptr.
@@ -141,9 +140,9 @@ void QueryBatcher::DispatchGroup(Opcode op, size_t k,
       std::move(group));
   auto task = [this, op, k, shared] {
     RunGroup(op, k, std::move(*shared));
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     --inflight_groups_;
-    idle_cv_.notify_all();
+    idle_cv_.NotifyAll();
   };
   if (!query_pool_->Submit(task)) {
     // Pool already shut down (shutdown drain): run inline on the
@@ -180,7 +179,7 @@ void QueryBatcher::RunGroup(Opcode op, size_t k,
   // delivered, a STATS read must already see its request, or an exact
   // served-vs-reported comparison can transiently undercount.
   {
-    std::unique_lock<std::mutex> lock(stats_mu_);
+    MutexLock lock(&stats_mu_);
     stats_.requests += group.size();
     stats_.batches += 1;
     stats_.max_batch = std::max<uint64_t>(stats_.max_batch, group.size());

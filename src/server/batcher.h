@@ -18,17 +18,17 @@
 #ifndef TSFM_SERVER_BATCHER_H_
 #define TSFM_SERVER_BATCHER_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "server/protocol.h"
+#include "util/mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace tsfm {
 class ThreadPool;
@@ -65,50 +65,56 @@ class QueryBatcher {
   /// responsible for dimension validation. Returns the ranked table ids,
   /// or an error Status if the batcher is stopping.
   Result<std::vector<std::string>> Submit(
-      Opcode op, std::vector<std::vector<float>> columns, size_t k);
+      Opcode op, std::vector<std::vector<float>> columns, size_t k)
+      LAKS_EXCLUDES(mu_);
 
   /// \brief Drains every accepted query, then joins the dispatcher.
   ///
   /// Waits for groups already handed to the query pool as well as parked
   /// jobs, so every Submit accepted before Stop has its result when Stop
   /// returns. Idempotent.
-  void Stop();
+  void Stop() LAKS_EXCLUDES(stop_mu_, mu_);
 
   /// Point-in-time batching counters (queue-wait / batch-size fields of
   /// ServerStats; the server layers latency on top).
-  ServerStats stats() const;
+  ServerStats stats() const LAKS_EXCLUDES(stats_mu_);
 
   /// Test-only: parked jobs not yet taken by a dispatch round.
-  size_t PendingForTest() const;
+  size_t PendingForTest() const LAKS_EXCLUDES(mu_);
 
  private:
   struct Job;
 
-  void DispatchLoop();
+  void DispatchLoop() LAKS_EXCLUDES(mu_);
   /// Hands one same-(op, k) group to the query pool (inline on a rejected
   /// Submit during shutdown drain) and tracks it in inflight_groups_.
   void DispatchGroup(Opcode op, size_t k,
-                     std::vector<std::unique_ptr<Job>> group);
+                     std::vector<std::unique_ptr<Job>> group)
+      LAKS_EXCLUDES(mu_);
   /// Runs one group of same-(op, k) jobs as a single batch call and
   /// fulfils their results.
   void RunGroup(Opcode op, size_t k,
-                std::vector<std::unique_ptr<Job>> group);
+                std::vector<std::unique_ptr<Job>> group)
+      LAKS_EXCLUDES(mu_, stats_mu_);
 
   const LakeBackend* backend_;
   ThreadPool* query_pool_;
   size_t max_batch_;
   size_t max_inflight_groups_;  // = pool width; the coalescing backpressure
 
-  mutable std::mutex mu_;
-  std::condition_variable work_cv_;
-  std::deque<std::unique_ptr<Job>> pending_;
-  bool stopping_ = false;
-  size_t inflight_groups_ = 0;     // groups handed to the pool, not yet done
-  std::condition_variable idle_cv_;  // signalled when a group finishes
-  std::mutex stop_mu_;  // serializes Stop
+  // Lock order: stop_mu_ before mu_ (Stop holds both in sequence); mu_
+  // and stats_mu_ are never held together.
+  Mutex stop_mu_;  // serializes Stop
+  mutable Mutex mu_ LAKS_ACQUIRED_AFTER(stop_mu_);
+  CondVar work_cv_;
+  std::deque<std::unique_ptr<Job>> pending_ LAKS_GUARDED_BY(mu_);
+  bool stopping_ LAKS_GUARDED_BY(mu_) = false;
+  // Groups handed to the pool, not yet done.
+  size_t inflight_groups_ LAKS_GUARDED_BY(mu_) = 0;
+  CondVar idle_cv_;  // signalled when a group finishes
 
-  mutable std::mutex stats_mu_;
-  ServerStats stats_;
+  mutable Mutex stats_mu_;
+  ServerStats stats_ LAKS_GUARDED_BY(stats_mu_);
 
   std::thread dispatcher_;
 };

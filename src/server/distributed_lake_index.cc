@@ -2,8 +2,6 @@
 
 #include <algorithm>
 #include <cstdint>
-#include <mutex>
-#include <shared_mutex>
 #include <unordered_map>
 #include <utility>
 
@@ -11,6 +9,8 @@
 #include "search/lake_manifest.h"
 #include "server/lake_client.h"
 #include "util/hash.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 #include "util/thread_pool.h"
 
 namespace tsfm::server {
@@ -25,44 +25,68 @@ namespace {
 /// idle connection, since they all point at the same dead process.
 struct ShardEndpoint {
   std::string socket_path;
-  std::mutex mu;
-  std::vector<std::unique_ptr<LakeClient>> idle;
+  Mutex mu;
+  std::vector<std::unique_ptr<LakeClient>> idle LAKS_GUARDED_BY(mu);
 };
 
 }  // namespace
 
 struct DistributedLakeIndex::State {
+  // options through shards are written only by Connect, before the State
+  // is published behind a DistributedLakeIndex; afterwards they are
+  // immutable (the ShardEndpoint objects carry their own locks), so they
+  // are read without a lock.
   DistributedOptions options;
   search::IndexBackend backend = search::IndexBackend::kFlat;
   search::Metric metric = search::Metric::kCosine;
   size_t dim = 0;
-  size_t num_columns = 0;
-  std::vector<std::string> global_ids;          // handle -> id
-  std::vector<std::vector<size_t>> to_global;   // shard -> local -> handle
   std::vector<std::unique_ptr<ShardEndpoint>> shards;
 
-  // --- mutation bookkeeping (mirrors each worker's newest-live rule) ---
+  // Lock order: writer_mu before maps_mu (before any ShardEndpoint::mu).
+  //
   // `maps_mu` pins a map epoch: queries hold it shared across their whole
   // scatter+remap+rank so a concurrent Compact's map swap (unique) can
   // never tear a result. `writer_mu` serializes mutations against each
-  // other and is always taken before `maps_mu`.
-  mutable std::shared_mutex maps_mu;
-  std::mutex writer_mu;
-  std::vector<std::pair<size_t, size_t>> locator;  // handle -> (shard, local)
-  std::vector<uint8_t> dead;                       // handle -> tombstoned?
-  std::unordered_map<std::string, std::vector<size_t>> handles_by_id;
-  uint64_t pending_delta_tables = 0;
-  uint64_t pending_tombstones = 0;
-  uint64_t compactions = 0;
+  // other; fields only mutations touch (the coordinator's mirror of each
+  // worker's newest-live rule) are guarded by it alone, since no query
+  // ever reads them.
+  Mutex writer_mu;
+  mutable SharedMutex maps_mu LAKS_ACQUIRED_AFTER(writer_mu);
+
+  size_t num_columns LAKS_GUARDED_BY(maps_mu) = 0;
+  // handle -> id
+  std::vector<std::string> global_ids LAKS_GUARDED_BY(maps_mu);
+  // shard -> local -> handle
+  std::vector<std::vector<size_t>> to_global LAKS_GUARDED_BY(maps_mu);
+  uint64_t pending_delta_tables LAKS_GUARDED_BY(maps_mu) = 0;
+  uint64_t pending_tombstones LAKS_GUARDED_BY(maps_mu) = 0;
+  uint64_t compactions LAKS_GUARDED_BY(maps_mu) = 0;
+
+  // --- mutation bookkeeping, guarded by writer_mu only ---
+  // handle -> (shard, local)
+  std::vector<std::pair<size_t, size_t>> locator LAKS_GUARDED_BY(writer_mu);
+  // handle -> tombstoned?
+  std::vector<uint8_t> dead LAKS_GUARDED_BY(writer_mu);
+  std::unordered_map<std::string, std::vector<size_t>> handles_by_id
+      LAKS_GUARDED_BY(writer_mu);
   // Cleared when Connect finds a churned manifest: the handshake cannot
   // see which handles the workers have tombstoned, so the coordinator's
   // newest-live bookkeeping could diverge from theirs. Queries still work.
-  bool mutable_ok = true;
+  bool mutable_ok LAKS_GUARDED_BY(writer_mu) = true;
   // Set when a mutation fails after it may have reached a worker: the
   // coordinator's maps may disagree with worker handle spaces, so further
   // mutations are refused until a fresh Connect (queries stay available
   // against the old epoch).
-  bool mutations_broken = false;
+  bool mutations_broken LAKS_GUARDED_BY(writer_mu) = false;
+
+  /// Scatters one SHARD_QUERY over all workers and remaps hits to global
+  /// handles: result[column] holds one sorted list per shard, ready for
+  /// TableRanker::MergeColumnHits. Lives on State (not the public class)
+  /// so the shared-lock requirement can name maps_mu directly.
+  Result<std::vector<std::vector<
+      std::vector<search::ColumnEmbeddingIndex::ColumnHit>>>>
+  ScatterColumnHits(const std::vector<std::vector<float>>& columns, size_t m,
+                    ThreadPool* pool) LAKS_REQUIRES_SHARED(maps_mu);
 
   Status Annotate(size_t shard, const Status& status) const {
     return Status(status.code(), "shard " + std::to_string(shard) + " (" +
@@ -73,7 +97,7 @@ struct DistributedLakeIndex::State {
   Result<std::unique_ptr<LakeClient>> Acquire(size_t shard) {
     ShardEndpoint& ep = *shards[shard];
     {
-      std::lock_guard<std::mutex> lock(ep.mu);
+      MutexLock lock(&ep.mu);
       if (!ep.idle.empty()) {
         auto client = std::move(ep.idle.back());
         ep.idle.pop_back();
@@ -89,7 +113,7 @@ struct DistributedLakeIndex::State {
   void Release(size_t shard, std::unique_ptr<LakeClient> client) {
     if (client == nullptr || !client->connected()) return;
     ShardEndpoint& ep = *shards[shard];
-    std::lock_guard<std::mutex> lock(ep.mu);
+    MutexLock lock(&ep.mu);
     if (ep.idle.size() < options.max_idle_connections_per_shard) {
       ep.idle.push_back(std::move(client));
     }
@@ -100,7 +124,7 @@ struct DistributedLakeIndex::State {
   // through stale fds.
   void DropIdle(size_t shard) {
     ShardEndpoint& ep = *shards[shard];
-    std::lock_guard<std::mutex> lock(ep.mu);
+    MutexLock lock(&ep.mu);
     ep.idle.clear();
   }
 
@@ -175,12 +199,14 @@ DistributedLakeIndex::~DistributedLakeIndex() = default;
 
 size_t DistributedLakeIndex::num_shards() const { return state_->shards.size(); }
 size_t DistributedLakeIndex::num_tables() const {
-  std::shared_lock<std::shared_mutex> lock(state_->maps_mu);
-  return state_->global_ids.size();
+  State& st = *state_;
+  ReaderMutexLock lock(&st.maps_mu);
+  return st.global_ids.size();
 }
 size_t DistributedLakeIndex::num_columns() const {
-  std::shared_lock<std::shared_mutex> lock(state_->maps_mu);
-  return state_->num_columns;
+  State& st = *state_;
+  ReaderMutexLock lock(&st.maps_mu);
+  return st.num_columns;
 }
 size_t DistributedLakeIndex::dim() const { return state_->dim; }
 search::IndexBackend DistributedLakeIndex::backend() const {
@@ -188,8 +214,9 @@ search::IndexBackend DistributedLakeIndex::backend() const {
 }
 search::Metric DistributedLakeIndex::metric() const { return state_->metric; }
 std::string DistributedLakeIndex::table_id(size_t handle) const {
-  std::shared_lock<std::shared_mutex> lock(state_->maps_mu);
-  return state_->global_ids[handle];
+  State& st = *state_;
+  ReaderMutexLock lock(&st.maps_mu);
+  return st.global_ids[handle];
 }
 const std::string& DistributedLakeIndex::worker_socket(size_t shard) const {
   return state_->shards[shard]->socket_path;
@@ -211,6 +238,12 @@ Result<DistributedLakeIndex> DistributedLakeIndex::Connect(
   }
 
   auto state = std::make_unique<State>();
+  State& st = *state;
+  // `st` is not visible to any other thread until the return publishes it;
+  // the locks are uncontended and exist for the checker. Lock order
+  // writer_mu -> maps_mu as everywhere else.
+  MutexLock writer(&st.writer_mu);
+  WriterMutexLock maps_lock(&st.maps_mu);
   state->options = options;
   state->backend = manifest.backend;
   state->metric = manifest.metric;
@@ -266,52 +299,53 @@ Result<DistributedLakeIndex> DistributedLakeIndex::Connect(
       return reject("worker table list disagrees with its health counters");
     }
     shard_tables[s] = std::move(tables).value();
-    state->num_columns += static_cast<size_t>(h.num_columns);
+    st.num_columns += static_cast<size_t>(h.num_columns);
   }
 
   // Rebuild the global handle space in insertion order from the locator,
   // exactly as ShardedLakeIndex::Load does — this is what keeps the Fig 6
   // tie-breaking identical between the two deployments.
-  state->to_global.resize(num_shards);
+  st.to_global.resize(num_shards);
   for (size_t s = 0; s < num_shards; ++s) {
-    state->to_global[s].assign(shard_tables[s].size(), SIZE_MAX);
+    st.to_global[s].assign(shard_tables[s].size(), SIZE_MAX);
   }
-  state->global_ids.reserve(manifest.num_tables());
+  st.global_ids.reserve(manifest.num_tables());
   for (const auto& [shard, local] : manifest.locator) {
-    if (local >= state->to_global[shard].size() ||
-        state->to_global[shard][local] != SIZE_MAX) {
+    if (local >= st.to_global[shard].size() ||
+        st.to_global[shard][local] != SIZE_MAX) {
       return Status::ParseError("lake manifest " + manifest_path +
                                 " has an invalid or duplicate table record");
     }
-    const size_t handle = state->global_ids.size();
-    state->to_global[shard][local] = handle;
-    state->locator.emplace_back(static_cast<size_t>(shard),
-                                static_cast<size_t>(local));
-    state->handles_by_id[shard_tables[shard][local]].push_back(handle);
-    state->global_ids.push_back(shard_tables[shard][local]);
+    const size_t handle = st.global_ids.size();
+    st.to_global[shard][local] = handle;
+    st.locator.emplace_back(static_cast<size_t>(shard),
+                            static_cast<size_t>(local));
+    st.handles_by_id[shard_tables[shard][local]].push_back(handle);
+    st.global_ids.push_back(shard_tables[shard][local]);
   }
-  state->dead.assign(state->global_ids.size(), 0);
+  st.dead.assign(st.global_ids.size(), 0);
   // A churned manifest means the workers carry tombstones this handshake
   // cannot see, so the coordinator's newest-live bookkeeping would
   // diverge from theirs: serve queries, refuse mutations.
   if (manifest.live_tables < manifest.num_tables()) {
-    state->mutable_ok = false;
-    state->pending_tombstones =
-        manifest.num_tables() - manifest.live_tables;
+    st.mutable_ok = false;
+    st.pending_tombstones = manifest.num_tables() - manifest.live_tables;
   }
+  // The guards only reference st, which the moved-from unique_ptr leaves
+  // alive (it now lives behind the returned index), so unlocking at scope
+  // exit is safe.
   return DistributedLakeIndex(std::move(state));
 }
 
-// Callers hold state_->maps_mu shared for the duration.
 Result<std::vector<std::vector<std::vector<ColumnEmbeddingIndex::ColumnHit>>>>
-DistributedLakeIndex::ScatterColumnHits(
+DistributedLakeIndex::State::ScatterColumnHits(
     const std::vector<std::vector<float>>& columns, size_t m,
-    ThreadPool* pool) const {
-  const size_t num_shards = state_->shards.size();
+    ThreadPool* pool) {
+  const size_t num_shards = shards.size();
   std::vector<Result<std::vector<std::vector<ShardHit>>>> raw(
       num_shards, Status::Internal("shard not queried"));
   auto query_shard = [&](size_t s) {
-    raw[s] = state_->CallShard(s, [&](LakeClient& client) {
+    raw[s] = CallShard(s, [&](LakeClient& client) {
       return client.ShardQuery(columns, m);
     });
   };
@@ -331,7 +365,7 @@ DistributedLakeIndex::ScatterColumnHits(
     if (!raw[s].ok()) return raw[s].status();
     const auto& lists = raw[s].value();
     if (lists.size() != columns.size()) {
-      return state_->Annotate(
+      return Annotate(
           s, Status::ParseError("worker answered " +
                                 std::to_string(lists.size()) +
                                 " hit lists for " +
@@ -341,13 +375,12 @@ DistributedLakeIndex::ScatterColumnHits(
       auto& out = result[c][s];
       out.reserve(lists[c].size());
       for (const ShardHit& hit : lists[c]) {
-        if (hit.table >= state_->to_global[s].size()) {
-          return state_->Annotate(
+        if (hit.table >= to_global[s].size()) {
+          return Annotate(
               s, Status::ParseError("worker returned unknown table handle " +
                                     std::to_string(hit.table)));
         }
-        out.push_back({state_->to_global[s][hit.table], hit.column,
-                       hit.distance});
+        out.push_back({to_global[s][hit.table], hit.column, hit.distance});
       }
     }
   }
@@ -358,20 +391,22 @@ Result<std::vector<std::string>> DistributedLakeIndex::QueryJoinable(
     const std::vector<float>& query_column, size_t k, ThreadPool* pool) const {
   // Pin one map epoch across the whole scatter+remap+rank: a concurrent
   // Compact re-densifies the maps under the unique side of this lock.
-  std::shared_lock<std::shared_mutex> lock(state_->maps_mu);
-  auto scattered = ScatterColumnHits({query_column}, k * 3, pool);
+  State& st = *state_;
+  ReaderMutexLock lock(&st.maps_mu);
+  auto scattered = st.ScatterColumnHits({query_column}, k * 3, pool);
   if (!scattered.ok()) return scattered.status();
   auto merged = TableRanker::MergeColumnHits(scattered.value()[0], k * 3);
   return search::RankedTableIds(
-      state_->global_ids,
+      st.global_ids,
       TableRanker::RankFromSingleColumnHits(merged, /*exclude=*/SIZE_MAX), k);
 }
 
 Result<std::vector<std::string>> DistributedLakeIndex::QueryUnionable(
     const std::vector<std::vector<float>>& query_columns, size_t k,
     ThreadPool* pool) const {
-  std::shared_lock<std::shared_mutex> lock(state_->maps_mu);
-  auto scattered = ScatterColumnHits(query_columns, k * 3, pool);
+  State& st = *state_;
+  ReaderMutexLock lock(&st.maps_mu);
+  auto scattered = st.ScatterColumnHits(query_columns, k * 3, pool);
   if (!scattered.ok()) return scattered.status();
   std::vector<std::vector<ColumnEmbeddingIndex::ColumnHit>> per_column_hits;
   per_column_hits.reserve(query_columns.size());
@@ -379,7 +414,7 @@ Result<std::vector<std::string>> DistributedLakeIndex::QueryUnionable(
     per_column_hits.push_back(TableRanker::MergeColumnHits(per_shard, k * 3));
   }
   return search::RankedTableIds(
-      state_->global_ids,
+      st.global_ids,
       TableRanker::RankFromColumnHits(per_column_hits, /*exclude=*/SIZE_MAX),
       k);
 }
@@ -457,7 +492,7 @@ Status MutationGate(bool mutable_ok, bool mutations_broken) {
 Status DistributedLakeIndex::AddTable(
     const std::string& table_id, const std::vector<std::vector<float>>& columns) {
   State& st = *state_;
-  std::lock_guard<std::mutex> writer(st.writer_mu);
+  MutexLock writer(&st.writer_mu);
   if (Status s = MutationGate(st.mutable_ok, st.mutations_broken); !s.ok()) {
     return s;
   }
@@ -473,7 +508,7 @@ Status DistributedLakeIndex::AddTable(
     st.mutations_broken = maybe_applied;
     return sent;
   }
-  std::unique_lock<std::shared_mutex> lock(st.maps_mu);
+  WriterMutexLock lock(&st.maps_mu);
   const size_t handle = st.global_ids.size();
   st.to_global[shard].push_back(handle);
   st.locator.emplace_back(shard, st.to_global[shard].size() - 1);
@@ -487,7 +522,7 @@ Status DistributedLakeIndex::AddTable(
 
 Status DistributedLakeIndex::RemoveTable(const std::string& table_id) {
   State& st = *state_;
-  std::lock_guard<std::mutex> writer(st.writer_mu);
+  MutexLock writer(&st.writer_mu);
   if (Status s = MutationGate(st.mutable_ok, st.mutations_broken); !s.ok()) {
     return s;
   }
@@ -511,7 +546,7 @@ Status DistributedLakeIndex::RemoveTable(const std::string& table_id) {
     st.mutations_broken = maybe_applied || sent.code() == StatusCode::kNotFound;
     return sent;
   }
-  std::unique_lock<std::shared_mutex> lock(st.maps_mu);
+  WriterMutexLock lock(&st.maps_mu);
   st.dead[victim] = 1;
   it->second.pop_back();
   if (it->second.empty()) st.handles_by_id.erase(it);
@@ -521,7 +556,7 @@ Status DistributedLakeIndex::RemoveTable(const std::string& table_id) {
 
 Status DistributedLakeIndex::Compact(ThreadPool* pool) {
   State& st = *state_;
-  std::lock_guard<std::mutex> writer(st.writer_mu);
+  MutexLock writer(&st.writer_mu);
   if (Status s = MutationGate(st.mutable_ok, st.mutations_broken); !s.ok()) {
     return s;
   }
@@ -558,12 +593,16 @@ Status DistributedLakeIndex::Compact(ThreadPool* pool) {
   }
 
   // Phase 2: verify each worker's post-compaction shape against the
-  // survivor counts these maps predict (off the maps lock — writer_mu
-  // already excludes other mutations, and queries only read).
+  // survivor counts these maps predict. global_ids is pinned with a brief
+  // shared lock (queries keep running); dead and locator need only
+  // writer_mu, which this function holds throughout.
   std::vector<size_t> survivors(num_shards, 0);
   size_t live_columns = 0;
-  for (size_t h = 0; h < st.global_ids.size(); ++h) {
-    if (!st.dead[h]) ++survivors[st.locator[h].first];
+  {
+    ReaderMutexLock maps_lock(&st.maps_mu);
+    for (size_t h = 0; h < st.global_ids.size(); ++h) {
+      if (!st.dead[h]) ++survivors[st.locator[h].first];
+    }
   }
   for (size_t s = 0; s < num_shards; ++s) {
     Result<ShardHealth> health = st.CallShard(
@@ -590,17 +629,24 @@ Status DistributedLakeIndex::Compact(ThreadPool* pool) {
   std::vector<std::pair<size_t, size_t>> new_locator;
   std::vector<std::vector<size_t>> new_to_global(num_shards);
   std::unordered_map<std::string, std::vector<size_t>> new_handles_by_id;
-  new_ids.reserve(st.global_ids.size());
-  for (size_t h = 0; h < st.global_ids.size(); ++h) {
-    if (st.dead[h]) continue;
-    const size_t shard = st.locator[h].first;
-    const size_t handle = new_ids.size();
-    new_to_global[shard].push_back(handle);
-    new_locator.emplace_back(shard, new_to_global[shard].size() - 1);
-    new_handles_by_id[st.global_ids[h]].push_back(handle);
-    new_ids.push_back(st.global_ids[h]);
+  {
+    // Build off the exclusive lock (queries keep running against the old
+    // epoch); the shared lock pins global_ids, and writer_mu — held since
+    // entry — keeps the whole read-build-swap sequence atomic against
+    // other mutations even across the lock-upgrade gap below.
+    ReaderMutexLock maps_lock(&st.maps_mu);
+    new_ids.reserve(st.global_ids.size());
+    for (size_t h = 0; h < st.global_ids.size(); ++h) {
+      if (st.dead[h]) continue;
+      const size_t shard = st.locator[h].first;
+      const size_t handle = new_ids.size();
+      new_to_global[shard].push_back(handle);
+      new_locator.emplace_back(shard, new_to_global[shard].size() - 1);
+      new_handles_by_id[st.global_ids[h]].push_back(handle);
+      new_ids.push_back(st.global_ids[h]);
+    }
   }
-  std::unique_lock<std::shared_mutex> lock(st.maps_mu);
+  WriterMutexLock lock(&st.maps_mu);
   st.global_ids = std::move(new_ids);
   st.locator = std::move(new_locator);
   st.to_global = std::move(new_to_global);
@@ -614,11 +660,12 @@ Status DistributedLakeIndex::Compact(ThreadPool* pool) {
 }
 
 LakeChurnCounters DistributedLakeIndex::Churn() const {
-  std::shared_lock<std::shared_mutex> lock(state_->maps_mu);
+  State& st = *state_;
+  ReaderMutexLock lock(&st.maps_mu);
   LakeChurnCounters counters;
-  counters.pending_delta_tables = state_->pending_delta_tables;
-  counters.pending_tombstones = state_->pending_tombstones;
-  counters.compactions = state_->compactions;
+  counters.pending_delta_tables = st.pending_delta_tables;
+  counters.pending_tombstones = st.pending_tombstones;
+  counters.compactions = st.compactions;
   return counters;
 }
 

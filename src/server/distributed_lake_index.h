@@ -169,17 +169,11 @@ class DistributedLakeIndex {
   const std::string& worker_socket(size_t shard) const;
 
  private:
+  // All locking lives on State (see the .cc): it is a complete type there,
+  // so the thread-safety annotations can name its capabilities directly.
   struct State;
 
   explicit DistributedLakeIndex(std::unique_ptr<State> state);
-
-  /// Scatters one SHARD_QUERY over all workers and remaps hits to global
-  /// handles: result[column] holds one sorted list per shard, ready for
-  /// TableRanker::MergeColumnHits.
-  Result<std::vector<std::vector<
-      std::vector<search::ColumnEmbeddingIndex::ColumnHit>>>>
-  ScatterColumnHits(const std::vector<std::vector<float>>& columns, size_t m,
-                    ThreadPool* pool) const;
 
   std::unique_ptr<State> state_;
 };

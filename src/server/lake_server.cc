@@ -51,7 +51,7 @@ LakeServer::LakeServer(DistributedLakeIndex index, const ServerOptions& options)
 LakeServer::~LakeServer() { Stop(); }
 
 Status LakeServer::Start(const std::string& socket_path) {
-  if (started_) return Status::Internal("server already started");
+  if (started_.load()) return Status::Internal("server already started");
   sockaddr_un addr;
   if (Status s = FillUnixSockaddr(socket_path, &addr); !s.ok()) return s;
 
@@ -77,7 +77,7 @@ Status LakeServer::Start(const std::string& socket_path) {
     return status;
   }
   socket_path_ = socket_path;
-  started_ = true;
+  started_.store(true);
   accept_thread_ = std::thread([this] { AcceptLoop(); });
   return Status::OK();
 }
@@ -86,8 +86,8 @@ void LakeServer::Stop() {
   // Serialize concurrent Stop calls (say, an explicit call racing the
   // destructor's): the loser blocks until the winner has fully torn down,
   // so it can never observe a half-stopped server.
-  std::lock_guard<std::mutex> stop_lock(stop_mu_);
-  if (!started_ || stopped_) return;
+  MutexLock stop_lock(&stop_mu_);
+  if (!started_.load() || stopped_) return;
   stopped_ = true;
 
   // 1. Refuse new connections: flag the accept loop down, join it, release
@@ -105,7 +105,7 @@ void LakeServer::Stop() {
   //    request keep going — they finish through the batcher and write
   //    their response on the still-open write side.
   {
-    std::unique_lock<std::mutex> lock(conn_mu_);
+    MutexLock lock(&conn_mu_);
     for (int fd : conns_) ::shutdown(fd, SHUT_RD);
   }
 
@@ -130,7 +130,7 @@ ServerStats LakeServer::stats() const {
   stats.pending_delta_tables = churn.pending_delta_tables;
   stats.pending_tombstones = churn.pending_tombstones;
   stats.compactions = churn.compactions;
-  std::unique_lock<std::mutex> lock(latency_mu_);
+  MutexLock lock(&latency_mu_);
   stats.total_latency_ms = total_latency_ms_;
   stats.requests += shard_requests_;
   return stats;
@@ -149,10 +149,10 @@ void LakeServer::MaybeAutoCompact() {
   // Stop() drains the query pool, so a compaction in flight at shutdown
   // completes rather than being torn out from under the backend.
   if (!query_pool_->Submit([this] {
-        // Failure shows up in the still-elevated churn counters; there is
-        // no client on this code path to report it to.
-        Status ignored = backend_->Compact(nullptr);
-        (void)ignored;
+        // Ignorable: there is no client on this code path to report a
+        // failure to, and it already shows up in the still-elevated churn
+        // counters the next STATS read returns.
+        (void)backend_->Compact(nullptr);
         compacting_.store(false);
       })) {
     compacting_.store(false);
@@ -189,11 +189,11 @@ void LakeServer::AcceptLoop() {
     ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &send_timeout,
                  sizeof(send_timeout));
     {
-      std::unique_lock<std::mutex> lock(conn_mu_);
+      MutexLock lock(&conn_mu_);
       conns_.insert(fd);
     }
     if (!io_pool_->Submit([this, fd] { HandleConnection(fd); })) {
-      std::unique_lock<std::mutex> lock(conn_mu_);
+      MutexLock lock(&conn_mu_);
       conns_.erase(fd);
       ::close(fd);
     }
@@ -213,8 +213,11 @@ void LakeServer::HandleConnection(int fd) {
       // a Status error, then close. Truncated frames and transport errors
       // mean the client is gone; just close.
       if (status.code() == StatusCode::kOutOfRange) {
-        WriteFrame(fd,
-                   SerializeResponse(Response::Error(Opcode::kJoin, status)));
+        // Ignorable: this reply is best-effort courtesy on a connection we
+        // are about to close — if the client is already gone there is
+        // nobody left to tell.
+        (void)WriteFrame(
+            fd, SerializeResponse(Response::Error(Opcode::kJoin, status)));
       }
       break;
     }
@@ -238,13 +241,13 @@ void LakeServer::HandleConnection(int fd) {
     if (response.status == StatusCode::kOk &&
         (response.op == Opcode::kJoin || response.op == Opcode::kUnion ||
          response.op == Opcode::kShardQuery)) {
-      std::unique_lock<std::mutex> lock(latency_mu_);
+      MutexLock lock(&latency_mu_);
       total_latency_ms_ += MsSince(received);
     }
     if (!WriteFrame(fd, SerializeResponse(response)).ok()) break;
   }
   {
-    std::unique_lock<std::mutex> lock(conn_mu_);
+    MutexLock lock(&conn_mu_);
     conns_.erase(fd);
   }
   ::close(fd);
@@ -324,7 +327,7 @@ Response LakeServer::HandleRequest(Request&& request) {
     if (!hits.ok()) return Response::Error(op, hits.status());
     response.hits = std::move(hits).value();
     {
-      std::unique_lock<std::mutex> lock(latency_mu_);
+      MutexLock lock(&latency_mu_);
       ++shard_requests_;
     }
     return response;

@@ -29,7 +29,6 @@
 #include <atomic>
 #include <cstddef>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_set>
@@ -37,7 +36,9 @@
 #include "server/backend.h"
 #include "server/batcher.h"
 #include "server/protocol.h"
+#include "util/mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace tsfm {
 class ThreadPool;
@@ -85,24 +86,24 @@ class LakeServer {
   Status Start(const std::string& socket_path);
 
   /// \brief Graceful shutdown; see the file comment. Idempotent.
-  void Stop();
+  void Stop() LAKS_EXCLUDES(stop_mu_, conn_mu_);
 
   /// True between a successful Start and Stop.
-  bool running() const { return started_ && !stopping_.load(); }
+  bool running() const { return started_.load() && !stopping_.load(); }
 
   /// Batching counters plus served-request latency, as reported by the
   /// STATS opcode.
-  ServerStats stats() const;
+  ServerStats stats() const LAKS_EXCLUDES(latency_mu_);
 
   const LakeBackend& backend() const { return *backend_; }
   const std::string& socket_path() const { return socket_path_; }
 
  private:
-  void AcceptLoop();
-  void HandleConnection(int fd);
+  void AcceptLoop() LAKS_EXCLUDES(conn_mu_);
+  void HandleConnection(int fd) LAKS_EXCLUDES(conn_mu_, latency_mu_);
   /// Validates and executes one parsed request (the only layer that knows
   /// both the protocol and the backend).
-  Response HandleRequest(Request&& request);
+  Response HandleRequest(Request&& request) LAKS_EXCLUDES(latency_mu_);
   /// Kicks a background compaction onto the query pool when the churn
   /// counters cross ServerOptions::auto_compact_pending.
   void MaybeAutoCompact();
@@ -119,21 +120,25 @@ class LakeServer {
   std::thread accept_thread_;
   int listen_fd_ = -1;
   std::string socket_path_;
-  bool started_ = false;
+  // Atomic because running() reads it from any thread while Start/Stop
+  // flip it.
+  std::atomic<bool> started_{false};
   std::atomic<bool> stopping_{false};
   std::atomic<bool> compacting_{false};  // one auto-compaction in flight
-  std::mutex stop_mu_;  // serializes Stop; stopped_ is written under it
-  bool stopped_ = false;
 
-  std::mutex conn_mu_;
-  std::unordered_set<int> conns_;
+  // Lock order: stop_mu_ before conn_mu_ (Stop's connection nudge).
+  Mutex stop_mu_;  // serializes Stop; stopped_ is written under it
+  bool stopped_ LAKS_GUARDED_BY(stop_mu_) = false;
 
-  mutable std::mutex latency_mu_;
-  double total_latency_ms_ = 0;
+  Mutex conn_mu_ LAKS_ACQUIRED_AFTER(stop_mu_);
+  std::unordered_set<int> conns_ LAKS_GUARDED_BY(conn_mu_);
+
+  mutable Mutex latency_mu_;
+  double total_latency_ms_ LAKS_GUARDED_BY(latency_mu_) = 0;
   // SHARD_QUERY round trips bypass the batcher, so they are counted here
   // and folded into stats(): a worker fleet that only ever serves a
   // coordinator must not report zero requests.
-  uint64_t shard_requests_ = 0;
+  uint64_t shard_requests_ LAKS_GUARDED_BY(latency_mu_) = 0;
 };
 
 }  // namespace tsfm::server

@@ -167,7 +167,11 @@ void ShardWorkerFleet::KillWorker(size_t shard) {
 
 void ShardWorkerFleet::StopAll() {
   for (pid_t& pid : pids_) {
-    if (pid > 0) StopShardWorkerProcess(pid);
+    // Ignorable: StopAll is the tear-everything-down path (tests, fatal
+    // exits); a worker that already died or refuses the handshake is
+    // SIGKILLed by StopShardWorkerProcess itself, so there is nothing
+    // more to do with its Status here.
+    if (pid > 0) (void)StopShardWorkerProcess(pid);
     pid = -1;
   }
   for (const std::string& socket_path : sockets_) {

@@ -1,11 +1,28 @@
 #include "util/logging.h"
 
 #include <atomic>
+#include <string>
+
+#include "util/mutex.h"
 
 namespace tsfm {
 
 namespace {
 std::atomic<int> g_level{static_cast<int>(LogLevel::kInfo)};
+
+// Serializes log emission so concurrent loggers (pool workers, connection
+// handlers, the accept thread) never interleave characters within a line.
+//
+// Deliberately leaked: loggers can still be running during static
+// destruction (a detached thread draining after main returns, a TSFM_LOG
+// in some other object's static destructor), and a namespace-scope Mutex
+// would be destroyed out from under them — a use-after-destruction TSan
+// flags at exit. A function-local leaked instance is constructed on first
+// use and never dies.
+Mutex& SinkMutex() {
+  static Mutex* mu = new Mutex;
+  return *mu;
+}
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -33,7 +50,10 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line) : level_(leve
 
 LogMessage::~LogMessage() {
   if (static_cast<int>(level_) >= g_level.load()) {
-    std::cerr << stream_.str() << std::endl;
+    // Format outside the lock; hold it only for the single write+flush.
+    const std::string text = stream_.str();
+    MutexLock lock(&SinkMutex());
+    std::cerr << text << std::endl;
   }
 }
 
@@ -42,7 +62,13 @@ FatalMessage::FatalMessage(const char* file, int line, const char* expr) {
 }
 
 FatalMessage::~FatalMessage() {
-  std::cerr << stream_.str() << std::endl;
+  const std::string text = stream_.str();
+  {
+    MutexLock lock(&SinkMutex());
+    std::cerr << text << std::endl;
+  }
+  // Abort after releasing the lock so other threads' final messages can
+  // still drain while the process comes down.
   std::abort();
 }
 

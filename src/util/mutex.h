@@ -1,0 +1,150 @@
+// Annotated synchronization primitives: thin wrappers over std::mutex /
+// std::shared_mutex / std::condition_variable that carry the Clang
+// thread-safety capability attributes from util/thread_annotations.h.
+//
+// Every mutex member in src/util, src/server and src/search is one of
+// these types, never a raw std::mutex — that is what lets
+// `clang++ -Werror=thread-safety` prove the locking contracts instead of
+// trusting the comments. The wrappers are zero-overhead: each is exactly
+// its std counterpart plus attributes that compile away.
+//
+// CondVar pairs with Mutex only (the repo's condition waits are all on
+// plain mutexes). There is no predicate-taking Wait on purpose: the
+// analysis cannot see into a predicate lambda, so waits are written as
+//   MutexLock lock(&mu_);
+//   while (!cond) cv_.Wait(mu_);
+// which keeps every guarded read visible to the checker.
+#ifndef TSFM_UTIL_MUTEX_H_
+#define TSFM_UTIL_MUTEX_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+#include "util/thread_annotations.h"
+
+namespace tsfm {
+
+class CondVar;
+
+/// \brief An exclusive mutex carrying the "mutex" capability.
+class LAKS_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() LAKS_ACQUIRE() { mu_.lock(); }
+  void Unlock() LAKS_RELEASE() { mu_.unlock(); }
+  bool TryLock() LAKS_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// \brief A reader/writer mutex: exclusive for mutations, shared for the
+/// epoch-pinning query snapshots.
+class LAKS_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void Lock() LAKS_ACQUIRE() { mu_.lock(); }
+  void Unlock() LAKS_RELEASE() { mu_.unlock(); }
+  void LockShared() LAKS_ACQUIRE_SHARED() { mu_.lock_shared(); }
+  void UnlockShared() LAKS_RELEASE_SHARED() { mu_.unlock_shared(); }
+
+ private:
+  std::shared_mutex mu_;
+};
+
+/// \brief RAII exclusive lock on a Mutex.
+class LAKS_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) LAKS_ACQUIRE(mu) : mu_(mu) { mu_->Lock(); }
+  ~MutexLock() LAKS_RELEASE() { mu_->Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex* const mu_;
+};
+
+/// \brief RAII exclusive (writer) lock on a SharedMutex.
+class LAKS_SCOPED_CAPABILITY WriterMutexLock {
+ public:
+  explicit WriterMutexLock(SharedMutex* mu) LAKS_ACQUIRE(mu) : mu_(mu) {
+    mu_->Lock();
+  }
+  ~WriterMutexLock() LAKS_RELEASE() { mu_->Unlock(); }
+
+  WriterMutexLock(const WriterMutexLock&) = delete;
+  WriterMutexLock& operator=(const WriterMutexLock&) = delete;
+
+ private:
+  SharedMutex* const mu_;
+};
+
+/// \brief RAII shared (reader) lock on a SharedMutex. Queries hold one of
+/// these for their whole scatter -> merge -> rank pass to pin one epoch.
+class LAKS_SCOPED_CAPABILITY ReaderMutexLock {
+ public:
+  explicit ReaderMutexLock(SharedMutex* mu) LAKS_ACQUIRE_SHARED(mu)
+      : mu_(mu) {
+    mu_->LockShared();
+  }
+  // Scoped-capability destructors use the generic release form: the
+  // analysis tracks the *guard* object, which it knows holds mu_ shared.
+  ~ReaderMutexLock() LAKS_RELEASE() { mu_->UnlockShared(); }
+
+  ReaderMutexLock(const ReaderMutexLock&) = delete;
+  ReaderMutexLock& operator=(const ReaderMutexLock&) = delete;
+
+ private:
+  SharedMutex* const mu_;
+};
+
+/// \brief Condition variable waiting on a Mutex.
+///
+/// Wait atomically releases `mu`, sleeps, and reacquires before returning
+/// — so from the checker's point of view the capability is held across
+/// the call, which is exactly the REQUIRES annotation.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void Wait(Mutex& mu) LAKS_REQUIRES(mu) {
+    // Adopt the already-held std::mutex for the duration of the wait, then
+    // release the unique_lock without unlocking: ownership stays with the
+    // caller's MutexLock. Zero overhead vs. condition_variable_any.
+    std::unique_lock<std::mutex> lk(mu.mu_, std::adopt_lock);
+    cv_.wait(lk);
+    lk.release();
+  }
+
+  /// Returns false on timeout (the lock is reacquired either way).
+  template <typename Rep, typename Period>
+  bool WaitFor(Mutex& mu, const std::chrono::duration<Rep, Period>& timeout)
+      LAKS_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lk(mu.mu_, std::adopt_lock);
+    const bool signaled = cv_.wait_for(lk, timeout) == std::cv_status::no_timeout;
+    lk.release();
+    return signaled;
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace tsfm
+
+#endif  // TSFM_UTIL_MUTEX_H_

@@ -32,7 +32,11 @@ const char* StatusCodeName(StatusCode code);
 /// A default-constructed Status is OK. Failed statuses carry a code and a
 /// message. The class is cheap to copy and is intended to be returned by
 /// value.
-class Status {
+///
+/// [[nodiscard]]: silently dropping a Status is a compile error. The rare
+/// genuinely-ignorable error is consumed with a `(void)` cast carrying a
+/// comment that says why it is ignorable.
+class [[nodiscard]] Status {
  public:
   Status() : code_(StatusCode::kOk) {}
   Status(StatusCode code, std::string message)
@@ -79,7 +83,7 @@ class Status {
 /// Accessors check-fail (abort) when used on the wrong alternative, which
 /// turns misuse into a loud deterministic failure rather than UB.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   Result(T value) : value_(std::move(value)) {}            // NOLINT(implicit)
   Result(Status status) : status_(std::move(status)) {}    // NOLINT(implicit)

@@ -1,6 +1,8 @@
 #include "util/thread_pool.h"
 
 #include <algorithm>
+#include <atomic>
+#include <memory>
 
 namespace tsfm {
 
@@ -16,32 +18,32 @@ ThreadPool::~ThreadPool() { Shutdown(); }
 
 bool ThreadPool::Submit(std::function<void()> task) {
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     // After stop_ the workers may already have exited; a task enqueued now
     // would never run but still count in in_flight_, wedging Wait().
     if (stop_) return false;
     tasks_.push(std::move(task));
     ++in_flight_;
   }
-  task_cv_.notify_one();
+  task_cv_.NotifyOne();
   return true;
 }
 
 void ThreadPool::Wait() {
-  std::unique_lock<std::mutex> lock(mu_);
-  done_cv_.wait(lock, [this] { return in_flight_ == 0; });
+  MutexLock lock(&mu_);
+  while (in_flight_ != 0) done_cv_.Wait(mu_);
 }
 
 void ThreadPool::Shutdown() {
   // Serialized so concurrent Shutdown calls (an explicit one racing the
   // destructor's, say) cannot double-join the workers; a late caller
   // blocks until the first teardown completes, then finds nothing to do.
-  std::lock_guard<std::mutex> shutdown_lock(shutdown_mu_);
+  MutexLock shutdown_lock(&shutdown_mu_);
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     stop_ = true;
   }
-  task_cv_.notify_all();
+  task_cv_.NotifyAll();
   for (auto& w : workers_) w.join();
   workers_.clear();
 }
@@ -50,17 +52,17 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      task_cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      MutexLock lock(&mu_);
+      while (!stop_ && tasks_.empty()) task_cv_.Wait(mu_);
       if (stop_ && tasks_.empty()) return;
       task = std::move(tasks_.front());
       tasks_.pop();
     }
     task();
     {
-      std::unique_lock<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       --in_flight_;
-      if (in_flight_ == 0) done_cv_.notify_all();
+      if (in_flight_ == 0) done_cv_.NotifyAll();
     }
   }
 }
@@ -86,8 +88,8 @@ void ParallelFor(ThreadPool* pool, size_t begin, size_t end,
   struct State {
     std::atomic<size_t> next{0};
     std::atomic<size_t> done{0};
-    std::mutex mu;
-    std::condition_variable cv;
+    Mutex mu;
+    CondVar cv;
   };
   auto state = std::make_shared<State>();
   auto drain = [state, begin, end, chunk_size, chunks, &body] {
@@ -98,8 +100,12 @@ void ParallelFor(ThreadPool* pool, size_t begin, size_t end,
       const size_t hi = std::min(end, lo + chunk_size);
       for (size_t i = lo; i < hi; ++i) body(i);
       if (state->done.fetch_add(1, std::memory_order_acq_rel) + 1 == chunks) {
-        std::lock_guard<std::mutex> lock(state->mu);
-        state->cv.notify_all();
+        // Taking mu around the notify pairs with the caller's locked wait
+        // loop below, so the final wake cannot slip between its predicate
+        // check and its sleep.
+        State& s = *state;
+        MutexLock lock(&s.mu);
+        s.cv.NotifyAll();
       }
     }
   };
@@ -113,10 +119,11 @@ void ParallelFor(ThreadPool* pool, size_t begin, size_t end,
     if (!pool->Submit(drain)) break;
   }
   drain();
-  std::unique_lock<std::mutex> lock(state->mu);
-  state->cv.wait(lock, [&] {
-    return state->done.load(std::memory_order_acquire) == chunks;
-  });
+  State& s = *state;
+  MutexLock lock(&s.mu);
+  while (s.done.load(std::memory_order_acquire) != chunks) {
+    s.cv.Wait(s.mu);
+  }
 }
 
 }  // namespace tsfm

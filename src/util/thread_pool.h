@@ -6,13 +6,13 @@
 #ifndef TSFM_UTIL_THREAD_POOL_H_
 #define TSFM_UTIL_THREAD_POOL_H_
 
-#include <atomic>
-#include <condition_variable>
 #include <functional>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace tsfm {
 
@@ -31,10 +31,10 @@ class ThreadPool {
   /// Returns true if the task was accepted. Once Shutdown() has begun the
   /// task is rejected (returns false) and will never run — accepting it
   /// could strand a task no worker will pick up, wedging Wait() forever.
-  bool Submit(std::function<void()> task);
+  bool Submit(std::function<void()> task) LAKS_EXCLUDES(mu_);
 
   /// Blocks until every accepted task has finished.
-  void Wait();
+  void Wait() LAKS_EXCLUDES(mu_);
 
   /// \brief Drains every queued task, then joins the workers.
   ///
@@ -42,22 +42,28 @@ class ThreadPool {
   /// Shutdown calls: tasks accepted before shutdown all run to completion,
   /// tasks submitted after are rejected, and a racing second Shutdown
   /// blocks until the first finishes. The destructor calls Shutdown().
-  void Shutdown();
+  void Shutdown() LAKS_EXCLUDES(shutdown_mu_, mu_);
 
   size_t num_threads() const { return num_threads_; }
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() LAKS_EXCLUDES(mu_);
 
-  size_t num_threads_ = 0;
-  std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> tasks_;
-  std::mutex mu_;
-  std::mutex shutdown_mu_;  // serializes Shutdown
-  std::condition_variable task_cv_;
-  std::condition_variable done_cv_;
-  size_t in_flight_ = 0;
-  bool stop_ = false;
+  size_t num_threads_ = 0;  // set once in the constructor, then read-only
+
+  // Lock order: shutdown_mu_ before mu_ (Shutdown holds both).
+  Mutex shutdown_mu_;  // serializes Shutdown
+  Mutex mu_ LAKS_ACQUIRED_AFTER(shutdown_mu_);
+
+  // Written by the constructor (unanalyzed) and by Shutdown under
+  // shutdown_mu_; the join loop never races a concurrent teardown.
+  std::vector<std::thread> workers_ LAKS_GUARDED_BY(shutdown_mu_);
+
+  std::queue<std::function<void()>> tasks_ LAKS_GUARDED_BY(mu_);
+  size_t in_flight_ LAKS_GUARDED_BY(mu_) = 0;
+  bool stop_ LAKS_GUARDED_BY(mu_) = false;
+  CondVar task_cv_;
+  CondVar done_cv_;
 };
 
 /// \brief Runs body(i) for i in [begin, end) across `pool`, blocking until

@@ -380,7 +380,9 @@ class FakeWorker {
         held_.push_back(fd);  // stay silent; close at teardown
         continue;
       }
-      WriteFrame(fd, SerializeResponse(response));
+      // Ignorable: the fake worker answers best-effort; a coordinator that
+      // hung up early is exactly one of the failure modes under test.
+      (void)WriteFrame(fd, SerializeResponse(response));
       ::close(fd);
     }
   }

@@ -7,7 +7,12 @@
 #include <thread>
 #include <vector>
 
+#include <cstdlib>
+
+#include "search/distance_kernels.h"
 #include "util/hash.h"
+#include "util/logging.h"
+#include "util/mutex.h"
 #include "util/random.h"
 #include "util/status.h"
 #include "util/string_util.h"
@@ -356,6 +361,157 @@ TEST(TimerTest, MeasuresElapsed) {
   WallTimer t;
   EXPECT_GE(t.Seconds(), 0.0);
   EXPECT_GE(t.Millis(), 0.0);
+}
+
+// ------------------------------------------------------------------ Mutex
+
+TEST(MutexTest, MutexLockExcludesOtherThreads) {
+  Mutex mu;
+  bool contended_try = true;
+  {
+    MutexLock lock(&mu);
+    // TryLock must be probed from another thread: self-try_lock on a held
+    // std::mutex is undefined behavior.
+    std::thread prober([&] { contended_try = mu.TryLock(); });
+    prober.join();
+    EXPECT_FALSE(contended_try);
+  }
+  std::thread prober([&] {
+    contended_try = mu.TryLock();
+    if (contended_try) mu.Unlock();
+  });
+  prober.join();
+  EXPECT_TRUE(contended_try) << "MutexLock leaked the lock past its scope";
+}
+
+TEST(MutexTest, MutexLockSerializesIncrements) {
+  Mutex mu;
+  int counter = 0;  // deliberately non-atomic: the lock is the protection
+  std::vector<std::thread> threads;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 10000;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) {
+        MutexLock lock(&mu);
+        ++counter;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(counter, kThreads * kPerThread);
+}
+
+TEST(MutexTest, ReaderLocksShareWriterLocksExclude) {
+  SharedMutex mu;
+  std::atomic<bool> second_reader_entered{false};
+  {
+    ReaderMutexLock reader(&mu);
+    // A second shared lock must not block while the first is held.
+    std::thread other([&] {
+      ReaderMutexLock nested(&mu);
+      second_reader_entered.store(true);
+    });
+    other.join();
+    EXPECT_TRUE(second_reader_entered.load());
+  }
+  // Writers are exclusive: hold the writer side, verify a reader cannot
+  // enter until release, without timing assumptions — the reader thread
+  // records whether the guarded value was fully published first.
+  int guarded = 0;
+  std::atomic<bool> reader_saw_final{false};
+  std::thread reader;
+  {
+    WriterMutexLock writer(&mu);
+    reader = std::thread([&] {
+      ReaderMutexLock lock(&mu);
+      reader_saw_final.store(guarded == 42);
+    });
+    guarded = 42;  // published before the writer lock is released
+  }
+  reader.join();
+  EXPECT_TRUE(reader_saw_final.load());
+}
+
+TEST(MutexTest, CondVarWaitReleasesAndReacquires) {
+  Mutex mu;
+  CondVar cv;
+  bool ready = false;
+  bool consumed = false;
+  std::thread producer([&] {
+    MutexLock lock(&mu);
+    ready = true;
+    cv.NotifyOne();
+    // Wait for the consumer under the same lock: Wait must have released
+    // it or the producer could never have gotten here.
+    while (!consumed) cv.Wait(mu);
+  });
+  {
+    MutexLock lock(&mu);
+    while (!ready) cv.Wait(mu);
+    consumed = true;
+    cv.NotifyOne();
+  }
+  producer.join();
+  EXPECT_TRUE(consumed);
+}
+
+TEST(MutexTest, CondVarWaitForTimesOutWithLockReacquired) {
+  Mutex mu;
+  CondVar cv;
+  MutexLock lock(&mu);
+  // Nobody notifies; WaitFor must come back false with the lock held (the
+  // guarded write below would be a TSan race if reacquisition failed).
+  EXPECT_FALSE(cv.WaitFor(mu, std::chrono::milliseconds(5)));
+}
+
+// ---------------------------------------------------------------- Logging
+
+TEST(LoggingTest, PoolThreadsLoggingThroughShutdownDoNotRace) {
+  // Pins the leaked-sink-mutex fix in util/logging.cc: workers still
+  // logging while the pool tears down (and after, on the main thread)
+  // must serialize on a sink lock that is guaranteed to outlive them.
+  // Run under TSan to make this assertion-strength.
+  const LogLevel previous = GetLogLevel();
+  SetLogLevel(LogLevel::kError);  // keep test output quiet; kInfo is emitted
+  auto pool = std::make_unique<ThreadPool>(4);
+  for (int i = 0; i < 64; ++i) {
+    (void)pool->Submit([i] { TSFM_LOG(Info) << "worker message " << i; });
+  }
+  pool->Shutdown();
+  TSFM_LOG(Info) << "after shutdown";
+  SetLogLevel(previous);
+}
+
+// ----------------------------------------------------- kernel env override
+
+TEST(KernelSelectionTest, ForceScalarEnvOverrideComposes) {
+  // LAKS_FORCE_SCALAR must force the scalar set on (re)selection and must
+  // not disturb BestKernels(), which parity tests use to reach SIMD in the
+  // same process. Composes with the TSan job: that build re-runs this test
+  // with the override exercised under the race detector.
+  const char* before = std::getenv("LAKS_FORCE_SCALAR");
+  const std::string saved = before != nullptr ? before : "";
+
+  ASSERT_EQ(setenv("LAKS_FORCE_SCALAR", "1", /*overwrite=*/1), 0);
+  search::internal::OverrideKernelsForTest(nullptr);  // force re-selection
+  EXPECT_EQ(&search::Kernels(), &search::ScalarKernels());
+  // "0" and empty mean no override.
+  ASSERT_EQ(setenv("LAKS_FORCE_SCALAR", "0", /*overwrite=*/1), 0);
+  search::internal::OverrideKernelsForTest(nullptr);
+  EXPECT_EQ(&search::Kernels(), &search::BestKernels());
+
+  if (before != nullptr) {
+    ASSERT_EQ(setenv("LAKS_FORCE_SCALAR", saved.c_str(), /*overwrite=*/1), 0);
+  } else {
+    ASSERT_EQ(unsetenv("LAKS_FORCE_SCALAR"), 0);
+  }
+  search::internal::OverrideKernelsForTest(nullptr);
+  EXPECT_EQ(&search::Kernels(),
+            search::internal::ForceScalarFromEnvForTest()
+                ? &search::ScalarKernels()
+                : &search::BestKernels());
 }
 
 }  // namespace
